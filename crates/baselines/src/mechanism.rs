@@ -1,0 +1,181 @@
+//! [`Mechanism`] — the single switchboard the evaluation harness sweeps.
+//!
+//! A mechanism names one complete validation configuration; `build_apps`
+//! turns it into the controller app chain (validation app first, then L2
+//! forwarding), identically wired for every mechanism so comparisons are
+//! apples-to-apples.
+
+use crate::{FeasibleUrpfApp, NoSavApp, StaticAclApp, StrictUrpfApp};
+use sav_controller::app::App;
+use sav_controller::apps::L2RoutingApp;
+use sav_core::{SavApp, SavConfig, SavMode};
+use sav_topo::routes::Routes;
+use sav_topo::Topology;
+use std::sync::Arc;
+
+/// Every mechanism under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mechanism {
+    /// No source validation.
+    NoSav,
+    /// Static per-prefix ingress ACLs.
+    StaticAcl,
+    /// Strict reverse-path forwarding.
+    StrictUrpf,
+    /// Feasible-path reverse-path forwarding.
+    FeasibleUrpf,
+    /// SDN-SAV, proactive per-host binding rules (the paper's design).
+    SdnSav,
+    /// SDN-SAV without MAC matching (IP+port binding only).
+    SdnSavNoMac,
+    /// SDN-SAV with per-port prefix aggregation (coarse mode).
+    SdnSavAggregate,
+    /// SDN-SAV with per-port *exact-cover* aggregation: minimal CIDR set
+    /// admitting precisely the bound addresses.
+    SdnSavAggregateExact,
+    /// SDN-SAV in reactive (per-packet controller validation) mode.
+    SdnSavReactive,
+    /// SDN-SAV with FCFS data-plane learning instead of a static plan.
+    SdnSavFcfs,
+}
+
+impl Mechanism {
+    /// All mechanisms, in the order the paper's comparison table lists them.
+    pub const ALL: [Mechanism; 10] = [
+        Mechanism::NoSav,
+        Mechanism::StaticAcl,
+        Mechanism::StrictUrpf,
+        Mechanism::FeasibleUrpf,
+        Mechanism::SdnSav,
+        Mechanism::SdnSavNoMac,
+        Mechanism::SdnSavAggregate,
+        Mechanism::SdnSavAggregateExact,
+        Mechanism::SdnSavReactive,
+        Mechanism::SdnSavFcfs,
+    ];
+
+    /// Human-readable name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mechanism::NoSav => "no-SAV",
+            Mechanism::StaticAcl => "static ACL",
+            Mechanism::StrictUrpf => "strict uRPF",
+            Mechanism::FeasibleUrpf => "feasible uRPF",
+            Mechanism::SdnSav => "SDN-SAV",
+            Mechanism::SdnSavNoMac => "SDN-SAV (no MAC)",
+            Mechanism::SdnSavAggregate => "SDN-SAV (aggregated)",
+            Mechanism::SdnSavAggregateExact => "SDN-SAV (exact-agg)",
+            Mechanism::SdnSavReactive => "SDN-SAV (reactive)",
+            Mechanism::SdnSavFcfs => "SDN-SAV (FCFS)",
+        }
+    }
+
+    /// The SAV configuration for the SDN-SAV variants (None for baselines).
+    pub fn sav_config(self) -> Option<SavConfig> {
+        let base = SavConfig::default();
+        match self {
+            Mechanism::SdnSav => Some(base),
+            Mechanism::SdnSavNoMac => Some(SavConfig {
+                match_mac: false,
+                ..base
+            }),
+            Mechanism::SdnSavAggregate => Some(SavConfig {
+                aggregate: true,
+                ..base
+            }),
+            Mechanism::SdnSavAggregateExact => Some(SavConfig {
+                aggregate: true,
+                aggregate_exact: true,
+                ..base
+            }),
+            Mechanism::SdnSavReactive => Some(SavConfig {
+                mode: SavMode::Reactive,
+                ..base
+            }),
+            Mechanism::SdnSavFcfs => Some(SavConfig {
+                static_plan: false,
+                fcfs: true,
+                ..base
+            }),
+            _ => None,
+        }
+    }
+
+    /// Build the full controller app chain for this mechanism.
+    /// `sav_overrides` lets scenarios adjust the SAV config (trusted DHCP
+    /// ports, iSAV toggles) after the mechanism defaults are applied.
+    pub fn build_apps(
+        self,
+        topo: &Arc<Topology>,
+        routes: &Arc<Routes>,
+        sav_overrides: impl FnOnce(&mut SavConfig),
+    ) -> Vec<Box<dyn App>> {
+        let l2: Box<dyn App> = Box::new(L2RoutingApp::new(topo.clone(), routes.clone()));
+        let validation: Box<dyn App> = match self {
+            Mechanism::NoSav => Box::new(NoSavApp),
+            Mechanism::StaticAcl => Box::new(StaticAclApp::new(topo.clone())),
+            Mechanism::StrictUrpf => Box::new(StrictUrpfApp::new(topo.clone(), routes.clone())),
+            Mechanism::FeasibleUrpf => Box::new(FeasibleUrpfApp::new(topo.clone())),
+            _ => {
+                let mut cfg = self.sav_config().expect("SDN-SAV variant");
+                sav_overrides(&mut cfg);
+                Box::new(SavApp::new(topo.clone(), cfg))
+            }
+        };
+        vec![validation, l2]
+    }
+}
+
+impl std::fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_topo::generators;
+
+    #[test]
+    fn every_mechanism_builds_a_chain() {
+        let topo = Arc::new(generators::campus(2, 2));
+        let routes = Arc::new(Routes::compute(&topo));
+        for m in Mechanism::ALL {
+            let apps = m.build_apps(&topo, &routes, |_| {});
+            assert_eq!(apps.len(), 2, "{m}: validation + forwarding");
+            assert_eq!(apps[1].name(), "l2-routing");
+        }
+    }
+
+    #[test]
+    fn sav_configs_differ_as_advertised() {
+        assert!(Mechanism::NoSav.sav_config().is_none());
+        assert!(Mechanism::SdnSav.sav_config().unwrap().match_mac);
+        assert!(!Mechanism::SdnSavNoMac.sav_config().unwrap().match_mac);
+        assert!(Mechanism::SdnSavAggregate.sav_config().unwrap().aggregate);
+        assert_eq!(
+            Mechanism::SdnSavReactive.sav_config().unwrap().mode,
+            SavMode::Reactive
+        );
+        let fcfs = Mechanism::SdnSavFcfs.sav_config().unwrap();
+        assert!(fcfs.fcfs && !fcfs.static_plan);
+    }
+
+    #[test]
+    fn overrides_are_applied() {
+        let topo = Arc::new(generators::campus(2, 2));
+        let routes = Arc::new(Routes::compute(&topo));
+        let apps = Mechanism::SdnSav.build_apps(&topo, &routes, |cfg| {
+            cfg.trusted_dhcp_ports.push((1, 9));
+        });
+        assert_eq!(apps[0].name(), "sdn-sav");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            Mechanism::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(names.len(), Mechanism::ALL.len());
+    }
+}

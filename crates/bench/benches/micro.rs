@@ -1,0 +1,206 @@
+//! Criterion micro-benchmarks: the throughput-critical primitives —
+//! OpenFlow codec, packet parsing, match evaluation, flow-table lookup,
+//! binding-table operations and checksums.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use sav_core::binding::{Binding, BindingSource, BindingTable};
+use sav_dataplane::flow_table::FlowTable;
+use sav_dataplane::matcher::{matches, MatchContext};
+use sav_net::addr::MacAddr;
+use sav_net::builder::build_ipv4_udp;
+use sav_net::packet::ParsedPacket;
+use sav_net::prelude::*;
+use sav_openflow::messages::{FlowMod, Message, PacketIn, PacketInReason};
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::prelude::Instruction;
+use sav_sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn sav_match(port: u32, ip: Ipv4Addr) -> OxmMatch {
+    OxmMatch::new()
+        .with(OxmField::InPort(port))
+        .with(OxmField::EthType(0x0800))
+        .with(OxmField::EthSrc(MacAddr::from_index(u64::from(port)), None))
+        .with(OxmField::Ipv4Src(ip, None))
+}
+
+fn sample_frame() -> Vec<u8> {
+    let udp = UdpRepr {
+        src_port: 5000,
+        dst_port: 53,
+        payload_len: 64,
+    };
+    let ip = Ipv4Repr::udp(
+        "10.0.1.5".parse().unwrap(),
+        "10.0.2.9".parse().unwrap(),
+        udp.buffer_len(),
+    );
+    let eth = EthernetRepr {
+        src: MacAddr::from_index(5),
+        dst: MacAddr::from_index(9),
+        ethertype: EtherType::Ipv4,
+    };
+    build_ipv4_udp(&eth, &ip, &udp, &[0u8; 64])
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let fm = FlowMod {
+        priority: 40_000,
+        cookie: 0x5a56_0000_0a00_0105,
+        idle_timeout: 30,
+        instructions: vec![Instruction::GotoTable(1)],
+        ..FlowMod::add(sav_match(7, "10.0.1.5".parse().unwrap()))
+    };
+    let fm_bytes = Message::FlowMod(fm.clone()).encode(1);
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes(fm_bytes.len() as u64));
+    g.bench_function("flow_mod_encode", |b| {
+        b.iter(|| black_box(Message::FlowMod(black_box(fm.clone())).encode(1)))
+    });
+    g.bench_function("flow_mod_decode", |b| {
+        b.iter(|| Message::decode(black_box(&fm_bytes)).unwrap())
+    });
+
+    let pi = PacketIn {
+        buffer_id: sav_openflow::consts::NO_BUFFER,
+        total_len: 106,
+        reason: PacketInReason::Action,
+        table_id: 0,
+        cookie: 1,
+        match_: OxmMatch::new().with(OxmField::InPort(3)),
+        data: sample_frame(),
+    };
+    let pi_bytes = Message::PacketIn(pi.clone()).encode(2);
+    g.throughput(Throughput::Bytes(pi_bytes.len() as u64));
+    g.bench_function("packet_in_encode", |b| {
+        b.iter(|| black_box(Message::PacketIn(black_box(pi.clone())).encode(2)))
+    });
+    g.bench_function("packet_in_decode", |b| {
+        b.iter(|| Message::decode(black_box(&pi_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_parse_and_match(c: &mut Criterion) {
+    let frame = sample_frame();
+    let mut g = c.benchmark_group("dataplane");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("parse_frame", |b| {
+        b.iter(|| ParsedPacket::parse(black_box(&frame)).unwrap())
+    });
+
+    let parsed = ParsedPacket::parse(&frame).unwrap();
+    let rule = sav_match(3, "10.0.1.5".parse().unwrap());
+    g.bench_function("oxm_match_eval", |b| {
+        b.iter(|| {
+            matches(
+                black_box(&rule),
+                &MatchContext {
+                    in_port: 3,
+                    packet: &parsed,
+                },
+            )
+        })
+    });
+
+    // Flow table with 1000 binding rules; the probe matches near the end of
+    // the equal-priority scan — the unhappy path.
+    let mut table = FlowTable::new(10_000);
+    for i in 0..1000u32 {
+        let ip = Ipv4Addr::from(0x0a000100u32 + i);
+        let fm = FlowMod {
+            priority: 40_000,
+            instructions: vec![Instruction::GotoTable(1)],
+            ..FlowMod::add(sav_match(i + 10, ip))
+        };
+        table.add(&fm, SimTime::ZERO);
+    }
+    // A frame matching the 999th rule's (port, mac, ip).
+    let target_ip = Ipv4Addr::from(0x0a000100u32 + 999);
+    let udp = UdpRepr {
+        src_port: 1,
+        dst_port: 2,
+        payload_len: 0,
+    };
+    let ipr = Ipv4Repr::udp(target_ip, "10.0.2.1".parse().unwrap(), udp.buffer_len());
+    let eth = EthernetRepr {
+        src: MacAddr::from_index(999 + 10),
+        dst: MacAddr::from_index(1),
+        ethertype: EtherType::Ipv4,
+    };
+    let probe = build_ipv4_udp(&eth, &ipr, &udp, b"");
+    let probe_parsed = ParsedPacket::parse(&probe).unwrap();
+    g.bench_function("flow_table_lookup_1k_rules", |b| {
+        b.iter(|| {
+            table.lookup(
+                &MatchContext {
+                    in_port: 999 + 10,
+                    packet: black_box(&probe_parsed),
+                },
+                SimTime::ZERO,
+                probe.len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_binding_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("binding_table");
+    g.bench_function("upsert_10k", |b| {
+        b.iter(|| {
+            let mut t = BindingTable::new();
+            for i in 0..10_000u32 {
+                t.upsert(
+                    Binding {
+                        ip: Ipv4Addr::from(0x0a000000 + i),
+                        mac: MacAddr::from_index(u64::from(i)),
+                        dpid: u64::from(i % 64),
+                        port: i % 48,
+                        source: BindingSource::Dhcp,
+                        expires: None,
+                    },
+                    SimTime::ZERO,
+                );
+            }
+            black_box(t.len())
+        })
+    });
+    let mut t = BindingTable::new();
+    for i in 0..10_000u32 {
+        t.upsert(
+            Binding {
+                ip: Ipv4Addr::from(0x0a000000 + i),
+                mac: MacAddr::from_index(u64::from(i)),
+                dpid: u64::from(i % 64),
+                port: i % 48,
+                source: BindingSource::Dhcp,
+                expires: None,
+            },
+            SimTime::ZERO,
+        );
+    }
+    g.bench_function("lookup_in_10k", |b| {
+        b.iter(|| t.get(black_box(Ipv4Addr::from(0x0a000000 + 7777))))
+    });
+    g.finish();
+}
+
+fn bench_checksum(c: &mut Criterion) {
+    let data = vec![0xa5u8; 1500];
+    let mut g = c.benchmark_group("checksum");
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("internet_checksum_1500B", |b| {
+        b.iter(|| sav_net::checksum::checksum(black_box(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_parse_and_match,
+    bench_binding_table,
+    bench_checksum
+);
+criterion_main!(benches);

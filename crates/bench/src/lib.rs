@@ -1,0 +1,34 @@
+//! # sav-bench — the experiment harness
+//!
+//! Reusable scenario plumbing for the bench targets that regenerate every
+//! table and figure (see `benches/`), and for the integration tests and
+//! examples: build a testbed for a [`sav_baselines::Mechanism`], replay a
+//! traffic [`sav_traffic::Schedule`] against it, and classify the outcome
+//! by payload tags.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scenario;
+
+pub use scenario::{run_mechanism, Outcome, ScenarioOpts};
+
+use std::path::PathBuf;
+
+/// The workspace `results/` directory (created on demand). Every bench
+/// target writes its CSV here so EXPERIMENTS.md can reference stable paths.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Write a result artifact (CSV) under `results/`.
+pub fn write_result(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("[saved {}]", path.display());
+}

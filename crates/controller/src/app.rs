@@ -1,0 +1,176 @@
+//! The controller application interface.
+//!
+//! An [`App`] is a state machine fed switch events; it reacts by queueing
+//! OpenFlow messages through [`Ctx`]. Apps are chained: every app sees every
+//! event, in registration order (the convention of Ryu/Floodlight-style
+//! platforms). An app can *consume* a PACKET_IN to stop later apps from
+//! also reacting to it (e.g. the DHCP server consumes DHCP packet-ins so
+//! the forwarding app does not try to unicast-learn from broadcasts).
+
+use sav_openflow::messages::{
+    FlowMod, FlowRemoved, Message, MultipartReplyBody, PacketIn, PacketOut, PortStatus,
+};
+use sav_openflow::prelude::Action;
+use sav_sim::SimTime;
+
+/// Handle through which apps talk to switches during one event dispatch.
+pub struct Ctx {
+    now: SimTime,
+    out: Vec<(u64, Message)>,
+}
+
+impl Ctx {
+    /// New context at `now`.
+    pub fn new(now: SimTime) -> Ctx {
+        Ctx {
+            now,
+            out: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Queue an arbitrary message to the switch with datapath id `dpid`.
+    pub fn send(&mut self, dpid: u64, msg: Message) {
+        self.out.push((dpid, msg));
+    }
+
+    /// Queue a flow-mod.
+    pub fn install(&mut self, dpid: u64, fm: FlowMod) {
+        self.send(dpid, Message::FlowMod(fm));
+    }
+
+    /// Queue a packet-out carrying `frame` to the given ports.
+    pub fn packet_out(&mut self, dpid: u64, in_port: u32, ports: &[u32], frame: Vec<u8>) {
+        self.send(
+            dpid,
+            Message::PacketOut(PacketOut {
+                buffer_id: sav_openflow::consts::NO_BUFFER,
+                in_port,
+                actions: ports.iter().map(|&p| Action::output(p)).collect(),
+                data: frame,
+            }),
+        );
+    }
+
+    /// Release a switch-buffered packet through the given ports.
+    pub fn packet_out_buffered(
+        &mut self,
+        dpid: u64,
+        buffer_id: u32,
+        in_port: u32,
+        ports: &[u32],
+    ) {
+        self.send(
+            dpid,
+            Message::PacketOut(PacketOut {
+                buffer_id,
+                in_port,
+                actions: ports.iter().map(|&p| Action::output(p)).collect(),
+                data: vec![],
+            }),
+        );
+    }
+
+    /// Drain queued messages (used by the controller core).
+    pub fn take(self) -> Vec<(u64, Message)> {
+        self.out
+    }
+
+    /// Number of queued messages so far.
+    pub fn pending(&self) -> usize {
+        self.out.len()
+    }
+}
+
+/// Whether later apps in the chain should still see a PACKET_IN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Pass the event to the next app.
+    Continue,
+    /// Stop the chain for this event.
+    Consumed,
+}
+
+/// A controller application.
+///
+/// Default method bodies ignore events, so apps implement only what they
+/// care about. The `Any` supertrait lets the harness downcast apps to
+/// inspect their state ([`crate::Controller::with_app`]).
+pub trait App: std::any::Any {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// A switch completed its handshake.
+    fn on_switch_up(&mut self, _ctx: &mut Ctx, _dpid: u64) {}
+
+    /// A switch's control channel went away.
+    fn on_switch_down(&mut self, _ctx: &mut Ctx, _dpid: u64) {}
+
+    /// A packet was punted to the controller.
+    fn on_packet_in(&mut self, _ctx: &mut Ctx, _dpid: u64, _pi: &PacketIn) -> Disposition {
+        Disposition::Continue
+    }
+
+    /// A flow was removed (timeout or delete with SEND_FLOW_REM).
+    fn on_flow_removed(&mut self, _ctx: &mut Ctx, _dpid: u64, _fr: &FlowRemoved) {}
+
+    /// A port changed state.
+    fn on_port_status(&mut self, _ctx: &mut Ctx, _dpid: u64, _ps: &PortStatus) {}
+
+    /// A multipart (statistics / port-description) reply arrived.
+    fn on_stats_reply(&mut self, _ctx: &mut Ctx, _dpid: u64, _body: &MultipartReplyBody) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_openflow::oxm::OxmMatch;
+
+    #[test]
+    fn ctx_queues_in_order() {
+        let mut ctx = Ctx::new(SimTime::from_secs(1));
+        assert_eq!(ctx.now(), SimTime::from_secs(1));
+        ctx.install(7, FlowMod::add(OxmMatch::new()));
+        ctx.packet_out(7, 1, &[2, 3], vec![0xab]);
+        assert_eq!(ctx.pending(), 2);
+        let msgs = ctx.take();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].0, 7);
+        assert!(matches!(msgs[0].1, Message::FlowMod(_)));
+        match &msgs[1].1 {
+            Message::PacketOut(po) => {
+                assert_eq!(po.actions.len(), 2);
+                assert_eq!(po.data, vec![0xab]);
+            }
+            other => panic!("expected PacketOut, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn default_app_impls_are_inert() {
+        struct Nop;
+        impl App for Nop {
+            fn name(&self) -> &'static str {
+                "nop"
+            }
+        }
+        let mut n = Nop;
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        n.on_switch_up(&mut ctx, 1);
+        let pi = PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: 0,
+            reason: sav_openflow::messages::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: 0,
+            match_: OxmMatch::new(),
+            data: vec![],
+        };
+        assert_eq!(n.on_packet_in(&mut ctx, 1, &pi), Disposition::Continue);
+        assert_eq!(ctx.pending(), 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! [`DiscoveryApp`] — LLDP-style link discovery.
+//!
+//! The SAV design brief assumes the controller knows the topology; this app
+//! shows the assumption is dischargeable with the standard OpenFlow idiom
+//! rather than configuration:
+//!
+//! 1. at switch-up, install a punt rule for EtherType 0x88CC (above every
+//!    SAV rule — discovery frames are link-local and never forwarded) and
+//!    request the switch's port list via `OFPMP_PORT_DESC`;
+//! 2. when the port list arrives, emit one probe per live port via
+//!    PACKET_OUT, carrying `(origin dpid, origin port)` in the payload;
+//! 3. a probe punted by the *neighbouring* switch reveals one unidirected
+//!    link `(origin dpid, origin port) → (receiver dpid, receiver port)`.
+//!
+//! Port-status changes re-probe the affected port, so links heal after
+//! flaps. The discovered adjacency can be compared against (or replace)
+//! the statically configured topology.
+
+use crate::app::{App, Ctx, Disposition};
+use sav_net::addr::MacAddr;
+use sav_net::ethernet::{EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN};
+use sav_openflow::messages::{MultipartReplyBody, MultipartRequestBody, PacketIn, PortStatus};
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::prelude::{Action, Instruction};
+use std::collections::BTreeMap;
+
+/// Priority of the discovery punt rule (above all SAV rules).
+pub const PRIO_DISCOVERY: u16 = 50_000;
+/// The LLDP EtherType.
+pub const LLDP_ETHERTYPE: u16 = 0x88cc;
+/// The LLDP nearest-bridge multicast destination.
+pub const LLDP_DST: MacAddr = MacAddr([0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e]);
+
+const MAGIC: &[u8; 8] = b"SAVLLDP1";
+
+fn probe_frame(dpid: u64, port: u32) -> Vec<u8> {
+    let mut buf = vec![0u8; ETHERNET_HEADER_LEN + 8 + 8 + 4];
+    let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+    EthernetRepr {
+        src: MacAddr::from_index(dpid),
+        dst: LLDP_DST,
+        ethertype: EtherType::Other(LLDP_ETHERTYPE),
+    }
+    .emit(&mut f);
+    let p = f.payload_mut();
+    p[0..8].copy_from_slice(MAGIC);
+    p[8..16].copy_from_slice(&dpid.to_be_bytes());
+    p[16..20].copy_from_slice(&port.to_be_bytes());
+    buf
+}
+
+fn parse_probe(frame: &[u8]) -> Option<(u64, u32)> {
+    let f = EthernetFrame::new_checked(frame).ok()?;
+    if f.ethertype() != EtherType::Other(LLDP_ETHERTYPE) {
+        return None;
+    }
+    let p = f.payload();
+    if p.len() < 20 || &p[0..8] != MAGIC {
+        return None;
+    }
+    let dpid = u64::from_be_bytes(p[8..16].try_into().ok()?);
+    let port = u32::from_be_bytes(p[16..20].try_into().ok()?);
+    Some((dpid, port))
+}
+
+/// The discovery application. Place it first in the chain.
+#[derive(Default)]
+pub struct DiscoveryApp {
+    /// Directed adjacency: `(dpid, port)` → `(peer dpid, peer port)`.
+    links: BTreeMap<(u64, u32), (u64, u32)>,
+    /// Probes emitted (cost accounting).
+    pub probes_sent: u64,
+}
+
+impl DiscoveryApp {
+    /// An empty discovery state.
+    pub fn new() -> DiscoveryApp {
+        DiscoveryApp::default()
+    }
+
+    /// The discovered directed links.
+    pub fn links(&self) -> &BTreeMap<(u64, u32), (u64, u32)> {
+        &self.links
+    }
+
+    /// Undirected link set (each link once, ordered endpoint first).
+    pub fn undirected_links(&self) -> Vec<((u64, u32), (u64, u32))> {
+        let mut out: Vec<_> = self
+            .links
+            .iter()
+            .map(|(&a, &b)| if a <= b { (a, b) } else { (b, a) })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl App for DiscoveryApp {
+    fn name(&self) -> &'static str {
+        "discovery"
+    }
+
+    fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+        // Punt-only: discovery frames never traverse the fabric.
+        ctx.install(
+            dpid,
+            sav_openflow::messages::FlowMod {
+                priority: PRIO_DISCOVERY,
+                instructions: vec![Instruction::ApplyActions(vec![Action::output(
+                    sav_openflow::consts::port::CONTROLLER,
+                )])],
+                ..sav_openflow::messages::FlowMod::add(
+                    OxmMatch::new().with(OxmField::EthType(LLDP_ETHERTYPE)),
+                )
+            },
+        );
+        ctx.send(
+            dpid,
+            sav_openflow::messages::Message::MultipartRequest(MultipartRequestBody::PortDesc),
+        );
+    }
+
+    fn on_stats_reply(&mut self, ctx: &mut Ctx, dpid: u64, body: &MultipartReplyBody) {
+        let MultipartReplyBody::PortDesc(ports) = body else {
+            return;
+        };
+        for p in ports {
+            if p.is_up() && p.port_no < sav_openflow::consts::port::MAX {
+                self.probes_sent += 1;
+                ctx.packet_out(
+                    dpid,
+                    sav_openflow::consts::port::CONTROLLER,
+                    &[p.port_no],
+                    probe_frame(dpid, p.port_no),
+                );
+            }
+        }
+    }
+
+    fn on_packet_in(&mut self, _ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
+        let Some(in_port) = pi.in_port() else {
+            return Disposition::Continue;
+        };
+        let Some((origin_dpid, origin_port)) = parse_probe(&pi.data) else {
+            return Disposition::Continue;
+        };
+        self.links.insert((origin_dpid, origin_port), (dpid, in_port));
+        Disposition::Consumed
+    }
+
+    fn on_port_status(&mut self, ctx: &mut Ctx, dpid: u64, ps: &PortStatus) {
+        let key = (dpid, ps.desc.port_no);
+        if ps.desc.is_up() {
+            // Re-probe the flapped port (both ends will re-learn).
+            self.probes_sent += 1;
+            ctx.packet_out(
+                dpid,
+                sav_openflow::consts::port::CONTROLLER,
+                &[ps.desc.port_no],
+                probe_frame(dpid, ps.desc.port_no),
+            );
+        } else {
+            self.links.remove(&key);
+            self.links.retain(|_, &mut peer| peer != key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_roundtrip() {
+        let f = probe_frame(0x1234, 7);
+        assert_eq!(parse_probe(&f), Some((0x1234, 7)));
+        // Non-LLDP frames are ignored.
+        assert_eq!(parse_probe(&[0u8; 40]), None);
+        // Corrupt magic is ignored.
+        let mut bad = probe_frame(1, 1);
+        bad[ETHERNET_HEADER_LEN] = b'X';
+        assert_eq!(parse_probe(&bad), None);
+    }
+
+    #[test]
+    fn undirected_dedup() {
+        let mut app = DiscoveryApp::new();
+        app.links.insert((1, 1), (2, 1));
+        app.links.insert((2, 1), (1, 1));
+        app.links.insert((1, 2), (3, 1));
+        assert_eq!(app.links().len(), 3);
+        assert_eq!(app.undirected_links().len(), 2);
+    }
+}

@@ -1,0 +1,443 @@
+//! [`L2RoutingApp`] — proactive destination-MAC forwarding, proxy-ARP and
+//! host-location tracking.
+//!
+//! This is the base connectivity layer every scenario runs. On switch-up it
+//! installs, per switch:
+//!
+//! * a priority-[`crate::PRIO_BRIDGE`] table-0 bridge (`goto` the forwarding
+//!   table) so that scenarios *without* a SAV app still forward — SAV apps
+//!   overlay higher-priority rules in table 0;
+//! * one forwarding rule per known host MAC in table 1 (toward the host's
+//!   attachment, over shortest paths);
+//! * a broadcast punt and a table-miss punt.
+//!
+//! At packet-in time it tracks host locations (learning only on non-trunk
+//! ports), answers ARP requests from its IP→MAC map (proxy ARP) and floods
+//! along the spanning tree otherwise. When a host shows up on a new port —
+//! migration — it reinstalls that host's forwarding rules everywhere, which
+//! is the forwarding half of the convergence the SAV app also performs for
+//! its bindings (Fig. 2).
+
+use crate::app::{App, Ctx, Disposition};
+use crate::{PRIO_BRIDGE, TABLE_FWD, TABLE_SAV};
+use sav_net::addr::MacAddr;
+use sav_net::packet::ParsedPacket;
+use sav_openflow::consts::port as ofport;
+use sav_openflow::messages::{FlowMod, PacketIn};
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::prelude::{Action, Instruction};
+use sav_topo::routes::Routes;
+use sav_topo::{SwitchId, Topology};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Priority of per-host unicast rules in the forwarding table.
+pub const PRIO_UNICAST: u16 = 100;
+/// Priority of the broadcast punt rule.
+pub const PRIO_BROADCAST: u16 = 50;
+
+/// Counters exposed for the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct L2Stats {
+    /// ARP requests answered directly by the controller.
+    pub arps_proxied: u64,
+    /// Frames flooded along the spanning tree.
+    pub floods: u64,
+    /// Host migrations detected (location changed).
+    pub migrations: u64,
+    /// Unicast punts forwarded by packet-out.
+    pub unicast_punts: u64,
+}
+
+/// The forwarding/ARP/host-tracking application.
+pub struct L2RoutingApp {
+    topo: Arc<Topology>,
+    routes: Arc<Routes>,
+    /// Current host attachment points, by MAC.
+    host_loc: HashMap<MacAddr, (u64, u32)>,
+    /// IP → MAC map for proxy ARP (static plan + dynamic learning).
+    ip_map: HashMap<Ipv4Addr, MacAddr>,
+    /// Per-switch trunk ports (learning is disabled on these).
+    trunks: HashMap<u64, Vec<u32>>,
+    /// Counters.
+    pub stats: L2Stats,
+}
+
+impl L2RoutingApp {
+    /// Build from a topology and its routes; host locations and the ARP map
+    /// are seeded from the static plan.
+    pub fn new(topo: Arc<Topology>, routes: Arc<Routes>) -> L2RoutingApp {
+        let mut host_loc = HashMap::new();
+        let mut ip_map = HashMap::new();
+        for h in topo.hosts() {
+            host_loc.insert(h.mac, (h.switch.dpid(), h.port));
+            ip_map.insert(h.ip, h.mac);
+        }
+        let trunks = topo
+            .switches()
+            .iter()
+            .map(|s| (s.id.dpid(), topo.trunk_ports(s.id)))
+            .collect();
+        L2RoutingApp {
+            topo,
+            routes,
+            host_loc,
+            ip_map,
+            trunks,
+            stats: L2Stats::default(),
+        }
+    }
+
+    /// The tracked location of a host MAC.
+    pub fn location(&self, mac: MacAddr) -> Option<(u64, u32)> {
+        self.host_loc.get(&mac).copied()
+    }
+
+    /// The tracked MAC for an IP (proxy-ARP view).
+    pub fn mac_of(&self, ip: Ipv4Addr) -> Option<MacAddr> {
+        self.ip_map.get(&ip).copied()
+    }
+
+    fn is_trunk(&self, dpid: u64, port: u32) -> bool {
+        self.trunks
+            .get(&dpid)
+            .map(|t| t.contains(&port))
+            .unwrap_or(false)
+    }
+
+    /// The forwarding rule for `mac` at switch `sw`, given the host's
+    /// current location.
+    fn unicast_rule(&self, sw: SwitchId, mac: MacAddr, loc: (u64, u32)) -> Option<FlowMod> {
+        let (host_dpid, host_port) = loc;
+        let out_port = if sw.dpid() == host_dpid {
+            host_port
+        } else {
+            let host_sw = SwitchId::from_dpid(host_dpid)?;
+            self.routes.next_port(sw, host_sw)?
+        };
+        Some(FlowMod {
+            table_id: TABLE_FWD,
+            priority: PRIO_UNICAST,
+            instructions: vec![Instruction::apply_output(out_port)],
+            ..FlowMod::add(OxmMatch::new().with(OxmField::EthDst(mac, None)))
+        })
+    }
+
+    /// (Re-)install forwarding rules for one host on every switch.
+    fn install_host_everywhere(&self, ctx: &mut Ctx, mac: MacAddr, loc: (u64, u32)) {
+        for s in self.topo.switches() {
+            if let Some(fm) = self.unicast_rule(s.id, mac, loc) {
+                ctx.install(s.id.dpid(), fm);
+            }
+        }
+    }
+
+    fn flood(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, frame: Vec<u8>) {
+        let Some(sw) = SwitchId::from_dpid(dpid) else {
+            return;
+        };
+        let ports = self.routes.flood_ports(&self.topo, sw, in_port);
+        if !ports.is_empty() {
+            self.stats.floods += 1;
+            ctx.packet_out(dpid, in_port, &ports, frame);
+        }
+    }
+
+    fn learn(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, src_mac: MacAddr) {
+        if self.is_trunk(dpid, in_port) || !src_mac.is_unicast() {
+            return;
+        }
+        let new_loc = (dpid, in_port);
+        match self.host_loc.get(&src_mac) {
+            Some(&old) if old == new_loc => {}
+            old => {
+                if old.is_some() {
+                    self.stats.migrations += 1;
+                }
+                self.host_loc.insert(src_mac, new_loc);
+                self.install_host_everywhere(ctx, src_mac, new_loc);
+            }
+        }
+    }
+}
+
+impl App for L2RoutingApp {
+    fn name(&self) -> &'static str {
+        "l2-routing"
+    }
+
+    fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+        // Table-0 bridge: everything falls through to forwarding unless a
+        // SAV app overlays higher-priority rules.
+        ctx.install(
+            dpid,
+            FlowMod {
+                table_id: TABLE_SAV,
+                priority: PRIO_BRIDGE,
+                instructions: vec![Instruction::GotoTable(TABLE_FWD)],
+                ..FlowMod::add(OxmMatch::new())
+            },
+        );
+        // Per-host unicast rules.
+        let Some(sw) = SwitchId::from_dpid(dpid) else {
+            return;
+        };
+        for (mac, loc) in self.host_loc.clone() {
+            if let Some(fm) = self.unicast_rule(sw, mac, loc) {
+                ctx.install(dpid, fm);
+            }
+        }
+        // Broadcast punt.
+        ctx.install(
+            dpid,
+            FlowMod {
+                table_id: TABLE_FWD,
+                priority: PRIO_BROADCAST,
+                instructions: vec![Instruction::ApplyActions(vec![Action::output(
+                    ofport::CONTROLLER,
+                )])],
+                ..FlowMod::add(
+                    OxmMatch::new().with(OxmField::EthDst(MacAddr::BROADCAST, None)),
+                )
+            },
+        );
+        // Table-miss punt (unknown unicast).
+        ctx.install(
+            dpid,
+            FlowMod {
+                table_id: TABLE_FWD,
+                priority: 0,
+                instructions: vec![Instruction::ApplyActions(vec![Action::output(
+                    ofport::CONTROLLER,
+                )])],
+                ..FlowMod::add(OxmMatch::new())
+            },
+        );
+    }
+
+    fn on_packet_in(&mut self, ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
+        let Some(in_port) = pi.in_port() else {
+            return Disposition::Continue;
+        };
+        let Ok(parsed) = ParsedPacket::parse(&pi.data) else {
+            return Disposition::Continue;
+        };
+        self.learn(ctx, dpid, in_port, parsed.ethernet.src);
+
+        if let Some(arp) = parsed.arp {
+            // Gratuitous ARP refreshes the IP map; requests get proxied.
+            if arp.sender_ip != Ipv4Addr::UNSPECIFIED {
+                self.ip_map.insert(arp.sender_ip, arp.sender_mac);
+            }
+            if arp.op == sav_net::arp::ArpOp::Request && arp.target_ip != arp.sender_ip {
+                if let Some(&mac) = self.ip_map.get(&arp.target_ip) {
+                    let reply = sav_net::arp::ArpRepr {
+                        op: sav_net::arp::ArpOp::Reply,
+                        sender_mac: mac,
+                        sender_ip: arp.target_ip,
+                        target_mac: arp.sender_mac,
+                        target_ip: arp.sender_ip,
+                    };
+                    self.stats.arps_proxied += 1;
+                    ctx.packet_out(dpid, in_port, &[in_port], sav_net::builder::build_arp(&reply));
+                    return Disposition::Consumed;
+                }
+            }
+            // Unknown target (or gratuitous): flood along the tree.
+            self.flood(ctx, dpid, in_port, pi.data.clone());
+            return Disposition::Consumed;
+        }
+
+        let dst = parsed.ethernet.dst;
+        if dst.is_broadcast() || dst.is_multicast() {
+            self.flood(ctx, dpid, in_port, pi.data.clone());
+            return Disposition::Continue; // others (e.g. SAV snoop) may care
+        }
+        // Unknown/transient unicast: forward toward the tracked location.
+        if let Some(&loc) = self.host_loc.get(&dst) {
+            if let Some(sw) = SwitchId::from_dpid(dpid) {
+                if let Some(fm) = self.unicast_rule(sw, dst, loc) {
+                    if let Instruction::ApplyActions(acts) = &fm.instructions[0] {
+                        if let Action::Output { port, .. } = acts[0] {
+                            self.stats.unicast_punts += 1;
+                            ctx.packet_out(dpid, in_port, &[port], pi.data.clone());
+                        }
+                    }
+                }
+            }
+        }
+        Disposition::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_openflow::messages::{Message, PacketInReason};
+    use sav_sim::SimTime;
+    use sav_topo::generators;
+
+    fn mk() -> (Arc<Topology>, Arc<Routes>, L2RoutingApp) {
+        let topo = Arc::new(generators::linear(2, 2));
+        let routes = Arc::new(Routes::compute(&topo));
+        let app = L2RoutingApp::new(topo.clone(), routes.clone());
+        (topo, routes, app)
+    }
+
+    fn msgs_for(ctx: Ctx, dpid: u64) -> Vec<Message> {
+        ctx.take()
+            .into_iter()
+            .filter(|(d, _)| *d == dpid)
+            .map(|(_, m)| m)
+            .collect()
+    }
+
+    #[test]
+    fn switch_up_installs_bridge_unicast_and_punts() {
+        let (topo, _, mut app) = mk();
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let msgs = msgs_for(ctx, dpid);
+        // bridge + 4 hosts + broadcast + miss = 7 flow mods.
+        assert_eq!(msgs.len(), 7);
+        let fms: Vec<&FlowMod> = msgs
+            .iter()
+            .map(|m| match m {
+                Message::FlowMod(fm) => fm,
+                other => panic!("expected FlowMod, got {other:?}"),
+            })
+            .collect();
+        assert!(fms
+            .iter()
+            .any(|fm| fm.table_id == TABLE_SAV && fm.priority == PRIO_BRIDGE));
+        assert_eq!(
+            fms.iter()
+                .filter(|fm| fm.table_id == TABLE_FWD && fm.priority == PRIO_UNICAST)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn local_hosts_get_their_port_remote_get_trunk() {
+        let (topo, _, app) = mk();
+        let s0 = topo.switches()[0].id;
+        let local = topo.hosts_on(s0).next().unwrap();
+        let remote = topo
+            .hosts()
+            .iter()
+            .find(|h| h.switch != s0)
+            .unwrap();
+        let fm = app
+            .unicast_rule(s0, local.mac, (local.switch.dpid(), local.port))
+            .unwrap();
+        match &fm.instructions[0] {
+            Instruction::ApplyActions(a) => {
+                assert_eq!(a[0], Action::output(local.port));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let fm = app
+            .unicast_rule(s0, remote.mac, (remote.switch.dpid(), remote.port))
+            .unwrap();
+        let trunk = topo.trunk_ports(s0)[0];
+        match &fm.instructions[0] {
+            Instruction::ApplyActions(a) => {
+                assert_eq!(a[0], Action::output(trunk));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn packet_in(in_port: u32, frame: Vec<u8>) -> PacketIn {
+        PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: frame.len() as u16,
+            reason: PacketInReason::NoMatch,
+            table_id: TABLE_FWD,
+            cookie: 0,
+            match_: OxmMatch::new().with(OxmField::InPort(in_port)),
+            data: frame,
+        }
+    }
+
+    #[test]
+    fn proxy_arp_answers_known_ip() {
+        let (topo, _, mut app) = mk();
+        let h0 = &topo.hosts()[0];
+        let h1 = &topo.hosts()[1];
+        let req = sav_net::arp::ArpRepr::request(h0.mac, h0.ip, h1.ip);
+        let frame = sav_net::builder::build_arp(&req);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        let disp = app.on_packet_in(&mut ctx, h0.switch.dpid(), &packet_in(h0.port, frame));
+        assert_eq!(disp, Disposition::Consumed);
+        assert_eq!(app.stats.arps_proxied, 1);
+        let msgs = ctx.take();
+        // One packet-out back to the requester's port with the ARP reply.
+        let po = msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                Message::PacketOut(po) => Some(po),
+                _ => None,
+            })
+            .expect("packet-out");
+        assert_eq!(po.actions, vec![Action::output(h0.port)]);
+        let parsed = ParsedPacket::parse(&po.data).unwrap();
+        let reply = parsed.arp.unwrap();
+        assert_eq!(reply.sender_mac, h1.mac);
+        assert_eq!(reply.sender_ip, h1.ip);
+    }
+
+    #[test]
+    fn unknown_arp_floods_along_tree() {
+        let (topo, _, mut app) = mk();
+        let h0 = &topo.hosts()[0];
+        let req = sav_net::arp::ArpRepr::request(h0.mac, h0.ip, "10.99.0.1".parse().unwrap());
+        let frame = sav_net::builder::build_arp(&req);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, h0.switch.dpid(), &packet_in(h0.port, frame));
+        assert_eq!(app.stats.floods, 1);
+        assert_eq!(app.stats.arps_proxied, 0);
+    }
+
+    #[test]
+    fn migration_reinstalls_rules() {
+        let (topo, _, mut app) = mk();
+        let h0 = &topo.hosts()[0];
+        // h0 shows up on a different (non-trunk) port of switch 1.
+        let s1 = topo.switches()[1].id;
+        let new_port = 99; // not a trunk on s1
+        let req = sav_net::arp::ArpRepr::request(h0.mac, h0.ip, h0.ip);
+        let frame = sav_net::builder::build_arp(&req);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, s1.dpid(), &packet_in(new_port, frame));
+        assert_eq!(app.stats.migrations, 1);
+        assert_eq!(app.location(h0.mac), Some((s1.dpid(), new_port)));
+        // Forwarding rules for h0 reinstalled on both switches.
+        let dpids: Vec<u64> = ctx
+            .take()
+            .into_iter()
+            .filter(|(_, m)| matches!(m, Message::FlowMod(fm) if fm.priority == PRIO_UNICAST))
+            .map(|(d, _)| d)
+            .collect();
+        assert_eq!(dpids.len(), 2);
+        assert!(dpids.contains(&topo.switches()[0].id.dpid()));
+        assert!(dpids.contains(&s1.dpid()));
+    }
+
+    #[test]
+    fn trunk_ports_do_not_learn() {
+        let (topo, _, mut app) = mk();
+        let h0 = &topo.hosts()[0];
+        let s1 = topo.switches()[1].id;
+        let trunk = topo.trunk_ports(s1)[0];
+        let req = sav_net::arp::ArpRepr::request(h0.mac, h0.ip, h0.ip);
+        let frame = sav_net::builder::build_arp(&req);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, s1.dpid(), &packet_in(trunk, frame));
+        assert_eq!(app.stats.migrations, 0);
+        assert_eq!(app.location(h0.mac), Some((h0.switch.dpid(), h0.port)));
+    }
+}

@@ -1,0 +1,440 @@
+//! The controller core: connection state machines and event dispatch.
+//!
+//! Sans-IO like everything else: [`Controller::on_connect`] returns the
+//! greeting bytes for a new control channel, [`Controller::on_bytes`] feeds
+//! received bytes and returns bytes to write back, per connection. The
+//! handshake (HELLO → FEATURES_REQUEST → FEATURES_REPLY) runs here; once a
+//! connection is `Ready`, its datapath id is known and events flow to apps.
+
+use crate::app::{App, Ctx, Disposition};
+use sav_openflow::error::CodecError;
+use sav_openflow::framing::Deframer;
+use sav_openflow::messages::Message;
+use sav_sim::SimTime;
+use std::collections::HashMap;
+
+/// Connection identifier (assigned by the embedding I/O layer).
+pub type ConnId = usize;
+
+enum ConnState {
+    /// HELLO sent, waiting for the peer's HELLO.
+    AwaitHello,
+    /// FEATURES_REQUEST sent, waiting for the reply.
+    AwaitFeatures,
+    /// Handshake complete.
+    Ready { dpid: u64 },
+}
+
+struct Conn {
+    state: ConnState,
+    deframer: Deframer,
+}
+
+/// Messages to write, per connection.
+#[derive(Debug, Default)]
+pub struct ControllerOutput {
+    /// `(connection, bytes)` pairs, in write order.
+    pub to_switch: Vec<(ConnId, Vec<u8>)>,
+}
+
+/// Control-plane load counters (evaluation input).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ControllerStats {
+    /// PACKET_INs dispatched to apps.
+    pub packet_ins: u64,
+    /// FLOW_MODs sent.
+    pub flow_mods: u64,
+    /// PACKET_OUTs sent.
+    pub packet_outs: u64,
+    /// Total messages received from switches.
+    pub rx_messages: u64,
+    /// Total messages sent to switches.
+    pub tx_messages: u64,
+    /// FLOW_REMOVED notifications received.
+    pub flow_removed: u64,
+    /// OpenFlow errors received from switches.
+    pub errors: u64,
+}
+
+/// The controller: connections + the app chain.
+pub struct Controller {
+    conns: HashMap<ConnId, Conn>,
+    dpid_to_conn: HashMap<u64, ConnId>,
+    apps: Vec<Box<dyn App>>,
+    next_xid: u32,
+    /// Counters for the evaluation harness.
+    pub stats: ControllerStats,
+}
+
+impl Controller {
+    /// A controller running the given app chain.
+    pub fn new(apps: Vec<Box<dyn App>>) -> Controller {
+        Controller {
+            conns: HashMap::new(),
+            dpid_to_conn: HashMap::new(),
+            apps,
+            next_xid: 1,
+            stats: ControllerStats::default(),
+        }
+    }
+
+    fn xid(&mut self) -> u32 {
+        let x = self.next_xid;
+        self.next_xid = self.next_xid.wrapping_add(1).max(1);
+        x
+    }
+
+    /// Datapath ids of all switches that completed the handshake.
+    pub fn ready_dpids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.dpid_to_conn.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// A new control channel appeared; returns the greeting bytes.
+    pub fn on_connect(&mut self, conn: ConnId) -> Vec<u8> {
+        self.conns.insert(
+            conn,
+            Conn {
+                state: ConnState::AwaitHello,
+                deframer: Deframer::new(),
+            },
+        );
+        let x = self.xid();
+        self.stats.tx_messages += 1;
+        Message::Hello.encode(x)
+    }
+
+    /// A control channel died.
+    pub fn on_disconnect(&mut self, now: SimTime, conn: ConnId) -> ControllerOutput {
+        let mut out = ControllerOutput::default();
+        if let Some(c) = self.conns.remove(&conn) {
+            if let ConnState::Ready { dpid } = c.state {
+                self.dpid_to_conn.remove(&dpid);
+                let mut ctx = Ctx::new(now);
+                for app in &mut self.apps {
+                    app.on_switch_down(&mut ctx, dpid);
+                }
+                self.flush(ctx, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Feed bytes received on `conn`. Codec failures poison the connection.
+    pub fn on_bytes(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        bytes: &[u8],
+    ) -> Result<ControllerOutput, CodecError> {
+        let mut out = ControllerOutput::default();
+        // Decode everything first to keep borrows simple.
+        let msgs = {
+            let Some(c) = self.conns.get_mut(&conn) else {
+                return Ok(out);
+            };
+            c.deframer.push(bytes);
+            let mut msgs = Vec::new();
+            while let Some(m) = c.deframer.next_message()? {
+                msgs.push(m);
+            }
+            msgs
+        };
+        for (msg, _xid) in msgs {
+            self.stats.rx_messages += 1;
+            self.handle_message(now, conn, msg, &mut out);
+        }
+        Ok(out)
+    }
+
+    fn handle_message(
+        &mut self,
+        now: SimTime,
+        conn: ConnId,
+        msg: Message,
+        out: &mut ControllerOutput,
+    ) {
+        let state = match self.conns.get_mut(&conn) {
+            Some(c) => &mut c.state,
+            None => return,
+        };
+        match (&*state, &msg) {
+            (ConnState::AwaitHello, Message::Hello) => {
+                *state = ConnState::AwaitFeatures;
+                let x = self.xid();
+                self.stats.tx_messages += 1;
+                out.to_switch.push((conn, Message::FeaturesRequest.encode(x)));
+            }
+            (ConnState::AwaitFeatures, Message::FeaturesReply(f)) => {
+                let dpid = f.datapath_id;
+                *state = ConnState::Ready { dpid };
+                self.dpid_to_conn.insert(dpid, conn);
+                let mut ctx = Ctx::new(now);
+                for app in &mut self.apps {
+                    app.on_switch_up(&mut ctx, dpid);
+                }
+                self.flush(ctx, out);
+            }
+            (ConnState::Ready { dpid }, _) => {
+                let dpid = *dpid;
+                let mut ctx = Ctx::new(now);
+                match &msg {
+                    Message::EchoRequest(d) => {
+                        let x = self.xid();
+                        self.stats.tx_messages += 1;
+                        out.to_switch
+                            .push((conn, Message::EchoReply(d.clone()).encode(x)));
+                    }
+                    Message::PacketIn(pi) => {
+                        self.stats.packet_ins += 1;
+                        for app in &mut self.apps {
+                            if app.on_packet_in(&mut ctx, dpid, pi) == Disposition::Consumed {
+                                break;
+                            }
+                        }
+                    }
+                    Message::FlowRemoved(fr) => {
+                        self.stats.flow_removed += 1;
+                        for app in &mut self.apps {
+                            app.on_flow_removed(&mut ctx, dpid, fr);
+                        }
+                    }
+                    Message::PortStatus(ps) => {
+                        for app in &mut self.apps {
+                            app.on_port_status(&mut ctx, dpid, ps);
+                        }
+                    }
+                    Message::Error(_) => {
+                        self.stats.errors += 1;
+                    }
+                    Message::MultipartReply(body) => {
+                        for app in &mut self.apps {
+                            app.on_stats_reply(&mut ctx, dpid, body);
+                        }
+                    }
+                    // Barrier replies and echo replies need no dispatch.
+                    _ => {}
+                }
+                self.flush(ctx, out);
+            }
+            // Anything unexpected during handshake: ignore (a resilient
+            // controller does not crash on stray messages).
+            _ => {}
+        }
+    }
+
+    /// Let an external driver (the testbed command layer or tests) inject
+    /// messages to switches through the app-visible path, e.g. to seed rules.
+    pub fn send_all(&mut self, msgs: Vec<(u64, Message)>, out: &mut ControllerOutput) {
+        for (dpid, msg) in msgs {
+            match msg {
+                Message::FlowMod(_) => self.stats.flow_mods += 1,
+                Message::PacketOut(_) => self.stats.packet_outs += 1,
+                _ => {}
+            }
+            self.stats.tx_messages += 1;
+            if let Some(&conn) = self.dpid_to_conn.get(&dpid) {
+                let x = self.xid();
+                out.to_switch.push((conn, msg.encode(x)));
+            }
+        }
+    }
+
+    fn flush(&mut self, ctx: Ctx, out: &mut ControllerOutput) {
+        let msgs = ctx.take();
+        self.send_all(msgs, out);
+    }
+
+    /// Run a closure against the first app of concrete type `A` (state
+    /// peeking for tests and the harness). Relies on `App: Any` and trait
+    /// upcasting.
+    pub fn with_app<A: App, R>(&mut self, f: impl FnOnce(&mut A) -> R) -> Option<R> {
+        for app in &mut self.apps {
+            let any: &mut dyn std::any::Any = app.as_mut();
+            if let Some(a) = any.downcast_mut::<A>() {
+                return Some(f(a));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
+    use sav_net::addr::MacAddr;
+    use sav_openflow::oxm::OxmMatch;
+    use sav_openflow::ports::PortDesc;
+
+    /// App that installs one flow on switch-up and counts packet-ins.
+    struct Probe {
+        ups: Vec<u64>,
+        packet_ins: usize,
+    }
+
+    impl App for Probe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+            self.ups.push(dpid);
+            ctx.install(dpid, sav_openflow::messages::FlowMod::add(OxmMatch::new()));
+        }
+        fn on_packet_in(
+            &mut self,
+            _ctx: &mut Ctx,
+            _dpid: u64,
+            _pi: &sav_openflow::messages::PacketIn,
+        ) -> Disposition {
+            self.packet_ins += 1;
+            Disposition::Continue
+        }
+    }
+
+    fn mk_switch(dpid: u64) -> OpenFlowSwitch {
+        OpenFlowSwitch::new(
+            SwitchConfig::new(dpid),
+            vec![
+                PortDesc::new(1, MacAddr::from_index(1)),
+                PortDesc::new(2, MacAddr::from_index(2)),
+            ],
+        )
+    }
+
+    /// Run the handshake between a real switch and the controller by
+    /// ferrying bytes until quiescent. Returns bytes counts for sanity.
+    fn converge(ctrl: &mut Controller, sw: &mut OpenFlowSwitch, conn: ConnId) {
+        let now = SimTime::ZERO;
+        let mut to_switch = vec![ctrl.on_connect(conn)];
+        let mut to_ctrl = vec![sw.hello()];
+        while !to_switch.is_empty() || !to_ctrl.is_empty() {
+            let mut next_to_ctrl = Vec::new();
+            for b in to_switch.drain(..) {
+                let out = sw.handle_controller_bytes(now, &b).unwrap();
+                next_to_ctrl.extend(out.to_controller);
+            }
+            let mut next_to_switch = Vec::new();
+            for b in to_ctrl.drain(..) {
+                let out = ctrl.on_bytes(now, conn, &b).unwrap();
+                next_to_switch.extend(out.to_switch.into_iter().map(|(_, b)| b));
+            }
+            to_switch = next_to_switch;
+            to_ctrl = next_to_ctrl;
+        }
+    }
+
+    #[test]
+    fn handshake_reaches_ready_and_fires_switch_up() {
+        let mut ctrl = Controller::new(vec![Box::new(Probe {
+            ups: vec![],
+            packet_ins: 0,
+        })]);
+        let mut sw = mk_switch(0x42);
+        converge(&mut ctrl, &mut sw, 0);
+        assert_eq!(ctrl.ready_dpids(), vec![0x42]);
+        ctrl.with_app::<Probe, _>(|p| assert_eq!(p.ups, vec![0x42]));
+        // The probe's switch-up flow-mod reached the switch.
+        assert_eq!(sw.total_flows(), 1);
+        assert_eq!(ctrl.stats.flow_mods, 1);
+    }
+
+    #[test]
+    fn packet_in_dispatch() {
+        let mut ctrl = Controller::new(vec![Box::new(Probe {
+            ups: vec![],
+            packet_ins: 0,
+        })]);
+        let mut sw = mk_switch(7);
+        converge(&mut ctrl, &mut sw, 3);
+        // Fabricate a packet-in from the switch side.
+        let pi = sav_openflow::messages::PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: 4,
+            reason: sav_openflow::messages::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: u64::MAX,
+            match_: OxmMatch::new().with(sav_openflow::oxm::OxmField::InPort(1)),
+            data: vec![1, 2, 3, 4],
+        };
+        let bytes = Message::PacketIn(pi).encode(900);
+        ctrl.on_bytes(SimTime::ZERO, 3, &bytes).unwrap();
+        ctrl.with_app::<Probe, _>(|p| assert_eq!(p.packet_ins, 1));
+        assert_eq!(ctrl.stats.packet_ins, 1);
+    }
+
+    #[test]
+    fn echo_answered_without_apps() {
+        let mut ctrl = Controller::new(vec![]);
+        let mut sw = mk_switch(9);
+        converge(&mut ctrl, &mut sw, 0);
+        let bytes =
+            Message::EchoRequest(sav_openflow::messages::EchoData(b"hb".to_vec())).encode(5);
+        let out = ctrl.on_bytes(SimTime::ZERO, 0, &bytes).unwrap();
+        assert_eq!(out.to_switch.len(), 1);
+        let (msg, _) = Message::decode(&out.to_switch[0].1).unwrap();
+        assert!(matches!(msg, Message::EchoReply(_)));
+    }
+
+    #[test]
+    fn disconnect_fires_switch_down_and_forgets_dpid() {
+        struct DownProbe {
+            downs: Vec<u64>,
+        }
+        impl App for DownProbe {
+            fn name(&self) -> &'static str {
+                "down"
+            }
+            fn on_switch_down(&mut self, _ctx: &mut Ctx, dpid: u64) {
+                self.downs.push(dpid);
+            }
+        }
+        let mut ctrl = Controller::new(vec![Box::new(DownProbe { downs: vec![] })]);
+        let mut sw = mk_switch(5);
+        converge(&mut ctrl, &mut sw, 0);
+        assert_eq!(ctrl.ready_dpids(), vec![5]);
+        ctrl.on_disconnect(SimTime::ZERO, 0);
+        assert!(ctrl.ready_dpids().is_empty());
+        ctrl.with_app::<DownProbe, _>(|p| assert_eq!(p.downs, vec![5]));
+    }
+
+    #[test]
+    fn consumed_packet_in_stops_chain() {
+        struct Eater;
+        impl App for Eater {
+            fn name(&self) -> &'static str {
+                "eater"
+            }
+            fn on_packet_in(
+                &mut self,
+                _ctx: &mut Ctx,
+                _dpid: u64,
+                _pi: &sav_openflow::messages::PacketIn,
+            ) -> Disposition {
+                Disposition::Consumed
+            }
+        }
+        let mut ctrl = Controller::new(vec![
+            Box::new(Eater),
+            Box::new(Probe {
+                ups: vec![],
+                packet_ins: 0,
+            }),
+        ]);
+        let mut sw = mk_switch(7);
+        converge(&mut ctrl, &mut sw, 0);
+        let pi = sav_openflow::messages::PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: 0,
+            reason: sav_openflow::messages::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: u64::MAX,
+            match_: OxmMatch::new(),
+            data: vec![],
+        };
+        ctrl.on_bytes(SimTime::ZERO, 0, &Message::PacketIn(pi).encode(1))
+            .unwrap();
+        ctrl.with_app::<Probe, _>(|p| assert_eq!(p.packet_ins, 0));
+    }
+}

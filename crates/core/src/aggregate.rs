@@ -1,0 +1,115 @@
+//! Exact prefix compression: the optimization pass for the aggregated
+//! mode's precision/state tradeoff.
+//!
+//! The default aggregated mode installs one *subnet* rule per port — small
+//! but over-permissive (unassigned addresses in the subnet pass). This
+//! module computes the **minimal exact CIDR cover** of a set of addresses:
+//! the smallest list of prefixes whose union is exactly that set. Rules
+//! compiled from the exact cover admit precisely the bound addresses while
+//! still merging dense ranges (a port fronting `10.0.1.64/26` worth of
+//! hosts costs 1 rule instead of 64).
+//!
+//! Algorithm: sort, fold complete sibling pairs bottom-up — the classic
+//! CIDR aggregation, O(n log n).
+
+use sav_net::addr::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+/// Compute the minimal exact CIDR cover of `addrs` (duplicates welcome).
+///
+/// Properties (see the property tests):
+/// * the union of the result equals the input set exactly;
+/// * no two output prefixes are siblings (no further merge possible);
+/// * output prefixes are disjoint and sorted.
+pub fn exact_cover(addrs: &[Ipv4Addr]) -> Vec<Ipv4Cidr> {
+    let mut prefixes: Vec<Ipv4Cidr> = addrs.iter().map(|&a| Ipv4Cidr::host(a)).collect();
+    prefixes.sort_unstable();
+    prefixes.dedup();
+    // Repeatedly merge adjacent complete sibling pairs. One left-to-right
+    // pass per level is enough because merging produces a parent that can
+    // only merge with a *later* sibling after re-examination; loop until a
+    // fixed point (at most 32 passes).
+    loop {
+        let mut merged = Vec::with_capacity(prefixes.len());
+        let mut changed = false;
+        let mut i = 0;
+        while i < prefixes.len() {
+            if i + 1 < prefixes.len() && prefixes[i].is_sibling(&prefixes[i + 1]) {
+                merged.push(prefixes[i].parent().expect("sibling implies parent"));
+                changed = true;
+                i += 2;
+            } else {
+                merged.push(prefixes[i]);
+                i += 1;
+            }
+        }
+        prefixes = merged;
+        if !changed {
+            return prefixes;
+        }
+    }
+}
+
+/// Number of addresses covered by a prefix list (assumes disjoint).
+pub fn covered(prefixes: &[Ipv4Cidr]) -> u64 {
+    prefixes.iter().map(|p| p.size()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ips(specs: &[&str]) -> Vec<Ipv4Addr> {
+        specs.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(exact_cover(&[]).is_empty());
+        let c = exact_cover(&ips(&["10.0.0.5"]));
+        assert_eq!(c, vec!["10.0.0.5/32".parse().unwrap()]);
+    }
+
+    #[test]
+    fn complete_block_merges_fully() {
+        let addrs: Vec<Ipv4Addr> = (0..64u32)
+            .map(|i| Ipv4Addr::from(0x0a000140 + i)) // 10.0.1.64/26
+            .collect();
+        let c = exact_cover(&addrs);
+        assert_eq!(c, vec!["10.0.1.64/26".parse().unwrap()]);
+    }
+
+    #[test]
+    fn sparse_addresses_stay_host_routes() {
+        let c = exact_cover(&ips(&["10.0.0.1", "10.0.0.3", "10.0.0.5"]));
+        assert_eq!(c.len(), 3);
+        assert!(c.iter().all(|p| p.prefix_len() == 32));
+    }
+
+    #[test]
+    fn partial_merge() {
+        // .0 and .1 merge to /31; .3 stays alone.
+        let c = exact_cover(&ips(&["10.0.0.0", "10.0.0.1", "10.0.0.3"]));
+        assert_eq!(
+            c,
+            vec![
+                "10.0.0.0/31".parse().unwrap(),
+                "10.0.0.3/32".parse().unwrap()
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicates_are_harmless() {
+        let c = exact_cover(&ips(&["10.0.0.1", "10.0.0.1", "10.0.0.0"]));
+        assert_eq!(c, vec!["10.0.0.0/31".parse().unwrap()]);
+        assert_eq!(covered(&c), 2);
+    }
+
+    #[test]
+    fn multi_level_merge() {
+        // Two /31 blocks that together form a /30.
+        let c = exact_cover(&ips(&["10.0.0.4", "10.0.0.5", "10.0.0.6", "10.0.0.7"]));
+        assert_eq!(c, vec!["10.0.0.4/30".parse().unwrap()]);
+    }
+}

@@ -1,0 +1,969 @@
+//! [`SavApp`] — the SAV controller application.
+//!
+//! Ties the binding table and the rule compiler to the controller event
+//! stream: seeds static bindings at switch-up, snoops DHCP through the
+//! copy rules, claims FCFS bindings from punted first packets, validates
+//! reactively when configured, tracks migrations via (gratuitous) ARP, and
+//! retires state when rules time out or ports die.
+
+use crate::binding::{Binding, BindingChange, BindingSource, BindingTable};
+use crate::rules;
+use crate::SAV_COOKIE;
+use sav_controller::app::{App, Ctx, Disposition};
+use sav_net::addr::{Ipv4Cidr, MacAddr};
+use sav_net::dhcpv4::{DhcpMessageType, DhcpRepr, DHCP_SERVER_PORT};
+use sav_net::packet::{L4Info, ParsedPacket};
+use sav_openflow::consts::port as ofport;
+use sav_openflow::messages::{FlowRemoved, FlowRemovedReason, PacketIn, PacketOut, PortStatus};
+use sav_openflow::prelude::Action;
+use sav_sim::{SimDuration, SimTime};
+use sav_topo::{SwitchId, SwitchRole, Topology};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Proactive rules vs. per-packet controller validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SavMode {
+    /// Compile bindings to flow rules; the data plane filters at line rate.
+    Proactive,
+    /// Punt unmatched sources to the controller and validate each packet —
+    /// the strawman the proactive design is evaluated against.
+    Reactive,
+}
+
+/// Configuration of the SAV application.
+#[derive(Debug, Clone)]
+pub struct SavConfig {
+    /// Proactive or reactive enforcement.
+    pub mode: SavMode,
+    /// Seed bindings from the topology's static address plan at switch-up.
+    pub static_plan: bool,
+    /// Learn bindings from snooped DHCP.
+    pub dhcp_snooping: bool,
+    /// First-come-first-served claiming of unbound sources.
+    pub fcfs: bool,
+    /// Include `eth_src` in allow rules (binds IP to MAC, not just port).
+    pub match_mac: bool,
+    /// Compile per-port *prefix* allows instead of per-host rules.
+    pub aggregate: bool,
+    /// With `aggregate`: use the minimal *exact* CIDR cover of the port's
+    /// bound addresses ([`crate::aggregate::exact_cover`]) instead of the
+    /// whole subnet — no unassigned address passes, dense blocks still
+    /// merge.
+    pub aggregate_exact: bool,
+    /// Enforce outbound SAV at edge switches.
+    pub outbound: bool,
+    /// Enforce inbound SAV at border switches.
+    pub inbound: bool,
+    /// Idle timeout (seconds) of FCFS and reactive allow rules.
+    pub dynamic_idle_timeout: u16,
+    /// Trusted DHCP server attachment points `(dpid, port)`.
+    pub trusted_dhcp_ports: Vec<(u64, u32)>,
+    /// Restrict enforcement to these ASes (`None` = everywhere). Models
+    /// partial deployment: e.g. only the attacker's network deploys SAV in
+    /// the reflection case study.
+    pub enforced_ases: Option<Vec<u32>>,
+}
+
+impl Default for SavConfig {
+    fn default() -> Self {
+        SavConfig {
+            mode: SavMode::Proactive,
+            static_plan: true,
+            dhcp_snooping: true,
+            fcfs: false,
+            match_mac: true,
+            aggregate: false,
+            aggregate_exact: false,
+            outbound: true,
+            inbound: true,
+            dynamic_idle_timeout: 60,
+            trusted_dhcp_ports: vec![],
+            enforced_ases: None,
+        }
+    }
+}
+
+/// Counters for the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SavStats {
+    /// Bindings added (any source).
+    pub bindings_added: u64,
+    /// Bindings that moved to a new attachment.
+    pub bindings_moved: u64,
+    /// Bindings dropped on rule expiry.
+    pub bindings_expired: u64,
+    /// Upserts refused because the address is held by another MAC.
+    pub conflicts: u64,
+    /// DHCP ACKs snooped into bindings.
+    pub dhcp_acks: u64,
+    /// DHCP releases processed.
+    pub dhcp_releases: u64,
+    /// Packets punted by the validation table.
+    pub punts: u64,
+    /// Punted packets validated and re-injected.
+    pub punts_allowed: u64,
+    /// Punted packets rejected as spoofed.
+    pub punts_denied: u64,
+    /// FCFS bindings claimed.
+    pub fcfs_claims: u64,
+    /// Migrations detected via ARP.
+    pub migrations: u64,
+    /// ARP messages whose sender contradicted an existing binding.
+    pub arp_spoofs: u64,
+    /// SAV flow-mods sent (rule-churn metric).
+    pub rules_installed: u64,
+    /// SAV rule deletions sent.
+    pub rules_deleted: u64,
+}
+
+/// The SAV application. Place it *before* the forwarding app in the chain
+/// so it can consume validation punts.
+pub struct SavApp {
+    topo: Arc<Topology>,
+    config: SavConfig,
+    bindings: BindingTable,
+    /// Last seen client attachment from snooped client DHCP messages.
+    dhcp_pending: HashMap<MacAddr, (u64, u32)>,
+    /// Trunk ports per dpid (punts from these are transit, never claims).
+    trunks: HashMap<u64, HashSet<u32>>,
+    /// Counters.
+    pub stats: SavStats,
+}
+
+impl SavApp {
+    /// Build the app for a topology.
+    pub fn new(topo: Arc<Topology>, config: SavConfig) -> SavApp {
+        let trunks = topo
+            .switches()
+            .iter()
+            .map(|s| (s.id.dpid(), topo.trunk_ports(s.id).into_iter().collect()))
+            .collect();
+        SavApp {
+            topo,
+            config,
+            bindings: BindingTable::new(),
+            dhcp_pending: HashMap::new(),
+            trunks,
+            stats: SavStats::default(),
+        }
+    }
+
+    /// Read access to the binding table.
+    pub fn bindings(&self) -> &BindingTable {
+        &self.bindings
+    }
+
+    /// The app's configuration.
+    pub fn config(&self) -> &SavConfig {
+        &self.config
+    }
+
+    fn is_trunk(&self, dpid: u64, port: u32) -> bool {
+        self.trunks
+            .get(&dpid)
+            .map(|t| t.contains(&port))
+            .unwrap_or(false)
+    }
+
+    fn punt_mode(&self) -> bool {
+        self.config.mode == SavMode::Reactive || self.config.fcfs
+    }
+
+    fn subnet_of(&self, ip: Ipv4Addr) -> Option<Ipv4Cidr> {
+        self.topo
+            .subnets()
+            .into_iter()
+            .map(|(c, _)| c)
+            .find(|c| c.contains(ip))
+    }
+
+    /// RFC 6620-style prefix guard: FCFS may only claim addresses within a
+    /// prefix that is actually assigned to the claiming switch's segment.
+    /// Without this, the first spoofed packet would legitimize any foreign
+    /// source.
+    fn fcfs_prefix_ok(&self, dpid: u64, ip: Ipv4Addr) -> bool {
+        let Some(sid) = SwitchId::from_dpid(dpid) else {
+            return false;
+        };
+        self.topo.hosts_on(sid).any(|h| h.subnet.contains(ip))
+    }
+
+    fn install_allow(&mut self, ctx: &mut Ctx, b: &Binding, now: SimTime) {
+        if self.config.mode == SavMode::Reactive {
+            return; // reactive mode keeps the table, not the rules
+        }
+        if self.config.aggregate {
+            if self.config.aggregate_exact {
+                // Incremental exactness: a dynamically learned binding gets
+                // its own host-prefix rule; the dense static blocks were
+                // compressed at switch-up.
+                ctx.install(
+                    b.dpid,
+                    rules::prefix_allow(b.port, Ipv4Cidr::host(b.ip)),
+                );
+                self.stats.rules_installed += 1;
+            } else if let Some(prefix) = self.subnet_of(b.ip) {
+                ctx.install(b.dpid, rules::prefix_allow(b.port, prefix));
+                self.stats.rules_installed += 1;
+            }
+            return;
+        }
+        let (idle, hard) = match b.source {
+            BindingSource::Static => (0, 0),
+            BindingSource::Dhcp => {
+                let remaining = b
+                    .expires
+                    .map(|t| t.saturating_since(now).as_secs_f64().ceil() as u64)
+                    .unwrap_or(0);
+                (0, remaining.min(u64::from(u16::MAX)) as u16)
+            }
+            BindingSource::Fcfs => (self.config.dynamic_idle_timeout, 0),
+        };
+        ctx.install(b.dpid, rules::binding_allow(b, self.config.match_mac, idle, hard));
+        self.stats.rules_installed += 1;
+    }
+
+    fn delete_allow(&mut self, ctx: &mut Ctx, b: &Binding) {
+        if self.config.mode == SavMode::Reactive || self.config.aggregate {
+            return;
+        }
+        ctx.install(b.dpid, rules::binding_delete(b, self.config.match_mac));
+        self.stats.rules_deleted += 1;
+    }
+
+    fn apply_upsert(&mut self, ctx: &mut Ctx, b: Binding, now: SimTime) -> BindingChange {
+        let change = self.bindings.upsert(b, now);
+        match &change {
+            BindingChange::Added => {
+                self.stats.bindings_added += 1;
+                self.install_allow(ctx, &b, now);
+            }
+            BindingChange::Refreshed => {
+                // Reinstall to refresh timeouts (identical match replaces).
+                self.install_allow(ctx, &b, now);
+            }
+            BindingChange::Moved(old) => {
+                self.stats.bindings_moved += 1;
+                let old = *old;
+                self.delete_allow(ctx, &old);
+                self.install_allow(ctx, &b, now);
+            }
+            BindingChange::Conflict(_) => {
+                self.stats.conflicts += 1;
+            }
+        }
+        change
+    }
+
+    fn snoop_dhcp(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, parsed: &ParsedPacket, pi: &PacketIn) {
+        let Some(payload) = parsed.l4_payload(&pi.data) else {
+            return;
+        };
+        let Ok(msg) = DhcpRepr::parse(payload) else {
+            return;
+        };
+        let from_client = matches!(
+            parsed.l4,
+            Some(L4Info::Udp { dst, .. }) if dst == DHCP_SERVER_PORT
+        );
+        if from_client {
+            // Copies of the broadcast arrive from every edge switch the
+            // flood crosses; only the true attachment (non-trunk port)
+            // defines the client's location.
+            if !self.is_trunk(dpid, in_port) {
+                self.dhcp_pending.insert(msg.client_mac, (dpid, in_port));
+                if msg.message_type == DhcpMessageType::Release {
+                    self.stats.dhcp_releases += 1;
+                    if let Some(b) = self
+                        .bindings
+                        .get(msg.client_ip)
+                        .copied()
+                        .filter(|b| b.mac == msg.client_mac)
+                    {
+                        self.bindings.remove(b.ip);
+                        self.delete_allow(ctx, &b);
+                    }
+                }
+            }
+            return;
+        }
+        // Server → client. The copy rule only exists on the trusted port,
+        // but be defensive anyway.
+        if !self
+            .config
+            .trusted_dhcp_ports
+            .contains(&(dpid, in_port))
+        {
+            return;
+        }
+        if msg.message_type == DhcpMessageType::Ack {
+            let Some(&(client_dpid, client_port)) = self.dhcp_pending.get(&msg.client_mac) else {
+                return;
+            };
+            self.stats.dhcp_acks += 1;
+            let lease = msg.lease_secs.unwrap_or(3600);
+            let b = Binding {
+                ip: msg.your_ip,
+                mac: msg.client_mac,
+                dpid: client_dpid,
+                port: client_port,
+                source: BindingSource::Dhcp,
+                expires: Some(ctx.now() + SimDuration::from_secs(u64::from(lease))),
+            };
+            let now = ctx.now();
+            self.apply_upsert(ctx, b, now);
+        }
+    }
+
+    fn handle_punt(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, pi: &PacketIn, parsed: &ParsedPacket) {
+        self.stats.punts += 1;
+        let Some(ip) = parsed.ipv4_src() else {
+            self.stats.punts_denied += 1;
+            return;
+        };
+        let mac = parsed.ethernet.src;
+        let now = ctx.now();
+        match self.bindings.get(ip).copied() {
+            Some(b)
+                if b.dpid == dpid
+                    && b.port == in_port
+                    && (!self.config.match_mac || b.mac == mac) =>
+            {
+                // Legitimate source that has no rule yet (reactive mode, or
+                // a proactive race). Install a dynamic allow and re-inject.
+                self.stats.punts_allowed += 1;
+                if self.config.mode == SavMode::Reactive {
+                    ctx.install(
+                        dpid,
+                        rules::binding_allow(
+                            &b,
+                            self.config.match_mac,
+                            self.config.dynamic_idle_timeout,
+                            0,
+                        ),
+                    );
+                    self.stats.rules_installed += 1;
+                }
+                self.reinject(ctx, dpid, in_port, pi);
+            }
+            Some(_) => {
+                self.stats.punts_denied += 1;
+            }
+            None if self.config.fcfs
+                && !self.is_trunk(dpid, in_port)
+                && self.fcfs_prefix_ok(dpid, ip) =>
+            {
+                // First come, first served: the source claims the address.
+                self.stats.fcfs_claims += 1;
+                let b = Binding {
+                    ip,
+                    mac,
+                    dpid,
+                    port: in_port,
+                    source: BindingSource::Fcfs,
+                    expires: None,
+                };
+                if matches!(
+                    self.apply_upsert(ctx, b, now),
+                    BindingChange::Added | BindingChange::Moved(_) | BindingChange::Refreshed
+                ) {
+                    self.stats.punts_allowed += 1;
+                    self.reinject(ctx, dpid, in_port, pi);
+                } else {
+                    self.stats.punts_denied += 1;
+                }
+            }
+            None => {
+                self.stats.punts_denied += 1;
+            }
+        }
+    }
+
+    fn reinject(&self, ctx: &mut Ctx, dpid: u64, in_port: u32, pi: &PacketIn) {
+        // Re-run the pipeline; the freshly installed allow (or trunk rule)
+        // now matches. Flow-mod and packet-out share the ordered control
+        // channel, so no barrier is needed in this simulator.
+        let msg = PacketOut {
+            buffer_id: pi.buffer_id,
+            in_port,
+            actions: vec![Action::output(ofport::TABLE)],
+            data: if pi.buffer_id == sav_openflow::consts::NO_BUFFER {
+                pi.data.clone()
+            } else {
+                vec![]
+            },
+        };
+        ctx.send(dpid, sav_openflow::messages::Message::PacketOut(msg));
+    }
+
+    fn handle_arp(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, parsed: &ParsedPacket) {
+        let Some(arp) = parsed.arp else {
+            return;
+        };
+        if arp.sender_ip == Ipv4Addr::UNSPECIFIED || self.is_trunk(dpid, in_port) {
+            return;
+        }
+        let now = ctx.now();
+        match self.bindings.get(arp.sender_ip).copied() {
+            Some(b) if b.mac == arp.sender_mac
+                && (b.dpid, b.port) != (dpid, in_port) => {
+                    // The host moved: rebind and update rules.
+                    self.stats.migrations += 1;
+                    let mut nb = b;
+                    nb.dpid = dpid;
+                    nb.port = in_port;
+                    self.apply_upsert(ctx, nb, now);
+                }
+            Some(_) => {
+                self.stats.arp_spoofs += 1;
+            }
+            None if self.config.fcfs && self.fcfs_prefix_ok(dpid, arp.sender_ip) => {
+                self.stats.fcfs_claims += 1;
+                let b = Binding {
+                    ip: arp.sender_ip,
+                    mac: arp.sender_mac,
+                    dpid,
+                    port: in_port,
+                    source: BindingSource::Fcfs,
+                    expires: None,
+                };
+                self.apply_upsert(ctx, b, now);
+            }
+            None => {}
+        }
+    }
+}
+
+impl App for SavApp {
+    fn name(&self) -> &'static str {
+        "sdn-sav"
+    }
+
+    fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+        let Some(sid) = SwitchId::from_dpid(dpid) else {
+            return;
+        };
+        let node = self.topo.switch(sid).clone();
+        if let Some(ases) = &self.config.enforced_ases {
+            if !ases.contains(&node.as_id) {
+                return; // this network has not deployed SAV
+            }
+        }
+        // Inbound SAV at borders.
+        if self.config.inbound && node.role == SwitchRole::Border {
+            for port in self.topo.border_ports(sid) {
+                for prefix in self.topo.subnets_of_as(node.as_id) {
+                    ctx.install(dpid, rules::isav_deny(port, prefix));
+                    self.stats.rules_installed += 1;
+                }
+            }
+        }
+        // Outbound SAV at edges.
+        if !(self.config.outbound && node.role == SwitchRole::Edge) {
+            return;
+        }
+        for port in self.topo.trunk_ports(sid) {
+            ctx.install(dpid, rules::trunk_allow(port));
+            self.stats.rules_installed += 1;
+        }
+        ctx.install(dpid, rules::edge_default_deny(self.punt_mode()));
+        self.stats.rules_installed += 1;
+        if self.config.dhcp_snooping {
+            ctx.install(dpid, rules::dhcp_client_permit());
+            self.stats.rules_installed += 1;
+            for &(sdpid, sport) in &self.config.trusted_dhcp_ports {
+                if sdpid == dpid {
+                    ctx.install(dpid, rules::dhcp_server_trust(sport));
+                    self.stats.rules_installed += 1;
+                }
+            }
+        }
+        if self.config.static_plan {
+            let now = ctx.now();
+            let seeds: Vec<Binding> = self
+                .topo
+                .hosts_on(sid)
+                .map(|h| Binding {
+                    ip: h.ip,
+                    mac: h.mac,
+                    dpid,
+                    port: h.port,
+                    source: BindingSource::Static,
+                    expires: None,
+                })
+                .collect();
+            if self.config.aggregate && self.config.aggregate_exact {
+                // Group addresses per port and compile the minimal exact
+                // cover of each group.
+                let mut by_port: std::collections::BTreeMap<u32, Vec<Ipv4Addr>> =
+                    std::collections::BTreeMap::new();
+                for b in &seeds {
+                    by_port.entry(b.port).or_default().push(b.ip);
+                    self.bindings.upsert(*b, now);
+                    self.stats.bindings_added += 1;
+                }
+                for (port, ips) in by_port {
+                    for prefix in crate::aggregate::exact_cover(&ips) {
+                        ctx.install(dpid, rules::prefix_allow(port, prefix));
+                        self.stats.rules_installed += 1;
+                    }
+                }
+            } else {
+                let mut seen_ports = HashSet::new();
+                for b in seeds {
+                    if self.config.aggregate {
+                        // One prefix rule per port, not per host.
+                        let fresh = seen_ports.insert(b.port);
+                        self.bindings.upsert(b, now);
+                        self.stats.bindings_added += 1;
+                        if fresh {
+                            self.install_allow(ctx, &b, now);
+                        }
+                    } else {
+                        self.apply_upsert(ctx, b, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_packet_in(&mut self, ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
+        let Some(in_port) = pi.in_port() else {
+            return Disposition::Continue;
+        };
+        let Ok(parsed) = ParsedPacket::parse(&pi.data) else {
+            return Disposition::Continue;
+        };
+        if parsed.arp.is_some() {
+            self.handle_arp(ctx, dpid, in_port, &parsed);
+            return Disposition::Continue; // forwarding may flood/proxy it
+        }
+        if self.config.dhcp_snooping && parsed.is_dhcp() {
+            self.snoop_dhcp(ctx, dpid, in_port, &parsed, pi);
+            return Disposition::Continue; // forwarding still floods DORA
+        }
+        // Validation punts are identified by the deny rule's cookie.
+        if pi.cookie == SAV_COOKIE | 0xdead {
+            self.handle_punt(ctx, dpid, in_port, pi, &parsed);
+            return Disposition::Consumed;
+        }
+        Disposition::Continue
+    }
+
+    fn on_flow_removed(&mut self, _ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
+        // Only binding allow rules carry an IP-tagged SAV cookie.
+        if fr.cookie & 0xffff_0000_0000_0000 != SAV_COOKIE {
+            return;
+        }
+        if fr.reason == FlowRemovedReason::Delete {
+            return; // our own deletion
+        }
+        let ip = Ipv4Addr::from((fr.cookie & 0xffff_ffff) as u32);
+        if let Some(b) = self.bindings.get(ip).copied() {
+            if b.dpid != dpid {
+                return;
+            }
+            // A rule timing out retires the binding only when the binding's
+            // lifecycle is tied to that rule: FCFS bindings die on idle,
+            // DHCP bindings on the lease (hard) timeout. Static bindings
+            // outlive any rule (e.g. a reactive dynamic rule idling out
+            // must not revoke the host's authorization).
+            let retire = match (b.source, fr.reason) {
+                (BindingSource::Static, _) => false,
+                (BindingSource::Dhcp, FlowRemovedReason::HardTimeout) => true,
+                (BindingSource::Dhcp, _) => false,
+                (BindingSource::Fcfs, _) => true,
+            };
+            if retire {
+                self.bindings.remove(ip);
+                self.stats.bindings_expired += 1;
+            }
+        }
+    }
+
+    fn on_port_status(&mut self, ctx: &mut Ctx, dpid: u64, ps: &PortStatus) {
+        if ps.desc.is_up() {
+            return;
+        }
+        let port = ps.desc.port_no;
+        // FCFS bindings die with their port; DHCP/static bindings persist
+        // (the host may reappear elsewhere and migrate its binding).
+        let doomed: Vec<Binding> = self
+            .bindings
+            .iter()
+            .filter(|b| b.dpid == dpid && b.port == port && b.source == BindingSource::Fcfs)
+            .copied()
+            .collect();
+        for b in doomed {
+            self.bindings.remove(b.ip);
+            self.stats.bindings_expired += 1;
+            self.delete_allow(ctx, &b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_openflow::messages::{Message, PacketInReason};
+    use sav_openflow::oxm::{OxmField, OxmMatch};
+    use sav_topo::generators;
+
+    fn mk(config: SavConfig) -> (Arc<Topology>, SavApp) {
+        let topo = Arc::new(generators::linear(2, 2));
+        let app = SavApp::new(topo.clone(), config);
+        (topo, app)
+    }
+
+    fn flow_mods(ctx: Ctx) -> Vec<(u64, sav_openflow::messages::FlowMod)> {
+        ctx.take()
+            .into_iter()
+            .filter_map(|(d, m)| match m {
+                Message::FlowMod(fm) => Some((d, fm)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn switch_up_installs_edge_rule_set() {
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let fms = flow_mods(ctx);
+        // 1 trunk + 1 deny + 1 dhcp client + 2 static bindings = 5.
+        assert_eq!(fms.len(), 5);
+        let allows: Vec<_> = fms
+            .iter()
+            .filter(|(_, fm)| fm.priority == crate::PRIO_ALLOW)
+            .collect();
+        assert_eq!(allows.len(), 2);
+        for (_, fm) in &allows {
+            assert!(fm.match_.validate_prerequisites().is_ok());
+        }
+        assert!(fms.iter().any(|(_, fm)| fm.priority == crate::PRIO_OSAV_DENY
+            && fm.instructions.is_empty()));
+        assert_eq!(app.bindings().len(), 2);
+    }
+
+    #[test]
+    fn reactive_mode_installs_no_allows_but_punting_deny() {
+        let (topo, mut app) = mk(SavConfig {
+            mode: SavMode::Reactive,
+            ..SavConfig::default()
+        });
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let fms = flow_mods(ctx);
+        assert!(fms.iter().all(|(_, fm)| fm.priority != crate::PRIO_ALLOW));
+        let deny = fms
+            .iter()
+            .find(|(_, fm)| fm.priority == crate::PRIO_OSAV_DENY)
+            .unwrap();
+        assert!(!deny.1.instructions.is_empty(), "reactive deny punts");
+        // Bindings still seeded for validation.
+        assert_eq!(app.bindings().len(), 2);
+    }
+
+    #[test]
+    fn aggregate_mode_installs_one_prefix_rule_per_port() {
+        let (topo, mut app) = mk(SavConfig {
+            aggregate: true,
+            ..SavConfig::default()
+        });
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let fms = flow_mods(ctx);
+        let allows: Vec<_> = fms
+            .iter()
+            .filter(|(_, fm)| fm.priority == crate::PRIO_ALLOW)
+            .collect();
+        // linear(2,2): each host has its own port, so 2 ports → 2 prefix rules,
+        // each carrying a masked ipv4_src.
+        assert_eq!(allows.len(), 2);
+        for (_, fm) in allows {
+            assert!(fm
+                .match_
+                .fields()
+                .iter()
+                .any(|f| matches!(f, OxmField::Ipv4Src(_, Some(_)))));
+        }
+    }
+
+    fn punt_packet_in(topo: &Topology, host_idx: usize, spoof_ip: Option<&str>) -> (u64, PacketIn) {
+        let h = &topo.hosts()[host_idx];
+        let src_ip: Ipv4Addr = spoof_ip.map(|s| s.parse().unwrap()).unwrap_or(h.ip);
+        let udp = sav_net::udp::UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let ip = sav_net::ipv4::Ipv4Repr::udp(src_ip, "10.0.1.10".parse().unwrap(), udp.buffer_len());
+        let eth = sav_net::ethernet::EthernetRepr {
+            src: h.mac,
+            dst: MacAddr::from_index(999),
+            ethertype: sav_net::ethernet::EtherType::Ipv4,
+        };
+        let frame = sav_net::builder::build_ipv4_udp(&eth, &ip, &udp, b"");
+        (
+            h.switch.dpid(),
+            PacketIn {
+                buffer_id: sav_openflow::consts::NO_BUFFER,
+                total_len: frame.len() as u16,
+                reason: PacketInReason::Action,
+                table_id: 0,
+                cookie: SAV_COOKIE | 0xdead,
+                match_: OxmMatch::new().with(OxmField::InPort(h.port)),
+                data: frame,
+            },
+        )
+    }
+
+    #[test]
+    fn reactive_punt_validates_and_reinjects() {
+        let (topo, mut app) = mk(SavConfig {
+            mode: SavMode::Reactive,
+            ..SavConfig::default()
+        });
+        let dpid0 = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        drop(ctx.take());
+
+        // Legitimate punt: allowed, rule installed, packet re-injected.
+        let (dpid, pi) = punt_packet_in(&topo, 0, None);
+        let mut ctx = Ctx::new(SimTime::from_millis(1));
+        let disp = app.on_packet_in(&mut ctx, dpid, &pi);
+        assert_eq!(disp, Disposition::Consumed);
+        assert_eq!(app.stats.punts_allowed, 1);
+        let msgs = ctx.take();
+        assert!(msgs.iter().any(|(_, m)| matches!(m, Message::FlowMod(fm)
+            if fm.priority == crate::PRIO_ALLOW && fm.idle_timeout == 60)));
+        assert!(msgs.iter().any(|(_, m)| matches!(m, Message::PacketOut(po)
+            if po.actions == vec![Action::output(ofport::TABLE)])));
+
+        // Spoofed punt: denied, nothing sent.
+        let (dpid, pi) = punt_packet_in(&topo, 0, Some("10.0.1.11"));
+        let mut ctx = Ctx::new(SimTime::from_millis(2));
+        app.on_packet_in(&mut ctx, dpid, &pi);
+        assert_eq!(app.stats.punts_denied, 1);
+        assert!(ctx.take().is_empty());
+    }
+
+    #[test]
+    fn fcfs_claims_then_blocks_thief() {
+        let (topo, mut app) = mk(SavConfig {
+            static_plan: false,
+            fcfs: true,
+            ..SavConfig::default()
+        });
+        let dpid0 = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        drop(ctx.take());
+        assert_eq!(app.bindings().len(), 0);
+
+        // Host 0's first packet claims its address.
+        let (dpid, pi) = punt_packet_in(&topo, 0, None);
+        let mut ctx = Ctx::new(SimTime::from_millis(1));
+        app.on_packet_in(&mut ctx, dpid, &pi);
+        assert_eq!(app.stats.fcfs_claims, 1);
+        assert_eq!(app.bindings().len(), 1);
+
+        // Host 1 spoofing host 0's address from its own port: conflict.
+        let h0_ip = topo.hosts()[0].ip;
+        let (dpid, pi) = punt_packet_in(&topo, 1, Some(&h0_ip.to_string()));
+        let mut ctx = Ctx::new(SimTime::from_millis(2));
+        app.on_packet_in(&mut ctx, dpid, &pi);
+        assert_eq!(app.stats.punts_denied, 1);
+        assert_eq!(app.bindings().get(h0_ip).unwrap().mac, topo.hosts()[0].mac);
+    }
+
+    #[test]
+    fn arp_migration_moves_binding_and_rules() {
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid0 = topo.switches()[0].id.dpid();
+        let dpid1 = topo.switches()[1].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        app.on_switch_up(&mut ctx, dpid1);
+        drop(ctx.take());
+
+        let h0 = &topo.hosts()[0];
+        let garp = sav_net::arp::ArpRepr {
+            op: sav_net::arp::ArpOp::Request,
+            sender_mac: h0.mac,
+            sender_ip: h0.ip,
+            target_mac: MacAddr::ZERO,
+            target_ip: h0.ip,
+        };
+        let frame = sav_net::builder::build_arp(&garp);
+        let pi = PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: frame.len() as u16,
+            reason: PacketInReason::NoMatch,
+            table_id: 1,
+            cookie: 0,
+            match_: OxmMatch::new().with(OxmField::InPort(42)),
+            data: frame,
+        };
+        let mut ctx = Ctx::new(SimTime::from_millis(5));
+        app.on_packet_in(&mut ctx, dpid1, &pi);
+        assert_eq!(app.stats.migrations, 1);
+        let b = app.bindings().get(h0.ip).unwrap();
+        assert_eq!((b.dpid, b.port), (dpid1, 42));
+        let fms = flow_mods(ctx);
+        // One delete on the old switch, one add on the new one.
+        assert!(fms.iter().any(|(d, fm)| *d == dpid0
+            && fm.command == sav_openflow::messages::FlowModCommand::DeleteStrict));
+        assert!(fms.iter().any(|(d, fm)| *d == dpid1
+            && fm.command == sav_openflow::messages::FlowModCommand::Add
+            && fm.priority == crate::PRIO_ALLOW));
+    }
+
+    #[test]
+    fn arp_from_wrong_mac_is_flagged_not_migrated() {
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid0 = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        drop(ctx.take());
+        let h0 = &topo.hosts()[0];
+        let spoofed = sav_net::arp::ArpRepr {
+            op: sav_net::arp::ArpOp::Request,
+            sender_mac: MacAddr::from_index(666),
+            sender_ip: h0.ip,
+            target_mac: MacAddr::ZERO,
+            target_ip: h0.ip,
+        };
+        let frame = sav_net::builder::build_arp(&spoofed);
+        let pi = PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: frame.len() as u16,
+            reason: PacketInReason::NoMatch,
+            table_id: 1,
+            cookie: 0,
+            match_: OxmMatch::new().with(OxmField::InPort(9)),
+            data: frame,
+        };
+        let mut ctx = Ctx::new(SimTime::from_millis(5));
+        app.on_packet_in(&mut ctx, dpid0, &pi);
+        assert_eq!(app.stats.arp_spoofs, 1);
+        assert_eq!(app.stats.migrations, 0);
+        assert_eq!(app.bindings().get(h0.ip).unwrap().mac, h0.mac);
+    }
+
+    #[test]
+    fn flow_removed_expires_binding_per_lifecycle() {
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid0 = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        drop(ctx.take());
+        // Overlay a DHCP binding on a fresh address.
+        let db = Binding {
+            ip: "10.0.0.99".parse().unwrap(),
+            mac: MacAddr::from_index(99),
+            dpid: dpid0,
+            port: 42,
+            source: BindingSource::Dhcp,
+            expires: Some(SimTime::from_secs(100)),
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.apply_upsert(&mut ctx, db, SimTime::ZERO);
+        drop(ctx.take());
+
+        let fr_of = |b: &Binding, reason| FlowRemoved {
+            cookie: rules::allow_cookie(b),
+            priority: crate::PRIO_ALLOW,
+            reason,
+            table_id: 0,
+            duration_sec: 100,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 100,
+            packet_count: 5,
+            byte_count: 500,
+            match_: OxmMatch::new(),
+        };
+
+        // DHCP binding dies on its lease (hard) timeout.
+        let fr = fr_of(&db, FlowRemovedReason::HardTimeout);
+        app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(100)), dpid0, &fr);
+        assert!(app.bindings().get(db.ip).is_none());
+        assert_eq!(app.stats.bindings_expired, 1);
+
+        // Static bindings survive any rule removal (e.g. a reactive
+        // dynamic rule idling out).
+        let h0 = &topo.hosts()[0];
+        let sb = *app.bindings().get(h0.ip).unwrap();
+        let fr = fr_of(&sb, FlowRemovedReason::IdleTimeout);
+        app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(1)), dpid0, &fr);
+        assert!(app.bindings().get(h0.ip).is_some(), "static binding survives");
+
+        // Delete-reason removals (our own) never expire bindings.
+        let fr = fr_of(&sb, FlowRemovedReason::Delete);
+        app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(1)), dpid0, &fr);
+        assert!(app.bindings().get(h0.ip).is_some());
+        assert_eq!(app.stats.bindings_expired, 1);
+    }
+
+    #[test]
+    fn isav_rules_on_border_switches() {
+        let m = generators::multi_as(2, 2);
+        let topo = Arc::new(m.topo);
+        let mut app = SavApp::new(topo.clone(), SavConfig::default());
+        let (border, _) = m.borders[0];
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, border.dpid());
+        let fms = flow_mods(ctx);
+        // One internal prefix, one border port → one iSAV deny rule.
+        assert_eq!(fms.len(), 1);
+        assert_eq!(fms[0].1.priority, crate::PRIO_ISAV_DENY);
+        assert!(fms[0].1.instructions.is_empty());
+    }
+
+    #[test]
+    fn port_down_kills_fcfs_bindings_only() {
+        let (topo, mut app) = mk(SavConfig {
+            static_plan: true,
+            fcfs: true,
+            ..SavConfig::default()
+        });
+        let dpid0 = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid0);
+        drop(ctx.take());
+        // Add one FCFS binding on port 77.
+        let fb = Binding {
+            ip: "10.0.0.200".parse().unwrap(),
+            mac: MacAddr::from_index(200),
+            dpid: dpid0,
+            port: 77,
+            source: BindingSource::Fcfs,
+            expires: None,
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.apply_upsert(&mut ctx, fb, SimTime::ZERO);
+        drop(ctx.take());
+        let before = app.bindings().len();
+
+        let mut desc = sav_openflow::ports::PortDesc::new(77, MacAddr::from_index(1));
+        desc.state = sav_openflow::ports::PortState::LINK_DOWN;
+        let ps = PortStatus {
+            reason: sav_openflow::messages::PortStatusReason::Modify,
+            desc,
+        };
+        let mut ctx = Ctx::new(SimTime::from_secs(1));
+        app.on_port_status(&mut ctx, dpid0, &ps);
+        assert_eq!(app.bindings().len(), before - 1);
+        assert!(app.bindings().get("10.0.0.200".parse().unwrap()).is_none());
+        // Static bindings survived.
+        assert!(app.bindings().get(topo.hosts()[0].ip).is_some());
+    }
+}

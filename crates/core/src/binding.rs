@@ -1,0 +1,288 @@
+//! The binding table: the controller's authoritative view of which source
+//! address is legitimate where.
+
+use sav_net::addr::MacAddr;
+use sav_sim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Where a binding came from — decides trust and lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BindingSource {
+    /// Operator-configured (infrastructure, static plan). Never expires.
+    Static,
+    /// Learned from a snooped DHCPACK. Expires with the lease.
+    Dhcp,
+    /// First-come-first-served data-plane claim. Expires on idle.
+    Fcfs,
+}
+
+/// One `IP ↔ (switch, port, MAC)` binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Binding {
+    /// The bound source address.
+    pub ip: Ipv4Addr,
+    /// The host's MAC.
+    pub mac: MacAddr,
+    /// Datapath id of the edge switch.
+    pub dpid: u64,
+    /// Host-facing port on that switch.
+    pub port: u32,
+    /// Provenance.
+    pub source: BindingSource,
+    /// Absolute expiry (DHCP lease end), if any.
+    pub expires: Option<SimTime>,
+}
+
+/// What an upsert did — drives incremental rule updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindingChange {
+    /// New binding; install its allow rule.
+    Added,
+    /// Same location, refreshed lease/source; rules unchanged (timeouts may
+    /// need a re-install, the app decides).
+    Refreshed,
+    /// The host moved; the old rule must be deleted. Carries the previous
+    /// binding.
+    Moved(Binding),
+    /// Rejected: the IP is bound to a *different MAC* that has not expired
+    /// — an address-theft attempt (or a collision). Carries the holder.
+    Conflict(Binding),
+}
+
+/// The table, indexed by IP (the validated field).
+#[derive(Debug, Default)]
+pub struct BindingTable {
+    by_ip: HashMap<Ipv4Addr, Binding>,
+}
+
+impl BindingTable {
+    /// Empty table.
+    pub fn new() -> BindingTable {
+        BindingTable::default()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.by_ip.len()
+    }
+
+    /// True if no bindings exist.
+    pub fn is_empty(&self) -> bool {
+        self.by_ip.is_empty()
+    }
+
+    /// Look up the binding for an IP.
+    pub fn get(&self, ip: Ipv4Addr) -> Option<&Binding> {
+        self.by_ip.get(&ip)
+    }
+
+    /// Iterate all bindings (order unspecified).
+    pub fn iter(&self) -> impl Iterator<Item = &Binding> {
+        self.by_ip.values()
+    }
+
+    /// Bindings anchored at a given switch.
+    pub fn on_switch(&self, dpid: u64) -> impl Iterator<Item = &Binding> {
+        self.by_ip.values().filter(move |b| b.dpid == dpid)
+    }
+
+    /// Insert or update the binding for `b.ip` at `now`.
+    ///
+    /// Rules of precedence, mirroring SAVI:
+    /// * an expired holder is evicted regardless of source;
+    /// * the same MAC may move or refresh its binding;
+    /// * a *different* MAC may take over only if the new source outranks
+    ///   the holder (Static > Dhcp > Fcfs) — e.g. a DHCP ACK overrides an
+    ///   FCFS squatter; otherwise the upsert is a [`BindingChange::Conflict`].
+    pub fn upsert(&mut self, b: Binding, now: SimTime) -> BindingChange {
+        match self.by_ip.get(&b.ip).copied() {
+            None => {
+                self.by_ip.insert(b.ip, b);
+                BindingChange::Added
+            }
+            Some(old) => {
+                let old_expired = old.expires.map(|t| now >= t).unwrap_or(false);
+                if old.mac == b.mac {
+                    let moved = old.dpid != b.dpid || old.port != b.port;
+                    self.by_ip.insert(b.ip, b);
+                    if moved {
+                        BindingChange::Moved(old)
+                    } else {
+                        BindingChange::Refreshed
+                    }
+                } else if old_expired || rank(b.source) > rank(old.source) {
+                    self.by_ip.insert(b.ip, b);
+                    BindingChange::Moved(old)
+                } else {
+                    BindingChange::Conflict(old)
+                }
+            }
+        }
+    }
+
+    /// Remove the binding for `ip` (DHCP release, operator action).
+    pub fn remove(&mut self, ip: Ipv4Addr) -> Option<Binding> {
+        self.by_ip.remove(&ip)
+    }
+
+    /// Remove and return all bindings expired at `now`.
+    pub fn expire(&mut self, now: SimTime) -> Vec<Binding> {
+        let dead: Vec<Ipv4Addr> = self
+            .by_ip
+            .values()
+            .filter(|b| b.expires.map(|t| now >= t).unwrap_or(false))
+            .map(|b| b.ip)
+            .collect();
+        dead.into_iter()
+            .filter_map(|ip| self.by_ip.remove(&ip))
+            .collect()
+    }
+
+    /// The soonest expiry instant, if any binding carries one.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.by_ip.values().filter_map(|b| b.expires).min()
+    }
+}
+
+fn rank(s: BindingSource) -> u8 {
+    match s {
+        BindingSource::Fcfs => 0,
+        BindingSource::Dhcp => 1,
+        BindingSource::Static => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(ip: &str, mac: u64, dpid: u64, port: u32, source: BindingSource) -> Binding {
+        Binding {
+            ip: ip.parse().unwrap(),
+            mac: MacAddr::from_index(mac),
+            dpid,
+            port,
+            source,
+            expires: None,
+        }
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let mut t = BindingTable::new();
+        assert!(t.is_empty());
+        let x = b("10.0.0.1", 1, 1, 2, BindingSource::Static);
+        assert_eq!(t.upsert(x, SimTime::ZERO), BindingChange::Added);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get("10.0.0.1".parse().unwrap()), Some(&x));
+        assert_eq!(t.remove("10.0.0.1".parse().unwrap()), Some(x));
+        assert!(t.get("10.0.0.1".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn same_mac_moves() {
+        let mut t = BindingTable::new();
+        let old = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        t.upsert(old, SimTime::ZERO);
+        let new = b("10.0.0.1", 1, 3, 4, BindingSource::Dhcp);
+        assert_eq!(t.upsert(new, SimTime::ZERO), BindingChange::Moved(old));
+        assert_eq!(t.get(new.ip).unwrap().dpid, 3);
+    }
+
+    #[test]
+    fn same_everything_refreshes() {
+        let mut t = BindingTable::new();
+        let x = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        t.upsert(x, SimTime::ZERO);
+        let mut y = x;
+        y.expires = Some(SimTime::from_secs(100));
+        assert_eq!(t.upsert(y, SimTime::ZERO), BindingChange::Refreshed);
+        assert_eq!(t.get(x.ip).unwrap().expires, Some(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn different_mac_conflicts_at_same_rank() {
+        let mut t = BindingTable::new();
+        let holder = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        t.upsert(holder, SimTime::ZERO);
+        let thief = b("10.0.0.1", 66, 5, 6, BindingSource::Dhcp);
+        assert_eq!(
+            t.upsert(thief, SimTime::ZERO),
+            BindingChange::Conflict(holder)
+        );
+        assert_eq!(t.get(holder.ip).unwrap().mac, holder.mac);
+    }
+
+    #[test]
+    fn higher_rank_overrides() {
+        let mut t = BindingTable::new();
+        let squatter = b("10.0.0.1", 66, 5, 6, BindingSource::Fcfs);
+        t.upsert(squatter, SimTime::ZERO);
+        let legit = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        assert_eq!(
+            t.upsert(legit, SimTime::ZERO),
+            BindingChange::Moved(squatter)
+        );
+        // And the reverse is refused.
+        let squatter2 = b("10.0.0.1", 67, 5, 6, BindingSource::Fcfs);
+        assert_eq!(
+            t.upsert(squatter2, SimTime::ZERO),
+            BindingChange::Conflict(legit)
+        );
+    }
+
+    #[test]
+    fn expired_holder_is_evicted() {
+        let mut t = BindingTable::new();
+        let mut holder = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        holder.expires = Some(SimTime::from_secs(10));
+        t.upsert(holder, SimTime::ZERO);
+        let newcomer = b("10.0.0.1", 66, 5, 6, BindingSource::Fcfs);
+        // Before expiry: conflict.
+        assert!(matches!(
+            t.upsert(newcomer, SimTime::from_secs(9)),
+            BindingChange::Conflict(_)
+        ));
+        // After expiry: takeover.
+        assert!(matches!(
+            t.upsert(newcomer, SimTime::from_secs(10)),
+            BindingChange::Moved(_)
+        ));
+    }
+
+    #[test]
+    fn expire_sweep_and_next_expiry() {
+        let mut t = BindingTable::new();
+        let mut x = b("10.0.0.1", 1, 1, 2, BindingSource::Dhcp);
+        x.expires = Some(SimTime::from_secs(10));
+        let mut y = b("10.0.0.2", 2, 1, 3, BindingSource::Dhcp);
+        y.expires = Some(SimTime::from_secs(20));
+        let z = b("10.0.0.3", 3, 1, 4, BindingSource::Static);
+        t.upsert(x, SimTime::ZERO);
+        t.upsert(y, SimTime::ZERO);
+        t.upsert(z, SimTime::ZERO);
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(10)));
+        let dead = t.expire(SimTime::from_secs(15));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].ip, x.ip);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(20)));
+        // Static never expires.
+        let dead = t.expire(SimTime::from_secs(1_000_000));
+        assert_eq!(dead.len(), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.next_expiry(), None);
+    }
+
+    #[test]
+    fn on_switch_filters() {
+        let mut t = BindingTable::new();
+        t.upsert(b("10.0.0.1", 1, 1, 1, BindingSource::Static), SimTime::ZERO);
+        t.upsert(b("10.0.0.2", 2, 1, 2, BindingSource::Static), SimTime::ZERO);
+        t.upsert(b("10.0.0.3", 3, 2, 1, BindingSource::Static), SimTime::ZERO);
+        assert_eq!(t.on_switch(1).count(), 2);
+        assert_eq!(t.on_switch(2).count(), 1);
+        assert_eq!(t.on_switch(9).count(), 0);
+    }
+}

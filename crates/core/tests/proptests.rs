@@ -1,0 +1,181 @@
+//! Property-based tests for the binding table: the single-holder invariant
+//! and the precedence lattice under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use sav_core::binding::{Binding, BindingChange, BindingSource, BindingTable};
+use sav_net::addr::MacAddr;
+use sav_sim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(Binding),
+    Remove(Ipv4Addr),
+    Expire(u64),
+}
+
+fn arb_binding() -> impl Strategy<Value = Binding> {
+    (
+        0u32..8,      // small IP space to force collisions
+        0u64..6,      // small MAC space
+        1u64..4,      // dpid
+        1u32..5,      // port
+        0u8..3,       // source
+        proptest::option::of(0u64..100),
+    )
+        .prop_map(|(ip, mac, dpid, port, src, exp)| Binding {
+            ip: Ipv4Addr::from(0x0a000000 + ip),
+            mac: MacAddr::from_index(mac),
+            dpid,
+            port,
+            source: match src {
+                0 => BindingSource::Fcfs,
+                1 => BindingSource::Dhcp,
+                _ => BindingSource::Static,
+            },
+            expires: exp.map(SimTime::from_secs),
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => arb_binding().prop_map(Op::Upsert),
+        1 => (0u32..8).prop_map(|ip| Op::Remove(Ipv4Addr::from(0x0a000000 + ip))),
+        1 => (0u64..100).prop_map(Op::Expire),
+    ]
+}
+
+fn rank(s: BindingSource) -> u8 {
+    match s {
+        BindingSource::Fcfs => 0,
+        BindingSource::Dhcp => 1,
+        BindingSource::Static => 2,
+    }
+}
+
+proptest! {
+    /// After any operation sequence: one binding per IP, and every
+    /// surviving binding is traceable to an accepted upsert.
+    #[test]
+    fn single_holder_invariant(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let mut table = BindingTable::new();
+        // Shadow model: ip -> binding, maintained by the documented rules.
+        let mut model: HashMap<Ipv4Addr, Binding> = HashMap::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Upsert(b) => {
+                    let change = table.upsert(b, now);
+                    // Update the model with the same semantics.
+                    match model.get(&b.ip).copied() {
+                        None => {
+                            model.insert(b.ip, b);
+                            prop_assert_eq!(change, BindingChange::Added);
+                        }
+                        Some(old) => {
+                            let old_expired =
+                                old.expires.map(|t| now >= t).unwrap_or(false);
+                            if old.mac == b.mac
+                                || old_expired
+                                || rank(b.source) > rank(old.source)
+                            {
+                                model.insert(b.ip, b);
+                                prop_assert!(matches!(
+                                    change,
+                                    BindingChange::Moved(_) | BindingChange::Refreshed
+                                ));
+                            } else {
+                                prop_assert!(matches!(change, BindingChange::Conflict(_)));
+                            }
+                        }
+                    }
+                }
+                Op::Remove(ip) => {
+                    let got = table.remove(ip);
+                    let want = model.remove(&ip);
+                    prop_assert_eq!(got, want);
+                }
+                Op::Expire(secs) => {
+                    // Time is monotone within a run.
+                    now = now.max(SimTime::from_secs(secs));
+                    let mut dead = table.expire(now);
+                    let mut model_dead: Vec<Binding> = model
+                        .values()
+                        .filter(|b| b.expires.map(|t| now >= t).unwrap_or(false))
+                        .copied()
+                        .collect();
+                    for b in &model_dead {
+                        model.remove(&b.ip);
+                    }
+                    dead.sort_by_key(|b| b.ip);
+                    model_dead.sort_by_key(|b| b.ip);
+                    prop_assert_eq!(dead, model_dead);
+                }
+            }
+            // Invariants after every step.
+            prop_assert_eq!(table.len(), model.len());
+            for b in table.iter() {
+                prop_assert_eq!(model.get(&b.ip), Some(b));
+            }
+        }
+    }
+
+    /// `next_expiry` is exactly the minimum expiry of live bindings.
+    #[test]
+    fn next_expiry_is_min(bindings in proptest::collection::vec(arb_binding(), 0..20)) {
+        let mut table = BindingTable::new();
+        for mut b in bindings {
+            // Unique IPs to avoid precedence interactions in this test.
+            b.ip = Ipv4Addr::from(u32::from(b.ip) + table.len() as u32 * 256);
+            table.upsert(b, SimTime::ZERO);
+        }
+        let want = table.iter().filter_map(|b| b.expires).min();
+        prop_assert_eq!(table.next_expiry(), want);
+    }
+
+    /// The exact CIDR cover covers precisely the input set, with no
+    /// mergeable siblings left.
+    #[test]
+    fn exact_cover_is_exact_and_minimal(
+        raw in proptest::collection::vec(0u32..512, 0..64),
+    ) {
+        use sav_core::aggregate::{covered, exact_cover};
+        let addrs: Vec<Ipv4Addr> = raw
+            .iter()
+            .map(|&i| Ipv4Addr::from(0x0a000000 + i))
+            .collect();
+        let mut uniq: Vec<Ipv4Addr> = addrs.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let cover = exact_cover(&addrs);
+        // Exactness: every input address covered, nothing else.
+        prop_assert_eq!(covered(&cover), uniq.len() as u64);
+        for a in &uniq {
+            prop_assert!(cover.iter().any(|p| p.contains(*a)), "missing {a}");
+        }
+        // Disjoint + sorted.
+        for w in cover.windows(2) {
+            prop_assert!(w[0] < w[1]);
+            prop_assert!(!w[0].contains_prefix(&w[1]) && !w[1].contains_prefix(&w[0]));
+        }
+        // Minimality: no sibling pair remains.
+        for i in 0..cover.len() {
+            for j in i + 1..cover.len() {
+                prop_assert!(!cover[i].is_sibling(&cover[j]), "mergeable pair left");
+            }
+        }
+    }
+
+    /// on_switch filtering partitions the table.
+    #[test]
+    fn on_switch_partitions(bindings in proptest::collection::vec(arb_binding(), 0..30)) {
+        let mut table = BindingTable::new();
+        for mut b in bindings {
+            b.ip = Ipv4Addr::from(u32::from(b.ip) + table.len() as u32 * 256);
+            table.upsert(b, SimTime::ZERO);
+        }
+        let total: usize = (0..8).map(|d| table.on_switch(d).count()).sum();
+        prop_assert_eq!(total, table.len());
+    }
+}

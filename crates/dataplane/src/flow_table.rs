@@ -1,0 +1,622 @@
+//! Priority-ordered flow tables with OpenFlow add/modify/delete semantics,
+//! idle/hard timeouts and per-entry counters.
+
+use crate::matcher::{matches, MatchContext};
+use sav_openflow::messages::{FlowMod, FlowRemovedReason};
+use sav_openflow::oxm::OxmMatch;
+use sav_openflow::prelude::Instruction;
+use sav_sim::{SimDuration, SimTime};
+
+/// One installed flow.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// Match priority (higher wins).
+    pub priority: u16,
+    /// The match.
+    pub match_: OxmMatch,
+    /// Instructions executed on match.
+    pub instructions: Vec<Instruction>,
+    /// Controller cookie.
+    pub cookie: u64,
+    /// Idle timeout (0 = none).
+    pub idle_timeout: u16,
+    /// Hard timeout (0 = none).
+    pub hard_timeout: u16,
+    /// Flow-mod flags (`SEND_FLOW_REM` etc.).
+    pub flags: u16,
+    /// When the flow was installed.
+    pub installed_at: SimTime,
+    /// Last time a packet matched (= `installed_at` until first hit).
+    pub last_hit: SimTime,
+    /// Packets matched.
+    pub packet_count: u64,
+    /// Bytes matched.
+    pub byte_count: u64,
+}
+
+impl FlowEntry {
+    fn from_flow_mod(fm: &FlowMod, now: SimTime) -> FlowEntry {
+        FlowEntry {
+            priority: fm.priority,
+            match_: fm.match_.clone(),
+            instructions: fm.instructions.clone(),
+            cookie: fm.cookie,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            installed_at: now,
+            last_hit: now,
+            packet_count: 0,
+            byte_count: 0,
+        }
+    }
+
+    /// Is this entry expired at `now`? Returns the reason if so.
+    pub fn expired(&self, now: SimTime) -> Option<FlowRemovedReason> {
+        if self.hard_timeout > 0 {
+            let deadline = self.installed_at + SimDuration::from_secs(u64::from(self.hard_timeout));
+            if now >= deadline {
+                return Some(FlowRemovedReason::HardTimeout);
+            }
+        }
+        if self.idle_timeout > 0 {
+            let deadline = self.last_hit + SimDuration::from_secs(u64::from(self.idle_timeout));
+            if now >= deadline {
+                return Some(FlowRemovedReason::IdleTimeout);
+            }
+        }
+        None
+    }
+
+    /// Seconds (whole + nanos) this entry has been installed, for stats.
+    pub fn duration(&self, now: SimTime) -> (u32, u32) {
+        let d = now.saturating_since(self.installed_at);
+        let ns = d.as_nanos();
+        ((ns / 1_000_000_000) as u32, (ns % 1_000_000_000) as u32)
+    }
+}
+
+/// Would two matches overlap: could a single packet match both? Conservative
+/// per-field comparison — fields present in both must be compatible; a field
+/// present in only one never prevents overlap.
+fn overlaps(a: &OxmMatch, b: &OxmMatch) -> bool {
+    use sav_openflow::oxm::OxmField;
+    fn field_key(f: &OxmField) -> u8 {
+        f.field_num()
+    }
+    for fa in a.fields() {
+        for fb in b.fields() {
+            if field_key(fa) != field_key(fb) {
+                continue;
+            }
+            let compatible = match (fa, fb) {
+                (OxmField::InPort(x), OxmField::InPort(y)) => x == y,
+                (OxmField::EthType(x), OxmField::EthType(y)) => x == y,
+                (OxmField::IpProto(x), OxmField::IpProto(y)) => x == y,
+                (OxmField::TcpSrc(x), OxmField::TcpSrc(y)) => x == y,
+                (OxmField::TcpDst(x), OxmField::TcpDst(y)) => x == y,
+                (OxmField::UdpSrc(x), OxmField::UdpSrc(y)) => x == y,
+                (OxmField::UdpDst(x), OxmField::UdpDst(y)) => x == y,
+                (OxmField::ArpOp(x), OxmField::ArpOp(y)) => x == y,
+                (OxmField::EthSrc(x, mx), OxmField::EthSrc(y, my))
+                | (OxmField::EthDst(x, mx), OxmField::EthDst(y, my))
+                    if mx_none(mx, my) =>
+                {
+                    x == y
+                }
+                (OxmField::ArpSha(x), OxmField::ArpSha(y)) => x == y,
+                (OxmField::Ipv4Src(x, mx), OxmField::Ipv4Src(y, my))
+                | (OxmField::Ipv4Dst(x, mx), OxmField::Ipv4Dst(y, my)) => {
+                    let mask = u32::from(mx.unwrap_or(std::net::Ipv4Addr::BROADCAST))
+                        & u32::from(my.unwrap_or(std::net::Ipv4Addr::BROADCAST));
+                    u32::from(*x) & mask == u32::from(*y) & mask
+                }
+                // Other combinations: assume they can overlap.
+                _ => true,
+            };
+            if !compatible {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// Helper for the match-arm guard above: only treat exact (unmasked) MAC
+// comparisons as decisive.
+fn mx_none<T>(a: &Option<T>, b: &Option<T>) -> bool {
+    a.is_none() && b.is_none()
+}
+
+/// Outcome of applying a flow-mod to a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowModOutcome {
+    /// Applied cleanly.
+    Ok,
+    /// Add rejected: `CHECK_OVERLAP` set and an overlapping entry exists.
+    Overlap,
+    /// Add rejected: the table is full.
+    TableFull,
+}
+
+/// One flow table: entries kept sorted by descending priority; among equal
+/// priorities, insertion order (OpenFlow leaves this unspecified; stable
+/// order keeps the simulator deterministic).
+pub struct FlowTable {
+    entries: Vec<FlowEntry>,
+    max_entries: usize,
+    /// Packets looked up in this table.
+    pub lookup_count: u64,
+    /// Packets that matched some entry.
+    pub matched_count: u64,
+}
+
+impl FlowTable {
+    /// An empty table capped at `max_entries` flows.
+    pub fn new(max_entries: usize) -> FlowTable {
+        FlowTable {
+            entries: Vec::new(),
+            max_entries,
+            lookup_count: 0,
+            matched_count: 0,
+        }
+    }
+
+    /// Number of installed flows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no flows are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in match order (priority descending).
+    pub fn entries(&self) -> impl Iterator<Item = &FlowEntry> {
+        self.entries.iter()
+    }
+
+    /// Find the highest-priority entry matching `ctx` and update its
+    /// counters. Returns a clone of the matched entry's instructions and
+    /// cookie (cheap: instruction lists are tiny).
+    pub fn lookup(
+        &mut self,
+        ctx: &MatchContext<'_>,
+        now: SimTime,
+        frame_len: usize,
+    ) -> Option<(Vec<Instruction>, u64)> {
+        self.lookup_count += 1;
+        for e in &mut self.entries {
+            if matches(&e.match_, ctx) {
+                e.packet_count += 1;
+                e.byte_count += frame_len as u64;
+                e.last_hit = now;
+                self.matched_count += 1;
+                return Some((e.instructions.clone(), e.cookie));
+            }
+        }
+        None
+    }
+
+    /// Apply an ADD. Identical `(priority, match)` replaces the existing
+    /// entry (counters reset unless the spec's no-reset behaviour is wanted;
+    /// this switch resets, as Open vSwitch does without `RESET_COUNTS`... the
+    /// flag is accepted but replacement always starts fresh).
+    pub fn add(&mut self, fm: &FlowMod, now: SimTime) -> FlowModOutcome {
+        use sav_openflow::consts::flow_mod_flags::CHECK_OVERLAP;
+        if fm.flags & CHECK_OVERLAP != 0 {
+            let clash = self
+                .entries
+                .iter()
+                .any(|e| e.priority == fm.priority && e.match_ != fm.match_ && overlaps(&e.match_, &fm.match_));
+            if clash {
+                return FlowModOutcome::Overlap;
+            }
+        }
+        if let Some(existing) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.priority == fm.priority && e.match_ == fm.match_)
+        {
+            *existing = FlowEntry::from_flow_mod(fm, now);
+            return FlowModOutcome::Ok;
+        }
+        if self.entries.len() >= self.max_entries {
+            return FlowModOutcome::TableFull;
+        }
+        let entry = FlowEntry::from_flow_mod(fm, now);
+        // Insert after the last entry with priority >= new priority.
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.priority < entry.priority)
+            .unwrap_or(self.entries.len());
+        self.entries.insert(pos, entry);
+        FlowModOutcome::Ok
+    }
+
+    /// Loose subset test: does `sup` match at least every packet `sub`'s
+    /// fields say it matches? Used for loose modify/delete: an entry is
+    /// selected if its match is *more specific or equal* to the request.
+    fn is_loose_superset(request: &OxmMatch, entry: &OxmMatch) -> bool {
+        use sav_openflow::oxm::OxmField;
+        // Every field in the request must be implied by the entry's fields.
+        'outer: for rf in request.fields() {
+            for ef in entry.fields() {
+                if ef.field_num() != rf.field_num() {
+                    continue;
+                }
+                let implied = match (rf, ef) {
+                    (OxmField::Ipv4Src(rv, rm), OxmField::Ipv4Src(ev, em))
+                    | (OxmField::Ipv4Dst(rv, rm), OxmField::Ipv4Dst(ev, em)) => {
+                        let rmask = rm.map(u32::from).unwrap_or(u32::MAX);
+                        let emask = em.map(u32::from).unwrap_or(u32::MAX);
+                        // Entry must be at least as specific and agree on bits.
+                        (emask & rmask) == rmask
+                            && (u32::from(*ev) & rmask) == (u32::from(*rv) & rmask)
+                    }
+                    _ => rf == ef,
+                };
+                if implied {
+                    continue 'outer;
+                } else {
+                    return false;
+                }
+            }
+            // Request constrains a field the entry leaves wild: not a subset.
+            return false;
+        }
+        true
+    }
+
+    /// Loose MODIFY: update instructions of all entries whose match is a
+    /// subset of the request match (and cookie-filter compatible). Returns
+    /// how many entries changed.
+    pub fn modify(&mut self, fm: &FlowMod) -> usize {
+        let mut n = 0;
+        for e in &mut self.entries {
+            if fm.cookie_mask != 0 && (e.cookie & fm.cookie_mask) != (fm.cookie & fm.cookie_mask) {
+                continue;
+            }
+            let selected = match fm.command {
+                sav_openflow::messages::FlowModCommand::ModifyStrict => {
+                    e.priority == fm.priority && e.match_ == fm.match_
+                }
+                _ => Self::is_loose_superset(&fm.match_, &e.match_),
+            };
+            if selected {
+                e.instructions = fm.instructions.clone();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// DELETE (loose or strict). Returns the removed entries so the switch
+    /// can emit FLOW_REMOVED for those with `SEND_FLOW_REM`.
+    pub fn delete(&mut self, fm: &FlowMod) -> Vec<FlowEntry> {
+        let strict = fm.command == sav_openflow::messages::FlowModCommand::DeleteStrict;
+        let mut removed = Vec::new();
+        self.entries.retain(|e| {
+            if fm.cookie_mask != 0 && (e.cookie & fm.cookie_mask) != (fm.cookie & fm.cookie_mask) {
+                return true;
+            }
+            let selected = if strict {
+                e.priority == fm.priority && e.match_ == fm.match_
+            } else {
+                Self::is_loose_superset(&fm.match_, &e.match_)
+            };
+            if selected {
+                removed.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        removed
+    }
+
+    /// Remove all expired entries at `now`, returning them with reasons.
+    pub fn expire(&mut self, now: SimTime) -> Vec<(FlowEntry, FlowRemovedReason)> {
+        let mut out = Vec::new();
+        self.entries.retain(|e| match e.expired(now) {
+            Some(reason) => {
+                out.push((e.clone(), reason));
+                false
+            }
+            None => true,
+        });
+        out
+    }
+
+    /// The soonest instant at which some entry could expire (for scheduling
+    /// the next expiry sweep), or `None` if no entry carries a timeout.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .flat_map(|e| {
+                let hard = (e.hard_timeout > 0).then(|| {
+                    e.installed_at + SimDuration::from_secs(u64::from(e.hard_timeout))
+                });
+                let idle = (e.idle_timeout > 0)
+                    .then(|| e.last_hit + SimDuration::from_secs(u64::from(e.idle_timeout)));
+                [hard, idle].into_iter().flatten()
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_net::builder::build_ipv4_udp;
+    use sav_net::packet::ParsedPacket;
+    use sav_net::prelude::*;
+    use sav_openflow::consts::flow_mod_flags;
+    use sav_openflow::oxm::OxmField;
+
+    fn frame(src: &str) -> Vec<u8> {
+        let udp = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let ip = Ipv4Repr::udp(src.parse().unwrap(), "1.1.1.1".parse().unwrap(), udp.buffer_len());
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, b"")
+    }
+
+    fn fm_add(priority: u16, m: OxmMatch) -> FlowMod {
+        FlowMod {
+            priority,
+            ..FlowMod::add(m)
+        }
+    }
+
+    fn src_match(cidr: &str, len: u8) -> OxmMatch {
+        OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src(
+                cidr.parse().unwrap(),
+                Some(sav_net::addr::Ipv4Cidr::new(cidr.parse().unwrap(), len).netmask()),
+            ))
+    }
+
+    #[test]
+    fn priority_order_wins() {
+        let mut t = FlowTable::new(100);
+        let m_any = OxmMatch::new();
+        let m_specific = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src("10.0.0.5".parse().unwrap(), None));
+        assert_eq!(
+            t.add(&FlowMod { cookie: 1, ..fm_add(0, m_any) }, SimTime::ZERO),
+            FlowModOutcome::Ok
+        );
+        assert_eq!(
+            t.add(
+                &FlowMod { cookie: 2, ..fm_add(100, m_specific) },
+                SimTime::ZERO
+            ),
+            FlowModOutcome::Ok
+        );
+        let f = frame("10.0.0.5");
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        let (_, cookie) = t.lookup(&ctx, SimTime::ZERO, f.len()).unwrap();
+        assert_eq!(cookie, 2, "specific high-priority entry must win");
+        let f = frame("10.0.0.6");
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        let (_, cookie) = t.lookup(&ctx, SimTime::ZERO, f.len()).unwrap();
+        assert_eq!(cookie, 1, "fallthrough to the miss entry");
+        assert_eq!(t.lookup_count, 2);
+        assert_eq!(t.matched_count, 2);
+    }
+
+    #[test]
+    fn identical_add_replaces() {
+        let mut t = FlowTable::new(10);
+        let m = OxmMatch::new().with(OxmField::InPort(1));
+        t.add(&FlowMod { cookie: 1, ..fm_add(5, m.clone()) }, SimTime::ZERO);
+        t.add(&FlowMod { cookie: 2, ..fm_add(5, m) }, SimTime::ZERO);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().next().unwrap().cookie, 2);
+    }
+
+    #[test]
+    fn table_full() {
+        let mut t = FlowTable::new(2);
+        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(1))), SimTime::ZERO);
+        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO);
+        assert_eq!(
+            t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(3))), SimTime::ZERO),
+            FlowModOutcome::TableFull
+        );
+        // Replacement still allowed at capacity.
+        assert_eq!(
+            t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO),
+            FlowModOutcome::Ok
+        );
+    }
+
+    #[test]
+    fn check_overlap() {
+        let mut t = FlowTable::new(10);
+        t.add(&fm_add(7, src_match("10.0.0.0", 8)), SimTime::ZERO);
+        // Overlapping prefix at same priority with CHECK_OVERLAP: rejected.
+        let fm = FlowMod {
+            flags: flow_mod_flags::CHECK_OVERLAP,
+            ..fm_add(7, src_match("10.0.1.0", 24))
+        };
+        assert_eq!(t.add(&fm, SimTime::ZERO), FlowModOutcome::Overlap);
+        // Different priority: fine.
+        let fm = FlowMod {
+            flags: flow_mod_flags::CHECK_OVERLAP,
+            ..fm_add(8, src_match("10.0.1.0", 24))
+        };
+        assert_eq!(t.add(&fm, SimTime::ZERO), FlowModOutcome::Ok);
+        // Disjoint prefixes at same priority: fine.
+        let fm = FlowMod {
+            flags: flow_mod_flags::CHECK_OVERLAP,
+            ..fm_add(7, src_match("192.168.0.0", 16))
+        };
+        assert_eq!(t.add(&fm, SimTime::ZERO), FlowModOutcome::Ok);
+    }
+
+    #[test]
+    fn loose_delete_selects_subsets() {
+        let mut t = FlowTable::new(100);
+        // Per-host rules under 10.0.1.0/24 plus one unrelated.
+        for i in 1..=3 {
+            let m = OxmMatch::new()
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src(format!("10.0.1.{i}").parse().unwrap(), None));
+            t.add(&fm_add(10, m), SimTime::ZERO);
+        }
+        t.add(
+            &fm_add(
+                10,
+                OxmMatch::new()
+                    .with(OxmField::EthType(0x0800))
+                    .with(OxmField::Ipv4Src("192.168.0.1".parse().unwrap(), None)),
+            ),
+            SimTime::ZERO,
+        );
+        let del = FlowMod::delete(0, src_match("10.0.1.0", 24));
+        let removed = t.delete(&del);
+        assert_eq!(removed.len(), 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn strict_delete_needs_exact_priority_and_match() {
+        let mut t = FlowTable::new(10);
+        let m = OxmMatch::new().with(OxmField::InPort(1));
+        t.add(&fm_add(5, m.clone()), SimTime::ZERO);
+        let mut del = FlowMod::delete(0, m.clone());
+        del.command = sav_openflow::messages::FlowModCommand::DeleteStrict;
+        del.priority = 6;
+        assert_eq!(t.delete(&del).len(), 0);
+        del.priority = 5;
+        assert_eq!(t.delete(&del).len(), 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn delete_all_with_empty_match() {
+        let mut t = FlowTable::new(10);
+        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(1))), SimTime::ZERO);
+        t.add(&fm_add(2, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO);
+        let removed = t.delete(&FlowMod::delete(0, OxmMatch::new()));
+        assert_eq!(removed.len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn cookie_filtered_delete() {
+        let mut t = FlowTable::new(10);
+        t.add(
+            &FlowMod { cookie: 0xA0, ..fm_add(1, OxmMatch::new().with(OxmField::InPort(1))) },
+            SimTime::ZERO,
+        );
+        t.add(
+            &FlowMod { cookie: 0xB0, ..fm_add(1, OxmMatch::new().with(OxmField::InPort(2))) },
+            SimTime::ZERO,
+        );
+        let mut del = FlowMod::delete(0, OxmMatch::new());
+        del.cookie = 0xA0;
+        del.cookie_mask = 0xF0;
+        let removed = t.delete(&del);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].cookie, 0xA0);
+    }
+
+    #[test]
+    fn modify_updates_instructions() {
+        let mut t = FlowTable::new(10);
+        let m = OxmMatch::new().with(OxmField::InPort(1));
+        t.add(&fm_add(5, m.clone()), SimTime::ZERO);
+        let mut fm = fm_add(5, m);
+        fm.command = sav_openflow::messages::FlowModCommand::Modify;
+        fm.instructions = vec![Instruction::GotoTable(1)];
+        assert_eq!(t.modify(&fm), 1);
+        assert_eq!(
+            t.entries().next().unwrap().instructions,
+            vec![Instruction::GotoTable(1)]
+        );
+    }
+
+    #[test]
+    fn hard_timeout_expires() {
+        let mut t = FlowTable::new(10);
+        let mut fm = fm_add(1, OxmMatch::new());
+        fm.hard_timeout = 10;
+        t.add(&fm, SimTime::ZERO);
+        assert!(t.expire(SimTime::from_secs(9)).is_empty());
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(10)));
+        let gone = t.expire(SimTime::from_secs(10));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, FlowRemovedReason::HardTimeout);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn idle_timeout_refreshed_by_traffic() {
+        let mut t = FlowTable::new(10);
+        let mut fm = fm_add(1, OxmMatch::new());
+        fm.idle_timeout = 10;
+        t.add(&fm, SimTime::ZERO);
+        // Traffic at t=8 pushes expiry to t=18.
+        let f = frame("10.0.0.1");
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        t.lookup(&ctx, SimTime::from_secs(8), f.len());
+        assert!(t.expire(SimTime::from_secs(12)).is_empty());
+        let gone = t.expire(SimTime::from_secs(18));
+        assert_eq!(gone.len(), 1);
+        assert_eq!(gone[0].1, FlowRemovedReason::IdleTimeout);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = FlowTable::new(10);
+        t.add(&fm_add(1, OxmMatch::new()), SimTime::ZERO);
+        let f = frame("10.0.0.1");
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        for _ in 0..5 {
+            t.lookup(&ctx, SimTime::ZERO, f.len());
+        }
+        let e = t.entries().next().unwrap();
+        assert_eq!(e.packet_count, 5);
+        assert_eq!(e.byte_count, 5 * f.len() as u64);
+    }
+
+    #[test]
+    fn miss_counts_lookups() {
+        let mut t = FlowTable::new(10);
+        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(9))), SimTime::ZERO);
+        let f = frame("10.0.0.1");
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        assert!(t.lookup(&ctx, SimTime::ZERO, f.len()).is_none());
+        assert_eq!(t.lookup_count, 1);
+        assert_eq!(t.matched_count, 0);
+    }
+
+    #[test]
+    fn duration_reporting() {
+        let mut t = FlowTable::new(10);
+        t.add(&fm_add(1, OxmMatch::new()), SimTime::from_millis(500));
+        let e = t.entries().next().unwrap();
+        let (s, ns) = e.duration(SimTime::from_millis(2750));
+        assert_eq!(s, 2);
+        assert_eq!(ns, 250_000_000);
+    }
+}

@@ -1,0 +1,920 @@
+//! [`Host`] — a minimal endpoint stack for the simulated data plane.
+//!
+//! Hosts speak real wire formats: ARP resolution with a pending-packet
+//! queue, IPv4/UDP with checksums, ICMP echo, a DNS-responder application
+//! (the "open resolver" in the reflection scenario), a UDP echo service and
+//! a DHCP client. A host can also emit **spoofed** traffic — the attack
+//! primitive whose containment this whole workspace measures — while still
+//! performing honest L2 resolution, exactly like a real compromised machine.
+//!
+//! The simulation models a flat L2 domain (hosts ARP for any destination
+//! IP, including ones in other subnets). This keeps the data plane purely
+//! OpenFlow-driven — no router model is needed — and is documented as a
+//! substitution in DESIGN.md: SAV behaviour depends on edge-port bindings,
+//! not on L3 hops.
+
+use sav_net::builder::{build_arp, build_ipv4_udp};
+use sav_net::packet::{L4Info, ParsedPacket};
+use sav_net::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Application behaviour bound to a host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HostApp {
+    /// Pure client / sink: receives and records, never answers.
+    Sink,
+    /// Echo any UDP datagram arriving on `port` back to its source.
+    UdpEcho {
+        /// Listening port.
+        port: u16,
+    },
+    /// An open DNS resolver: answers any DNS query on port 53 with a
+    /// response `amplification` times the request size (padded with TXT
+    /// records) — the reflection-attack amplifier.
+    DnsResolver {
+        /// Approximate response/request size ratio.
+        amplification: usize,
+    },
+    /// A DHCP server managing one address pool. Runs as a regular host so
+    /// that DHCP traffic crosses the data plane, where SAV snooping rules
+    /// can genuinely observe it.
+    DhcpServer(DhcpServerState),
+}
+
+/// State of a host-resident DHCP server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpServerState {
+    /// Pool the server allocates from (host addresses only).
+    pub pool: sav_net::addr::Ipv4Cidr,
+    /// First pool index handed out (skips infrastructure addresses).
+    pub first_index: u32,
+    /// Next fresh pool index to try.
+    next_index: u32,
+    /// Current leases by client MAC.
+    leases: HashMap<MacAddr, Ipv4Addr>,
+    /// Lease time offered, seconds.
+    pub lease_secs: u32,
+}
+
+impl DhcpServerState {
+    /// A server over `pool` starting allocations at `first_index`.
+    pub fn new(pool: sav_net::addr::Ipv4Cidr, first_index: u32, lease_secs: u32) -> Self {
+        DhcpServerState {
+            pool,
+            first_index,
+            next_index: first_index,
+            leases: HashMap::new(),
+            lease_secs,
+        }
+    }
+
+    /// Current leases (client MAC → address).
+    pub fn leases(&self) -> &HashMap<MacAddr, Ipv4Addr> {
+        &self.leases
+    }
+
+    fn allocate(&mut self, mac: MacAddr) -> Option<Ipv4Addr> {
+        if let Some(ip) = self.leases.get(&mac) {
+            return Some(*ip);
+        }
+        let taken: std::collections::HashSet<Ipv4Addr> = self.leases.values().copied().collect();
+        // Linear scan from next_index with wraparound over the pool.
+        let size = self.pool.size() as u32;
+        for _ in 0..size {
+            let idx = self.next_index;
+            self.next_index += 1;
+            if self.next_index >= size.saturating_sub(1) {
+                self.next_index = self.first_index;
+            }
+            if let Some(ip) = self.pool.nth(idx) {
+                if ip != self.pool.broadcast() && !taken.contains(&ip) {
+                    self.leases.insert(mac, ip);
+                    return Some(ip);
+                }
+            }
+        }
+        None
+    }
+
+    fn release(&mut self, mac: MacAddr) {
+        self.leases.remove(&mac);
+    }
+}
+
+/// How to falsify the source of an outgoing packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpoofMode {
+    /// Honest traffic.
+    None,
+    /// Spoof the IPv4 source address only (the common DDoS case).
+    Ipv4(Ipv4Addr),
+    /// Spoof both the IPv4 source and the Ethernet source.
+    Ipv4AndMac(Ipv4Addr, MacAddr),
+}
+
+/// Static host parameters.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// The host's MAC address.
+    pub mac: MacAddr,
+    /// The host's IPv4 address (may be reassigned by DHCP).
+    pub ip: Ipv4Addr,
+    /// Application behaviour.
+    pub app: HostApp,
+}
+
+/// A UDP datagram (or ICMP echo) delivered to this host's application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// IPv4 source as it appeared on the wire (spoofed or not).
+    pub src_ip: Ipv4Addr,
+    /// IPv4 destination.
+    pub dst_ip: Ipv4Addr,
+    /// UDP source port (0 for ICMP).
+    pub src_port: u16,
+    /// UDP destination port (0 for ICMP).
+    pub dst_port: u16,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+    /// Size of the whole frame, for bandwidth accounting.
+    pub frame_len: usize,
+}
+
+/// Frames to transmit plus payloads delivered locally.
+#[derive(Debug, Default)]
+pub struct HostOutput {
+    /// Frames for the host's access link.
+    pub tx: Vec<Vec<u8>>,
+    /// Datagrams handed to the local application.
+    pub delivered: Vec<Delivery>,
+}
+
+impl HostOutput {
+    fn merge(&mut self, other: HostOutput) {
+        self.tx.extend(other.tx);
+        self.delivered.extend(other.delivered);
+    }
+}
+
+#[derive(Debug, Clone)]
+struct QueuedDatagram {
+    dst_ip: Ipv4Addr,
+    src_port: u16,
+    dst_port: u16,
+    payload: Vec<u8>,
+    spoof: SpoofMode,
+}
+
+/// DHCP client state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DhcpState {
+    /// Not using DHCP.
+    Idle,
+    /// DISCOVER sent, waiting for OFFER.
+    Discovering(u32),
+    /// REQUEST sent, waiting for ACK.
+    Requesting(u32),
+    /// Address bound.
+    Bound,
+}
+
+/// A simulated endpoint.
+pub struct Host {
+    /// The host's MAC address (stable).
+    pub mac: MacAddr,
+    /// The host's current IPv4 address.
+    pub ip: Ipv4Addr,
+    app: HostApp,
+    arp_table: HashMap<Ipv4Addr, MacAddr>,
+    pending: HashMap<Ipv4Addr, Vec<QueuedDatagram>>,
+    /// DHCP client state.
+    pub dhcp: DhcpState,
+    /// Count of ARP requests sent (control-overhead accounting).
+    pub arp_requests_sent: u64,
+}
+
+impl Host {
+    /// Create a host from config.
+    pub fn new(config: HostConfig) -> Host {
+        Host {
+            mac: config.mac,
+            ip: config.ip,
+            app: config.app,
+            arp_table: HashMap::new(),
+            pending: HashMap::new(),
+            dhcp: DhcpState::Idle,
+            arp_requests_sent: 0,
+        }
+    }
+
+    /// Pre-seed an ARP entry (used by workload setup to skip resolution).
+    pub fn learn_arp(&mut self, ip: Ipv4Addr, mac: MacAddr) {
+        self.arp_table.insert(ip, mac);
+    }
+
+    /// Send a UDP datagram to `dst_ip`. If the destination MAC is unknown,
+    /// an ARP request is emitted and the datagram is queued until the reply
+    /// arrives. Spoofing (if any) affects only the emitted packet's source
+    /// fields, never the ARP exchange.
+    pub fn send_udp(
+        &mut self,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+        spoof: SpoofMode,
+    ) -> HostOutput {
+        let mut out = HostOutput::default();
+        match self.arp_table.get(&dst_ip) {
+            Some(&dst_mac) => {
+                out.tx
+                    .push(self.build_udp(dst_mac, dst_ip, src_port, dst_port, payload, spoof));
+            }
+            None => {
+                self.pending.entry(dst_ip).or_default().push(QueuedDatagram {
+                    dst_ip,
+                    src_port,
+                    dst_port,
+                    payload: payload.to_vec(),
+                    spoof,
+                });
+                let arp = ArpRepr::request(self.mac, self.ip, dst_ip);
+                self.arp_requests_sent += 1;
+                out.tx.push(build_arp(&arp));
+            }
+        }
+        out
+    }
+
+    fn build_udp(
+        &self,
+        dst_mac: MacAddr,
+        dst_ip: Ipv4Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+        spoof: SpoofMode,
+    ) -> Vec<u8> {
+        let (src_ip, src_mac) = match spoof {
+            SpoofMode::None => (self.ip, self.mac),
+            SpoofMode::Ipv4(ip) => (ip, self.mac),
+            SpoofMode::Ipv4AndMac(ip, mac) => (ip, mac),
+        };
+        let udp = UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: payload.len(),
+        };
+        let ip = Ipv4Repr::udp(src_ip, dst_ip, udp.buffer_len());
+        let eth = EthernetRepr {
+            src: src_mac,
+            dst: dst_mac,
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, payload)
+    }
+
+    /// Begin a DHCP exchange (broadcast DISCOVER).
+    pub fn dhcp_discover(&mut self, xid: u32) -> HostOutput {
+        self.dhcp = DhcpState::Discovering(xid);
+        let msg = DhcpRepr::client(DhcpMessageType::Discover, xid, self.mac);
+        HostOutput {
+            tx: vec![self.dhcp_frame(&msg)],
+            delivered: vec![],
+        }
+    }
+
+    /// Release the current DHCP address (unicast-as-broadcast RELEASE).
+    pub fn dhcp_release(&mut self, xid: u32) -> HostOutput {
+        let mut msg = DhcpRepr::client(DhcpMessageType::Release, xid, self.mac);
+        msg.client_ip = self.ip;
+        self.dhcp = DhcpState::Idle;
+        HostOutput {
+            tx: vec![self.dhcp_frame(&msg)],
+            delivered: vec![],
+        }
+    }
+
+    fn dhcp_frame(&self, msg: &DhcpRepr) -> Vec<u8> {
+        let payload = msg.to_bytes();
+        let udp = UdpRepr {
+            src_port: sav_net::dhcpv4::DHCP_CLIENT_PORT,
+            dst_port: sav_net::dhcpv4::DHCP_SERVER_PORT,
+            payload_len: payload.len(),
+        };
+        // Clients without an address use 0.0.0.0 → 255.255.255.255.
+        let src_ip = if self.dhcp == DhcpState::Bound {
+            self.ip
+        } else {
+            Ipv4Addr::UNSPECIFIED
+        };
+        let ip = Ipv4Repr::udp(src_ip, Ipv4Addr::BROADCAST, udp.buffer_len());
+        let eth = EthernetRepr {
+            src: self.mac,
+            dst: MacAddr::BROADCAST,
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, &payload)
+    }
+
+    /// Process a frame arriving on the host's link.
+    pub fn on_frame(&mut self, frame: &[u8]) -> HostOutput {
+        let mut out = HostOutput::default();
+        let Ok(p) = ParsedPacket::parse(frame) else {
+            return out;
+        };
+        // Accept frames addressed to us or broadcast/multicast.
+        if p.ethernet.dst != self.mac && !p.ethernet.dst.is_broadcast() && !p.ethernet.dst.is_multicast()
+        {
+            return out;
+        }
+        if let Some(arp) = p.arp {
+            out.merge(self.on_arp(&arp));
+            return out;
+        }
+        let Some(ip) = p.ipv4 else {
+            return out;
+        };
+        // DHCP frames are handled before the IP-destination filter: client
+        // replies may target the offered IP or broadcast, and a server host
+        // must see broadcast DISCOVERs.
+        if p.is_dhcp() {
+            if let Some(payload) = p.l4_payload(frame) {
+                if let Ok(dhcp) = DhcpRepr::parse(payload) {
+                    if matches!(self.app, HostApp::DhcpServer(_)) {
+                        out.merge(self.serve_dhcp(&dhcp, p.ethernet.src));
+                    } else {
+                        out.merge(self.on_dhcp(&dhcp));
+                    }
+                }
+            }
+            return out;
+        }
+        if ip.dst != self.ip && ip.dst != Ipv4Addr::BROADCAST {
+            return out;
+        }
+        match p.l4 {
+            Some(L4Info::Udp { src, dst }) => {
+                let payload = p.l4_payload(frame).unwrap_or(&[]).to_vec();
+                out.delivered.push(Delivery {
+                    src_ip: ip.src,
+                    dst_ip: ip.dst,
+                    src_port: src,
+                    dst_port: dst,
+                    payload: payload.clone(),
+                    frame_len: frame.len(),
+                });
+                out.merge(self.run_app(ip.src, src, dst, &payload));
+            }
+            Some(L4Info::Icmp { icmp_type: 8, .. }) => {
+                if let Some(off) = p.l4_payload_offset {
+                    if let Ok(req) = Icmpv4Repr::parse(&frame[off..]) {
+                        let reply = req.reply();
+                        let icmp_bytes = reply.to_bytes();
+                        let ipr = Ipv4Repr {
+                            src: self.ip,
+                            dst: ip.src,
+                            protocol: IpProtocol::Icmp,
+                            payload_len: icmp_bytes.len(),
+                            ttl: sav_net::ipv4::DEFAULT_TTL,
+                        };
+                        let eth = EthernetRepr {
+                            src: self.mac,
+                            dst: p.ethernet.src,
+                            ethertype: EtherType::Ipv4,
+                        };
+                        let mut buf =
+                            vec![0u8; ETHERNET_HEADER_LEN + ipr.buffer_len()];
+                        {
+                            let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+                            eth.emit(&mut f);
+                            let mut ipp = Ipv4Packet::new_unchecked(f.payload_mut());
+                            ipr.emit(&mut ipp);
+                            ipp.payload_mut().copy_from_slice(&icmp_bytes);
+                        }
+                        out.tx.push(buf);
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn on_arp(&mut self, arp: &ArpRepr) -> HostOutput {
+        let mut out = HostOutput::default();
+        // Learn the sender mapping opportunistically (hosts do).
+        if arp.sender_ip != Ipv4Addr::UNSPECIFIED {
+            self.arp_table.insert(arp.sender_ip, arp.sender_mac);
+            out.merge(self.flush_pending(arp.sender_ip));
+        }
+        if arp.op == ArpOp::Request && arp.target_ip == self.ip {
+            let reply = arp.reply_to(self.mac);
+            out.tx.push(build_arp(&reply));
+        }
+        out
+    }
+
+    fn flush_pending(&mut self, ip: Ipv4Addr) -> HostOutput {
+        let mut out = HostOutput::default();
+        let Some(queued) = self.pending.remove(&ip) else {
+            return out;
+        };
+        let Some(&dst_mac) = self.arp_table.get(&ip) else {
+            return out;
+        };
+        for q in queued {
+            out.tx.push(self.build_udp(
+                dst_mac, q.dst_ip, q.src_port, q.dst_port, &q.payload, q.spoof,
+            ));
+        }
+        out
+    }
+
+    fn on_dhcp(&mut self, msg: &DhcpRepr) -> HostOutput {
+        let mut out = HostOutput::default();
+        if msg.client_mac != self.mac {
+            return out;
+        }
+        match (self.dhcp, msg.message_type) {
+            (DhcpState::Discovering(xid), DhcpMessageType::Offer) if msg.xid == xid => {
+                let mut req = DhcpRepr::client(DhcpMessageType::Request, xid, self.mac);
+                req.requested_ip = Some(msg.your_ip);
+                req.server_id = msg.server_id;
+                self.dhcp = DhcpState::Requesting(xid);
+                out.tx.push(self.dhcp_frame(&req));
+            }
+            (DhcpState::Requesting(xid), DhcpMessageType::Ack) if msg.xid == xid => {
+                self.ip = msg.your_ip;
+                self.dhcp = DhcpState::Bound;
+                // Gratuitous ARP announces the new binding; the SDN host
+                // tracker and the other hosts' ARP caches learn from it.
+                let garp = ArpRepr {
+                    op: ArpOp::Request,
+                    sender_mac: self.mac,
+                    sender_ip: self.ip,
+                    target_mac: MacAddr::ZERO,
+                    target_ip: self.ip,
+                };
+                out.tx.push(build_arp(&garp));
+            }
+            (DhcpState::Requesting(xid), DhcpMessageType::Nak) if msg.xid == xid => {
+                self.dhcp = DhcpState::Idle;
+            }
+            _ => {}
+        }
+        out
+    }
+
+    /// Server-side DHCP: answer DISCOVER with OFFER, REQUEST with ACK,
+    /// honour RELEASE. Replies unicast to the client MAC with broadcast IP
+    /// (the standard pre-address exchange).
+    fn serve_dhcp(&mut self, msg: &DhcpRepr, client_l2: MacAddr) -> HostOutput {
+        let mut out = HostOutput::default();
+        let HostApp::DhcpServer(ref mut state) = self.app else {
+            return out;
+        };
+        let reply = match msg.message_type {
+            DhcpMessageType::Discover => {
+                let Some(ip) = state.allocate(msg.client_mac) else {
+                    return out;
+                };
+                let mut r = DhcpRepr::client(DhcpMessageType::Discover, msg.xid, msg.client_mac);
+                r.message_type = DhcpMessageType::Offer;
+                r.your_ip = ip;
+                r.server_id = Some(self.ip);
+                r.lease_secs = Some(state.lease_secs);
+                r.subnet_mask = Some(state.pool.netmask());
+                Some(r)
+            }
+            DhcpMessageType::Request => {
+                let offered = state.allocate(msg.client_mac);
+                match (offered, msg.requested_ip) {
+                    (Some(ip), Some(req)) if ip == req => {
+                        let mut r =
+                            DhcpRepr::client(DhcpMessageType::Request, msg.xid, msg.client_mac);
+                        r.message_type = DhcpMessageType::Ack;
+                        r.your_ip = ip;
+                        r.server_id = Some(self.ip);
+                        r.lease_secs = Some(state.lease_secs);
+                        r.subnet_mask = Some(state.pool.netmask());
+                        Some(r)
+                    }
+                    _ => {
+                        let mut r =
+                            DhcpRepr::client(DhcpMessageType::Request, msg.xid, msg.client_mac);
+                        r.message_type = DhcpMessageType::Nak;
+                        r.server_id = Some(self.ip);
+                        Some(r)
+                    }
+                }
+            }
+            DhcpMessageType::Release => {
+                state.release(msg.client_mac);
+                None
+            }
+            _ => None,
+        };
+        if let Some(r) = reply {
+            let payload = r.to_bytes();
+            let udp = UdpRepr {
+                src_port: sav_net::dhcpv4::DHCP_SERVER_PORT,
+                dst_port: sav_net::dhcpv4::DHCP_CLIENT_PORT,
+                payload_len: payload.len(),
+            };
+            let ip = Ipv4Repr::udp(self.ip, Ipv4Addr::BROADCAST, udp.buffer_len());
+            let eth = EthernetRepr {
+                src: self.mac,
+                dst: client_l2,
+                ethertype: EtherType::Ipv4,
+            };
+            out.tx.push(build_ipv4_udp(&eth, &ip, &udp, &payload));
+        }
+        out
+    }
+
+    fn run_app(&mut self, peer_ip: Ipv4Addr, peer_port: u16, local_port: u16, payload: &[u8]) -> HostOutput {
+        let mut out = HostOutput::default();
+        match &self.app {
+            HostApp::Sink => {}
+            HostApp::UdpEcho { port } if *port == local_port => {
+                out.merge(self.send_udp(peer_ip, local_port, peer_port, payload, SpoofMode::None));
+            }
+            HostApp::UdpEcho { .. } => {}
+            HostApp::DnsResolver { amplification } if local_port == 53 => {
+                if let Ok(query) = DnsRepr::parse(payload) {
+                    if !query.flags.response {
+                        let amp = *amplification;
+                        let target = payload.len().saturating_mul(amp).max(payload.len());
+                        let mut answers = Vec::new();
+                        let mut size = query.buffer_len();
+                        while size < target {
+                            let a = sav_net::dns::DnsAnswer::txt(
+                                &query.question.name,
+                                300,
+                                &[b'x'; 120],
+                            );
+                            size += a.name.len() + 2 + 10 + a.rdata.len();
+                            answers.push(a);
+                        }
+                        let resp = query.respond(answers);
+                        let bytes = resp.to_bytes();
+                        out.merge(self.send_udp(
+                            peer_ip,
+                            53,
+                            peer_port,
+                            &bytes,
+                            SpoofMode::None,
+                        ));
+                    }
+                }
+            }
+            HostApp::DnsResolver { .. } => {}
+            // DHCP is handled before UDP delivery in on_frame.
+            HostApp::DhcpServer(_) => {}
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(ip: &str, idx: u64, app: HostApp) -> Host {
+        Host::new(HostConfig {
+            mac: MacAddr::from_index(idx),
+            ip: ip.parse().unwrap(),
+            app,
+        })
+    }
+
+    #[test]
+    fn arp_resolution_then_send() {
+        let mut a = host("10.0.0.1", 1, HostApp::Sink);
+        let mut b = host("10.0.0.2", 2, HostApp::Sink);
+
+        // a sends to b: first an ARP request goes out.
+        let out = a.send_udp("10.0.0.2".parse().unwrap(), 1000, 2000, b"hi", SpoofMode::None);
+        assert_eq!(out.tx.len(), 1);
+        let p = ParsedPacket::parse(&out.tx[0]).unwrap();
+        assert!(p.arp.is_some());
+        assert_eq!(a.arp_requests_sent, 1);
+
+        // b replies; a flushes the queued datagram.
+        let breply = b.on_frame(&out.tx[0]);
+        assert_eq!(breply.tx.len(), 1);
+        let aout = a.on_frame(&breply.tx[0]);
+        assert_eq!(aout.tx.len(), 1);
+        let p = ParsedPacket::parse(&aout.tx[0]).unwrap();
+        assert_eq!(p.ipv4_src(), Some("10.0.0.1".parse().unwrap()));
+        assert_eq!(p.l4_dst_port(), Some(2000));
+
+        // b receives the datagram.
+        let bout = b.on_frame(&aout.tx[0]);
+        assert_eq!(bout.delivered.len(), 1);
+        assert_eq!(bout.delivered[0].payload, b"hi");
+    }
+
+    #[test]
+    fn spoofed_send_keeps_honest_arp() {
+        let mut a = host("10.0.0.1", 1, HostApp::Sink);
+        a.learn_arp("10.0.0.2".parse().unwrap(), MacAddr::from_index(2));
+        let victim: Ipv4Addr = "203.0.113.7".parse().unwrap();
+        let out = a.send_udp(
+            "10.0.0.2".parse().unwrap(),
+            1000,
+            53,
+            b"q",
+            SpoofMode::Ipv4(victim),
+        );
+        let p = ParsedPacket::parse(&out.tx[0]).unwrap();
+        assert_eq!(p.ipv4_src(), Some(victim));
+        assert_eq!(p.ethernet.src, a.mac, "MAC stays honest in Ipv4 mode");
+
+        let out = a.send_udp(
+            "10.0.0.2".parse().unwrap(),
+            1000,
+            53,
+            b"q",
+            SpoofMode::Ipv4AndMac(victim, MacAddr::from_index(99)),
+        );
+        let p = ParsedPacket::parse(&out.tx[0]).unwrap();
+        assert_eq!(p.ethernet.src, MacAddr::from_index(99));
+    }
+
+    #[test]
+    fn udp_echo_answers() {
+        let mut e = host("10.0.0.9", 9, HostApp::UdpEcho { port: 7 });
+        e.learn_arp("10.0.0.1".parse().unwrap(), MacAddr::from_index(1));
+        let mut a = host("10.0.0.1", 1, HostApp::Sink);
+        a.learn_arp("10.0.0.9".parse().unwrap(), MacAddr::from_index(9));
+        let out = a.send_udp("10.0.0.9".parse().unwrap(), 5555, 7, b"ping", SpoofMode::None);
+        let eo = e.on_frame(&out.tx[0]);
+        assert_eq!(eo.delivered.len(), 1);
+        assert_eq!(eo.tx.len(), 1, "echo reply");
+        let p = ParsedPacket::parse(&eo.tx[0]).unwrap();
+        assert_eq!(p.l4_dst_port(), Some(5555));
+        // Reply delivered back to a.
+        let ao = a.on_frame(&eo.tx[0]);
+        assert_eq!(ao.delivered.len(), 1);
+        assert_eq!(ao.delivered[0].payload, b"ping");
+        // Wrong port: delivered but not echoed.
+        let out = a.send_udp("10.0.0.9".parse().unwrap(), 5555, 8, b"x", SpoofMode::None);
+        let eo = e.on_frame(&out.tx[0]);
+        assert!(eo.tx.is_empty());
+    }
+
+    #[test]
+    fn dns_resolver_amplifies() {
+        let mut r = host("10.0.0.53", 53, HostApp::DnsResolver { amplification: 10 });
+        r.learn_arp("203.0.113.7".parse().unwrap(), MacAddr::from_index(7));
+        let query = DnsRepr::query(42, "victim.example", DnsType::Any).to_bytes();
+        let mut bot = host("10.0.0.66", 66, HostApp::Sink);
+        bot.learn_arp("10.0.0.53".parse().unwrap(), MacAddr::from_index(53));
+        // Bot spoofs the victim's address.
+        let out = bot.send_udp(
+            "10.0.0.53".parse().unwrap(),
+            33333,
+            53,
+            &query,
+            SpoofMode::Ipv4("203.0.113.7".parse().unwrap()),
+        );
+        let ro = r.on_frame(&out.tx[0]);
+        assert_eq!(ro.tx.len(), 1, "amplified response emitted");
+        let resp = ParsedPacket::parse(&ro.tx[0]).unwrap();
+        // Response goes to the *victim*, not the bot: reflection.
+        assert_eq!(resp.ipv4_dst(), Some("203.0.113.7".parse().unwrap()));
+        // The x10 target applies to the UDP payload; frame-level overhead
+        // (42 header bytes on each side) dilutes it slightly.
+        assert!(
+            ro.tx[0].len() >= out.tx[0].len() * 4,
+            "amplification: {} -> {}",
+            out.tx[0].len(),
+            ro.tx[0].len()
+        );
+    }
+
+    #[test]
+    fn dns_resolver_ignores_responses() {
+        let mut r = host("10.0.0.53", 53, HostApp::DnsResolver { amplification: 10 });
+        let resp = DnsRepr::query(1, "a.b", DnsType::A).respond(vec![]).to_bytes();
+        let mut c = host("10.0.0.1", 1, HostApp::Sink);
+        c.learn_arp("10.0.0.53".parse().unwrap(), MacAddr::from_index(53));
+        let out = c.send_udp("10.0.0.53".parse().unwrap(), 53, 53, &resp, SpoofMode::None);
+        let ro = r.on_frame(&out.tx[0]);
+        assert!(ro.tx.is_empty(), "responses must not be re-amplified");
+    }
+
+    #[test]
+    fn icmp_echo_reply() {
+        let mut h = host("10.0.0.5", 5, HostApp::Sink);
+        let icmp = Icmpv4Repr::echo_request(7, 1, b"abc").to_bytes();
+        let ipr = Ipv4Repr {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "10.0.0.5".parse().unwrap(),
+            protocol: IpProtocol::Icmp,
+            payload_len: icmp.len(),
+            ttl: 64,
+        };
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(5),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut frame = vec![0u8; ETHERNET_HEADER_LEN + ipr.buffer_len()];
+        {
+            let mut f = EthernetFrame::new_unchecked(&mut frame[..]);
+            eth.emit(&mut f);
+            let mut ipp = Ipv4Packet::new_unchecked(f.payload_mut());
+            ipr.emit(&mut ipp);
+            ipp.payload_mut().copy_from_slice(&icmp);
+        }
+        let out = h.on_frame(&frame);
+        assert_eq!(out.tx.len(), 1);
+        let p = ParsedPacket::parse(&out.tx[0]).unwrap();
+        assert_eq!(p.ipv4_dst(), Some("10.0.0.1".parse().unwrap()));
+        match p.l4 {
+            Some(L4Info::Icmp { icmp_type, .. }) => assert_eq!(icmp_type, 0),
+            other => panic!("expected ICMP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_for_other_macs_ignored() {
+        let mut h = host("10.0.0.5", 5, HostApp::Sink);
+        let mut other = host("10.0.0.1", 1, HostApp::Sink);
+        other.learn_arp("10.0.0.5".parse().unwrap(), MacAddr::from_index(77)); // wrong MAC
+        let out = other.send_udp("10.0.0.5".parse().unwrap(), 1, 2, b"x", SpoofMode::None);
+        let ho = h.on_frame(&out.tx[0]);
+        assert!(ho.delivered.is_empty());
+    }
+
+    #[test]
+    fn arp_request_for_other_ip_not_answered_but_learned() {
+        let mut h = host("10.0.0.5", 5, HostApp::Sink);
+        let req = ArpRepr::request(
+            MacAddr::from_index(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.9".parse().unwrap(),
+        );
+        let out = h.on_frame(&build_arp(&req));
+        assert!(out.tx.is_empty());
+        // But the sender was learned: a later send needs no ARP.
+        let o = h.send_udp("10.0.0.1".parse().unwrap(), 1, 2, b"x", SpoofMode::None);
+        let p = ParsedPacket::parse(&o.tx[0]).unwrap();
+        assert!(p.arp.is_none(), "no ARP needed after opportunistic learn");
+    }
+
+    #[test]
+    fn dhcp_dora_assigns_address() {
+        let mut h = host("0.0.0.0", 3, HostApp::Sink);
+        let out = h.dhcp_discover(0x1234);
+        assert_eq!(out.tx.len(), 1);
+        let p = ParsedPacket::parse(&out.tx[0]).unwrap();
+        assert!(p.is_dhcp());
+        assert_eq!(p.ipv4_src(), Some(Ipv4Addr::UNSPECIFIED));
+
+        // Server offers 10.0.1.50.
+        let mut offer = DhcpRepr::client(DhcpMessageType::Discover, 0x1234, h.mac);
+        offer.message_type = DhcpMessageType::Offer;
+        offer.your_ip = "10.0.1.50".parse().unwrap();
+        offer.server_id = Some("10.0.1.1".parse().unwrap());
+        let offer_frame = server_dhcp_frame(&offer, h.mac);
+        let out = h.on_frame(&offer_frame);
+        assert_eq!(out.tx.len(), 1, "REQUEST follows OFFER");
+        assert_eq!(h.dhcp, DhcpState::Requesting(0x1234));
+
+        // Server acks.
+        let mut ack = offer.clone();
+        ack.message_type = DhcpMessageType::Ack;
+        let ack_frame = server_dhcp_frame(&ack, h.mac);
+        h.on_frame(&ack_frame);
+        assert_eq!(h.dhcp, DhcpState::Bound);
+        assert_eq!(h.ip, "10.0.1.50".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn dhcp_wrong_xid_ignored() {
+        let mut h = host("0.0.0.0", 3, HostApp::Sink);
+        h.dhcp_discover(1);
+        let mut offer = DhcpRepr::client(DhcpMessageType::Discover, 999, h.mac);
+        offer.message_type = DhcpMessageType::Offer;
+        offer.your_ip = "10.0.1.50".parse().unwrap();
+        let out = h.on_frame(&server_dhcp_frame(&offer, h.mac));
+        assert!(out.tx.is_empty());
+        assert_eq!(h.dhcp, DhcpState::Discovering(1));
+    }
+
+    #[test]
+    fn full_dora_against_server_host() {
+        let pool: sav_net::addr::Ipv4Cidr = "10.0.1.0/24".parse().unwrap();
+        let mut server = host(
+            "10.0.1.1",
+            0xd5,
+            HostApp::DhcpServer(DhcpServerState::new(pool, 10, 3600)),
+        );
+        let mut client = host("0.0.0.0", 3, HostApp::Sink);
+
+        // DISCOVER → server
+        let out = client.dhcp_discover(0xaa);
+        let so = server.on_frame(&out.tx[0]);
+        assert_eq!(so.tx.len(), 1, "OFFER");
+        // OFFER → client emits REQUEST
+        let co = client.on_frame(&so.tx[0]);
+        assert_eq!(co.tx.len(), 1, "REQUEST");
+        // REQUEST → server ACKs
+        let so = server.on_frame(&co.tx[0]);
+        assert_eq!(so.tx.len(), 1, "ACK");
+        // ACK → client binds and announces via gratuitous ARP.
+        let co = client.on_frame(&so.tx[0]);
+        assert_eq!(client.dhcp, DhcpState::Bound);
+        assert_eq!(client.ip, pool.nth(10).unwrap());
+        assert_eq!(co.tx.len(), 1, "gratuitous ARP");
+        let garp = ParsedPacket::parse(&co.tx[0]).unwrap().arp.unwrap();
+        assert_eq!(garp.sender_ip, client.ip);
+        assert_eq!(garp.target_ip, client.ip);
+
+        // Same client re-discovering gets the same address.
+        let out = client.dhcp_discover(0xbb);
+        let so = server.on_frame(&out.tx[0]);
+        let p = ParsedPacket::parse(&so.tx[0]).unwrap();
+        let offer = DhcpRepr::parse(p.l4_payload(&so.tx[0]).unwrap()).unwrap();
+        assert_eq!(offer.your_ip, pool.nth(10).unwrap());
+
+        // A second client gets the next address.
+        let mut c2 = host("0.0.0.0", 4, HostApp::Sink);
+        let out = c2.dhcp_discover(0xcc);
+        let so = server.on_frame(&out.tx[0]);
+        let p = ParsedPacket::parse(&so.tx[0]).unwrap();
+        let offer = DhcpRepr::parse(p.l4_payload(&so.tx[0]).unwrap()).unwrap();
+        assert_eq!(offer.your_ip, pool.nth(11).unwrap());
+
+        // Release frees the first address for reuse.
+        let rel = client.dhcp_release(0xdd);
+        server.on_frame(&rel.tx[0]);
+        if let HostApp::DhcpServer(s) = &server.app {
+            assert!(!s.leases().contains_key(&client.mac));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn request_for_wrong_ip_gets_nak() {
+        let pool: sav_net::addr::Ipv4Cidr = "10.0.1.0/24".parse().unwrap();
+        let mut server = host(
+            "10.0.1.1",
+            0xd5,
+            HostApp::DhcpServer(DhcpServerState::new(pool, 10, 3600)),
+        );
+        let mut req = DhcpRepr::client(DhcpMessageType::Request, 5, MacAddr::from_index(9));
+        req.requested_ip = Some("10.0.1.250".parse().unwrap()); // not what we'd allocate
+        let mut fake_client = host("0.0.0.0", 9, HostApp::Sink);
+        fake_client.dhcp = DhcpState::Requesting(5);
+        let frame = {
+            let payload = req.to_bytes();
+            let udp = UdpRepr {
+                src_port: sav_net::dhcpv4::DHCP_CLIENT_PORT,
+                dst_port: sav_net::dhcpv4::DHCP_SERVER_PORT,
+                payload_len: payload.len(),
+            };
+            let ip = Ipv4Repr::udp(Ipv4Addr::UNSPECIFIED, Ipv4Addr::BROADCAST, udp.buffer_len());
+            let eth = EthernetRepr {
+                src: fake_client.mac,
+                dst: MacAddr::BROADCAST,
+                ethertype: EtherType::Ipv4,
+            };
+            build_ipv4_udp(&eth, &ip, &udp, &payload)
+        };
+        let so = server.on_frame(&frame);
+        assert_eq!(so.tx.len(), 1);
+        let p = ParsedPacket::parse(&so.tx[0]).unwrap();
+        let msg = DhcpRepr::parse(p.l4_payload(&so.tx[0]).unwrap()).unwrap();
+        assert_eq!(msg.message_type, DhcpMessageType::Nak);
+        // Client returns to Idle on NAK.
+        fake_client.on_frame(&so.tx[0]);
+        assert_eq!(fake_client.dhcp, DhcpState::Idle);
+    }
+
+    fn server_dhcp_frame(msg: &DhcpRepr, client_mac: MacAddr) -> Vec<u8> {
+        let payload = msg.to_bytes();
+        let udp = UdpRepr {
+            src_port: sav_net::dhcpv4::DHCP_SERVER_PORT,
+            dst_port: sav_net::dhcpv4::DHCP_CLIENT_PORT,
+            payload_len: payload.len(),
+        };
+        let ip = Ipv4Repr::udp(
+            "10.0.1.1".parse().unwrap(),
+            Ipv4Addr::BROADCAST,
+            udp.buffer_len(),
+        );
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(0xd4c9),
+            dst: client_mac,
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, &payload)
+    }
+}

@@ -1,0 +1,34 @@
+//! # sav-dataplane — a software OpenFlow 1.3 switch and host endpoints
+//!
+//! The forwarding substrate of the `sdn-sav` testbed:
+//!
+//! * [`matcher`] — evaluates OXM matches against parsed frames (with masks).
+//! * [`flow_table`] — priority-ordered flow tables with idle/hard timeouts,
+//!   counters, and loose/strict modify/delete semantics.
+//! * [`switch`] — [`switch::OpenFlowSwitch`], a sans-IO switch that consumes
+//!   *encoded* OpenFlow bytes from its control channel and raw Ethernet
+//!   frames from its ports, and produces encoded replies plus frames to
+//!   transmit. Everything a controller does to it travels through the real
+//!   `sav-openflow` codec, exactly as over a TCP control channel.
+//! * [`host`] — [`host::Host`], a minimal endpoint stack (ARP, IPv4/UDP,
+//!   ICMP echo, DNS responder, DHCP client) able to source both honest and
+//!   spoofed traffic for the SAV evaluation.
+//!
+//! The switch deliberately implements the OpenFlow 1.3 *required* behaviour
+//! the SAV system relies on — multi-table pipeline, table-miss entries,
+//! priority matching, timeouts with `FLOW_REMOVED`, `PACKET_IN`/`PACKET_OUT`
+//! with optional buffering, port stats — and returns proper `OFPT_ERROR`
+//! replies for the rest (groups, meters), like a small hardware switch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow_table;
+pub mod host;
+pub mod matcher;
+pub mod switch;
+
+pub use flow_table::{FlowEntry, FlowTable};
+pub use host::{DhcpServerState, Host, HostApp, HostConfig, HostOutput, SpoofMode};
+pub use matcher::{matches, MatchContext};
+pub use switch::{OpenFlowSwitch, SwitchConfig, SwitchOutput};

@@ -1,0 +1,243 @@
+//! OXM match evaluation against parsed frames.
+//!
+//! The switch parses each frame once into a [`ParsedPacket`] and then
+//! evaluates candidate flow entries' matches against it. Field semantics
+//! follow the OpenFlow 1.3 matching rules: a field that is absent from the
+//! packet (e.g. `ipv4_src` on an ARP frame) makes any match requiring it
+//! fail, and masked fields compare only the masked bits.
+
+use sav_net::packet::{L4Info, ParsedPacket};
+use sav_net::prelude::*;
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Everything a match can see: the parsed packet plus pipeline metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct MatchContext<'a> {
+    /// The port the frame arrived on.
+    pub in_port: u32,
+    /// The parsed frame.
+    pub packet: &'a ParsedPacket,
+}
+
+fn mac_masked_eq(value: MacAddr, mask: Option<MacAddr>, actual: MacAddr) -> bool {
+    match mask {
+        None => value == actual,
+        Some(m) => value
+            .as_bytes()
+            .iter()
+            .zip(m.as_bytes())
+            .zip(actual.as_bytes())
+            .all(|((v, m), a)| v & m == a & m),
+    }
+}
+
+fn ip4_masked_eq(value: Ipv4Addr, mask: Option<Ipv4Addr>, actual: Ipv4Addr) -> bool {
+    match mask {
+        None => value == actual,
+        Some(m) => u32::from(value) & u32::from(m) == u32::from(actual) & u32::from(m),
+    }
+}
+
+fn ip6_masked_eq(value: Ipv6Addr, mask: Option<Ipv6Addr>, actual: Ipv6Addr) -> bool {
+    match mask {
+        None => value == actual,
+        Some(m) => u128::from(value) & u128::from(m) == u128::from(actual) & u128::from(m),
+    }
+}
+
+/// Does `m` match the frame in `ctx`? An empty match matches everything.
+pub fn matches(m: &OxmMatch, ctx: &MatchContext<'_>) -> bool {
+    let p = ctx.packet;
+    for field in m.fields() {
+        let ok = match *field {
+            OxmField::InPort(want) => ctx.in_port == want,
+            OxmField::EthDst(v, mask) => mac_masked_eq(v, mask, p.ethernet.dst),
+            OxmField::EthSrc(v, mask) => mac_masked_eq(v, mask, p.ethernet.src),
+            OxmField::EthType(want) => u16::from(p.ethernet.ethertype) == want,
+            OxmField::IpProto(want) => match (&p.ipv4, &p.ipv6) {
+                (Some(ip), _) => u8::from(ip.protocol) == want,
+                (None, Some(ip)) => u8::from(ip.next_header) == want,
+                _ => false,
+            },
+            OxmField::Ipv4Src(v, mask) => p
+                .ipv4
+                .map(|ip| ip4_masked_eq(v, mask, ip.src))
+                .unwrap_or(false),
+            OxmField::Ipv4Dst(v, mask) => p
+                .ipv4
+                .map(|ip| ip4_masked_eq(v, mask, ip.dst))
+                .unwrap_or(false),
+            OxmField::TcpSrc(want) => {
+                matches!(p.l4, Some(L4Info::Tcp { src, .. }) if src == want)
+            }
+            OxmField::TcpDst(want) => {
+                matches!(p.l4, Some(L4Info::Tcp { dst, .. }) if dst == want)
+            }
+            OxmField::UdpSrc(want) => {
+                matches!(p.l4, Some(L4Info::Udp { src, .. }) if src == want)
+            }
+            OxmField::UdpDst(want) => {
+                matches!(p.l4, Some(L4Info::Udp { dst, .. }) if dst == want)
+            }
+            OxmField::ArpOp(want) => p
+                .arp
+                .map(|a| match a.op {
+                    ArpOp::Request => want == 1,
+                    ArpOp::Reply => want == 2,
+                })
+                .unwrap_or(false),
+            OxmField::ArpSpa(v, mask) => p
+                .arp
+                .map(|a| ip4_masked_eq(v, mask, a.sender_ip))
+                .unwrap_or(false),
+            OxmField::ArpTpa(v, mask) => p
+                .arp
+                .map(|a| ip4_masked_eq(v, mask, a.target_ip))
+                .unwrap_or(false),
+            OxmField::ArpSha(v) => p.arp.map(|a| a.sender_mac == v).unwrap_or(false),
+            OxmField::ArpTha(v) => p.arp.map(|a| a.target_mac == v).unwrap_or(false),
+            OxmField::Ipv6Src(v, mask) => p
+                .ipv6
+                .map(|ip| ip6_masked_eq(v, mask, ip.src))
+                .unwrap_or(false),
+            OxmField::Ipv6Dst(v, mask) => p
+                .ipv6
+                .map(|ip| ip6_masked_eq(v, mask, ip.dst))
+                .unwrap_or(false),
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_net::builder::{build_arp, build_ipv4_udp};
+
+    fn udp_frame(src_ip: &str, dst_ip: &str, src_port: u16, dst_port: u16) -> Vec<u8> {
+        let udp = UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: 0,
+        };
+        let ip = Ipv4Repr::udp(src_ip.parse().unwrap(), dst_ip.parse().unwrap(), udp.buffer_len());
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, b"")
+    }
+
+    fn ctx(packet: &ParsedPacket, in_port: u32) -> MatchContext<'_> {
+        MatchContext { in_port, packet }
+    }
+
+    #[test]
+    fn empty_match_matches_all() {
+        let f = udp_frame("10.0.0.1", "10.0.0.2", 1, 2);
+        let p = ParsedPacket::parse(&f).unwrap();
+        assert!(matches(&OxmMatch::new(), &ctx(&p, 1)));
+    }
+
+    #[test]
+    fn sav_binding_rule_matching() {
+        let f = udp_frame("10.0.1.5", "8.8.8.8", 1000, 53);
+        let p = ParsedPacket::parse(&f).unwrap();
+        let rule = OxmMatch::new()
+            .with(OxmField::InPort(3))
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::EthSrc(MacAddr::from_index(1), None))
+            .with(OxmField::Ipv4Src("10.0.1.5".parse().unwrap(), None));
+        assert!(matches(&rule, &ctx(&p, 3)));
+        // Wrong port.
+        assert!(!matches(&rule, &ctx(&p, 4)));
+        // Spoofed source.
+        let spoofed = udp_frame("10.0.9.9", "8.8.8.8", 1000, 53);
+        let sp = ParsedPacket::parse(&spoofed).unwrap();
+        assert!(!matches(&rule, &ctx(&sp, 3)));
+    }
+
+    #[test]
+    fn masked_ipv4_prefix() {
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src(
+                "10.0.0.0".parse().unwrap(),
+                Some("255.255.0.0".parse().unwrap()),
+            ));
+        let inside = udp_frame("10.0.200.1", "1.1.1.1", 1, 2);
+        let p = ParsedPacket::parse(&inside).unwrap();
+        assert!(matches(&rule, &ctx(&p, 1)));
+        let outside = udp_frame("10.1.0.1", "1.1.1.1", 1, 2);
+        let p = ParsedPacket::parse(&outside).unwrap();
+        assert!(!matches(&rule, &ctx(&p, 1)));
+    }
+
+    #[test]
+    fn masked_mac() {
+        let rule = OxmMatch::new().with(OxmField::EthDst(
+            MacAddr([0x01, 0x00, 0x5e, 0, 0, 0]),
+            Some(MacAddr([0xff, 0xff, 0xff, 0x80, 0, 0])),
+        ));
+        let mut f = udp_frame("10.0.0.1", "224.0.0.5", 1, 2);
+        f[0..6].copy_from_slice(&[0x01, 0x00, 0x5e, 0x00, 0x00, 0x05]);
+        let p = ParsedPacket::parse(&f).unwrap();
+        assert!(matches(&rule, &ctx(&p, 1)));
+    }
+
+    #[test]
+    fn l4_ports() {
+        let f = udp_frame("10.0.0.1", "10.0.0.2", 5353, 53);
+        let p = ParsedPacket::parse(&f).unwrap();
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(17))
+            .with(OxmField::UdpDst(53));
+        assert!(matches(&rule, &ctx(&p, 1)));
+        // TCP match against a UDP packet fails.
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::TcpDst(53));
+        assert!(!matches(&rule, &ctx(&p, 1)));
+    }
+
+    #[test]
+    fn ip_fields_fail_on_arp() {
+        let arp = ArpRepr::request(
+            MacAddr::from_index(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+        );
+        let f = build_arp(&arp);
+        let p = ParsedPacket::parse(&f).unwrap();
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src("10.0.0.1".parse().unwrap(), None));
+        assert!(!matches(&rule, &ctx(&p, 1)));
+        // But ARP fields work.
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0806))
+            .with(OxmField::ArpOp(1))
+            .with(OxmField::ArpSpa("10.0.0.1".parse().unwrap(), None))
+            .with(OxmField::ArpSha(MacAddr::from_index(1)));
+        assert!(matches(&rule, &ctx(&p, 1)));
+        let rule = OxmMatch::new()
+            .with(OxmField::EthType(0x0806))
+            .with(OxmField::ArpOp(2));
+        assert!(!matches(&rule, &ctx(&p, 1)));
+    }
+
+    #[test]
+    fn eth_type_mismatch() {
+        let f = udp_frame("10.0.0.1", "10.0.0.2", 1, 2);
+        let p = ParsedPacket::parse(&f).unwrap();
+        let rule = OxmMatch::new().with(OxmField::EthType(0x0806));
+        assert!(!matches(&rule, &ctx(&p, 1)));
+    }
+}

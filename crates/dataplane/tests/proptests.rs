@@ -1,0 +1,154 @@
+//! Property-based tests for the flow table and the matcher: the invariants
+//! the pipeline correctness rests on.
+
+use proptest::prelude::*;
+use sav_dataplane::flow_table::FlowTable;
+use sav_dataplane::matcher::{matches, MatchContext};
+use sav_net::addr::MacAddr;
+use sav_net::builder::build_ipv4_udp;
+use sav_net::packet::ParsedPacket;
+use sav_net::prelude::*;
+use sav_openflow::messages::FlowMod;
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::prelude::Instruction;
+use sav_sim::SimTime;
+use std::net::Ipv4Addr;
+
+fn frame(src: Ipv4Addr, sport: u16, dport: u16, smac: MacAddr) -> Vec<u8> {
+    let udp = UdpRepr {
+        src_port: sport,
+        dst_port: dport,
+        payload_len: 0,
+    };
+    let ip = Ipv4Repr::udp(src, "192.0.2.1".parse().unwrap(), udp.buffer_len());
+    let eth = EthernetRepr {
+        src: smac,
+        dst: MacAddr::from_index(2),
+        ethertype: EtherType::Ipv4,
+    };
+    build_ipv4_udp(&eth, &ip, &udp, b"")
+}
+
+proptest! {
+    /// The table always returns the highest-priority matching entry,
+    /// regardless of insertion order.
+    #[test]
+    fn lookup_returns_highest_priority(
+        mut entries in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..32),
+        probe_port in 1u32..8,
+    ) {
+        // Entry i matches in_port = (i % 8) + 1 at a random priority; the
+        // cookie records (priority, index) for verification.
+        let mut t = FlowTable::new(1024);
+        for (i, (prio, _)) in entries.iter().enumerate() {
+            let m = OxmMatch::new().with(OxmField::InPort((i as u32 % 8) + 1));
+            let fm = FlowMod {
+                priority: *prio,
+                cookie: ((*prio as u64) << 32) | i as u64,
+                instructions: vec![Instruction::GotoTable(1)],
+                ..FlowMod::add(m)
+            };
+            t.add(&fm, SimTime::ZERO);
+        }
+        let f = frame("10.0.0.1".parse().unwrap(), 1, 2, MacAddr::from_index(1));
+        let p = ParsedPacket::parse(&f).unwrap();
+        let ctx = MatchContext { in_port: probe_port, packet: &p };
+        let hit = t.lookup(&ctx, SimTime::ZERO, f.len());
+        // Compute the expected winner by hand: the max priority among
+        // entries whose port matches, with identical (priority, match)
+        // replaced by the later insertion.
+        let mut best: Option<(u16, usize)> = None;
+        // Deduplicate identical (priority, port) pairs: last write wins.
+        let mut seen = std::collections::HashMap::new();
+        for (i, (prio, _)) in entries.iter().enumerate() {
+            seen.insert((*prio, (i as u32 % 8) + 1), i);
+        }
+        entries.clear();
+        for ((prio, port), i) in seen {
+            if port == probe_port {
+                match best {
+                    Some((bp, _)) if bp >= prio => {}
+                    _ => best = Some((prio, i)),
+                }
+            }
+        }
+        match (hit, best) {
+            (None, None) => {}
+            (Some((_, cookie)), Some((prio, _))) => {
+                prop_assert_eq!((cookie >> 32) as u16, prio, "highest priority wins");
+            }
+            (got, want) => prop_assert!(false, "mismatch: got {:?}, want {:?}", got.is_some(), want),
+        }
+    }
+
+    /// Adding then strictly deleting every entry leaves an empty table.
+    #[test]
+    fn add_delete_roundtrip(ports in proptest::collection::vec(1u32..64, 1..40), prio in any::<u16>()) {
+        let mut t = FlowTable::new(4096);
+        let mut uniq: Vec<u32> = ports.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &p in &ports {
+            let fm = FlowMod {
+                priority: prio,
+                ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(p)))
+            };
+            t.add(&fm, SimTime::ZERO);
+        }
+        prop_assert_eq!(t.len(), uniq.len(), "identical adds replace");
+        for &p in &uniq {
+            let mut fm = FlowMod::delete(0, OxmMatch::new().with(OxmField::InPort(p)));
+            fm.command = sav_openflow::messages::FlowModCommand::DeleteStrict;
+            fm.priority = prio;
+            let removed = t.delete(&fm);
+            prop_assert_eq!(removed.len(), 1);
+        }
+        prop_assert!(t.is_empty());
+    }
+
+    /// An entry never matches a packet its own match rejects, and the
+    /// empty match accepts everything (soundness of the matcher against a
+    /// brute-force field check).
+    #[test]
+    fn matcher_agrees_with_field_semantics(
+        src in any::<u32>(),
+        sport in any::<u16>(),
+        rule_src in any::<u32>(),
+        masklen in 0u8..=32,
+        rule_port in proptest::option::of(any::<u16>()),
+    ) {
+        let src = Ipv4Addr::from(src);
+        let f = frame(src, sport, 53, MacAddr::from_index(7));
+        let p = ParsedPacket::parse(&f).unwrap();
+        let cidr = sav_net::addr::Ipv4Cidr::new(Ipv4Addr::from(rule_src), masklen);
+        let mut m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src(cidr.network(), Some(cidr.netmask())));
+        if let Some(pt) = rule_port {
+            m.push(OxmField::IpProto(17));
+            m.push(OxmField::UdpSrc(pt));
+        }
+        let ctx = MatchContext { in_port: 1, packet: &p };
+        let expect = cidr.contains(src) && rule_port.map(|pt| pt == sport).unwrap_or(true);
+        prop_assert_eq!(matches(&m, &ctx), expect);
+        prop_assert!(matches(&OxmMatch::new(), &ctx));
+    }
+
+    /// Timeout expiry is exact: entries die at their deadline, not before.
+    #[test]
+    fn expiry_is_exact(hard in 1u16..300, probe_offset in 0u64..600) {
+        let mut t = FlowTable::new(16);
+        let mut fm = FlowMod::add(OxmMatch::new());
+        fm.hard_timeout = hard;
+        t.add(&fm, SimTime::ZERO);
+        let now = SimTime::from_secs(probe_offset);
+        let expired = t.expire(now);
+        if probe_offset >= u64::from(hard) {
+            prop_assert_eq!(expired.len(), 1);
+            prop_assert!(t.is_empty());
+        } else {
+            prop_assert!(expired.is_empty());
+            prop_assert_eq!(t.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Wire-level conformance: the switch's error behaviour driven purely by
+//! encoded OpenFlow bytes, the way a remote controller would see it.
+
+use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
+use sav_net::addr::MacAddr;
+use sav_openflow::consts::{error_type, flow_mod_failed, flow_mod_flags};
+use sav_openflow::messages::{FlowMod, Message};
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::ports::PortDesc;
+use sav_sim::SimTime;
+
+fn mk_switch(capacity: usize) -> OpenFlowSwitch {
+    let mut cfg = SwitchConfig::new(0xabc);
+    cfg.max_entries_per_table = capacity;
+    OpenFlowSwitch::new(
+        cfg,
+        (1..=2).map(|p| PortDesc::new(p, MacAddr::from_index(p as u64))).collect(),
+    )
+}
+
+fn errors_of(sw: &mut OpenFlowSwitch, msg: Message, xid: u32) -> Vec<(u16, u16, u32)> {
+    let out = sw
+        .handle_controller_bytes(SimTime::ZERO, &msg.encode(xid))
+        .unwrap();
+    out.to_controller
+        .iter()
+        .filter_map(|b| match Message::decode(b) {
+            Ok((Message::Error(e), got_xid)) => Some((e.err_type, e.code, got_xid)),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn table_full_error_carries_request_xid() {
+    let mut sw = mk_switch(2);
+    for port in 1..=2 {
+        let fm = FlowMod {
+            priority: 5,
+            ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(port)))
+        };
+        assert!(errors_of(&mut sw, Message::FlowMod(fm), 10 + port).is_empty());
+    }
+    let fm = FlowMod {
+        priority: 5,
+        ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(99)))
+    };
+    let errs = errors_of(&mut sw, Message::FlowMod(fm), 777);
+    assert_eq!(
+        errs,
+        vec![(error_type::FLOW_MOD_FAILED, flow_mod_failed::TABLE_FULL, 777)]
+    );
+    assert_eq!(sw.total_flows(), 2, "rejected add must not be installed");
+}
+
+#[test]
+fn overlap_error_over_the_wire() {
+    let mut sw = mk_switch(100);
+    let wide = FlowMod {
+        priority: 7,
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src(
+                    "10.0.0.0".parse().unwrap(),
+                    Some("255.0.0.0".parse().unwrap()),
+                )),
+        )
+    };
+    assert!(errors_of(&mut sw, Message::FlowMod(wide), 1).is_empty());
+    let narrow = FlowMod {
+        priority: 7,
+        flags: flow_mod_flags::CHECK_OVERLAP,
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src("10.1.2.3".parse().unwrap(), None)),
+        )
+    };
+    let errs = errors_of(&mut sw, Message::FlowMod(narrow), 42);
+    assert_eq!(
+        errs,
+        vec![(error_type::FLOW_MOD_FAILED, flow_mod_failed::OVERLAP, 42)]
+    );
+}
+
+#[test]
+fn controller_bound_message_rejected_as_bad_request() {
+    let mut sw = mk_switch(10);
+    // A PORT_STATUS arriving *at* a switch is protocol misuse.
+    let bogus = Message::PortStatus(sav_openflow::messages::PortStatus {
+        reason: sav_openflow::messages::PortStatusReason::Add,
+        desc: PortDesc::new(9, MacAddr::from_index(9)),
+    });
+    let errs = errors_of(&mut sw, bogus, 5);
+    assert_eq!(errs.len(), 1);
+    assert_eq!(errs[0].0, error_type::BAD_REQUEST);
+}
+
+#[test]
+fn poisoned_stream_reports_codec_error() {
+    let mut sw = mk_switch(10);
+    // Valid message, then garbage claiming OpenFlow 1.0.
+    let mut bytes = Message::Hello.encode(1);
+    bytes.extend_from_slice(&[0x01, 0, 0, 8, 0, 0, 0, 0]);
+    let err = sw.handle_controller_bytes(SimTime::ZERO, &bytes);
+    assert!(err.is_err(), "bad version must poison the stream");
+}
+
+#[test]
+fn cookie_filtered_flow_stats_over_the_wire() {
+    use sav_openflow::messages::{FlowStatsRequest, MultipartReplyBody, MultipartRequestBody};
+    let mut sw = mk_switch(100);
+    for (i, cookie) in [(1u32, 0xA0u64), (2, 0xB0)] {
+        let fm = FlowMod {
+            priority: 5,
+            cookie,
+            ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(i)))
+        };
+        sw.handle_controller_bytes(SimTime::ZERO, &Message::FlowMod(fm).encode(1))
+            .unwrap();
+    }
+    let req = Message::MultipartRequest(MultipartRequestBody::Flow(FlowStatsRequest {
+        cookie: 0xA0,
+        cookie_mask: 0xF0,
+        ..FlowStatsRequest::default()
+    }));
+    let out = sw
+        .handle_controller_bytes(SimTime::ZERO, &req.encode(9))
+        .unwrap();
+    let (msg, xid) = Message::decode(&out.to_controller[0]).unwrap();
+    assert_eq!(xid, 9);
+    match msg {
+        Message::MultipartReply(MultipartReplyBody::Flow(entries)) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].cookie, 0xA0);
+        }
+        other => panic!("expected flow stats, got {other:?}"),
+    }
+}

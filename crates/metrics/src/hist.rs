@@ -1,0 +1,177 @@
+//! A logarithmic-bucket histogram for positive measurements spanning many
+//! orders of magnitude (nanoseconds to seconds).
+
+/// Histogram over `(0, +inf)` with `BUCKETS_PER_DECADE` buckets per decade,
+/// covering 1e-9 .. 1e3 (values outside clamp to the edge buckets).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const DECADES: usize = 12; // 1e-9 .. 1e3
+const BUCKETS_PER_DECADE: usize = 20;
+const N_BUCKETS: usize = DECADES * BUCKETS_PER_DECADE;
+const LO_EXP: f64 = -9.0;
+
+fn bucket_of(x: f64) -> usize {
+    if x <= 0.0 || x.is_nan() || !x.is_finite() {
+        return 0;
+    }
+    let pos = (x.log10() - LO_EXP) * BUCKETS_PER_DECADE as f64;
+    pos.clamp(0.0, (N_BUCKETS - 1) as f64) as usize
+}
+
+fn bucket_upper(i: usize) -> f64 {
+    10f64.powf(LO_EXP + (i as f64 + 1.0) / BUCKETS_PER_DECADE as f64)
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            total: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample (non-positive and non-finite samples land in the
+    /// lowest bucket; min/max/sum still use the raw value when finite).
+    pub fn record(&mut self, x: f64) {
+        self.counts[bucket_of(x)] += 1;
+        self.total += 1;
+        if x.is_finite() {
+            self.sum += x;
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of recorded (finite) samples.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Smallest recorded sample (0.0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0.0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile (`q ∈ [0,1]`): the upper bound of the bucket
+    /// holding the q-th sample. Error is bounded by the bucket width
+    /// (~12 % with 20 buckets/decade).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_within_bucket_error() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0); // 1ms .. 1s
+        }
+        let p50 = h.quantile(0.5);
+        assert!((p50 / 0.5 - 1.0).abs() < 0.15, "p50={p50}");
+        let p99 = h.quantile(0.99);
+        assert!((p99 / 0.99 - 1.0).abs() < 0.15, "p99={p99}");
+        assert_eq!(h.count(), 1000);
+        assert!((h.mean() - 0.5005).abs() < 1e-9);
+        assert_eq!(h.min(), 0.001);
+        assert_eq!(h.max(), 1.0);
+    }
+
+    #[test]
+    fn extreme_values_clamp() {
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        h.record(1e9);
+        assert_eq!(h.count(), 4);
+        // No panic, quantiles still answer.
+        let _ = h.quantile(0.5);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(0.001);
+        b.record(1.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 0.001);
+        assert_eq!(a.max(), 1.0);
+    }
+}

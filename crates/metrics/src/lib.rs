@@ -1,0 +1,70 @@
+//! # sav-metrics — measurement containers and result formatting
+//!
+//! Small, dependency-free building blocks for the experiment harness:
+//!
+//! * [`Histogram`] — logarithmic-bucket histogram with quantile queries,
+//!   for latency/convergence distributions (Fig. 2, Fig. 4);
+//! * [`TimeSeries`] — timestamped samples binned into fixed windows, for
+//!   rate-over-time plots (Fig. 3);
+//! * [`Table`] — aligned ASCII tables and CSV output, the format every
+//!   bench target prints its paper-table reproduction in.
+//!
+//! CSV writing is hand-rolled (quoted only when needed) to keep the
+//! workspace free of serialization dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod series;
+pub mod table;
+
+pub use hist::Histogram;
+pub use series::TimeSeries;
+pub use table::Table;
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Exact quantile of unsorted data by sorting a copy; `q ∈ [0, 1]`.
+/// Returns 0.0 for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((v.len() - 1) as f64 * q).round() as usize;
+    v[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_quantile() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 100.0);
+        assert!((quantile(&xs, 0.5) - 50.0).abs() <= 1.0);
+        assert!((quantile(&xs, 0.95) - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn quantile_is_clamped_and_order_free() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, -1.0), 1.0);
+        assert_eq!(quantile(&xs, 2.0), 5.0);
+    }
+}

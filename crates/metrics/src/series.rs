@@ -1,0 +1,99 @@
+//! Timestamped samples binned into fixed windows — rate-over-time curves.
+
+/// A time series of `(seconds, value)` samples with window binning.
+#[derive(Debug, Clone, Default)]
+pub struct TimeSeries {
+    samples: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Record `value` at time `t` seconds.
+    pub fn record(&mut self, t: f64, value: f64) {
+        self.samples.push((t, value));
+    }
+
+    /// Number of raw samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples exist.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Sum of sample values in windows of `window` seconds spanning
+    /// `[0, horizon)`. Returns `(window_start, sum)` per window, including
+    /// empty ones — the shape plots need.
+    pub fn binned_sum(&self, window: f64, horizon: f64) -> Vec<(f64, f64)> {
+        assert!(window > 0.0 && horizon > 0.0);
+        let n = (horizon / window).ceil() as usize;
+        let mut out: Vec<(f64, f64)> = (0..n).map(|i| (i as f64 * window, 0.0)).collect();
+        for &(t, v) in &self.samples {
+            if t < 0.0 || t >= horizon {
+                continue;
+            }
+            let i = (t / window) as usize;
+            if i < out.len() {
+                out[i].1 += v;
+            }
+        }
+        out
+    }
+
+    /// Per-second rate per window: binned sums divided by the window size.
+    pub fn binned_rate(&self, window: f64, horizon: f64) -> Vec<(f64, f64)> {
+        self.binned_sum(window, horizon)
+            .into_iter()
+            .map(|(t, s)| (t, s / window))
+            .collect()
+    }
+
+    /// Total of all sample values.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_include_empty_windows() {
+        let mut s = TimeSeries::new();
+        s.record(0.1, 100.0);
+        s.record(0.2, 50.0);
+        s.record(2.5, 10.0);
+        let bins = s.binned_sum(1.0, 4.0);
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[0], (0.0, 150.0));
+        assert_eq!(bins[1], (1.0, 0.0));
+        assert_eq!(bins[2], (2.0, 10.0));
+        assert_eq!(bins[3], (3.0, 0.0));
+        assert_eq!(s.total(), 160.0);
+    }
+
+    #[test]
+    fn rate_divides_by_window() {
+        let mut s = TimeSeries::new();
+        s.record(0.0, 100.0);
+        let r = s.binned_rate(0.5, 1.0);
+        assert_eq!(r[0], (0.0, 200.0));
+    }
+
+    #[test]
+    fn out_of_range_ignored() {
+        let mut s = TimeSeries::new();
+        s.record(-1.0, 5.0);
+        s.record(10.0, 5.0);
+        let bins = s.binned_sum(1.0, 2.0);
+        assert!(bins.iter().all(|(_, v)| *v == 0.0));
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Link-layer and network-layer addresses: [`MacAddr`], [`Ipv4Cidr`],
+//! [`Ipv6Cidr`].
+//!
+//! IPv4/IPv6 host addresses reuse [`std::net::Ipv4Addr`] /
+//! [`std::net::Ipv6Addr`]; this module adds the EUI-48 MAC type and CIDR
+//! prefix types with the containment / mask arithmetic the SAV rule compiler
+//! and the uRPF baselines rely on.
+
+use crate::error::{ParseError, Result};
+use core::fmt;
+use core::str::FromStr;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// An EUI-48 (Ethernet) MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (unset / "don't care" in protocols like DHCP).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Parse from a 6-byte slice.
+    pub fn from_bytes(b: &[u8]) -> Result<MacAddr> {
+        if b.len() < 6 {
+            return Err(ParseError::Truncated);
+        }
+        let mut m = [0u8; 6];
+        m.copy_from_slice(&b[..6]);
+        Ok(MacAddr(m))
+    }
+
+    /// The raw octets.
+    pub const fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// True for `ff:ff:ff:ff:ff:ff`.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True if the group bit (I/G, lowest bit of the first octet) is set and
+    /// the address is not broadcast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0 && !self.is_broadcast()
+    }
+
+    /// True for a unicast (individual) address.
+    pub fn is_unicast(&self) -> bool {
+        self.0[0] & 0x01 == 0 && *self != Self::ZERO
+    }
+
+    /// Deterministically derive a locally administered unicast MAC from an
+    /// index — the workspace's convention for giving simulated hosts and
+    /// switches stable, readable addresses.
+    pub fn from_index(index: u64) -> MacAddr {
+        let b = index.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = &self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            m[0], m[1], m[2], m[3], m[4], m[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+}
+
+impl FromStr for MacAddr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<MacAddr> {
+        let mut out = [0u8; 6];
+        let mut parts = s.split(':');
+        for slot in out.iter_mut() {
+            let p = parts.next().ok_or(ParseError::Malformed)?;
+            *slot = u8::from_str_radix(p, 16).map_err(|_| ParseError::Malformed)?;
+        }
+        if parts.next().is_some() {
+            return Err(ParseError::Malformed);
+        }
+        Ok(MacAddr(out))
+    }
+}
+
+/// An IPv4 prefix in CIDR notation (`network/len`).
+///
+/// The address is stored canonicalized: host bits below the prefix length
+/// are always zero.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv4Cidr {
+    network: Ipv4Addr,
+    prefix_len: u8,
+}
+
+impl Ipv4Cidr {
+    /// Create a prefix, zeroing any host bits. `prefix_len` is clamped to 32.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Ipv4Cidr {
+        let prefix_len = prefix_len.min(32);
+        let mask = Self::mask_of(prefix_len);
+        Ipv4Cidr {
+            network: Ipv4Addr::from(u32::from(addr) & mask),
+            prefix_len,
+        }
+    }
+
+    /// A /32 covering exactly `addr`.
+    pub fn host(addr: Ipv4Addr) -> Ipv4Cidr {
+        Ipv4Cidr::new(addr, 32)
+    }
+
+    fn mask_of(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(prefix_len))
+        }
+    }
+
+    /// The network address (host bits zero).
+    pub fn network(&self) -> Ipv4Addr {
+        self.network
+    }
+
+    /// The prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// The netmask as an address (e.g. `255.255.255.0` for /24).
+    pub fn netmask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Self::mask_of(self.prefix_len))
+    }
+
+    /// Does this prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_of(self.prefix_len) == u32::from(self.network)
+    }
+
+    /// Does this prefix fully contain `other`?
+    pub fn contains_prefix(&self, other: &Ipv4Cidr) -> bool {
+        self.prefix_len <= other.prefix_len && self.contains(other.network)
+    }
+
+    /// The `i`-th host address within the prefix (0 = network address).
+    /// Returns `None` if `i` exceeds the prefix size.
+    pub fn nth(&self, i: u32) -> Option<Ipv4Addr> {
+        let size: u64 = 1u64 << (32 - self.prefix_len);
+        if u64::from(i) >= size {
+            return None;
+        }
+        Some(Ipv4Addr::from(u32::from(self.network) + i))
+    }
+
+    /// Number of addresses covered (2^(32-len)).
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// The directed broadcast address of the prefix.
+    pub fn broadcast(&self) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.network) | !Self::mask_of(self.prefix_len))
+    }
+
+    /// The immediate parent prefix (one bit shorter), or `None` at /0.
+    pub fn parent(&self) -> Option<Ipv4Cidr> {
+        if self.prefix_len == 0 {
+            None
+        } else {
+            Some(Ipv4Cidr::new(self.network, self.prefix_len - 1))
+        }
+    }
+
+    /// True if `self` and `other` are the two halves of the same parent
+    /// prefix — the merge condition used by the SAV aggregation pass.
+    pub fn is_sibling(&self, other: &Ipv4Cidr) -> bool {
+        self.prefix_len == other.prefix_len
+            && self.prefix_len > 0
+            && self.parent() == other.parent()
+            && self.network != other.network
+    }
+}
+
+impl fmt::Debug for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Ipv4Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Cidr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Ipv4Cidr> {
+        let (addr, len) = s.split_once('/').ok_or(ParseError::Malformed)?;
+        let addr: Ipv4Addr = addr.parse().map_err(|_| ParseError::Malformed)?;
+        let len: u8 = len.parse().map_err(|_| ParseError::Malformed)?;
+        if len > 32 {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Ipv4Cidr::new(addr, len))
+    }
+}
+
+/// An IPv6 prefix in CIDR notation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ipv6Cidr {
+    network: Ipv6Addr,
+    prefix_len: u8,
+}
+
+impl Ipv6Cidr {
+    /// Create a prefix, zeroing any host bits. `prefix_len` is clamped to 128.
+    pub fn new(addr: Ipv6Addr, prefix_len: u8) -> Ipv6Cidr {
+        let prefix_len = prefix_len.min(128);
+        let mask = Self::mask_of(prefix_len);
+        Ipv6Cidr {
+            network: Ipv6Addr::from(u128::from(addr) & mask),
+            prefix_len,
+        }
+    }
+
+    /// A /128 covering exactly `addr`.
+    pub fn host(addr: Ipv6Addr) -> Ipv6Cidr {
+        Ipv6Cidr::new(addr, 128)
+    }
+
+    fn mask_of(prefix_len: u8) -> u128 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u128::MAX << (128 - u32::from(prefix_len))
+        }
+    }
+
+    /// The network address (host bits zero).
+    pub fn network(&self) -> Ipv6Addr {
+        self.network
+    }
+
+    /// The prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// Does this prefix contain `addr`?
+    pub fn contains(&self, addr: Ipv6Addr) -> bool {
+        u128::from(addr) & Self::mask_of(self.prefix_len) == u128::from(self.network)
+    }
+}
+
+impl fmt::Debug for Ipv6Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Ipv6Cidr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network, self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv6Cidr {
+    type Err = ParseError;
+    fn from_str(s: &str) -> Result<Ipv6Cidr> {
+        let (addr, len) = s.split_once('/').ok_or(ParseError::Malformed)?;
+        let addr: Ipv6Addr = addr.parse().map_err(|_| ParseError::Malformed)?;
+        let len: u8 = len.parse().map_err(|_| ParseError::Malformed)?;
+        if len > 128 {
+            return Err(ParseError::Malformed);
+        }
+        Ok(Ipv6Cidr::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_display_and_parse() {
+        let m: MacAddr = "02:00:00:00:00:2a".parse().unwrap();
+        assert_eq!(m, MacAddr::from_index(42));
+        assert_eq!(m.to_string(), "02:00:00:00:00:2a");
+        assert!("02:00:00".parse::<MacAddr>().is_err());
+        assert!("zz:00:00:00:00:00".parse::<MacAddr>().is_err());
+        assert!("02:00:00:00:00:2a:ff".parse::<MacAddr>().is_err());
+    }
+
+    #[test]
+    fn mac_classification() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(!MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr([0x01, 0, 0x5e, 0, 0, 1]).is_multicast());
+        assert!(MacAddr::from_index(7).is_unicast());
+        assert!(!MacAddr::ZERO.is_unicast());
+    }
+
+    #[test]
+    fn mac_from_index_unique_and_local() {
+        let a = MacAddr::from_index(1);
+        let b = MacAddr::from_index(2);
+        assert_ne!(a, b);
+        assert_eq!(a.0[0], 0x02);
+        assert!(a.is_unicast());
+    }
+
+    #[test]
+    fn mac_from_bytes_checks_len() {
+        assert_eq!(MacAddr::from_bytes(&[1, 2, 3]), Err(ParseError::Truncated));
+        assert_eq!(
+            MacAddr::from_bytes(&[1, 2, 3, 4, 5, 6, 7]).unwrap(),
+            MacAddr([1, 2, 3, 4, 5, 6])
+        );
+    }
+
+    #[test]
+    fn cidr_canonicalizes() {
+        let c = Ipv4Cidr::new("10.1.2.3".parse().unwrap(), 24);
+        assert_eq!(c.network(), "10.1.2.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(c.to_string(), "10.1.2.0/24");
+        assert_eq!(c.netmask(), "255.255.255.0".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let c: Ipv4Cidr = "192.168.4.0/22".parse().unwrap();
+        assert!(c.contains("192.168.7.255".parse().unwrap()));
+        assert!(!c.contains("192.168.8.0".parse().unwrap()));
+        let all: Ipv4Cidr = "0.0.0.0/0".parse().unwrap();
+        assert!(all.contains("255.255.255.255".parse().unwrap()));
+    }
+
+    #[test]
+    fn cidr_contains_prefix() {
+        let big: Ipv4Cidr = "10.0.0.0/8".parse().unwrap();
+        let small: Ipv4Cidr = "10.1.0.0/16".parse().unwrap();
+        assert!(big.contains_prefix(&small));
+        assert!(!small.contains_prefix(&big));
+        assert!(big.contains_prefix(&big));
+    }
+
+    #[test]
+    fn cidr_nth_and_size() {
+        let c: Ipv4Cidr = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(c.size(), 4);
+        assert_eq!(c.nth(1), Some("10.0.0.1".parse().unwrap()));
+        assert_eq!(c.nth(3), Some("10.0.0.3".parse().unwrap()));
+        assert_eq!(c.nth(4), None);
+        assert_eq!(c.broadcast(), "10.0.0.3".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn cidr_siblings_merge_to_parent() {
+        let a: Ipv4Cidr = "10.0.0.0/25".parse().unwrap();
+        let b: Ipv4Cidr = "10.0.0.128/25".parse().unwrap();
+        assert!(a.is_sibling(&b));
+        assert_eq!(a.parent(), b.parent());
+        assert_eq!(a.parent().unwrap().to_string(), "10.0.0.0/24");
+        let c: Ipv4Cidr = "10.0.1.0/25".parse().unwrap();
+        assert!(!a.is_sibling(&c));
+        assert!(!a.is_sibling(&a));
+        let root: Ipv4Cidr = "0.0.0.0/0".parse().unwrap();
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn cidr_parse_rejects_garbage() {
+        assert!("10.0.0.0".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0.0/33".parse::<Ipv4Cidr>().is_err());
+        assert!("10.0.0/24".parse::<Ipv4Cidr>().is_err());
+    }
+
+    #[test]
+    fn cidr_host() {
+        let h = Ipv4Cidr::host("172.16.0.9".parse().unwrap());
+        assert_eq!(h.prefix_len(), 32);
+        assert_eq!(h.size(), 1);
+        assert!(h.contains("172.16.0.9".parse().unwrap()));
+        assert!(!h.contains("172.16.0.10".parse().unwrap()));
+    }
+
+    #[test]
+    fn ipv6_cidr_basics() {
+        let c: Ipv6Cidr = "2001:db8::/32".parse().unwrap();
+        assert!(c.contains("2001:db8::1".parse().unwrap()));
+        assert!(!c.contains("2001:db9::1".parse().unwrap()));
+        assert_eq!(c.to_string(), "2001:db8::/32");
+        let h = Ipv6Cidr::host("::1".parse().unwrap());
+        assert_eq!(h.prefix_len(), 128);
+        assert!("2001:db8::/129".parse::<Ipv6Cidr>().is_err());
+    }
+
+    #[test]
+    fn ipv6_cidr_canonicalizes() {
+        let c = Ipv6Cidr::new("2001:db8:ffff::1".parse().unwrap(), 32);
+        assert_eq!(
+            c.network(),
+            "2001:db8::".parse::<Ipv6Addr>().unwrap()
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! ARP for IPv4-over-Ethernet (RFC 826).
+//!
+//! Only the `(hardware=Ethernet, protocol=IPv4)` combination is modelled —
+//! the only one the simulated hosts and the SAV control logic ever see. The
+//! packet is fixed 28 bytes, so unlike the other modules a typed view adds
+//! little; [`ArpRepr`] parses and emits directly.
+
+use crate::addr::MacAddr;
+use crate::error::{ParseError, Result};
+use std::net::Ipv4Addr;
+
+/// Wire length of an Ethernet/IPv4 ARP packet.
+pub const ARP_PACKET_LEN: usize = 28;
+
+/// ARP operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArpOp {
+    /// Who-has (1).
+    Request,
+    /// Is-at (2).
+    Reply,
+}
+
+impl ArpOp {
+    fn from_wire(v: u16) -> Result<ArpOp> {
+        match v {
+            1 => Ok(ArpOp::Request),
+            2 => Ok(ArpOp::Reply),
+            _ => Err(ParseError::Unsupported),
+        }
+    }
+
+    fn to_wire(self) -> u16 {
+        match self {
+            ArpOp::Request => 1,
+            ArpOp::Reply => 2,
+        }
+    }
+}
+
+/// An Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArpRepr {
+    /// Operation (request/reply).
+    pub op: ArpOp,
+    /// Sender hardware address.
+    pub sender_mac: MacAddr,
+    /// Sender protocol address.
+    pub sender_ip: Ipv4Addr,
+    /// Target hardware address (zero in requests).
+    pub target_mac: MacAddr,
+    /// Target protocol address.
+    pub target_ip: Ipv4Addr,
+}
+
+impl ArpRepr {
+    /// A who-has request for `target_ip`.
+    pub fn request(sender_mac: MacAddr, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> ArpRepr {
+        ArpRepr {
+            op: ArpOp::Request,
+            sender_mac,
+            sender_ip,
+            target_mac: MacAddr::ZERO,
+            target_ip,
+        }
+    }
+
+    /// The is-at reply answering `request`.
+    pub fn reply_to(&self, my_mac: MacAddr) -> ArpRepr {
+        ArpRepr {
+            op: ArpOp::Reply,
+            sender_mac: my_mac,
+            sender_ip: self.target_ip,
+            target_mac: self.sender_mac,
+            target_ip: self.sender_ip,
+        }
+    }
+
+    /// Parse from wire bytes.
+    pub fn parse(data: &[u8]) -> Result<ArpRepr> {
+        if data.len() < ARP_PACKET_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let htype = u16::from_be_bytes([data[0], data[1]]);
+        let ptype = u16::from_be_bytes([data[2], data[3]]);
+        let hlen = data[4];
+        let plen = data[5];
+        if htype != 1 || ptype != 0x0800 || hlen != 6 || plen != 4 {
+            return Err(ParseError::BadVersion);
+        }
+        let op = ArpOp::from_wire(u16::from_be_bytes([data[6], data[7]]))?;
+        Ok(ArpRepr {
+            op,
+            sender_mac: MacAddr::from_bytes(&data[8..14])?,
+            sender_ip: Ipv4Addr::new(data[14], data[15], data[16], data[17]),
+            target_mac: MacAddr::from_bytes(&data[18..24])?,
+            target_ip: Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+        })
+    }
+
+    /// Wire length.
+    pub const fn buffer_len(&self) -> usize {
+        ARP_PACKET_LEN
+    }
+
+    /// Emit into `buf` (must be at least [`ARP_PACKET_LEN`] bytes).
+    pub fn emit(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= ARP_PACKET_LEN);
+        buf[0..2].copy_from_slice(&1u16.to_be_bytes()); // Ethernet
+        buf[2..4].copy_from_slice(&0x0800u16.to_be_bytes()); // IPv4
+        buf[4] = 6;
+        buf[5] = 4;
+        buf[6..8].copy_from_slice(&self.op.to_wire().to_be_bytes());
+        buf[8..14].copy_from_slice(self.sender_mac.as_bytes());
+        buf[14..18].copy_from_slice(&self.sender_ip.octets());
+        buf[18..24].copy_from_slice(self.target_mac.as_bytes());
+        buf[24..28].copy_from_slice(&self.target_ip.octets());
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; ARP_PACKET_LEN];
+        self.emit(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> ArpRepr {
+        ArpRepr::request(
+            MacAddr::from_index(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.254".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let r = sample_request();
+        let bytes = r.to_bytes();
+        assert_eq!(bytes.len(), ARP_PACKET_LEN);
+        assert_eq!(ArpRepr::parse(&bytes).unwrap(), r);
+    }
+
+    #[test]
+    fn roundtrip_reply() {
+        let req = sample_request();
+        let rep = req.reply_to(MacAddr::from_index(9));
+        assert_eq!(rep.op, ArpOp::Reply);
+        assert_eq!(rep.sender_ip, req.target_ip);
+        assert_eq!(rep.target_mac, req.sender_mac);
+        assert_eq!(rep.target_ip, req.sender_ip);
+        let bytes = rep.to_bytes();
+        assert_eq!(ArpRepr::parse(&bytes).unwrap(), rep);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        let bytes = sample_request().to_bytes();
+        assert_eq!(
+            ArpRepr::parse(&bytes[..27]).err(),
+            Some(ParseError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_non_ethernet_ipv4() {
+        let mut bytes = sample_request().to_bytes();
+        bytes[1] = 6; // IEEE 802 hardware type
+        assert_eq!(ArpRepr::parse(&bytes).err(), Some(ParseError::BadVersion));
+        let mut bytes = sample_request().to_bytes();
+        bytes[2] = 0x86;
+        bytes[3] = 0xdd; // IPv6 ptype
+        assert_eq!(ArpRepr::parse(&bytes).err(), Some(ParseError::BadVersion));
+    }
+
+    #[test]
+    fn rejects_unknown_op() {
+        let mut bytes = sample_request().to_bytes();
+        bytes[7] = 3; // RARP request
+        assert_eq!(ArpRepr::parse(&bytes).err(), Some(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn trailing_bytes_ignored() {
+        let mut bytes = sample_request().to_bytes();
+        bytes.extend_from_slice(&[0u8; 18]); // frames are often padded to 60B
+        assert_eq!(ArpRepr::parse(&bytes).unwrap(), sample_request());
+    }
+}

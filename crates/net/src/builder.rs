@@ -1,0 +1,233 @@
+//! Whole-frame builders: compose Ethernet + IP + transport Reprs and a
+//! payload into a single wire-format frame, with all checksums filled.
+//!
+//! These are the entry points the simulated hosts and the traffic
+//! generators use; every packet that crosses the simulated data plane is
+//! produced here (or by the ARP/DHCP helpers that delegate here).
+
+use crate::addr::MacAddr;
+use crate::arp::ArpRepr;
+use crate::checksum;
+use crate::ethernet::{EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN};
+use crate::ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
+use crate::ipv6::{Ipv6Packet, Ipv6Repr};
+use crate::tcp::{TcpPacket, TcpRepr};
+use crate::udp::{UdpPacket, UdpRepr};
+
+/// Build an Ethernet frame carrying an IPv4/UDP datagram with `payload`.
+/// `udp.payload_len` must equal `payload.len()` and `ip.payload_len` must
+/// equal the UDP buffer length; debug assertions enforce both.
+pub fn build_ipv4_udp(
+    eth: &EthernetRepr,
+    ip: &Ipv4Repr,
+    udp: &UdpRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(udp.payload_len, payload.len());
+    debug_assert_eq!(ip.payload_len, udp.buffer_len());
+    debug_assert_eq!(eth.ethertype, EtherType::Ipv4);
+    let total = ETHERNET_HEADER_LEN + ip.buffer_len();
+    let mut buf = vec![0u8; total];
+
+    let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.emit(&mut frame);
+    let mut ipp = Ipv4Packet::new_unchecked(frame.payload_mut());
+    ip.emit(&mut ipp);
+    let mut udpp = UdpPacket::new_unchecked(ipp.payload_mut());
+    udp.emit(&mut udpp);
+    udpp.payload_mut().copy_from_slice(payload);
+
+    // UDP checksum over pseudo-header + segment.
+    let seg_start = ETHERNET_HEADER_LEN + crate::ipv4::IPV4_HEADER_LEN;
+    let ck = checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
+    // RFC 768: a computed checksum of zero is transmitted as all-ones.
+    let ck = if ck == 0 { 0xffff } else { ck };
+    buf[seg_start + 6..seg_start + 8].copy_from_slice(&ck.to_be_bytes());
+    buf
+}
+
+/// Build an Ethernet frame carrying an IPv4/TCP segment with `payload`.
+pub fn build_ipv4_tcp(
+    eth: &EthernetRepr,
+    ip: &Ipv4Repr,
+    tcp: &TcpRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(tcp.payload_len, payload.len());
+    debug_assert_eq!(ip.payload_len, tcp.buffer_len());
+    debug_assert_eq!(eth.ethertype, EtherType::Ipv4);
+    let total = ETHERNET_HEADER_LEN + ip.buffer_len();
+    let mut buf = vec![0u8; total];
+
+    let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.emit(&mut frame);
+    let mut ipp = Ipv4Packet::new_unchecked(frame.payload_mut());
+    ip.emit(&mut ipp);
+    let mut tcpp = TcpPacket::new_unchecked(ipp.payload_mut());
+    tcp.emit(&mut tcpp);
+    tcpp.payload_mut().copy_from_slice(payload);
+
+    let seg_start = ETHERNET_HEADER_LEN + crate::ipv4::IPV4_HEADER_LEN;
+    let ck = checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Tcp.into(), &buf[seg_start..]);
+    buf[seg_start + 16..seg_start + 18].copy_from_slice(&ck.to_be_bytes());
+    buf
+}
+
+/// Build an Ethernet frame carrying an IPv6/UDP datagram with `payload`.
+pub fn build_ipv6_udp(
+    eth: &EthernetRepr,
+    ip: &Ipv6Repr,
+    udp: &UdpRepr,
+    payload: &[u8],
+) -> Vec<u8> {
+    debug_assert_eq!(udp.payload_len, payload.len());
+    debug_assert_eq!(ip.payload_len, udp.buffer_len());
+    debug_assert_eq!(eth.ethertype, EtherType::Ipv6);
+    let total = ETHERNET_HEADER_LEN + ip.buffer_len();
+    let mut buf = vec![0u8; total];
+
+    let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.emit(&mut frame);
+    let mut ipp = Ipv6Packet::new_unchecked(frame.payload_mut());
+    ip.emit(&mut ipp);
+    let mut udpp = UdpPacket::new_unchecked(ipp.payload_mut());
+    udp.emit(&mut udpp);
+    udpp.payload_mut().copy_from_slice(payload);
+
+    let seg_start = ETHERNET_HEADER_LEN + crate::ipv6::IPV6_HEADER_LEN;
+    let ck = checksum::transport_checksum_v6(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
+    // For IPv6 a zero UDP checksum is illegal (RFC 8200); map 0 -> 0xffff.
+    let ck = if ck == 0 { 0xffff } else { ck };
+    buf[seg_start + 6..seg_start + 8].copy_from_slice(&ck.to_be_bytes());
+    buf
+}
+
+/// Build an Ethernet frame carrying an ARP packet. The Ethernet source is
+/// the ARP sender MAC; the destination is broadcast for requests and the
+/// target MAC for replies.
+pub fn build_arp(arp: &ArpRepr) -> Vec<u8> {
+    let dst = match arp.op {
+        crate::arp::ArpOp::Request => MacAddr::BROADCAST,
+        crate::arp::ArpOp::Reply => arp.target_mac,
+    };
+    let eth = EthernetRepr {
+        src: arp.sender_mac,
+        dst,
+        ethertype: EtherType::Arp,
+    };
+    let mut buf = vec![0u8; ETHERNET_HEADER_LEN + arp.buffer_len()];
+    let mut frame = EthernetFrame::new_unchecked(&mut buf[..]);
+    eth.emit(&mut frame);
+    arp.emit(frame.payload_mut());
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::ParsedPacket;
+
+    fn eth_v4() -> EthernetRepr {
+        EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn udp_frame_is_fully_valid() {
+        let udp = UdpRepr {
+            src_port: 1234,
+            dst_port: 53,
+            payload_len: 5,
+        };
+        let ip = Ipv4Repr::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let bytes = build_ipv4_udp(&eth_v4(), &ip, &udp, b"hello");
+
+        // Every layer passes checked parsing.
+        let frame = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        let ipp = Ipv4Packet::new_checked(frame.payload()).unwrap();
+        let udpp = UdpPacket::new_checked(ipp.payload()).unwrap();
+        assert_eq!(udpp.payload(), b"hello");
+
+        // UDP checksum verifies under the pseudo-header.
+        let acc = checksum::pseudo_header_v4(
+            ipp.src(),
+            ipp.dst(),
+            17,
+            ipp.payload().len() as u16,
+        );
+        assert_eq!(checksum::fold(checksum::sum_words(acc, ipp.payload())), 0);
+    }
+
+    #[test]
+    fn tcp_frame_is_fully_valid() {
+        let tcp = TcpRepr::syn(40000, 80, 1);
+        let ip = Ipv4Repr::tcp(
+            "192.168.1.10".parse().unwrap(),
+            "8.8.8.8".parse().unwrap(),
+            tcp.buffer_len(),
+        );
+        let bytes = build_ipv4_tcp(&eth_v4(), &ip, &tcp, b"");
+        let frame = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        let ipp = Ipv4Packet::new_checked(frame.payload()).unwrap();
+        let acc = checksum::pseudo_header_v4(ipp.src(), ipp.dst(), 6, ipp.payload().len() as u16);
+        assert_eq!(checksum::fold(checksum::sum_words(acc, ipp.payload())), 0);
+    }
+
+    #[test]
+    fn ipv6_udp_frame_is_fully_valid() {
+        let udp = UdpRepr {
+            src_port: 9999,
+            dst_port: 53,
+            payload_len: 3,
+        };
+        let ip = Ipv6Repr::udp(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv6,
+        };
+        let bytes = build_ipv6_udp(&eth, &ip, &udp, b"abc");
+        let frame = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        let ipp = Ipv6Packet::new_checked(frame.payload()).unwrap();
+        let acc = checksum::pseudo_header_v6(ipp.src(), ipp.dst(), 17, ipp.payload().len() as u32);
+        assert_eq!(checksum::fold(checksum::sum_words(acc, ipp.payload())), 0);
+    }
+
+    #[test]
+    fn arp_request_frame() {
+        let arp = ArpRepr::request(
+            MacAddr::from_index(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.254".parse().unwrap(),
+        );
+        let bytes = build_arp(&arp);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.ethernet.dst, MacAddr::BROADCAST);
+        assert!(p.arp.is_some());
+    }
+
+    #[test]
+    fn arp_reply_unicast() {
+        let req = ArpRepr::request(
+            MacAddr::from_index(1),
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.254".parse().unwrap(),
+        );
+        let rep = req.reply_to(MacAddr::from_index(2));
+        let bytes = build_arp(&rep);
+        let frame = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        assert_eq!(frame.dst(), MacAddr::from_index(1));
+        assert_eq!(frame.src(), MacAddr::from_index(2));
+    }
+}

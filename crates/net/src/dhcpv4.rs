@@ -1,0 +1,391 @@
+//! DHCPv4 (RFC 2131) — the address-assignment protocol the SDN-SAV
+//! controller snoops to learn `IP ↔ (port, MAC)` bindings.
+//!
+//! The subset implemented is exactly what DHCP snooping needs: the fixed
+//! BOOTP header plus the options that drive the DORA exchange
+//! (message type, requested IP, server identifier, lease time, subnet mask,
+//! router). Unknown options are skipped on parse and never emitted.
+
+use crate::addr::MacAddr;
+use crate::error::{ParseError, Result};
+use std::net::Ipv4Addr;
+
+/// Fixed BOOTP header length (up to and including the magic cookie).
+pub const DHCP_FIXED_LEN: usize = 240;
+/// The BOOTP magic cookie preceding the options.
+pub const DHCP_MAGIC: [u8; 4] = [99, 130, 83, 99];
+/// UDP port the server listens on.
+pub const DHCP_SERVER_PORT: u16 = 67;
+/// UDP port the client listens on.
+pub const DHCP_CLIENT_PORT: u16 = 68;
+
+mod opt {
+    pub const PAD: u8 = 0;
+    pub const SUBNET_MASK: u8 = 1;
+    pub const ROUTER: u8 = 3;
+    pub const REQUESTED_IP: u8 = 50;
+    pub const LEASE_TIME: u8 = 51;
+    pub const MESSAGE_TYPE: u8 = 53;
+    pub const SERVER_ID: u8 = 54;
+    pub const END: u8 = 255;
+}
+
+/// DHCP message types (option 53).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DhcpMessageType {
+    /// Client broadcast to locate servers.
+    Discover,
+    /// Server offer of an address.
+    Offer,
+    /// Client request for the offered (or renewed) address.
+    Request,
+    /// Server acknowledgement; the binding becomes live here.
+    Ack,
+    /// Server refusal.
+    Nak,
+    /// Client releasing its address; the binding dies here.
+    Release,
+}
+
+impl DhcpMessageType {
+    fn from_wire(v: u8) -> Result<DhcpMessageType> {
+        Ok(match v {
+            1 => DhcpMessageType::Discover,
+            2 => DhcpMessageType::Offer,
+            3 => DhcpMessageType::Request,
+            5 => DhcpMessageType::Ack,
+            6 => DhcpMessageType::Nak,
+            7 => DhcpMessageType::Release,
+            _ => return Err(ParseError::Unsupported),
+        })
+    }
+
+    fn to_wire(self) -> u8 {
+        match self {
+            DhcpMessageType::Discover => 1,
+            DhcpMessageType::Offer => 2,
+            DhcpMessageType::Request => 3,
+            DhcpMessageType::Ack => 5,
+            DhcpMessageType::Nak => 6,
+            DhcpMessageType::Release => 7,
+        }
+    }
+
+    /// True for messages sent by a client (op = BOOTREQUEST).
+    pub fn is_client_message(self) -> bool {
+        matches!(
+            self,
+            DhcpMessageType::Discover | DhcpMessageType::Request | DhcpMessageType::Release
+        )
+    }
+}
+
+/// A DHCPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DhcpRepr {
+    /// Message type (option 53).
+    pub message_type: DhcpMessageType,
+    /// Transaction ID correlating a DORA exchange.
+    pub xid: u32,
+    /// Client hardware address.
+    pub client_mac: MacAddr,
+    /// `ciaddr`: the client's current address (renewals), else 0.
+    pub client_ip: Ipv4Addr,
+    /// `yiaddr`: the address being offered/assigned, else 0.
+    pub your_ip: Ipv4Addr,
+    /// Option 50: address the client asks for, if present.
+    pub requested_ip: Option<Ipv4Addr>,
+    /// Option 54: server identifier, if present.
+    pub server_id: Option<Ipv4Addr>,
+    /// Option 51: lease time in seconds, if present.
+    pub lease_secs: Option<u32>,
+    /// Option 1: subnet mask, if present.
+    pub subnet_mask: Option<Ipv4Addr>,
+    /// Option 3: default router, if present.
+    pub router: Option<Ipv4Addr>,
+}
+
+impl DhcpRepr {
+    /// A minimal client message of the given type.
+    pub fn client(message_type: DhcpMessageType, xid: u32, client_mac: MacAddr) -> DhcpRepr {
+        DhcpRepr {
+            message_type,
+            xid,
+            client_mac,
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: Ipv4Addr::UNSPECIFIED,
+            requested_ip: None,
+            server_id: None,
+            lease_secs: None,
+            subnet_mask: None,
+            router: None,
+        }
+    }
+
+    /// Parse from the UDP payload of a DHCP packet.
+    pub fn parse(data: &[u8]) -> Result<DhcpRepr> {
+        if data.len() < DHCP_FIXED_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let op = data[0];
+        if op != 1 && op != 2 {
+            return Err(ParseError::BadVersion);
+        }
+        if data[1] != 1 || data[2] != 6 {
+            // htype Ethernet, hlen 6
+            return Err(ParseError::BadVersion);
+        }
+        if data[236..240] != DHCP_MAGIC {
+            return Err(ParseError::BadVersion);
+        }
+        let xid = u32::from_be_bytes([data[4], data[5], data[6], data[7]]);
+        let client_ip = Ipv4Addr::new(data[12], data[13], data[14], data[15]);
+        let your_ip = Ipv4Addr::new(data[16], data[17], data[18], data[19]);
+        let client_mac = MacAddr::from_bytes(&data[28..34])?;
+
+        let mut message_type = None;
+        let mut requested_ip = None;
+        let mut server_id = None;
+        let mut lease_secs = None;
+        let mut subnet_mask = None;
+        let mut router = None;
+
+        let mut i = DHCP_FIXED_LEN;
+        while i < data.len() {
+            let code = data[i];
+            if code == opt::PAD {
+                i += 1;
+                continue;
+            }
+            if code == opt::END {
+                break;
+            }
+            if i + 1 >= data.len() {
+                return Err(ParseError::BadLength);
+            }
+            let len = usize::from(data[i + 1]);
+            let body = data
+                .get(i + 2..i + 2 + len)
+                .ok_or(ParseError::BadLength)?;
+            let addr_of = |b: &[u8]| -> Result<Ipv4Addr> {
+                if b.len() != 4 {
+                    Err(ParseError::BadLength)
+                } else {
+                    Ok(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+                }
+            };
+            match code {
+                opt::MESSAGE_TYPE => {
+                    if body.len() != 1 {
+                        return Err(ParseError::BadLength);
+                    }
+                    message_type = Some(DhcpMessageType::from_wire(body[0])?);
+                }
+                opt::REQUESTED_IP => requested_ip = Some(addr_of(body)?),
+                opt::SERVER_ID => server_id = Some(addr_of(body)?),
+                opt::SUBNET_MASK => subnet_mask = Some(addr_of(body)?),
+                opt::ROUTER => router = Some(addr_of(body)?),
+                opt::LEASE_TIME => {
+                    if body.len() != 4 {
+                        return Err(ParseError::BadLength);
+                    }
+                    lease_secs = Some(u32::from_be_bytes([body[0], body[1], body[2], body[3]]));
+                }
+                _ => {} // unknown options skipped
+            }
+            i += 2 + len;
+        }
+
+        let message_type = message_type.ok_or(ParseError::Malformed)?;
+        // op must be consistent with the message direction.
+        let expect_op = if message_type.is_client_message() { 1 } else { 2 };
+        if op != expect_op {
+            return Err(ParseError::Malformed);
+        }
+        Ok(DhcpRepr {
+            message_type,
+            xid,
+            client_mac,
+            client_ip,
+            your_ip,
+            requested_ip,
+            server_id,
+            lease_secs,
+            subnet_mask,
+            router,
+        })
+    }
+
+    /// Wire length of this message.
+    pub fn buffer_len(&self) -> usize {
+        let mut len = DHCP_FIXED_LEN;
+        len += 3; // message type option
+        if self.requested_ip.is_some() {
+            len += 6;
+        }
+        if self.server_id.is_some() {
+            len += 6;
+        }
+        if self.lease_secs.is_some() {
+            len += 6;
+        }
+        if self.subnet_mask.is_some() {
+            len += 6;
+        }
+        if self.router.is_some() {
+            len += 6;
+        }
+        len + 1 // END
+    }
+
+    /// Emit into `buf` (at least `buffer_len()` bytes).
+    pub fn emit(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= self.buffer_len());
+        buf[..DHCP_FIXED_LEN].fill(0);
+        buf[0] = if self.message_type.is_client_message() {
+            1
+        } else {
+            2
+        };
+        buf[1] = 1; // Ethernet
+        buf[2] = 6; // hlen
+        buf[4..8].copy_from_slice(&self.xid.to_be_bytes());
+        buf[12..16].copy_from_slice(&self.client_ip.octets());
+        buf[16..20].copy_from_slice(&self.your_ip.octets());
+        buf[28..34].copy_from_slice(self.client_mac.as_bytes());
+        buf[236..240].copy_from_slice(&DHCP_MAGIC);
+
+        let mut i = DHCP_FIXED_LEN;
+        let mut put = |code: u8, body: &[u8], buf: &mut [u8]| {
+            buf[i] = code;
+            buf[i + 1] = body.len() as u8;
+            buf[i + 2..i + 2 + body.len()].copy_from_slice(body);
+            i += 2 + body.len();
+            i
+        };
+        put(
+            opt::MESSAGE_TYPE,
+            &[self.message_type.to_wire()],
+            buf,
+        );
+        if let Some(a) = self.requested_ip {
+            put(opt::REQUESTED_IP, &a.octets(), buf);
+        }
+        if let Some(a) = self.server_id {
+            put(opt::SERVER_ID, &a.octets(), buf);
+        }
+        if let Some(t) = self.lease_secs {
+            put(opt::LEASE_TIME, &t.to_be_bytes(), buf);
+        }
+        if let Some(a) = self.subnet_mask {
+            put(opt::SUBNET_MASK, &a.octets(), buf);
+        }
+        if let Some(a) = self.router {
+            put(opt::ROUTER, &a.octets(), buf);
+        }
+        buf[i] = opt::END;
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        self.emit(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ack() -> DhcpRepr {
+        DhcpRepr {
+            message_type: DhcpMessageType::Ack,
+            xid: 0xdeadbeef,
+            client_mac: MacAddr::from_index(3),
+            client_ip: Ipv4Addr::UNSPECIFIED,
+            your_ip: "10.0.1.23".parse().unwrap(),
+            requested_ip: None,
+            server_id: Some("10.0.1.1".parse().unwrap()),
+            lease_secs: Some(3600),
+            subnet_mask: Some("255.255.255.0".parse().unwrap()),
+            router: Some("10.0.1.1".parse().unwrap()),
+        }
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let a = sample_ack();
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), a.buffer_len());
+        assert_eq!(DhcpRepr::parse(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn discover_roundtrip() {
+        let d = DhcpRepr::client(DhcpMessageType::Discover, 77, MacAddr::from_index(9));
+        assert_eq!(DhcpRepr::parse(&d.to_bytes()).unwrap(), d);
+    }
+
+    #[test]
+    fn request_with_requested_ip() {
+        let mut r = DhcpRepr::client(DhcpMessageType::Request, 78, MacAddr::from_index(9));
+        r.requested_ip = Some("10.0.1.23".parse().unwrap());
+        r.server_id = Some("10.0.1.1".parse().unwrap());
+        let parsed = DhcpRepr::parse(&r.to_bytes()).unwrap();
+        assert_eq!(parsed.requested_ip, r.requested_ip);
+        assert_eq!(parsed.server_id, r.server_id);
+    }
+
+    #[test]
+    fn missing_message_type_is_malformed() {
+        let mut bytes = sample_ack().to_bytes();
+        // Overwrite the message-type option with PADs.
+        bytes[DHCP_FIXED_LEN] = 0;
+        bytes[DHCP_FIXED_LEN + 1] = 0;
+        bytes[DHCP_FIXED_LEN + 2] = 0;
+        assert_eq!(DhcpRepr::parse(&bytes).err(), Some(ParseError::Malformed));
+    }
+
+    #[test]
+    fn direction_op_mismatch_rejected() {
+        let mut bytes = sample_ack().to_bytes();
+        bytes[0] = 1; // BOOTREQUEST op carrying a server Ack
+        assert_eq!(DhcpRepr::parse(&bytes).err(), Some(ParseError::Malformed));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_ack().to_bytes();
+        bytes[236] = 0;
+        assert_eq!(DhcpRepr::parse(&bytes).err(), Some(ParseError::BadVersion));
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let mut bytes = sample_ack().to_bytes();
+        let n = bytes.len();
+        bytes.truncate(n - 3); // cut into the last option
+        // Either BadLength (option runs past end) depending on layout.
+        assert!(DhcpRepr::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_options_skipped() {
+        let a = sample_ack();
+        let mut bytes = a.to_bytes();
+        let end = bytes.len() - 1;
+        assert_eq!(bytes[end], 255);
+        // Insert an unknown option (code 60, len 2) before END.
+        bytes.splice(end..end, [60u8, 2, 0xaa, 0xbb]);
+        assert_eq!(DhcpRepr::parse(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn lease_seconds_roundtrip() {
+        let mut a = sample_ack();
+        a.lease_secs = Some(u32::MAX);
+        let parsed = DhcpRepr::parse(&a.to_bytes()).unwrap();
+        assert_eq!(parsed.lease_secs, Some(u32::MAX));
+    }
+}

@@ -1,0 +1,62 @@
+//! Parse errors shared by every protocol module.
+
+use core::fmt;
+
+/// Why a byte buffer could not be interpreted as a given protocol unit.
+///
+/// The variants are deliberately coarse: callers in the data plane either
+/// drop malformed packets or count them, so the useful signal is *which
+/// validation failed*, not a byte-precise diagnosis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParseError {
+    /// Buffer shorter than the fixed header of the protocol.
+    Truncated,
+    /// A length field disagrees with the buffer (header length, total
+    /// length, payload length).
+    BadLength,
+    /// A version / hardware-type / magic field holds an unsupported value.
+    BadVersion,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// A field combination that is syntactically valid but semantically
+    /// meaningless (e.g. DHCP without the message-type option).
+    Malformed,
+    /// The payload protocol is one this stack does not interpret.
+    Unsupported,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ParseError::Truncated => "buffer truncated",
+            ParseError::BadLength => "length field inconsistent",
+            ParseError::BadVersion => "unsupported version or type",
+            ParseError::BadChecksum => "checksum mismatch",
+            ParseError::Malformed => "malformed contents",
+            ParseError::Unsupported => "unsupported protocol",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Crate-wide parse result.
+pub type Result<T> = core::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(ParseError::Truncated.to_string(), "buffer truncated");
+        assert_eq!(ParseError::BadChecksum.to_string(), "checksum mismatch");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(ParseError::Malformed);
+    }
+}

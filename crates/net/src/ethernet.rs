@@ -1,0 +1,230 @@
+//! Ethernet II frames.
+
+use crate::addr::MacAddr;
+use crate::error::{ParseError, Result};
+use core::fmt;
+
+/// Length of an Ethernet II header (dst + src + ethertype).
+pub const ETHERNET_HEADER_LEN: usize = 14;
+
+/// Well-known EtherType values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// ARP (0x0806).
+    Arp,
+    /// IPv6 (0x86dd).
+    Ipv6,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(t: EtherType) -> u16 {
+        match t {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for EtherType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EtherType::Ipv4 => f.write_str("IPv4"),
+            EtherType::Arp => f.write_str("ARP"),
+            EtherType::Ipv6 => f.write_str("IPv6"),
+            EtherType::Other(v) => write!(f, "0x{v:04x}"),
+        }
+    }
+}
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+mod field {
+    pub const DST: core::ops::Range<usize> = 0..6;
+    pub const SRC: core::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: core::ops::Range<usize> = 12..14;
+    pub const PAYLOAD: core::ops::RangeFrom<usize> = 14..;
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer without validating its length.
+    pub fn new_unchecked(buffer: T) -> Self {
+        EthernetFrame { buffer }
+    }
+
+    /// Wrap a buffer, verifying it holds at least a full header.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < ETHERNET_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(EthernetFrame { buffer })
+    }
+
+    /// Recover the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::DST]).expect("checked length")
+    }
+
+    /// Source MAC.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::from_bytes(&self.buffer.as_ref()[field::SRC]).expect("checked length")
+    }
+
+    /// EtherType field.
+    pub fn ethertype(&self) -> EtherType {
+        let b = &self.buffer.as_ref()[field::ETHERTYPE];
+        EtherType::from(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// The payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(mac.as_bytes());
+    }
+
+    /// Set the source MAC.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(mac.as_bytes());
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, t: EtherType) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&u16::from(t).to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD]
+    }
+}
+
+/// High-level representation of an Ethernet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetRepr {
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Payload EtherType.
+    pub ethertype: EtherType,
+}
+
+impl EthernetRepr {
+    /// Parse from a checked frame view.
+    pub fn parse<T: AsRef<[u8]>>(frame: &EthernetFrame<T>) -> EthernetRepr {
+        EthernetRepr {
+            src: frame.src(),
+            dst: frame.dst(),
+            ethertype: frame.ethertype(),
+        }
+    }
+
+    /// Header length contributed by this Repr.
+    pub const fn buffer_len(&self) -> usize {
+        ETHERNET_HEADER_LEN
+    }
+
+    /// Write the header into `frame`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut EthernetFrame<T>) {
+        frame.set_src(self.src);
+        frame.set_dst(self.dst);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; ETHERNET_HEADER_LEN + 4];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(MacAddr::BROADCAST);
+        f.set_src(MacAddr::from_index(1));
+        f.set_ethertype(EtherType::Arp);
+        f.payload_mut().copy_from_slice(b"abcd");
+        buf
+    }
+
+    #[test]
+    fn roundtrip_fields() {
+        let buf = sample();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::BROADCAST);
+        assert_eq!(f.src(), MacAddr::from_index(1));
+        assert_eq!(f.ethertype(), EtherType::Arp);
+        assert_eq!(f.payload(), b"abcd");
+    }
+
+    #[test]
+    fn repr_roundtrip() {
+        let buf = sample();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        let repr = EthernetRepr::parse(&f);
+        let mut out = vec![0u8; repr.buffer_len()];
+        let mut g = EthernetFrame::new_unchecked(&mut out[..]);
+        repr.emit(&mut g);
+        assert_eq!(out, buf[..ETHERNET_HEADER_LEN]);
+    }
+
+    #[test]
+    fn checked_rejects_short() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).err(),
+            Some(ParseError::Truncated)
+        );
+        assert!(EthernetFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn ethertype_conversions() {
+        for t in [
+            EtherType::Ipv4,
+            EtherType::Arp,
+            EtherType::Ipv6,
+            EtherType::Other(0x88cc),
+        ] {
+            assert_eq!(EtherType::from(u16::from(t)), t);
+        }
+        assert_eq!(EtherType::from(0x0800u16), EtherType::Ipv4);
+        assert_eq!(format!("{}", EtherType::Other(0x88cc)), "0x88cc");
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = [0u8; ETHERNET_HEADER_LEN];
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert!(f.payload().is_empty());
+    }
+}

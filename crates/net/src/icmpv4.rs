@@ -1,0 +1,171 @@
+//! ICMPv4 (RFC 792): echo request/reply and destination-unreachable, the
+//! two message classes the simulated hosts generate and the traceroute-loop
+//! style analyses would consume.
+
+use crate::checksum;
+use crate::error::{ParseError, Result};
+
+/// Minimum length of the ICMP messages modelled here (type, code, checksum,
+/// rest-of-header).
+pub const ICMPV4_HEADER_LEN: usize = 8;
+
+/// ICMPv4 message type/code pairs this stack interprets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Icmpv4Type {
+    /// Echo reply (type 0).
+    EchoReply,
+    /// Destination unreachable (type 3) with its code.
+    DestUnreachable(u8),
+    /// Echo request (type 8).
+    EchoRequest,
+    /// Time exceeded (type 11).
+    TimeExceeded,
+}
+
+/// An ICMPv4 message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Icmpv4Repr {
+    /// Message type.
+    pub icmp_type: Icmpv4Type,
+    /// Identifier (echo) or zero.
+    pub ident: u16,
+    /// Sequence number (echo) or zero.
+    pub seq: u16,
+    /// Echo payload, or the embedded original-datagram prefix for errors.
+    pub payload: Vec<u8>,
+}
+
+impl Icmpv4Repr {
+    /// An echo request.
+    pub fn echo_request(ident: u16, seq: u16, payload: &[u8]) -> Icmpv4Repr {
+        Icmpv4Repr {
+            icmp_type: Icmpv4Type::EchoRequest,
+            ident,
+            seq,
+            payload: payload.to_vec(),
+        }
+    }
+
+    /// The echo reply answering `self` (must be a request).
+    pub fn reply(&self) -> Icmpv4Repr {
+        Icmpv4Repr {
+            icmp_type: Icmpv4Type::EchoReply,
+            ident: self.ident,
+            seq: self.seq,
+            payload: self.payload.clone(),
+        }
+    }
+
+    /// Parse from wire bytes, verifying the checksum.
+    pub fn parse(data: &[u8]) -> Result<Icmpv4Repr> {
+        if data.len() < ICMPV4_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if checksum::checksum(data) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        let icmp_type = match (data[0], data[1]) {
+            (0, 0) => Icmpv4Type::EchoReply,
+            (3, code) => Icmpv4Type::DestUnreachable(code),
+            (8, 0) => Icmpv4Type::EchoRequest,
+            (11, _) => Icmpv4Type::TimeExceeded,
+            _ => return Err(ParseError::Unsupported),
+        };
+        let ident = u16::from_be_bytes([data[4], data[5]]);
+        let seq = u16::from_be_bytes([data[6], data[7]]);
+        Ok(Icmpv4Repr {
+            icmp_type,
+            ident,
+            seq,
+            payload: data[8..].to_vec(),
+        })
+    }
+
+    /// Wire length.
+    pub fn buffer_len(&self) -> usize {
+        ICMPV4_HEADER_LEN + self.payload.len()
+    }
+
+    /// Emit into `buf` (at least `buffer_len()` bytes), checksum included.
+    pub fn emit(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= self.buffer_len());
+        let (t, c) = match self.icmp_type {
+            Icmpv4Type::EchoReply => (0, 0),
+            Icmpv4Type::DestUnreachable(code) => (3, code),
+            Icmpv4Type::EchoRequest => (8, 0),
+            Icmpv4Type::TimeExceeded => (11, 0),
+        };
+        buf[0] = t;
+        buf[1] = c;
+        buf[2..4].copy_from_slice(&[0, 0]);
+        buf[4..6].copy_from_slice(&self.ident.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..8 + self.payload.len()].copy_from_slice(&self.payload);
+        let ck = checksum::checksum(&buf[..self.buffer_len()]);
+        buf[2..4].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Emit into a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = vec![0u8; self.buffer_len()];
+        self.emit(&mut buf);
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let req = Icmpv4Repr::echo_request(0x1234, 7, b"payload");
+        let bytes = req.to_bytes();
+        let parsed = Icmpv4Repr::parse(&bytes).unwrap();
+        assert_eq!(parsed, req);
+        let rep = req.reply();
+        assert_eq!(rep.icmp_type, Icmpv4Type::EchoReply);
+        assert_eq!(rep.ident, 0x1234);
+        assert_eq!(Icmpv4Repr::parse(&rep.to_bytes()).unwrap(), rep);
+    }
+
+    #[test]
+    fn checksum_verified() {
+        let mut bytes = Icmpv4Repr::echo_request(1, 1, b"x").to_bytes();
+        bytes[6] ^= 0xff;
+        assert_eq!(
+            Icmpv4Repr::parse(&bytes).err(),
+            Some(ParseError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn unreachable_codes_preserved() {
+        let r = Icmpv4Repr {
+            icmp_type: Icmpv4Type::DestUnreachable(13), // admin prohibited
+            ident: 0,
+            seq: 0,
+            payload: vec![0xde, 0xad],
+        };
+        let parsed = Icmpv4Repr::parse(&r.to_bytes()).unwrap();
+        assert_eq!(parsed.icmp_type, Icmpv4Type::DestUnreachable(13));
+    }
+
+    #[test]
+    fn rejects_unknown_type_and_short() {
+        let mut bytes = Icmpv4Repr::echo_request(1, 1, b"").to_bytes();
+        bytes[0] = 42;
+        let ck = crate::checksum::checksum(&{
+            let mut z = bytes.clone();
+            z[2] = 0;
+            z[3] = 0;
+            z
+        });
+        bytes[2..4].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(Icmpv4Repr::parse(&bytes).err(), Some(ParseError::Unsupported));
+        assert_eq!(
+            Icmpv4Repr::parse(&[0u8; 4]).err(),
+            Some(ParseError::Truncated)
+        );
+    }
+}

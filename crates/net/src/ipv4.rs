@@ -1,0 +1,438 @@
+//! IPv4 headers (RFC 791).
+//!
+//! Options are accepted on parse (skipped via IHL) but never emitted —
+//! matching what the simulated hosts generate and what the OpenFlow match
+//! extractor needs. The header checksum is generated on emit and verified
+//! in `new_checked`.
+
+use crate::checksum;
+use crate::error::{ParseError, Result};
+use core::fmt;
+use std::net::Ipv4Addr;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_LEN: usize = 20;
+
+/// IP protocol numbers this stack cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IpProtocol {
+    /// ICMP (1).
+    Icmp,
+    /// TCP (6).
+    Tcp,
+    /// UDP (17).
+    Udp,
+    /// Anything else, preserved verbatim.
+    Other(u8),
+}
+
+impl From<u8> for IpProtocol {
+    fn from(v: u8) -> Self {
+        match v {
+            1 => IpProtocol::Icmp,
+            6 => IpProtocol::Tcp,
+            17 => IpProtocol::Udp,
+            other => IpProtocol::Other(other),
+        }
+    }
+}
+
+impl From<IpProtocol> for u8 {
+    fn from(p: IpProtocol) -> u8 {
+        match p {
+            IpProtocol::Icmp => 1,
+            IpProtocol::Tcp => 6,
+            IpProtocol::Udp => 17,
+            IpProtocol::Other(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for IpProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpProtocol::Icmp => f.write_str("ICMP"),
+            IpProtocol::Tcp => f.write_str("TCP"),
+            IpProtocol::Udp => f.write_str("UDP"),
+            IpProtocol::Other(v) => write!(f, "proto-{v}"),
+        }
+    }
+}
+
+/// A typed view over an IPv4 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv4Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv4Packet { buffer }
+    }
+
+    /// Wrap and validate: version, header length, total length, checksum.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = Ipv4Packet { buffer };
+        let data = p.buffer.as_ref();
+        if data.len() < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if p.version() != 4 {
+            return Err(ParseError::BadVersion);
+        }
+        let hl = p.header_len();
+        if hl < IPV4_HEADER_LEN || data.len() < hl {
+            return Err(ParseError::BadLength);
+        }
+        let tl = p.total_len() as usize;
+        if tl < hl || data.len() < tl {
+            return Err(ParseError::BadLength);
+        }
+        if checksum::checksum(&data[..hl]) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(p)
+    }
+
+    /// Recover the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Header length in bytes (IHL × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[0] & 0x0f) * 4
+    }
+
+    /// DSCP/ECN byte.
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[1]
+    }
+
+    /// Total length field (header + payload).
+    pub fn total_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Don't-fragment flag.
+    pub fn dont_frag(&self) -> bool {
+        self.buffer.as_ref()[6] & 0x40 != 0
+    }
+
+    /// Time to live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[8]
+    }
+
+    /// Payload protocol.
+    pub fn protocol(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[9])
+    }
+
+    /// Header checksum field.
+    pub fn header_checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[10], d[11]])
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[12], d[13], d[14], d[15])
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv4Addr {
+        let d = self.buffer.as_ref();
+        Ipv4Addr::new(d[16], d[17], d[18], d[19])
+    }
+
+    /// The L4 payload (respecting IHL and total length).
+    pub fn payload(&self) -> &[u8] {
+        let hl = self.header_len();
+        let tl = (self.total_len() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[hl.min(tl)..tl]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    /// Set version and IHL (header length in bytes).
+    pub fn set_version_and_len(&mut self, header_len: usize) {
+        self.buffer.as_mut()[0] = 0x40 | ((header_len / 4) as u8 & 0x0f);
+    }
+
+    /// Set the DSCP/ECN byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[1] = tos;
+    }
+
+    /// Set the total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, id: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+
+    /// Set flags/fragment-offset to "don't fragment, offset 0".
+    pub fn set_no_fragment(&mut self) {
+        self.buffer.as_mut()[6] = 0x40;
+        self.buffer.as_mut()[7] = 0;
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[8] = ttl;
+    }
+
+    /// Set the payload protocol.
+    pub fn set_protocol(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[9] = p.into();
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[12..16].copy_from_slice(&a.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: Ipv4Addr) {
+        self.buffer.as_mut()[16..20].copy_from_slice(&a.octets());
+    }
+
+    /// Recompute and store the header checksum (over the current IHL).
+    pub fn fill_checksum(&mut self) {
+        let hl = self.header_len();
+        self.buffer.as_mut()[10..12].copy_from_slice(&[0, 0]);
+        let ck = checksum::checksum(&self.buffer.as_ref()[..hl]);
+        self.buffer.as_mut()[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let hl = self.header_len();
+        let tl = self.total_len() as usize;
+        let end = tl.min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[hl.min(end)..end]
+    }
+}
+
+/// Default TTL for packets originated by simulated hosts.
+pub const DEFAULT_TTL: u8 = 64;
+
+/// High-level representation of an (option-less) IPv4 header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes (excluding the IP header).
+    pub payload_len: usize,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl Ipv4Repr {
+    /// Convenience constructor for a UDP datagram of `payload_len` transport
+    /// bytes with the default TTL.
+    pub fn udp(src: Ipv4Addr, dst: Ipv4Addr, payload_len: usize) -> Ipv4Repr {
+        Ipv4Repr {
+            src,
+            dst,
+            protocol: IpProtocol::Udp,
+            payload_len,
+            ttl: DEFAULT_TTL,
+        }
+    }
+
+    /// Convenience constructor for a TCP segment.
+    pub fn tcp(src: Ipv4Addr, dst: Ipv4Addr, payload_len: usize) -> Ipv4Repr {
+        Ipv4Repr {
+            src,
+            dst,
+            protocol: IpProtocol::Tcp,
+            payload_len,
+            ttl: DEFAULT_TTL,
+        }
+    }
+
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &Ipv4Packet<T>) -> Ipv4Repr {
+        Ipv4Repr {
+            src: p.src(),
+            dst: p.dst(),
+            protocol: p.protocol(),
+            payload_len: p.payload().len(),
+            ttl: p.ttl(),
+        }
+    }
+
+    /// Bytes needed for header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        IPV4_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header (checksum included) into `p`. The caller fills the
+    /// payload afterwards; the checksum covers only the header so ordering
+    /// does not matter.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, p: &mut Ipv4Packet<T>) {
+        p.set_version_and_len(IPV4_HEADER_LEN);
+        p.set_tos(0);
+        p.set_total_len((IPV4_HEADER_LEN + self.payload_len) as u16);
+        p.set_ident(0);
+        p.set_no_fragment();
+        p.set_ttl(self.ttl);
+        p.set_protocol(self.protocol);
+        p.set_src(self.src);
+        p.set_dst(self.dst);
+        p.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn emit_sample(payload: &[u8]) -> Vec<u8> {
+        let repr = Ipv4Repr::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            payload.len(),
+        );
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn emit_parses_back() {
+        let buf = emit_sample(b"hello");
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.header_len(), 20);
+        assert_eq!(p.ttl(), DEFAULT_TTL);
+        assert_eq!(p.protocol(), IpProtocol::Udp);
+        assert_eq!(p.src(), "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(p.dst(), "10.0.0.2".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(p.payload(), b"hello");
+        let repr = Ipv4Repr::parse(&p);
+        assert_eq!(repr.payload_len, 5);
+    }
+
+    #[test]
+    fn checksum_is_verified() {
+        let mut buf = emit_sample(b"x");
+        buf[8] = buf[8].wrapping_add(1); // corrupt TTL, checksum now stale
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(ParseError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut buf = emit_sample(b"");
+        buf[0] = 0x65; // version 6
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..]).err(),
+            Some(ParseError::BadVersion)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_and_bad_lengths() {
+        let buf = emit_sample(b"hello");
+        assert_eq!(
+            Ipv4Packet::new_checked(&buf[..10]).err(),
+            Some(ParseError::Truncated)
+        );
+        // total_len larger than the buffer
+        let mut big = emit_sample(b"");
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut big[..]);
+            p.set_total_len(100);
+            p.fill_checksum();
+        }
+        assert_eq!(
+            Ipv4Packet::new_checked(&big[..]).err(),
+            Some(ParseError::BadLength)
+        );
+        // IHL below 5
+        let mut shallow = emit_sample(b"");
+        shallow[0] = 0x44;
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut shallow[..]);
+            p.fill_checksum();
+        }
+        assert_eq!(
+            Ipv4Packet::new_checked(&shallow[..]).err(),
+            Some(ParseError::BadLength)
+        );
+    }
+
+    #[test]
+    fn payload_respects_total_len_with_padding() {
+        // Ethernet minimum-size padding must not leak into the payload.
+        let mut buf = emit_sample(b"ab");
+        buf.extend_from_slice(&[0u8; 30]);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"ab");
+    }
+
+    #[test]
+    fn options_are_skipped() {
+        // Build a 24-byte header (IHL=6) with one NOP-padded option word.
+        let mut buf = [0u8; 24 + 2];
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            p.set_version_and_len(24);
+            p.set_total_len(26);
+            p.set_ttl(64);
+            p.set_protocol(IpProtocol::Udp);
+            p.set_src("1.1.1.1".parse().unwrap());
+            p.set_dst("2.2.2.2".parse().unwrap());
+        }
+        buf[20..24].copy_from_slice(&[1, 1, 1, 1]); // NOPs
+        buf[24..26].copy_from_slice(b"zz");
+        {
+            let mut p = Ipv4Packet::new_unchecked(&mut buf[..]);
+            p.fill_checksum();
+        }
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.header_len(), 24);
+        assert_eq!(p.payload(), b"zz");
+    }
+
+    #[test]
+    fn protocol_conversions() {
+        for p in [
+            IpProtocol::Icmp,
+            IpProtocol::Tcp,
+            IpProtocol::Udp,
+            IpProtocol::Other(89),
+        ] {
+            assert_eq!(IpProtocol::from(u8::from(p)), p);
+        }
+        assert_eq!(format!("{}", IpProtocol::Other(89)), "proto-89");
+    }
+}

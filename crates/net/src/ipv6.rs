@@ -1,0 +1,245 @@
+//! IPv6 fixed header (RFC 8200). Extension headers are not interpreted;
+//! `next_header` is exposed verbatim, which is all the SAV match compiler
+//! needs for IPv6 bindings.
+
+use crate::error::{ParseError, Result};
+use crate::ipv4::IpProtocol;
+use std::net::Ipv6Addr;
+
+/// Length of the IPv6 fixed header.
+pub const IPV6_HEADER_LEN: usize = 40;
+
+/// A typed view over an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Ipv6Packet { buffer }
+    }
+
+    /// Wrap and validate version and length fields.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = Ipv6Packet { buffer };
+        let data = p.buffer.as_ref();
+        if data.len() < IPV6_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if p.version() != 6 {
+            return Err(ParseError::BadVersion);
+        }
+        if data.len() < IPV6_HEADER_LEN + p.payload_len() as usize {
+            return Err(ParseError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Recover the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// IP version field.
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// Next-header field, mapped through [`IpProtocol`].
+    pub fn next_header(&self) -> IpProtocol {
+        IpProtocol::from(self.buffer.as_ref()[6])
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[7]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.buffer.as_ref()[8..24]);
+        Ipv6Addr::from(o)
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> Ipv6Addr {
+        let mut o = [0u8; 16];
+        o.copy_from_slice(&self.buffer.as_ref()[24..40]);
+        Ipv6Addr::from(o)
+    }
+
+    /// The payload following the fixed header.
+    pub fn payload(&self) -> &[u8] {
+        let end = (IPV6_HEADER_LEN + self.payload_len() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[IPV6_HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Set version (6) and zero traffic class / flow label.
+    pub fn set_version(&mut self) {
+        let d = self.buffer.as_mut();
+        d[0] = 0x60;
+        d[1] = 0;
+        d[2] = 0;
+        d[3] = 0;
+    }
+
+    /// Set the payload length.
+    pub fn set_payload_len(&mut self, len: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the next-header field.
+    pub fn set_next_header(&mut self, p: IpProtocol) {
+        self.buffer.as_mut()[6] = p.into();
+    }
+
+    /// Set the hop limit.
+    pub fn set_hop_limit(&mut self, h: u8) {
+        self.buffer.as_mut()[7] = h;
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[8..24].copy_from_slice(&a.octets());
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: Ipv6Addr) {
+        self.buffer.as_mut()[24..40].copy_from_slice(&a.octets());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end =
+            (IPV6_HEADER_LEN + self.payload_len() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[IPV6_HEADER_LEN..end]
+    }
+}
+
+/// High-level representation of an IPv6 fixed header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Repr {
+    /// Source address.
+    pub src: Ipv6Addr,
+    /// Destination address.
+    pub dst: Ipv6Addr,
+    /// Payload protocol (next header).
+    pub next_header: IpProtocol,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Hop limit.
+    pub hop_limit: u8,
+}
+
+impl Ipv6Repr {
+    /// Convenience constructor for a UDP payload with hop limit 64.
+    pub fn udp(src: Ipv6Addr, dst: Ipv6Addr, payload_len: usize) -> Ipv6Repr {
+        Ipv6Repr {
+            src,
+            dst,
+            next_header: IpProtocol::Udp,
+            payload_len,
+            hop_limit: 64,
+        }
+    }
+
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &Ipv6Packet<T>) -> Ipv6Repr {
+        Ipv6Repr {
+            src: p.src(),
+            dst: p.dst(),
+            next_header: p.next_header(),
+            payload_len: p.payload().len(),
+            hop_limit: p.hop_limit(),
+        }
+    }
+
+    /// Bytes needed for header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        IPV6_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the fixed header into `p`.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, p: &mut Ipv6Packet<T>) {
+        p.set_version();
+        p.set_payload_len(self.payload_len as u16);
+        p.set_next_header(self.next_header);
+        p.set_hop_limit(self.hop_limit);
+        p.set_src(self.src);
+        p.set_dst(self.dst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let repr = Ipv6Repr::udp(
+            "2001:db8::1".parse().unwrap(),
+            "2001:db8::2".parse().unwrap(),
+            payload.len(),
+        );
+        let mut buf = vec![0u8; repr.buffer_len()];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+        repr.emit(&mut p);
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample(b"v6data");
+        let p = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.next_header(), IpProtocol::Udp);
+        assert_eq!(p.src(), "2001:db8::1".parse::<Ipv6Addr>().unwrap());
+        assert_eq!(p.payload(), b"v6data");
+        let r = Ipv6Repr::parse(&p);
+        assert_eq!(r.payload_len, 6);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_lengths() {
+        let mut buf = sample(b"");
+        buf[0] = 0x40;
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).err(),
+            Some(ParseError::BadVersion)
+        );
+        let buf = sample(b"abc");
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..30]).err(),
+            Some(ParseError::Truncated)
+        );
+        let mut buf = sample(b"");
+        {
+            let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+            p.set_payload_len(5);
+        }
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).err(),
+            Some(ParseError::BadLength)
+        );
+    }
+
+    #[test]
+    fn padding_excluded_from_payload() {
+        let mut buf = sample(b"xy");
+        buf.extend_from_slice(&[0u8; 8]);
+        let p = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"xy");
+    }
+}

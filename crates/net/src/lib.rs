@@ -1,0 +1,75 @@
+//! # sav-net — packet wire formats
+//!
+//! Zero-copy, panic-free implementations of the wire formats the `sdn-sav`
+//! workspace needs: Ethernet II, ARP, IPv4, IPv6 (fixed header), UDP, TCP
+//! (header), ICMPv4, DHCPv4 and a minimal DNS subset sufficient for
+//! reflection-amplification workloads.
+//!
+//! The style follows smoltcp (per the session's networking guides): each
+//! protocol module provides
+//!
+//! * a **typed view** `Packet<T: AsRef<[u8]>>` (`Frame` for Ethernet) with
+//!   `new_checked` validation and field accessors over raw bytes, plus
+//!   setters when `T: AsMut<[u8]>`; and
+//! * an owned **`Repr`** struct with `parse` / `emit` / `buffer_len` for
+//!   high-level construction.
+//!
+//! Parsing never panics: malformed input yields a [`ParseError`]. Emitting
+//! assumes a buffer of at least `buffer_len()` bytes (checked with
+//! debug assertions, as emit buffers are always sized by the caller from
+//! `buffer_len`).
+//!
+//! ```
+//! use sav_net::prelude::*;
+//!
+//! // Build an Ethernet/IPv4/UDP packet, then parse it back.
+//! let udp = UdpRepr { src_port: 5353, dst_port: 53, payload_len: 4 };
+//! let ip = Ipv4Repr::udp([10, 0, 0, 1].into(), [10, 0, 0, 2].into(), udp.buffer_len());
+//! let eth = EthernetRepr {
+//!     src: MacAddr([0, 1, 2, 3, 4, 5]),
+//!     dst: MacAddr::BROADCAST,
+//!     ethertype: EtherType::Ipv4,
+//! };
+//! let bytes = build_ipv4_udp(&eth, &ip, &udp, b"ping");
+//! let parsed = ParsedPacket::parse(&bytes).unwrap();
+//! assert_eq!(parsed.ipv4_src(), Some([10, 0, 0, 1].into()));
+//! assert_eq!(parsed.l4_dst_port(), Some(53));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod arp;
+pub mod builder;
+pub mod checksum;
+pub mod dhcpv4;
+pub mod dns;
+pub mod error;
+pub mod ethernet;
+pub mod icmpv4;
+pub mod ipv4;
+pub mod ipv6;
+pub mod packet;
+pub mod tcp;
+pub mod udp;
+
+/// One-stop import for downstream crates.
+pub mod prelude {
+    pub use crate::addr::{Ipv4Cidr, Ipv6Cidr, MacAddr};
+    pub use crate::arp::{ArpOp, ArpRepr};
+    pub use crate::builder::{build_arp, build_ipv4_tcp, build_ipv4_udp, build_ipv6_udp};
+    pub use crate::dhcpv4::{DhcpMessageType, DhcpRepr};
+    pub use crate::dns::{DnsFlags, DnsQuestion, DnsRepr, DnsType};
+    pub use crate::error::ParseError;
+    pub use crate::ethernet::{EtherType, EthernetFrame, EthernetRepr, ETHERNET_HEADER_LEN};
+    pub use crate::icmpv4::{Icmpv4Repr, Icmpv4Type};
+    pub use crate::ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr, IPV4_HEADER_LEN};
+    pub use crate::ipv6::{Ipv6Packet, Ipv6Repr, IPV6_HEADER_LEN};
+    pub use crate::packet::{L4Info, ParsedPacket};
+    pub use crate::tcp::{TcpFlags, TcpRepr};
+    pub use crate::udp::{UdpPacket, UdpRepr, UDP_HEADER_LEN};
+}
+
+pub use error::ParseError;
+pub use prelude::*;

@@ -1,0 +1,362 @@
+//! [`ParsedPacket`]: one-pass header extraction over a full frame.
+//!
+//! This is the shared vocabulary between the data plane (flow matching),
+//! the controller (PACKET_IN classification) and the SAV logic (binding
+//! checks): parse the frame once, then read typed header fields. Parsing is
+//! strict at the layers it descends through — a frame whose IPv4 checksum is
+//! wrong yields an error rather than a half-filled struct, matching what a
+//! real switch ASIC would discard.
+
+use crate::arp::ArpRepr;
+use crate::dhcpv4::{DHCP_CLIENT_PORT, DHCP_SERVER_PORT};
+use crate::error::Result;
+use crate::ethernet::{EtherType, EthernetFrame, EthernetRepr};
+use crate::ipv4::{IpProtocol, Ipv4Packet, Ipv4Repr};
+use crate::ipv6::{Ipv6Packet, Ipv6Repr};
+use crate::tcp::{TcpFlags, TcpPacket};
+use crate::udp::UdpPacket;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// Transport-layer summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L4Info {
+    /// UDP ports.
+    Udp {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+    },
+    /// TCP ports and flags.
+    Tcp {
+        /// Source port.
+        src: u16,
+        /// Destination port.
+        dst: u16,
+        /// Flag bits.
+        flags: TcpFlags,
+    },
+    /// ICMP type/code bytes (v4).
+    Icmp {
+        /// ICMP type.
+        icmp_type: u8,
+        /// ICMP code.
+        code: u8,
+    },
+}
+
+/// All headers of one frame, parsed once.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedPacket {
+    /// Ethernet header (always present).
+    pub ethernet: EthernetRepr,
+    /// ARP packet, if EtherType is ARP.
+    pub arp: Option<ArpRepr>,
+    /// IPv4 header, if EtherType is IPv4.
+    pub ipv4: Option<Ipv4Repr>,
+    /// IPv6 header, if EtherType is IPv6.
+    pub ipv6: Option<Ipv6Repr>,
+    /// Transport summary, if an IP payload was recognized.
+    pub l4: Option<L4Info>,
+    /// Byte offset of the L4 payload within the original frame (UDP/TCP),
+    /// used to lift DHCP/DNS payloads without re-parsing.
+    pub l4_payload_offset: Option<usize>,
+    /// Total frame length in bytes.
+    pub frame_len: usize,
+}
+
+impl ParsedPacket {
+    /// Parse a complete Ethernet frame.
+    pub fn parse(frame_bytes: &[u8]) -> Result<ParsedPacket> {
+        let frame = EthernetFrame::new_checked(frame_bytes)?;
+        let ethernet = EthernetRepr::parse(&frame);
+        let mut out = ParsedPacket {
+            ethernet,
+            arp: None,
+            ipv4: None,
+            ipv6: None,
+            l4: None,
+            l4_payload_offset: None,
+            frame_len: frame_bytes.len(),
+        };
+        match ethernet.ethertype {
+            EtherType::Arp => {
+                out.arp = Some(ArpRepr::parse(frame.payload())?);
+            }
+            EtherType::Ipv4 => {
+                let ip = Ipv4Packet::new_checked(frame.payload())?;
+                let ip_repr = Ipv4Repr::parse(&ip);
+                let l4_base = crate::ethernet::ETHERNET_HEADER_LEN + ip.header_len();
+                match ip_repr.protocol {
+                    IpProtocol::Udp => {
+                        if let Ok(u) = UdpPacket::new_checked(ip.payload()) {
+                            out.l4 = Some(L4Info::Udp {
+                                src: u.src_port(),
+                                dst: u.dst_port(),
+                            });
+                            out.l4_payload_offset = Some(l4_base + crate::udp::UDP_HEADER_LEN);
+                        }
+                    }
+                    IpProtocol::Tcp => {
+                        if let Ok(t) = TcpPacket::new_checked(ip.payload()) {
+                            out.l4 = Some(L4Info::Tcp {
+                                src: t.src_port(),
+                                dst: t.dst_port(),
+                                flags: t.flags(),
+                            });
+                            out.l4_payload_offset = Some(l4_base + t.header_len());
+                        }
+                    }
+                    IpProtocol::Icmp => {
+                        let p = ip.payload();
+                        if p.len() >= 2 {
+                            out.l4 = Some(L4Info::Icmp {
+                                icmp_type: p[0],
+                                code: p[1],
+                            });
+                            out.l4_payload_offset = Some(l4_base);
+                        }
+                    }
+                    IpProtocol::Other(_) => {}
+                }
+                out.ipv4 = Some(ip_repr);
+            }
+            EtherType::Ipv6 => {
+                let ip = Ipv6Packet::new_checked(frame.payload())?;
+                let ip_repr = Ipv6Repr::parse(&ip);
+                let l4_base = crate::ethernet::ETHERNET_HEADER_LEN + crate::ipv6::IPV6_HEADER_LEN;
+                if ip_repr.next_header == IpProtocol::Udp {
+                    if let Ok(u) = UdpPacket::new_checked(ip.payload()) {
+                        out.l4 = Some(L4Info::Udp {
+                            src: u.src_port(),
+                            dst: u.dst_port(),
+                        });
+                        out.l4_payload_offset = Some(l4_base + crate::udp::UDP_HEADER_LEN);
+                    }
+                }
+                out.ipv6 = Some(ip_repr);
+            }
+            EtherType::Other(_) => {}
+        }
+        Ok(out)
+    }
+
+    /// IPv4 source address, if this is an IPv4 packet.
+    pub fn ipv4_src(&self) -> Option<Ipv4Addr> {
+        self.ipv4.map(|ip| ip.src)
+    }
+
+    /// IPv4 destination address, if this is an IPv4 packet.
+    pub fn ipv4_dst(&self) -> Option<Ipv4Addr> {
+        self.ipv4.map(|ip| ip.dst)
+    }
+
+    /// IPv6 source address, if this is an IPv6 packet.
+    pub fn ipv6_src(&self) -> Option<Ipv6Addr> {
+        self.ipv6.map(|ip| ip.src)
+    }
+
+    /// L4 source port (UDP/TCP).
+    pub fn l4_src_port(&self) -> Option<u16> {
+        match self.l4 {
+            Some(L4Info::Udp { src, .. }) | Some(L4Info::Tcp { src, .. }) => Some(src),
+            _ => None,
+        }
+    }
+
+    /// L4 destination port (UDP/TCP).
+    pub fn l4_dst_port(&self) -> Option<u16> {
+        match self.l4 {
+            Some(L4Info::Udp { dst, .. }) | Some(L4Info::Tcp { dst, .. }) => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// The UDP/TCP payload slice of `frame_bytes` (the same buffer that was
+    /// parsed), or `None` for non-transport packets.
+    pub fn l4_payload<'a>(&self, frame_bytes: &'a [u8]) -> Option<&'a [u8]> {
+        let off = self.l4_payload_offset?;
+        // Respect IP total_len (excludes Ethernet padding).
+        let ip_end = match (self.ipv4, self.ipv6) {
+            (Some(ip), _) => {
+                crate::ethernet::ETHERNET_HEADER_LEN
+                    + crate::ipv4::IPV4_HEADER_LEN
+                    + ip.payload_len
+            }
+            (None, Some(ip)) => {
+                crate::ethernet::ETHERNET_HEADER_LEN
+                    + crate::ipv6::IPV6_HEADER_LEN
+                    + ip.payload_len
+            }
+            _ => frame_bytes.len(),
+        };
+        // Subtract the UDP header if present (ipv4 payload_len counts from IP payload).
+        let end = ip_end.min(frame_bytes.len());
+        frame_bytes.get(off..end)
+    }
+
+    /// Is this a DHCPv4 message (UDP between ports 67/68)?
+    pub fn is_dhcp(&self) -> bool {
+        matches!(
+            self.l4,
+            Some(L4Info::Udp { src, dst })
+                if (src == DHCP_CLIENT_PORT && dst == DHCP_SERVER_PORT)
+                    || (src == DHCP_SERVER_PORT && dst == DHCP_CLIENT_PORT)
+        )
+    }
+
+    /// Is this a DNS message (UDP port 53 on either side)?
+    pub fn is_dns(&self) -> bool {
+        matches!(
+            self.l4,
+            Some(L4Info::Udp { src, dst }) if src == 53 || dst == 53
+        )
+    }
+
+    /// True if this frame carries an IP packet (v4 or v6).
+    pub fn is_ip(&self) -> bool {
+        self.ipv4.is_some() || self.ipv6.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::MacAddr;
+    use crate::builder::{build_arp, build_ipv4_tcp, build_ipv4_udp};
+    use crate::tcp::TcpRepr;
+    use crate::udp::UdpRepr;
+
+    fn eth() -> EthernetRepr {
+        EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        }
+    }
+
+    #[test]
+    fn parses_udp() {
+        let udp = UdpRepr {
+            src_port: 68,
+            dst_port: 67,
+            payload_len: 3,
+        };
+        let ip = Ipv4Repr::udp(
+            "0.0.0.0".parse().unwrap(),
+            "255.255.255.255".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let bytes = build_ipv4_udp(&eth(), &ip, &udp, b"abc");
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert!(p.is_dhcp());
+        assert!(!p.is_dns());
+        assert!(p.is_ip());
+        assert_eq!(p.l4_src_port(), Some(68));
+        assert_eq!(p.l4_payload(&bytes).unwrap(), b"abc");
+        assert_eq!(p.frame_len, bytes.len());
+    }
+
+    #[test]
+    fn parses_tcp_flags() {
+        let tcp = TcpRepr::syn(5555, 80, 9);
+        let ip = Ipv4Repr::tcp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            tcp.buffer_len(),
+        );
+        let bytes = build_ipv4_tcp(&eth(), &ip, &tcp, b"");
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        match p.l4 {
+            Some(L4Info::Tcp { src, dst, flags }) => {
+                assert_eq!((src, dst), (5555, 80));
+                assert!(flags.contains(TcpFlags::SYN));
+            }
+            other => panic!("expected TCP, got {other:?}"),
+        }
+        assert_eq!(p.l4_payload(&bytes).unwrap(), b"");
+    }
+
+    #[test]
+    fn parses_arp() {
+        let arp = ArpRepr::request(
+            MacAddr::from_index(3),
+            "10.0.0.3".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let bytes = build_arp(&arp);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.arp, Some(arp));
+        assert!(!p.is_ip());
+        assert_eq!(p.ipv4_src(), None);
+        assert_eq!(p.l4_dst_port(), None);
+    }
+
+    #[test]
+    fn dns_detection() {
+        let udp = UdpRepr {
+            src_port: 4242,
+            dst_port: 53,
+            payload_len: 0,
+        };
+        let ip = Ipv4Repr::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let bytes = build_ipv4_udp(&eth(), &ip, &udp, b"");
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert!(p.is_dns());
+        assert!(!p.is_dhcp());
+    }
+
+    #[test]
+    fn corrupt_ip_checksum_fails_parse() {
+        let udp = UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        };
+        let ip = Ipv4Repr::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let mut bytes = build_ipv4_udp(&eth(), &ip, &udp, b"");
+        bytes[22] ^= 0x01; // flip a bit inside the IP header (TTL)
+        assert!(ParsedPacket::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn padding_does_not_leak_into_payload() {
+        let udp = UdpRepr {
+            src_port: 1000,
+            dst_port: 2000,
+            payload_len: 2,
+        };
+        let ip = Ipv4Repr::udp(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            udp.buffer_len(),
+        );
+        let mut bytes = build_ipv4_udp(&eth(), &ip, &udp, b"hi");
+        bytes.extend_from_slice(&[0u8; 20]); // Ethernet pad
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert_eq!(p.l4_payload(&bytes).unwrap(), b"hi");
+    }
+
+    #[test]
+    fn unknown_ethertype_is_opaque_but_ok() {
+        let mut bytes = vec![0u8; 20];
+        {
+            let mut f = EthernetFrame::new_unchecked(&mut bytes[..]);
+            f.set_src(MacAddr::from_index(1));
+            f.set_dst(MacAddr::from_index(2));
+            f.set_ethertype(EtherType::Other(0x88cc)); // LLDP
+        }
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        assert!(!p.is_ip());
+        assert_eq!(p.arp, None);
+        assert_eq!(p.l4, None);
+    }
+}

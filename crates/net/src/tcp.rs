@@ -1,0 +1,356 @@
+//! TCP headers (RFC 793) — header-level only.
+//!
+//! The workspace never runs a full TCP state machine: the SAV mechanism and
+//! its evaluation operate on packets, so what is needed is an honest header
+//! (ports, seq/ack, flags, options-capable data offset) for building and
+//! classifying TCP traffic in workloads.
+
+use crate::error::{ParseError, Result};
+use core::fmt;
+use core::ops::{BitOr, BitOrAssign};
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// TCP flag bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    /// No flags.
+    pub const EMPTY: TcpFlags = TcpFlags(0);
+    /// FIN.
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    /// SYN.
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    /// RST.
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    /// PSH.
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    /// ACK.
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+
+    /// Does `self` contain all bits of `other`?
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for TcpFlags {
+    fn bitor_assign(&mut self, rhs: TcpFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (TcpFlags::SYN, "SYN"),
+            (TcpFlags::ACK, "ACK"),
+            (TcpFlags::FIN, "FIN"),
+            (TcpFlags::RST, "RST"),
+            (TcpFlags::PSH, "PSH"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A typed view over a TCP segment.
+#[derive(Debug, Clone)]
+pub struct TcpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        TcpPacket { buffer }
+    }
+
+    /// Wrap and validate header presence and data offset.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = TcpPacket { buffer };
+        let data = p.buffer.as_ref();
+        if data.len() < TCP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let off = p.header_len();
+        if off < TCP_HEADER_LEN || off > data.len() {
+            return Err(ParseError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// Sequence number.
+    pub fn seq(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[4], d[5], d[6], d[7]])
+    }
+
+    /// Acknowledgement number.
+    pub fn ack(&self) -> u32 {
+        let d = self.buffer.as_ref();
+        u32::from_be_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    /// Header length in bytes (data offset × 4).
+    pub fn header_len(&self) -> usize {
+        usize::from(self.buffer.as_ref()[12] >> 4) * 4
+    }
+
+    /// Flag bits.
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.buffer.as_ref()[13] & 0x3f)
+    }
+
+    /// Advertised window.
+    pub fn window(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[14], d[15]])
+    }
+
+    /// The payload after the (possibly option-bearing) header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[self.header_len()..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the sequence number.
+    pub fn set_seq(&mut self, s: u32) {
+        self.buffer.as_mut()[4..8].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Set the acknowledgement number.
+    pub fn set_ack(&mut self, a: u32) {
+        self.buffer.as_mut()[8..12].copy_from_slice(&a.to_be_bytes());
+    }
+
+    /// Set the data offset (header length in bytes).
+    pub fn set_header_len(&mut self, len: usize) {
+        self.buffer.as_mut()[12] = ((len / 4) as u8) << 4;
+    }
+
+    /// Set the flag bits.
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.buffer.as_mut()[13] = f.0;
+    }
+
+    /// Set the advertised window.
+    pub fn set_window(&mut self, w: u16) {
+        self.buffer.as_mut()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        self.buffer.as_mut()[16..18].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Zero the urgent pointer.
+    pub fn clear_urgent(&mut self) {
+        self.buffer.as_mut()[18..20].copy_from_slice(&[0, 0]);
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.header_len();
+        &mut self.buffer.as_mut()[off..]
+    }
+}
+
+/// High-level representation of an option-less TCP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgement number.
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Advertised window.
+    pub window: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl TcpRepr {
+    /// A SYN segment for connection setup.
+    pub fn syn(src_port: u16, dst_port: u16, seq: u32) -> TcpRepr {
+        TcpRepr {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            flags: TcpFlags::SYN,
+            window: 65535,
+            payload_len: 0,
+        }
+    }
+
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &TcpPacket<T>) -> TcpRepr {
+        TcpRepr {
+            src_port: p.src_port(),
+            dst_port: p.dst_port(),
+            seq: p.seq(),
+            ack: p.ack(),
+            flags: p.flags(),
+            window: p.window(),
+            payload_len: p.payload().len(),
+        }
+    }
+
+    /// Bytes needed for header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        TCP_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header with a zero checksum (filled by the frame builder).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, p: &mut TcpPacket<T>) {
+        p.set_src_port(self.src_port);
+        p.set_dst_port(self.dst_port);
+        p.set_seq(self.seq);
+        p.set_ack(self.ack);
+        p.set_header_len(TCP_HEADER_LEN);
+        p.set_flags(self.flags);
+        p.set_window(self.window);
+        p.set_checksum(0);
+        p.clear_urgent();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let r = TcpRepr {
+            src_port: 43210,
+            dst_port: 80,
+            seq: 0x01020304,
+            ack: 0x0a0b0c0d,
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: 4096,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; r.buffer_len()];
+        let mut p = TcpPacket::new_unchecked(&mut buf[..]);
+        r.emit(&mut p);
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample(b"GET /");
+        let p = TcpPacket::new_checked(&buf[..]).unwrap();
+        let r = TcpRepr::parse(&p);
+        assert_eq!(r.src_port, 43210);
+        assert_eq!(r.dst_port, 80);
+        assert_eq!(r.seq, 0x01020304);
+        assert_eq!(r.ack, 0x0a0b0c0d);
+        assert!(r.flags.contains(TcpFlags::SYN));
+        assert!(r.flags.contains(TcpFlags::ACK));
+        assert!(!r.flags.contains(TcpFlags::FIN));
+        assert_eq!(r.window, 4096);
+        assert_eq!(p.payload(), b"GET /");
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((TcpFlags::SYN | TcpFlags::ACK).to_string(), "SYN|ACK");
+        assert_eq!(TcpFlags::EMPTY.to_string(), "-");
+    }
+
+    #[test]
+    fn rejects_bad_offsets() {
+        assert_eq!(
+            TcpPacket::new_checked(&[0u8; 19][..]).err(),
+            Some(ParseError::Truncated)
+        );
+        let mut buf = sample(b"");
+        buf[12] = 0x30; // offset 12 bytes < 20
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).err(),
+            Some(ParseError::BadLength)
+        );
+        let mut buf = sample(b"");
+        buf[12] = 0xf0; // offset 60 bytes > buffer
+        assert_eq!(
+            TcpPacket::new_checked(&buf[..]).err(),
+            Some(ParseError::BadLength)
+        );
+    }
+
+    #[test]
+    fn options_skipped_via_offset() {
+        // 24-byte header with 4 bytes of NOP options.
+        let mut buf = [0u8; 24 + 3];
+        {
+            let mut p = TcpPacket::new_unchecked(&mut buf[..]);
+            p.set_src_port(1);
+            p.set_dst_port(2);
+            p.set_header_len(24);
+            p.set_flags(TcpFlags::ACK);
+        }
+        buf[20..24].copy_from_slice(&[1, 1, 1, 1]);
+        buf[24..27].copy_from_slice(b"xyz");
+        let p = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.header_len(), 24);
+        assert_eq!(p.payload(), b"xyz");
+    }
+
+    #[test]
+    fn syn_constructor() {
+        let s = TcpRepr::syn(1000, 2000, 7);
+        assert!(s.flags.contains(TcpFlags::SYN));
+        assert_eq!(s.payload_len, 0);
+        assert_eq!(s.buffer_len(), TCP_HEADER_LEN);
+    }
+}

@@ -1,0 +1,206 @@
+//! UDP (RFC 768).
+//!
+//! The checksum is computed by the frame builders in [`crate::builder`]
+//! (it needs the IP pseudo-header); [`UdpRepr`] emits a zero checksum,
+//! which RFC 768 permits for IPv4 and the builders overwrite.
+
+use crate::error::{ParseError, Result};
+use core::fmt;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpPacket<T> {
+    /// Wrap a buffer without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        UdpPacket { buffer }
+    }
+
+    /// Wrap and validate header presence and the length field.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let p = UdpPacket { buffer };
+        let data = p.buffer.as_ref();
+        if data.len() < UDP_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let l = p.len_field() as usize;
+        if l < UDP_HEADER_LEN || l > data.len() {
+            return Err(ParseError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Recover the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[0], d[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[2], d[3]])
+    }
+
+    /// The length field (header + payload).
+    pub fn len_field(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[4], d[5]])
+    }
+
+    /// The checksum field.
+    pub fn checksum(&self) -> u16 {
+        let d = self.buffer.as_ref();
+        u16::from_be_bytes([d[6], d[7]])
+    }
+
+    /// The payload (respecting the length field).
+    pub fn payload(&self) -> &[u8] {
+        let end = (self.len_field() as usize).min(self.buffer.as_ref().len());
+        &self.buffer.as_ref()[UDP_HEADER_LEN.min(end)..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpPacket<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_len_field(&mut self, l: u16) {
+        self.buffer.as_mut()[4..6].copy_from_slice(&l.to_be_bytes());
+    }
+
+    /// Set the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        self.buffer.as_mut()[6..8].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Mutable payload access.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = (self.len_field() as usize).min(self.buffer.as_ref().len());
+        &mut self.buffer.as_mut()[UDP_HEADER_LEN.min(end)..end]
+    }
+}
+
+/// High-level representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+}
+
+impl UdpRepr {
+    /// Parse from a checked view.
+    pub fn parse<T: AsRef<[u8]>>(p: &UdpPacket<T>) -> UdpRepr {
+        UdpRepr {
+            src_port: p.src_port(),
+            dst_port: p.dst_port(),
+            payload_len: p.payload().len(),
+        }
+    }
+
+    /// Bytes needed for header + payload.
+    pub const fn buffer_len(&self) -> usize {
+        UDP_HEADER_LEN + self.payload_len
+    }
+
+    /// Emit the header with a zero checksum (filled by the frame builder).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, p: &mut UdpPacket<T>) {
+        p.set_src_port(self.src_port);
+        p.set_dst_port(self.dst_port);
+        p.set_len_field((UDP_HEADER_LEN + self.payload_len) as u16);
+        p.set_checksum(0);
+    }
+}
+
+impl fmt::Display for UdpRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UDP {} -> {} ({}B)", self.src_port, self.dst_port, self.payload_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: &[u8]) -> Vec<u8> {
+        let r = UdpRepr {
+            src_port: 5353,
+            dst_port: 53,
+            payload_len: payload.len(),
+        };
+        let mut buf = vec![0u8; r.buffer_len()];
+        let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+        r.emit(&mut p);
+        p.payload_mut().copy_from_slice(payload);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample(b"query");
+        let p = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.src_port(), 5353);
+        assert_eq!(p.dst_port(), 53);
+        assert_eq!(p.payload(), b"query");
+        let r = UdpRepr::parse(&p);
+        assert_eq!(r.payload_len, 5);
+        assert_eq!(r.to_string(), "UDP 5353 -> 53 (5B)");
+    }
+
+    #[test]
+    fn rejects_short_and_bad_length() {
+        assert_eq!(
+            UdpPacket::new_checked(&[0u8; 7][..]).err(),
+            Some(ParseError::Truncated)
+        );
+        let mut buf = sample(b"");
+        {
+            let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+            p.set_len_field(4); // below header size
+        }
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).err(),
+            Some(ParseError::BadLength)
+        );
+        let mut buf = sample(b"");
+        {
+            let mut p = UdpPacket::new_unchecked(&mut buf[..]);
+            p.set_len_field(100); // beyond buffer
+        }
+        assert_eq!(
+            UdpPacket::new_checked(&buf[..]).err(),
+            Some(ParseError::BadLength)
+        );
+    }
+
+    #[test]
+    fn padding_excluded() {
+        let mut buf = sample(b"ab");
+        buf.extend_from_slice(&[0u8; 16]);
+        let p = UdpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload(), b"ab");
+    }
+}

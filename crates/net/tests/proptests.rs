@@ -1,0 +1,163 @@
+//! Property-based tests for the wire formats: every Repr survives an
+//! emit→parse roundtrip, no parser panics on arbitrary bytes, and the CIDR
+//! algebra holds.
+
+use proptest::prelude::*;
+use sav_net::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ipv4() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    #[test]
+    fn ethernet_roundtrip(src in arb_mac(), dst in arb_mac(), et in any::<u16>(), payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let repr = EthernetRepr { src, dst, ethertype: EtherType::from(et) };
+        let mut buf = vec![0u8; repr.buffer_len() + payload.len()];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        repr.emit(&mut f);
+        f.payload_mut().copy_from_slice(&payload);
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        prop_assert_eq!(EthernetRepr::parse(&f), repr);
+        prop_assert_eq!(f.payload(), &payload[..]);
+    }
+
+    #[test]
+    fn arp_roundtrip(smac in arb_mac(), tmac in arb_mac(), sip in arb_ipv4(), tip in arb_ipv4(), is_req in any::<bool>()) {
+        let repr = ArpRepr {
+            op: if is_req { ArpOp::Request } else { ArpOp::Reply },
+            sender_mac: smac,
+            sender_ip: sip,
+            target_mac: tmac,
+            target_ip: tip,
+        };
+        prop_assert_eq!(ArpRepr::parse(&repr.to_bytes()).unwrap(), repr);
+    }
+
+    #[test]
+    fn ipv4_udp_frame_roundtrip(
+        src in arb_ipv4(), dst in arb_ipv4(),
+        sport in any::<u16>(), dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let udp = UdpRepr { src_port: sport, dst_port: dport, payload_len: payload.len() };
+        let ip = Ipv4Repr::udp(src, dst, udp.buffer_len());
+        let eth = EthernetRepr { src: MacAddr::from_index(1), dst: MacAddr::from_index(2), ethertype: EtherType::Ipv4 };
+        let bytes = sav_net::builder::build_ipv4_udp(&eth, &ip, &udp, &payload);
+        let p = ParsedPacket::parse(&bytes).unwrap();
+        prop_assert_eq!(p.ipv4_src(), Some(src));
+        prop_assert_eq!(p.ipv4_dst(), Some(dst));
+        prop_assert_eq!(p.l4_src_port(), Some(sport));
+        prop_assert_eq!(p.l4_dst_port(), Some(dport));
+        prop_assert_eq!(p.l4_payload(&bytes).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = ParsedPacket::parse(&bytes);
+        let _ = ArpRepr::parse(&bytes);
+        let _ = DnsRepr::parse(&bytes);
+        let _ = DhcpRepr::parse(&bytes);
+        let _ = Icmpv4Repr::parse(&bytes);
+        let _ = Ipv4Packet::new_checked(&bytes[..]);
+        let _ = Ipv6Packet::new_checked(&bytes[..]);
+        let _ = UdpPacket::new_checked(&bytes[..]);
+    }
+
+    #[test]
+    fn parser_never_panics_with_ip_ethertype(mut bytes in proptest::collection::vec(any::<u8>(), 14..256)) {
+        // Force interesting EtherTypes so the deeper parsers run.
+        for et in [[0x08u8, 0x00], [0x08, 0x06], [0x86, 0xdd]] {
+            bytes[12] = et[0];
+            bytes[13] = et[1];
+            let _ = ParsedPacket::parse(&bytes);
+        }
+    }
+
+    #[test]
+    fn dns_roundtrip(id in any::<u16>(), labels in proptest::collection::vec("[a-z]{1,12}", 1..4), n_answers in 0usize..8) {
+        let name = labels.join(".");
+        let q = DnsRepr::query(id, &name, DnsType::Any);
+        let answers: Vec<_> = (0..n_answers)
+            .map(|i| sav_net::dns::DnsAnswer::a(&name, 60, Ipv4Addr::from(i as u32)))
+            .collect();
+        let resp = q.respond(answers);
+        let bytes = resp.to_bytes();
+        prop_assert_eq!(bytes.len(), resp.buffer_len());
+        prop_assert_eq!(DnsRepr::parse(&bytes).unwrap(), resp);
+    }
+
+    #[test]
+    fn dhcp_roundtrip(
+        xid in any::<u32>(), mac in arb_mac(),
+        your_ip in arb_ipv4(), lease in proptest::option::of(any::<u32>()),
+        req_ip in proptest::option::of(arb_ipv4()),
+    ) {
+        let mut r = DhcpRepr::client(DhcpMessageType::Request, xid, mac);
+        r.requested_ip = req_ip;
+        let mut ack = r.clone();
+        ack.message_type = DhcpMessageType::Ack;
+        ack.your_ip = your_ip;
+        ack.lease_secs = lease;
+        for msg in [r, ack] {
+            prop_assert_eq!(DhcpRepr::parse(&msg.to_bytes()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn checksummed_headers_verify(src in arb_ipv4(), dst in arb_ipv4(), len in 0usize..128) {
+        let udp = UdpRepr { src_port: 1, dst_port: 2, payload_len: len };
+        let ip = Ipv4Repr::udp(src, dst, udp.buffer_len());
+        let eth = EthernetRepr { src: MacAddr::from_index(1), dst: MacAddr::from_index(2), ethertype: EtherType::Ipv4 };
+        let bytes = sav_net::builder::build_ipv4_udp(&eth, &ip, &udp, &vec![0xabu8; len]);
+        // Flipping any single header byte must break parsing or change a field.
+        let f = EthernetFrame::new_checked(&bytes[..]).unwrap();
+        let ipp = Ipv4Packet::new_checked(f.payload()).unwrap();
+        prop_assert_eq!(ipp.src(), src);
+        // Corrupt the checksum itself: must be rejected.
+        let mut bad = bytes.clone();
+        bad[24] ^= 0xff; // IPv4 header checksum byte
+        prop_assert!(Ipv4Packet::new_checked(&bad[14..]).is_err());
+    }
+
+    #[test]
+    fn cidr_algebra(addr in arb_ipv4(), len in 0u8..=32) {
+        let c = Ipv4Cidr::new(addr, len);
+        // The network address is inside; the canonical form is idempotent.
+        prop_assert!(c.contains(c.network()));
+        prop_assert_eq!(Ipv4Cidr::new(c.network(), len), c);
+        prop_assert!(c.contains(addr));
+        prop_assert!(c.contains(c.broadcast()));
+        // The parent contains the child.
+        if let Some(p) = c.parent() {
+            prop_assert!(p.contains_prefix(&c));
+        }
+        // Siblings merge to the parent and are disjoint.
+        if len > 0 {
+            let flipped = u32::from(c.network()) ^ (1u32 << (32 - len));
+            let sib = Ipv4Cidr::new(Ipv4Addr::from(flipped), len);
+            prop_assert!(c.is_sibling(&sib));
+            prop_assert_eq!(c.parent(), sib.parent());
+            prop_assert!(!c.contains(sib.network()) || len == 0);
+        }
+        // nth enumerates exactly the members.
+        if len >= 24 {
+            for i in 0..c.size() {
+                let x = c.nth(i as u32).unwrap();
+                prop_assert!(c.contains(x));
+            }
+            prop_assert!(c.nth(c.size() as u32).is_none());
+        }
+    }
+
+    #[test]
+    fn mac_display_parse_roundtrip(mac in arb_mac()) {
+        let s = mac.to_string();
+        prop_assert_eq!(s.parse::<MacAddr>().unwrap(), mac);
+    }
+}

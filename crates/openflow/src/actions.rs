@@ -1,0 +1,263 @@
+//! OpenFlow actions (`ofp_action_*`).
+//!
+//! The subset used by the workspace: `OUTPUT`, `GROUP`, and `SET_FIELD`.
+//! Dropping a packet is expressed, per spec, by an empty action list.
+
+use crate::error::{CodecError, Result};
+use crate::oxm::OxmField;
+use crate::wire::{Reader, Writer};
+use core::fmt;
+
+/// `ofp_action_type` values.
+mod action_type {
+    pub const OUTPUT: u16 = 0;
+    pub const GROUP: u16 = 22;
+    pub const SET_FIELD: u16 = 25;
+}
+
+/// Default `max_len` for output-to-controller: send the full packet.
+pub const CONTROLLER_MAX_LEN: u16 = 0xffff;
+
+/// One action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Forward out a port (physical or reserved). `max_len` bounds the bytes
+    /// sent to the controller when the port is `OFPP_CONTROLLER`.
+    Output {
+        /// Destination port.
+        port: u32,
+        /// Bytes to include in the resulting PACKET_IN (controller port only).
+        max_len: u16,
+    },
+    /// Process through a group table entry.
+    Group(u32),
+    /// Rewrite a header field.
+    SetField(OxmField),
+}
+
+impl Action {
+    /// Output to a port with the full-packet controller length.
+    pub fn output(port: u32) -> Action {
+        Action::Output {
+            port,
+            max_len: CONTROLLER_MAX_LEN,
+        }
+    }
+
+    /// Encoded length (multiple of 8).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Action::Output { .. } => 16,
+            Action::Group(_) => 8,
+            Action::SetField(f) => crate::consts::pad8(4 + f.encoded_len()),
+        }
+    }
+
+    /// Append to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Action::Output { port, max_len } => {
+                w.u16(action_type::OUTPUT);
+                w.u16(16);
+                w.u32(*port);
+                w.u16(*max_len);
+                w.pad(6);
+            }
+            Action::Group(g) => {
+                w.u16(action_type::GROUP);
+                w.u16(8);
+                w.u32(*g);
+            }
+            Action::SetField(f) => {
+                let start = w.len();
+                w.u16(action_type::SET_FIELD);
+                w.u16(self.encoded_len() as u16);
+                f.encode(w);
+                w.pad8_from(start);
+            }
+        }
+    }
+
+    /// Decode one action from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Action> {
+        let atype = r.u16()?;
+        let len = usize::from(r.u16()?);
+        if len < 8 || len % 8 != 0 {
+            return Err(CodecError::BadLength);
+        }
+        let mut body = r.sub(len - 4)?;
+        match atype {
+            action_type::OUTPUT => {
+                if len != 16 {
+                    return Err(CodecError::BadLength);
+                }
+                let port = body.u32()?;
+                let max_len = body.u16()?;
+                body.skip(6)?;
+                Ok(Action::Output { port, max_len })
+            }
+            action_type::GROUP => {
+                if len != 8 {
+                    return Err(CodecError::BadLength);
+                }
+                Ok(Action::Group(body.u32()?))
+            }
+            action_type::SET_FIELD => {
+                let f = OxmField::decode(&mut body)?;
+                // The rest is padding; accept any residue of zeros.
+                Ok(Action::SetField(f))
+            }
+            _ => Err(CodecError::Unsupported),
+        }
+    }
+
+    /// Encode a list of actions.
+    pub fn encode_list(actions: &[Action], w: &mut Writer) {
+        for a in actions {
+            a.encode(w);
+        }
+    }
+
+    /// Decode exactly `len` bytes of actions.
+    pub fn decode_list(r: &mut Reader<'_>, len: usize) -> Result<Vec<Action>> {
+        let mut body = r.sub(len)?;
+        let mut out = Vec::new();
+        while !body.is_empty() {
+            out.push(Action::decode(&mut body)?);
+        }
+        Ok(out)
+    }
+
+    /// Total encoded length of a list.
+    pub fn list_len(actions: &[Action]) -> usize {
+        actions.iter().map(|a| a.encoded_len()).sum()
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Output { port, .. } => match *port {
+                crate::consts::port::CONTROLLER => f.write_str("output:controller"),
+                crate::consts::port::FLOOD => f.write_str("output:flood"),
+                crate::consts::port::ALL => f.write_str("output:all"),
+                crate::consts::port::IN_PORT => f.write_str("output:in_port"),
+                p => write!(f, "output:{p}"),
+            },
+            Action::Group(g) => write!(f, "group:{g}"),
+            Action::SetField(field) => write!(f, "set_field({field})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::port;
+
+    fn roundtrip(a: Action) {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), a.encoded_len());
+        assert_eq!(bytes.len() % 8, 0);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Action::decode(&mut r).unwrap(), a);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn output_roundtrip() {
+        roundtrip(Action::output(3));
+        roundtrip(Action::Output {
+            port: port::CONTROLLER,
+            max_len: 128,
+        });
+    }
+
+    #[test]
+    fn group_roundtrip() {
+        roundtrip(Action::Group(42));
+    }
+
+    #[test]
+    fn set_field_roundtrip() {
+        roundtrip(Action::SetField(OxmField::UdpDst(53)));
+        roundtrip(Action::SetField(OxmField::EthSrc(
+            sav_net::addr::MacAddr::from_index(9),
+            None,
+        )));
+    }
+
+    #[test]
+    fn output_exact_bytes() {
+        let mut w = Writer::new();
+        Action::output(port::FLOOD).encode(&mut w);
+        assert_eq!(
+            w.as_slice(),
+            &[0, 0, 0, 16, 0xff, 0xff, 0xff, 0xfb, 0xff, 0xff, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let actions = vec![
+            Action::SetField(OxmField::EthType(0x0800)),
+            Action::output(1),
+            Action::output(2),
+        ];
+        let mut w = Writer::new();
+        Action::encode_list(&actions, &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), Action::list_len(&actions));
+        let mut r = Reader::new(&bytes);
+        let out = Action::decode_list(&mut r, bytes.len()).unwrap();
+        assert_eq!(out, actions);
+    }
+
+    #[test]
+    fn empty_list() {
+        let mut r = Reader::new(&[]);
+        assert_eq!(Action::decode_list(&mut r, 0).unwrap(), vec![]);
+        assert_eq!(Action::list_len(&[]), 0);
+    }
+
+    #[test]
+    fn rejects_unknown_and_bad_len() {
+        // Unknown type 99.
+        let bytes = [0, 99, 0, 8, 0, 0, 0, 0];
+        assert_eq!(
+            Action::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::Unsupported)
+        );
+        // Output with wrong length.
+        let bytes = [0, 0, 0, 8, 0, 0, 0, 1];
+        assert_eq!(
+            Action::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::BadLength)
+        );
+        // Unaligned length.
+        let bytes = [0, 0, 0, 9, 0, 0, 0, 1, 0];
+        assert_eq!(
+            Action::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::BadLength)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Action::output(7).to_string(), "output:7");
+        assert_eq!(
+            Action::Output {
+                port: port::CONTROLLER,
+                max_len: 0xffff
+            }
+            .to_string(),
+            "output:controller"
+        );
+        assert_eq!(
+            Action::SetField(OxmField::UdpDst(53)).to_string(),
+            "set_field(udp_dst=53)"
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Wire constants from the OpenFlow 1.3.5 specification.
+
+/// The protocol version byte for OpenFlow 1.3.
+pub const OFP_VERSION: u8 = 0x04;
+
+/// `OFP_NO_BUFFER`: the packet is carried in full, nothing is buffered.
+pub const NO_BUFFER: u32 = 0xffff_ffff;
+
+/// Message type bytes (`ofp_type`).
+pub mod msg_type {
+    /// OFPT_HELLO
+    pub const HELLO: u8 = 0;
+    /// OFPT_ERROR
+    pub const ERROR: u8 = 1;
+    /// OFPT_ECHO_REQUEST
+    pub const ECHO_REQUEST: u8 = 2;
+    /// OFPT_ECHO_REPLY
+    pub const ECHO_REPLY: u8 = 3;
+    /// OFPT_FEATURES_REQUEST
+    pub const FEATURES_REQUEST: u8 = 5;
+    /// OFPT_FEATURES_REPLY
+    pub const FEATURES_REPLY: u8 = 6;
+    /// OFPT_GET_CONFIG_REQUEST
+    pub const GET_CONFIG_REQUEST: u8 = 7;
+    /// OFPT_GET_CONFIG_REPLY
+    pub const GET_CONFIG_REPLY: u8 = 8;
+    /// OFPT_SET_CONFIG
+    pub const SET_CONFIG: u8 = 9;
+    /// OFPT_PACKET_IN
+    pub const PACKET_IN: u8 = 10;
+    /// OFPT_FLOW_REMOVED
+    pub const FLOW_REMOVED: u8 = 11;
+    /// OFPT_PORT_STATUS
+    pub const PORT_STATUS: u8 = 12;
+    /// OFPT_PACKET_OUT
+    pub const PACKET_OUT: u8 = 13;
+    /// OFPT_FLOW_MOD
+    pub const FLOW_MOD: u8 = 14;
+    /// OFPT_MULTIPART_REQUEST
+    pub const MULTIPART_REQUEST: u8 = 18;
+    /// OFPT_MULTIPART_REPLY
+    pub const MULTIPART_REPLY: u8 = 19;
+    /// OFPT_BARRIER_REQUEST
+    pub const BARRIER_REQUEST: u8 = 20;
+    /// OFPT_BARRIER_REPLY
+    pub const BARRIER_REPLY: u8 = 21;
+}
+
+/// Reserved port numbers (`ofp_port_no`).
+pub mod port {
+    /// OFPP_MAX: maximum number of physical ports.
+    pub const MAX: u32 = 0xffff_ff00;
+    /// OFPP_IN_PORT: send back out the ingress port.
+    pub const IN_PORT: u32 = 0xffff_fff8;
+    /// OFPP_TABLE: submit to the first flow table (packet-out only).
+    pub const TABLE: u32 = 0xffff_fff9;
+    /// OFPP_NORMAL: legacy L2/L3 processing.
+    pub const NORMAL: u32 = 0xffff_fffa;
+    /// OFPP_FLOOD: all physical ports except ingress and blocked.
+    pub const FLOOD: u32 = 0xffff_fffb;
+    /// OFPP_ALL: all physical ports except ingress.
+    pub const ALL: u32 = 0xffff_fffc;
+    /// OFPP_CONTROLLER: punt to the controller.
+    pub const CONTROLLER: u32 = 0xffff_fffd;
+    /// OFPP_LOCAL: the switch's local networking stack.
+    pub const LOCAL: u32 = 0xffff_fffe;
+    /// OFPP_ANY: wildcard for delete/stats filtering.
+    pub const ANY: u32 = 0xffff_ffff;
+}
+
+/// Group numbers (`ofp_group`).
+pub mod group {
+    /// OFPG_ANY: wildcard for delete/stats filtering.
+    pub const ANY: u32 = 0xffff_ffff;
+}
+
+/// `ofp_flow_mod_flags` bits.
+pub mod flow_mod_flags {
+    /// OFPFF_SEND_FLOW_REM: emit FLOW_REMOVED when this flow dies.
+    pub const SEND_FLOW_REM: u16 = 1 << 0;
+    /// OFPFF_CHECK_OVERLAP: reject overlapping adds at equal priority.
+    pub const CHECK_OVERLAP: u16 = 1 << 1;
+    /// OFPFF_RESET_COUNTS: reset packet/byte counters on modify.
+    pub const RESET_COUNTS: u16 = 1 << 2;
+}
+
+/// Table numbers.
+pub mod table {
+    /// OFPTT_MAX.
+    pub const MAX: u8 = 0xfe;
+    /// OFPTT_ALL: every table (delete / stats).
+    pub const ALL: u8 = 0xff;
+}
+
+/// `ofp_error_type` values (subset).
+pub mod error_type {
+    /// OFPET_HELLO_FAILED.
+    pub const HELLO_FAILED: u16 = 0;
+    /// OFPET_BAD_REQUEST.
+    pub const BAD_REQUEST: u16 = 1;
+    /// OFPET_BAD_ACTION.
+    pub const BAD_ACTION: u16 = 2;
+    /// OFPET_BAD_INSTRUCTION.
+    pub const BAD_INSTRUCTION: u16 = 3;
+    /// OFPET_BAD_MATCH.
+    pub const BAD_MATCH: u16 = 4;
+    /// OFPET_FLOW_MOD_FAILED.
+    pub const FLOW_MOD_FAILED: u16 = 5;
+}
+
+/// `ofp_flow_mod_failed_code` values (subset).
+pub mod flow_mod_failed {
+    /// OFPFMFC_UNKNOWN.
+    pub const UNKNOWN: u16 = 0;
+    /// OFPFMFC_TABLE_FULL.
+    pub const TABLE_FULL: u16 = 1;
+    /// OFPFMFC_BAD_TABLE_ID.
+    pub const BAD_TABLE_ID: u16 = 2;
+    /// OFPFMFC_OVERLAP.
+    pub const OVERLAP: u16 = 3;
+}
+
+/// Round `n` up to the next multiple of 8, as required for all OpenFlow
+/// variable-length structures.
+pub const fn pad8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad8_values() {
+        assert_eq!(pad8(0), 0);
+        assert_eq!(pad8(1), 8);
+        assert_eq!(pad8(8), 8);
+        assert_eq!(pad8(9), 16);
+        assert_eq!(pad8(15), 16);
+        assert_eq!(pad8(16), 16);
+    }
+
+    #[test]
+    fn reserved_ports_are_spec_values() {
+        assert_eq!(port::CONTROLLER, 0xfffffffd);
+        assert_eq!(port::FLOOD, 0xfffffffb);
+        assert_eq!(port::ANY, u32::MAX);
+    }
+}

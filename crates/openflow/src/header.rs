@@ -1,0 +1,99 @@
+//! The 8-byte `ofp_header` carried by every OpenFlow message.
+
+use crate::consts::OFP_VERSION;
+use crate::error::{CodecError, Result};
+use crate::wire::{Reader, Writer};
+
+/// Length of the fixed header.
+pub const HEADER_LEN: usize = 8;
+
+/// The fixed OpenFlow header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Protocol version (must be 0x04 for this codec).
+    pub version: u8,
+    /// Message type byte (see [`crate::consts::msg_type`]).
+    pub msg_type: u8,
+    /// Total message length including this header.
+    pub length: u16,
+    /// Transaction id correlating requests and replies.
+    pub xid: u32,
+}
+
+impl Header {
+    /// Construct a 1.3 header.
+    pub fn new(msg_type: u8, length: u16, xid: u32) -> Header {
+        Header {
+            version: OFP_VERSION,
+            msg_type,
+            length,
+            xid,
+        }
+    }
+
+    /// Decode from the front of `data`. Validates version and that the
+    /// length field covers at least the header itself.
+    pub fn decode(data: &[u8]) -> Result<Header> {
+        let mut r = Reader::new(data);
+        let version = r.u8()?;
+        let msg_type = r.u8()?;
+        let length = r.u16()?;
+        let xid = r.u32()?;
+        if version != OFP_VERSION {
+            return Err(CodecError::BadVersion(version));
+        }
+        if (length as usize) < HEADER_LEN {
+            return Err(CodecError::BadLength);
+        }
+        Ok(Header {
+            version,
+            msg_type,
+            length,
+            xid,
+        })
+    }
+
+    /// Append this header to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(self.version);
+        w.u8(self.msg_type);
+        w.u16(self.length);
+        w.u32(self.xid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::msg_type;
+
+    #[test]
+    fn roundtrip() {
+        let h = Header::new(msg_type::HELLO, 8, 0x01020304);
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, [0x04, 0, 0, 8, 1, 2, 3, 4]);
+        assert_eq!(Header::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let bytes = [0x01, 0, 0, 8, 0, 0, 0, 0]; // OpenFlow 1.0
+        assert_eq!(Header::decode(&bytes).err(), Some(CodecError::BadVersion(1)));
+    }
+
+    #[test]
+    fn rejects_short_length_field() {
+        let bytes = [0x04, 0, 0, 4, 0, 0, 0, 0];
+        assert_eq!(Header::decode(&bytes).err(), Some(CodecError::BadLength));
+    }
+
+    #[test]
+    fn rejects_truncated_buffer() {
+        assert_eq!(
+            Header::decode(&[0x04, 0, 0]).err(),
+            Some(CodecError::Truncated)
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! OpenFlow instructions (`ofp_instruction_*`).
+//!
+//! Subset: `GOTO_TABLE`, `WRITE_ACTIONS`, `APPLY_ACTIONS`, `CLEAR_ACTIONS`,
+//! `METER`. These cover the SAV pipeline (SAV table 0 → forwarding table 1)
+//! and everything the baselines install.
+
+use crate::actions::Action;
+use crate::error::{CodecError, Result};
+use crate::wire::{Reader, Writer};
+use core::fmt;
+
+mod instr_type {
+    pub const GOTO_TABLE: u16 = 1;
+    pub const WRITE_ACTIONS: u16 = 3;
+    pub const APPLY_ACTIONS: u16 = 4;
+    pub const CLEAR_ACTIONS: u16 = 5;
+    pub const METER: u16 = 6;
+}
+
+/// One instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Continue matching in a later table.
+    GotoTable(u8),
+    /// Merge actions into the action set.
+    WriteActions(Vec<Action>),
+    /// Execute actions immediately.
+    ApplyActions(Vec<Action>),
+    /// Clear the action set.
+    ClearActions,
+    /// Rate-limit through a meter.
+    Meter(u32),
+}
+
+impl Instruction {
+    /// Apply a single output action — the most common instruction.
+    pub fn apply_output(port: u32) -> Instruction {
+        Instruction::ApplyActions(vec![Action::output(port)])
+    }
+
+    /// Encoded length (multiple of 8).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Instruction::GotoTable(_) => 8,
+            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => {
+                8 + Action::list_len(a)
+            }
+            Instruction::ClearActions => 8,
+            Instruction::Meter(_) => 8,
+        }
+    }
+
+    /// Append to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        match self {
+            Instruction::GotoTable(t) => {
+                w.u16(instr_type::GOTO_TABLE);
+                w.u16(8);
+                w.u8(*t);
+                w.pad(3);
+            }
+            Instruction::WriteActions(a) => {
+                w.u16(instr_type::WRITE_ACTIONS);
+                w.u16(self.encoded_len() as u16);
+                w.pad(4);
+                Action::encode_list(a, w);
+            }
+            Instruction::ApplyActions(a) => {
+                w.u16(instr_type::APPLY_ACTIONS);
+                w.u16(self.encoded_len() as u16);
+                w.pad(4);
+                Action::encode_list(a, w);
+            }
+            Instruction::ClearActions => {
+                w.u16(instr_type::CLEAR_ACTIONS);
+                w.u16(8);
+                w.pad(4);
+            }
+            Instruction::Meter(m) => {
+                w.u16(instr_type::METER);
+                w.u16(8);
+                w.u32(*m);
+            }
+        }
+    }
+
+    /// Decode one instruction from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Instruction> {
+        let itype = r.u16()?;
+        let len = usize::from(r.u16()?);
+        if len < 8 || len % 8 != 0 {
+            return Err(CodecError::BadLength);
+        }
+        let mut body = r.sub(len - 4)?;
+        match itype {
+            instr_type::GOTO_TABLE => {
+                let t = body.u8()?;
+                body.skip(3)?;
+                Ok(Instruction::GotoTable(t))
+            }
+            instr_type::WRITE_ACTIONS => {
+                body.skip(4)?;
+                let actions = Action::decode_list(&mut body, len - 8)?;
+                Ok(Instruction::WriteActions(actions))
+            }
+            instr_type::APPLY_ACTIONS => {
+                body.skip(4)?;
+                let actions = Action::decode_list(&mut body, len - 8)?;
+                Ok(Instruction::ApplyActions(actions))
+            }
+            instr_type::CLEAR_ACTIONS => {
+                body.skip(4)?;
+                Ok(Instruction::ClearActions)
+            }
+            instr_type::METER => Ok(Instruction::Meter(body.u32()?)),
+            _ => Err(CodecError::Unsupported),
+        }
+    }
+
+    /// Encode a list of instructions.
+    pub fn encode_list(list: &[Instruction], w: &mut Writer) {
+        for i in list {
+            i.encode(w);
+        }
+    }
+
+    /// Decode exactly `len` bytes of instructions.
+    pub fn decode_list(r: &mut Reader<'_>, len: usize) -> Result<Vec<Instruction>> {
+        let mut body = r.sub(len)?;
+        let mut out = Vec::new();
+        while !body.is_empty() {
+            out.push(Instruction::decode(&mut body)?);
+        }
+        Ok(out)
+    }
+
+    /// Total encoded length of a list.
+    pub fn list_len(list: &[Instruction]) -> usize {
+        list.iter().map(|i| i.encoded_len()).sum()
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::GotoTable(t) => write!(f, "goto_table:{t}"),
+            Instruction::WriteActions(a) => {
+                f.write_str("write_actions(")?;
+                for (i, act) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{act}")?;
+                }
+                f.write_str(")")
+            }
+            Instruction::ApplyActions(a) => {
+                f.write_str("apply_actions(")?;
+                for (i, act) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{act}")?;
+                }
+                f.write_str(")")
+            }
+            Instruction::ClearActions => f.write_str("clear_actions"),
+            Instruction::Meter(m) => write!(f, "meter:{m}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(i: Instruction) {
+        let mut w = Writer::new();
+        i.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), i.encoded_len());
+        assert_eq!(bytes.len() % 8, 0);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Instruction::decode(&mut r).unwrap(), i);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        roundtrip(Instruction::GotoTable(1));
+        roundtrip(Instruction::ClearActions);
+        roundtrip(Instruction::Meter(7));
+        roundtrip(Instruction::ApplyActions(vec![]));
+        roundtrip(Instruction::apply_output(3));
+        roundtrip(Instruction::WriteActions(vec![
+            Action::output(1),
+            Action::output(2),
+        ]));
+        roundtrip(Instruction::ApplyActions(vec![
+            Action::SetField(crate::oxm::OxmField::UdpSrc(53)),
+            Action::output(crate::consts::port::CONTROLLER),
+        ]));
+    }
+
+    #[test]
+    fn goto_exact_bytes() {
+        let mut w = Writer::new();
+        Instruction::GotoTable(1).encode(&mut w);
+        assert_eq!(w.as_slice(), &[0, 1, 0, 8, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn list_roundtrip() {
+        let list = vec![
+            Instruction::apply_output(2),
+            Instruction::GotoTable(1),
+        ];
+        let mut w = Writer::new();
+        Instruction::encode_list(&list, &mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), Instruction::list_len(&list));
+        let mut r = Reader::new(&bytes);
+        assert_eq!(Instruction::decode_list(&mut r, bytes.len()).unwrap(), list);
+    }
+
+    #[test]
+    fn rejects_unknown_and_bad_len() {
+        let bytes = [0, 9, 0, 8, 0, 0, 0, 0];
+        assert_eq!(
+            Instruction::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::Unsupported)
+        );
+        let bytes = [0, 1, 0, 6, 0, 0];
+        assert_eq!(
+            Instruction::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::BadLength)
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Instruction::GotoTable(1).to_string(), "goto_table:1");
+        assert_eq!(
+            Instruction::apply_output(9).to_string(),
+            "apply_actions(output:9)"
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! # sav-openflow — a hand-rolled OpenFlow 1.3 wire protocol
+//!
+//! The control-channel protocol between the `sdn-sav` controller and its
+//! switches, implemented from the OpenFlow 1.3.5 specification with no
+//! protocol dependencies: fixed header and framing, HELLO/ECHO/ERROR,
+//! feature discovery, `FLOW_MOD` with OXM matches / actions / instructions,
+//! `PACKET_IN` / `PACKET_OUT`, `FLOW_REMOVED`, `PORT_STATUS`, barriers and
+//! the flow/port/table multipart statistics used by the evaluation harness.
+//!
+//! Scope note (documented rather than hidden): group/meter tables, queues,
+//! role/async-config negotiation and auxiliary connections are not modelled —
+//! the SAV application and its baselines exercise none of them. Every message
+//! that *is* modelled is byte-accurate per the spec, including OXM TLV
+//! prerequisites, so captured byte strings can be compared against
+//! spec examples (see the unit tests).
+//!
+//! ## Layering
+//!
+//! * [`wire`] — bounds-checked cursor reader/writer primitives.
+//! * [`header`] — the 8-byte fixed header and [`framing`] for streams.
+//! * [`oxm`] — OXM match TLVs with mask support and prerequisite checking.
+//! * [`actions`] / [`instructions`] — the action and instruction lists.
+//! * [`ports`] — `ofp_port` descriptions used in features and port-status.
+//! * [`messages`] — the [`messages::Message`] enum with `encode`/`decode`.
+//!
+//! ```
+//! use sav_openflow::prelude::*;
+//!
+//! // A SAV allow-rule: match (in_port=3, eth_src, ipv4_src) and goto the
+//! // forwarding table.
+//! let m = OxmMatch::new()
+//!     .with(OxmField::InPort(3))
+//!     .with(OxmField::EthType(0x0800))
+//!     .with(OxmField::EthSrc([0x02, 0, 0, 0, 0, 1].into(), None))
+//!     .with(OxmField::Ipv4Src("10.0.1.5".parse().unwrap(), None));
+//! assert!(m.validate_prerequisites().is_ok());
+//!
+//! let fm = FlowMod {
+//!     priority: 40_000,
+//!     table_id: 0,
+//!     instructions: vec![Instruction::GotoTable(1)],
+//!     ..FlowMod::add(m)
+//! };
+//! let bytes = Message::FlowMod(fm.clone()).encode(7);
+//! let (msg, xid) = Message::decode(&bytes).unwrap();
+//! assert_eq!(xid, 7);
+//! assert_eq!(msg, Message::FlowMod(fm));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod consts;
+pub mod error;
+pub mod framing;
+pub mod header;
+pub mod instructions;
+pub mod messages;
+pub mod oxm;
+pub mod ports;
+pub mod wire;
+
+/// One-stop import for downstream crates.
+pub mod prelude {
+    pub use crate::actions::Action;
+    pub use crate::consts::{port, NO_BUFFER, OFP_VERSION};
+    pub use crate::error::CodecError;
+    pub use crate::framing::Deframer;
+    pub use crate::header::Header;
+    pub use crate::instructions::Instruction;
+    pub use crate::messages::{
+        EchoData, ErrorMsg, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved,
+        FlowRemovedReason, FlowStatsEntry, FlowStatsRequest, Message, MultipartReplyBody,
+        MultipartRequestBody, PacketIn, PacketInReason, PacketOut, PortStats, PortStatus,
+        PortStatusReason, SwitchConfig, TableStats,
+    };
+    pub use crate::oxm::{OxmField, OxmMatch};
+    pub use crate::ports::{PortConfig, PortDesc, PortState};
+}
+
+pub use prelude::*;

@@ -1,0 +1,745 @@
+//! OXM — the OpenFlow eXtensible Match TLVs and the `ofp_match` container.
+//!
+//! Implements the `OFPXMC_OPENFLOW_BASIC` class fields the SAV system and
+//! its baselines match on: ingress port, Ethernet src/dst/type, IP protocol,
+//! IPv4/IPv6 src/dst (maskable), TCP/UDP ports, and the ARP fields. Masked
+//! fields carry the HM bit and double payload length, per spec §7.2.3.
+//!
+//! [`OxmMatch::validate_prerequisites`] enforces the spec's prerequisite
+//! table (e.g. `IPV4_SRC` requires `ETH_TYPE == 0x0800`); the flow-mod path
+//! in the dataplane rejects non-conforming matches with `OFPET_BAD_MATCH`,
+//! just as a real switch would.
+
+use crate::error::{CodecError, Result};
+use crate::wire::{Reader, Writer};
+use core::fmt;
+use sav_net::addr::MacAddr;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+/// The OpenFlow Basic OXM class.
+pub const OXM_CLASS_BASIC: u16 = 0x8000;
+
+/// `ofp_match` type for OXM matches.
+pub const MATCH_TYPE_OXM: u16 = 1;
+
+/// OXM field numbers (`oxm_ofb_match_fields`).
+mod field_num {
+    pub const IN_PORT: u8 = 0;
+    pub const ETH_DST: u8 = 3;
+    pub const ETH_SRC: u8 = 4;
+    pub const ETH_TYPE: u8 = 5;
+    pub const IP_PROTO: u8 = 10;
+    pub const IPV4_SRC: u8 = 11;
+    pub const IPV4_DST: u8 = 12;
+    pub const TCP_SRC: u8 = 13;
+    pub const TCP_DST: u8 = 14;
+    pub const UDP_SRC: u8 = 15;
+    pub const UDP_DST: u8 = 16;
+    pub const ARP_OP: u8 = 21;
+    pub const ARP_SPA: u8 = 22;
+    pub const ARP_TPA: u8 = 23;
+    pub const ARP_SHA: u8 = 24;
+    pub const ARP_THA: u8 = 25;
+    pub const IPV6_SRC: u8 = 26;
+    pub const IPV6_DST: u8 = 27;
+}
+
+/// One OXM match field. Maskable fields carry `Option<mask>`; `None` means
+/// an exact match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OxmField {
+    /// Ingress port.
+    InPort(u32),
+    /// Ethernet destination, optionally masked.
+    EthDst(MacAddr, Option<MacAddr>),
+    /// Ethernet source, optionally masked.
+    EthSrc(MacAddr, Option<MacAddr>),
+    /// EtherType.
+    EthType(u16),
+    /// IP protocol number.
+    IpProto(u8),
+    /// IPv4 source, optionally masked.
+    Ipv4Src(Ipv4Addr, Option<Ipv4Addr>),
+    /// IPv4 destination, optionally masked.
+    Ipv4Dst(Ipv4Addr, Option<Ipv4Addr>),
+    /// TCP source port.
+    TcpSrc(u16),
+    /// TCP destination port.
+    TcpDst(u16),
+    /// UDP source port.
+    UdpSrc(u16),
+    /// UDP destination port.
+    UdpDst(u16),
+    /// ARP opcode.
+    ArpOp(u16),
+    /// ARP sender protocol address, optionally masked.
+    ArpSpa(Ipv4Addr, Option<Ipv4Addr>),
+    /// ARP target protocol address, optionally masked.
+    ArpTpa(Ipv4Addr, Option<Ipv4Addr>),
+    /// ARP sender hardware address.
+    ArpSha(MacAddr),
+    /// ARP target hardware address.
+    ArpTha(MacAddr),
+    /// IPv6 source, optionally masked.
+    Ipv6Src(Ipv6Addr, Option<Ipv6Addr>),
+    /// IPv6 destination, optionally masked.
+    Ipv6Dst(Ipv6Addr, Option<Ipv6Addr>),
+}
+
+impl OxmField {
+    /// The spec field number.
+    pub fn field_num(&self) -> u8 {
+        use field_num::*;
+        match self {
+            OxmField::InPort(_) => IN_PORT,
+            OxmField::EthDst(..) => ETH_DST,
+            OxmField::EthSrc(..) => ETH_SRC,
+            OxmField::EthType(_) => ETH_TYPE,
+            OxmField::IpProto(_) => IP_PROTO,
+            OxmField::Ipv4Src(..) => IPV4_SRC,
+            OxmField::Ipv4Dst(..) => IPV4_DST,
+            OxmField::TcpSrc(_) => TCP_SRC,
+            OxmField::TcpDst(_) => TCP_DST,
+            OxmField::UdpSrc(_) => UDP_SRC,
+            OxmField::UdpDst(_) => UDP_DST,
+            OxmField::ArpOp(_) => ARP_OP,
+            OxmField::ArpSpa(..) => ARP_SPA,
+            OxmField::ArpTpa(..) => ARP_TPA,
+            OxmField::ArpSha(_) => ARP_SHA,
+            OxmField::ArpTha(_) => ARP_THA,
+            OxmField::Ipv6Src(..) => IPV6_SRC,
+            OxmField::Ipv6Dst(..) => IPV6_DST,
+        }
+    }
+
+    fn has_mask(&self) -> bool {
+        matches!(
+            self,
+            OxmField::EthDst(_, Some(_))
+                | OxmField::EthSrc(_, Some(_))
+                | OxmField::Ipv4Src(_, Some(_))
+                | OxmField::Ipv4Dst(_, Some(_))
+                | OxmField::ArpSpa(_, Some(_))
+                | OxmField::ArpTpa(_, Some(_))
+                | OxmField::Ipv6Src(_, Some(_))
+                | OxmField::Ipv6Dst(_, Some(_))
+        )
+    }
+
+    fn payload_len(&self) -> usize {
+        let base = match self {
+            OxmField::InPort(_) => 4,
+            OxmField::EthDst(..) | OxmField::EthSrc(..) => 6,
+            OxmField::EthType(_) => 2,
+            OxmField::IpProto(_) => 1,
+            OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..) => 4,
+            OxmField::TcpSrc(_) | OxmField::TcpDst(_) => 2,
+            OxmField::UdpSrc(_) | OxmField::UdpDst(_) => 2,
+            OxmField::ArpOp(_) => 2,
+            OxmField::ArpSpa(..) | OxmField::ArpTpa(..) => 4,
+            OxmField::ArpSha(_) | OxmField::ArpTha(_) => 6,
+            OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..) => 16,
+        };
+        if self.has_mask() {
+            base * 2
+        } else {
+            base
+        }
+    }
+
+    /// Encoded TLV length (4-byte OXM header + payload).
+    pub fn encoded_len(&self) -> usize {
+        4 + self.payload_len()
+    }
+
+    /// Append this TLV to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u16(OXM_CLASS_BASIC);
+        w.u8((self.field_num() << 1) | u8::from(self.has_mask()));
+        w.u8(self.payload_len() as u8);
+        match *self {
+            OxmField::InPort(p) => w.u32(p),
+            OxmField::EthDst(v, m) | OxmField::EthSrc(v, m) => {
+                w.bytes(v.as_bytes());
+                if let Some(m) = m {
+                    w.bytes(m.as_bytes());
+                }
+            }
+            OxmField::EthType(v) | OxmField::ArpOp(v) => w.u16(v),
+            OxmField::IpProto(v) => w.u8(v),
+            OxmField::Ipv4Src(v, m)
+            | OxmField::Ipv4Dst(v, m)
+            | OxmField::ArpSpa(v, m)
+            | OxmField::ArpTpa(v, m) => {
+                w.bytes(&v.octets());
+                if let Some(m) = m {
+                    w.bytes(&m.octets());
+                }
+            }
+            OxmField::TcpSrc(v) | OxmField::TcpDst(v) | OxmField::UdpSrc(v) | OxmField::UdpDst(v) => {
+                w.u16(v)
+            }
+            OxmField::ArpSha(v) | OxmField::ArpTha(v) => w.bytes(v.as_bytes()),
+            OxmField::Ipv6Src(v, m) | OxmField::Ipv6Dst(v, m) => {
+                w.bytes(&v.octets());
+                if let Some(m) = m {
+                    w.bytes(&m.octets());
+                }
+            }
+        }
+    }
+
+    /// Decode one TLV from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<OxmField> {
+        let class = r.u16()?;
+        let fh = r.u8()?;
+        let len = usize::from(r.u8()?);
+        if class != OXM_CLASS_BASIC {
+            return Err(CodecError::Unsupported);
+        }
+        let field = fh >> 1;
+        let hm = fh & 1 == 1;
+        let payload = r.take(len)?;
+        let mut pr = Reader::new(payload);
+
+        fn mac(r: &mut Reader<'_>) -> Result<MacAddr> {
+            MacAddr::from_bytes(r.take(6)?).map_err(|_| CodecError::Truncated)
+        }
+        fn ip4(r: &mut Reader<'_>) -> Result<Ipv4Addr> {
+            let b = r.take(4)?;
+            Ok(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+        }
+        fn ip6(r: &mut Reader<'_>) -> Result<Ipv6Addr> {
+            let b = r.take(16)?;
+            let mut o = [0u8; 16];
+            o.copy_from_slice(b);
+            Ok(Ipv6Addr::from(o))
+        }
+
+        let expect = |base: usize| -> Result<()> {
+            let want = if hm { base * 2 } else { base };
+            if len == want {
+                Ok(())
+            } else {
+                Err(CodecError::BadLength)
+            }
+        };
+
+        use field_num::*;
+        let out = match field {
+            IN_PORT => {
+                expect(4)?;
+                if hm {
+                    return Err(CodecError::Unsupported);
+                }
+                OxmField::InPort(pr.u32()?)
+            }
+            ETH_DST => {
+                expect(6)?;
+                let v = mac(&mut pr)?;
+                OxmField::EthDst(v, if hm { Some(mac(&mut pr)?) } else { None })
+            }
+            ETH_SRC => {
+                expect(6)?;
+                let v = mac(&mut pr)?;
+                OxmField::EthSrc(v, if hm { Some(mac(&mut pr)?) } else { None })
+            }
+            ETH_TYPE => {
+                expect(2)?;
+                if hm {
+                    return Err(CodecError::Unsupported);
+                }
+                OxmField::EthType(pr.u16()?)
+            }
+            IP_PROTO => {
+                expect(1)?;
+                if hm {
+                    return Err(CodecError::Unsupported);
+                }
+                OxmField::IpProto(pr.u8()?)
+            }
+            IPV4_SRC => {
+                expect(4)?;
+                let v = ip4(&mut pr)?;
+                OxmField::Ipv4Src(v, if hm { Some(ip4(&mut pr)?) } else { None })
+            }
+            IPV4_DST => {
+                expect(4)?;
+                let v = ip4(&mut pr)?;
+                OxmField::Ipv4Dst(v, if hm { Some(ip4(&mut pr)?) } else { None })
+            }
+            TCP_SRC => {
+                expect(2)?;
+                OxmField::TcpSrc(pr.u16()?)
+            }
+            TCP_DST => {
+                expect(2)?;
+                OxmField::TcpDst(pr.u16()?)
+            }
+            UDP_SRC => {
+                expect(2)?;
+                OxmField::UdpSrc(pr.u16()?)
+            }
+            UDP_DST => {
+                expect(2)?;
+                OxmField::UdpDst(pr.u16()?)
+            }
+            ARP_OP => {
+                expect(2)?;
+                OxmField::ArpOp(pr.u16()?)
+            }
+            ARP_SPA => {
+                expect(4)?;
+                let v = ip4(&mut pr)?;
+                OxmField::ArpSpa(v, if hm { Some(ip4(&mut pr)?) } else { None })
+            }
+            ARP_TPA => {
+                expect(4)?;
+                let v = ip4(&mut pr)?;
+                OxmField::ArpTpa(v, if hm { Some(ip4(&mut pr)?) } else { None })
+            }
+            ARP_SHA => {
+                expect(6)?;
+                OxmField::ArpSha(mac(&mut pr)?)
+            }
+            ARP_THA => {
+                expect(6)?;
+                OxmField::ArpTha(mac(&mut pr)?)
+            }
+            IPV6_SRC => {
+                expect(16)?;
+                let v = ip6(&mut pr)?;
+                OxmField::Ipv6Src(v, if hm { Some(ip6(&mut pr)?) } else { None })
+            }
+            IPV6_DST => {
+                expect(16)?;
+                let v = ip6(&mut pr)?;
+                OxmField::Ipv6Dst(v, if hm { Some(ip6(&mut pr)?) } else { None })
+            }
+            _ => return Err(CodecError::Unsupported),
+        };
+        Ok(out)
+    }
+}
+
+impl fmt::Display for OxmField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn m<T: fmt::Display>(
+            f: &mut fmt::Formatter<'_>,
+            name: &str,
+            v: &T,
+            mask: &Option<T>,
+        ) -> fmt::Result {
+            match mask {
+                Some(mask) => write!(f, "{name}={v}/{mask}"),
+                None => write!(f, "{name}={v}"),
+            }
+        }
+        match self {
+            OxmField::InPort(p) => write!(f, "in_port={p}"),
+            OxmField::EthDst(v, mask) => m(f, "eth_dst", v, mask),
+            OxmField::EthSrc(v, mask) => m(f, "eth_src", v, mask),
+            OxmField::EthType(v) => write!(f, "eth_type=0x{v:04x}"),
+            OxmField::IpProto(v) => write!(f, "ip_proto={v}"),
+            OxmField::Ipv4Src(v, mask) => m(f, "ipv4_src", v, mask),
+            OxmField::Ipv4Dst(v, mask) => m(f, "ipv4_dst", v, mask),
+            OxmField::TcpSrc(v) => write!(f, "tcp_src={v}"),
+            OxmField::TcpDst(v) => write!(f, "tcp_dst={v}"),
+            OxmField::UdpSrc(v) => write!(f, "udp_src={v}"),
+            OxmField::UdpDst(v) => write!(f, "udp_dst={v}"),
+            OxmField::ArpOp(v) => write!(f, "arp_op={v}"),
+            OxmField::ArpSpa(v, mask) => m(f, "arp_spa", v, mask),
+            OxmField::ArpTpa(v, mask) => m(f, "arp_tpa", v, mask),
+            OxmField::ArpSha(v) => write!(f, "arp_sha={v}"),
+            OxmField::ArpTha(v) => write!(f, "arp_tha={v}"),
+            OxmField::Ipv6Src(v, mask) => m(f, "ipv6_src", v, mask),
+            OxmField::Ipv6Dst(v, mask) => m(f, "ipv6_dst", v, mask),
+        }
+    }
+}
+
+/// An ordered list of OXM fields — the `ofp_match` payload.
+///
+/// An empty match is the table-miss wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct OxmMatch {
+    fields: Vec<OxmField>,
+}
+
+impl OxmMatch {
+    /// The empty (match-everything) match.
+    pub fn new() -> OxmMatch {
+        OxmMatch { fields: Vec::new() }
+    }
+
+    /// Builder-style append.
+    pub fn with(mut self, f: OxmField) -> OxmMatch {
+        self.fields.push(f);
+        self
+    }
+
+    /// Append a field.
+    pub fn push(&mut self, f: OxmField) {
+        self.fields.push(f);
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[OxmField] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True for the match-everything match.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The `in_port` field value, if present.
+    pub fn in_port(&self) -> Option<u32> {
+        self.fields.iter().find_map(|f| match f {
+            OxmField::InPort(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// The `eth_type` field value, if present.
+    pub fn eth_type(&self) -> Option<u16> {
+        self.fields.iter().find_map(|f| match f {
+            OxmField::EthType(t) => Some(*t),
+            _ => None,
+        })
+    }
+
+    /// The `ip_proto` field value, if present.
+    pub fn ip_proto(&self) -> Option<u8> {
+        self.fields.iter().find_map(|f| match f {
+            OxmField::IpProto(p) => Some(*p),
+            _ => None,
+        })
+    }
+
+    /// Enforce the OXM prerequisite table and duplicate-field prohibition
+    /// (spec §7.2.3.6 / §7.2.3.8).
+    pub fn validate_prerequisites(&self) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for f in &self.fields {
+            if !seen.insert(f.field_num()) {
+                return Err(CodecError::Invalid("duplicate OXM field"));
+            }
+        }
+        let eth_type = self.eth_type();
+        let ip_proto = self.ip_proto();
+        let is_ip = eth_type == Some(0x0800) || eth_type == Some(0x86dd);
+        for f in &self.fields {
+            match f {
+                OxmField::IpProto(_) if !is_ip => {
+                    return Err(CodecError::Invalid("ip_proto requires eth_type ip"));
+                }
+                OxmField::Ipv4Src(..) | OxmField::Ipv4Dst(..) if eth_type != Some(0x0800) => {
+                    return Err(CodecError::Invalid("ipv4 match requires eth_type=0x0800"));
+                }
+                OxmField::Ipv6Src(..) | OxmField::Ipv6Dst(..) if eth_type != Some(0x86dd) => {
+                    return Err(CodecError::Invalid("ipv6 match requires eth_type=0x86dd"));
+                }
+                OxmField::TcpSrc(_) | OxmField::TcpDst(_) if ip_proto != Some(6) => {
+                    return Err(CodecError::Invalid("tcp match requires ip_proto=6"));
+                }
+                OxmField::UdpSrc(_) | OxmField::UdpDst(_) if ip_proto != Some(17) => {
+                    return Err(CodecError::Invalid("udp match requires ip_proto=17"));
+                }
+                OxmField::ArpOp(_)
+                | OxmField::ArpSpa(..)
+                | OxmField::ArpTpa(..)
+                | OxmField::ArpSha(_)
+                | OxmField::ArpTha(_)
+                    if eth_type != Some(0x0806) =>
+                {
+                    return Err(CodecError::Invalid("arp match requires eth_type=0x0806"));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Encoded `ofp_match` length including its 4-byte header but excluding
+    /// trailing padding.
+    pub fn unpadded_len(&self) -> usize {
+        4 + self.fields.iter().map(|f| f.encoded_len()).sum::<usize>()
+    }
+
+    /// Encoded length including pad-to-8.
+    pub fn encoded_len(&self) -> usize {
+        crate::consts::pad8(self.unpadded_len())
+    }
+
+    /// Append the `ofp_match` structure (type, length, fields, padding).
+    pub fn encode(&self, w: &mut Writer) {
+        let start = w.len();
+        w.u16(MATCH_TYPE_OXM);
+        w.u16(self.unpadded_len() as u16);
+        for f in &self.fields {
+            f.encode(w);
+        }
+        w.pad8_from(start);
+    }
+
+    /// Decode an `ofp_match` (consuming its padding) from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<OxmMatch> {
+        let mtype = r.u16()?;
+        if mtype != MATCH_TYPE_OXM {
+            return Err(CodecError::Unsupported);
+        }
+        let len = usize::from(r.u16()?);
+        if len < 4 {
+            return Err(CodecError::BadLength);
+        }
+        let mut body = r.sub(len - 4)?;
+        let mut fields = Vec::new();
+        while !body.is_empty() {
+            fields.push(OxmField::decode(&mut body)?);
+        }
+        // Consume pad-to-8.
+        r.skip(crate::consts::pad8(len) - len)?;
+        Ok(OxmMatch { fields })
+    }
+}
+
+impl fmt::Display for OxmMatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fields.is_empty() {
+            return f.write_str("*");
+        }
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{field}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<OxmField> for OxmMatch {
+    fn from_iter<I: IntoIterator<Item = OxmField>>(iter: I) -> Self {
+        OxmMatch {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &OxmMatch) -> OxmMatch {
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), m.encoded_len());
+        assert_eq!(bytes.len() % 8, 0, "ofp_match must be 8-byte aligned");
+        let mut r = Reader::new(&bytes);
+        let out = OxmMatch::decode(&mut r).unwrap();
+        assert!(r.is_empty());
+        out
+    }
+
+    #[test]
+    fn empty_match_roundtrip() {
+        let m = OxmMatch::new();
+        assert_eq!(m.encoded_len(), 8); // 4 byte header + 4 pad
+        assert_eq!(roundtrip(&m), m);
+        assert_eq!(m.to_string(), "*");
+    }
+
+    #[test]
+    fn sav_binding_match_roundtrip() {
+        let m = OxmMatch::new()
+            .with(OxmField::InPort(3))
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::EthSrc(MacAddr::from_index(5), None))
+            .with(OxmField::Ipv4Src("10.0.1.5".parse().unwrap(), None));
+        assert_eq!(roundtrip(&m), m);
+        assert!(m.validate_prerequisites().is_ok());
+        assert_eq!(m.in_port(), Some(3));
+        assert_eq!(m.eth_type(), Some(0x0800));
+    }
+
+    #[test]
+    fn masked_fields_roundtrip() {
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src(
+                "10.1.0.0".parse().unwrap(),
+                Some("255.255.0.0".parse().unwrap()),
+            ))
+            .with(OxmField::EthDst(
+                MacAddr([0x01, 0, 0x5e, 0, 0, 0]),
+                Some(MacAddr([0xff, 0xff, 0xff, 0x80, 0, 0])),
+            ));
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn ipv6_fields_roundtrip() {
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x86dd))
+            .with(OxmField::Ipv6Src(
+                "2001:db8::".parse().unwrap(),
+                Some("ffff:ffff::".parse().unwrap()),
+            ))
+            .with(OxmField::Ipv6Dst("2001:db8::1".parse().unwrap(), None));
+        assert!(m.validate_prerequisites().is_ok());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn arp_fields_roundtrip() {
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0806))
+            .with(OxmField::ArpOp(1))
+            .with(OxmField::ArpSpa("10.0.0.1".parse().unwrap(), None))
+            .with(OxmField::ArpTpa(
+                "10.0.0.0".parse().unwrap(),
+                Some("255.255.255.0".parse().unwrap()),
+            ))
+            .with(OxmField::ArpSha(MacAddr::from_index(1)))
+            .with(OxmField::ArpTha(MacAddr::ZERO));
+        assert!(m.validate_prerequisites().is_ok());
+        assert_eq!(roundtrip(&m), m);
+    }
+
+    #[test]
+    fn transport_fields_roundtrip() {
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(17))
+            .with(OxmField::UdpSrc(53))
+            .with(OxmField::UdpDst(1234));
+        assert!(m.validate_prerequisites().is_ok());
+        assert_eq!(roundtrip(&m), m);
+        let t = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::TcpSrc(80))
+            .with(OxmField::TcpDst(443));
+        assert!(t.validate_prerequisites().is_ok());
+        assert_eq!(roundtrip(&t), t);
+    }
+
+    #[test]
+    fn exact_tlv_bytes_for_in_port() {
+        // class 0x8000, field 0, no mask, len 4, value 7:
+        // 80 00 00 04 00 00 00 07
+        let mut w = Writer::new();
+        OxmField::InPort(7).encode(&mut w);
+        assert_eq!(w.as_slice(), &[0x80, 0x00, 0x00, 0x04, 0, 0, 0, 7]);
+    }
+
+    #[test]
+    fn exact_tlv_bytes_for_masked_ipv4_src() {
+        // field 11 (<<1 | 1 = 0x17), len 8.
+        let mut w = Writer::new();
+        OxmField::Ipv4Src(
+            "10.0.0.0".parse().unwrap(),
+            Some("255.0.0.0".parse().unwrap()),
+        )
+        .encode(&mut w);
+        assert_eq!(
+            w.as_slice(),
+            &[0x80, 0x00, 0x17, 0x08, 10, 0, 0, 0, 255, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn prerequisite_violations_detected() {
+        // ipv4_src without eth_type
+        let m = OxmMatch::new().with(OxmField::Ipv4Src("1.2.3.4".parse().unwrap(), None));
+        assert!(m.validate_prerequisites().is_err());
+        // udp port with tcp ip_proto
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::IpProto(6))
+            .with(OxmField::UdpDst(53));
+        assert!(m.validate_prerequisites().is_err());
+        // arp field on an IP match
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::ArpOp(1));
+        assert!(m.validate_prerequisites().is_err());
+        // ipv6 src with v4 ethertype
+        let m = OxmMatch::new()
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv6Src("::1".parse().unwrap(), None));
+        assert!(m.validate_prerequisites().is_err());
+        // duplicate field
+        let m = OxmMatch::new()
+            .with(OxmField::InPort(1))
+            .with(OxmField::InPort(2));
+        assert!(m.validate_prerequisites().is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_class_and_field() {
+        // Unknown class 0xffff.
+        let bytes = [0xff, 0xff, 0x00, 0x04, 0, 0, 0, 1];
+        assert_eq!(
+            OxmField::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::Unsupported)
+        );
+        // Unknown basic field 63.
+        let bytes = [0x80, 0x00, 63 << 1, 0x04, 0, 0, 0, 1];
+        assert_eq!(
+            OxmField::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::Unsupported)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_bad_payload_len() {
+        // in_port with len 2.
+        let bytes = [0x80, 0x00, 0x00, 0x02, 0, 7];
+        assert_eq!(
+            OxmField::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::BadLength)
+        );
+        // masked in_port (HM bit on a non-maskable field with impossible len)
+        let bytes = [0x80, 0x00, 0x01, 0x08, 0, 0, 0, 7, 0, 0, 0, 0xff];
+        assert_eq!(
+            OxmField::decode(&mut Reader::new(&bytes)).err(),
+            Some(CodecError::Unsupported)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = OxmMatch::new()
+            .with(OxmField::InPort(1))
+            .with(OxmField::EthType(0x0800))
+            .with(OxmField::Ipv4Src(
+                "10.0.0.0".parse().unwrap(),
+                Some("255.255.0.0".parse().unwrap()),
+            ));
+        assert_eq!(
+            m.to_string(),
+            "in_port=1,eth_type=0x0800,ipv4_src=10.0.0.0/255.255.0.0"
+        );
+    }
+
+    #[test]
+    fn match_decode_consumes_padding() {
+        // A match with one 2-byte-payload TLV: unpadded 4+6=10, padded 16.
+        let m = OxmMatch::new().with(OxmField::EthType(0x0806));
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 16);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(OxmMatch::decode(&mut r).unwrap(), m);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! `ofp_port` — the 64-byte port description used in FEATURES_REPLY (by
+//! convention, as in OpenFlow 1.0/1.3 switches that append ports) and in
+//! PORT_STATUS.
+
+use crate::error::{CodecError, Result};
+use crate::wire::{Reader, Writer};
+use sav_net::addr::MacAddr;
+
+/// Encoded size of one `ofp_port`.
+pub const PORT_DESC_LEN: usize = 64;
+
+/// `ofp_port_config` bits (administrative state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortConfig(pub u32);
+
+impl PortConfig {
+    /// OFPPC_PORT_DOWN: administratively down.
+    pub const PORT_DOWN: PortConfig = PortConfig(1 << 0);
+    /// OFPPC_NO_FWD: drop packets forwarded to the port.
+    pub const NO_FWD: PortConfig = PortConfig(1 << 5);
+
+    /// Does `self` contain all bits of `other`?
+    pub fn contains(self, other: PortConfig) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// `ofp_port_state` bits (live state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PortState(pub u32);
+
+impl PortState {
+    /// OFPPS_LINK_DOWN: no physical link.
+    pub const LINK_DOWN: PortState = PortState(1 << 0);
+    /// OFPPS_LIVE: port is up and forwarding.
+    pub const LIVE: PortState = PortState(1 << 2);
+
+    /// Does `self` contain all bits of `other`?
+    pub fn contains(self, other: PortState) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// One switch port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortDesc {
+    /// Port number.
+    pub port_no: u32,
+    /// Hardware address.
+    pub hw_addr: MacAddr,
+    /// Human-readable name (at most 15 bytes are preserved on the wire).
+    pub name: String,
+    /// Administrative config bits.
+    pub config: PortConfig,
+    /// Live state bits.
+    pub state: PortState,
+    /// Current speed in kbps.
+    pub curr_speed: u32,
+    /// Maximum speed in kbps.
+    pub max_speed: u32,
+}
+
+impl PortDesc {
+    /// A live 1 Gbps port with a generated name.
+    pub fn new(port_no: u32, hw_addr: MacAddr) -> PortDesc {
+        PortDesc {
+            port_no,
+            hw_addr,
+            name: format!("port{port_no}"),
+            config: PortConfig::default(),
+            state: PortState::LIVE,
+            curr_speed: 1_000_000,
+            max_speed: 1_000_000,
+        }
+    }
+
+    /// True when the port can carry traffic.
+    pub fn is_up(&self) -> bool {
+        !self.config.contains(PortConfig::PORT_DOWN) && !self.state.contains(PortState::LINK_DOWN)
+    }
+
+    /// Append the 64-byte structure to `w`.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u32(self.port_no);
+        w.pad(4);
+        w.bytes(self.hw_addr.as_bytes());
+        w.pad(2);
+        let mut name = [0u8; 16];
+        let n = self.name.len().min(15);
+        name[..n].copy_from_slice(&self.name.as_bytes()[..n]);
+        w.bytes(&name);
+        w.u32(self.config.0);
+        w.u32(self.state.0);
+        w.u32(0); // curr features
+        w.u32(0); // advertised
+        w.u32(0); // supported
+        w.u32(0); // peer
+        w.u32(self.curr_speed);
+        w.u32(self.max_speed);
+    }
+
+    /// Decode one 64-byte structure from `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<PortDesc> {
+        let port_no = r.u32()?;
+        r.skip(4)?;
+        let hw_addr = MacAddr::from_bytes(r.take(6)?).map_err(|_| CodecError::Truncated)?;
+        r.skip(2)?;
+        let name_raw = r.take(16)?;
+        let end = name_raw.iter().position(|&b| b == 0).unwrap_or(16);
+        let name = String::from_utf8_lossy(&name_raw[..end]).into_owned();
+        let config = PortConfig(r.u32()?);
+        let state = PortState(r.u32()?);
+        r.skip(16)?; // feature bitmaps
+        let curr_speed = r.u32()?;
+        let max_speed = r.u32()?;
+        Ok(PortDesc {
+            port_no,
+            hw_addr,
+            name,
+            config,
+            state,
+            curr_speed,
+            max_speed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = PortDesc::new(3, MacAddr::from_index(3));
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), PORT_DESC_LEN);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(PortDesc::decode(&mut r).unwrap(), p);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn long_names_truncate() {
+        let mut p = PortDesc::new(1, MacAddr::from_index(1));
+        p.name = "a-very-long-port-name-indeed".to_string();
+        let mut w = Writer::new();
+        p.encode(&mut w);
+        let mut r = Reader::new(w.as_slice());
+        let out = PortDesc::decode(&mut r).unwrap();
+        assert_eq!(out.name, "a-very-long-por");
+        assert_eq!(out.name.len(), 15);
+    }
+
+    #[test]
+    fn up_down_logic() {
+        let mut p = PortDesc::new(1, MacAddr::from_index(1));
+        assert!(p.is_up());
+        p.state = PortState::LINK_DOWN;
+        assert!(!p.is_up());
+        p.state = PortState::LIVE;
+        p.config = PortConfig::PORT_DOWN;
+        assert!(!p.is_up());
+    }
+
+    #[test]
+    fn truncated_decode() {
+        let mut r = Reader::new(&[0u8; 63]);
+        assert!(PortDesc::decode(&mut r).is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Bounds-checked big-endian cursor primitives shared by every codec module.
+
+use crate::error::{CodecError, Result};
+
+/// A read cursor over a byte slice. Every accessor is bounds-checked and
+//  advances the cursor; running off the end yields `Truncated`.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        let b = *self.data.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Take exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let s = self.data.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Skip `n` padding bytes.
+    pub fn skip(&mut self, n: usize) -> Result<()> {
+        self.take(n).map(|_| ())
+    }
+
+    /// Take all remaining bytes.
+    pub fn rest(&mut self) -> &'a [u8] {
+        let s = &self.data[self.pos..];
+        self.pos = self.data.len();
+        s
+    }
+
+    /// A sub-reader over the next `n` bytes (consumes them here).
+    pub fn sub(&mut self, n: usize) -> Result<Reader<'a>> {
+        Ok(Reader::new(self.take(n)?))
+    }
+}
+
+/// A write cursor appending big-endian values to a `Vec<u8>`.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer { buf: Vec::new() }
+    }
+
+    /// An empty writer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Writer {
+        Writer {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append `n` zero bytes.
+    pub fn pad(&mut self, n: usize) {
+        self.buf.resize(self.buf.len() + n, 0);
+    }
+
+    /// Zero-pad so the total length since `start` is a multiple of 8.
+    pub fn pad8_from(&mut self, start: usize) {
+        let len = self.buf.len() - start;
+        self.pad(crate::consts::pad8(len) - len);
+    }
+
+    /// Overwrite a previously written big-endian u16 at `at`.
+    pub fn patch_u16(&mut self, at: usize, v: u16) {
+        self.buf[at..at + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Finish and take the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrow the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_roundtrips_writer() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdeadbeef);
+        w.u64(0x0102030405060708);
+        w.bytes(b"xyz");
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.u64().unwrap(), 0x0102030405060708);
+        assert_eq!(r.rest(), b"xyz");
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_truncation() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.u16().unwrap(), 0x0102);
+        assert_eq!(r.u16().err(), Some(CodecError::Truncated));
+        // Cursor did not advance past the failed read's start.
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.u8().unwrap(), 3);
+    }
+
+    #[test]
+    fn sub_reader_isolates() {
+        let data = [1, 2, 3, 4, 5];
+        let mut r = Reader::new(&data);
+        let mut s = r.sub(3).unwrap();
+        assert_eq!(s.u8().unwrap(), 1);
+        assert_eq!(s.remaining(), 2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.u8().unwrap(), 4);
+        assert!(r.sub(5).is_err());
+    }
+
+    #[test]
+    fn writer_padding() {
+        let mut w = Writer::new();
+        w.bytes(b"abc");
+        w.pad8_from(0);
+        assert_eq!(w.len(), 8);
+        let mut w2 = Writer::new();
+        w2.bytes(&[0u8; 8]);
+        w2.pad8_from(0);
+        assert_eq!(w2.len(), 8);
+    }
+
+    #[test]
+    fn patch_u16() {
+        let mut w = Writer::new();
+        w.u16(0);
+        w.u16(0xffff);
+        w.patch_u16(0, 0x0a0b);
+        assert_eq!(w.as_slice(), &[0x0a, 0x0b, 0xff, 0xff]);
+    }
+
+    #[test]
+    fn skip_checks_bounds() {
+        let mut r = Reader::new(&[0; 4]);
+        assert!(r.skip(4).is_ok());
+        assert_eq!(r.skip(1).err(), Some(CodecError::Truncated));
+    }
+}

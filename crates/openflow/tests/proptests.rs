@@ -1,0 +1,202 @@
+//! Property-based tests for the OpenFlow codec: arbitrary messages survive
+//! encode→decode, the deframer reassembles arbitrary fragmentation, and no
+//! decoder panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use sav_net::addr::MacAddr;
+use sav_openflow::framing::Deframer;
+use sav_openflow::messages::*;
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::ports::PortDesc;
+use sav_openflow::prelude::{Action, Instruction};
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_oxm_field() -> impl Strategy<Value = OxmField> {
+    prop_oneof![
+        any::<u32>().prop_map(OxmField::InPort),
+        (arb_mac(), proptest::option::of(arb_mac())).prop_map(|(v, m)| OxmField::EthSrc(v, m)),
+        (arb_mac(), proptest::option::of(arb_mac())).prop_map(|(v, m)| OxmField::EthDst(v, m)),
+        any::<u16>().prop_map(OxmField::EthType),
+        any::<u8>().prop_map(OxmField::IpProto),
+        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(v, m)| {
+            OxmField::Ipv4Src(Ipv4Addr::from(v), m.map(Ipv4Addr::from))
+        }),
+        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(v, m)| {
+            OxmField::Ipv4Dst(Ipv4Addr::from(v), m.map(Ipv4Addr::from))
+        }),
+        any::<u16>().prop_map(OxmField::TcpSrc),
+        any::<u16>().prop_map(OxmField::TcpDst),
+        any::<u16>().prop_map(OxmField::UdpSrc),
+        any::<u16>().prop_map(OxmField::UdpDst),
+        any::<u16>().prop_map(OxmField::ArpOp),
+        (any::<u128>(), proptest::option::of(any::<u128>())).prop_map(|(v, m)| {
+            OxmField::Ipv6Src(Ipv6Addr::from(v), m.map(Ipv6Addr::from))
+        }),
+    ]
+}
+
+fn arb_match() -> impl Strategy<Value = OxmMatch> {
+    proptest::collection::vec(arb_oxm_field(), 0..6).prop_map(|fs| fs.into_iter().collect())
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (any::<u32>(), any::<u16>()).prop_map(|(port, max_len)| Action::Output { port, max_len }),
+        any::<u32>().prop_map(Action::Group),
+        arb_oxm_field().prop_map(Action::SetField),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        any::<u8>().prop_map(Instruction::GotoTable),
+        proptest::collection::vec(arb_action(), 0..4).prop_map(Instruction::ApplyActions),
+        proptest::collection::vec(arb_action(), 0..4).prop_map(Instruction::WriteActions),
+        Just(Instruction::ClearActions),
+        any::<u32>().prop_map(Instruction::Meter),
+    ]
+}
+
+fn arb_flow_mod() -> impl Strategy<Value = FlowMod> {
+    (
+        arb_match(),
+        proptest::collection::vec(arb_instruction(), 0..4),
+        any::<u64>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+        0u8..4,
+    )
+        .prop_map(|(m, ins, cookie, prio, idle, hard, cmd)| FlowMod {
+            cookie,
+            priority: prio,
+            idle_timeout: idle,
+            hard_timeout: hard,
+            command: match cmd {
+                0 => FlowModCommand::Add,
+                1 => FlowModCommand::Modify,
+                2 => FlowModCommand::Delete,
+                _ => FlowModCommand::DeleteStrict,
+            },
+            instructions: ins,
+            ..FlowMod::add(m)
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        Just(Message::Hello),
+        Just(Message::FeaturesRequest),
+        Just(Message::BarrierRequest),
+        Just(Message::BarrierReply),
+        proptest::collection::vec(any::<u8>(), 0..32)
+            .prop_map(|d| Message::EchoRequest(EchoData(d))),
+        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32))
+            .prop_map(|(t, c, d)| Message::Error(ErrorMsg { err_type: t, code: c, data: d })),
+        arb_flow_mod().prop_map(Message::FlowMod),
+        (arb_match(), proptest::collection::vec(any::<u8>(), 0..128), any::<u16>(), any::<u64>())
+            .prop_map(|(m, data, total, cookie)| {
+                Message::PacketIn(PacketIn {
+                    buffer_id: sav_openflow::consts::NO_BUFFER,
+                    total_len: total,
+                    reason: PacketInReason::NoMatch,
+                    table_id: 0,
+                    cookie,
+                    match_: m,
+                    data,
+                })
+            }),
+        (proptest::collection::vec(arb_action(), 0..4), proptest::collection::vec(any::<u8>(), 0..64))
+            .prop_map(|(actions, data)| {
+                Message::PacketOut(PacketOut {
+                    buffer_id: sav_openflow::consts::NO_BUFFER,
+                    in_port: 1,
+                    actions,
+                    data,
+                })
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn message_roundtrip(msg in arb_message(), xid in any::<u32>()) {
+        let bytes = msg.encode(xid);
+        // Header length field is exact and 8-byte aligned at minimum size.
+        prop_assert_eq!(
+            u16::from_be_bytes([bytes[2], bytes[3]]) as usize,
+            bytes.len()
+        );
+        let (decoded, got_xid) = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(got_xid, xid);
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn match_encoding_is_aligned(m in arb_match()) {
+        prop_assert_eq!(m.encoded_len() % 8, 0);
+        let mut w = sav_openflow::wire::Writer::new();
+        m.encode(&mut w);
+        prop_assert_eq!(w.len(), m.encoded_len());
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+        let _ = sav_openflow::header::Header::decode(&bytes);
+        let mut r = sav_openflow::wire::Reader::new(&bytes);
+        let _ = OxmMatch::decode(&mut r);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_valid_header(
+        msg_type in 0u8..32,
+        body in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Well-formed header, arbitrary body: decode may fail, not panic.
+        let len = (8 + body.len()) as u16;
+        let mut bytes = vec![0x04, msg_type];
+        bytes.extend_from_slice(&len.to_be_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 1]);
+        bytes.extend_from_slice(&body);
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn deframer_handles_arbitrary_fragmentation(
+        msgs in proptest::collection::vec(arb_message(), 1..5),
+        cuts in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        let stream: Vec<u8> = msgs.iter().enumerate().flat_map(|(i, m)| m.encode(i as u32)).collect();
+        let mut d = Deframer::new();
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut cut_iter = cuts.iter().cycle();
+        while pos < stream.len() {
+            let n = (*cut_iter.next().unwrap()).min(stream.len() - pos);
+            d.push(&stream[pos..pos + n]);
+            pos += n;
+            while let Some((m, _)) = d.next_message().unwrap() {
+                got.push(m);
+            }
+        }
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn port_desc_roundtrip(no in any::<u32>(), mac in arb_mac(), name in "[a-z0-9]{0,15}") {
+        let mut p = PortDesc::new(no, mac);
+        p.name = name;
+        let mut w = sav_openflow::wire::Writer::new();
+        p.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = sav_openflow::wire::Reader::new(&bytes);
+        prop_assert_eq!(PortDesc::decode(&mut r).unwrap(), p);
+    }
+}

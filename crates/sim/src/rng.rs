@@ -1,0 +1,277 @@
+//! Seeded randomness for workloads.
+//!
+//! All stochastic behaviour in the workspace flows through [`SimRng`] so a
+//! single `u64` seed pins an entire experiment. The wrapper also provides the
+//! small set of distributions the traffic generators need without pulling in
+//! `rand_distr`: exponential inter-arrivals, bounded Pareto flow sizes, and
+//! uniform picks.
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic pseudo-random source derived from a `u64` seed.
+///
+/// Child generators ([`SimRng::fork`]) are derived by label so that adding a
+/// new consumer of randomness does not perturb the streams existing
+/// consumers observe — the standard trick for keeping large simulations
+/// comparable across code changes.
+pub struct SimRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this generator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derive an independent child generator from this generator's seed and a
+    /// label. Forking is a pure function of `(seed, label)` — it does not
+    /// consume randomness from `self`.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // FNV-1a over the label, mixed with the parent seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed.rotate_left(17);
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        SimRng::new(h)
+    }
+
+    /// Uniform `u64` in `[0, bound)`. `bound == 0` yields 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform `usize` in `[0, bound)`. `bound == 0` yields 0.
+    pub fn index(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..bound)
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < p
+        }
+    }
+
+    /// Uniformly pick an element of `items`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let i = self.index(items.len());
+            Some(&items[i])
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Exponentially distributed duration with the given mean — the standard
+    /// model for Poisson-process inter-arrival gaps.
+    pub fn exp_duration(&mut self, mean: SimDuration) -> SimDuration {
+        if mean.is_zero() {
+            return SimDuration::ZERO;
+        }
+        // Inverse-CDF sampling; keep u away from 0 to bound -ln(u).
+        let u = self.unit().max(1e-12);
+        SimDuration::from_secs_f64(-u.ln() * mean.as_secs_f64())
+    }
+
+    /// Bounded Pareto sample in `[lo, hi]` with shape `alpha` — the classic
+    /// heavy-tailed flow-size model.
+    pub fn bounded_pareto(&mut self, lo: f64, hi: f64, alpha: f64) -> f64 {
+        assert!(lo > 0.0 && hi > lo && alpha > 0.0, "bad Pareto parameters");
+        let u = self.unit().min(1.0 - 1e-12);
+        let la = lo.powf(alpha);
+        let ha = hi.powf(alpha);
+        // Inverse CDF of the bounded Pareto distribution.
+        let x = (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha);
+        x.clamp(lo, hi)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    /// Raw 64 random bits (for e.g. transaction IDs).
+    pub fn bits64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Raw 32 random bits.
+    pub fn bits32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+}
+
+impl core::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "SimRng(seed={})", self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.bits64(), b.bits64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let va: Vec<u64> = (0..8).map(|_| a.bits64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.bits64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_is_stable_and_independent() {
+        let root = SimRng::new(7);
+        let mut c1 = root.fork("traffic");
+        let mut c2 = root.fork("traffic");
+        let mut c3 = root.fork("attack");
+        assert_eq!(c1.bits64(), c2.bits64());
+        // Forking consumed nothing from the root.
+        let mut root2 = SimRng::new(7);
+        let mut root_m = root;
+        assert_eq!(root_m.bits64(), root2.bits64());
+        // Differently-labelled forks diverge.
+        let mut c1b = SimRng::new(7).fork("traffic");
+        assert_ne!(c1b.bits64(), c3.bits64());
+    }
+
+    #[test]
+    fn exp_duration_mean_is_plausible() {
+        let mut r = SimRng::new(3);
+        let mean = SimDuration::from_millis(10);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exp_duration(mean).as_secs_f64()).sum();
+        let observed = total / n as f64;
+        assert!((observed - 0.010).abs() < 0.0005, "mean {observed}");
+    }
+
+    #[test]
+    fn exp_duration_zero_mean() {
+        let mut r = SimRng::new(3);
+        assert_eq!(
+            r.exp_duration(SimDuration::ZERO),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut r = SimRng::new(11);
+        for _ in 0..10_000 {
+            let x = r.bounded_pareto(100.0, 1_000_000.0, 1.2);
+            assert!((100.0..=1_000_000.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_is_heavy_tailed() {
+        let mut r = SimRng::new(12);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| r.bounded_pareto(1.0, 1e6, 1.1))
+            .collect();
+        let small = samples.iter().filter(|&&x| x < 10.0).count() as f64;
+        // For alpha=1.1 the mass below 10x the minimum dominates.
+        assert!(small / samples.len() as f64 > 0.8);
+        assert!(samples.iter().any(|&x| x > 1_000.0), "no tail observed");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn pick_and_shuffle() {
+        let mut r = SimRng::new(9);
+        let empty: [u8; 0] = [];
+        assert_eq!(r.pick(&empty), None);
+        let items = [1, 2, 3];
+        assert!(items.contains(r.pick(&items).unwrap()));
+
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle must be a permutation");
+        assert_ne!(v, orig, "50 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn below_and_index_handle_zero() {
+        let mut r = SimRng::new(1);
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.index(0), 0);
+        for _ in 0..100 {
+            assert!(r.below(5) < 5);
+            assert!(r.index(3) < 3);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_degenerate() {
+        let mut r = SimRng::new(1);
+        assert_eq!(r.range_inclusive(7, 7), 7);
+        assert_eq!(r.range_inclusive(9, 3), 9);
+        for _ in 0..100 {
+            let x = r.range_inclusive(10, 12);
+            assert!((10..=12).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The event loop: [`Runner`] drives a [`Simulation`] until it goes quiet,
+//! hits the configured horizon, or exceeds the event budget.
+//!
+//! A `Simulation` is any state machine that consumes timestamped events and
+//! may schedule more through the [`Scheduler`] handle it is given. Keeping
+//! the loop generic over the event type lets each layer of the workspace
+//! (dataplane tests, controller tests, full testbeds) define its own event
+//! vocabulary while sharing one deterministic loop.
+
+use crate::queue::EventQueue;
+use crate::time::SimTime;
+
+/// Handle through which a [`Simulation`] schedules future events.
+///
+/// Wraps the event queue so the simulation cannot pop events or rewind time —
+/// it can only observe `now` and push.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now` if in the past).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A discrete-event state machine.
+pub trait Simulation {
+    /// The event vocabulary of this simulation.
+    type Event;
+
+    /// Handle one event. `sched` schedules follow-up events.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<'_, Self::Event>);
+
+    /// Called once after the loop ends (horizon reached, queue drained, or
+    /// budget exhausted). Default: nothing.
+    fn finish(&mut self, _now: SimTime) {}
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained before the horizon.
+    Quiescent,
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event budget was exhausted (almost always a livelock bug).
+    BudgetExhausted,
+}
+
+/// Loop limits.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Events with timestamps strictly beyond this instant are not processed.
+    pub horizon: SimTime,
+    /// Hard cap on processed events; guards against livelock.
+    pub max_events: u64,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            horizon: SimTime::MAX,
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Run until `horizon` with an unbounded event budget.
+    pub fn until(horizon: SimTime) -> Self {
+        RunnerConfig {
+            horizon,
+            ..Default::default()
+        }
+    }
+}
+
+/// Statistics from a completed run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Why the loop stopped.
+    pub outcome: RunOutcome,
+    /// Events processed.
+    pub events: u64,
+    /// Virtual time when the loop stopped.
+    pub end_time: SimTime,
+}
+
+/// Owns the event queue and drives a [`Simulation`].
+pub struct Runner<E> {
+    queue: EventQueue<E>,
+    config: RunnerConfig,
+}
+
+impl<E> Runner<E> {
+    /// Create a runner with the given limits.
+    pub fn new(config: RunnerConfig) -> Self {
+        Runner {
+            queue: EventQueue::new(),
+            config,
+        }
+    }
+
+    /// Seed the queue before the run starts.
+    pub fn prime(&mut self, at: SimTime, event: E) {
+        self.queue.push(at, event);
+    }
+
+    /// Current virtual time of the underlying queue.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Drive `sim` until quiescence, the horizon, or the event budget.
+    pub fn run<S: Simulation<Event = E>>(&mut self, sim: &mut S) -> RunStats {
+        let mut events = 0u64;
+        let outcome = loop {
+            match self.queue.peek_time() {
+                None => break RunOutcome::Quiescent,
+                Some(t) if t > self.config.horizon => break RunOutcome::HorizonReached,
+                Some(_) => {}
+            }
+            if events >= self.config.max_events {
+                break RunOutcome::BudgetExhausted;
+            }
+            let (now, event) = self.queue.pop().expect("peeked event vanished");
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+            };
+            sim.handle(now, event, &mut sched);
+            events += 1;
+        };
+        let end_time = match outcome {
+            RunOutcome::HorizonReached => self.config.horizon,
+            _ => self.queue.now(),
+        };
+        sim.finish(end_time);
+        RunStats {
+            outcome,
+            events,
+            end_time,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Counts ticks, rescheduling itself `remaining` times.
+    struct Ticker {
+        remaining: u32,
+        period: SimDuration,
+        seen: Vec<SimTime>,
+        finished_at: Option<SimTime>,
+    }
+
+    impl Simulation for Ticker {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _e: (), sched: &mut Scheduler<'_, ()>) {
+            self.seen.push(now);
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                sched.schedule(now + self.period, ());
+            }
+        }
+        fn finish(&mut self, now: SimTime) {
+            self.finished_at = Some(now);
+        }
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut runner = Runner::new(RunnerConfig::default());
+        runner.prime(SimTime::ZERO, ());
+        let mut sim = Ticker {
+            remaining: 5,
+            period: SimDuration::from_millis(10),
+            seen: vec![],
+            finished_at: None,
+        };
+        let stats = runner.run(&mut sim);
+        assert_eq!(stats.outcome, RunOutcome::Quiescent);
+        assert_eq!(stats.events, 6);
+        assert_eq!(sim.seen.len(), 6);
+        assert_eq!(*sim.seen.last().unwrap(), SimTime::from_millis(50));
+        assert_eq!(sim.finished_at, Some(SimTime::from_millis(50)));
+    }
+
+    #[test]
+    fn horizon_stops_the_loop() {
+        let mut runner = Runner::new(RunnerConfig::until(SimTime::from_millis(25)));
+        runner.prime(SimTime::ZERO, ());
+        let mut sim = Ticker {
+            remaining: 1_000,
+            period: SimDuration::from_millis(10),
+            seen: vec![],
+            finished_at: None,
+        };
+        let stats = runner.run(&mut sim);
+        assert_eq!(stats.outcome, RunOutcome::HorizonReached);
+        // Events at 0, 10, 20 fire; 30 is beyond the horizon.
+        assert_eq!(sim.seen.len(), 3);
+        assert_eq!(stats.end_time, SimTime::from_millis(25));
+        assert_eq!(sim.finished_at, Some(SimTime::from_millis(25)));
+    }
+
+    #[test]
+    fn budget_guards_livelock() {
+        struct Livelock;
+        impl Simulation for Livelock {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _e: (), sched: &mut Scheduler<'_, ()>) {
+                sched.schedule(now, ()); // zero-delay self-feeding loop
+            }
+        }
+        let mut runner = Runner::new(RunnerConfig {
+            horizon: SimTime::MAX,
+            max_events: 1_000,
+        });
+        runner.prime(SimTime::ZERO, ());
+        let stats = runner.run(&mut Livelock);
+        assert_eq!(stats.outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(stats.events, 1_000);
+    }
+
+    #[test]
+    fn events_exactly_at_horizon_fire() {
+        let mut runner = Runner::new(RunnerConfig::until(SimTime::from_millis(10)));
+        runner.prime(SimTime::from_millis(10), ());
+        let mut sim = Ticker {
+            remaining: 0,
+            period: SimDuration::ZERO,
+            seen: vec![],
+            finished_at: None,
+        };
+        let stats = runner.run(&mut sim);
+        assert_eq!(sim.seen.len(), 1);
+        assert_eq!(stats.outcome, RunOutcome::Quiescent);
+    }
+
+    #[test]
+    fn scheduler_exposes_now_and_pending() {
+        struct Probe {
+            observed_pending: Option<usize>,
+        }
+        impl Simulation for Probe {
+            type Event = u8;
+            fn handle(&mut self, now: SimTime, e: u8, sched: &mut Scheduler<'_, u8>) {
+                if e == 0 {
+                    assert_eq!(sched.now(), now);
+                    sched.schedule(now + SimDuration::from_secs(1), 1);
+                    sched.schedule(now + SimDuration::from_secs(2), 2);
+                    self.observed_pending = Some(sched.pending());
+                }
+            }
+        }
+        let mut runner = Runner::new(RunnerConfig::default());
+        runner.prime(SimTime::ZERO, 0);
+        let mut sim = Probe {
+            observed_pending: None,
+        };
+        runner.run(&mut sim);
+        assert_eq!(sim.observed_pending, Some(2));
+    }
+}

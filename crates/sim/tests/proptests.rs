@@ -1,0 +1,61 @@
+//! Property-based tests for the event queue: time-monotone pops with
+//! stable FIFO tie-breaking — the determinism bedrock of the simulator.
+
+use proptest::prelude::*;
+use sav_sim::{EventQueue, SimTime};
+
+proptest! {
+    /// Pops are sorted by time, and equal timestamps pop in push order.
+    #[test]
+    fn pops_are_monotone_and_stable(times in proptest::collection::vec(0u64..50, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_millis(*t), i);
+        }
+        let mut last: Option<(SimTime, usize)> = None;
+        while let Some((t, idx)) = q.pop() {
+            if let Some((lt, lidx)) = last {
+                prop_assert!(t >= lt, "time went backwards");
+                if t == lt {
+                    prop_assert!(idx > lidx, "FIFO violated at equal times");
+                }
+            }
+            last = Some((t, idx));
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    /// Interleaved push/pop never rewinds the clock; late pushes clamp.
+    #[test]
+    fn clock_is_monotone_under_interleaving(
+        script in proptest::collection::vec((any::<bool>(), 0u64..100), 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        let mut last_now = SimTime::ZERO;
+        for (push, t) in script {
+            if push {
+                q.push(SimTime::from_millis(t), ());
+            } else if let Some((now, ())) = q.pop() {
+                prop_assert!(now >= last_now);
+                last_now = now;
+            }
+            prop_assert!(q.now() >= last_now);
+        }
+        // Drain: still monotone.
+        while let Some((now, ())) = q.pop() {
+            prop_assert!(now >= last_now);
+            last_now = now;
+        }
+    }
+
+    /// Same seed → identical RNG streams; distinct labels → independent.
+    #[test]
+    fn rng_fork_determinism(seed in any::<u64>(), label in "[a-z]{1,10}") {
+        let a = sav_sim::SimRng::new(seed);
+        let mut f1 = a.fork(&label);
+        let mut f2 = sav_sim::SimRng::new(seed).fork(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(f1.bits64(), f2.bits64());
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Topology generators for the evaluation scenarios.
+//!
+//! All generators are deterministic: the random generator takes an explicit
+//! seed. Address plan convention: the home network is AS 0 with subnets
+//! `10.0.<edge>.0/24`; external networks (multi-AS scenarios) get
+//! `10.<as>.<edge>.0/24`. Host IPs start at `.10` within their subnet so
+//! low addresses remain free for infrastructure (DHCP server, gateways).
+
+use crate::{HostId, SwitchId, SwitchRole, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sav_net::addr::Ipv4Cidr;
+use std::net::Ipv4Addr;
+
+/// First host address within a subnet (`.10`).
+pub const FIRST_HOST: u32 = 10;
+
+fn subnet(as_id: u32, edge_idx: u32) -> Ipv4Cidr {
+    Ipv4Cidr::new(
+        Ipv4Addr::new(10, as_id as u8, edge_idx as u8, 0),
+        24,
+    )
+}
+
+fn add_hosts(topo: &mut Topology, edge: SwitchId, sn: Ipv4Cidr, n: u32, prefix: &str) -> Vec<HostId> {
+    (0..n)
+        .map(|i| {
+            let ip = sn.nth(FIRST_HOST + i).expect("subnet too small for host count");
+            topo.attach_host(&format!("{prefix}h{i}"), edge, ip, sn)
+        })
+        .collect()
+}
+
+/// A chain of `n_switches` edge switches, each with `hosts_per_switch`
+/// hosts in its own /24.
+pub fn linear(n_switches: u32, hosts_per_switch: u32) -> Topology {
+    let mut t = Topology::new();
+    let mut prev: Option<SwitchId> = None;
+    for i in 0..n_switches {
+        let s = t.add_switch(&format!("e{i}"), SwitchRole::Edge, 0);
+        if let Some(p) = prev {
+            t.link_switches(p, s);
+        }
+        prev = Some(s);
+        let sn = subnet(0, i);
+        add_hosts(&mut t, s, sn, hosts_per_switch, &format!("e{i}-"));
+    }
+    t
+}
+
+/// A `fanout`-ary tree of the given `depth` (depth 1 = a single switch).
+/// Leaves are edge switches carrying `hosts_per_edge` hosts; interior nodes
+/// are core.
+pub fn tree(depth: u32, fanout: u32, hosts_per_edge: u32) -> Topology {
+    assert!(depth >= 1 && fanout >= 1);
+    let mut t = Topology::new();
+    let mut frontier = vec![t.add_switch(
+        "root",
+        if depth == 1 { SwitchRole::Edge } else { SwitchRole::Core },
+        0,
+    )];
+    for level in 1..depth {
+        let is_leaf = level == depth - 1;
+        let mut next = Vec::new();
+        for (pi, &parent) in frontier.iter().enumerate() {
+            for c in 0..fanout {
+                let role = if is_leaf { SwitchRole::Edge } else { SwitchRole::Core };
+                let s = t.add_switch(&format!("s{level}-{pi}-{c}"), role, 0);
+                t.link_switches(parent, s);
+                next.push(s);
+            }
+        }
+        frontier = next;
+    }
+    // Attach hosts to every edge switch.
+    let edges: Vec<SwitchId> = t
+        .switches()
+        .iter()
+        .filter(|s| s.role == SwitchRole::Edge)
+        .map(|s| s.id)
+        .collect();
+    for (i, e) in edges.into_iter().enumerate() {
+        let sn = subnet(0, i as u32);
+        add_hosts(&mut t, e, sn, hosts_per_edge, &format!("t{i}-"));
+    }
+    t
+}
+
+/// A three-tier campus: one core, two aggregation switches, `n_edge` edge
+/// switches split between them, `hosts_per_edge` hosts per edge /24.
+/// The classic enterprise deployment the paper's mechanism targets.
+pub fn campus(n_edge: u32, hosts_per_edge: u32) -> Topology {
+    let mut t = Topology::new();
+    let core = t.add_switch("core", SwitchRole::Core, 0);
+    let agg1 = t.add_switch("agg1", SwitchRole::Core, 0);
+    let agg2 = t.add_switch("agg2", SwitchRole::Core, 0);
+    t.link_switches(core, agg1);
+    t.link_switches(core, agg2);
+    for i in 0..n_edge {
+        let e = t.add_switch(&format!("edge{i}"), SwitchRole::Edge, 0);
+        let agg = if i % 2 == 0 { agg1 } else { agg2 };
+        t.link_switches(agg, e);
+        let sn = subnet(0, i);
+        add_hosts(&mut t, e, sn, hosts_per_edge, &format!("e{i}-"));
+    }
+    t
+}
+
+/// A three-tier campus where each edge switch has `ports_per_edge` access
+/// ports carrying `hosts_per_port` hosts each (downstream unmanaged
+/// segments). With `hosts_per_port = 1` this degenerates to [`campus`].
+pub fn campus_shared(n_edge: u32, ports_per_edge: u32, hosts_per_port: u32) -> Topology {
+    let mut t = Topology::new();
+    let core = t.add_switch("core", SwitchRole::Core, 0);
+    let agg1 = t.add_switch("agg1", SwitchRole::Core, 0);
+    let agg2 = t.add_switch("agg2", SwitchRole::Core, 0);
+    t.link_switches(core, agg1);
+    t.link_switches(core, agg2);
+    for i in 0..n_edge {
+        let e = t.add_switch(&format!("edge{i}"), SwitchRole::Edge, 0);
+        let agg = if i % 2 == 0 { agg1 } else { agg2 };
+        t.link_switches(agg, e);
+        let sn = subnet(0, i);
+        let mut host_no = 0;
+        for p in 0..ports_per_edge {
+            // Allocate the access port once, then share it.
+            let port = 2 + p; // port 1 is the uplink allocated above
+            for _ in 0..hosts_per_port {
+                let ip = sn
+                    .nth(FIRST_HOST + host_no)
+                    .expect("subnet too small for host count");
+                t.attach_host_at(&format!("e{i}p{p}h{host_no}"), e, port, ip, sn);
+                host_no += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Handles to the interesting pieces of the multi-AS internet built by
+/// [`multi_as`].
+pub struct MultiAs {
+    /// The topology.
+    pub topo: Topology,
+    /// The transit core switch (AS 100).
+    pub transit: SwitchId,
+    /// Per-AS `(border switch, edge switch)` pairs, indexed by AS (1-based).
+    pub borders: Vec<(SwitchId, SwitchId)>,
+}
+
+/// A small internet: a transit switch interconnecting `n_as` stub networks.
+/// Each stub AS `i` (1-based) has a border switch and an edge switch with
+/// `hosts_per_as` hosts in `10.<i>.0.0/24`. The reflection case study runs
+/// here: bots in one AS, open resolvers in another, the victim in a third.
+pub fn multi_as(n_as: u32, hosts_per_as: u32) -> MultiAs {
+    assert!(n_as >= 2);
+    let mut t = Topology::new();
+    let transit = t.add_switch("transit", SwitchRole::Core, 100);
+    let mut borders = Vec::new();
+    for i in 1..=n_as {
+        let border = t.add_switch(&format!("as{i}-border"), SwitchRole::Border, i);
+        let edge = t.add_switch(&format!("as{i}-edge"), SwitchRole::Edge, i);
+        t.link_switches(transit, border);
+        t.link_switches(border, edge);
+        let sn = subnet(i, 0);
+        add_hosts(&mut t, edge, sn, hosts_per_as, &format!("as{i}-"));
+        borders.push((border, edge));
+    }
+    MultiAs {
+        topo: t,
+        transit,
+        borders,
+    }
+}
+
+/// A random connected graph: a uniform spanning tree over `n_switches`
+/// plus `extra_links` random chords; `hosts_total` hosts attached to
+/// uniformly chosen switches (every switch is role Edge). Deterministic in
+/// `seed`.
+pub fn random(n_switches: u32, extra_links: u32, hosts_total: u32, seed: u64) -> Topology {
+    assert!(n_switches >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Topology::new();
+    let ids: Vec<SwitchId> = (0..n_switches)
+        .map(|i| t.add_switch(&format!("r{i}"), SwitchRole::Edge, 0))
+        .collect();
+    // Random tree: attach each new node to a uniformly chosen earlier node.
+    for i in 1..ids.len() {
+        let j = rng.gen_range(0..i);
+        t.link_switches(ids[j], ids[i]);
+    }
+    // Random chords (may duplicate tree links: harmless parallel paths).
+    for _ in 0..extra_links {
+        if ids.len() < 2 {
+            break;
+        }
+        let a = rng.gen_range(0..ids.len());
+        let mut b = rng.gen_range(0..ids.len());
+        if a == b {
+            b = (b + 1) % ids.len();
+        }
+        t.link_switches(ids[a], ids[b]);
+    }
+    // Hosts: round-robin subnets per switch, hosts uniformly placed.
+    for h in 0..hosts_total {
+        let s = rng.gen_range(0..ids.len());
+        let sn = subnet(0, s as u32);
+        let used = t.hosts_on(ids[s]).count() as u32;
+        let ip = sn
+            .nth(FIRST_HOST + used)
+            .expect("subnet exhausted in random topology");
+        t.attach_host(&format!("rh{h}"), ids[s], ip, sn);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routes::Routes;
+
+    #[test]
+    fn linear_shape() {
+        let t = linear(4, 3);
+        assert_eq!(t.switches().len(), 4);
+        assert_eq!(t.hosts().len(), 12);
+        assert_eq!(t.links().len(), 3);
+        // All reachable.
+        let r = Routes::compute(&t);
+        assert_eq!(r.distance(SwitchId(0), SwitchId(3)), Some(3));
+        // Distinct per-switch subnets.
+        assert_eq!(t.subnets().len(), 4);
+    }
+
+    #[test]
+    fn tree_shape() {
+        let t = tree(3, 2, 4);
+        // 1 root + 2 + 4 leaves.
+        assert_eq!(t.switches().len(), 7);
+        let edges: Vec<_> = t
+            .switches()
+            .iter()
+            .filter(|s| s.role == SwitchRole::Edge)
+            .collect();
+        assert_eq!(edges.len(), 4);
+        assert_eq!(t.hosts().len(), 16);
+        let r = Routes::compute(&t);
+        for a in t.switches() {
+            for b in t.switches() {
+                assert!(r.distance(a.id, b.id).is_some(), "tree is connected");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_tree_is_single_edge_switch() {
+        let t = tree(1, 4, 5);
+        assert_eq!(t.switches().len(), 1);
+        assert_eq!(t.hosts().len(), 5);
+        assert_eq!(t.switches()[0].role, SwitchRole::Edge);
+    }
+
+    #[test]
+    fn campus_shape() {
+        let t = campus(6, 10);
+        assert_eq!(t.switches().len(), 3 + 6);
+        assert_eq!(t.hosts().len(), 60);
+        let r = Routes::compute(&t);
+        // Edge-to-edge across aggs: edge -> agg -> core -> agg -> edge = 4 hops max.
+        for a in t.switches().iter().filter(|s| s.role == SwitchRole::Edge) {
+            for b in t.switches().iter().filter(|s| s.role == SwitchRole::Edge) {
+                assert!(r.distance(a.id, b.id).unwrap() <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_as_shape() {
+        let m = multi_as(3, 5);
+        assert_eq!(m.borders.len(), 3);
+        assert_eq!(m.topo.hosts().len(), 15);
+        // AS separation: each border sees exactly one cross-AS port (to transit).
+        for (border, edge) in &m.borders {
+            assert_eq!(m.topo.border_ports(*border).len(), 1);
+            assert_eq!(m.topo.border_ports(*edge).len(), 0);
+        }
+        // Subnets per AS.
+        assert_eq!(m.topo.subnets_of_as(1).len(), 1);
+        assert_eq!(m.topo.subnets_of_as(2).len(), 1);
+        // Hosts in different ASes have different /24s.
+        assert_ne!(m.topo.subnets_of_as(1)[0], m.topo.subnets_of_as(2)[0]);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let t1 = random(12, 5, 40, 7);
+        let t2 = random(12, 5, 40, 7);
+        assert_eq!(t1.hosts().len(), 40);
+        assert_eq!(t1.links().len(), t2.links().len());
+        for (a, b) in t1.links().iter().zip(t2.links()) {
+            assert_eq!(a, b);
+        }
+        let r = Routes::compute(&t1);
+        for s in t1.switches() {
+            assert!(r.distance(SwitchId(0), s.id).is_some(), "connected");
+        }
+        let t3 = random(12, 5, 40, 8);
+        let same = t1
+            .links()
+            .iter()
+            .zip(t3.links())
+            .all(|(a, b)| a == b);
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn host_ips_unique_within_topology() {
+        for t in [linear(3, 5), campus(4, 8), random(6, 3, 30, 3)] {
+            let ips: std::collections::HashSet<_> = t.hosts().iter().map(|h| h.ip).collect();
+            assert_eq!(ips.len(), t.hosts().len(), "duplicate IPs in plan");
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! # sav-topo — network topology model, generators and routing
+//!
+//! A [`Topology`] is the static description of a simulated network:
+//! switches, hosts, switch-to-switch links and host attachments, plus the
+//! address plan (per-edge subnets). On top of it, [`routes::Routes`]
+//! computes all-pairs next-hop forwarding (BFS over unit-cost links) and a
+//! spanning tree for loop-free flooding — the two inputs the controller's
+//! forwarding application needs.
+//!
+//! [`generators`] builds the standard evaluation topologies: linear chains,
+//! trees, a three-tier campus, a small multi-AS internet (for the
+//! reflection-attack case study) and seeded random graphs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod routes;
+
+use sav_net::addr::{Ipv4Cidr, MacAddr};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Index of a switch within a topology. The OpenFlow datapath id is derived
+/// as `index + 1` (datapath id 0 is reserved/invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SwitchId(pub usize);
+
+impl SwitchId {
+    /// The OpenFlow datapath id for this switch.
+    pub fn dpid(self) -> u64 {
+        self.0 as u64 + 1
+    }
+
+    /// Inverse of [`SwitchId::dpid`].
+    pub fn from_dpid(dpid: u64) -> Option<SwitchId> {
+        (dpid > 0).then(|| SwitchId(dpid as usize - 1))
+    }
+}
+
+/// Index of a host within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub usize);
+
+/// Role of a switch in the network, which decides where SAV rules go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchRole {
+    /// Hosts attach here; outbound SAV rules are installed on host ports.
+    Edge,
+    /// Interior aggregation/core; no SAV state.
+    Core,
+    /// Connects to other networks; inbound SAV rules live here.
+    Border,
+}
+
+/// A switch node.
+#[derive(Debug, Clone)]
+pub struct SwitchNode {
+    /// Topology-wide id.
+    pub id: SwitchId,
+    /// Human-readable name.
+    pub name: String,
+    /// Role (decides SAV rule placement).
+    pub role: SwitchRole,
+    /// Which network/AS this switch belongs to (0 = the home network).
+    pub as_id: u32,
+}
+
+/// A host node.
+#[derive(Debug, Clone)]
+pub struct HostNode {
+    /// Topology-wide id.
+    pub id: HostId,
+    /// Human-readable name.
+    pub name: String,
+    /// Stable MAC address.
+    pub mac: MacAddr,
+    /// Assigned IPv4 address (static plan; DHCP scenarios reassign at runtime).
+    pub ip: Ipv4Addr,
+    /// The subnet the host's attachment port belongs to.
+    pub subnet: Ipv4Cidr,
+    /// Switch the host attaches to.
+    pub switch: SwitchId,
+    /// Port on that switch.
+    pub port: u32,
+    /// Which network/AS the host belongs to.
+    pub as_id: u32,
+}
+
+/// A bidirectional switch-to-switch link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Link {
+    /// One endpoint.
+    pub a: (SwitchId, u32),
+    /// The other endpoint.
+    pub b: (SwitchId, u32),
+}
+
+/// The static network description.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    switches: Vec<SwitchNode>,
+    hosts: Vec<HostNode>,
+    links: Vec<Link>,
+    next_port: BTreeMap<SwitchId, u32>,
+}
+
+impl Topology {
+    /// An empty topology.
+    pub fn new() -> Topology {
+        Topology::default()
+    }
+
+    /// Add a switch with the given role; returns its id.
+    pub fn add_switch(&mut self, name: &str, role: SwitchRole, as_id: u32) -> SwitchId {
+        let id = SwitchId(self.switches.len());
+        self.switches.push(SwitchNode {
+            id,
+            name: name.to_string(),
+            role,
+            as_id,
+        });
+        self.next_port.insert(id, 1);
+        id
+    }
+
+    fn alloc_port(&mut self, s: SwitchId) -> u32 {
+        let p = self.next_port.entry(s).or_insert(1);
+        let port = *p;
+        *p += 1;
+        port
+    }
+
+    /// Connect two switches; ports are allocated automatically.
+    pub fn link_switches(&mut self, a: SwitchId, b: SwitchId) -> Link {
+        let pa = self.alloc_port(a);
+        let pb = self.alloc_port(b);
+        let link = Link {
+            a: (a, pa),
+            b: (b, pb),
+        };
+        self.links.push(link);
+        link
+    }
+
+    /// Attach a host to a switch; the port is allocated automatically and
+    /// the MAC derived from the host index.
+    pub fn attach_host(
+        &mut self,
+        name: &str,
+        switch: SwitchId,
+        ip: Ipv4Addr,
+        subnet: Ipv4Cidr,
+    ) -> HostId {
+        let port = self.alloc_port(switch);
+        self.attach_host_at(name, switch, port, ip, subnet)
+    }
+
+    /// Attach a host at a *specific* port, which may already carry other
+    /// hosts — models an unmanaged downstream segment (hub, legacy switch,
+    /// wireless AP) behind one OpenFlow port. Aggregated SAV and the
+    /// MAC-matching ablation are only distinguishable on such ports.
+    pub fn attach_host_at(
+        &mut self,
+        name: &str,
+        switch: SwitchId,
+        port: u32,
+        ip: Ipv4Addr,
+        subnet: Ipv4Cidr,
+    ) -> HostId {
+        let id = HostId(self.hosts.len());
+        let as_id = self.switches[switch.0].as_id;
+        // Keep the allocator ahead of manually chosen ports.
+        let next = self.next_port.entry(switch).or_insert(1);
+        if port >= *next {
+            *next = port + 1;
+        }
+        self.hosts.push(HostNode {
+            id,
+            name: name.to_string(),
+            mac: MacAddr::from_index(id.0 as u64 + 1),
+            ip,
+            subnet,
+            switch,
+            port,
+            as_id,
+        });
+        id
+    }
+
+    /// All switches.
+    pub fn switches(&self) -> &[SwitchNode] {
+        &self.switches
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[HostNode] {
+        &self.hosts
+    }
+
+    /// All switch-to-switch links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Look up a switch.
+    pub fn switch(&self, id: SwitchId) -> &SwitchNode {
+        &self.switches[id.0]
+    }
+
+    /// Look up a host.
+    pub fn host(&self, id: HostId) -> &HostNode {
+        &self.hosts[id.0]
+    }
+
+    /// Number of ports allocated on `s` (ports are `1..=n`).
+    pub fn port_count(&self, s: SwitchId) -> u32 {
+        self.next_port.get(&s).copied().unwrap_or(1) - 1
+    }
+
+    /// Hosts attached to `s`.
+    pub fn hosts_on(&self, s: SwitchId) -> impl Iterator<Item = &HostNode> {
+        self.hosts.iter().filter(move |h| h.switch == s)
+    }
+
+    /// The host attached at `(switch, port)`, if any.
+    pub fn host_at(&self, s: SwitchId, port: u32) -> Option<&HostNode> {
+        self.hosts.iter().find(|h| h.switch == s && h.port == port)
+    }
+
+    /// The neighbour switch reached from `(switch, port)`, if that port is
+    /// an inter-switch link.
+    pub fn switch_peer(&self, s: SwitchId, port: u32) -> Option<(SwitchId, u32)> {
+        for l in &self.links {
+            if l.a == (s, port) {
+                return Some(l.b);
+            }
+            if l.b == (s, port) {
+                return Some(l.a);
+            }
+        }
+        None
+    }
+
+    /// Adjacency: `(port, neighbour switch, neighbour port)` triples of `s`.
+    pub fn neighbors(&self, s: SwitchId) -> Vec<(u32, SwitchId, u32)> {
+        let mut out = Vec::new();
+        for l in &self.links {
+            if l.a.0 == s {
+                out.push((l.a.1, l.b.0, l.b.1));
+            }
+            if l.b.0 == s {
+                out.push((l.b.1, l.a.0, l.a.1));
+            }
+        }
+        out.sort_unstable_by_key(|(p, ..)| *p);
+        out
+    }
+
+    /// All distinct subnets in the address plan, with the ASes they belong to.
+    pub fn subnets(&self) -> Vec<(Ipv4Cidr, u32)> {
+        let mut seen = BTreeMap::new();
+        for h in &self.hosts {
+            seen.entry(h.subnet).or_insert(h.as_id);
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Subnets whose hosts sit in `as_id` — "internal prefixes" for
+    /// inbound-SAV at that network's border.
+    pub fn subnets_of_as(&self, as_id: u32) -> Vec<Ipv4Cidr> {
+        self.subnets()
+            .into_iter()
+            .filter(|(_, a)| *a == as_id)
+            .map(|(c, _)| c)
+            .collect()
+    }
+
+    /// Host-facing ports of `s` (ports with at least one host attached),
+    /// deduplicated.
+    pub fn host_ports(&self, s: SwitchId) -> Vec<u32> {
+        let mut v: Vec<u32> = self.hosts_on(s).map(|h| h.port).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// All hosts attached at `(switch, port)` (several on shared ports).
+    pub fn hosts_at(&self, s: SwitchId, port: u32) -> Vec<&HostNode> {
+        self.hosts
+            .iter()
+            .filter(|h| h.switch == s && h.port == port)
+            .collect()
+    }
+
+    /// Ports of `s` that lead to other switches.
+    pub fn trunk_ports(&self, s: SwitchId) -> Vec<u32> {
+        let mut v: Vec<u32> = self.neighbors(s).into_iter().map(|(p, ..)| p).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Border ports: trunk ports of `s` whose peer switch belongs to a
+    /// different AS. This is where inbound SAV applies.
+    pub fn border_ports(&self, s: SwitchId) -> Vec<u32> {
+        let my_as = self.switches[s.0].as_id;
+        self.neighbors(s)
+            .into_iter()
+            .filter(|(_, peer, _)| self.switches[peer.0].as_id != my_as)
+            .map(|(p, ..)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_switch_topo() -> (Topology, SwitchId, SwitchId, HostId, HostId) {
+        let mut t = Topology::new();
+        let s1 = t.add_switch("e1", SwitchRole::Edge, 0);
+        let s2 = t.add_switch("e2", SwitchRole::Edge, 0);
+        t.link_switches(s1, s2);
+        let subnet: Ipv4Cidr = "10.0.1.0/24".parse().unwrap();
+        let h1 = t.attach_host("h1", s1, "10.0.1.1".parse().unwrap(), subnet);
+        let h2 = t.attach_host("h2", s2, "10.0.1.2".parse().unwrap(), subnet);
+        (t, s1, s2, h1, h2)
+    }
+
+    #[test]
+    fn ids_and_dpids() {
+        assert_eq!(SwitchId(0).dpid(), 1);
+        assert_eq!(SwitchId::from_dpid(1), Some(SwitchId(0)));
+        assert_eq!(SwitchId::from_dpid(0), None);
+    }
+
+    #[test]
+    fn port_allocation_is_sequential() {
+        let (t, s1, s2, h1, h2) = two_switch_topo();
+        // Link took port 1 on both; hosts got port 2.
+        assert_eq!(t.host(h1).port, 2);
+        assert_eq!(t.host(h2).port, 2);
+        assert_eq!(t.port_count(s1), 2);
+        assert_eq!(t.trunk_ports(s1), vec![1]);
+        assert_eq!(t.host_ports(s2), vec![2]);
+    }
+
+    #[test]
+    fn peer_lookup() {
+        let (t, s1, s2, ..) = two_switch_topo();
+        assert_eq!(t.switch_peer(s1, 1), Some((s2, 1)));
+        assert_eq!(t.switch_peer(s1, 2), None, "host port has no switch peer");
+        assert_eq!(t.host_at(s1, 2).unwrap().name, "h1");
+        assert!(t.host_at(s1, 1).is_none());
+    }
+
+    #[test]
+    fn macs_are_unique() {
+        let (t, ..) = two_switch_topo();
+        let macs: std::collections::HashSet<_> = t.hosts().iter().map(|h| h.mac).collect();
+        assert_eq!(macs.len(), t.hosts().len());
+    }
+
+    #[test]
+    fn subnets_and_as_filtering() {
+        let mut t = Topology::new();
+        let e = t.add_switch("edge", SwitchRole::Edge, 0);
+        let x = t.add_switch("ext", SwitchRole::Edge, 1);
+        let sn0: Ipv4Cidr = "10.0.0.0/24".parse().unwrap();
+        let sn1: Ipv4Cidr = "198.51.100.0/24".parse().unwrap();
+        t.attach_host("a", e, "10.0.0.1".parse().unwrap(), sn0);
+        t.attach_host("b", x, "198.51.100.1".parse().unwrap(), sn1);
+        assert_eq!(t.subnets().len(), 2);
+        assert_eq!(t.subnets_of_as(0), vec![sn0]);
+        assert_eq!(t.subnets_of_as(1), vec![sn1]);
+    }
+
+    #[test]
+    fn border_ports_cross_as_only() {
+        let mut t = Topology::new();
+        let b = t.add_switch("border", SwitchRole::Border, 0);
+        let inner = t.add_switch("edge", SwitchRole::Edge, 0);
+        let ext = t.add_switch("upstream", SwitchRole::Core, 1);
+        t.link_switches(b, inner);
+        t.link_switches(b, ext);
+        assert_eq!(t.border_ports(b), vec![2]);
+        assert_eq!(t.border_ports(inner), Vec::<u32>::new());
+    }
+}

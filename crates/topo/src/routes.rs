@@ -1,0 +1,253 @@
+//! All-pairs shortest-path routing and loop-free flood trees.
+//!
+//! BFS over unit-cost links, deterministic tie-breaking by switch index.
+//! [`Routes`] answers the two questions the controller's forwarding app
+//! asks: *which port leads from switch A toward switch B* (unicast) and
+//! *which ports may flood at switch A* (broadcast without loops). It also
+//! provides per-destination-prefix next-hops used by the uRPF baselines.
+
+use crate::{SwitchId, Topology};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Precomputed routing state for a topology.
+pub struct Routes {
+    /// `next_port[(from, to)]` = egress port at `from` toward `to`.
+    next_port: HashMap<(SwitchId, SwitchId), u32>,
+    /// `dist[(from, to)]` = hop count.
+    dist: HashMap<(SwitchId, SwitchId), u32>,
+    /// Ports (per switch) on the spanning tree, host ports excluded.
+    tree_ports: BTreeMap<SwitchId, HashSet<u32>>,
+}
+
+impl Routes {
+    /// Compute routes for `topo`. Panics only on an empty topology.
+    pub fn compute(topo: &Topology) -> Routes {
+        let mut next_port = HashMap::new();
+        let mut dist = HashMap::new();
+        // BFS from every switch. Neighbour order (sorted by port) makes the
+        // result deterministic.
+        for src in topo.switches() {
+            let mut seen: HashMap<SwitchId, (u32, u32)> = HashMap::new(); // node -> (dist, first_port)
+            let mut q = VecDeque::new();
+            seen.insert(src.id, (0, 0));
+            q.push_back(src.id);
+            while let Some(u) = q.pop_front() {
+                let (du, first_port_u) = seen[&u];
+                for (port, v, _) in topo.neighbors(u) {
+                    if seen.contains_key(&v) {
+                        continue;
+                    }
+                    // The first hop out of src is the port used for the
+                    // entire subtree below v.
+                    let first = if u == src.id { port } else { first_port_u };
+                    seen.insert(v, (du + 1, first));
+                    q.push_back(v);
+                }
+            }
+            for (node, (d, first)) in seen {
+                if node != src.id {
+                    next_port.insert((src.id, node), first);
+                }
+                dist.insert((src.id, node), d);
+            }
+        }
+
+        // Spanning tree rooted at switch 0: a link is on the tree iff it is
+        // the BFS tree edge discovering its far endpoint.
+        let mut tree_ports: BTreeMap<SwitchId, HashSet<u32>> = BTreeMap::new();
+        for s in topo.switches() {
+            tree_ports.insert(s.id, HashSet::new());
+        }
+        if !topo.switches().is_empty() {
+            let root = topo.switches()[0].id;
+            let mut parent: HashMap<SwitchId, (SwitchId, u32, u32)> = HashMap::new();
+            let mut seen = HashSet::new();
+            seen.insert(root);
+            let mut q = VecDeque::new();
+            q.push_back(root);
+            while let Some(u) = q.pop_front() {
+                for (port, v, peer_port) in topo.neighbors(u) {
+                    if seen.insert(v) {
+                        parent.insert(v, (u, port, peer_port));
+                        q.push_back(v);
+                    }
+                }
+            }
+            for (child, (par, par_port, child_port)) in parent {
+                tree_ports.get_mut(&par).expect("switch exists").insert(par_port);
+                tree_ports.get_mut(&child).expect("switch exists").insert(child_port);
+            }
+        }
+
+        Routes {
+            next_port,
+            dist,
+            tree_ports,
+        }
+    }
+
+    /// Egress port at `from` toward `to` (`None` if unreachable or equal).
+    pub fn next_port(&self, from: SwitchId, to: SwitchId) -> Option<u32> {
+        self.next_port.get(&(from, to)).copied()
+    }
+
+    /// Hop distance between two switches (0 for self, `None` if unreachable).
+    pub fn distance(&self, from: SwitchId, to: SwitchId) -> Option<u32> {
+        self.dist.get(&(from, to)).copied()
+    }
+
+    /// Is `(switch, port)` on the flood tree? Host ports are always
+    /// flood-eligible and are the caller's to add; this answers for trunks.
+    pub fn on_tree(&self, s: SwitchId, port: u32) -> bool {
+        self.tree_ports
+            .get(&s)
+            .map(|ps| ps.contains(&port))
+            .unwrap_or(false)
+    }
+
+    /// All flood ports of `s`: its host ports plus its tree trunk ports,
+    /// minus the ingress port.
+    pub fn flood_ports(&self, topo: &Topology, s: SwitchId, in_port: u32) -> Vec<u32> {
+        let mut out: Vec<u32> = topo
+            .host_ports(s)
+            .into_iter()
+            .chain(self.tree_ports.get(&s).into_iter().flatten().copied())
+            .filter(|&p| p != in_port)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The switch-level path from `from` to `to` (inclusive); `None` if
+    /// unreachable.
+    pub fn path(&self, topo: &Topology, from: SwitchId, to: SwitchId) -> Option<Vec<SwitchId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        // Walk next-hops; bounded by switch count to be safe against bugs.
+        for _ in 0..=topo.switches().len() {
+            let port = self.next_port(cur, to)?;
+            let (peer, _) = topo.switch_peer(cur, port)?;
+            path.push(peer);
+            if peer == to {
+                return Some(path);
+            }
+            cur = peer;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SwitchRole, Topology};
+    use sav_net::addr::Ipv4Cidr;
+
+    /// s0 - s1 - s2 with a host on each end.
+    fn chain() -> (Topology, Vec<SwitchId>) {
+        let mut t = Topology::new();
+        let ids: Vec<SwitchId> = (0..3)
+            .map(|i| t.add_switch(&format!("s{i}"), SwitchRole::Edge, 0))
+            .collect();
+        t.link_switches(ids[0], ids[1]);
+        t.link_switches(ids[1], ids[2]);
+        let sn: Ipv4Cidr = "10.0.0.0/24".parse().unwrap();
+        t.attach_host("h0", ids[0], "10.0.0.1".parse().unwrap(), sn);
+        t.attach_host("h2", ids[2], "10.0.0.2".parse().unwrap(), sn);
+        (t, ids)
+    }
+
+    /// A triangle (cycle) to exercise the spanning tree.
+    fn triangle() -> (Topology, Vec<SwitchId>) {
+        let mut t = Topology::new();
+        let ids: Vec<SwitchId> = (0..3)
+            .map(|i| t.add_switch(&format!("s{i}"), SwitchRole::Edge, 0))
+            .collect();
+        t.link_switches(ids[0], ids[1]);
+        t.link_switches(ids[1], ids[2]);
+        t.link_switches(ids[2], ids[0]);
+        (t, ids)
+    }
+
+    #[test]
+    fn chain_routing() {
+        let (t, ids) = chain();
+        let r = Routes::compute(&t);
+        assert_eq!(r.distance(ids[0], ids[2]), Some(2));
+        assert_eq!(r.distance(ids[1], ids[1]), Some(0));
+        // s0's only trunk is port 1.
+        assert_eq!(r.next_port(ids[0], ids[2]), Some(1));
+        // s1 reaches s0 via its port 1 and s2 via its port 2.
+        assert_eq!(r.next_port(ids[1], ids[0]), Some(1));
+        assert_eq!(r.next_port(ids[1], ids[2]), Some(2));
+        assert_eq!(
+            r.path(&t, ids[0], ids[2]).unwrap(),
+            vec![ids[0], ids[1], ids[2]]
+        );
+        assert_eq!(r.next_port(ids[0], ids[0]), None);
+    }
+
+    #[test]
+    fn triangle_tree_breaks_loop() {
+        let (t, ids) = triangle();
+        let r = Routes::compute(&t);
+        // Exactly 2 of the 3 links are on the tree: total tree-port count 4.
+        let total: usize = ids
+            .iter()
+            .map(|&s| {
+                t.trunk_ports(s)
+                    .into_iter()
+                    .filter(|&p| r.on_tree(s, p))
+                    .count()
+            })
+            .sum();
+        assert_eq!(total, 4, "3-cycle spanning tree keeps 2 links");
+        // All switches still reach each other in 1 hop over the full graph.
+        assert_eq!(r.distance(ids[0], ids[2]), Some(1));
+    }
+
+    #[test]
+    fn flood_ports_exclude_ingress() {
+        let (t, ids) = chain();
+        let r = Routes::compute(&t);
+        // s1 has trunks 1,2 (both tree) and no hosts; flooding from port 1
+        // goes only to port 2.
+        assert_eq!(r.flood_ports(&t, ids[1], 1), vec![2]);
+        // s0: trunk 1 (tree) + host port 2; flooding from the host port goes
+        // to the trunk.
+        assert_eq!(r.flood_ports(&t, ids[0], 2), vec![1]);
+    }
+
+    #[test]
+    fn disconnected_unreachable() {
+        let mut t = Topology::new();
+        let a = t.add_switch("a", SwitchRole::Edge, 0);
+        let b = t.add_switch("b", SwitchRole::Edge, 0);
+        let r = Routes::compute(&t);
+        assert_eq!(r.next_port(a, b), None);
+        assert_eq!(r.distance(a, b), None);
+        assert_eq!(r.path(&t, a, b), None);
+    }
+
+    #[test]
+    fn equal_cost_paths_are_deterministic() {
+        // Diamond: s0-s1-s3 and s0-s2-s3.
+        let mut t = Topology::new();
+        let ids: Vec<SwitchId> = (0..4)
+            .map(|i| t.add_switch(&format!("s{i}"), SwitchRole::Core, 0))
+            .collect();
+        t.link_switches(ids[0], ids[1]); // s0 port 1
+        t.link_switches(ids[0], ids[2]); // s0 port 2
+        t.link_switches(ids[1], ids[3]);
+        t.link_switches(ids[2], ids[3]);
+        let r1 = Routes::compute(&t);
+        let r2 = Routes::compute(&t);
+        assert_eq!(r1.next_port(ids[0], ids[3]), r2.next_port(ids[0], ids[3]));
+        // Lowest-numbered port wins the tie.
+        assert_eq!(r1.next_port(ids[0], ids[3]), Some(1));
+    }
+}

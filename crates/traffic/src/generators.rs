@@ -1,0 +1,440 @@
+//! The workload generators.
+//!
+//! All take the topology, timing parameters and a seed, and return a sorted
+//! [`Schedule`]. Arrival processes are Poisson (exponential gaps via
+//! [`SimRng::exp_duration`]); victims/targets/addresses are drawn from
+//! labelled forks of the seed so adding one generator never perturbs
+//! another's stream.
+
+use crate::tag::{self, TrafficClass};
+use crate::{Schedule, SpoofKind, TrafficOp};
+use sav_net::dns::{DnsRepr, DnsType};
+use sav_sim::{SimDuration, SimRng, SimTime};
+use sav_topo::{SwitchRole, Topology};
+use std::net::Ipv4Addr;
+
+/// UDP port of the echo/sink service legitimate traffic targets.
+pub const APP_PORT: u16 = 7;
+
+/// How an attacker falsifies sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpoofStrategy {
+    /// Uniformly random globally-routable addresses (classic DDoS source
+    /// randomization). Caught by any ingress filter.
+    RandomRoutable,
+    /// Random addresses within the attacker's own /24 — defeats prefix
+    /// ACLs and uRPF; only per-host binding catches it.
+    SameSubnet,
+    /// The address of another live host in the network — defeats prefix
+    /// filters and poisons reputation; binding-level SAV catches it.
+    ExistingNeighbor,
+    /// A fixed victim address (reflection preparation).
+    FixedVictim(Ipv4Addr),
+}
+
+/// Legitimate traffic: every host sends Poisson-at-`per_host_rate` (pkts/s)
+/// to uniformly chosen other hosts on [`APP_PORT`], for `duration`.
+pub fn legit_uniform(
+    topo: &Topology,
+    senders: &[usize],
+    per_host_rate: f64,
+    duration: SimDuration,
+    payload_len: usize,
+    seed: u64,
+) -> Schedule {
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    let mut flow_id = 0u32;
+    for &h in senders {
+        let mut rng = root.fork(&format!("legit-{h}"));
+        let mean_gap = SimDuration::from_secs_f64(1.0 / per_host_rate.max(1e-9));
+        let mut t = SimTime::ZERO + rng.exp_duration(mean_gap);
+        while t < SimTime::ZERO + duration {
+            // Uniform destination other than self.
+            let mut dst = rng.index(topo.hosts().len());
+            if dst == h {
+                dst = (dst + 1) % topo.hosts().len();
+            }
+            flow_id = flow_id.wrapping_add(1);
+            sched.ops.push((
+                t,
+                TrafficOp::Udp {
+                    host: h,
+                    dst_ip: topo.hosts()[dst].ip,
+                    src_port: 20_000 + (flow_id % 10_000) as u16,
+                    dst_port: APP_PORT,
+                    payload: tag::payload(TrafficClass::Legit, flow_id, payload_len),
+                    spoof: SpoofKind::None,
+                },
+            ));
+            t += rng.exp_duration(mean_gap);
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+fn spoofed_ip(
+    strategy: SpoofStrategy,
+    topo: &Topology,
+    attacker: usize,
+    rng: &mut SimRng,
+) -> Ipv4Addr {
+    match strategy {
+        SpoofStrategy::RandomRoutable => {
+            // Avoid the simulation's own 10/8 plan so the address is
+            // guaranteed foreign.
+            loop {
+                let ip = Ipv4Addr::from(rng.bits32());
+                let o = ip.octets();
+                let usable = o[0] != 10
+                    && o[0] != 0
+                    && o[0] != 127
+                    && o[0] < 224
+                    && !(o[0] == 169 && o[1] == 254);
+                if usable {
+                    return ip;
+                }
+            }
+        }
+        SpoofStrategy::SameSubnet => {
+            let me = &topo.hosts()[attacker];
+            loop {
+                let idx = rng.below(me.subnet.size().saturating_sub(2)).max(1) as u32;
+                let ip = me.subnet.nth(idx).expect("index within subnet");
+                if ip != me.ip {
+                    return ip;
+                }
+            }
+        }
+        SpoofStrategy::ExistingNeighbor => loop {
+            let victim = rng.index(topo.hosts().len());
+            if victim != attacker {
+                return topo.hosts()[victim].ip;
+            }
+        },
+        SpoofStrategy::FixedVictim(ip) => ip,
+    }
+}
+
+/// Spoofing attack: each attacker sends Poisson-at-`rate` spoofed UDP
+/// to uniformly chosen victims within the network (or toward `dst_override`).
+pub fn spoof_attack(
+    topo: &Topology,
+    attackers: &[usize],
+    strategy: SpoofStrategy,
+    rate: f64,
+    duration: SimDuration,
+    dst_override: Option<Ipv4Addr>,
+    seed: u64,
+) -> Schedule {
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    let mut flow_id = 0x8000_0000u32;
+    for &a in attackers {
+        let mut rng = root.fork(&format!("spoof-{a}"));
+        let mean_gap = SimDuration::from_secs_f64(1.0 / rate.max(1e-9));
+        let mut t = SimTime::ZERO + rng.exp_duration(mean_gap);
+        while t < SimTime::ZERO + duration {
+            let spoof_src = spoofed_ip(strategy, topo, a, &mut rng);
+            let dst_ip = dst_override.unwrap_or_else(|| {
+                let mut v = rng.index(topo.hosts().len());
+                if v == a {
+                    v = (v + 1) % topo.hosts().len();
+                }
+                topo.hosts()[v].ip
+            });
+            flow_id = flow_id.wrapping_add(1);
+            sched.ops.push((
+                t,
+                TrafficOp::Udp {
+                    host: a,
+                    dst_ip,
+                    src_port: 30_000 + (flow_id % 10_000) as u16,
+                    dst_port: APP_PORT,
+                    payload: tag::payload(TrafficClass::Spoofed, flow_id, 64),
+                    spoof: SpoofKind::Ip(spoof_src),
+                },
+            ));
+            t += rng.exp_duration(mean_gap);
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+/// DNS reflection: each bot sends ANY-queries (real DNS bytes) to the
+/// resolvers, sources spoofed to `victim_ip`, Poisson-at-`rate` per bot.
+/// The amplified responses converge on the victim.
+pub fn reflection(
+    topo: &Topology,
+    bots: &[usize],
+    resolvers: &[usize],
+    victim_ip: Ipv4Addr,
+    rate: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Schedule {
+    assert!(!resolvers.is_empty(), "reflection needs resolvers");
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    let mut qid = 1u16;
+    for &bot in bots {
+        let mut rng = root.fork(&format!("bot-{bot}"));
+        let mean_gap = SimDuration::from_secs_f64(1.0 / rate.max(1e-9));
+        let mut t = SimTime::ZERO + rng.exp_duration(mean_gap);
+        while t < SimTime::ZERO + duration {
+            let resolver = resolvers[rng.index(resolvers.len())];
+            let query = DnsRepr::query(qid, "amplify.example.com", DnsType::Any);
+            qid = qid.wrapping_add(1).max(1);
+            sched.ops.push((
+                t,
+                TrafficOp::Udp {
+                    host: bot,
+                    dst_ip: topo.hosts()[resolver].ip,
+                    // Victim-side classification keys off this port range.
+                    src_port: 50_000 + (qid % 1000),
+                    dst_port: 53,
+                    payload: query.to_bytes(),
+                    spoof: SpoofKind::Ip(victim_ip),
+                },
+            ));
+            t += rng.exp_duration(mean_gap);
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+/// DHCP churn: each host runs DISCOVER at a random offset, then
+/// release/re-discover cycles of mean `hold_time` until `duration`.
+pub fn dhcp_churn(
+    hosts: &[usize],
+    hold_time: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> Schedule {
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    for &h in hosts {
+        let mut rng = root.fork(&format!("churn-{h}"));
+        // Initial acquisition in the first second.
+        let mut t = SimTime::ZERO + SimDuration::from_millis(rng.below(1000));
+        sched.ops.push((t, TrafficOp::DhcpDiscover { host: h }));
+        loop {
+            let hold = rng.exp_duration(hold_time);
+            t += hold;
+            if t >= SimTime::ZERO + duration {
+                break;
+            }
+            sched.ops.push((t, TrafficOp::DhcpRelease { host: h }));
+            t += SimDuration::from_millis(50 + rng.below(200));
+            if t >= SimTime::ZERO + duration {
+                break;
+            }
+            sched.ops.push((t, TrafficOp::DhcpDiscover { host: h }));
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+/// Host migrations: `count` moves at uniform times, each moving a random
+/// host to a random *other* edge switch.
+pub fn migrations(topo: &Topology, count: usize, duration: SimDuration, seed: u64) -> Schedule {
+    let mut rng = SimRng::new(seed).fork("migrations");
+    let edges: Vec<usize> = topo
+        .switches()
+        .iter()
+        .filter(|s| s.role == SwitchRole::Edge)
+        .map(|s| s.id.0)
+        .collect();
+    let mut sched = Schedule::new();
+    if edges.len() < 2 || topo.hosts().is_empty() {
+        return sched;
+    }
+    for _ in 0..count {
+        let host = rng.index(topo.hosts().len());
+        let cur = topo.hosts()[host].switch.0;
+        let mut to = edges[rng.index(edges.len())];
+        if to == cur {
+            to = edges[(edges.iter().position(|&e| e == to).unwrap() + 1) % edges.len()];
+        }
+        let t = SimTime::ZERO + SimDuration::from_nanos(rng.below(duration.as_nanos()));
+        sched.ops.push((t, TrafficOp::Move { host, to_switch: to }));
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_topo::generators as topogen;
+
+    fn topo() -> Topology {
+        topogen::campus(4, 5)
+    }
+
+    #[test]
+    fn legit_rate_is_plausible_and_sorted() {
+        let t = topo();
+        let all: Vec<usize> = (0..t.hosts().len()).collect();
+        let s = legit_uniform(&t, &all, 10.0, SimDuration::from_secs(10), 64, 1);
+        // 20 hosts * 10 pps * 10 s = 2000 expected.
+        assert!((1700..2300).contains(&s.len()), "got {}", s.len());
+        assert!(s.ops.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(s.spoofed_count(), 0);
+        // No self-traffic; tags parse as legit.
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp { host, dst_ip, payload, .. } = op else {
+                panic!("unexpected op");
+            };
+            assert_ne!(t.hosts()[*host].ip, *dst_ip);
+            assert_eq!(tag::parse(payload).unwrap().0, TrafficClass::Legit);
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = topo();
+        let all: Vec<usize> = (0..t.hosts().len()).collect();
+        let a = legit_uniform(&t, &all, 5.0, SimDuration::from_secs(5), 64, 42);
+        let b = legit_uniform(&t, &all, 5.0, SimDuration::from_secs(5), 64, 42);
+        assert_eq!(a.len(), b.len());
+        for ((ta, _), (tb, _)) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(ta, tb);
+        }
+        let c = legit_uniform(&t, &all, 5.0, SimDuration::from_secs(5), 64, 43);
+        assert_ne!(
+            a.ops.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            c.ops.iter().map(|(t, _)| *t).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn random_routable_avoids_plan_space() {
+        let t = topo();
+        let s = spoof_attack(
+            &t,
+            &[0, 1],
+            SpoofStrategy::RandomRoutable,
+            50.0,
+            SimDuration::from_secs(2),
+            None,
+            7,
+        );
+        assert!(s.len() > 100);
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp { spoof, .. } = op else { continue };
+            let SpoofKind::Ip(ip) = spoof else {
+                panic!("expected IP spoof")
+            };
+            assert_ne!(ip.octets()[0], 10, "must avoid the 10/8 plan");
+            assert!(ip.octets()[0] < 224);
+        }
+    }
+
+    #[test]
+    fn same_subnet_stays_in_subnet_but_not_own_ip() {
+        let t = topo();
+        let s = spoof_attack(
+            &t,
+            &[3],
+            SpoofStrategy::SameSubnet,
+            50.0,
+            SimDuration::from_secs(2),
+            None,
+            7,
+        );
+        let me = &t.hosts()[3];
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp { spoof: SpoofKind::Ip(ip), .. } = op else {
+                continue;
+            };
+            assert!(me.subnet.contains(*ip));
+            assert_ne!(*ip, me.ip);
+        }
+    }
+
+    #[test]
+    fn existing_neighbor_uses_live_addresses() {
+        let t = topo();
+        let live: std::collections::HashSet<Ipv4Addr> =
+            t.hosts().iter().map(|h| h.ip).collect();
+        let s = spoof_attack(
+            &t,
+            &[0],
+            SpoofStrategy::ExistingNeighbor,
+            50.0,
+            SimDuration::from_secs(2),
+            None,
+            7,
+        );
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp { spoof: SpoofKind::Ip(ip), .. } = op else {
+                continue;
+            };
+            assert!(live.contains(ip));
+            assert_ne!(*ip, t.hosts()[0].ip);
+        }
+    }
+
+    #[test]
+    fn reflection_queries_are_valid_dns() {
+        let t = topo();
+        let victim: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let s = reflection(&t, &[0, 1], &[5, 6], victim, 20.0, SimDuration::from_secs(2), 9);
+        assert!(s.len() > 20);
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp { dst_port, payload, spoof, dst_ip, .. } = op else {
+                panic!()
+            };
+            assert_eq!(*dst_port, 53);
+            assert_eq!(*spoof, SpoofKind::Ip(victim));
+            assert!(DnsRepr::parse(payload).is_ok(), "queries must be real DNS");
+            assert!([t.hosts()[5].ip, t.hosts()[6].ip].contains(dst_ip));
+        }
+    }
+
+    #[test]
+    fn churn_alternates_discover_release() {
+        let s = dhcp_churn(&[0], SimDuration::from_secs(5), SimDuration::from_secs(60), 3);
+        assert!(s.len() >= 3);
+        // First op is a discover; releases and discovers alternate per host.
+        let kinds: Vec<&'static str> = s
+            .ops
+            .iter()
+            .map(|(_, op)| match op {
+                TrafficOp::DhcpDiscover { .. } => "d",
+                TrafficOp::DhcpRelease { .. } => "r",
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(kinds[0], "d");
+        for w in kinds.windows(2) {
+            assert_ne!(w[0], w[1], "discover/release must alternate");
+        }
+    }
+
+    #[test]
+    fn migrations_move_to_other_edges() {
+        let t = topo();
+        let s = migrations(&t, 20, SimDuration::from_secs(10), 5);
+        assert_eq!(s.len(), 20);
+        for (_, op) in &s.ops {
+            let TrafficOp::Move { host, to_switch } = op else {
+                panic!()
+            };
+            assert_ne!(t.hosts()[*host].switch.0, *to_switch);
+            assert_eq!(t.switches()[*to_switch].role, SwitchRole::Edge);
+        }
+    }
+
+    #[test]
+    fn migrations_empty_on_single_edge() {
+        let t = topogen::linear(1, 4);
+        let s = migrations(&t, 10, SimDuration::from_secs(10), 5);
+        assert!(s.is_empty());
+    }
+}

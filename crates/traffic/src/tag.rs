@@ -1,0 +1,78 @@
+//! Payload tags: receiver-side ground truth for traffic classification.
+//!
+//! The first 8 payload bytes encode `(class, flow id)`. Because the tag
+//! travels in the payload, it survives any header falsification — the
+//! harness classifies deliveries by what the *sender workload* intended,
+//! not by what the (possibly spoofed) headers claim.
+
+/// Traffic class carried in a payload tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Legitimate application traffic.
+    Legit,
+    /// Spoofed-source attack traffic.
+    Spoofed,
+}
+
+const MAGIC_LEGIT: [u8; 4] = *b"LGT1";
+const MAGIC_SPOOF: [u8; 4] = *b"SPF1";
+
+/// Length of the tag prefix.
+pub const TAG_LEN: usize = 8;
+
+/// Build a tagged payload of exactly `total_len` bytes (minimum
+/// [`TAG_LEN`]); the remainder is zero padding standing in for real
+/// application bytes.
+pub fn payload(class: TrafficClass, flow_id: u32, total_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(total_len.max(TAG_LEN));
+    out.extend_from_slice(match class {
+        TrafficClass::Legit => &MAGIC_LEGIT,
+        TrafficClass::Spoofed => &MAGIC_SPOOF,
+    });
+    out.extend_from_slice(&flow_id.to_be_bytes());
+    if total_len > out.len() {
+        out.resize(total_len, 0);
+    }
+    out
+}
+
+/// Parse a tag back out of a delivered payload.
+pub fn parse(payload: &[u8]) -> Option<(TrafficClass, u32)> {
+    if payload.len() < TAG_LEN {
+        return None;
+    }
+    let magic: [u8; 4] = payload[0..4].try_into().ok()?;
+    let id = u32::from_be_bytes(payload[4..8].try_into().ok()?);
+    match magic {
+        MAGIC_LEGIT => Some((TrafficClass::Legit, id)),
+        MAGIC_SPOOF => Some((TrafficClass::Spoofed, id)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for class in [TrafficClass::Legit, TrafficClass::Spoofed] {
+            let p = payload(class, 0xdeadbeef, 64);
+            assert_eq!(p.len(), 64);
+            assert_eq!(parse(&p), Some((class, 0xdeadbeef)));
+        }
+    }
+
+    #[test]
+    fn short_len_clamps_to_tag() {
+        let p = payload(TrafficClass::Legit, 1, 0);
+        assert_eq!(p.len(), TAG_LEN);
+        assert_eq!(parse(&p), Some((TrafficClass::Legit, 1)));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(parse(b"short"), None);
+        assert_eq!(parse(b"XXXX\x00\x00\x00\x01rest"), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! Campus deployment walk-through: an enterprise network adopting SDN-SAV.
+//!
+//! Demonstrates the full operational lifecycle on a three-tier campus:
+//! static-plan bindings at bring-up, DHCP-snooped bindings for dynamic
+//! clients, a laptop roaming between buildings, and a comparison of what a
+//! legacy ACL deployment would have caught.
+//!
+//! ```text
+//! cargo run --release -p sav-examples --bin campus_sav
+//! ```
+
+use sav_baselines::Mechanism;
+use sav_bench::scenario::build_testbed;
+use sav_bench::{run_mechanism, ScenarioOpts};
+use sav_controller::testbed::TestbedCmd;
+use sav_core::SavApp;
+use sav_dataplane::host::SpoofMode;
+use sav_sim::{SimDuration, SimTime};
+use sav_topo::generators;
+use sav_traffic::generators::{self as trafficgen, SpoofStrategy};
+use std::sync::Arc;
+
+fn main() {
+    let topo = Arc::new(generators::campus(4, 4));
+    println!("== campus: 1 core, 2 aggregation, 4 edge switches, 16 hosts ==\n");
+
+    // --- Part 1: bring-up ---------------------------------------------
+    let mut tb = build_testbed(&topo, Mechanism::SdnSav, ScenarioOpts::default());
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100));
+    let bindings = tb
+        .controller_mut()
+        .with_app::<SavApp, _>(|a| a.bindings().len())
+        .unwrap();
+    println!("bring-up: {bindings} static bindings compiled to edge rules");
+    for s in topo.switches() {
+        println!(
+            "  {:8} table0={:2} rules  role={:?}",
+            s.name,
+            tb.switch(s.id.0).flow_count(0),
+            s.role
+        );
+    }
+
+    // --- Part 2: the roaming laptop ------------------------------------
+    println!("\nroaming: host 0 moves from edge0 to edge3...");
+    tb.schedule(
+        SimTime::from_millis(500),
+        TestbedCmd::MoveHost { host: 0, to_switch: 6 },
+    );
+    // Probe every ms to find the convergence point.
+    let peer = topo.hosts().len() - 1;
+    let peer_ip = topo.hosts()[peer].ip;
+    for i in 0..100u32 {
+        tb.schedule(
+            SimTime::from_millis(500 + u64::from(i)),
+            TestbedCmd::SendUdp {
+                host: 0,
+                dst_ip: peer_ip,
+                src_port: 7,
+                dst_port: 7,
+                payload: format!("probe-{i}").into_bytes(),
+                spoof: SpoofMode::None,
+            },
+        );
+    }
+    tb.run_until(SimTime::from_secs(2));
+    let move_at = SimTime::from_millis(500);
+    let first = tb
+        .deliveries
+        .iter()
+        .filter(|d| d.host == peer && d.time >= move_at)
+        .map(|d| d.time)
+        .min()
+        .expect("probes delivered after the move");
+    println!(
+        "  binding + forwarding converged {} after the move",
+        first.saturating_since(move_at)
+    );
+    let (migrations, moved) = tb
+        .controller_mut()
+        .with_app::<SavApp, _>(|a| (a.stats.migrations, a.stats.bindings_moved))
+        .unwrap();
+    println!("  SAV events: migrations={migrations} bindings_moved={moved}");
+
+    // --- Part 3: what would the old ACLs have caught? -------------------
+    println!("\nincident drill: one compromised host runs three spoofing strategies");
+    let strategies: [(&str, SpoofStrategy); 3] = [
+        ("random routable", SpoofStrategy::RandomRoutable),
+        ("same-subnet", SpoofStrategy::SameSubnet),
+        ("neighbor theft", SpoofStrategy::ExistingNeighbor),
+    ];
+    println!("  {:16} {:>12} {:>12}", "strategy", "ACL", "SDN-SAV");
+    for (name, strat) in strategies {
+        let attack = trafficgen::spoof_attack(
+            &topo,
+            &[2],
+            strat,
+            30.0,
+            SimDuration::from_secs(1),
+            None,
+            7,
+        );
+        let acl = run_mechanism(&topo, Mechanism::StaticAcl, &attack, ScenarioOpts::default());
+        let sav = run_mechanism(&topo, Mechanism::SdnSav, &attack, ScenarioOpts::default());
+        println!(
+            "  {:16} {:>11.1}% {:>11.1}%",
+            name,
+            acl.spoof_blocked_frac() * 100.0,
+            sav.spoof_blocked_frac() * 100.0
+        );
+    }
+    println!("\nthe ACL rows show why prefix filters are not enough: anything");
+    println!("inside the local /24 sails through, while per-host bindings");
+    println!("pin every (port, MAC, IP) triple the controller has authorized.");
+}

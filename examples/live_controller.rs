@@ -1,0 +1,208 @@
+//! Live embedding: the sans-IO controller and switch cores driven by real
+//! threads over byte channels — the shape of a production deployment
+//! (socket loops instead of channels, same state machines).
+//!
+//! Three OS threads: one controller, two switches. Control messages cross
+//! the same length-framed OpenFlow byte streams a TCP connection would
+//! carry; data frames travel a separate "wire" channel between the
+//! switches. A spoofed and an honest packet are injected at switch A and
+//! counted at switch B.
+//!
+//! ```text
+//! cargo run --release -p sav-examples --bin live_controller
+//! ```
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use sav_controller::app::App;
+use sav_controller::apps::L2RoutingApp;
+use sav_controller::Controller;
+use sav_core::{SavApp, SavConfig};
+use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
+use sav_net::builder::build_ipv4_udp;
+use sav_net::prelude::*;
+use sav_openflow::ports::PortDesc;
+use sav_sim::SimTime;
+use sav_topo::generators;
+use sav_topo::routes::Routes;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Frames delivered to host-facing ports, shared with the main thread.
+type DeliveredLog = Arc<Mutex<Vec<(u32, Vec<u8>)>>>;
+
+/// Messages flowing between threads.
+enum Wire {
+    /// Control bytes (either direction is its own channel).
+    Control(Vec<u8>),
+    /// A data frame arriving on a port.
+    Frame(u32, Vec<u8>),
+    /// Orderly shutdown.
+    Quit,
+}
+
+fn switch_thread(
+    name: &'static str,
+    mut sw: OpenFlowSwitch,
+    from_ctrl: Receiver<Wire>,
+    to_ctrl: Sender<Wire>,
+    peers: Vec<(u32, Sender<Wire>, u32)>, // (local port, peer channel, peer port)
+    delivered: DeliveredLog,
+) -> thread::JoinHandle<()> {
+    thread::spawn(move || {
+        // Greet the controller, then serve events. Virtual time stands
+        // still (SimTime::ZERO): timeouts are irrelevant in this demo.
+        let _ = to_ctrl.send(Wire::Control(sw.hello()));
+        while let Ok(msg) = from_ctrl.recv() {
+            let out = match msg {
+                Wire::Control(bytes) => match sw.handle_controller_bytes(SimTime::ZERO, &bytes) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        eprintln!("[{name}] control channel poisoned: {e}");
+                        break;
+                    }
+                },
+                Wire::Frame(port, frame) => sw.receive_frame(SimTime::ZERO, port, frame),
+                Wire::Quit => break,
+            };
+            for bytes in out.to_controller {
+                let _ = to_ctrl.send(Wire::Control(bytes));
+            }
+            for (port, frame) in out.tx {
+                if let Some((_, peer, peer_port)) =
+                    peers.iter().find(|(local, _, _)| *local == port)
+                {
+                    let _ = peer.send(Wire::Frame(*peer_port, frame));
+                } else {
+                    // A host port: record the delivery.
+                    delivered.lock().push((port, frame));
+                }
+            }
+        }
+    })
+}
+
+fn main() {
+    // Reuse the topology/address plan machinery for the app config, but
+    // wire the actual channels by hand: s0 port1 <-> s1 port1 (trunk),
+    // hosts on port 2/3 of each switch.
+    let topo = Arc::new(generators::linear(2, 2));
+    let routes = Arc::new(Routes::compute(&topo));
+    let apps: Vec<Box<dyn App>> = vec![
+        Box::new(SavApp::new(topo.clone(), SavConfig::default())),
+        Box::new(L2RoutingApp::new(topo.clone(), routes.clone())),
+    ];
+    let mut controller = Controller::new(apps);
+
+    let mk_switch = |dpid: u64| {
+        let ports = (1..=3)
+            .map(|p| PortDesc::new(p, MacAddr::from_index(dpid * 100 + u64::from(p))))
+            .collect();
+        OpenFlowSwitch::new(SwitchConfig::new(dpid), ports)
+    };
+
+    // Channels: controller<->switch (bytes), switch<->switch (frames).
+    let (ctrl_to_s0, s0_in) = unbounded::<Wire>();
+    let (ctrl_to_s1, s1_in) = unbounded::<Wire>();
+    // Controller-bound traffic keeps per-switch channels so the origin
+    // connection is known without extra tagging.
+    let (s0_to_ctrl, s0_ctrl_rx) = unbounded::<Wire>();
+    let (s1_to_ctrl, s1_ctrl_rx) = unbounded::<Wire>();
+
+    let delivered = Arc::new(Mutex::new(Vec::new()));
+    let h0 = switch_thread(
+        "s0",
+        mk_switch(1),
+        s0_in,
+        s0_to_ctrl,
+        vec![(1, ctrl_to_s1.clone(), 1)], // trunk: s0 port1 -> s1 port1
+        delivered.clone(),
+    );
+    let h1 = switch_thread(
+        "s1",
+        mk_switch(2),
+        s1_in,
+        s1_to_ctrl,
+        vec![(1, ctrl_to_s0.clone(), 1)],
+        delivered.clone(),
+    );
+
+    // Controller loop on the main thread: poll both switch channels.
+    let greet0 = controller.on_connect(0);
+    let greet1 = controller.on_connect(1);
+    let _ = ctrl_to_s0.send(Wire::Control(greet0));
+    let _ = ctrl_to_s1.send(Wire::Control(greet1));
+
+    let start = std::time::Instant::now();
+    let mut injected = false;
+    while start.elapsed() < Duration::from_millis(800) {
+        let mut progressed = false;
+        for (conn, rx) in [(0usize, &s0_ctrl_rx), (1usize, &s1_ctrl_rx)] {
+            while let Ok(Wire::Control(bytes)) = rx.try_recv() {
+                progressed = true;
+                match controller.on_bytes(SimTime::ZERO, conn, &bytes) {
+                    Ok(out) => {
+                        for (c, b) in out.to_switch {
+                            let tx = if c == 0 { &ctrl_to_s0 } else { &ctrl_to_s1 };
+                            let _ = tx.send(Wire::Control(b));
+                        }
+                    }
+                    Err(e) => eprintln!("[ctrl] codec error on conn {conn}: {e}"),
+                }
+            }
+        }
+        // Once both switches are up, inject the demo traffic at s0 port 2
+        // (= host 0's port in the plan).
+        if !injected && controller.ready_dpids().len() == 2 {
+            injected = true;
+            println!(
+                "handshake complete: dpids {:?} ready, SAV + forwarding rules installed",
+                controller.ready_dpids()
+            );
+            let h0n = &topo.hosts()[0];
+            let h3n = &topo.hosts()[3];
+            let honest = {
+                let udp = UdpRepr { src_port: 7, dst_port: 7, payload_len: 6 };
+                let ip = Ipv4Repr::udp(h0n.ip, h3n.ip, udp.buffer_len());
+                let eth = EthernetRepr { src: h0n.mac, dst: h3n.mac, ethertype: EtherType::Ipv4 };
+                build_ipv4_udp(&eth, &ip, &udp, b"honest")
+            };
+            let spoofed = {
+                let udp = UdpRepr { src_port: 7, dst_port: 7, payload_len: 7 };
+                let ip = Ipv4Repr::udp("203.0.113.66".parse().unwrap(), h3n.ip, udp.buffer_len());
+                let eth = EthernetRepr { src: h0n.mac, dst: h3n.mac, ethertype: EtherType::Ipv4 };
+                build_ipv4_udp(&eth, &ip, &udp, b"spoofed")
+            };
+            let _ = ctrl_to_s0.send(Wire::Frame(h0n.port, honest));
+            let _ = ctrl_to_s0.send(Wire::Frame(h0n.port, spoofed));
+        }
+        if !progressed {
+            thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    let _ = ctrl_to_s0.send(Wire::Quit);
+    let _ = ctrl_to_s1.send(Wire::Quit);
+    let _ = h0.join();
+    let _ = h1.join();
+
+    let got = delivered.lock();
+    println!("\nframes delivered to host ports:");
+    for (port, frame) in got.iter() {
+        let p = sav_net::packet::ParsedPacket::parse(frame).unwrap();
+        println!(
+            "  port {port}: src={:?} payload={:?}",
+            p.ipv4_src(),
+            String::from_utf8_lossy(p.l4_payload(frame).unwrap_or(&[]))
+        );
+    }
+    let honest_ok = got.iter().any(|(_, f)| f.ends_with(b"honest"));
+    let spoof_leaked = got.iter().any(|(_, f)| f.ends_with(b"spoofed"));
+    println!("\nhonest delivered: {honest_ok}");
+    println!("spoofed delivered: {spoof_leaked}");
+    assert!(honest_ok, "honest frame must cross the two-switch fabric");
+    assert!(!spoof_leaked, "spoofed frame must die at switch s0");
+    println!("\nsame state machines, real threads and byte streams: the sans-IO");
+    println!("cores embed in any I/O runtime unchanged.");
+}

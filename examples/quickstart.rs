@@ -1,0 +1,109 @@
+//! Quickstart: build a two-switch network, turn on SDN-SAV, and watch a
+//! spoofed packet die while an honest one passes.
+//!
+//! ```text
+//! cargo run --release -p sav-examples --bin quickstart
+//! ```
+
+use sav_baselines::Mechanism;
+use sav_bench::scenario::build_testbed;
+use sav_bench::ScenarioOpts;
+use sav_controller::testbed::TestbedCmd;
+use sav_dataplane::host::SpoofMode;
+use sav_sim::SimTime;
+use sav_topo::generators;
+use std::sync::Arc;
+
+fn main() {
+    // 1. A topology: two edge switches in a chain, two hosts each.
+    //    Hosts get addresses from the static plan (10.0.<edge>.0/24).
+    let topo = Arc::new(generators::linear(2, 2));
+    println!(
+        "topology: {} switches, {} hosts",
+        topo.switches().len(),
+        topo.hosts().len()
+    );
+    for h in topo.hosts() {
+        println!(
+            "  {} = {} ({}) on switch {} port {}",
+            h.name, h.ip, h.mac, h.switch.0, h.port
+        );
+    }
+
+    // 2. A testbed running the SDN-SAV mechanism: the controller chain is
+    //    [SavApp (validation, table 0), L2RoutingApp (forwarding, table 1)].
+    let mut tb = build_testbed(&topo, Mechanism::SdnSav, ScenarioOpts::default());
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100)); // handshake + proactive rules
+
+    println!("\nafter convergence:");
+    for i in 0..topo.switches().len() {
+        println!(
+            "  switch {i}: {} validation rules, {} forwarding rules",
+            tb.switch(i).flow_count(0),
+            tb.switch(i).flow_count(1)
+        );
+    }
+
+    // 3. Host 0 sends an honest datagram to host 3 (other switch)...
+    let dst = topo.hosts()[3].ip;
+    tb.schedule(
+        SimTime::from_millis(200),
+        TestbedCmd::SendUdp {
+            host: 0,
+            dst_ip: dst,
+            src_port: 1234,
+            dst_port: 7,
+            payload: b"honest hello".to_vec(),
+            spoof: SpoofMode::None,
+        },
+    );
+    // ...and a spoofed one, claiming its neighbour's source address.
+    tb.schedule(
+        SimTime::from_millis(300),
+        TestbedCmd::SendUdp {
+            host: 0,
+            dst_ip: dst,
+            src_port: 1234,
+            dst_port: 7,
+            payload: b"spoofed packet".to_vec(),
+            spoof: SpoofMode::Ipv4(topo.hosts()[1].ip),
+        },
+    );
+    tb.run_until(SimTime::from_secs(1));
+
+    // 4. What arrived?
+    println!("\ndeliveries at host 3:");
+    for d in tb.deliveries.iter().filter(|d| d.host == 3) {
+        println!(
+            "  {} from {} : {:?}",
+            d.time,
+            d.delivery.src_ip,
+            String::from_utf8_lossy(&d.delivery.payload)
+        );
+    }
+    let honest = tb
+        .deliveries
+        .iter()
+        .any(|d| d.delivery.payload == b"honest hello");
+    let spoofed = tb
+        .deliveries
+        .iter()
+        .any(|d| d.delivery.payload == b"spoofed packet");
+    println!("\nhonest delivered: {honest}");
+    println!("spoofed delivered: {spoofed}  <- blocked at the edge by the binding rules");
+    assert!(honest && !spoofed);
+
+    // 5. The drop is visible in the switch's own telemetry: the default
+    //    deny rule of table 0 counted the spoofed packet.
+    let (sw0, _) = tb.attachment(0);
+    let deny_hits: u64 = tb
+        .switch(sw0)
+        .table(0)
+        .unwrap()
+        .entries()
+        .filter(|e| e.priority == sav_core::PRIO_OSAV_DENY)
+        .map(|e| e.packet_count)
+        .sum();
+    println!("\nvalidation-table deny rule at the attacker's switch: {deny_hits} packet(s) dropped");
+}

@@ -1,0 +1,100 @@
+//! Proactive vs. reactive enforcement: the control-plane-load story.
+//! Reactive validation pays one controller round-trip per new flow and
+//! floods the controller with PACKET_INs; proactive validation's control
+//! traffic scales with *binding churn*, not with traffic.
+
+use sav_baselines::Mechanism;
+use sav_bench::{run_mechanism, ScenarioOpts};
+use sav_sim::SimDuration;
+use sav_topo::generators as topogen;
+use sav_traffic::generators as trafficgen;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+#[test]
+fn reactive_floods_the_controller_proactive_does_not() {
+    let topo = Arc::new(topogen::campus(4, 4));
+    let all: Vec<usize> = (0..topo.hosts().len()).collect();
+    let schedule =
+        trafficgen::legit_uniform(&topo, &all, 20.0, SimDuration::from_secs(2), 64, 21);
+    let sent = schedule.legit_count() as u64;
+
+    let pro = run_mechanism(&topo, Mechanism::SdnSav, &schedule, ScenarioOpts::default());
+    let rea = run_mechanism(
+        &topo,
+        Mechanism::SdnSavReactive,
+        &schedule,
+        ScenarioOpts::default(),
+    );
+    assert!(pro.legit_delivered_frac() > 0.99);
+    assert!(rea.legit_delivered_frac() > 0.99);
+
+    let pro_pi = pro.testbed.report().controller.packet_ins;
+    let rea_pi = rea.testbed.report().controller.packet_ins;
+    assert!(
+        rea_pi > pro_pi * 3,
+        "reactive packet-ins ({rea_pi}) should dwarf proactive ({pro_pi})"
+    );
+    // Reactive punts at least one packet per sender (flow-grained, far
+    // fewer than per-packet thanks to the installed dynamic allows).
+    assert!(rea_pi >= topo.hosts().len() as u64);
+    assert!(rea_pi < sent * 2, "punts must stay flow-grained, not melt down");
+}
+
+#[test]
+fn reactive_first_packet_pays_latency_later_packets_do_not() {
+    let topo = Arc::new(topogen::linear(2, 2));
+    // One host sends 5 packets in a burst to a fixed peer; under reactive
+    // SAV the first pays the punt round-trip, the rest ride the rule.
+    let dst: Ipv4Addr = topo.hosts()[3].ip;
+    let mut schedule = sav_traffic::Schedule::new();
+    for i in 0..5u32 {
+        schedule.ops.push((
+            sav_sim::SimTime::from_millis(u64::from(i) * 20),
+            sav_traffic::TrafficOp::Udp {
+                host: 0,
+                dst_ip: dst,
+                src_port: 777,
+                dst_port: 7,
+                payload: sav_traffic::tag::payload(
+                    sav_traffic::tag::TrafficClass::Legit,
+                    i,
+                    32,
+                ),
+                spoof: sav_traffic::SpoofKind::None,
+            },
+        ));
+    }
+    let out = run_mechanism(
+        &topo,
+        Mechanism::SdnSavReactive,
+        &schedule,
+        ScenarioOpts::default(),
+    );
+    assert_eq!(out.legit_delivered, 5);
+    // Exactly one SAV punt for the whole burst.
+    let punts = out.testbed.report().controller.packet_ins;
+    assert!(
+        punts <= 3,
+        "a single flow should cost one punt (plus ARP noise), got {punts}"
+    );
+}
+
+#[test]
+fn proactive_control_traffic_scales_with_churn_not_traffic() {
+    let topo = Arc::new(topogen::campus(4, 4));
+    let all: Vec<usize> = (0..topo.hosts().len()).collect();
+    let light = trafficgen::legit_uniform(&topo, &all, 2.0, SimDuration::from_secs(2), 64, 31);
+    let heavy =
+        trafficgen::legit_uniform(&topo, &all, 50.0, SimDuration::from_secs(2), 64, 31);
+
+    let out_light = run_mechanism(&topo, Mechanism::SdnSav, &light, ScenarioOpts::default());
+    let out_heavy = run_mechanism(&topo, Mechanism::SdnSav, &heavy, ScenarioOpts::default());
+    let fm_light = out_light.testbed.report().controller.flow_mods;
+    let fm_heavy = out_heavy.testbed.report().controller.flow_mods;
+    // 25× the traffic, (almost) identical flow-mod count.
+    assert!(
+        fm_heavy <= fm_light + fm_light / 10,
+        "proactive flow-mods must not track traffic volume: {fm_light} -> {fm_heavy}"
+    );
+}

@@ -1,0 +1,252 @@
+//! The motivating attack, end to end: a botnet in one AS reflects DNS
+//! through open resolvers in another AS onto a victim in a third. Outbound
+//! SAV at the *attacker's* edge collapses the attack; inbound SAV protects
+//! a network's internal address space from outside impersonation.
+
+use sav_baselines::Mechanism;
+use sav_bench::scenario::{build_testbed, to_cmd};
+use sav_bench::ScenarioOpts;
+use sav_dataplane::host::{HostApp, SpoofMode};
+use sav_sim::{SimDuration, SimTime};
+use sav_topo::generators::multi_as;
+use sav_topo::Topology;
+use sav_traffic::generators::reflection;
+use std::sync::Arc;
+
+/// AS 1 = botnet, AS 2 = open resolvers, AS 3 = victim.
+struct ReflectionWorld {
+    topo: Arc<Topology>,
+    bots: Vec<usize>,
+    resolvers: Vec<usize>,
+    victim: usize,
+}
+
+fn world() -> ReflectionWorld {
+    let m = multi_as(3, 4);
+    let topo = Arc::new(m.topo);
+    let by_as = |as_id: u32| -> Vec<usize> {
+        topo.hosts()
+            .iter()
+            .filter(|h| h.as_id == as_id)
+            .map(|h| h.id.0)
+            .collect()
+    };
+    ReflectionWorld {
+        bots: by_as(1),
+        resolvers: by_as(2),
+        victim: by_as(3)[0],
+        topo,
+    }
+}
+
+/// Run the attack; return (victim attack bytes, resolver query deliveries).
+fn run_attack(w: &ReflectionWorld, mechanism: Mechanism, enforced_ases: Option<Vec<u32>>) -> (u64, u64) {
+    let victim_ip = w.topo.hosts()[w.victim].ip;
+    let resolvers = w.resolvers.clone();
+    let mut opts = ScenarioOpts {
+        sav_overrides: Box::new(move |cfg| {
+            cfg.enforced_ases = enforced_ases;
+        }),
+        ..Default::default()
+    };
+    opts.host_app = Box::new(move |h| {
+        if resolvers.contains(&h.id.0) {
+            HostApp::DnsResolver { amplification: 10 }
+        } else {
+            HostApp::Sink
+        }
+    });
+    let mut tb = build_testbed(&w.topo, mechanism, opts);
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100));
+
+    let schedule = reflection(
+        &w.topo,
+        &w.bots,
+        &w.resolvers,
+        victim_ip,
+        25.0,
+        SimDuration::from_secs(2),
+        777,
+    );
+    for (t, op) in &schedule.ops {
+        tb.schedule(*t + SimDuration::from_millis(100), to_cmd(op));
+    }
+    tb.run_until(SimTime::from_secs(5));
+
+    let victim_bytes: u64 = tb
+        .deliveries
+        .iter()
+        .filter(|d| d.host == w.victim && d.delivery.src_port == 53)
+        .map(|d| d.delivery.frame_len as u64)
+        .sum();
+    let resolver_queries: u64 = tb
+        .deliveries
+        .iter()
+        .filter(|d| w.resolvers.contains(&d.host) && d.delivery.dst_port == 53)
+        .count() as u64;
+    (victim_bytes, resolver_queries)
+}
+
+#[test]
+fn reflection_amplifies_without_sav_and_dies_with_it() {
+    let w = world();
+    let (bytes_nosav, queries_nosav) = run_attack(&w, Mechanism::NoSav, None);
+    assert!(queries_nosav > 50, "queries reach resolvers without SAV");
+    assert!(
+        bytes_nosav > 50_000,
+        "victim should drown in amplified traffic, got {bytes_nosav} bytes"
+    );
+
+    let (bytes_sav, queries_sav) = run_attack(&w, Mechanism::SdnSav, None);
+    assert_eq!(queries_sav, 0, "spoofed queries die at the bot edge");
+    assert_eq!(bytes_sav, 0, "victim receives nothing");
+}
+
+#[test]
+fn deploying_sav_only_at_the_attacker_as_suffices() {
+    // The economics story: oSAV at the botnet's own network neutralizes the
+    // attack even if nobody else deploys.
+    let w = world();
+    let (bytes, queries) = run_attack(&w, Mechanism::SdnSav, Some(vec![1]));
+    assert_eq!(queries, 0);
+    assert_eq!(bytes, 0);
+}
+
+#[test]
+fn deploying_sav_elsewhere_does_not_help() {
+    // Deploying only at the victim's or resolvers' network leaves the
+    // spoofed queries unfiltered at their origin — the misaligned-incentive
+    // problem in one assertion. (Resolver-side iSAV would catch spoofed
+    // *internal* sources, but the victim here is in a third network.)
+    let w = world();
+    let (bytes, queries) = run_attack(&w, Mechanism::SdnSav, Some(vec![3]));
+    assert!(queries > 50, "attack unimpeded");
+    assert!(bytes > 50_000, "victim still drowns: {bytes}");
+}
+
+#[test]
+fn amplification_factor_is_real() {
+    let w = world();
+    let victim_ip = w.topo.hosts()[w.victim].ip;
+    let resolvers = w.resolvers.clone();
+    let opts = ScenarioOpts {
+        host_app: Box::new(move |h| {
+            if resolvers.contains(&h.id.0) {
+                HostApp::DnsResolver { amplification: 10 }
+            } else {
+                HostApp::Sink
+            }
+        }),
+        ..Default::default()
+    };
+    let mut tb = build_testbed(&w.topo, Mechanism::NoSav, opts);
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100));
+    let schedule = reflection(
+        &w.topo,
+        &w.bots,
+        &w.resolvers,
+        victim_ip,
+        25.0,
+        SimDuration::from_secs(2),
+        778,
+    );
+    let mut query_bytes = 0u64;
+    for (t, op) in &schedule.ops {
+        if let sav_traffic::TrafficOp::Udp { payload, .. } = op {
+            query_bytes += (payload.len() + 42) as u64; // + eth/ip/udp headers
+        }
+        tb.schedule(*t + SimDuration::from_millis(100), to_cmd(op));
+    }
+    tb.run_until(SimTime::from_secs(5));
+    let victim_bytes: u64 = tb
+        .deliveries
+        .iter()
+        .filter(|d| d.host == w.victim && d.delivery.src_port == 53)
+        .map(|d| d.delivery.frame_len as u64)
+        .sum();
+    let amplification = victim_bytes as f64 / query_bytes as f64;
+    assert!(
+        amplification > 4.0,
+        "BAF should be substantial, got {amplification:.1}"
+    );
+}
+
+#[test]
+fn inbound_sav_blocks_external_impersonation() {
+    // A host outside AS 2 sends a packet claiming an AS-2-internal source
+    // toward an AS 2 host (the closed-resolver attack preamble). With iSAV
+    // at AS 2's border the packet dies there; without it, it arrives.
+    let w = world();
+    let internal_victim_ip = w.topo.hosts()[w.resolvers[1]].ip; // an AS2 address
+    let target = w.resolvers[0];
+    let target_ip = w.topo.hosts()[target].ip;
+    let attacker = w.bots[0];
+
+    let run = |inbound: bool| -> bool {
+        let opts = ScenarioOpts {
+            sav_overrides: Box::new(move |cfg| {
+                cfg.inbound = inbound;
+                // Isolate iSAV: no outbound filtering anywhere.
+                cfg.outbound = false;
+            }),
+            host_app: Box::new(|_| HostApp::Sink),
+            ..Default::default()
+        };
+        let mut tb = build_testbed(&w.topo, Mechanism::SdnSav, opts);
+        tb.connect_control_plane();
+        tb.run_until(SimTime::from_millis(100));
+        tb.schedule(
+            SimTime::from_millis(200),
+            sav_controller::testbed::TestbedCmd::SendUdp {
+                host: attacker,
+                dst_ip: target_ip,
+                src_port: 9999,
+                dst_port: 7,
+                payload: b"zone-poison-attempt".to_vec(),
+                spoof: SpoofMode::Ipv4(internal_victim_ip),
+            },
+        );
+        tb.run_until(SimTime::from_secs(2));
+        tb.deliveries
+            .iter()
+            .any(|d| d.host == target && d.delivery.payload == b"zone-poison-attempt")
+    };
+
+    assert!(run(false), "without iSAV the impersonation arrives");
+    assert!(!run(true), "with iSAV the border drops it");
+}
+
+#[test]
+fn isav_does_not_affect_honest_external_traffic() {
+    let w = world();
+    let target = w.resolvers[0];
+    let target_ip = w.topo.hosts()[target].ip;
+    let sender = w.bots[0];
+    let opts = ScenarioOpts {
+        host_app: Box::new(|_| HostApp::Sink),
+        ..Default::default()
+    };
+    let mut tb = build_testbed(&w.topo, Mechanism::SdnSav, opts);
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100));
+    tb.schedule(
+        SimTime::from_millis(200),
+        sav_controller::testbed::TestbedCmd::SendUdp {
+            host: sender,
+            dst_ip: target_ip,
+            src_port: 1234,
+            dst_port: 7,
+            payload: b"honest-cross-as".to_vec(),
+            spoof: SpoofMode::None,
+        },
+    );
+    tb.run_until(SimTime::from_secs(2));
+    assert!(
+        tb.deliveries
+            .iter()
+            .any(|d| d.host == target && d.delivery.payload == b"honest-cross-as"),
+        "honest inter-AS traffic passes both oSAV and iSAV"
+    );
+}
