@@ -343,12 +343,21 @@ mod tests {
         let s0_subnet = topo.hosts_on(topo.switches()[0].id).next().unwrap().subnet;
         let s2_subnet = topo.hosts_on(topo.switches()[2].id).next().unwrap().subnet;
         assert!(allows.iter().any(|f| f.match_.in_port() == Some(to_s0)
-            && f.match_.fields().iter().any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s0_subnet.network()))));
+            && f.match_
+                .fields()
+                .iter()
+                .any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s0_subnet.network()))));
         assert!(allows.iter().any(|f| f.match_.in_port() == Some(to_s2)
-            && f.match_.fields().iter().any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s2_subnet.network()))));
+            && f.match_
+                .fields()
+                .iter()
+                .any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s2_subnet.network()))));
         // And no rule allows s0's subnet via the s2 port.
         assert!(!allows.iter().any(|f| f.match_.in_port() == Some(to_s2)
-            && f.match_.fields().iter().any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s0_subnet.network()))));
+            && f.match_
+                .fields()
+                .iter()
+                .any(|x| matches!(x, OxmField::Ipv4Src(ip, _) if *ip == s0_subnet.network()))));
     }
 
     #[test]

@@ -49,7 +49,13 @@ fn run(mechanism: Mechanism) -> (Vec<f64>, f64) {
             .iter()
             .find(|&&e| e != cur)
             .expect("another edge exists");
-        tb.schedule(t, TestbedCmd::MoveHost { host: mover, to_switch: to });
+        tb.schedule(
+            t,
+            TestbedCmd::MoveHost {
+                host: mover,
+                to_switch: to,
+            },
+        );
         // 1 kHz probes for 200 ms after the move.
         for i in 0..200u32 {
             tb.schedule(
@@ -59,11 +65,7 @@ fn run(mechanism: Mechanism) -> (Vec<f64>, f64) {
                     dst_ip: peer_ip,
                     src_port: 7777,
                     dst_port: 7,
-                    payload: tag::payload(
-                        TrafficClass::Legit,
-                        (trial as u32) << 16 | i,
-                        32,
-                    ),
+                    payload: tag::payload(TrafficClass::Legit, (trial as u32) << 16 | i, 32),
                     spoof: SpoofMode::None,
                 },
             );
@@ -99,7 +101,11 @@ fn main() {
             "flow-mods/migration",
         ],
     );
-    for m in [Mechanism::NoSav, Mechanism::SdnSav, Mechanism::SdnSavAggregate] {
+    for m in [
+        Mechanism::NoSav,
+        Mechanism::SdnSav,
+        Mechanism::SdnSavAggregate,
+    ] {
         let (mut conv, fm) = run(m);
         conv.sort_by(|a, b| a.partial_cmp(b).unwrap());
         table.row(&[
@@ -115,5 +121,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig2_migration.csv", &table.to_csv());
-    println!("\nShape check: all percentiles in the low milliseconds; SAV adds ~2 flow-mods per move.");
+    println!(
+        "\nShape check: all percentiles in the low milliseconds; SAV adds ~2 flow-mods per move."
+    );
 }

@@ -53,7 +53,12 @@ fn world() -> World {
 }
 
 /// Returns the victim's ingress rate series (Mbit/s per bin) and totals.
-fn run(w: &World, label: &str, mechanism: Mechanism, ases: Option<Vec<u32>>) -> (Vec<(f64, f64)>, u64, u64) {
+fn run(
+    w: &World,
+    label: &str,
+    mechanism: Mechanism,
+    ases: Option<Vec<u32>>,
+) -> (Vec<(f64, f64)>, u64, u64) {
     let resolvers = w.resolvers.clone();
     let mut opts = ScenarioOpts {
         sav_overrides: Box::new(move |cfg| {
@@ -147,7 +152,9 @@ fn main() {
     print!("{}", table.to_ascii());
     write_result("fig3_reflection.csv", &table.to_csv());
 
-    println!("\nvictim bytes:  no-SAV={bytes_none}  SAV@src={bytes_src}  SAV-everywhere={bytes_all}");
+    println!(
+        "\nvictim bytes:  no-SAV={bytes_none}  SAV@src={bytes_src}  SAV-everywhere={bytes_all}"
+    );
     if bytes_none > 0 {
         println!(
             "bandwidth amplification factor (no-SAV): {:.1}x over {} query bytes",

@@ -69,14 +69,8 @@ fn main() {
         let topo = Arc::new(topogen::campus(n_edge, 4));
         let hosts = topo.hosts().len();
         let all: Vec<usize> = (0..hosts).collect();
-        let schedule = trafficgen::legit_uniform(
-            &topo,
-            &all,
-            RATE,
-            SimDuration::from_secs(DUR_S),
-            64,
-            71,
-        );
+        let schedule =
+            trafficgen::legit_uniform(&topo, &all, RATE, SimDuration::from_secs(DUR_S), 64, 71);
         for (m, label) in [
             (Mechanism::SdnSav, "proactive"),
             (Mechanism::SdnSavReactive, "reactive"),
@@ -117,14 +111,8 @@ fn main() {
     let topo = Arc::new(topogen::campus(4, 4));
     let all: Vec<usize> = (0..topo.hosts().len()).collect();
     for rate in [0.2f64, 2.0, 20.0] {
-        let schedule = trafficgen::legit_uniform(
-            &topo,
-            &all,
-            rate,
-            SimDuration::from_secs(10),
-            64,
-            72,
-        );
+        let schedule =
+            trafficgen::legit_uniform(&topo, &all, rate, SimDuration::from_secs(10), 64, 72);
         let sent = schedule.legit_count() as u64;
         let opts = ScenarioOpts {
             sav_overrides: Box::new(|cfg| cfg.dynamic_idle_timeout = 2),
@@ -136,7 +124,10 @@ fn main() {
             format!("{rate}"),
             sent.to_string(),
             rep.controller.packet_ins.to_string(),
-            format!("{:.2}", rep.controller.packet_ins as f64 / sent.max(1) as f64),
+            format!(
+                "{:.2}",
+                rep.controller.packet_ins as f64 / sent.max(1) as f64
+            ),
             format!("{:.1}%", out.legit_delivered_frac() * 100.0),
         ]);
         eprintln!("  done: 4b rate={rate}");

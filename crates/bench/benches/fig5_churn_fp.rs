@@ -128,5 +128,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig5_churn_fp.csv", &table.to_csv());
-    println!("\nShape check: delivery rises monotonically with lease/hold and saturates near 100%.");
+    println!(
+        "\nShape check: delivery rises monotonically with lease/hold and saturates near 100%."
+    );
 }

@@ -219,14 +219,7 @@ mod tests {
     fn no_sav_leaks_and_sdn_sav_blocks() {
         let topo = Arc::new(topogen::campus(2, 3));
         let all: Vec<usize> = (0..topo.hosts().len()).collect();
-        let legit = trafficgen::legit_uniform(
-            &topo,
-            &all,
-            5.0,
-            SimDuration::from_secs(2),
-            64,
-            11,
-        );
+        let legit = trafficgen::legit_uniform(&topo, &all, 5.0, SimDuration::from_secs(2), 64, 11);
         let attack = trafficgen::spoof_attack(
             &topo,
             &[0],
@@ -248,6 +241,9 @@ mod tests {
 
         let out = run_mechanism(&topo, Mechanism::SdnSav, &schedule, ScenarioOpts::default());
         assert_eq!(out.spoofed_delivered, 0, "SDN-SAV must block all spoofing");
-        assert!(out.legit_delivered_frac() > 0.99, "and lose no legit traffic");
+        assert!(
+            out.legit_delivered_frac() > 0.99,
+            "and lose no legit traffic"
+        );
     }
 }

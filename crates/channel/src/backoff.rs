@@ -1,0 +1,142 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Reconnecting switches must not hammer a controller that just restarted,
+//! and a fleet of switches must not reconnect in lockstep (the thundering
+//! herd the jitter breaks up). The schedule is seeded so tests can assert
+//! exact delays.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Reconnect delay policy: `base * 2^attempt` capped at `cap`, plus a
+/// jitter uniform in `[0, delay/2]`.
+#[derive(Debug, Clone)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Duration,
+    /// Seed for the jitter stream (deterministic per switch).
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(10),
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// Start a backoff schedule under this policy.
+    pub fn start(&self) -> Backoff {
+        Backoff {
+            policy: self.clone(),
+            attempt: 0,
+            rng: StdRng::seed_from_u64(self.seed ^ 0x5bd1_e995_9e37_79b9),
+        }
+    }
+}
+
+/// One switch's live backoff state.
+pub struct Backoff {
+    policy: BackoffPolicy,
+    attempt: u32,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// Delay to sleep before the next connect attempt (advances the
+    /// schedule).
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(20); // 2^20 * base already dwarfs any cap
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .policy
+            .base
+            .saturating_mul(1u32 << exp)
+            .min(self.policy.cap);
+        let jitter_ns = raw.as_nanos() as u64 / 2;
+        let jitter = if jitter_ns == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=jitter_ns)
+        };
+        raw + Duration::from_nanos(jitter)
+    }
+
+    /// Retries attempted since the last [`Backoff::reset`].
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// A connection succeeded: the next failure starts from `base` again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed: 7,
+        };
+        let mut b = policy.start();
+        let d: Vec<Duration> = (0..8).map(|_| b.next_delay()).collect();
+        // Un-jittered floors: 10, 20, 40, 80, 100, 100, ...
+        assert!(d[0] >= Duration::from_millis(10) && d[0] <= Duration::from_millis(15));
+        assert!(d[1] >= Duration::from_millis(20) && d[1] <= Duration::from_millis(30));
+        assert!(d[2] >= Duration::from_millis(40) && d[2] <= Duration::from_millis(60));
+        for late in &d[4..] {
+            assert!(*late >= Duration::from_millis(100));
+            assert!(*late <= Duration::from_millis(150), "cap + max jitter");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_per_seed() {
+        let policy = BackoffPolicy {
+            seed: 42,
+            ..BackoffPolicy::default()
+        };
+        let a: Vec<Duration> = {
+            let mut b = policy.start();
+            (0..5).map(|_| b.next_delay()).collect()
+        };
+        let b_: Vec<Duration> = {
+            let mut b = policy.start();
+            (0..5).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(a, b_);
+        let other = BackoffPolicy {
+            seed: 43,
+            ..BackoffPolicy::default()
+        };
+        let c: Vec<Duration> = {
+            let mut b = other.start();
+            (0..5).map(|_| b.next_delay()).collect()
+        };
+        assert_ne!(a, c, "different seeds must de-synchronize");
+    }
+
+    #[test]
+    fn reset_restarts_schedule() {
+        let mut b = BackoffPolicy::default().start();
+        b.next_delay();
+        b.next_delay();
+        assert_eq!(b.attempts(), 2);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+        assert!(b.next_delay() < Duration::from_millis(100));
+    }
+}

@@ -1,0 +1,197 @@
+//! Deterministic fault injection between the socket and the deframer.
+//!
+//! A [`FaultPlan`] sits on the write path of a channel endpoint and decides,
+//! per chunk, whether to deliver it intact, delay it, split it into partial
+//! writes, silently drop it (corrupting the peer's stream — TCP would never
+//! do this, but a broken middlebox or a crashing peer mid-write looks just
+//! like it), or abruptly reset the connection. All decisions come from a
+//! seeded RNG and an optional fault budget, so a lossy test run is exactly
+//! reproducible and provably convergent: once the budget is spent the plan
+//! passes everything through and the protocol's recovery path (deframer
+//! poison → hangup → reconnect → re-handshake) gets a clean channel.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// What the transport should do with one outgoing chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteDecision {
+    /// Write these byte chunks in order (possibly a partial split of the
+    /// original; possibly empty, meaning the chunk was dropped).
+    Chunks(Vec<Vec<u8>>),
+    /// Abruptly close the connection without writing anything.
+    Reset,
+}
+
+/// A deterministic schedule of channel faults.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    rng: StdRng,
+    /// Probability a chunk is silently dropped.
+    drop_prob: f64,
+    /// Probability a chunk is split into two partial writes.
+    split_prob: f64,
+    /// Probability the connection is abruptly reset instead of writing.
+    reset_prob: f64,
+    /// Fixed delay applied before every write (None = no delay).
+    latency: Option<Duration>,
+    /// Faults remaining before the plan falls back to pass-through.
+    /// `u64::MAX` means unlimited.
+    budget: u64,
+    /// Faults injected so far.
+    injected: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything (the production configuration).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(0),
+            drop_prob: 0.0,
+            split_prob: 0.0,
+            reset_prob: 0.0,
+            latency: None,
+            budget: 0,
+            injected: 0,
+        }
+    }
+
+    /// A seeded plan with the given fault probabilities and budget.
+    ///
+    /// `budget` bounds the *number of injected faults*; after it is spent
+    /// the plan is transparent, guaranteeing eventual convergence.
+    pub fn seeded(seed: u64, budget: u64) -> FaultPlan {
+        FaultPlan {
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Set the probability a chunk is silently dropped.
+    pub fn with_drops(mut self, p: f64) -> FaultPlan {
+        self.drop_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the probability a chunk is split into two partial writes.
+    pub fn with_splits(mut self, p: f64) -> FaultPlan {
+        self.split_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Set the probability a write triggers an abrupt connection reset.
+    pub fn with_resets(mut self, p: f64) -> FaultPlan {
+        self.reset_prob = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Add a fixed latency before every write.
+    pub fn with_latency(mut self, d: Duration) -> FaultPlan {
+        self.latency = Some(d);
+        self
+    }
+
+    /// Latency to apply before the next write (not budget-limited; latency
+    /// does not corrupt anything).
+    pub fn delay(&self) -> Option<Duration> {
+        self.latency
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Whether the budget still allows injecting faults.
+    fn armed(&self) -> bool {
+        self.injected < self.budget
+    }
+
+    /// Decide the fate of one outgoing chunk.
+    pub fn on_write(&mut self, data: &[u8]) -> WriteDecision {
+        if !self.armed() || data.is_empty() {
+            return WriteDecision::Chunks(vec![data.to_vec()]);
+        }
+        if self.reset_prob > 0.0 && self.rng.gen_bool(self.reset_prob) {
+            self.injected += 1;
+            return WriteDecision::Reset;
+        }
+        if self.drop_prob > 0.0 && self.rng.gen_bool(self.drop_prob) {
+            self.injected += 1;
+            return WriteDecision::Chunks(vec![]);
+        }
+        if self.split_prob > 0.0 && data.len() > 1 && self.rng.gen_bool(self.split_prob) {
+            self.injected += 1;
+            let cut = self.rng.gen_range(1..data.len());
+            return WriteDecision::Chunks(vec![data[..cut].to_vec(), data[cut..].to_vec()]);
+        }
+        WriteDecision::Chunks(vec![data.to_vec()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_transparent() {
+        let mut p = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(
+                p.on_write(b"abc"),
+                WriteDecision::Chunks(vec![b"abc".to_vec()])
+            );
+        }
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed| {
+            let mut p = FaultPlan::seeded(seed, u64::MAX)
+                .with_drops(0.3)
+                .with_splits(0.3)
+                .with_resets(0.05);
+            (0..200)
+                .map(|i| p.on_write(&[i as u8; 16]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn budget_bounds_total_faults() {
+        let mut p = FaultPlan::seeded(9, 5).with_drops(1.0);
+        let mut dropped = 0;
+        for _ in 0..100 {
+            if p.on_write(b"x") == WriteDecision::Chunks(vec![]) {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 5, "exactly the budget gets injected");
+        assert_eq!(p.injected(), 5);
+        // And afterwards the plan is transparent.
+        assert_eq!(
+            p.on_write(b"ok"),
+            WriteDecision::Chunks(vec![b"ok".to_vec()])
+        );
+    }
+
+    #[test]
+    fn splits_preserve_bytes() {
+        let mut p = FaultPlan::seeded(3, u64::MAX).with_splits(1.0);
+        let data = b"0123456789";
+        match p.on_write(data) {
+            WriteDecision::Chunks(chunks) => {
+                assert_eq!(chunks.len(), 2);
+                let joined: Vec<u8> = chunks.concat();
+                assert_eq!(joined, data);
+                assert!(!chunks[0].is_empty() && !chunks[1].is_empty());
+            }
+            other => panic!("expected a split, got {other:?}"),
+        }
+    }
+}

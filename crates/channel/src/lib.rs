@@ -1,0 +1,45 @@
+//! # sav-channel — a real TCP southbound transport
+//!
+//! Every other crate in this workspace is sans-IO: the controller and the
+//! switch are state machines fed bytes and virtual time. This crate is the
+//! missing I/O layer — the piece that turns those state machines into a
+//! deployable control plane over real sockets:
+//!
+//! * [`SouthboundServer`] — the controller side. A `TcpListener`, per
+//!   connection reader/writer threads with bounded outbound queues
+//!   (backpressure), and a supervisor that drives the [`Controller`]
+//!   state machine, sends ECHO keepalives, and declares silent switches
+//!   dead on a liveness deadline.
+//! * [`client::spawn`] — the switch side. Dials the controller, replays
+//!   the handshake through the sans-IO [`OpenFlowSwitch`] core, and
+//!   reconnects forever with capped exponential backoff and seeded jitter.
+//!   Filtering state is restored end-to-end by the existing app logic
+//!   (`on_switch_up` re-installs SAV rules), so recovery needs no manual
+//!   re-binding.
+//! * [`FaultPlan`] — deterministic fault injection (latency, probabilistic
+//!   drops, partial writes, abrupt resets) between the socket and the
+//!   deframer, with a fault budget so lossy runs provably converge.
+//! * [`ChannelMetrics`] — per-connection transport counters and an echo
+//!   RTT histogram, built on `sav-metrics`.
+//!
+//! Threading model: no async runtime, just `std::net` + OS threads +
+//! crossbeam channels — matching the workspace's zero-heavyweight-deps
+//! rule while exercising the protocol cores over a real kernel TCP stack.
+//!
+//! [`Controller`]: sav_controller::Controller
+//! [`OpenFlowSwitch`]: sav_dataplane::switch::OpenFlowSwitch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod client;
+pub mod fault;
+pub mod metrics;
+pub mod server;
+
+pub use backoff::BackoffPolicy;
+pub use client::{ClientConfig, ClientHandle, Link};
+pub use fault::{FaultPlan, WriteDecision};
+pub use metrics::{ChannelMetrics, ChannelStats};
+pub use server::{ServerConfig, SouthboundServer};

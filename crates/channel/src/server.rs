@@ -1,0 +1,463 @@
+//! Controller-side TCP transport: the southbound server.
+//!
+//! [`SouthboundServer`] owns a real `TcpListener` and embeds the sans-IO
+//! [`Controller`] behind it. Threads:
+//!
+//! * an **accept** thread polling the listener;
+//! * per connection, a **reader** thread (socket → supervisor) and a
+//!   **writer** thread draining a bounded outbound queue (backpressure: a
+//!   switch that stops reading stalls its queue, and a stalled queue gets
+//!   the connection killed rather than the whole controller wedged);
+//! * one **supervisor** thread owning the [`Controller`], driving
+//!   `on_connect` / `on_bytes` / `on_disconnect`, controller-initiated ECHO
+//!   keepalives, and the liveness deadline that declares a silent switch
+//!   dead.
+//!
+//! Wall-clock time maps onto the sans-IO core's [`SimTime`] as nanoseconds
+//! since the server started.
+
+use crate::metrics::ChannelMetrics;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use sav_controller::{ConnId, Controller, ControllerOutput};
+use sav_sim::SimTime;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for the southbound transport.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interval between controller-initiated ECHO keepalives per switch.
+    pub echo_interval: Duration,
+    /// A switch silent for this long is declared dead and torn down.
+    pub liveness_timeout: Duration,
+    /// Outbound queue capacity per connection (messages).
+    pub outbound_queue: usize,
+    /// How long a full outbound queue may stall before the connection is
+    /// declared stuck and killed.
+    pub write_stall_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            echo_interval: Duration::from_millis(500),
+            liveness_timeout: Duration::from_secs(2),
+            outbound_queue: 256,
+            write_stall_timeout: Duration::from_secs(1),
+        }
+    }
+}
+
+enum Event {
+    Accepted(TcpStream),
+    Bytes(ConnId, Vec<u8>),
+    Closed(ConnId),
+}
+
+struct ConnIo {
+    writer_tx: Sender<Vec<u8>>,
+    stream: TcpStream,
+    last_heard: Instant,
+    last_echo: Instant,
+    metrics: ChannelMetrics,
+}
+
+/// A running controller endpoint bound to a TCP address.
+pub struct SouthboundServer {
+    addr: SocketAddr,
+    controller: Arc<Mutex<Controller>>,
+    conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>>,
+    server_metrics: ChannelMetrics,
+    stop: Arc<AtomicBool>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl SouthboundServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving switches with
+    /// the given controller.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        controller: Controller,
+    ) -> std::io::Result<SouthboundServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let controller = Arc::new(Mutex::new(controller));
+        let conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let server_metrics = ChannelMetrics::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (event_tx, event_rx) = unbounded::<Event>();
+
+        let accept = {
+            let stop = stop.clone();
+            let event_tx = event_tx.clone();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            if event_tx.send(Event::Accepted(stream)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+
+        let supervisor = {
+            let controller = controller.clone();
+            let conn_metrics = conn_metrics.clone();
+            let server_metrics = server_metrics.clone();
+            let stop = stop.clone();
+            thread::spawn(move || {
+                Supervisor {
+                    config,
+                    controller,
+                    conn_metrics,
+                    server_metrics,
+                    stop,
+                    event_tx,
+                    event_rx,
+                    conns: HashMap::new(),
+                    next_conn: 0,
+                    started: Instant::now(),
+                }
+                .run()
+            })
+        };
+
+        Ok(SouthboundServer {
+            addr,
+            controller,
+            conn_metrics,
+            server_metrics,
+            stop,
+            threads: vec![accept, supervisor],
+        })
+    }
+
+    /// The address switches should dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The embedded controller, for state inspection (tests, the harness).
+    pub fn controller(&self) -> Arc<Mutex<Controller>> {
+        self.controller.clone()
+    }
+
+    /// Transport metrics for one connection, if it ever existed.
+    pub fn conn_metrics(&self, conn: ConnId) -> Option<ChannelMetrics> {
+        self.conn_metrics.lock().get(&conn).cloned()
+    }
+
+    /// Server-wide transport metrics (deaths declared, etc.).
+    pub fn server_metrics(&self) -> ChannelMetrics {
+        self.server_metrics.clone()
+    }
+
+    /// Stop accepting, tear down all connections, and join the threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SouthboundServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Supervisor {
+    config: ServerConfig,
+    controller: Arc<Mutex<Controller>>,
+    conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>>,
+    server_metrics: ChannelMetrics,
+    stop: Arc<AtomicBool>,
+    event_tx: Sender<Event>,
+    event_rx: Receiver<Event>,
+    conns: HashMap<ConnId, ConnIo>,
+    next_conn: ConnId,
+    started: Instant,
+}
+
+impl Supervisor {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+    }
+
+    fn now_micros(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    fn run(mut self) {
+        let tick = (self.config.echo_interval / 4)
+            .clamp(Duration::from_millis(5), Duration::from_millis(50));
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                let ids: Vec<ConnId> = self.conns.keys().copied().collect();
+                for conn in ids {
+                    self.kill_conn(conn);
+                }
+                return;
+            }
+            match self.event_rx.recv_timeout(tick) {
+                Ok(Event::Accepted(stream)) => self.on_accepted(stream),
+                Ok(Event::Bytes(conn, data)) => self.on_bytes(conn, data),
+                Ok(Event::Closed(conn)) => self.kill_conn(conn),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+            self.keepalive_pass();
+        }
+    }
+
+    fn on_accepted(&mut self, stream: TcpStream) {
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        let _ = stream.set_nodelay(true);
+        let metrics = ChannelMetrics::new();
+        self.conn_metrics.lock().insert(conn, metrics.clone());
+
+        let (writer_tx, writer_rx) = bounded::<Vec<u8>>(self.config.outbound_queue.max(1));
+        let writer_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        {
+            let metrics = metrics.clone();
+            thread::spawn(move || writer_loop(writer_stream, writer_rx, metrics));
+        }
+        {
+            let reader_stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(_) => return,
+            };
+            let event_tx = self.event_tx.clone();
+            let metrics = metrics.clone();
+            thread::spawn(move || reader_loop(conn, reader_stream, event_tx, metrics));
+        }
+
+        let now = Instant::now();
+        self.conns.insert(
+            conn,
+            ConnIo {
+                writer_tx,
+                stream,
+                last_heard: now,
+                last_echo: now,
+                metrics,
+            },
+        );
+        let greeting = self.controller.lock().on_connect(conn);
+        self.queue_write(conn, greeting);
+    }
+
+    fn on_bytes(&mut self, conn: ConnId, data: Vec<u8>) {
+        let Some(io) = self.conns.get_mut(&conn) else {
+            return;
+        };
+        io.last_heard = Instant::now();
+        io.metrics.add_bytes_in(data.len() as u64);
+        let now = self.now();
+        let result = {
+            let mut ctrl = self.controller.lock();
+            let before = ctrl.stats.rx_messages;
+            let res = ctrl.on_bytes(now, conn, &data);
+            let parsed = ctrl.stats.rx_messages - before;
+            (res, parsed)
+        };
+        match result {
+            (Ok(out), parsed) => {
+                if let Some(io) = self.conns.get(&conn) {
+                    io.metrics.add_msgs_in(parsed);
+                }
+                self.dispatch(out);
+            }
+            (Err(_), _) => {
+                // Framing/codec failure: the stream cannot be trusted again.
+                self.disconnect(conn);
+            }
+        }
+    }
+
+    /// Route a controller output batch: writes, echo RTT samples, hangups.
+    fn dispatch(&mut self, out: ControllerOutput) {
+        for (conn, bytes) in out.to_switch {
+            self.queue_write(conn, bytes);
+        }
+        for (conn, payload) in out.echo_replies {
+            if let Some(sent_us) = decode_echo_payload(&payload) {
+                let rtt_us = self.now_micros().saturating_sub(sent_us);
+                if let Some(io) = self.conns.get(&conn) {
+                    io.metrics.record_echo_rtt(rtt_us as f64 / 1e6);
+                }
+                self.server_metrics.record_echo_rtt(rtt_us as f64 / 1e6);
+            }
+            if let Some(io) = self.conns.get_mut(&conn) {
+                io.last_heard = Instant::now();
+            }
+        }
+        for conn in out.hangups {
+            self.disconnect(conn);
+        }
+    }
+
+    fn queue_write(&mut self, conn: ConnId, bytes: Vec<u8>) {
+        let Some(io) = self.conns.get(&conn) else {
+            return;
+        };
+        io.metrics.add_msgs_out(1);
+        match io
+            .writer_tx
+            .send_timeout(bytes, self.config.write_stall_timeout)
+        {
+            Ok(()) => {
+                io.metrics.observe_queue_depth(io.writer_tx.len());
+            }
+            Err(_) => {
+                // Queue stalled past the deadline or the writer died: the
+                // switch is not consuming. Cut it loose instead of blocking
+                // the whole control plane.
+                self.disconnect(conn);
+            }
+        }
+    }
+
+    /// Controller-driven teardown: notify apps, then close the socket.
+    fn disconnect(&mut self, conn: ConnId) {
+        if self.conns.contains_key(&conn) {
+            let out = self.controller.lock().on_disconnect(self.now(), conn);
+            self.close_io(conn);
+            self.dispatch(out);
+        }
+    }
+
+    /// Socket-driven teardown (peer closed or read error).
+    fn kill_conn(&mut self, conn: ConnId) {
+        self.disconnect(conn);
+    }
+
+    fn close_io(&mut self, conn: ConnId) {
+        if let Some(io) = self.conns.remove(&conn) {
+            let _ = io.stream.shutdown(Shutdown::Both);
+            // Dropping writer_tx disconnects the writer thread's channel.
+        }
+    }
+
+    fn keepalive_pass(&mut self) {
+        let mut dead = Vec::new();
+        let mut echoes = Vec::new();
+        for (&conn, io) in &mut self.conns {
+            if io.last_heard.elapsed() > self.config.liveness_timeout {
+                dead.push(conn);
+            } else if io.last_echo.elapsed() >= self.config.echo_interval {
+                io.last_echo = Instant::now();
+                echoes.push(conn);
+            }
+        }
+        for conn in dead {
+            self.server_metrics.add_dead_declared();
+            if let Some(io) = self.conns.get(&conn) {
+                io.metrics.add_dead_declared();
+            }
+            self.disconnect(conn);
+        }
+        for conn in echoes {
+            let payload = encode_echo_payload(self.now_micros());
+            let bytes = self.controller.lock().send_echo(conn, payload);
+            if let Some(bytes) = bytes {
+                self.queue_write(conn, bytes);
+            }
+        }
+    }
+}
+
+/// ECHO payloads carry the send instant (µs since server start) so the
+/// reply alone is enough to compute the RTT.
+fn encode_echo_payload(micros: u64) -> Vec<u8> {
+    micros.to_le_bytes().to_vec()
+}
+
+fn decode_echo_payload(payload: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(payload.get(..8)?.try_into().ok()?))
+}
+
+fn reader_loop(
+    conn: ConnId,
+    mut stream: TcpStream,
+    event_tx: Sender<Event>,
+    _metrics: ChannelMetrics,
+) {
+    let mut buf = [0u8; 8192];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => {
+                let _ = event_tx.send(Event::Closed(conn));
+                return;
+            }
+            Ok(n) => {
+                if event_tx
+                    .send(Event::Bytes(conn, buf[..n].to_vec()))
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, writer_rx: Receiver<Vec<u8>>, metrics: ChannelMetrics) {
+    while let Ok(bytes) = writer_rx.recv() {
+        if stream.write_all(&bytes).is_err() {
+            return;
+        }
+        metrics.add_bytes_out(bytes.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_payload_roundtrip() {
+        assert_eq!(
+            decode_echo_payload(&encode_echo_payload(12345)),
+            Some(12345)
+        );
+        assert_eq!(decode_echo_payload(b"short"), None);
+    }
+
+    #[test]
+    fn bind_and_shutdown_cleanly() {
+        let server = SouthboundServer::bind(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Controller::new(vec![]),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        server.shutdown();
+    }
+}

@@ -57,13 +57,7 @@ impl Ctx {
     }
 
     /// Release a switch-buffered packet through the given ports.
-    pub fn packet_out_buffered(
-        &mut self,
-        dpid: u64,
-        buffer_id: u32,
-        in_port: u32,
-        ports: &[u32],
-    ) {
+    pub fn packet_out_buffered(&mut self, dpid: u64, buffer_id: u32, in_port: u32, ports: &[u32]) {
         self.send(
             dpid,
             Message::PacketOut(PacketOut {
@@ -100,7 +94,7 @@ pub enum Disposition {
 /// Default method bodies ignore events, so apps implement only what they
 /// care about. The `Any` supertrait lets the harness downcast apps to
 /// inspect their state ([`crate::Controller::with_app`]).
-pub trait App: std::any::Any {
+pub trait App: std::any::Any + Send {
     /// Short name for diagnostics.
     fn name(&self) -> &'static str;
 

@@ -145,7 +145,8 @@ impl App for DiscoveryApp {
         let Some((origin_dpid, origin_port)) = parse_probe(&pi.data) else {
             return Disposition::Continue;
         };
-        self.links.insert((origin_dpid, origin_port), (dpid, in_port));
+        self.links
+            .insert((origin_dpid, origin_port), (dpid, in_port));
         Disposition::Consumed
     }
 

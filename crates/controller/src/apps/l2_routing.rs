@@ -197,9 +197,7 @@ impl App for L2RoutingApp {
                 instructions: vec![Instruction::ApplyActions(vec![Action::output(
                     ofport::CONTROLLER,
                 )])],
-                ..FlowMod::add(
-                    OxmMatch::new().with(OxmField::EthDst(MacAddr::BROADCAST, None)),
-                )
+                ..FlowMod::add(OxmMatch::new().with(OxmField::EthDst(MacAddr::BROADCAST, None)))
             },
         );
         // Table-miss punt (unknown unicast).
@@ -240,7 +238,12 @@ impl App for L2RoutingApp {
                         target_ip: arp.sender_ip,
                     };
                     self.stats.arps_proxied += 1;
-                    ctx.packet_out(dpid, in_port, &[in_port], sav_net::builder::build_arp(&reply));
+                    ctx.packet_out(
+                        dpid,
+                        in_port,
+                        &[in_port],
+                        sav_net::builder::build_arp(&reply),
+                    );
                     return Disposition::Consumed;
                 }
             }
@@ -325,11 +328,7 @@ mod tests {
         let (topo, _, app) = mk();
         let s0 = topo.switches()[0].id;
         let local = topo.hosts_on(s0).next().unwrap();
-        let remote = topo
-            .hosts()
-            .iter()
-            .find(|h| h.switch != s0)
-            .unwrap();
+        let remote = topo.hosts().iter().find(|h| h.switch != s0).unwrap();
         let fm = app
             .unicast_rule(s0, local.mac, (local.switch.dpid(), local.port))
             .unwrap();

@@ -12,8 +12,8 @@
 use crate::app::{App, Ctx};
 use sav_openflow::consts::port as ofport;
 use sav_openflow::messages::{
-    FlowStatsEntry, FlowStatsRequest, Message, MultipartReplyBody, MultipartRequestBody,
-    PortStats, TableStats,
+    FlowStatsEntry, FlowStatsRequest, Message, MultipartReplyBody, MultipartRequestBody, PortStats,
+    TableStats,
 };
 use std::collections::HashMap;
 

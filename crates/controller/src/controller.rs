@@ -19,8 +19,8 @@ pub type ConnId = usize;
 enum ConnState {
     /// HELLO sent, waiting for the peer's HELLO.
     AwaitHello,
-    /// FEATURES_REQUEST sent, waiting for the reply.
-    AwaitFeatures,
+    /// FEATURES_REQUEST sent with this xid, waiting for the matching reply.
+    AwaitFeatures { xid: u32 },
     /// Handshake complete.
     Ready { dpid: u64 },
 }
@@ -35,6 +35,14 @@ struct Conn {
 pub struct ControllerOutput {
     /// `(connection, bytes)` pairs, in write order.
     pub to_switch: Vec<(ConnId, Vec<u8>)>,
+    /// ECHO_REPLY payloads received on ready connections, for the transport
+    /// layer to match against its outstanding keepalives (RTT, liveness).
+    pub echo_replies: Vec<(ConnId, Vec<u8>)>,
+    /// Connections the controller wants torn down (protocol violations such
+    /// as a FEATURES_REPLY answering the wrong xid). The embedding I/O layer
+    /// should close the socket and then call
+    /// [`Controller::on_disconnect`].
+    pub hangups: Vec<ConnId>,
 }
 
 /// Control-plane load counters (evaluation input).
@@ -54,6 +62,14 @@ pub struct ControllerStats {
     pub flow_removed: u64,
     /// OpenFlow errors received from switches.
     pub errors: u64,
+    /// ECHO_REQUESTs received from switches (each is answered).
+    pub echo_requests: u64,
+    /// ECHO_REPLYs received from switches (answers to our keepalives).
+    pub echo_replies: u64,
+    /// ECHO_REQUEST keepalives this controller sent.
+    pub echo_sent: u64,
+    /// Handshakes aborted for protocol violations (e.g. xid mismatch).
+    pub handshake_failures: u64,
 }
 
 /// The controller: connections + the app chain.
@@ -134,16 +150,16 @@ impl Controller {
             let Some(c) = self.conns.get_mut(&conn) else {
                 return Ok(out);
             };
-            c.deframer.push(bytes);
+            c.deframer.push(bytes)?;
             let mut msgs = Vec::new();
             while let Some(m) = c.deframer.next_message()? {
                 msgs.push(m);
             }
             msgs
         };
-        for (msg, _xid) in msgs {
+        for (msg, xid) in msgs {
             self.stats.rx_messages += 1;
-            self.handle_message(now, conn, msg, &mut out);
+            self.handle_message(now, conn, msg, xid, &mut out);
         }
         Ok(out)
     }
@@ -153,6 +169,7 @@ impl Controller {
         now: SimTime,
         conn: ConnId,
         msg: Message,
+        xid: u32,
         out: &mut ControllerOutput,
     ) {
         let state = match self.conns.get_mut(&conn) {
@@ -161,12 +178,22 @@ impl Controller {
         };
         match (&*state, &msg) {
             (ConnState::AwaitHello, Message::Hello) => {
-                *state = ConnState::AwaitFeatures;
                 let x = self.xid();
                 self.stats.tx_messages += 1;
-                out.to_switch.push((conn, Message::FeaturesRequest.encode(x)));
+                if let Some(c) = self.conns.get_mut(&conn) {
+                    c.state = ConnState::AwaitFeatures { xid: x };
+                }
+                out.to_switch
+                    .push((conn, Message::FeaturesRequest.encode(x)));
             }
-            (ConnState::AwaitFeatures, Message::FeaturesReply(f)) => {
+            (ConnState::AwaitFeatures { xid: expected }, Message::FeaturesReply(f)) => {
+                if *expected != xid {
+                    // The reply answers a request we never sent — a confused
+                    // or hostile peer. Abort the handshake.
+                    self.stats.handshake_failures += 1;
+                    out.hangups.push(conn);
+                    return;
+                }
                 let dpid = f.datapath_id;
                 *state = ConnState::Ready { dpid };
                 self.dpid_to_conn.insert(dpid, conn);
@@ -181,10 +208,15 @@ impl Controller {
                 let mut ctx = Ctx::new(now);
                 match &msg {
                     Message::EchoRequest(d) => {
+                        self.stats.echo_requests += 1;
                         let x = self.xid();
                         self.stats.tx_messages += 1;
                         out.to_switch
                             .push((conn, Message::EchoReply(d.clone()).encode(x)));
+                    }
+                    Message::EchoReply(d) => {
+                        self.stats.echo_replies += 1;
+                        out.echo_replies.push((conn, d.0.clone()));
                     }
                     Message::PacketIn(pi) => {
                         self.stats.packet_ins += 1;
@@ -213,7 +245,7 @@ impl Controller {
                             app.on_stats_reply(&mut ctx, dpid, body);
                         }
                     }
-                    // Barrier replies and echo replies need no dispatch.
+                    // Barrier replies and the rest need no dispatch.
                     _ => {}
                 }
                 self.flush(ctx, out);
@@ -222,6 +254,21 @@ impl Controller {
             // controller does not crash on stray messages).
             _ => {}
         }
+    }
+
+    /// Emit an ECHO_REQUEST keepalive on `conn`, returning the bytes to
+    /// write. The transport layer owns the schedule and the liveness
+    /// deadline; the payload round-trips verbatim so it can carry a
+    /// timestamp for RTT measurement. Returns `None` for unknown
+    /// connections.
+    pub fn send_echo(&mut self, conn: ConnId, payload: Vec<u8>) -> Option<Vec<u8>> {
+        if !self.conns.contains_key(&conn) {
+            return None;
+        }
+        let x = self.xid();
+        self.stats.echo_sent += 1;
+        self.stats.tx_messages += 1;
+        Some(Message::EchoRequest(sav_openflow::messages::EchoData(payload)).encode(x))
     }
 
     /// Let an external driver (the testbed command layer or tests) inject
@@ -436,5 +483,56 @@ mod tests {
         ctrl.on_bytes(SimTime::ZERO, 0, &Message::PacketIn(pi).encode(1))
             .unwrap();
         ctrl.with_app::<Probe, _>(|p| assert_eq!(p.packet_ins, 0));
+    }
+
+    #[test]
+    fn features_reply_with_wrong_xid_aborts_handshake() {
+        let mut ctrl = Controller::new(vec![]);
+        let greeting = ctrl.on_connect(0);
+        assert!(!greeting.is_empty());
+        // Peer says HELLO; controller asks for features with some xid.
+        let out = ctrl
+            .on_bytes(SimTime::ZERO, 0, &Message::Hello.encode(1))
+            .unwrap();
+        let (msg, req_xid) = Message::decode(&out.to_switch[0].1).unwrap();
+        assert_eq!(msg, Message::FeaturesRequest);
+        // Reply with a different xid: handshake must abort, not complete.
+        let reply = sav_openflow::messages::FeaturesReply {
+            datapath_id: 0x77,
+            n_buffers: 0,
+            n_tables: 1,
+            auxiliary_id: 0,
+            capabilities: 0,
+        };
+        let bytes = Message::FeaturesReply(reply).encode(req_xid.wrapping_add(9));
+        let out = ctrl.on_bytes(SimTime::ZERO, 0, &bytes).unwrap();
+        assert_eq!(out.hangups, vec![0]);
+        assert!(ctrl.ready_dpids().is_empty());
+        assert_eq!(ctrl.stats.handshake_failures, 1);
+    }
+
+    #[test]
+    fn echo_roundtrip_counts_and_surfaces_payload() {
+        let mut ctrl = Controller::new(vec![]);
+        let mut sw = mk_switch(2);
+        converge(&mut ctrl, &mut sw, 0);
+        // Controller-initiated keepalive...
+        let req = ctrl.send_echo(0, b"t=123".to_vec()).unwrap();
+        assert_eq!(ctrl.stats.echo_sent, 1);
+        // ...answered by the real switch...
+        let out = sw.handle_controller_bytes(SimTime::ZERO, &req).unwrap();
+        let mut reply_bytes = Vec::new();
+        for b in out.to_controller {
+            reply_bytes.extend_from_slice(&b);
+        }
+        // ...and the reply's payload surfaces for RTT matching.
+        let out = ctrl.on_bytes(SimTime::ZERO, 0, &reply_bytes).unwrap();
+        assert_eq!(out.echo_replies, vec![(0, b"t=123".to_vec())]);
+        assert_eq!(ctrl.stats.echo_replies, 1);
+        // Switch-initiated echo is still answered and now counted.
+        let bytes =
+            Message::EchoRequest(sav_openflow::messages::EchoData(b"hb".to_vec())).encode(5);
+        ctrl.on_bytes(SimTime::ZERO, 0, &bytes).unwrap();
+        assert_eq!(ctrl.stats.echo_requests, 1);
     }
 }

@@ -35,7 +35,7 @@ pub mod controller;
 pub mod testbed;
 
 pub use app::{App, Ctx};
-pub use controller::{Controller, ControllerOutput, ControllerStats};
+pub use controller::{ConnId, Controller, ControllerOutput, ControllerStats};
 pub use testbed::{Testbed, TestbedCmd, TestbedConfig, TestbedReport};
 
 /// Table 0: source-address validation (or its baseline stand-ins).

@@ -127,15 +127,30 @@ pub struct TestbedReport {
 enum Ev {
     Cmd(TestbedCmd),
     /// Frame arriving at a switch port.
-    ToSwitch { sw: usize, port: u32, frame: Vec<u8> },
+    ToSwitch {
+        sw: usize,
+        port: u32,
+        frame: Vec<u8>,
+    },
     /// Frame arriving at a host.
-    ToHost { host: usize, frame: Vec<u8> },
+    ToHost {
+        host: usize,
+        frame: Vec<u8>,
+    },
     /// Control bytes arriving at the controller from switch `sw`.
-    CtrlRx { sw: usize, bytes: Vec<u8> },
+    CtrlRx {
+        sw: usize,
+        bytes: Vec<u8>,
+    },
     /// Control bytes arriving at switch `sw` from the controller.
-    SwitchRx { sw: usize, bytes: Vec<u8> },
+    SwitchRx {
+        sw: usize,
+        bytes: Vec<u8>,
+    },
     /// Flow-expiry sweep at a switch.
-    Sweep { sw: usize },
+    Sweep {
+        sw: usize,
+    },
 }
 
 /// The assembled simulation.
@@ -189,7 +204,11 @@ impl Testbed {
             used.extend(topo.host_ports(s.id));
             used_ports.push(used);
         }
-        let hosts: Vec<Host> = topo.hosts().iter().map(|h| Host::new(host_init(h))).collect();
+        let hosts: Vec<Host> = topo
+            .hosts()
+            .iter()
+            .map(|h| Host::new(host_init(h)))
+            .collect();
         let host_attach = topo.hosts().iter().map(|h| (h.switch.0, h.port)).collect();
         let n_sw = switches.len();
         Testbed {
@@ -321,15 +340,13 @@ impl Testbed {
                     self.host_tx(now, host, f);
                 }
             }
-            Ev::CtrlRx { sw, bytes } => {
-                match self.controller.on_bytes(now, sw, &bytes) {
-                    Ok(out) => self.route_controller_output(now, out),
-                    Err(_) => {
-                        let out = self.controller.on_disconnect(now, sw);
-                        self.route_controller_output(now, out);
-                    }
+            Ev::CtrlRx { sw, bytes } => match self.controller.on_bytes(now, sw, &bytes) {
+                Ok(out) => self.route_controller_output(now, out),
+                Err(_) => {
+                    let out = self.controller.on_disconnect(now, sw);
+                    self.route_controller_output(now, out);
                 }
-            }
+            },
             Ev::SwitchRx { sw, bytes } => {
                 match self.switches[sw].handle_controller_bytes(now, &bytes) {
                     Ok(out) => {
@@ -426,10 +443,8 @@ impl Testbed {
 
     fn route_switch_output(&mut self, now: SimTime, sw: usize, out: SwitchOutput) {
         for bytes in out.to_controller {
-            self.events.push(
-                now + self.config.control_latency,
-                Ev::CtrlRx { sw, bytes },
-            );
+            self.events
+                .push(now + self.config.control_latency, Ev::CtrlRx { sw, bytes });
         }
         for (port, frame) in out.tx {
             // Inter-switch link?
@@ -649,32 +664,29 @@ mod tests {
             topo.clone(),
             routes.clone(),
         ))]);
-        let mut tb = Testbed::new(
-            topo.clone(),
-            routes,
-            ctrl,
-            TestbedConfig::default(),
-            |h| {
-                if h.id.0 == 0 {
-                    HostConfig {
-                        mac: h.mac,
-                        ip: h.ip,
-                        app: HostApp::DhcpServer(sav_dataplane::host::DhcpServerState::new(
-                            pool, 100, 3600,
-                        )),
-                    }
-                } else {
-                    HostConfig {
-                        mac: h.mac,
-                        ip: Ipv4Addr::UNSPECIFIED,
-                        app: HostApp::Sink,
-                    }
+        let mut tb = Testbed::new(topo.clone(), routes, ctrl, TestbedConfig::default(), |h| {
+            if h.id.0 == 0 {
+                HostConfig {
+                    mac: h.mac,
+                    ip: h.ip,
+                    app: HostApp::DhcpServer(sav_dataplane::host::DhcpServerState::new(
+                        pool, 100, 3600,
+                    )),
                 }
-            },
-        );
+            } else {
+                HostConfig {
+                    mac: h.mac,
+                    ip: Ipv4Addr::UNSPECIFIED,
+                    app: HostApp::Sink,
+                }
+            }
+        });
         tb.connect_control_plane();
         tb.run_until(SimTime::from_millis(100));
-        tb.schedule(SimTime::from_millis(200), TestbedCmd::DhcpDiscover { host: 1 });
+        tb.schedule(
+            SimTime::from_millis(200),
+            TestbedCmd::DhcpDiscover { host: 1 },
+        );
         tb.run_until(SimTime::from_secs(2));
         assert_eq!(
             tb.host(1).ip,

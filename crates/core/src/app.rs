@@ -199,10 +199,7 @@ impl SavApp {
                 // Incremental exactness: a dynamically learned binding gets
                 // its own host-prefix rule; the dense static blocks were
                 // compressed at switch-up.
-                ctx.install(
-                    b.dpid,
-                    rules::prefix_allow(b.port, Ipv4Cidr::host(b.ip)),
-                );
+                ctx.install(b.dpid, rules::prefix_allow(b.port, Ipv4Cidr::host(b.ip)));
                 self.stats.rules_installed += 1;
             } else if let Some(prefix) = self.subnet_of(b.ip) {
                 ctx.install(b.dpid, rules::prefix_allow(b.port, prefix));
@@ -221,7 +218,10 @@ impl SavApp {
             }
             BindingSource::Fcfs => (self.config.dynamic_idle_timeout, 0),
         };
-        ctx.install(b.dpid, rules::binding_allow(b, self.config.match_mac, idle, hard));
+        ctx.install(
+            b.dpid,
+            rules::binding_allow(b, self.config.match_mac, idle, hard),
+        );
         self.stats.rules_installed += 1;
     }
 
@@ -257,7 +257,14 @@ impl SavApp {
         change
     }
 
-    fn snoop_dhcp(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, parsed: &ParsedPacket, pi: &PacketIn) {
+    fn snoop_dhcp(
+        &mut self,
+        ctx: &mut Ctx,
+        dpid: u64,
+        in_port: u32,
+        parsed: &ParsedPacket,
+        pi: &PacketIn,
+    ) {
         let Some(payload) = parsed.l4_payload(&pi.data) else {
             return;
         };
@@ -291,11 +298,7 @@ impl SavApp {
         }
         // Server → client. The copy rule only exists on the trusted port,
         // but be defensive anyway.
-        if !self
-            .config
-            .trusted_dhcp_ports
-            .contains(&(dpid, in_port))
-        {
+        if !self.config.trusted_dhcp_ports.contains(&(dpid, in_port)) {
             return;
         }
         if msg.message_type == DhcpMessageType::Ack {
@@ -317,7 +320,14 @@ impl SavApp {
         }
     }
 
-    fn handle_punt(&mut self, ctx: &mut Ctx, dpid: u64, in_port: u32, pi: &PacketIn, parsed: &ParsedPacket) {
+    fn handle_punt(
+        &mut self,
+        ctx: &mut Ctx,
+        dpid: u64,
+        in_port: u32,
+        pi: &PacketIn,
+        parsed: &ParsedPacket,
+    ) {
         self.stats.punts += 1;
         let Some(ip) = parsed.ipv4_src() else {
             self.stats.punts_denied += 1;
@@ -407,15 +417,14 @@ impl SavApp {
         }
         let now = ctx.now();
         match self.bindings.get(arp.sender_ip).copied() {
-            Some(b) if b.mac == arp.sender_mac
-                && (b.dpid, b.port) != (dpid, in_port) => {
-                    // The host moved: rebind and update rules.
-                    self.stats.migrations += 1;
-                    let mut nb = b;
-                    nb.dpid = dpid;
-                    nb.port = in_port;
-                    self.apply_upsert(ctx, nb, now);
-                }
+            Some(b) if b.mac == arp.sender_mac && (b.dpid, b.port) != (dpid, in_port) => {
+                // The host moved: rebind and update rules.
+                self.stats.migrations += 1;
+                let mut nb = b;
+                nb.dpid = dpid;
+                nb.port = in_port;
+                self.apply_upsert(ctx, nb, now);
+            }
             Some(_) => {
                 self.stats.arp_spoofs += 1;
             }
@@ -644,8 +653,9 @@ mod tests {
         for (_, fm) in &allows {
             assert!(fm.match_.validate_prerequisites().is_ok());
         }
-        assert!(fms.iter().any(|(_, fm)| fm.priority == crate::PRIO_OSAV_DENY
-            && fm.instructions.is_empty()));
+        assert!(fms
+            .iter()
+            .any(|(_, fm)| fm.priority == crate::PRIO_OSAV_DENY && fm.instructions.is_empty()));
         assert_eq!(app.bindings().len(), 2);
     }
 
@@ -703,7 +713,8 @@ mod tests {
             dst_port: 2,
             payload_len: 0,
         };
-        let ip = sav_net::ipv4::Ipv4Repr::udp(src_ip, "10.0.1.10".parse().unwrap(), udp.buffer_len());
+        let ip =
+            sav_net::ipv4::Ipv4Repr::udp(src_ip, "10.0.1.10".parse().unwrap(), udp.buffer_len());
         let eth = sav_net::ethernet::EthernetRepr {
             src: h.mac,
             dst: MacAddr::from_index(999),
@@ -904,7 +915,10 @@ mod tests {
         let sb = *app.bindings().get(h0.ip).unwrap();
         let fr = fr_of(&sb, FlowRemovedReason::IdleTimeout);
         app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(1)), dpid0, &fr);
-        assert!(app.bindings().get(h0.ip).is_some(), "static binding survives");
+        assert!(
+            app.bindings().get(h0.ip).is_some(),
+            "static binding survives"
+        );
 
         // Delete-reason removals (our own) never expire bindings.
         let fr = fr_of(&sb, FlowRemovedReason::Delete);

@@ -5,11 +5,11 @@
 //! is a unit-testable function. The [`crate::SavApp`] calls these and ships
 //! the results.
 
+use crate::binding::Binding;
 use crate::{
     PRIO_ALLOW, PRIO_DHCP_CLIENT, PRIO_DHCP_TRUST, PRIO_ISAV_DENY, PRIO_OSAV_DENY, PRIO_TRUNK,
     SAV_COOKIE,
 };
-use crate::binding::Binding;
 use sav_controller::TABLE_FWD;
 use sav_net::addr::Ipv4Cidr;
 use sav_net::dhcpv4::{DHCP_CLIENT_PORT, DHCP_SERVER_PORT};
@@ -122,7 +122,10 @@ pub fn isav_deny(border_port: u32, internal: Ipv4Cidr) -> FlowMod {
             OxmMatch::new()
                 .with(OxmField::InPort(border_port))
                 .with(OxmField::EthType(0x0800))
-                .with(OxmField::Ipv4Src(internal.network(), Some(internal.netmask()))),
+                .with(OxmField::Ipv4Src(
+                    internal.network(),
+                    Some(internal.netmask()),
+                )),
         )
     }
 }
@@ -135,9 +138,9 @@ pub fn dhcp_client_permit() -> FlowMod {
     FlowMod {
         priority: PRIO_DHCP_CLIENT,
         cookie: SAV_COOKIE | 0xdc,
-        instructions: vec![
-            Instruction::ApplyActions(vec![Action::output(ofport::CONTROLLER)]),
-        ],
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(
+            ofport::CONTROLLER,
+        )])],
         ..FlowMod::add(
             OxmMatch::new()
                 .with(OxmField::EthType(0x0800))
@@ -157,9 +160,9 @@ pub fn dhcp_server_trust(server_port: u32) -> FlowMod {
     FlowMod {
         priority: PRIO_DHCP_TRUST,
         cookie: SAV_COOKIE | 0xd5,
-        instructions: vec![
-            Instruction::ApplyActions(vec![Action::output(ofport::CONTROLLER)]),
-        ],
+        instructions: vec![Instruction::ApplyActions(vec![Action::output(
+            ofport::CONTROLLER,
+        )])],
         ..FlowMod::add(
             OxmMatch::new()
                 .with(OxmField::InPort(server_port))
@@ -255,7 +258,11 @@ mod tests {
         assert!(fm.match_.validate_prerequisites().is_ok());
         assert_eq!(fm.match_.in_port(), Some(7));
         assert_eq!(fm.instructions, vec![Instruction::GotoTable(TABLE_FWD)]);
-        assert_eq!(fm.match_.fields().len(), 4, "in_port, eth_type, eth_src, ipv4_src");
+        assert_eq!(
+            fm.match_.fields().len(),
+            4,
+            "in_port, eth_type, eth_src, ipv4_src"
+        );
         // Without MAC matching the eth_src field disappears.
         let fm = binding_allow(&b(), false, 0, 0);
         assert_eq!(fm.match_.fields().len(), 3);
@@ -329,7 +336,11 @@ mod tests {
 
     #[test]
     fn v6_rules_shape() {
-        let fm = binding_allow_v6(3, Some(MacAddr::from_index(1)), "2001:db8::5".parse().unwrap());
+        let fm = binding_allow_v6(
+            3,
+            Some(MacAddr::from_index(1)),
+            "2001:db8::5".parse().unwrap(),
+        );
         assert!(fm.match_.validate_prerequisites().is_ok());
         assert_eq!(fm.priority, PRIO_ALLOW);
         assert_eq!(fm.match_.fields().len(), 4);

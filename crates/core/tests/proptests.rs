@@ -17,11 +17,11 @@ enum Op {
 
 fn arb_binding() -> impl Strategy<Value = Binding> {
     (
-        0u32..8,      // small IP space to force collisions
-        0u64..6,      // small MAC space
-        1u64..4,      // dpid
-        1u32..5,      // port
-        0u8..3,       // source
+        0u32..8, // small IP space to force collisions
+        0u64..6, // small MAC space
+        1u64..4, // dpid
+        1u32..5, // port
+        0u8..3,  // source
         proptest::option::of(0u64..100),
     )
         .prop_map(|(ip, mac, dpid, port, src, exp)| Binding {

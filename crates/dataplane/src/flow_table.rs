@@ -206,10 +206,11 @@ impl FlowTable {
     pub fn add(&mut self, fm: &FlowMod, now: SimTime) -> FlowModOutcome {
         use sav_openflow::consts::flow_mod_flags::CHECK_OVERLAP;
         if fm.flags & CHECK_OVERLAP != 0 {
-            let clash = self
-                .entries
-                .iter()
-                .any(|e| e.priority == fm.priority && e.match_ != fm.match_ && overlaps(&e.match_, &fm.match_));
+            let clash = self.entries.iter().any(|e| {
+                e.priority == fm.priority
+                    && e.match_ != fm.match_
+                    && overlaps(&e.match_, &fm.match_)
+            });
             if clash {
                 return FlowModOutcome::Overlap;
             }
@@ -336,9 +337,8 @@ impl FlowTable {
         self.entries
             .iter()
             .flat_map(|e| {
-                let hard = (e.hard_timeout > 0).then(|| {
-                    e.installed_at + SimDuration::from_secs(u64::from(e.hard_timeout))
-                });
+                let hard = (e.hard_timeout > 0)
+                    .then(|| e.installed_at + SimDuration::from_secs(u64::from(e.hard_timeout)));
                 let idle = (e.idle_timeout > 0)
                     .then(|| e.last_hit + SimDuration::from_secs(u64::from(e.idle_timeout)));
                 [hard, idle].into_iter().flatten()
@@ -362,7 +362,11 @@ mod tests {
             dst_port: 2,
             payload_len: 0,
         };
-        let ip = Ipv4Repr::udp(src.parse().unwrap(), "1.1.1.1".parse().unwrap(), udp.buffer_len());
+        let ip = Ipv4Repr::udp(
+            src.parse().unwrap(),
+            "1.1.1.1".parse().unwrap(),
+            udp.buffer_len(),
+        );
         let eth = EthernetRepr {
             src: MacAddr::from_index(1),
             dst: MacAddr::from_index(2),
@@ -395,24 +399,39 @@ mod tests {
             .with(OxmField::EthType(0x0800))
             .with(OxmField::Ipv4Src("10.0.0.5".parse().unwrap(), None));
         assert_eq!(
-            t.add(&FlowMod { cookie: 1, ..fm_add(0, m_any) }, SimTime::ZERO),
+            t.add(
+                &FlowMod {
+                    cookie: 1,
+                    ..fm_add(0, m_any)
+                },
+                SimTime::ZERO
+            ),
             FlowModOutcome::Ok
         );
         assert_eq!(
             t.add(
-                &FlowMod { cookie: 2, ..fm_add(100, m_specific) },
+                &FlowMod {
+                    cookie: 2,
+                    ..fm_add(100, m_specific)
+                },
                 SimTime::ZERO
             ),
             FlowModOutcome::Ok
         );
         let f = frame("10.0.0.5");
         let p = ParsedPacket::parse(&f).unwrap();
-        let ctx = MatchContext { in_port: 1, packet: &p };
+        let ctx = MatchContext {
+            in_port: 1,
+            packet: &p,
+        };
         let (_, cookie) = t.lookup(&ctx, SimTime::ZERO, f.len()).unwrap();
         assert_eq!(cookie, 2, "specific high-priority entry must win");
         let f = frame("10.0.0.6");
         let p = ParsedPacket::parse(&f).unwrap();
-        let ctx = MatchContext { in_port: 1, packet: &p };
+        let ctx = MatchContext {
+            in_port: 1,
+            packet: &p,
+        };
         let (_, cookie) = t.lookup(&ctx, SimTime::ZERO, f.len()).unwrap();
         assert_eq!(cookie, 1, "fallthrough to the miss entry");
         assert_eq!(t.lookup_count, 2);
@@ -423,8 +442,20 @@ mod tests {
     fn identical_add_replaces() {
         let mut t = FlowTable::new(10);
         let m = OxmMatch::new().with(OxmField::InPort(1));
-        t.add(&FlowMod { cookie: 1, ..fm_add(5, m.clone()) }, SimTime::ZERO);
-        t.add(&FlowMod { cookie: 2, ..fm_add(5, m) }, SimTime::ZERO);
+        t.add(
+            &FlowMod {
+                cookie: 1,
+                ..fm_add(5, m.clone())
+            },
+            SimTime::ZERO,
+        );
+        t.add(
+            &FlowMod {
+                cookie: 2,
+                ..fm_add(5, m)
+            },
+            SimTime::ZERO,
+        );
         assert_eq!(t.len(), 1);
         assert_eq!(t.entries().next().unwrap().cookie, 2);
     }
@@ -432,15 +463,27 @@ mod tests {
     #[test]
     fn table_full() {
         let mut t = FlowTable::new(2);
-        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(1))), SimTime::ZERO);
-        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO);
+        t.add(
+            &fm_add(1, OxmMatch::new().with(OxmField::InPort(1))),
+            SimTime::ZERO,
+        );
+        t.add(
+            &fm_add(1, OxmMatch::new().with(OxmField::InPort(2))),
+            SimTime::ZERO,
+        );
         assert_eq!(
-            t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(3))), SimTime::ZERO),
+            t.add(
+                &fm_add(1, OxmMatch::new().with(OxmField::InPort(3))),
+                SimTime::ZERO
+            ),
             FlowModOutcome::TableFull
         );
         // Replacement still allowed at capacity.
         assert_eq!(
-            t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO),
+            t.add(
+                &fm_add(1, OxmMatch::new().with(OxmField::InPort(2))),
+                SimTime::ZERO
+            ),
             FlowModOutcome::Ok
         );
     }
@@ -476,7 +519,10 @@ mod tests {
         for i in 1..=3 {
             let m = OxmMatch::new()
                 .with(OxmField::EthType(0x0800))
-                .with(OxmField::Ipv4Src(format!("10.0.1.{i}").parse().unwrap(), None));
+                .with(OxmField::Ipv4Src(
+                    format!("10.0.1.{i}").parse().unwrap(),
+                    None,
+                ));
             t.add(&fm_add(10, m), SimTime::ZERO);
         }
         t.add(
@@ -511,8 +557,14 @@ mod tests {
     #[test]
     fn delete_all_with_empty_match() {
         let mut t = FlowTable::new(10);
-        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(1))), SimTime::ZERO);
-        t.add(&fm_add(2, OxmMatch::new().with(OxmField::InPort(2))), SimTime::ZERO);
+        t.add(
+            &fm_add(1, OxmMatch::new().with(OxmField::InPort(1))),
+            SimTime::ZERO,
+        );
+        t.add(
+            &fm_add(2, OxmMatch::new().with(OxmField::InPort(2))),
+            SimTime::ZERO,
+        );
         let removed = t.delete(&FlowMod::delete(0, OxmMatch::new()));
         assert_eq!(removed.len(), 2);
         assert!(t.is_empty());
@@ -522,11 +574,17 @@ mod tests {
     fn cookie_filtered_delete() {
         let mut t = FlowTable::new(10);
         t.add(
-            &FlowMod { cookie: 0xA0, ..fm_add(1, OxmMatch::new().with(OxmField::InPort(1))) },
+            &FlowMod {
+                cookie: 0xA0,
+                ..fm_add(1, OxmMatch::new().with(OxmField::InPort(1)))
+            },
             SimTime::ZERO,
         );
         t.add(
-            &FlowMod { cookie: 0xB0, ..fm_add(1, OxmMatch::new().with(OxmField::InPort(2))) },
+            &FlowMod {
+                cookie: 0xB0,
+                ..fm_add(1, OxmMatch::new().with(OxmField::InPort(2)))
+            },
             SimTime::ZERO,
         );
         let mut del = FlowMod::delete(0, OxmMatch::new());
@@ -575,7 +633,10 @@ mod tests {
         // Traffic at t=8 pushes expiry to t=18.
         let f = frame("10.0.0.1");
         let p = ParsedPacket::parse(&f).unwrap();
-        let ctx = MatchContext { in_port: 1, packet: &p };
+        let ctx = MatchContext {
+            in_port: 1,
+            packet: &p,
+        };
         t.lookup(&ctx, SimTime::from_secs(8), f.len());
         assert!(t.expire(SimTime::from_secs(12)).is_empty());
         let gone = t.expire(SimTime::from_secs(18));
@@ -589,7 +650,10 @@ mod tests {
         t.add(&fm_add(1, OxmMatch::new()), SimTime::ZERO);
         let f = frame("10.0.0.1");
         let p = ParsedPacket::parse(&f).unwrap();
-        let ctx = MatchContext { in_port: 1, packet: &p };
+        let ctx = MatchContext {
+            in_port: 1,
+            packet: &p,
+        };
         for _ in 0..5 {
             t.lookup(&ctx, SimTime::ZERO, f.len());
         }
@@ -601,10 +665,16 @@ mod tests {
     #[test]
     fn miss_counts_lookups() {
         let mut t = FlowTable::new(10);
-        t.add(&fm_add(1, OxmMatch::new().with(OxmField::InPort(9))), SimTime::ZERO);
+        t.add(
+            &fm_add(1, OxmMatch::new().with(OxmField::InPort(9))),
+            SimTime::ZERO,
+        );
         let f = frame("10.0.0.1");
         let p = ParsedPacket::parse(&f).unwrap();
-        let ctx = MatchContext { in_port: 1, packet: &p };
+        let ctx = MatchContext {
+            in_port: 1,
+            packet: &p,
+        };
         assert!(t.lookup(&ctx, SimTime::ZERO, f.len()).is_none());
         assert_eq!(t.lookup_count, 1);
         assert_eq!(t.matched_count, 0);

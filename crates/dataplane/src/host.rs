@@ -232,13 +232,16 @@ impl Host {
                     .push(self.build_udp(dst_mac, dst_ip, src_port, dst_port, payload, spoof));
             }
             None => {
-                self.pending.entry(dst_ip).or_default().push(QueuedDatagram {
-                    dst_ip,
-                    src_port,
-                    dst_port,
-                    payload: payload.to_vec(),
-                    spoof,
-                });
+                self.pending
+                    .entry(dst_ip)
+                    .or_default()
+                    .push(QueuedDatagram {
+                        dst_ip,
+                        src_port,
+                        dst_port,
+                        payload: payload.to_vec(),
+                        spoof,
+                    });
                 let arp = ArpRepr::request(self.mac, self.ip, dst_ip);
                 self.arp_requests_sent += 1;
                 out.tx.push(build_arp(&arp));
@@ -325,7 +328,9 @@ impl Host {
             return out;
         };
         // Accept frames addressed to us or broadcast/multicast.
-        if p.ethernet.dst != self.mac && !p.ethernet.dst.is_broadcast() && !p.ethernet.dst.is_multicast()
+        if p.ethernet.dst != self.mac
+            && !p.ethernet.dst.is_broadcast()
+            && !p.ethernet.dst.is_multicast()
         {
             return out;
         }
@@ -384,8 +389,7 @@ impl Host {
                             dst: p.ethernet.src,
                             ethertype: EtherType::Ipv4,
                         };
-                        let mut buf =
-                            vec![0u8; ETHERNET_HEADER_LEN + ipr.buffer_len()];
+                        let mut buf = vec![0u8; ETHERNET_HEADER_LEN + ipr.buffer_len()];
                         {
                             let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
                             eth.emit(&mut f);
@@ -534,7 +538,13 @@ impl Host {
         out
     }
 
-    fn run_app(&mut self, peer_ip: Ipv4Addr, peer_port: u16, local_port: u16, payload: &[u8]) -> HostOutput {
+    fn run_app(
+        &mut self,
+        peer_ip: Ipv4Addr,
+        peer_port: u16,
+        local_port: u16,
+        payload: &[u8],
+    ) -> HostOutput {
         let mut out = HostOutput::default();
         match &self.app {
             HostApp::Sink => {}
@@ -560,13 +570,7 @@ impl Host {
                         }
                         let resp = query.respond(answers);
                         let bytes = resp.to_bytes();
-                        out.merge(self.send_udp(
-                            peer_ip,
-                            53,
-                            peer_port,
-                            &bytes,
-                            SpoofMode::None,
-                        ));
+                        out.merge(self.send_udp(peer_ip, 53, peer_port, &bytes, SpoofMode::None));
                     }
                 }
             }
@@ -596,7 +600,13 @@ mod tests {
         let mut b = host("10.0.0.2", 2, HostApp::Sink);
 
         // a sends to b: first an ARP request goes out.
-        let out = a.send_udp("10.0.0.2".parse().unwrap(), 1000, 2000, b"hi", SpoofMode::None);
+        let out = a.send_udp(
+            "10.0.0.2".parse().unwrap(),
+            1000,
+            2000,
+            b"hi",
+            SpoofMode::None,
+        );
         assert_eq!(out.tx.len(), 1);
         let p = ParsedPacket::parse(&out.tx[0]).unwrap();
         assert!(p.arp.is_some());
@@ -650,7 +660,13 @@ mod tests {
         e.learn_arp("10.0.0.1".parse().unwrap(), MacAddr::from_index(1));
         let mut a = host("10.0.0.1", 1, HostApp::Sink);
         a.learn_arp("10.0.0.9".parse().unwrap(), MacAddr::from_index(9));
-        let out = a.send_udp("10.0.0.9".parse().unwrap(), 5555, 7, b"ping", SpoofMode::None);
+        let out = a.send_udp(
+            "10.0.0.9".parse().unwrap(),
+            5555,
+            7,
+            b"ping",
+            SpoofMode::None,
+        );
         let eo = e.on_frame(&out.tx[0]);
         assert_eq!(eo.delivered.len(), 1);
         assert_eq!(eo.tx.len(), 1, "echo reply");
@@ -699,7 +715,9 @@ mod tests {
     #[test]
     fn dns_resolver_ignores_responses() {
         let mut r = host("10.0.0.53", 53, HostApp::DnsResolver { amplification: 10 });
-        let resp = DnsRepr::query(1, "a.b", DnsType::A).respond(vec![]).to_bytes();
+        let resp = DnsRepr::query(1, "a.b", DnsType::A)
+            .respond(vec![])
+            .to_bytes();
         let mut c = host("10.0.0.1", 1, HostApp::Sink);
         c.learn_arp("10.0.0.53".parse().unwrap(), MacAddr::from_index(53));
         let out = c.send_udp("10.0.0.53".parse().unwrap(), 53, 53, &resp, SpoofMode::None);

@@ -124,7 +124,11 @@ mod tests {
             dst_port,
             payload_len: 0,
         };
-        let ip = Ipv4Repr::udp(src_ip.parse().unwrap(), dst_ip.parse().unwrap(), udp.buffer_len());
+        let ip = Ipv4Repr::udp(
+            src_ip.parse().unwrap(),
+            dst_ip.parse().unwrap(),
+            udp.buffer_len(),
+        );
         let eth = EthernetRepr {
             src: MacAddr::from_index(1),
             dst: MacAddr::from_index(2),

@@ -18,7 +18,7 @@
 use crate::flow_table::{FlowModOutcome, FlowTable};
 use crate::matcher::MatchContext;
 use sav_net::packet::ParsedPacket;
-use sav_openflow::consts::{error_type, flow_mod_flags, flow_mod_failed, port, table, NO_BUFFER};
+use sav_openflow::consts::{error_type, flow_mod_failed, flow_mod_flags, port, table, NO_BUFFER};
 use sav_openflow::error::CodecError;
 use sav_openflow::framing::Deframer;
 use sav_openflow::messages::{
@@ -113,7 +113,10 @@ impl OpenFlowSwitch {
         let tables = (0..config.n_tables)
             .map(|_| FlowTable::new(config.max_entries_per_table))
             .collect();
-        let counters = ports.iter().map(|p| (p.port_no, PortCounters::default())).collect();
+        let counters = ports
+            .iter()
+            .map(|p| (p.port_no, PortCounters::default()))
+            .collect();
         let port_up_since = ports.iter().map(|p| (p.port_no, SimTime::ZERO)).collect();
         OpenFlowSwitch {
             config,
@@ -175,18 +178,49 @@ impl OpenFlowSwitch {
     }
 
     /// Feed bytes arriving on the control channel. Codec failures poison the
-    /// connection (returned as `Err`); the caller drops the channel.
+    /// connection (returned as `Err`); the caller should send
+    /// [`OpenFlowSwitch::goodbye`] (if any) and drop the channel.
     pub fn handle_controller_bytes(
         &mut self,
         now: SimTime,
         bytes: &[u8],
     ) -> Result<SwitchOutput, CodecError> {
-        self.deframer.push(bytes);
+        self.deframer.push(bytes)?;
         let mut out = SwitchOutput::default();
         while let Some((msg, xid)) = self.deframer.next_message()? {
             out.merge(self.handle_message(now, msg, xid));
         }
         Ok(out)
+    }
+
+    /// The farewell to write before closing a poisoned control channel.
+    ///
+    /// A peer speaking another OpenFlow version gets a HELLO_FAILED /
+    /// INCOMPATIBLE error, per OF1.3 §6.3.1; other codec failures get
+    /// BAD_REQUEST. Garbage that never framed a message gets nothing.
+    pub fn goodbye(&mut self, err: CodecError) -> Option<Vec<u8>> {
+        let (err_type, code) = match err {
+            CodecError::BadVersion(_) => (error_type::HELLO_FAILED, 0), // OFPHFC_INCOMPATIBLE
+            CodecError::BufferOverflow | CodecError::BadLength => return None,
+            _ => (error_type::BAD_REQUEST, 1), // OFPBRC_BAD_TYPE
+        };
+        let xid = self.fresh_xid();
+        Some(
+            Message::Error(ErrorMsg {
+                err_type,
+                code,
+                data: vec![],
+            })
+            .encode(xid),
+        )
+    }
+
+    /// The control channel reconnected: discard the old connection's stream
+    /// state (including any poison) and greet the controller again. Flow
+    /// tables are kept — the controller re-syncs them after the handshake.
+    pub fn on_control_reconnect(&mut self) -> Vec<u8> {
+        self.deframer = Deframer::new();
+        self.hello()
     }
 
     /// Process one decoded controller message.
@@ -669,15 +703,15 @@ impl OpenFlowSwitch {
     ) -> Vec<u8> {
         let total_len = frame.len() as u16;
         let send_len = usize::from(max_len.min(self.miss_send_len)).min(frame.len());
-        let (buffer_id, data) = if send_len < frame.len() && self.buffers.len() < self.config.n_buffers as usize
-        {
-            let id = self.next_buffer_id;
-            self.next_buffer_id = self.next_buffer_id.wrapping_add(1).max(1);
-            self.buffers.insert(id, (in_port, frame.to_vec()));
-            (id, frame[..send_len].to_vec())
-        } else {
-            (NO_BUFFER, frame.to_vec())
-        };
+        let (buffer_id, data) =
+            if send_len < frame.len() && self.buffers.len() < self.config.n_buffers as usize {
+                let id = self.next_buffer_id;
+                self.next_buffer_id = self.next_buffer_id.wrapping_add(1).max(1);
+                self.buffers.insert(id, (in_port, frame.to_vec()));
+                (id, frame[..send_len].to_vec())
+            } else {
+                (NO_BUFFER, frame.to_vec())
+            };
         let reason = if cookie == u64::MAX {
             PacketInReason::NoMatch
         } else {
@@ -703,7 +737,11 @@ impl OpenFlowSwitch {
             return out;
         };
         let was_up = desc.is_up();
-        desc.state = if up { PortState::LIVE } else { PortState::LINK_DOWN };
+        desc.state = if up {
+            PortState::LIVE
+        } else {
+            PortState::LINK_DOWN
+        };
         if up && !was_up {
             self.port_up_since.insert(port_no, now);
         }
@@ -779,7 +817,11 @@ mod tests {
             dst_port: 2000,
             payload_len: 4,
         };
-        let ip = Ipv4Repr::udp(src_ip.parse().unwrap(), dst_ip.parse().unwrap(), udp.buffer_len());
+        let ip = Ipv4Repr::udp(
+            src_ip.parse().unwrap(),
+            dst_ip.parse().unwrap(),
+            udp.buffer_len(),
+        );
         let eth = EthernetRepr {
             src: MacAddr::from_index(1),
             dst: MacAddr::from_index(2),
@@ -1169,7 +1211,9 @@ mod tests {
             sav_openflow::messages::FlowStatsRequest::default(),
         ))
         .encode(3);
-        let out = sw.handle_controller_bytes(SimTime::from_secs(2), &req).unwrap();
+        let out = sw
+            .handle_controller_bytes(SimTime::from_secs(2), &req)
+            .unwrap();
         match &decode_all(&out)[0] {
             Message::MultipartReply(MultipartReplyBody::Flow(entries)) => {
                 assert_eq!(entries.len(), 1);
@@ -1181,7 +1225,9 @@ mod tests {
         }
 
         let req = Message::MultipartRequest(MultipartRequestBody::Table).encode(4);
-        let out = sw.handle_controller_bytes(SimTime::from_secs(2), &req).unwrap();
+        let out = sw
+            .handle_controller_bytes(SimTime::from_secs(2), &req)
+            .unwrap();
         match &decode_all(&out)[0] {
             Message::MultipartReply(MultipartReplyBody::Table(stats)) => {
                 assert_eq!(stats.len(), 4);

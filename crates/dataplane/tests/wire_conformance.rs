@@ -14,7 +14,9 @@ fn mk_switch(capacity: usize) -> OpenFlowSwitch {
     cfg.max_entries_per_table = capacity;
     OpenFlowSwitch::new(
         cfg,
-        (1..=2).map(|p| PortDesc::new(p, MacAddr::from_index(p as u64))).collect(),
+        (1..=2)
+            .map(|p| PortDesc::new(p, MacAddr::from_index(p as u64)))
+            .collect(),
     )
 }
 
@@ -48,7 +50,11 @@ fn table_full_error_carries_request_xid() {
     let errs = errors_of(&mut sw, Message::FlowMod(fm), 777);
     assert_eq!(
         errs,
-        vec![(error_type::FLOW_MOD_FAILED, flow_mod_failed::TABLE_FULL, 777)]
+        vec![(
+            error_type::FLOW_MOD_FAILED,
+            flow_mod_failed::TABLE_FULL,
+            777
+        )]
     );
     assert_eq!(sw.total_flows(), 2, "rejected add must not be installed");
 }
@@ -105,6 +111,46 @@ fn poisoned_stream_reports_codec_error() {
     bytes.extend_from_slice(&[0x01, 0, 0, 8, 0, 0, 0, 0]);
     let err = sw.handle_controller_bytes(SimTime::ZERO, &bytes);
     assert!(err.is_err(), "bad version must poison the stream");
+}
+
+#[test]
+fn bad_version_hello_yields_error_and_drop() {
+    let mut sw = mk_switch(10);
+    // A HELLO claiming OpenFlow 1.0: the deframer rejects the version, the
+    // switch sends a HELLO_FAILED error as its goodbye, and the caller is
+    // expected to drop the connection.
+    let err = sw
+        .handle_controller_bytes(SimTime::ZERO, &[0x01, 0, 0, 8, 0, 0, 0, 1])
+        .unwrap_err();
+    let goodbye = sw.goodbye(err).expect("bad version must produce a goodbye");
+    match Message::decode(&goodbye) {
+        Ok((Message::Error(e), _)) => {
+            assert_eq!(e.err_type, error_type::HELLO_FAILED);
+            assert_eq!(e.code, 0, "OFPHFC_INCOMPATIBLE");
+        }
+        other => panic!("expected an Error message, got {other:?}"),
+    }
+}
+
+#[test]
+fn poisoned_stream_stays_poisoned_without_panicking() {
+    let mut sw = mk_switch(10);
+    let mut bytes = Message::Hello.encode(1);
+    bytes.extend_from_slice(&[0x01, 0, 0, 8, 0, 0, 0, 0]);
+    assert!(sw.handle_controller_bytes(SimTime::ZERO, &bytes).is_err());
+    // Every subsequent delivery — even of perfectly valid bytes — must
+    // re-report the original error rather than panic or silently resume:
+    // the embedding uses this to tear the connection down exactly once.
+    for _ in 0..3 {
+        let again = sw.handle_controller_bytes(SimTime::ZERO, &Message::Hello.encode(2));
+        assert!(again.is_err(), "poison must be sticky");
+    }
+    // A reconnect resets the deframer and replays the handshake.
+    let hello = sw.on_control_reconnect();
+    assert!(matches!(Message::decode(&hello), Ok((Message::Hello, _))));
+    assert!(sw
+        .handle_controller_bytes(SimTime::ZERO, &Message::Hello.encode(3))
+        .is_ok());
 }
 
 #[test]

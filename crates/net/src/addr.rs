@@ -417,9 +417,6 @@ mod tests {
     #[test]
     fn ipv6_cidr_canonicalizes() {
         let c = Ipv6Cidr::new("2001:db8:ffff::1".parse().unwrap(), 32);
-        assert_eq!(
-            c.network(),
-            "2001:db8::".parse::<Ipv6Addr>().unwrap()
-        );
+        assert_eq!(c.network(), "2001:db8::".parse::<Ipv6Addr>().unwrap());
     }
 }

@@ -17,12 +17,7 @@ use crate::udp::{UdpPacket, UdpRepr};
 /// Build an Ethernet frame carrying an IPv4/UDP datagram with `payload`.
 /// `udp.payload_len` must equal `payload.len()` and `ip.payload_len` must
 /// equal the UDP buffer length; debug assertions enforce both.
-pub fn build_ipv4_udp(
-    eth: &EthernetRepr,
-    ip: &Ipv4Repr,
-    udp: &UdpRepr,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_ipv4_udp(eth: &EthernetRepr, ip: &Ipv4Repr, udp: &UdpRepr, payload: &[u8]) -> Vec<u8> {
     debug_assert_eq!(udp.payload_len, payload.len());
     debug_assert_eq!(ip.payload_len, udp.buffer_len());
     debug_assert_eq!(eth.ethertype, EtherType::Ipv4);
@@ -39,7 +34,8 @@ pub fn build_ipv4_udp(
 
     // UDP checksum over pseudo-header + segment.
     let seg_start = ETHERNET_HEADER_LEN + crate::ipv4::IPV4_HEADER_LEN;
-    let ck = checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
+    let ck =
+        checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
     // RFC 768: a computed checksum of zero is transmitted as all-ones.
     let ck = if ck == 0 { 0xffff } else { ck };
     buf[seg_start + 6..seg_start + 8].copy_from_slice(&ck.to_be_bytes());
@@ -47,12 +43,7 @@ pub fn build_ipv4_udp(
 }
 
 /// Build an Ethernet frame carrying an IPv4/TCP segment with `payload`.
-pub fn build_ipv4_tcp(
-    eth: &EthernetRepr,
-    ip: &Ipv4Repr,
-    tcp: &TcpRepr,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_ipv4_tcp(eth: &EthernetRepr, ip: &Ipv4Repr, tcp: &TcpRepr, payload: &[u8]) -> Vec<u8> {
     debug_assert_eq!(tcp.payload_len, payload.len());
     debug_assert_eq!(ip.payload_len, tcp.buffer_len());
     debug_assert_eq!(eth.ethertype, EtherType::Ipv4);
@@ -68,18 +59,14 @@ pub fn build_ipv4_tcp(
     tcpp.payload_mut().copy_from_slice(payload);
 
     let seg_start = ETHERNET_HEADER_LEN + crate::ipv4::IPV4_HEADER_LEN;
-    let ck = checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Tcp.into(), &buf[seg_start..]);
+    let ck =
+        checksum::transport_checksum_v4(ip.src, ip.dst, IpProtocol::Tcp.into(), &buf[seg_start..]);
     buf[seg_start + 16..seg_start + 18].copy_from_slice(&ck.to_be_bytes());
     buf
 }
 
 /// Build an Ethernet frame carrying an IPv6/UDP datagram with `payload`.
-pub fn build_ipv6_udp(
-    eth: &EthernetRepr,
-    ip: &Ipv6Repr,
-    udp: &UdpRepr,
-    payload: &[u8],
-) -> Vec<u8> {
+pub fn build_ipv6_udp(eth: &EthernetRepr, ip: &Ipv6Repr, udp: &UdpRepr, payload: &[u8]) -> Vec<u8> {
     debug_assert_eq!(udp.payload_len, payload.len());
     debug_assert_eq!(ip.payload_len, udp.buffer_len());
     debug_assert_eq!(eth.ethertype, EtherType::Ipv6);
@@ -95,7 +82,8 @@ pub fn build_ipv6_udp(
     udpp.payload_mut().copy_from_slice(payload);
 
     let seg_start = ETHERNET_HEADER_LEN + crate::ipv6::IPV6_HEADER_LEN;
-    let ck = checksum::transport_checksum_v6(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
+    let ck =
+        checksum::transport_checksum_v6(ip.src, ip.dst, IpProtocol::Udp.into(), &buf[seg_start..]);
     // For IPv6 a zero UDP checksum is illegal (RFC 8200); map 0 -> 0xffff.
     let ck = if ck == 0 { 0xffff } else { ck };
     buf[seg_start + 6..seg_start + 8].copy_from_slice(&ck.to_be_bytes());
@@ -156,12 +144,7 @@ mod tests {
         assert_eq!(udpp.payload(), b"hello");
 
         // UDP checksum verifies under the pseudo-header.
-        let acc = checksum::pseudo_header_v4(
-            ipp.src(),
-            ipp.dst(),
-            17,
-            ipp.payload().len() as u16,
-        );
+        let acc = checksum::pseudo_header_v4(ipp.src(), ipp.dst(), 17, ipp.payload().len() as u16);
         assert_eq!(checksum::fold(checksum::sum_words(acc, ipp.payload())), 0);
     }
 

@@ -164,9 +164,7 @@ impl DhcpRepr {
                 return Err(ParseError::BadLength);
             }
             let len = usize::from(data[i + 1]);
-            let body = data
-                .get(i + 2..i + 2 + len)
-                .ok_or(ParseError::BadLength)?;
+            let body = data.get(i + 2..i + 2 + len).ok_or(ParseError::BadLength)?;
             let addr_of = |b: &[u8]| -> Result<Ipv4Addr> {
                 if b.len() != 4 {
                     Err(ParseError::BadLength)
@@ -198,7 +196,11 @@ impl DhcpRepr {
 
         let message_type = message_type.ok_or(ParseError::Malformed)?;
         // op must be consistent with the message direction.
-        let expect_op = if message_type.is_client_message() { 1 } else { 2 };
+        let expect_op = if message_type.is_client_message() {
+            1
+        } else {
+            2
+        };
         if op != expect_op {
             return Err(ParseError::Malformed);
         }
@@ -263,11 +265,7 @@ impl DhcpRepr {
             i += 2 + body.len();
             i
         };
-        put(
-            opt::MESSAGE_TYPE,
-            &[self.message_type.to_wire()],
-            buf,
-        );
+        put(opt::MESSAGE_TYPE, &[self.message_type.to_wire()], buf);
         if let Some(a) = self.requested_ip {
             put(opt::REQUESTED_IP, &a.octets(), buf);
         }
@@ -366,7 +364,7 @@ mod tests {
         let mut bytes = sample_ack().to_bytes();
         let n = bytes.len();
         bytes.truncate(n - 3); // cut into the last option
-        // Either BadLength (option runs past end) depending on layout.
+                               // Either BadLength (option runs past end) depending on layout.
         assert!(DhcpRepr::parse(&bytes).is_err());
     }
 

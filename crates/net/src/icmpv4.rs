@@ -162,7 +162,10 @@ mod tests {
             z
         });
         bytes[2..4].copy_from_slice(&ck.to_be_bytes());
-        assert_eq!(Icmpv4Repr::parse(&bytes).err(), Some(ParseError::Unsupported));
+        assert_eq!(
+            Icmpv4Repr::parse(&bytes).err(),
+            Some(ParseError::Unsupported)
+        );
         assert_eq!(
             Icmpv4Repr::parse(&[0u8; 4]).err(),
             Some(ParseError::Truncated)

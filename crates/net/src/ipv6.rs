@@ -121,8 +121,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
 
     /// Mutable payload access.
     pub fn payload_mut(&mut self) -> &mut [u8] {
-        let end =
-            (IPV6_HEADER_LEN + self.payload_len() as usize).min(self.buffer.as_ref().len());
+        let end = (IPV6_HEADER_LEN + self.payload_len() as usize).min(self.buffer.as_ref().len());
         &mut self.buffer.as_mut()[IPV6_HEADER_LEN..end]
     }
 }

@@ -179,14 +179,10 @@ impl ParsedPacket {
         // Respect IP total_len (excludes Ethernet padding).
         let ip_end = match (self.ipv4, self.ipv6) {
             (Some(ip), _) => {
-                crate::ethernet::ETHERNET_HEADER_LEN
-                    + crate::ipv4::IPV4_HEADER_LEN
-                    + ip.payload_len
+                crate::ethernet::ETHERNET_HEADER_LEN + crate::ipv4::IPV4_HEADER_LEN + ip.payload_len
             }
             (None, Some(ip)) => {
-                crate::ethernet::ETHERNET_HEADER_LEN
-                    + crate::ipv6::IPV6_HEADER_LEN
-                    + ip.payload_len
+                crate::ethernet::ETHERNET_HEADER_LEN + crate::ipv6::IPV6_HEADER_LEN + ip.payload_len
             }
             _ => frame_bytes.len(),
         };

@@ -137,7 +137,11 @@ impl UdpRepr {
 
 impl fmt::Display for UdpRepr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "UDP {} -> {} ({}B)", self.src_port, self.dst_port, self.payload_len)
+        write!(
+            f,
+            "UDP {} -> {} ({}B)",
+            self.src_port, self.dst_port, self.payload_len
+        )
     }
 }
 

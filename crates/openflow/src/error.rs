@@ -20,6 +20,10 @@ pub enum CodecError {
     Unsupported,
     /// Semantically invalid contents (e.g. OXM prerequisites violated).
     Invalid(&'static str),
+    /// A peer buffered more stream bytes than the deframer allows without
+    /// ever completing a message — treated as a protocol violation so a
+    /// misbehaving (or malicious) peer cannot grow memory without bound.
+    BufferOverflow,
 }
 
 impl fmt::Display for CodecError {
@@ -31,6 +35,7 @@ impl fmt::Display for CodecError {
             CodecError::BadLength => f.write_str("inconsistent length field"),
             CodecError::Unsupported => f.write_str("unsupported field or value"),
             CodecError::Invalid(why) => write!(f, "invalid message: {why}"),
+            CodecError::BufferOverflow => f.write_str("deframer buffer limit exceeded"),
         }
     }
 }

@@ -5,32 +5,86 @@
 //! header length field; [`Deframer`] buffers partial reads and yields one
 //! complete message at a time, which is exactly the loop a controller or
 //! switch connection runs.
+//!
+//! Internally the buffer is consumed through a read cursor instead of a
+//! per-frame `drain`, so popping a message is O(1); the spent prefix is
+//! compacted in one `copy_within` only once it dominates the buffer. The
+//! deframer also enforces an upper bound on buffered bytes so a peer that
+//! streams garbage (or a message claiming an absurd length) cannot grow
+//! memory without bound, and it is sticky-poisoned: after any framing error
+//! every further call returns the same error, because resynchronizing a
+//! corrupted OpenFlow stream is not possible.
 
-use crate::error::Result;
-#[cfg(test)]
-use crate::error::CodecError;
+use crate::error::{CodecError, Result};
 use crate::header::{Header, HEADER_LEN};
 
+/// Default cap on buffered-but-unparsed bytes. Generous — real OpenFlow
+/// messages top out at 64 KiB (u16 length), but callers legitimately push
+/// large coalesced batches before draining.
+pub const DEFAULT_MAX_BUFFERED: usize = 16 * 1024 * 1024;
+
+/// Compact only when the spent prefix passes this size *and* outweighs the
+/// live bytes, keeping the memmove cost amortized O(1) per byte.
+const COMPACT_THRESHOLD: usize = 4096;
+
 /// Accumulates stream bytes and yields complete OpenFlow messages.
-#[derive(Default)]
 pub struct Deframer {
     buf: Vec<u8>,
+    /// Start of unconsumed bytes; everything before it is already yielded.
+    cursor: usize,
+    /// Upper bound on `buffered()` before the stream is declared abusive.
+    max_buffered: usize,
+    /// First framing error seen; sticky because the stream cannot resync.
+    poison: Option<CodecError>,
+}
+
+impl Default for Deframer {
+    fn default() -> Deframer {
+        Deframer::new()
+    }
 }
 
 impl Deframer {
-    /// An empty deframer.
+    /// An empty deframer with the default buffer cap.
     pub fn new() -> Deframer {
-        Deframer { buf: Vec::new() }
+        Deframer::with_max_buffered(DEFAULT_MAX_BUFFERED)
+    }
+
+    /// An empty deframer capping buffered bytes at `max_buffered`.
+    pub fn with_max_buffered(max_buffered: usize) -> Deframer {
+        Deframer {
+            buf: Vec::new(),
+            cursor: 0,
+            max_buffered: max_buffered.max(HEADER_LEN),
+            poison: None,
+        }
     }
 
     /// Feed bytes received from the transport.
-    pub fn push(&mut self, data: &[u8]) {
+    ///
+    /// Fails if the stream is already poisoned, or if accepting `data`
+    /// would hold more than the configured cap in unparsed bytes — the
+    /// caller should drop the connection in both cases.
+    pub fn push(&mut self, data: &[u8]) -> Result<()> {
+        if let Some(err) = self.poison {
+            return Err(err);
+        }
+        if self.buffered() + data.len() > self.max_buffered {
+            self.poison = Some(CodecError::BufferOverflow);
+            return Err(CodecError::BufferOverflow);
+        }
         self.buf.extend_from_slice(data);
+        Ok(())
     }
 
     /// Bytes currently buffered (waiting for more of a message).
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() - self.cursor
+    }
+
+    /// Whether a framing error has permanently wedged this stream.
+    pub fn is_poisoned(&self) -> bool {
+        self.poison.is_some()
     }
 
     /// Pop the next complete message's bytes, if one is fully buffered.
@@ -40,15 +94,28 @@ impl Deframer {
     /// error and poisons the stream — the caller should drop the connection,
     /// as resynchronizing a corrupted OpenFlow stream is not possible.
     pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
-        if self.buf.len() < HEADER_LEN {
+        if let Some(err) = self.poison {
+            return Err(err);
+        }
+        if self.buffered() < HEADER_LEN {
+            self.compact();
             return Ok(None);
         }
-        let header = Header::decode(&self.buf)?;
+        let header = match Header::decode(&self.buf[self.cursor..]) {
+            Ok(h) => h,
+            Err(e) => {
+                self.poison = Some(e);
+                return Err(e);
+            }
+        };
         let total = usize::from(header.length);
-        if self.buf.len() < total {
+        if self.buffered() < total {
+            self.compact();
             return Ok(None);
         }
-        let frame = self.buf.drain(..total).collect();
+        let frame = self.buf[self.cursor..self.cursor + total].to_vec();
+        self.cursor += total;
+        self.compact();
         Ok(Some(frame))
     }
 
@@ -57,6 +124,19 @@ impl Deframer {
         match self.next_frame()? {
             Some(frame) => crate::messages::Message::decode(&frame).map(Some),
             None => Ok(None),
+        }
+    }
+
+    /// Slide live bytes to the front once the spent prefix dominates, so
+    /// the buffer does not grow with total stream volume.
+    fn compact(&mut self) {
+        if self.cursor >= COMPACT_THRESHOLD && self.cursor >= self.buf.len() - self.cursor {
+            self.buf.copy_within(self.cursor.., 0);
+            self.buf.truncate(self.buf.len() - self.cursor);
+            self.cursor = 0;
+        } else if self.cursor == self.buf.len() && self.cursor > 0 {
+            self.buf.clear();
+            self.cursor = 0;
         }
     }
 }
@@ -87,7 +167,7 @@ mod tests {
         let mut got = Vec::new();
         // Feed one byte at a time — worst-case fragmentation.
         for b in stream {
-            d.push(&[b]);
+            d.push(&[b]).unwrap();
             while let Some((m, xid)) = d.next_message().unwrap() {
                 got.push((m, xid));
             }
@@ -107,7 +187,7 @@ mod tests {
     fn coalesced_messages_split_correctly() {
         let stream = encode_stream(&[(Message::Hello, 1), (Message::BarrierRequest, 2)]);
         let mut d = Deframer::new();
-        d.push(&stream);
+        d.push(&stream).unwrap();
         assert_eq!(d.next_message().unwrap(), Some((Message::Hello, 1)));
         assert_eq!(
             d.next_message().unwrap(),
@@ -119,7 +199,7 @@ mod tests {
     #[test]
     fn partial_header_waits() {
         let mut d = Deframer::new();
-        d.push(&[4, 0, 0]);
+        d.push(&[4, 0, 0]).unwrap();
         assert_eq!(d.next_frame().unwrap(), None);
         assert_eq!(d.buffered(), 3);
     }
@@ -127,14 +207,78 @@ mod tests {
     #[test]
     fn bad_version_poisons_stream() {
         let mut d = Deframer::new();
-        d.push(&[1, 0, 0, 8, 0, 0, 0, 0]);
+        d.push(&[1, 0, 0, 8, 0, 0, 0, 0]).unwrap();
         assert_eq!(d.next_frame().err(), Some(CodecError::BadVersion(1)));
     }
 
     #[test]
     fn bad_length_poisons_stream() {
         let mut d = Deframer::new();
-        d.push(&[4, 0, 0, 2, 0, 0, 0, 0]);
+        d.push(&[4, 0, 0, 2, 0, 0, 0, 0]).unwrap();
         assert_eq!(d.next_frame().err(), Some(CodecError::BadLength));
+    }
+
+    #[test]
+    fn poison_is_sticky() {
+        let mut d = Deframer::new();
+        d.push(&[1, 0, 0, 8, 0, 0, 0, 0]).unwrap();
+        assert_eq!(d.next_frame().err(), Some(CodecError::BadVersion(1)));
+        assert!(d.is_poisoned());
+        // Both feeding and draining keep failing with the original error.
+        assert_eq!(d.push(&[4, 0, 0, 8]).err(), Some(CodecError::BadVersion(1)));
+        assert_eq!(d.next_frame().err(), Some(CodecError::BadVersion(1)));
+        assert_eq!(d.next_message().err(), Some(CodecError::BadVersion(1)));
+    }
+
+    #[test]
+    fn buffer_cap_rejects_unbounded_garbage() {
+        let mut d = Deframer::with_max_buffered(64);
+        d.push(&[4, 3, 255, 255]).unwrap(); // claims a 65535-byte message
+        assert_eq!(d.next_frame().unwrap(), None);
+        assert_eq!(d.push(&[0u8; 61]).err(), Some(CodecError::BufferOverflow));
+        assert!(d.is_poisoned());
+        assert_eq!(d.next_frame().err(), Some(CodecError::BufferOverflow));
+    }
+
+    #[test]
+    fn cursor_compaction_bounds_memory() {
+        // Stream far more than COMPACT_THRESHOLD through the deframer in
+        // small frames; internal buffer must stay near one frame's size.
+        let one = Message::EchoRequest(EchoData(vec![7u8; 100])).encode(9);
+        let mut d = Deframer::new();
+        for _ in 0..1000 {
+            d.push(&one).unwrap();
+            assert!(d.next_frame().unwrap().is_some());
+            assert_eq!(d.buffered(), 0);
+        }
+        assert!(
+            d.buf.len() <= COMPACT_THRESHOLD + 2 * one.len(),
+            "buffer grew to {} bytes",
+            d.buf.len()
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_pending_bytes() {
+        // Push many complete frames plus a partial tail, drain, then finish
+        // the tail — compaction must not corrupt the partial message.
+        let frame = Message::EchoRequest(EchoData(vec![3u8; 500])).encode(1);
+        let mut d = Deframer::new();
+        let mut stream = Vec::new();
+        for _ in 0..20 {
+            stream.extend_from_slice(&frame);
+        }
+        stream.extend_from_slice(&frame[..frame.len() - 3]);
+        d.push(&stream).unwrap();
+        let mut n = 0;
+        while d.next_frame().unwrap().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 20);
+        d.push(&frame[frame.len() - 3..]).unwrap();
+        assert_eq!(
+            d.next_message().unwrap(),
+            Some((Message::EchoRequest(EchoData(vec![3u8; 500])), 1))
+        );
     }
 }

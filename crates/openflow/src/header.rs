@@ -80,7 +80,10 @@ mod tests {
     #[test]
     fn rejects_wrong_version() {
         let bytes = [0x01, 0, 0, 8, 0, 0, 0, 0]; // OpenFlow 1.0
-        assert_eq!(Header::decode(&bytes).err(), Some(CodecError::BadVersion(1)));
+        assert_eq!(
+            Header::decode(&bytes).err(),
+            Some(CodecError::BadVersion(1))
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ impl Instruction {
     pub fn encoded_len(&self) -> usize {
         match self {
             Instruction::GotoTable(_) => 8,
-            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => {
-                8 + Action::list_len(a)
-            }
+            Instruction::WriteActions(a) | Instruction::ApplyActions(a) => 8 + Action::list_len(a),
             Instruction::ClearActions => 8,
             Instruction::Meter(_) => 8,
         }
@@ -211,10 +209,7 @@ mod tests {
 
     #[test]
     fn list_roundtrip() {
-        let list = vec![
-            Instruction::apply_output(2),
-            Instruction::GotoTable(1),
-        ];
+        let list = vec![Instruction::apply_output(2), Instruction::GotoTable(1)];
         let mut w = Writer::new();
         Instruction::encode_list(&list, &mut w);
         let bytes = w.into_bytes();

@@ -70,10 +70,10 @@ pub mod prelude {
     pub use crate::header::Header;
     pub use crate::instructions::Instruction;
     pub use crate::messages::{
-        EchoData, ErrorMsg, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved,
-        FlowRemovedReason, FlowStatsEntry, FlowStatsRequest, Message, MultipartReplyBody,
-        MultipartRequestBody, PacketIn, PacketInReason, PacketOut, PortStats, PortStatus,
-        PortStatusReason, SwitchConfig, TableStats,
+        EchoData, ErrorMsg, FeaturesReply, FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason,
+        FlowStatsEntry, FlowStatsRequest, Message, MultipartReplyBody, MultipartRequestBody,
+        PacketIn, PacketInReason, PacketOut, PortStats, PortStatus, PortStatusReason, SwitchConfig,
+        TableStats,
     };
     pub use crate::oxm::{OxmField, OxmMatch};
     pub use crate::ports::{PortConfig, PortDesc, PortState};

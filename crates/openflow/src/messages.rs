@@ -651,7 +651,8 @@ impl Message {
                     MultipartReplyBody::Flow(entries) => {
                         for e in entries {
                             let start = w.len();
-                            let len = 48 + e.match_.encoded_len()
+                            let len = 48
+                                + e.match_.encoded_len()
                                 + Instruction::list_len(&e.instructions);
                             w.u16(len as u16);
                             w.u8(e.table_id);
@@ -1203,9 +1204,9 @@ mod tests {
 
     #[test]
     fn multipart_port_and_table_roundtrip() {
-        roundtrip(Message::MultipartRequest(
-            MultipartRequestBody::PortStats { port_no: port::ANY },
-        ));
+        roundtrip(Message::MultipartRequest(MultipartRequestBody::PortStats {
+            port_no: port::ANY,
+        }));
         roundtrip(Message::MultipartRequest(MultipartRequestBody::Table));
         roundtrip(Message::MultipartRequest(MultipartRequestBody::PortDesc));
         roundtrip(Message::MultipartReply(MultipartReplyBody::PortStats(
@@ -1234,12 +1235,10 @@ mod tests {
                 matched_count: 900,
             },
         ])));
-        roundtrip(Message::MultipartReply(MultipartReplyBody::PortDesc(
-            vec![
-                PortDesc::new(1, MacAddr::from_index(1)),
-                PortDesc::new(2, MacAddr::from_index(2)),
-            ],
-        )));
+        roundtrip(Message::MultipartReply(MultipartReplyBody::PortDesc(vec![
+            PortDesc::new(1, MacAddr::from_index(1)),
+            PortDesc::new(2, MacAddr::from_index(2)),
+        ])));
     }
 
     #[test]

@@ -176,9 +176,10 @@ impl OxmField {
                     w.bytes(&m.octets());
                 }
             }
-            OxmField::TcpSrc(v) | OxmField::TcpDst(v) | OxmField::UdpSrc(v) | OxmField::UdpDst(v) => {
-                w.u16(v)
-            }
+            OxmField::TcpSrc(v)
+            | OxmField::TcpDst(v)
+            | OxmField::UdpSrc(v)
+            | OxmField::UdpDst(v) => w.u16(v),
             OxmField::ArpSha(v) | OxmField::ArpTha(v) => w.bytes(v.as_bytes()),
             OxmField::Ipv6Src(v, m) | OxmField::Ipv6Dst(v, m) => {
                 w.bytes(&v.octets());

@@ -22,20 +22,17 @@ fn arb_oxm_field() -> impl Strategy<Value = OxmField> {
         (arb_mac(), proptest::option::of(arb_mac())).prop_map(|(v, m)| OxmField::EthDst(v, m)),
         any::<u16>().prop_map(OxmField::EthType),
         any::<u8>().prop_map(OxmField::IpProto),
-        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(v, m)| {
-            OxmField::Ipv4Src(Ipv4Addr::from(v), m.map(Ipv4Addr::from))
-        }),
-        (any::<u32>(), proptest::option::of(any::<u32>())).prop_map(|(v, m)| {
-            OxmField::Ipv4Dst(Ipv4Addr::from(v), m.map(Ipv4Addr::from))
-        }),
+        (any::<u32>(), proptest::option::of(any::<u32>()))
+            .prop_map(|(v, m)| { OxmField::Ipv4Src(Ipv4Addr::from(v), m.map(Ipv4Addr::from)) }),
+        (any::<u32>(), proptest::option::of(any::<u32>()))
+            .prop_map(|(v, m)| { OxmField::Ipv4Dst(Ipv4Addr::from(v), m.map(Ipv4Addr::from)) }),
         any::<u16>().prop_map(OxmField::TcpSrc),
         any::<u16>().prop_map(OxmField::TcpDst),
         any::<u16>().prop_map(OxmField::UdpSrc),
         any::<u16>().prop_map(OxmField::UdpDst),
         any::<u16>().prop_map(OxmField::ArpOp),
-        (any::<u128>(), proptest::option::of(any::<u128>())).prop_map(|(v, m)| {
-            OxmField::Ipv6Src(Ipv6Addr::from(v), m.map(Ipv6Addr::from))
-        }),
+        (any::<u128>(), proptest::option::of(any::<u128>()))
+            .prop_map(|(v, m)| { OxmField::Ipv6Src(Ipv6Addr::from(v), m.map(Ipv6Addr::from)) }),
     ]
 }
 
@@ -95,10 +92,23 @@ fn arb_message() -> impl Strategy<Value = Message> {
         Just(Message::BarrierReply),
         proptest::collection::vec(any::<u8>(), 0..32)
             .prop_map(|d| Message::EchoRequest(EchoData(d))),
-        (any::<u16>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..32))
-            .prop_map(|(t, c, d)| Message::Error(ErrorMsg { err_type: t, code: c, data: d })),
+        (
+            any::<u16>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..32)
+        )
+            .prop_map(|(t, c, d)| Message::Error(ErrorMsg {
+                err_type: t,
+                code: c,
+                data: d
+            })),
         arb_flow_mod().prop_map(Message::FlowMod),
-        (arb_match(), proptest::collection::vec(any::<u8>(), 0..128), any::<u16>(), any::<u64>())
+        (
+            arb_match(),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            any::<u16>(),
+            any::<u64>()
+        )
             .prop_map(|(m, data, total, cookie)| {
                 Message::PacketIn(PacketIn {
                     buffer_id: sav_openflow::consts::NO_BUFFER,
@@ -110,7 +120,10 @@ fn arb_message() -> impl Strategy<Value = Message> {
                     data,
                 })
             }),
-        (proptest::collection::vec(arb_action(), 0..4), proptest::collection::vec(any::<u8>(), 0..64))
+        (
+            proptest::collection::vec(arb_action(), 0..4),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
             .prop_map(|(actions, data)| {
                 Message::PacketOut(PacketOut {
                     buffer_id: sav_openflow::consts::NO_BUFFER,
@@ -180,7 +193,7 @@ proptest! {
         let mut cut_iter = cuts.iter().cycle();
         while pos < stream.len() {
             let n = (*cut_iter.next().unwrap()).min(stream.len() - pos);
-            d.push(&stream[pos..pos + n]);
+            d.push(&stream[pos..pos + n]).unwrap();
             pos += n;
             while let Some((m, _)) = d.next_message().unwrap() {
                 got.push(m);

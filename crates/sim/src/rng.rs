@@ -200,10 +200,7 @@ mod tests {
     #[test]
     fn exp_duration_zero_mean() {
         let mut r = SimRng::new(3);
-        assert_eq!(
-            r.exp_duration(SimDuration::ZERO),
-            SimDuration::ZERO
-        );
+        assert_eq!(r.exp_duration(SimDuration::ZERO), SimDuration::ZERO);
     }
 
     #[test]

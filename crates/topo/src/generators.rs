@@ -16,16 +16,21 @@ use std::net::Ipv4Addr;
 pub const FIRST_HOST: u32 = 10;
 
 fn subnet(as_id: u32, edge_idx: u32) -> Ipv4Cidr {
-    Ipv4Cidr::new(
-        Ipv4Addr::new(10, as_id as u8, edge_idx as u8, 0),
-        24,
-    )
+    Ipv4Cidr::new(Ipv4Addr::new(10, as_id as u8, edge_idx as u8, 0), 24)
 }
 
-fn add_hosts(topo: &mut Topology, edge: SwitchId, sn: Ipv4Cidr, n: u32, prefix: &str) -> Vec<HostId> {
+fn add_hosts(
+    topo: &mut Topology,
+    edge: SwitchId,
+    sn: Ipv4Cidr,
+    n: u32,
+    prefix: &str,
+) -> Vec<HostId> {
     (0..n)
         .map(|i| {
-            let ip = sn.nth(FIRST_HOST + i).expect("subnet too small for host count");
+            let ip = sn
+                .nth(FIRST_HOST + i)
+                .expect("subnet too small for host count");
             topo.attach_host(&format!("{prefix}h{i}"), edge, ip, sn)
         })
         .collect()
@@ -56,7 +61,11 @@ pub fn tree(depth: u32, fanout: u32, hosts_per_edge: u32) -> Topology {
     let mut t = Topology::new();
     let mut frontier = vec![t.add_switch(
         "root",
-        if depth == 1 { SwitchRole::Edge } else { SwitchRole::Core },
+        if depth == 1 {
+            SwitchRole::Edge
+        } else {
+            SwitchRole::Core
+        },
         0,
     )];
     for level in 1..depth {
@@ -64,7 +73,11 @@ pub fn tree(depth: u32, fanout: u32, hosts_per_edge: u32) -> Topology {
         let mut next = Vec::new();
         for (pi, &parent) in frontier.iter().enumerate() {
             for c in 0..fanout {
-                let role = if is_leaf { SwitchRole::Edge } else { SwitchRole::Core };
+                let role = if is_leaf {
+                    SwitchRole::Edge
+                } else {
+                    SwitchRole::Core
+                };
                 let s = t.add_switch(&format!("s{level}-{pi}-{c}"), role, 0);
                 t.link_switches(parent, s);
                 next.push(s);
@@ -305,11 +318,7 @@ mod tests {
             assert!(r.distance(SwitchId(0), s.id).is_some(), "connected");
         }
         let t3 = random(12, 5, 40, 8);
-        let same = t1
-            .links()
-            .iter()
-            .zip(t3.links())
-            .all(|(a, b)| a == b);
+        let same = t1.links().iter().zip(t3.links()).all(|(a, b)| a == b);
         assert!(!same, "different seeds should differ");
     }
 

@@ -74,8 +74,14 @@ impl Routes {
                 }
             }
             for (child, (par, par_port, child_port)) in parent {
-                tree_ports.get_mut(&par).expect("switch exists").insert(par_port);
-                tree_ports.get_mut(&child).expect("switch exists").insert(child_port);
+                tree_ports
+                    .get_mut(&par)
+                    .expect("switch exists")
+                    .insert(par_port);
+                tree_ports
+                    .get_mut(&child)
+                    .expect("switch exists")
+                    .insert(child_port);
             }
         }
 

@@ -261,7 +261,13 @@ pub fn migrations(topo: &Topology, count: usize, duration: SimDuration, seed: u6
             to = edges[(edges.iter().position(|&e| e == to).unwrap() + 1) % edges.len()];
         }
         let t = SimTime::ZERO + SimDuration::from_nanos(rng.below(duration.as_nanos()));
-        sched.ops.push((t, TrafficOp::Move { host, to_switch: to }));
+        sched.ops.push((
+            t,
+            TrafficOp::Move {
+                host,
+                to_switch: to,
+            },
+        ));
     }
     sched.ops.sort_by_key(|(t, _)| *t);
     sched
@@ -287,7 +293,13 @@ mod tests {
         assert_eq!(s.spoofed_count(), 0);
         // No self-traffic; tags parse as legit.
         for (_, op) in &s.ops {
-            let TrafficOp::Udp { host, dst_ip, payload, .. } = op else {
+            let TrafficOp::Udp {
+                host,
+                dst_ip,
+                payload,
+                ..
+            } = op
+            else {
                 panic!("unexpected op");
             };
             assert_ne!(t.hosts()[*host].ip, *dst_ip);
@@ -326,7 +338,9 @@ mod tests {
         );
         assert!(s.len() > 100);
         for (_, op) in &s.ops {
-            let TrafficOp::Udp { spoof, .. } = op else { continue };
+            let TrafficOp::Udp { spoof, .. } = op else {
+                continue;
+            };
             let SpoofKind::Ip(ip) = spoof else {
                 panic!("expected IP spoof")
             };
@@ -349,7 +363,11 @@ mod tests {
         );
         let me = &t.hosts()[3];
         for (_, op) in &s.ops {
-            let TrafficOp::Udp { spoof: SpoofKind::Ip(ip), .. } = op else {
+            let TrafficOp::Udp {
+                spoof: SpoofKind::Ip(ip),
+                ..
+            } = op
+            else {
                 continue;
             };
             assert!(me.subnet.contains(*ip));
@@ -360,8 +378,7 @@ mod tests {
     #[test]
     fn existing_neighbor_uses_live_addresses() {
         let t = topo();
-        let live: std::collections::HashSet<Ipv4Addr> =
-            t.hosts().iter().map(|h| h.ip).collect();
+        let live: std::collections::HashSet<Ipv4Addr> = t.hosts().iter().map(|h| h.ip).collect();
         let s = spoof_attack(
             &t,
             &[0],
@@ -372,7 +389,11 @@ mod tests {
             7,
         );
         for (_, op) in &s.ops {
-            let TrafficOp::Udp { spoof: SpoofKind::Ip(ip), .. } = op else {
+            let TrafficOp::Udp {
+                spoof: SpoofKind::Ip(ip),
+                ..
+            } = op
+            else {
                 continue;
             };
             assert!(live.contains(ip));
@@ -384,10 +405,25 @@ mod tests {
     fn reflection_queries_are_valid_dns() {
         let t = topo();
         let victim: Ipv4Addr = "203.0.113.9".parse().unwrap();
-        let s = reflection(&t, &[0, 1], &[5, 6], victim, 20.0, SimDuration::from_secs(2), 9);
+        let s = reflection(
+            &t,
+            &[0, 1],
+            &[5, 6],
+            victim,
+            20.0,
+            SimDuration::from_secs(2),
+            9,
+        );
         assert!(s.len() > 20);
         for (_, op) in &s.ops {
-            let TrafficOp::Udp { dst_port, payload, spoof, dst_ip, .. } = op else {
+            let TrafficOp::Udp {
+                dst_port,
+                payload,
+                spoof,
+                dst_ip,
+                ..
+            } = op
+            else {
                 panic!()
             };
             assert_eq!(*dst_port, 53);
@@ -399,7 +435,12 @@ mod tests {
 
     #[test]
     fn churn_alternates_discover_release() {
-        let s = dhcp_churn(&[0], SimDuration::from_secs(5), SimDuration::from_secs(60), 3);
+        let s = dhcp_churn(
+            &[0],
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(60),
+            3,
+        );
         assert!(s.len() >= 3);
         // First op is a discover; releases and discovers alternate per host.
         let kinds: Vec<&'static str> = s

@@ -120,7 +120,9 @@ impl Schedule {
     pub fn spoofed_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|(_, op)| matches!(op, TrafficOp::Udp { spoof, .. } if *spoof != SpoofKind::None))
+            .filter(
+                |(_, op)| matches!(op, TrafficOp::Udp { spoof, .. } if *spoof != SpoofKind::None),
+            )
             .count()
     }
 
@@ -128,7 +130,9 @@ impl Schedule {
     pub fn legit_count(&self) -> usize {
         self.ops
             .iter()
-            .filter(|(_, op)| matches!(op, TrafficOp::Udp { spoof, .. } if *spoof == SpoofKind::None))
+            .filter(
+                |(_, op)| matches!(op, TrafficOp::Udp { spoof, .. } if *spoof == SpoofKind::None),
+            )
             .count()
     }
 }
@@ -140,9 +144,11 @@ mod tests {
     #[test]
     fn schedule_merge_sorts() {
         let mut a = Schedule::new();
-        a.ops.push((SimTime::from_secs(2), TrafficOp::DhcpDiscover { host: 0 }));
+        a.ops
+            .push((SimTime::from_secs(2), TrafficOp::DhcpDiscover { host: 0 }));
         let mut b = Schedule::new();
-        b.ops.push((SimTime::from_secs(1), TrafficOp::DhcpRelease { host: 1 }));
+        b.ops
+            .push((SimTime::from_secs(1), TrafficOp::DhcpRelease { host: 1 }));
         let m = a.merge(b);
         assert_eq!(m.len(), 2);
         assert!(m.ops[0].0 < m.ops[1].0);

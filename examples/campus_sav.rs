@@ -46,7 +46,10 @@ fn main() {
     println!("\nroaming: host 0 moves from edge0 to edge3...");
     tb.schedule(
         SimTime::from_millis(500),
-        TestbedCmd::MoveHost { host: 0, to_switch: 6 },
+        TestbedCmd::MoveHost {
+            host: 0,
+            to_switch: 6,
+        },
     );
     // Probe every ms to find the convergence point.
     let peer = topo.hosts().len() - 1;
@@ -92,16 +95,14 @@ fn main() {
     ];
     println!("  {:16} {:>12} {:>12}", "strategy", "ACL", "SDN-SAV");
     for (name, strat) in strategies {
-        let attack = trafficgen::spoof_attack(
+        let attack =
+            trafficgen::spoof_attack(&topo, &[2], strat, 30.0, SimDuration::from_secs(1), None, 7);
+        let acl = run_mechanism(
             &topo,
-            &[2],
-            strat,
-            30.0,
-            SimDuration::from_secs(1),
-            None,
-            7,
+            Mechanism::StaticAcl,
+            &attack,
+            ScenarioOpts::default(),
         );
-        let acl = run_mechanism(&topo, Mechanism::StaticAcl, &attack, ScenarioOpts::default());
         let sav = run_mechanism(&topo, Mechanism::SdnSav, &attack, ScenarioOpts::default());
         println!(
             "  {:16} {:>11.1}% {:>11.1}%",

@@ -1,19 +1,24 @@
-//! Live embedding: the sans-IO controller and switch cores driven by real
-//! threads over byte channels — the shape of a production deployment
-//! (socket loops instead of channels, same state machines).
+//! Live deployment shape: the sans-IO controller and switch cores over
+//! **real loopback TCP** via `sav-channel` — listener, per-connection
+//! threads, keepalives, and reconnect, exactly as a production southbound
+//! channel would run.
 //!
-//! Three OS threads: one controller, two switches. Control messages cross
-//! the same length-framed OpenFlow byte streams a TCP connection would
-//! carry; data frames travel a separate "wire" channel between the
-//! switches. A spoofed and an honest packet are injected at switch A and
-//! counted at switch B.
+//! One `SouthboundServer` hosts the controller; two switch clients dial in
+//! over 127.0.0.1, complete the OpenFlow handshake, and get SAV + forwarding
+//! rules installed. A spoofed and an honest packet are injected at switch A;
+//! only the honest one pops out of a host port on switch B. The connection
+//! to switch A is then severed mid-run to show the client reconnecting with
+//! backoff and filtering resuming with no manual re-binding.
 //!
 //! ```text
 //! cargo run --release -p sav-examples --bin live_controller
 //! ```
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use crossbeam::channel::unbounded;
+use sav_channel::backoff::BackoffPolicy;
+use sav_channel::client::{self, ClientConfig, Link};
+use sav_channel::fault::FaultPlan;
+use sav_channel::server::{ServerConfig, SouthboundServer};
 use sav_controller::app::App;
 use sav_controller::apps::L2RoutingApp;
 use sav_controller::Controller;
@@ -22,172 +27,146 @@ use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
 use sav_net::builder::build_ipv4_udp;
 use sav_net::prelude::*;
 use sav_openflow::ports::PortDesc;
-use sav_sim::SimTime;
 use sav_topo::generators;
 use sav_topo::routes::Routes;
+use std::net::Ipv4Addr;
 use std::sync::Arc;
-use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Frames delivered to host-facing ports, shared with the main thread.
-type DeliveredLog = Arc<Mutex<Vec<(u32, Vec<u8>)>>>;
-
-/// Messages flowing between threads.
-enum Wire {
-    /// Control bytes (either direction is its own channel).
-    Control(Vec<u8>),
-    /// A data frame arriving on a port.
-    Frame(u32, Vec<u8>),
-    /// Orderly shutdown.
-    Quit,
+fn mk_switch(dpid: u64) -> OpenFlowSwitch {
+    let ports = (1..=3)
+        .map(|p| PortDesc::new(p, MacAddr::from_index(dpid * 100 + u64::from(p))))
+        .collect();
+    OpenFlowSwitch::new(SwitchConfig::new(dpid), ports)
 }
 
-fn switch_thread(
-    name: &'static str,
-    mut sw: OpenFlowSwitch,
-    from_ctrl: Receiver<Wire>,
-    to_ctrl: Sender<Wire>,
-    peers: Vec<(u32, Sender<Wire>, u32)>, // (local port, peer channel, peer port)
-    delivered: DeliveredLog,
-) -> thread::JoinHandle<()> {
-    thread::spawn(move || {
-        // Greet the controller, then serve events. Virtual time stands
-        // still (SimTime::ZERO): timeouts are irrelevant in this demo.
-        let _ = to_ctrl.send(Wire::Control(sw.hello()));
-        while let Ok(msg) = from_ctrl.recv() {
-            let out = match msg {
-                Wire::Control(bytes) => match sw.handle_controller_bytes(SimTime::ZERO, &bytes) {
-                    Ok(out) => out,
-                    Err(e) => {
-                        eprintln!("[{name}] control channel poisoned: {e}");
-                        break;
-                    }
-                },
-                Wire::Frame(port, frame) => sw.receive_frame(SimTime::ZERO, port, frame),
-                Wire::Quit => break,
-            };
-            for bytes in out.to_controller {
-                let _ = to_ctrl.send(Wire::Control(bytes));
-            }
-            for (port, frame) in out.tx {
-                if let Some((_, peer, peer_port)) =
-                    peers.iter().find(|(local, _, _)| *local == port)
-                {
-                    let _ = peer.send(Wire::Frame(*peer_port, frame));
-                } else {
-                    // A host port: record the delivery.
-                    delivered.lock().push((port, frame));
-                }
-            }
+fn udp_between(
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    src_ip: Ipv4Addr,
+    dst_ip: Ipv4Addr,
+    tag: &[u8],
+) -> Vec<u8> {
+    let udp = UdpRepr {
+        src_port: 7,
+        dst_port: 7,
+        payload_len: tag.len(),
+    };
+    let ip = Ipv4Repr::udp(src_ip, dst_ip, udp.buffer_len());
+    let eth = EthernetRepr {
+        src: src_mac,
+        dst: dst_mac,
+        ethertype: EtherType::Ipv4,
+    };
+    build_ipv4_udp(&eth, &ip, &udp, tag)
+}
+
+/// Poll `cond` until it holds or `timeout` passes; false on timeout.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
         }
-    })
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
 }
 
 fn main() {
-    // Reuse the topology/address plan machinery for the app config, but
-    // wire the actual channels by hand: s0 port1 <-> s1 port1 (trunk),
-    // hosts on port 2/3 of each switch.
+    // The topology/address plan drives the SAV config; the actual wiring is
+    // real sockets: both switches dial the controller's TCP listener, and a
+    // trunk Link carries data frames s0 port1 <-> s1 port1.
     let topo = Arc::new(generators::linear(2, 2));
     let routes = Arc::new(Routes::compute(&topo));
     let apps: Vec<Box<dyn App>> = vec![
         Box::new(SavApp::new(topo.clone(), SavConfig::default())),
-        Box::new(L2RoutingApp::new(topo.clone(), routes.clone())),
+        Box::new(L2RoutingApp::new(topo.clone(), routes)),
     ];
-    let mut controller = Controller::new(apps);
 
-    let mk_switch = |dpid: u64| {
-        let ports = (1..=3)
-            .map(|p| PortDesc::new(p, MacAddr::from_index(dpid * 100 + u64::from(p))))
-            .collect();
-        OpenFlowSwitch::new(SwitchConfig::new(dpid), ports)
+    let server = SouthboundServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            echo_interval: Duration::from_millis(100),
+            liveness_timeout: Duration::from_secs(1),
+            ..ServerConfig::default()
+        },
+        Controller::new(apps),
+    )
+    .expect("bind loopback listener");
+    let addr = server.local_addr();
+    println!("controller listening on {addr}");
+
+    let client_config = |seed: u64| ClientConfig {
+        backoff: BackoffPolicy {
+            base: Duration::from_millis(20),
+            cap: Duration::from_millis(500),
+            seed,
+        },
+        fault: FaultPlan::none(),
+        read_timeout: Duration::from_millis(5),
     };
 
-    // Channels: controller<->switch (bytes), switch<->switch (frames).
-    let (ctrl_to_s0, s0_in) = unbounded::<Wire>();
-    let (ctrl_to_s1, s1_in) = unbounded::<Wire>();
-    // Controller-bound traffic keeps per-switch channels so the origin
-    // connection is known without extra tagging.
-    let (s0_to_ctrl, s0_ctrl_rx) = unbounded::<Wire>();
-    let (s1_to_ctrl, s1_ctrl_rx) = unbounded::<Wire>();
-
-    let delivered = Arc::new(Mutex::new(Vec::new()));
-    let h0 = switch_thread(
-        "s0",
-        mk_switch(1),
-        s0_in,
-        s0_to_ctrl,
-        vec![(1, ctrl_to_s1.clone(), 1)], // trunk: s0 port1 -> s1 port1
-        delivered.clone(),
-    );
-    let h1 = switch_thread(
-        "s1",
+    let (delivered_tx, delivered_rx) = unbounded();
+    // Start s1 first so s0's trunk link can reference its frame injector.
+    let c1 = client::spawn(
+        addr,
         mk_switch(2),
-        s1_in,
-        s1_to_ctrl,
-        vec![(1, ctrl_to_s0.clone(), 1)],
-        delivered.clone(),
+        client_config(2),
+        vec![],
+        delivered_tx.clone(),
+    );
+    let c0 = client::spawn(
+        addr,
+        mk_switch(1),
+        client_config(1),
+        vec![Link {
+            local_port: 1,
+            peer: c1.injector(),
+            peer_port: 1,
+        }],
+        delivered_tx,
     );
 
-    // Controller loop on the main thread: poll both switch channels.
-    let greet0 = controller.on_connect(0);
-    let greet1 = controller.on_connect(1);
-    let _ = ctrl_to_s0.send(Wire::Control(greet0));
-    let _ = ctrl_to_s1.send(Wire::Control(greet1));
+    let ctrl = server.controller();
+    assert!(
+        wait_for(Duration::from_secs(10), || ctrl.lock().ready_dpids().len()
+            == 2),
+        "both switches must complete the TCP handshake"
+    );
+    println!(
+        "handshake complete over TCP: dpids {:?} ready, SAV + forwarding rules installed",
+        ctrl.lock().ready_dpids()
+    );
 
-    let start = std::time::Instant::now();
-    let mut injected = false;
-    while start.elapsed() < Duration::from_millis(800) {
-        let mut progressed = false;
-        for (conn, rx) in [(0usize, &s0_ctrl_rx), (1usize, &s1_ctrl_rx)] {
-            while let Ok(Wire::Control(bytes)) = rx.try_recv() {
-                progressed = true;
-                match controller.on_bytes(SimTime::ZERO, conn, &bytes) {
-                    Ok(out) => {
-                        for (c, b) in out.to_switch {
-                            let tx = if c == 0 { &ctrl_to_s0 } else { &ctrl_to_s1 };
-                            let _ = tx.send(Wire::Control(b));
-                        }
-                    }
-                    Err(e) => eprintln!("[ctrl] codec error on conn {conn}: {e}"),
-                }
-            }
+    // Demo traffic: host 0 (on s0) to host 3 (on s1), honest then spoofed.
+    let h0 = &topo.hosts()[0];
+    let h3 = &topo.hosts()[3];
+    let honest = udp_between(h0.mac, h3.mac, h0.ip, h3.ip, b"honest");
+    let spoofed = udp_between(
+        h0.mac,
+        h3.mac,
+        "203.0.113.66".parse().unwrap(),
+        h3.ip,
+        b"spoofed",
+    );
+    let inject = c0.injector();
+    inject.send((h0.port, honest.clone())).unwrap();
+    inject.send((h0.port, spoofed.clone())).unwrap();
+
+    let mut got = Vec::new();
+    let honest_ok = wait_for(Duration::from_secs(10), || {
+        while let Ok(d) = delivered_rx.try_recv() {
+            got.push(d);
         }
-        // Once both switches are up, inject the demo traffic at s0 port 2
-        // (= host 0's port in the plan).
-        if !injected && controller.ready_dpids().len() == 2 {
-            injected = true;
-            println!(
-                "handshake complete: dpids {:?} ready, SAV + forwarding rules installed",
-                controller.ready_dpids()
-            );
-            let h0n = &topo.hosts()[0];
-            let h3n = &topo.hosts()[3];
-            let honest = {
-                let udp = UdpRepr { src_port: 7, dst_port: 7, payload_len: 6 };
-                let ip = Ipv4Repr::udp(h0n.ip, h3n.ip, udp.buffer_len());
-                let eth = EthernetRepr { src: h0n.mac, dst: h3n.mac, ethertype: EtherType::Ipv4 };
-                build_ipv4_udp(&eth, &ip, &udp, b"honest")
-            };
-            let spoofed = {
-                let udp = UdpRepr { src_port: 7, dst_port: 7, payload_len: 7 };
-                let ip = Ipv4Repr::udp("203.0.113.66".parse().unwrap(), h3n.ip, udp.buffer_len());
-                let eth = EthernetRepr { src: h0n.mac, dst: h3n.mac, ethertype: EtherType::Ipv4 };
-                build_ipv4_udp(&eth, &ip, &udp, b"spoofed")
-            };
-            let _ = ctrl_to_s0.send(Wire::Frame(h0n.port, honest));
-            let _ = ctrl_to_s0.send(Wire::Frame(h0n.port, spoofed));
-        }
-        if !progressed {
-            thread::sleep(Duration::from_millis(1));
-        }
+        got.iter()
+            .any(|(_, f): &(u32, Vec<u8>)| f.ends_with(b"honest"))
+    });
+    std::thread::sleep(Duration::from_millis(200));
+    while let Ok(d) = delivered_rx.try_recv() {
+        got.push(d);
     }
 
-    let _ = ctrl_to_s0.send(Wire::Quit);
-    let _ = ctrl_to_s1.send(Wire::Quit);
-    let _ = h0.join();
-    let _ = h1.join();
-
-    let got = delivered.lock();
     println!("\nframes delivered to host ports:");
     for (port, frame) in got.iter() {
         let p = sav_net::packet::ParsedPacket::parse(frame).unwrap();
@@ -197,12 +176,72 @@ fn main() {
             String::from_utf8_lossy(p.l4_payload(frame).unwrap_or(&[]))
         );
     }
-    let honest_ok = got.iter().any(|(_, f)| f.ends_with(b"honest"));
     let spoof_leaked = got.iter().any(|(_, f)| f.ends_with(b"spoofed"));
     println!("\nhonest delivered: {honest_ok}");
     println!("spoofed delivered: {spoof_leaked}");
     assert!(honest_ok, "honest frame must cross the two-switch fabric");
     assert!(!spoof_leaked, "spoofed frame must die at switch s0");
-    println!("\nsame state machines, real threads and byte streams: the sans-IO");
-    println!("cores embed in any I/O runtime unchanged.");
+
+    // Sever s0's connection: the client reconnects with backoff, replays
+    // the handshake, and SAV keeps filtering — no manual re-binding.
+    println!("\nsevering s0's control connection...");
+    c0.drop_connection();
+    assert!(
+        wait_for(Duration::from_secs(10), || c0.metrics().stats().reconnects
+            >= 1
+            && ctrl.lock().ready_dpids().len() == 2),
+        "client must reconnect and re-handshake on its own"
+    );
+    println!(
+        "reconnected after {} attempt(s); ready dpids {:?}",
+        c0.metrics().stats().reconnects,
+        ctrl.lock().ready_dpids()
+    );
+
+    inject.send((h0.port, spoofed)).unwrap();
+    inject.send((h0.port, honest)).unwrap();
+    let mut post = Vec::new();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            while let Ok(d) = delivered_rx.try_recv() {
+                post.push(d);
+            }
+            post.iter()
+                .any(|(_, f): &(u32, Vec<u8>)| f.ends_with(b"honest"))
+        }),
+        "honest frame must still be delivered after reconnect"
+    );
+    assert!(
+        !post.iter().any(|(_, f)| f.ends_with(b"spoofed")),
+        "spoofed frame must still be filtered after reconnect"
+    );
+    println!("post-reconnect: honest delivered, spoofed filtered");
+
+    // Transport-level metrics: keepalive RTTs and channel counters.
+    let rtt = server.server_metrics().echo_rtt();
+    if rtt.count() > 0 {
+        println!(
+            "\nkeepalive RTT over loopback: {} samples, mean {:.1} us, max {:.1} us",
+            rtt.count(),
+            rtt.mean() * 1e6,
+            rtt.max() * 1e6
+        );
+    }
+    let s = c0.metrics().stats();
+    println!(
+        "s0 channel: {} B in / {} B out, reconnects {}",
+        s.bytes_in, s.bytes_out, s.reconnects
+    );
+    let c = ctrl.lock();
+    println!(
+        "controller: {} echo sent / {} replies, {} handshake failures",
+        c.stats.echo_sent, c.stats.echo_replies, c.stats.handshake_failures
+    );
+    drop(c);
+
+    c0.stop();
+    c1.stop();
+    server.shutdown();
+    println!("\nsame state machines as the simulator — now behind a real TCP");
+    println!("southbound channel with keepalives and automatic reconnect.");
 }

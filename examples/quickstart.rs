@@ -105,5 +105,7 @@ fn main() {
         .filter(|e| e.priority == sav_core::PRIO_OSAV_DENY)
         .map(|e| e.packet_count)
         .sum();
-    println!("\nvalidation-table deny rule at the attacker's switch: {deny_hits} packet(s) dropped");
+    println!(
+        "\nvalidation-table deny rule at the attacker's switch: {deny_hits} packet(s) dropped"
+    );
 }

@@ -22,9 +22,18 @@ use std::sync::Arc;
 fn main() {
     let m = multi_as(3, 3);
     let topo = Arc::new(m.topo);
-    let bots: Vec<usize> = topo.hosts().iter().filter(|h| h.as_id == 1).map(|h| h.id.0).collect();
-    let resolvers: Vec<usize> =
-        topo.hosts().iter().filter(|h| h.as_id == 2).map(|h| h.id.0).collect();
+    let bots: Vec<usize> = topo
+        .hosts()
+        .iter()
+        .filter(|h| h.as_id == 1)
+        .map(|h| h.id.0)
+        .collect();
+    let resolvers: Vec<usize> = topo
+        .hosts()
+        .iter()
+        .filter(|h| h.as_id == 2)
+        .map(|h| h.id.0)
+        .collect();
     let victim = topo.hosts().iter().find(|h| h.as_id == 3).unwrap().id.0;
     let victim_ip = topo.hosts()[victim].ip;
 

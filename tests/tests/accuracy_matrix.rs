@@ -10,7 +10,11 @@ use sav_topo::generators as topogen;
 use sav_traffic::generators::{self as trafficgen, SpoofStrategy};
 use std::sync::Arc;
 
-fn attack_only(topo: &sav_topo::Topology, strategy: SpoofStrategy, seed: u64) -> sav_traffic::Schedule {
+fn attack_only(
+    topo: &sav_topo::Topology,
+    strategy: SpoofStrategy,
+    seed: u64,
+) -> sav_traffic::Schedule {
     trafficgen::spoof_attack(
         topo,
         &[0, 3],
@@ -105,10 +109,26 @@ fn neighbor_spoofing_beats_prefix_filters_but_not_bindings() {
         None,
         7,
     );
-    let acl = run_mechanism(&topo, Mechanism::StaticAcl, &schedule, ScenarioOpts::default());
-    assert!(acl.spoof_blocked_frac() < 0.05, "ACL blind to same-subnet theft");
-    let urpf = run_mechanism(&topo, Mechanism::StrictUrpf, &schedule, ScenarioOpts::default());
-    assert!(urpf.spoof_blocked_frac() < 0.05, "uRPF blind to same-subnet theft");
+    let acl = run_mechanism(
+        &topo,
+        Mechanism::StaticAcl,
+        &schedule,
+        ScenarioOpts::default(),
+    );
+    assert!(
+        acl.spoof_blocked_frac() < 0.05,
+        "ACL blind to same-subnet theft"
+    );
+    let urpf = run_mechanism(
+        &topo,
+        Mechanism::StrictUrpf,
+        &schedule,
+        ScenarioOpts::default(),
+    );
+    assert!(
+        urpf.spoof_blocked_frac() < 0.05,
+        "uRPF blind to same-subnet theft"
+    );
     let sav = run_mechanism(&topo, Mechanism::SdnSav, &schedule, ScenarioOpts::default());
     assert_eq!(sav.spoofed_delivered, 0, "bindings catch address theft");
 }
@@ -120,7 +140,10 @@ fn no_mechanism_harms_legitimate_traffic() {
     // lossless for legitimate traffic.
     let topo = Arc::new(topogen::campus(4, 3));
     let schedule = mixed_workload(&topo, 42);
-    for m in Mechanism::ALL.into_iter().filter(|m| *m != Mechanism::SdnSavFcfs) {
+    for m in Mechanism::ALL
+        .into_iter()
+        .filter(|m| *m != Mechanism::SdnSavFcfs)
+    {
         let out = run_default(&topo, m, &schedule);
         assert!(
             out.legit_delivered_frac() > 0.99,
@@ -188,7 +211,12 @@ fn fcfs_prefix_guard_blocks_foreign_sources() {
     // claimed; blocking is total even with an empty initial binding table.
     let topo = Arc::new(topogen::campus(4, 3));
     let schedule = attack_only(&topo, SpoofStrategy::RandomRoutable, 300);
-    let out = run_mechanism(&topo, Mechanism::SdnSavFcfs, &schedule, ScenarioOpts::default());
+    let out = run_mechanism(
+        &topo,
+        Mechanism::SdnSavFcfs,
+        &schedule,
+        ScenarioOpts::default(),
+    );
     assert!(
         out.spoof_blocked_frac() >= 0.99,
         "FCFS leaked foreign sources: blocked {:.3}",
@@ -214,7 +242,12 @@ fn fcfs_blocks_neighbor_theft_after_victims_are_active() {
     )
     .shifted(SimDuration::from_secs(1));
     let schedule = warmup.merge(attack);
-    let out = run_mechanism(&topo, Mechanism::SdnSavFcfs, &schedule, ScenarioOpts::default());
+    let out = run_mechanism(
+        &topo,
+        Mechanism::SdnSavFcfs,
+        &schedule,
+        ScenarioOpts::default(),
+    );
     assert!(
         out.spoof_blocked_frac() >= 0.99,
         "FCFS leaked neighbour theft after warm-up: blocked {:.3}",
@@ -230,7 +263,12 @@ fn fcfs_race_window_is_real() {
     // must show measurable leakage (the Table 1 row for FCFS).
     let topo = Arc::new(topogen::campus(4, 3));
     let schedule = attack_only(&topo, SpoofStrategy::SameSubnet, 301);
-    let out = run_mechanism(&topo, Mechanism::SdnSavFcfs, &schedule, ScenarioOpts::default());
+    let out = run_mechanism(
+        &topo,
+        Mechanism::SdnSavFcfs,
+        &schedule,
+        ScenarioOpts::default(),
+    );
     assert!(
         out.spoof_blocked_frac() < 0.5,
         "same-subnet unused-address claims should mostly leak under FCFS, blocked {:.3}",

@@ -3,7 +3,6 @@
 //! all across the real OpenFlow byte channels.
 
 use sav_baselines::Mechanism;
-use sav_bench::scenario::build_testbed;
 use sav_bench::{run_mechanism, ScenarioOpts};
 use sav_controller::apps::{DiscoveryApp, L2RoutingApp, StatsCollectorApp};
 use sav_controller::testbed::{Testbed, TestbedConfig};
@@ -104,10 +103,7 @@ fn discovery_coexists_with_sav_filtering() {
         },
     );
     tb.run_until(SimTime::from_secs(1));
-    assert!(tb
-        .deliveries
-        .iter()
-        .all(|d| d.delivery.payload != b"spoof"));
+    assert!(tb.deliveries.iter().all(|d| d.delivery.payload != b"spoof"));
 }
 
 #[test]
@@ -172,8 +168,7 @@ fn large_campus_smoke() {
     let topo = Arc::new(topogen::campus(16, 8));
     assert_eq!(topo.hosts().len(), 128);
     let all: Vec<usize> = (0..topo.hosts().len()).collect();
-    let legit =
-        trafficgen::legit_uniform(&topo, &all, 2.0, SimDuration::from_secs(1), 64, 5001);
+    let legit = trafficgen::legit_uniform(&topo, &all, 2.0, SimDuration::from_secs(1), 64, 5001);
     let attack = trafficgen::spoof_attack(
         &topo,
         &[0, 31, 64, 100],

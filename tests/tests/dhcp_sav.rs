@@ -21,11 +21,7 @@ const LEASE_SECS: u32 = 30;
 /// unaddressed.
 fn dhcp_testbed(
     rogue_server: Option<usize>,
-) -> (
-    Arc<Topology>,
-    sav_controller::testbed::Testbed,
-    Ipv4Cidr,
-) {
+) -> (Arc<Topology>, sav_controller::testbed::Testbed, Ipv4Cidr) {
     let topo = Arc::new(topogen::linear(1, 6));
     let pool: Ipv4Cidr = "10.0.0.0/24".parse().unwrap();
     let server_node = &topo.hosts()[0];
@@ -63,8 +59,14 @@ fn dora_learns_binding_and_enforces_it() {
     tb.run_until(SimTime::from_millis(100));
 
     // Hosts 1 and 2 acquire addresses.
-    tb.schedule(SimTime::from_millis(200), TestbedCmd::DhcpDiscover { host: 1 });
-    tb.schedule(SimTime::from_millis(400), TestbedCmd::DhcpDiscover { host: 2 });
+    tb.schedule(
+        SimTime::from_millis(200),
+        TestbedCmd::DhcpDiscover { host: 1 },
+    );
+    tb.schedule(
+        SimTime::from_millis(400),
+        TestbedCmd::DhcpDiscover { host: 2 },
+    );
     tb.run_until(SimTime::from_secs(2));
 
     let ip1 = tb.host(1).ip;
@@ -133,8 +135,14 @@ fn dora_learns_binding_and_enforces_it() {
 fn lease_expiry_revokes_the_binding() {
     let (_topo, mut tb, pool) = dhcp_testbed(None);
     tb.run_until(SimTime::from_millis(100));
-    tb.schedule(SimTime::from_millis(200), TestbedCmd::DhcpDiscover { host: 1 });
-    tb.schedule(SimTime::from_millis(300), TestbedCmd::DhcpDiscover { host: 2 });
+    tb.schedule(
+        SimTime::from_millis(200),
+        TestbedCmd::DhcpDiscover { host: 1 },
+    );
+    tb.schedule(
+        SimTime::from_millis(300),
+        TestbedCmd::DhcpDiscover { host: 2 },
+    );
     tb.run_until(SimTime::from_secs(2));
     let ip1 = tb.host(1).ip;
     let ip2 = tb.host(2).ip;
@@ -189,8 +197,14 @@ fn lease_expiry_revokes_the_binding() {
 fn release_revokes_immediately() {
     let (_topo, mut tb, _pool) = dhcp_testbed(None);
     tb.run_until(SimTime::from_millis(100));
-    tb.schedule(SimTime::from_millis(200), TestbedCmd::DhcpDiscover { host: 1 });
-    tb.schedule(SimTime::from_millis(300), TestbedCmd::DhcpDiscover { host: 2 });
+    tb.schedule(
+        SimTime::from_millis(200),
+        TestbedCmd::DhcpDiscover { host: 1 },
+    );
+    tb.schedule(
+        SimTime::from_millis(300),
+        TestbedCmd::DhcpDiscover { host: 2 },
+    );
     tb.run_until(SimTime::from_secs(2));
     let ip1 = tb.host(1).ip;
     let ip2 = tb.host(2).ip;
@@ -209,10 +223,13 @@ fn release_revokes_immediately() {
         },
     );
     tb.run_until(SimTime::from_secs(5));
-    let leaked = tb
-        .deliveries
-        .iter()
-        .any(|d| d.host == 2 && matches!(tag::parse(&d.delivery.payload), Some((TrafficClass::Spoofed, 20))));
+    let leaked = tb.deliveries.iter().any(|d| {
+        d.host == 2
+            && matches!(
+                tag::parse(&d.delivery.payload),
+                Some((TrafficClass::Spoofed, 20))
+            )
+    });
     assert!(!leaked, "released address must not pass validation");
     let releases = tb
         .controller_mut()
@@ -227,7 +244,10 @@ fn rogue_dhcp_server_cannot_poison_clients() {
     // messages fail source validation at its own edge port and die there.
     let (_topo, mut tb, pool) = dhcp_testbed(Some(5));
     tb.run_until(SimTime::from_millis(100));
-    tb.schedule(SimTime::from_millis(200), TestbedCmd::DhcpDiscover { host: 1 });
+    tb.schedule(
+        SimTime::from_millis(200),
+        TestbedCmd::DhcpDiscover { host: 1 },
+    );
     tb.run_until(SimTime::from_secs(3));
     let ip1 = tb.host(1).ip;
     assert!(
@@ -268,5 +288,8 @@ fn unused_code_note_clients_start_with_plan_ip() {
                 Some((TrafficClass::Spoofed, 30))
             )
     });
-    assert!(!leaked, "pre-DORA host has no binding: {ip3} must be blocked");
+    assert!(
+        !leaked,
+        "pre-DORA host has no binding: {ip3} must be blocked"
+    );
 }

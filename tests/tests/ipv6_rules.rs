@@ -79,7 +79,11 @@ fn v6_binding_allows_and_default_deny_drops() {
     let out = sw.receive_frame(
         SimTime::ZERO,
         1,
-        v6_frame("2001:db8:0:1::5", "2001:db8:0:2::9", MacAddr::from_index(66)),
+        v6_frame(
+            "2001:db8:0:1::5",
+            "2001:db8:0:2::9",
+            MacAddr::from_index(66),
+        ),
     );
     assert!(out.tx.is_empty(), "v6 MAC binding enforced");
 }

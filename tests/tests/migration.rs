@@ -97,7 +97,13 @@ fn convergence_is_a_few_control_rtts() {
     let peer = 5usize;
     let peer_ip = topo.hosts()[peer].ip;
     let move_at = SimTime::from_millis(500);
-    tb.schedule(move_at, TestbedCmd::MoveHost { host: mover, to_switch: 1 });
+    tb.schedule(
+        move_at,
+        TestbedCmd::MoveHost {
+            host: mover,
+            to_switch: 1,
+        },
+    );
     // 1 kHz probe stream starting right at the move.
     for i in 0..2000u32 {
         tb.schedule(
@@ -148,7 +154,10 @@ fn old_port_cannot_be_reused_after_move() {
     let (old_sw, old_port) = tb.attachment(mover);
     tb.schedule(
         SimTime::from_millis(200),
-        TestbedCmd::MoveHost { host: mover, to_switch: 1 },
+        TestbedCmd::MoveHost {
+            host: mover,
+            to_switch: 1,
+        },
     );
     // Re-enable the old port (simulating the attacker's link coming up)...
     tb.schedule(
@@ -211,7 +220,10 @@ fn forwarding_and_sav_converge_together() {
         .0;
     tb.schedule(
         SimTime::from_millis(200),
-        TestbedCmd::MoveHost { host: mover, to_switch },
+        TestbedCmd::MoveHost {
+            host: mover,
+            to_switch,
+        },
     );
     // mover → peer and peer → mover, after convergence.
     tb.schedule(

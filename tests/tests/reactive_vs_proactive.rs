@@ -15,8 +15,7 @@ use std::sync::Arc;
 fn reactive_floods_the_controller_proactive_does_not() {
     let topo = Arc::new(topogen::campus(4, 4));
     let all: Vec<usize> = (0..topo.hosts().len()).collect();
-    let schedule =
-        trafficgen::legit_uniform(&topo, &all, 20.0, SimDuration::from_secs(2), 64, 21);
+    let schedule = trafficgen::legit_uniform(&topo, &all, 20.0, SimDuration::from_secs(2), 64, 21);
     let sent = schedule.legit_count() as u64;
 
     let pro = run_mechanism(&topo, Mechanism::SdnSav, &schedule, ScenarioOpts::default());
@@ -38,7 +37,10 @@ fn reactive_floods_the_controller_proactive_does_not() {
     // Reactive punts at least one packet per sender (flow-grained, far
     // fewer than per-packet thanks to the installed dynamic allows).
     assert!(rea_pi >= topo.hosts().len() as u64);
-    assert!(rea_pi < sent * 2, "punts must stay flow-grained, not melt down");
+    assert!(
+        rea_pi < sent * 2,
+        "punts must stay flow-grained, not melt down"
+    );
 }
 
 #[test]
@@ -56,11 +58,7 @@ fn reactive_first_packet_pays_latency_later_packets_do_not() {
                 dst_ip: dst,
                 src_port: 777,
                 dst_port: 7,
-                payload: sav_traffic::tag::payload(
-                    sav_traffic::tag::TrafficClass::Legit,
-                    i,
-                    32,
-                ),
+                payload: sav_traffic::tag::payload(sav_traffic::tag::TrafficClass::Legit, i, 32),
                 spoof: sav_traffic::SpoofKind::None,
             },
         ));
@@ -85,8 +83,7 @@ fn proactive_control_traffic_scales_with_churn_not_traffic() {
     let topo = Arc::new(topogen::campus(4, 4));
     let all: Vec<usize> = (0..topo.hosts().len()).collect();
     let light = trafficgen::legit_uniform(&topo, &all, 2.0, SimDuration::from_secs(2), 64, 31);
-    let heavy =
-        trafficgen::legit_uniform(&topo, &all, 50.0, SimDuration::from_secs(2), 64, 31);
+    let heavy = trafficgen::legit_uniform(&topo, &all, 50.0, SimDuration::from_secs(2), 64, 31);
 
     let out_light = run_mechanism(&topo, Mechanism::SdnSav, &light, ScenarioOpts::default());
     let out_heavy = run_mechanism(&topo, Mechanism::SdnSav, &heavy, ScenarioOpts::default());

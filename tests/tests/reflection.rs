@@ -40,7 +40,11 @@ fn world() -> ReflectionWorld {
 }
 
 /// Run the attack; return (victim attack bytes, resolver query deliveries).
-fn run_attack(w: &ReflectionWorld, mechanism: Mechanism, enforced_ases: Option<Vec<u32>>) -> (u64, u64) {
+fn run_attack(
+    w: &ReflectionWorld,
+    mechanism: Mechanism,
+    enforced_ases: Option<Vec<u32>>,
+) -> (u64, u64) {
     let victim_ip = w.topo.hosts()[w.victim].ip;
     let resolvers = w.resolvers.clone();
     let mut opts = ScenarioOpts {

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the workspace's Criterion micro-benches compiling and runnable
+//! without crates.io: `criterion_group!`/`criterion_main!`, benchmark
+//! groups, [`Throughput`], and `Bencher::iter`. Measurement is a simple
+//! calibrated loop (aim for ~20 ms per benchmark, report the mean) — no
+//! statistics, outlier analysis, or HTML reports. Numbers are indicative,
+//! not publication-grade; the real Criterion drops back in unchanged when
+//! the build environment regains network access.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared per-iteration work, used to print a rate next to the time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Wall-clock budget per benchmark (split across calibration + runs).
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // Keep `cargo test`/`cargo bench` cheap; raise via CRITERION_TARGET_MS.
+        let ms = std::env::var("CRITERION_TARGET_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Criterion {
+            target: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Bench a function outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(self.target, name, None, f);
+        self
+    }
+}
+
+/// A named group; carries the current throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(self.criterion.target, name, self.throughput, f);
+        self
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this batch's iteration count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(
+    target: Duration,
+    name: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibrate: grow the batch until it costs ~1/4 of the budget.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed * 4 >= target || iters >= 1 << 24 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters = iters.saturating_mul(4);
+    };
+    // One measured run with the remaining budget.
+    let measured_iters =
+        ((target.as_secs_f64() * 0.75 / per_iter.max(1e-12)) as u64).clamp(1, 1 << 28);
+    let mut b = Bencher {
+        iters: measured_iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / measured_iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!(
+        "  {name:<40} {:>12.1} ns/iter{rate}   ({measured_iters} iters)",
+        per_iter * 1e9
+    );
+}
+
+/// Bundle benchmark functions under one name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the named groups; ignores harness CLI flags.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test`/`cargo bench` pass libtest-style flags; accept and
+            // ignore them (the stand-in has no filtering or list mode).
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            target: Duration::from_millis(2),
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Bytes(64));
+            g.bench_function("inc", |b| {
+                b.iter(|| {
+                    ran += 1;
+                    black_box(ran)
+                })
+            });
+            g.finish();
+        }
+        assert!(ran > 0, "closure never ran");
+    }
+}

@@ -1,0 +1,443 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel`: multi-producer multi-consumer channels,
+//! unbounded or bounded (bounded `send` blocks — that is the backpressure
+//! the southbound transport relies on), with `try_`/`_timeout` variants and
+//! disconnection semantics matching the real crate: a channel is
+//! disconnected when all peers on the other side are gone.
+//!
+//! Implementation: one `Mutex<VecDeque>` + two `Condvar`s per channel. Not
+//! lock-free — correctness and API fidelity over raw throughput, which is
+//! ample for control-channel message rates.
+
+#![forbid(unsafe_code)]
+
+/// MPMC channels in the style of `crossbeam-channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signalled when the queue gains an item or all senders leave.
+        not_empty: Condvar,
+        /// Signalled when the queue loses an item or all receivers leave.
+        not_full: Condvar,
+    }
+
+    /// The sending half (cloneable).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half (cloneable).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receivers are gone; the value comes back.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_send` failed.
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded channel at capacity.
+        Full(T),
+        /// The receivers are gone.
+        Disconnected(T),
+    }
+
+    /// Why a timed send failed.
+    #[derive(PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// Still full when the deadline passed.
+        Timeout(T),
+        /// The receivers are gone.
+        Disconnected(T),
+    }
+
+    /// The senders are gone and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue momentarily empty.
+        Empty,
+        /// Senders gone and queue drained.
+        Disconnected,
+    }
+
+    /// Why a timed receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// Senders gone and queue drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    /// A channel with no capacity bound: `send` never blocks.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// A channel holding at most `cap` queued items: `send` blocks when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                cap,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock();
+            s.senders -= 1;
+            if s.senders == 0 {
+                drop(s);
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut s = self.shared.lock();
+            s.receivers -= 1;
+            if s.receivers == 0 {
+                drop(s);
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.send_deadline(value, None) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(v)) => Err(SendError(v)),
+                Err(SendTimeoutError::Timeout(_)) => unreachable!("no deadline"),
+            }
+        }
+
+        /// Queue `value` unless full/disconnected right now.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut s = self.shared.lock();
+            if s.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if s.cap.is_some_and(|c| s.queue.len() >= c) {
+                return Err(TrySendError::Full(value));
+            }
+            s.queue.push_back(value);
+            drop(s);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queue `value`, giving up after `timeout` if still full.
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            self.send_deadline(value, Some(Instant::now() + timeout))
+        }
+
+        fn send_deadline(
+            &self,
+            value: T,
+            deadline: Option<Instant>,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let mut s = self.shared.lock();
+            loop {
+                if s.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if s.cap.is_none_or(|c| s.queue.len() < c) {
+                    s.queue.push_back(value);
+                    drop(s);
+                    self.shared.not_empty.notify_one();
+                    return Ok(());
+                }
+                s = match deadline {
+                    None => self
+                        .shared
+                        .not_full
+                        .wait(s)
+                        .unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        self.shared
+                            .not_full
+                            .wait_timeout(s, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                };
+            }
+        }
+
+        /// Number of queued items right now.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is momentarily empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next item, blocking until one arrives or senders vanish.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            match self.recv_deadline(None) {
+                Ok(v) => Ok(v),
+                Err(RecvTimeoutError::Disconnected) => Err(RecvError),
+                Err(RecvTimeoutError::Timeout) => unreachable!("no deadline"),
+            }
+        }
+
+        /// Take the next item if one is already queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut s = self.shared.lock();
+            match s.queue.pop_front() {
+                Some(v) => {
+                    drop(s);
+                    self.shared.not_full.notify_one();
+                    Ok(v)
+                }
+                None if s.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Take the next item, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.recv_deadline(Some(Instant::now() + timeout))
+        }
+
+        fn recv_deadline(&self, deadline: Option<Instant>) -> Result<T, RecvTimeoutError> {
+            let mut s = self.shared.lock();
+            loop {
+                if let Some(v) = s.queue.pop_front() {
+                    drop(s);
+                    self.shared.not_full.notify_one();
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                s = match deadline {
+                    None => self
+                        .shared
+                        .not_empty
+                        .wait(s)
+                        .unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        self.shared
+                            .not_empty
+                            .wait_timeout(s, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                };
+            }
+        }
+
+        /// Number of queued items right now.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Whether the queue is momentarily empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_fifo_across_threads() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            for i in 0..1000 {
+                tx.send(i).unwrap();
+            }
+        });
+        let got: Vec<i32> = (0..1000).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let h = thread::spawn(move || tx.send(3));
+        thread::sleep(Duration::from_millis(30));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn disconnect_propagates_both_ways() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+
+        let (tx, rx) = bounded::<u8>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn drained_before_disconnected() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn timeouts_fire() {
+        let (tx, rx) = bounded::<u8>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(1).unwrap();
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(20)),
+            Err(SendTimeoutError::Timeout(2))
+        ));
+    }
+
+    #[test]
+    fn mpmc_all_items_arrive_once() {
+        let (tx, rx) = bounded(4);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    tx.send(t * 100 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let rx = rx.clone();
+            readers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        let mut all: Vec<i32> = readers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+}
