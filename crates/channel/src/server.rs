@@ -148,6 +148,34 @@ impl SouthboundServer {
         })
     }
 
+    /// [`bind`](SouthboundServer::bind), retrying while the port is still
+    /// held by a dying predecessor.
+    ///
+    /// A restarting controller wants its old address back so switches can
+    /// reconnect without reconfiguration, but the previous process's socket
+    /// may linger (`TIME_WAIT`, or its accept thread not yet joined).
+    /// Retries `AddrInUse` with a short sleep until `deadline` elapses;
+    /// any other error is returned immediately.
+    pub fn bind_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        config: ServerConfig,
+        mut controller: impl FnMut() -> Controller,
+        deadline: Duration,
+    ) -> std::io::Result<SouthboundServer> {
+        let started = Instant::now();
+        loop {
+            match SouthboundServer::bind(addr.clone(), config.clone(), controller()) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::AddrInUse
+                        && started.elapsed() < deadline =>
+                {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// The address switches should dial.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr

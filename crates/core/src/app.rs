@@ -5,22 +5,64 @@
 //! copy rules, claims FCFS bindings from punted first packets, validates
 //! reactively when configured, tracks migrations via (gratuitous) ARP, and
 //! retires state when rules time out or ports die.
+//!
+//! With a [`BindingStore`] attached ([`SavApp::with_store`]) the table is
+//! durable: every mutation appends a WAL record before the derived rule
+//! change ships, and after a controller restart the recovered table is
+//! *reconciled* against each switch's installed SAV rules (flow-stats diff
+//! by cookie) instead of blindly re-pushed — strays deleted, missing rules
+//! installed, matching rules kept with their switch-side timers intact.
 
 use crate::binding::{Binding, BindingChange, BindingSource, BindingTable};
 use crate::rules;
-use crate::SAV_COOKIE;
+use crate::{SAV_COOKIE, SAV_COOKIE_MASK};
 use sav_controller::app::{App, Ctx, Disposition};
+use sav_metrics::Counters;
 use sav_net::addr::{Ipv4Cidr, MacAddr};
 use sav_net::dhcpv4::{DhcpMessageType, DhcpRepr, DHCP_SERVER_PORT};
 use sav_net::packet::{L4Info, ParsedPacket};
 use sav_openflow::consts::port as ofport;
-use sav_openflow::messages::{FlowRemoved, FlowRemovedReason, PacketIn, PacketOut, PortStatus};
+use sav_openflow::messages::{
+    FlowMod, FlowRemoved, FlowRemovedReason, FlowStatsEntry, FlowStatsRequest, Message,
+    MultipartReplyBody, MultipartRequestBody, PacketIn, PacketOut, PortStatus,
+};
 use sav_openflow::prelude::Action;
 use sav_sim::{SimDuration, SimTime};
+use sav_store::{BindingRecord, BindingStore, RecordSource, WalOp};
 use sav_topo::{SwitchId, SwitchRole, Topology};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+
+fn to_record(b: &Binding) -> BindingRecord {
+    BindingRecord {
+        ip: b.ip,
+        mac: b.mac,
+        dpid: b.dpid,
+        port: b.port,
+        source: match b.source {
+            BindingSource::Static => RecordSource::Static,
+            BindingSource::Dhcp => RecordSource::Dhcp,
+            BindingSource::Fcfs => RecordSource::Fcfs,
+        },
+        expires: b.expires,
+    }
+}
+
+fn from_record(r: &BindingRecord) -> Binding {
+    Binding {
+        ip: r.ip,
+        mac: r.mac,
+        dpid: r.dpid,
+        port: r.port,
+        source: match r.source {
+            RecordSource::Static => BindingSource::Static,
+            RecordSource::Dhcp => BindingSource::Dhcp,
+            RecordSource::Fcfs => BindingSource::Fcfs,
+        },
+        expires: r.expires,
+    }
+}
 
 /// Proactive rules vs. per-packet controller validation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,10 +172,20 @@ pub struct SavApp {
     trunks: HashMap<u64, HashSet<u32>>,
     /// Counters.
     pub stats: SavStats,
+    /// Durable store; every binding mutation is WAL-logged when present.
+    store: Option<BindingStore>,
+    /// True when this app was hydrated from a store — switch-ups then
+    /// reconcile against installed rules instead of blindly re-pushing.
+    recovered: bool,
+    /// Switches with an outstanding reconciliation flow-stats request.
+    reconciling: HashSet<u64>,
+    /// Shared counters (`reconciled_kept` / `reconciled_deleted` /
+    /// `reconciled_installed`, `wal_append_errors`).
+    pub counters: Counters,
 }
 
 impl SavApp {
-    /// Build the app for a topology.
+    /// Build the app for a topology (no durability).
     pub fn new(topo: Arc<Topology>, config: SavConfig) -> SavApp {
         let trunks = topo
             .switches()
@@ -147,7 +199,29 @@ impl SavApp {
             dhcp_pending: HashMap::new(),
             trunks,
             stats: SavStats::default(),
+            store: None,
+            recovered: false,
+            reconciling: HashSet::new(),
+            counters: Counters::new(),
         }
+    }
+
+    /// Build the app over a durable [`BindingStore`], hydrating the binding
+    /// table from the recovered image. Switches connecting afterwards are
+    /// reconciled: the app asks each for its installed SAV rules and diffs
+    /// them against the recovered table rather than re-pushing everything.
+    pub fn with_store(topo: Arc<Topology>, config: SavConfig, store: BindingStore) -> SavApp {
+        let mut app = SavApp::new(topo, config);
+        for rec in store.bindings().values() {
+            // Hydration replays durable state; it is not a new mutation, so
+            // nothing is logged back to the WAL.
+            app.bindings.upsert(from_record(rec), SimTime::ZERO);
+        }
+        app.counters
+            .add("recovered_bindings", app.bindings.len() as u64);
+        app.store = Some(store);
+        app.recovered = true;
+        app
     }
 
     /// Read access to the binding table.
@@ -160,6 +234,21 @@ impl SavApp {
         &self.config
     }
 
+    /// The durable store, if one is attached.
+    pub fn store(&self) -> Option<&BindingStore> {
+        self.store.as_ref()
+    }
+
+    /// Append one op to the WAL (no-op without a store). Append failures
+    /// are counted, not fatal: enforcement must survive a full disk.
+    fn log_op(&mut self, op: WalOp) {
+        if let Some(store) = &mut self.store {
+            if store.append(&op).is_err() {
+                self.counters.incr("wal_append_errors");
+            }
+        }
+    }
+
     fn is_trunk(&self, dpid: u64, port: u32) -> bool {
         self.trunks
             .get(&dpid)
@@ -169,6 +258,97 @@ impl SavApp {
 
     fn punt_mode(&self) -> bool {
         self.config.mode == SavMode::Reactive || self.config.fcfs
+    }
+
+    /// Reconciliation needs a one-to-one binding↔rule mapping, which only
+    /// the proactive non-aggregate mode has; other modes fall back to the
+    /// blind re-push path.
+    fn reconcile_enabled(&self) -> bool {
+        self.recovered && self.config.mode == SavMode::Proactive && !self.config.aggregate
+    }
+
+    /// Every SAV rule this edge switch *should* have right now: trunk
+    /// pass-throughs, the default deny, DHCP snoop rules, and one allow per
+    /// binding anchored here. The reconciliation target set.
+    fn desired_edge_rules(&self, dpid: u64, now: SimTime) -> Vec<FlowMod> {
+        let Some(sid) = SwitchId::from_dpid(dpid) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for port in self.topo.trunk_ports(sid) {
+            out.push(rules::trunk_allow(port));
+        }
+        out.push(rules::edge_default_deny(self.punt_mode()));
+        if self.config.dhcp_snooping {
+            out.push(rules::dhcp_client_permit());
+            for &(sdpid, sport) in &self.config.trusted_dhcp_ports {
+                if sdpid == dpid {
+                    out.push(rules::dhcp_server_trust(sport));
+                }
+            }
+        }
+        for b in self.bindings.on_switch(dpid) {
+            out.push(self.compile_allow(b, now));
+        }
+        out
+    }
+
+    /// Diff the switch's installed SAV rules against the desired set:
+    /// delete strays, install what's missing, leave matches untouched
+    /// (their switch-side timers kept running through the outage, which is
+    /// exactly the remaining lifetime the lease has).
+    fn reconcile_rules(&mut self, ctx: &mut Ctx, dpid: u64, entries: &[FlowStatsEntry]) {
+        let now = ctx.now();
+        let desired = self.desired_edge_rules(dpid, now);
+        let mut matched = vec![false; desired.len()];
+        let (mut kept, mut deleted, mut installed) = (0u64, 0u64, 0u64);
+        for e in entries {
+            if e.cookie & SAV_COOKIE_MASK != SAV_COOKIE {
+                continue; // not ours — never touch other apps' rules
+            }
+            let hit = desired
+                .iter()
+                .enumerate()
+                .find(|(i, fm)| {
+                    !matched[*i]
+                        && fm.priority == e.priority
+                        && fm.cookie == e.cookie
+                        && fm.match_ == e.match_
+                })
+                .map(|(i, _)| i);
+            match hit {
+                Some(i) => {
+                    matched[i] = true;
+                    kept += 1;
+                }
+                None => {
+                    // Stray: installed but no longer justified by any
+                    // binding (e.g. released or superseded during the
+                    // outage — or a rule this recovered table never knew).
+                    ctx.install(
+                        dpid,
+                        FlowMod {
+                            priority: e.priority,
+                            table_id: e.table_id,
+                            command: sav_openflow::messages::FlowModCommand::DeleteStrict,
+                            ..FlowMod::add(e.match_.clone())
+                        },
+                    );
+                    self.stats.rules_deleted += 1;
+                    deleted += 1;
+                }
+            }
+        }
+        for (i, fm) in desired.into_iter().enumerate() {
+            if !matched[i] {
+                ctx.install(dpid, fm);
+                self.stats.rules_installed += 1;
+                installed += 1;
+            }
+        }
+        self.counters.add("reconciled_kept", kept);
+        self.counters.add("reconciled_deleted", deleted);
+        self.counters.add("reconciled_installed", installed);
     }
 
     fn subnet_of(&self, ip: Ipv4Addr) -> Option<Ipv4Cidr> {
@@ -207,6 +387,14 @@ impl SavApp {
             }
             return;
         }
+        let fm = self.compile_allow(b, now);
+        ctx.install(b.dpid, fm);
+        self.stats.rules_installed += 1;
+    }
+
+    /// The per-binding allow rule with lifecycle timeouts (non-aggregate
+    /// proactive shape) — shared by fresh installs and reconciliation.
+    fn compile_allow(&self, b: &Binding, now: SimTime) -> FlowMod {
         let (idle, hard) = match b.source {
             BindingSource::Static => (0, 0),
             BindingSource::Dhcp => {
@@ -218,11 +406,7 @@ impl SavApp {
             }
             BindingSource::Fcfs => (self.config.dynamic_idle_timeout, 0),
         };
-        ctx.install(
-            b.dpid,
-            rules::binding_allow(b, self.config.match_mac, idle, hard),
-        );
-        self.stats.rules_installed += 1;
+        rules::binding_allow(b, self.config.match_mac, idle, hard)
     }
 
     fn delete_allow(&mut self, ctx: &mut Ctx, b: &Binding) {
@@ -237,14 +421,19 @@ impl SavApp {
         let change = self.bindings.upsert(b, now);
         match &change {
             BindingChange::Added => {
+                self.log_op(WalOp::Upsert(to_record(&b)));
                 self.stats.bindings_added += 1;
                 self.install_allow(ctx, &b, now);
             }
             BindingChange::Refreshed => {
+                // Logged even though the location is unchanged: a refresh
+                // carries a new lease expiry that recovery must see.
+                self.log_op(WalOp::Upsert(to_record(&b)));
                 // Reinstall to refresh timeouts (identical match replaces).
                 self.install_allow(ctx, &b, now);
             }
             BindingChange::Moved(old) => {
+                self.log_op(WalOp::Migrate(to_record(&b)));
                 self.stats.bindings_moved += 1;
                 let old = *old;
                 self.delete_allow(ctx, &old);
@@ -290,6 +479,7 @@ impl SavApp {
                         .filter(|b| b.mac == msg.client_mac)
                     {
                         self.bindings.remove(b.ip);
+                        self.log_op(WalOp::Remove(b.ip));
                         self.delete_allow(ctx, &b);
                     }
                 }
@@ -473,6 +663,44 @@ impl App for SavApp {
         if !(self.config.outbound && node.role == SwitchRole::Edge) {
             return;
         }
+        if self.reconcile_enabled() {
+            // Recovered controller: seed/refresh the static plan into the
+            // *table* only, then ask the switch what it actually has — the
+            // rule pushes come out of the flow-stats diff, not a blind
+            // re-install.
+            if self.config.static_plan {
+                let now = ctx.now();
+                let seeds: Vec<Binding> = self
+                    .topo
+                    .hosts_on(sid)
+                    .map(|h| Binding {
+                        ip: h.ip,
+                        mac: h.mac,
+                        dpid,
+                        port: h.port,
+                        source: BindingSource::Static,
+                        expires: None,
+                    })
+                    .collect();
+                for b in seeds {
+                    if matches!(self.bindings.upsert(b, now), BindingChange::Added) {
+                        self.log_op(WalOp::Upsert(to_record(&b)));
+                        self.stats.bindings_added += 1;
+                    }
+                }
+            }
+            self.reconciling.insert(dpid);
+            ctx.send(
+                dpid,
+                Message::MultipartRequest(MultipartRequestBody::Flow(FlowStatsRequest {
+                    table_id: 0,
+                    cookie: SAV_COOKIE,
+                    cookie_mask: SAV_COOKIE_MASK,
+                    ..FlowStatsRequest::default()
+                })),
+            );
+            return;
+        }
         for port in self.topo.trunk_ports(sid) {
             ctx.install(dpid, rules::trunk_allow(port));
             self.stats.rules_installed += 1;
@@ -511,6 +739,7 @@ impl App for SavApp {
                 for b in &seeds {
                     by_port.entry(b.port).or_default().push(b.ip);
                     self.bindings.upsert(*b, now);
+                    self.log_op(WalOp::Upsert(to_record(b)));
                     self.stats.bindings_added += 1;
                 }
                 for (port, ips) in by_port {
@@ -526,6 +755,7 @@ impl App for SavApp {
                         // One prefix rule per port, not per host.
                         let fresh = seen_ports.insert(b.port);
                         self.bindings.upsert(b, now);
+                        self.log_op(WalOp::Upsert(to_record(&b)));
                         self.stats.bindings_added += 1;
                         if fresh {
                             self.install_allow(ctx, &b, now);
@@ -563,7 +793,7 @@ impl App for SavApp {
 
     fn on_flow_removed(&mut self, _ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
         // Only binding allow rules carry an IP-tagged SAV cookie.
-        if fr.cookie & 0xffff_0000_0000_0000 != SAV_COOKIE {
+        if fr.cookie & SAV_COOKIE_MASK != SAV_COOKIE {
             return;
         }
         if fr.reason == FlowRemovedReason::Delete {
@@ -587,9 +817,20 @@ impl App for SavApp {
             };
             if retire {
                 self.bindings.remove(ip);
+                self.log_op(WalOp::Expire(ip));
                 self.stats.bindings_expired += 1;
             }
         }
+    }
+
+    fn on_stats_reply(&mut self, ctx: &mut Ctx, dpid: u64, body: &MultipartReplyBody) {
+        let MultipartReplyBody::Flow(entries) = body else {
+            return;
+        };
+        if !self.reconciling.remove(&dpid) {
+            return;
+        }
+        self.reconcile_rules(ctx, dpid, entries);
     }
 
     fn on_port_status(&mut self, ctx: &mut Ctx, dpid: u64, ps: &PortStatus) {
@@ -607,6 +848,7 @@ impl App for SavApp {
             .collect();
         for b in doomed {
             self.bindings.remove(b.ip);
+            self.log_op(WalOp::Remove(b.ip));
             self.stats.bindings_expired += 1;
             self.delete_allow(ctx, &b);
         }
@@ -940,6 +1182,170 @@ mod tests {
         assert_eq!(fms.len(), 1);
         assert_eq!(fms[0].1.priority, crate::PRIO_ISAV_DENY);
         assert!(fms[0].1.instructions.is_empty());
+    }
+
+    fn entry_of(fm: &sav_openflow::messages::FlowMod) -> FlowStatsEntry {
+        FlowStatsEntry {
+            table_id: fm.table_id,
+            duration_sec: 1,
+            duration_nsec: 0,
+            priority: fm.priority,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            cookie: fm.cookie,
+            packet_count: 0,
+            byte_count: 0,
+            match_: fm.match_.clone(),
+            instructions: fm.instructions.clone(),
+        }
+    }
+
+    #[test]
+    fn recovered_app_reconciles_instead_of_blind_push() {
+        let dir = std::env::temp_dir().join(format!(
+            "sav-app-reconcile-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topo = Arc::new(generators::linear(2, 2));
+        let dpid = topo.switches()[0].id.dpid();
+
+        // First life: empty store. Switch-up sends a cookie-filtered flow
+        // stats request instead of pushing rules.
+        let store = BindingStore::open(&dir, sav_store::StoreConfig::default()).unwrap();
+        let mut app = SavApp::with_store(topo.clone(), SavConfig::default(), store);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let msgs = ctx.take();
+        assert_eq!(msgs.len(), 1, "reconcile path sends only the request");
+        assert!(matches!(
+            &msgs[0].1,
+            Message::MultipartRequest(MultipartRequestBody::Flow(req))
+                if req.cookie == SAV_COOKIE && req.cookie_mask == crate::SAV_COOKIE_MASK
+        ));
+        // An empty switch means everything is missing — the diff installs
+        // the full edge rule set (trunk + deny + dhcp client + 2 statics).
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, dpid, &MultipartReplyBody::Flow(vec![]));
+        assert_eq!(flow_mods(ctx).len(), 5);
+        assert_eq!(app.counters.get("reconciled_installed"), 5);
+        assert_eq!(app.counters.get("reconciled_kept"), 0);
+
+        // A DHCP client binds — appended to the WAL.
+        let db = Binding {
+            ip: "10.0.0.77".parse().unwrap(),
+            mac: MacAddr::from_index(77),
+            dpid,
+            port: 42,
+            source: BindingSource::Dhcp,
+            expires: Some(SimTime::from_secs(600)),
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.apply_upsert(&mut ctx, db, SimTime::ZERO);
+        drop(ctx.take());
+        drop(app); // crash: no orderly shutdown
+
+        // Second life: recovery hydrates statics + the DHCP binding.
+        let store = BindingStore::open(&dir, sav_store::StoreConfig::default()).unwrap();
+        assert_eq!(store.recovery_report().recovered_bindings, 3);
+        let mut app = SavApp::with_store(topo.clone(), SavConfig::default(), store);
+        assert_eq!(app.bindings().len(), 3);
+        assert!(app.bindings().get(db.ip).is_some(), "DHCP binding survived");
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        drop(ctx.take());
+
+        // The switch reports everything desired except one rule (missing),
+        // plus one allow no binding justifies (stray).
+        let desired = app.desired_edge_rules(dpid, SimTime::ZERO);
+        let mut entries: Vec<FlowStatsEntry> = desired.iter().map(entry_of).collect();
+        let missing = entries.pop().unwrap();
+        let stray = Binding {
+            ip: "10.0.0.250".parse().unwrap(),
+            mac: MacAddr::from_index(250),
+            dpid,
+            port: 9,
+            source: BindingSource::Fcfs,
+            expires: None,
+        };
+        let stray_fm = rules::binding_allow(&stray, true, 60, 0);
+        entries.push(entry_of(&stray_fm));
+
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, dpid, &MultipartReplyBody::Flow(entries));
+        let fms = flow_mods(ctx);
+        assert_eq!(fms.len(), 2, "one delete + one install, nothing else");
+        assert!(fms.iter().any(|(_, fm)| {
+            fm.command == sav_openflow::messages::FlowModCommand::DeleteStrict
+                && fm.match_ == stray_fm.match_
+        }));
+        assert!(fms.iter().any(|(_, fm)| {
+            fm.command == sav_openflow::messages::FlowModCommand::Add && fm.match_ == missing.match_
+        }));
+        assert_eq!(
+            app.counters.get("reconciled_kept"),
+            (desired.len() - 1) as u64
+        );
+        assert_eq!(app.counters.get("reconciled_deleted"), 1);
+        assert_eq!(app.counters.get("reconciled_installed"), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn release_and_expiry_reach_the_wal() {
+        let dir = std::env::temp_dir().join(format!(
+            "sav-app-wal-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topo = Arc::new(generators::linear(2, 2));
+        let dpid = topo.switches()[0].id.dpid();
+        let store = BindingStore::open(&dir, sav_store::StoreConfig::default()).unwrap();
+        let mut app = SavApp::with_store(
+            topo.clone(),
+            SavConfig {
+                static_plan: false,
+                ..SavConfig::default()
+            },
+            store,
+        );
+        let db = Binding {
+            ip: "10.0.0.50".parse().unwrap(),
+            mac: MacAddr::from_index(50),
+            dpid,
+            port: 7,
+            source: BindingSource::Dhcp,
+            expires: Some(SimTime::from_secs(60)),
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.apply_upsert(&mut ctx, db, SimTime::ZERO);
+        drop(ctx.take());
+        // Lease hard-timeout retires the binding — and the WAL hears it.
+        let fr = FlowRemoved {
+            cookie: rules::allow_cookie(&db),
+            priority: crate::PRIO_ALLOW,
+            reason: FlowRemovedReason::HardTimeout,
+            table_id: 0,
+            duration_sec: 60,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 60,
+            packet_count: 1,
+            byte_count: 100,
+            match_: OxmMatch::new(),
+        };
+        app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(60)), dpid, &fr);
+        drop(app);
+        let store = BindingStore::open(&dir, sav_store::StoreConfig::default()).unwrap();
+        assert_eq!(store.recovery_report().wal_ops_replayed, 2);
+        assert!(
+            store.bindings().is_empty(),
+            "expired binding must not resurrect"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use sav_net::addr::MacAddr;
 use sav_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 /// Where a binding came from — decides trust and lifecycle.
@@ -51,9 +51,15 @@ pub enum BindingChange {
 }
 
 /// The table, indexed by IP (the validated field).
+///
+/// Keyed by a `BTreeMap` so every traversal — [`iter`](BindingTable::iter),
+/// [`expire`](BindingTable::expire), rule compilation — is deterministic,
+/// ascending by IP. With a hash map, two bindings sharing an expiry tick
+/// swept in arbitrary order let a caller interleave `next_expiry()` between
+/// the removals and observe an instant whose entry was already gone.
 #[derive(Debug, Default)]
 pub struct BindingTable {
-    by_ip: HashMap<Ipv4Addr, Binding>,
+    by_ip: BTreeMap<Ipv4Addr, Binding>,
 }
 
 impl BindingTable {
@@ -77,12 +83,12 @@ impl BindingTable {
         self.by_ip.get(&ip)
     }
 
-    /// Iterate all bindings (order unspecified).
+    /// Iterate all bindings, ascending by IP.
     pub fn iter(&self) -> impl Iterator<Item = &Binding> {
         self.by_ip.values()
     }
 
-    /// Bindings anchored at a given switch.
+    /// Bindings anchored at a given switch, ascending by IP.
     pub fn on_switch(&self, dpid: u64) -> impl Iterator<Item = &Binding> {
         self.by_ip.values().filter(move |b| b.dpid == dpid)
     }
@@ -126,7 +132,14 @@ impl BindingTable {
         self.by_ip.remove(&ip)
     }
 
-    /// Remove and return all bindings expired at `now`.
+    /// Remove and return all bindings expired at `now`, ascending by IP.
+    ///
+    /// The sweep is atomic with respect to [`next_expiry`]: every binding
+    /// due at `now` is collected before any removal, so once this returns,
+    /// `next_expiry()` can only name an instant strictly in the future —
+    /// even when several bindings share the same expiry tick.
+    ///
+    /// [`next_expiry`]: BindingTable::next_expiry
     pub fn expire(&mut self, now: SimTime) -> Vec<Binding> {
         let dead: Vec<Ipv4Addr> = self
             .by_ip
@@ -273,6 +286,52 @@ mod tests {
         assert_eq!(dead.len(), 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.next_expiry(), None);
+    }
+
+    #[test]
+    fn shared_expiry_tick_sweeps_both_and_clears_next_expiry() {
+        // Regression: two bindings expiring on the same tick. With the old
+        // hash-map table the sweep order was arbitrary, so `next_expiry()`
+        // sampled mid-sweep could name the tick of an already-removed entry.
+        let mut t = BindingTable::new();
+        let mut x = b("10.0.0.9", 1, 1, 2, BindingSource::Dhcp);
+        x.expires = Some(SimTime::from_secs(10));
+        let mut y = b("10.0.0.1", 2, 1, 3, BindingSource::Dhcp);
+        y.expires = Some(SimTime::from_secs(10));
+        let mut z = b("10.0.0.5", 3, 1, 4, BindingSource::Dhcp);
+        z.expires = Some(SimTime::from_secs(30));
+        t.upsert(x, SimTime::ZERO);
+        t.upsert(y, SimTime::ZERO);
+        t.upsert(z, SimTime::ZERO);
+
+        let dead = t.expire(SimTime::from_secs(10));
+        // Both same-tick bindings go in one sweep, in deterministic
+        // ascending-IP order.
+        assert_eq!(
+            dead.iter().map(|d| d.ip).collect::<Vec<_>>(),
+            vec![y.ip, x.ip]
+        );
+        // After the sweep, next_expiry can only be strictly in the future —
+        // never the just-swept tick.
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(30)));
+        assert!(t.next_expiry().unwrap() > SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_ip() {
+        let mut t = BindingTable::new();
+        for (i, ip) in ["10.0.0.7", "10.0.0.2", "10.0.0.250", "10.0.0.1"]
+            .iter()
+            .enumerate()
+        {
+            t.upsert(b(ip, i as u64, 1, 1, BindingSource::Static), SimTime::ZERO);
+        }
+        let order: Vec<Ipv4Addr> = t.iter().map(|x| x.ip).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted);
+        assert_eq!(order[0], "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(order[3], "10.0.0.250".parse::<Ipv4Addr>().unwrap());
     }
 
     #[test]

@@ -59,3 +59,6 @@ pub const PRIO_TRUNK: u16 = 30_000;
 pub const PRIO_OSAV_DENY: u16 = 20_000;
 /// Cookie tag marking rules owned by the SAV app (upper 16 bits).
 pub const SAV_COOKIE: u64 = 0x5a56_0000_0000_0000;
+/// Mask isolating the ownership tag of [`SAV_COOKIE`] — the cookie filter
+/// used when reconciling installed rules after a controller restart.
+pub const SAV_COOKIE_MASK: u64 = 0xffff_0000_0000_0000;

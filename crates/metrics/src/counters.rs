@@ -1,0 +1,91 @@
+//! Named, shareable counters.
+//!
+//! A [`Counters`] handle is a cheap clone over shared state, so a component
+//! can hand one to the harness (or another thread) and keep incrementing on
+//! its own copy — the same split-ownership shape as `sav-channel`'s
+//! `ChannelMetrics`, but `std`-only because this crate takes no
+//! dependencies.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A set of named monotonic counters.
+#[derive(Debug, Clone, Default)]
+pub struct Counters {
+    inner: Arc<Mutex<BTreeMap<&'static str, u64>>>,
+}
+
+impl Counters {
+    /// New, empty counter set.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// Add `n` to `name` (creating it at zero first).
+    pub fn add(&self, name: &'static str, n: u64) {
+        let mut m = self.inner.lock().expect("counters poisoned");
+        *m.entry(name).or_insert(0) += n;
+    }
+
+    /// Increment `name` by one.
+    pub fn incr(&self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .expect("counters poisoned")
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .lock()
+            .expect("counters poisoned")
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let c = Counters::new();
+        let c2 = c.clone();
+        c.incr("a");
+        c2.add("a", 2);
+        c2.incr("b");
+        assert_eq!(c.get("a"), 3);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.snapshot(), vec![("a", 3), ("b", 1)]);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = Counters::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr("hits");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get("hits"), 4000);
+    }
+}

@@ -7,7 +7,10 @@
 //! * [`TimeSeries`] — timestamped samples binned into fixed windows, for
 //!   rate-over-time plots (Fig. 3);
 //! * [`Table`] — aligned ASCII tables and CSV output, the format every
-//!   bench target prints its paper-table reproduction in.
+//!   bench target prints its paper-table reproduction in;
+//! * [`Counters`] — named shared counters (e.g. the crash-recovery
+//!   reconciliation counts `reconciled_kept` / `reconciled_deleted` /
+//!   `reconciled_installed` published by `sav-core`).
 //!
 //! CSV writing is hand-rolled (quoted only when needed) to keep the
 //! workspace free of serialization dependencies.
@@ -15,10 +18,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counters;
 pub mod hist;
 pub mod series;
 pub mod table;
 
+pub use counters::Counters;
 pub use hist::Histogram;
 pub use series::TimeSeries;
 pub use table::Table;

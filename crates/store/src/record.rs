@@ -1,0 +1,255 @@
+//! The logical log records and their binary codec.
+//!
+//! A [`WalOp`] is one binding-table mutation; [`BindingRecord`] mirrors
+//! `sav-core`'s `Binding` field-for-field without depending on it (the
+//! dependency runs the other way: `sav-core` logs into this crate).
+//!
+//! Payload layout (all integers little-endian):
+//!
+//! ```text
+//! upsert / migrate:  tag(1) ip(4) mac(6) dpid(8) port(4) source(1) has_exp(1) expires_ns(8)
+//! remove / expire:   tag(1) ip(4)
+//! ```
+//!
+//! Decoding is strict: unknown tags, bad enum values, and trailing bytes
+//! are [`DecodeError`]s, which recovery treats exactly like a checksum
+//! failure (truncate the log there).
+
+use sav_net::addr::MacAddr;
+use sav_sim::SimTime;
+use std::net::Ipv4Addr;
+
+/// Provenance of a stored binding (mirrors `sav-core`'s `BindingSource`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordSource {
+    /// Operator-configured; never expires.
+    Static,
+    /// Learned from a snooped DHCPACK.
+    Dhcp,
+    /// First-come-first-served data-plane claim.
+    Fcfs,
+}
+
+/// One durable `IP ↔ (switch, port, MAC)` binding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BindingRecord {
+    /// The bound source address.
+    pub ip: Ipv4Addr,
+    /// The host's MAC.
+    pub mac: MacAddr,
+    /// Datapath id of the edge switch.
+    pub dpid: u64,
+    /// Host-facing port on that switch.
+    pub port: u32,
+    /// Provenance.
+    pub source: RecordSource,
+    /// Absolute expiry (virtual time of the run that wrote it), if any.
+    pub expires: Option<SimTime>,
+}
+
+/// One binding-table mutation, as appended to the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert or refresh a binding.
+    Upsert(BindingRecord),
+    /// Explicit removal (DHCP release, operator action, port death).
+    Remove(Ipv4Addr),
+    /// Lifecycle expiry (lease end, FCFS idle-out).
+    Expire(Ipv4Addr),
+    /// The host moved; the record carries the *new* attachment.
+    Migrate(BindingRecord),
+}
+
+const TAG_UPSERT: u8 = 1;
+const TAG_REMOVE: u8 = 2;
+const TAG_EXPIRE: u8 = 3;
+const TAG_MIGRATE: u8 = 4;
+
+/// Payload size of an upsert/migrate record.
+pub(crate) const BINDING_PAYLOAD_LEN: usize = 1 + 4 + 6 + 8 + 4 + 1 + 1 + 8;
+/// Payload size of a remove/expire record.
+pub(crate) const IP_PAYLOAD_LEN: usize = 1 + 4;
+
+/// A payload failed structural validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError;
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed WAL record payload")
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn source_to_wire(s: RecordSource) -> u8 {
+    match s {
+        RecordSource::Static => 0,
+        RecordSource::Dhcp => 1,
+        RecordSource::Fcfs => 2,
+    }
+}
+
+fn source_from_wire(v: u8) -> Result<RecordSource, DecodeError> {
+    Ok(match v {
+        0 => RecordSource::Static,
+        1 => RecordSource::Dhcp,
+        2 => RecordSource::Fcfs,
+        _ => return Err(DecodeError),
+    })
+}
+
+fn emit_binding(tag: u8, b: &BindingRecord, out: &mut Vec<u8>) {
+    out.push(tag);
+    out.extend_from_slice(&u32::from(b.ip).to_le_bytes());
+    out.extend_from_slice(&b.mac.0);
+    out.extend_from_slice(&b.dpid.to_le_bytes());
+    out.extend_from_slice(&b.port.to_le_bytes());
+    out.push(source_to_wire(b.source));
+    match b.expires {
+        Some(t) => {
+            out.push(1);
+            out.extend_from_slice(&t.as_nanos().to_le_bytes());
+        }
+        None => {
+            out.push(0);
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+    }
+}
+
+fn take<const N: usize>(buf: &[u8], at: usize) -> Result<[u8; N], DecodeError> {
+    buf.get(at..at + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(DecodeError)
+}
+
+fn parse_binding(payload: &[u8]) -> Result<BindingRecord, DecodeError> {
+    if payload.len() != BINDING_PAYLOAD_LEN {
+        return Err(DecodeError);
+    }
+    let ip = Ipv4Addr::from(u32::from_le_bytes(take::<4>(payload, 1)?));
+    let mac = MacAddr(take::<6>(payload, 5)?);
+    let dpid = u64::from_le_bytes(take::<8>(payload, 11)?);
+    let port = u32::from_le_bytes(take::<4>(payload, 19)?);
+    let source = source_from_wire(payload[23])?;
+    let expires = match payload[24] {
+        0 => None,
+        1 => Some(SimTime::from_nanos(u64::from_le_bytes(take::<8>(
+            payload, 25,
+        )?))),
+        _ => return Err(DecodeError),
+    };
+    Ok(BindingRecord {
+        ip,
+        mac,
+        dpid,
+        port,
+        source,
+        expires,
+    })
+}
+
+impl WalOp {
+    /// Serialize into a fresh payload buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(BINDING_PAYLOAD_LEN);
+        match self {
+            WalOp::Upsert(b) => emit_binding(TAG_UPSERT, b, &mut out),
+            WalOp::Migrate(b) => emit_binding(TAG_MIGRATE, b, &mut out),
+            WalOp::Remove(ip) => {
+                out.push(TAG_REMOVE);
+                out.extend_from_slice(&u32::from(*ip).to_le_bytes());
+            }
+            WalOp::Expire(ip) => {
+                out.push(TAG_EXPIRE);
+                out.extend_from_slice(&u32::from(*ip).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parse a payload produced by [`WalOp::encode`].
+    pub fn decode(payload: &[u8]) -> Result<WalOp, DecodeError> {
+        let &tag = payload.first().ok_or(DecodeError)?;
+        match tag {
+            TAG_UPSERT => Ok(WalOp::Upsert(parse_binding(payload)?)),
+            TAG_MIGRATE => Ok(WalOp::Migrate(parse_binding(payload)?)),
+            TAG_REMOVE | TAG_EXPIRE => {
+                if payload.len() != IP_PAYLOAD_LEN {
+                    return Err(DecodeError);
+                }
+                let ip = Ipv4Addr::from(u32::from_le_bytes(take::<4>(payload, 1)?));
+                Ok(if tag == TAG_REMOVE {
+                    WalOp::Remove(ip)
+                } else {
+                    WalOp::Expire(ip)
+                })
+            }
+            _ => Err(DecodeError),
+        }
+    }
+
+    /// The IP this op concerns.
+    pub fn ip(&self) -> Ipv4Addr {
+        match self {
+            WalOp::Upsert(b) | WalOp::Migrate(b) => b.ip,
+            WalOp::Remove(ip) | WalOp::Expire(ip) => *ip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ip: &str) -> BindingRecord {
+        BindingRecord {
+            ip: ip.parse().unwrap(),
+            mac: MacAddr::from_index(7),
+            dpid: 0x1122_3344_5566_7788,
+            port: 42,
+            source: RecordSource::Dhcp,
+            expires: Some(SimTime::from_secs(3600)),
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_ops() {
+        let ops = [
+            WalOp::Upsert(rec("10.0.0.1")),
+            WalOp::Migrate(BindingRecord {
+                expires: None,
+                source: RecordSource::Fcfs,
+                ..rec("10.0.0.2")
+            }),
+            WalOp::Remove("192.0.2.1".parse().unwrap()),
+            WalOp::Expire("198.51.100.9".parse().unwrap()),
+        ];
+        for op in ops {
+            assert_eq!(WalOp::decode(&op.encode()), Ok(op));
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_rejected_not_panicked() {
+        assert!(WalOp::decode(&[]).is_err());
+        assert!(WalOp::decode(&[99]).is_err());
+        // Truncated binding payload.
+        let mut bytes = WalOp::Upsert(rec("10.0.0.1")).encode();
+        bytes.pop();
+        assert!(WalOp::decode(&bytes).is_err());
+        // Trailing garbage.
+        let mut bytes = WalOp::Remove("10.0.0.1".parse().unwrap()).encode();
+        bytes.push(0);
+        assert!(WalOp::decode(&bytes).is_err());
+        // Bad source enum.
+        let mut bytes = WalOp::Upsert(rec("10.0.0.1")).encode();
+        bytes[23] = 9;
+        assert!(WalOp::decode(&bytes).is_err());
+        // Bad expiry flag.
+        let mut bytes = WalOp::Upsert(rec("10.0.0.1")).encode();
+        bytes[24] = 2;
+        assert!(WalOp::decode(&bytes).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Snapshot files: a compacted image of the whole binding table.
+//!
+//! Layout:
+//!
+//! ```text
+//! ┌──────────────────┬────────────┬──────────────────────────────┐
+//! │ magic "SAVSNP01" │ count: u32 │ count × framed Upsert record │
+//! └──────────────────┴────────────┴──────────────────────────────┘
+//! ```
+//!
+//! Each record reuses the WAL frame (`len`/`crc`/payload) so one codec
+//! serves both files. Snapshots are written to a temporary sibling, fsynced,
+//! and atomically renamed into place — a crash mid-write leaves the previous
+//! snapshot untouched. Loading is defensive: a bad magic, short header, or
+//! corrupt record aborts the load with whatever bindings were already read
+//! (recovery then continues with the WAL tail, which still holds everything
+//! since the previous *successful* snapshot).
+
+use crate::record::{BindingRecord, WalOp};
+use crate::wal::{encode_frame, scan_bytes};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+use std::net::Ipv4Addr;
+use std::path::Path;
+
+/// File magic; the trailing digits version the format.
+pub const MAGIC: &[u8; 8] = b"SAVSNP01";
+
+/// Result of reading a snapshot file.
+#[derive(Debug, Default)]
+pub struct SnapshotLoad {
+    /// Bindings recovered from the snapshot.
+    pub bindings: BTreeMap<Ipv4Addr, BindingRecord>,
+    /// True if the file was missing, short, or failed validation partway.
+    pub damaged: bool,
+}
+
+/// Serialize `state` into a snapshot byte image.
+pub fn encode_snapshot(state: &BTreeMap<Ipv4Addr, BindingRecord>) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(12 + state.len() * 36);
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&(state.len() as u32).to_le_bytes());
+    let mut frame = Vec::new();
+    for rec in state.values() {
+        encode_frame(&WalOp::Upsert(*rec), &mut frame);
+        bytes.extend_from_slice(&frame);
+    }
+    bytes
+}
+
+/// Parse a snapshot byte image, salvaging a valid prefix on damage.
+pub fn decode_snapshot(bytes: &[u8]) -> SnapshotLoad {
+    let mut load = SnapshotLoad::default();
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        load.damaged = true;
+        return load;
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    let scan = scan_bytes(&bytes[12..]);
+    for op in &scan.ops {
+        if let WalOp::Upsert(rec) = op {
+            load.bindings.insert(rec.ip, *rec);
+        } else {
+            // Snapshots only contain upserts; anything else is corruption.
+            load.damaged = true;
+            return load;
+        }
+    }
+    load.damaged = scan.truncated || scan.ops.len() != count as usize;
+    load
+}
+
+/// Write `state` durably to `path` via tmp-file + fsync + atomic rename.
+pub fn write_snapshot(
+    path: &Path,
+    tmp_path: &Path,
+    state: &BTreeMap<Ipv4Addr, BindingRecord>,
+) -> std::io::Result<()> {
+    let bytes = encode_snapshot(state);
+    let mut tmp = File::create(tmp_path)?;
+    tmp.write_all(&bytes)?;
+    tmp.sync_all()?;
+    drop(tmp);
+    std::fs::rename(tmp_path, path)?;
+    // Make the rename itself durable where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read the snapshot at `path`; a missing file is an empty, undamaged load.
+pub fn read_snapshot(path: &Path) -> SnapshotLoad {
+    match std::fs::read(path) {
+        Ok(bytes) => decode_snapshot(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => SnapshotLoad::default(),
+        Err(_) => SnapshotLoad {
+            bindings: BTreeMap::new(),
+            damaged: true,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSource;
+    use sav_net::addr::MacAddr;
+    use sav_sim::SimTime;
+
+    fn state(n: u8) -> BTreeMap<Ipv4Addr, BindingRecord> {
+        (1..=n)
+            .map(|i| {
+                let ip = Ipv4Addr::new(10, 0, 0, i);
+                (
+                    ip,
+                    BindingRecord {
+                        ip,
+                        mac: MacAddr::from_index(u64::from(i)),
+                        dpid: u64::from(i % 3),
+                        port: u32::from(i),
+                        source: RecordSource::Dhcp,
+                        expires: Some(SimTime::from_secs(u64::from(i) * 60)),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = state(9);
+        let load = decode_snapshot(&encode_snapshot(&s));
+        assert!(!load.damaged);
+        assert_eq!(load.bindings, s);
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let load = decode_snapshot(&encode_snapshot(&BTreeMap::new()));
+        assert!(!load.damaged);
+        assert!(load.bindings.is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_damage() {
+        let mut bytes = encode_snapshot(&state(2));
+        bytes[0] ^= 0xff;
+        let load = decode_snapshot(&bytes);
+        assert!(load.damaged);
+        assert!(load.bindings.is_empty());
+    }
+
+    #[test]
+    fn truncation_salvages_prefix() {
+        let s = state(5);
+        let full = encode_snapshot(&s);
+        for cut in 0..full.len() {
+            let load = decode_snapshot(&full[..cut]);
+            // Never panics; salvaged bindings are a subset of the real state.
+            for (ip, rec) in &load.bindings {
+                assert_eq!(s.get(ip), Some(rec), "cut at {cut}");
+            }
+            if cut < full.len() {
+                assert!(load.damaged, "cut at {cut} must be flagged");
+            }
+        }
+    }
+
+    #[test]
+    fn atomic_write_and_read() {
+        let dir = std::env::temp_dir().join(format!("sav-snap-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.snap");
+        let tmp = dir.join("snapshot.tmp");
+        let s = state(4);
+        write_snapshot(&path, &tmp, &s).unwrap();
+        assert!(!tmp.exists(), "tmp file must be renamed away");
+        let load = read_snapshot(&path);
+        assert!(!load.damaged);
+        assert_eq!(load.bindings, s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_clean_empty() {
+        let load = read_snapshot(Path::new("/nonexistent/sav/snapshot.snap"));
+        assert!(!load.damaged);
+        assert!(load.bindings.is_empty());
+    }
+}

@@ -1,0 +1,394 @@
+//! [`BindingStore`]: the durable store façade — open, append, compact,
+//! recover.
+//!
+//! A store directory holds at most three files:
+//!
+//! | file            | role                                      |
+//! |-----------------|-------------------------------------------|
+//! | `snapshot.snap` | last compacted image of the full table    |
+//! | `snapshot.tmp`  | in-flight snapshot (crash leftover only)  |
+//! | `wal.log`       | ops appended since the last snapshot      |
+//!
+//! Recovery loads `snapshot.snap` (missing ⇒ empty), replays `wal.log` on
+//! top, truncating the log at the first torn/corrupt frame, and leaves the
+//! result as the in-memory shadow state. Compaction writes the shadow to a
+//! fresh snapshot (tmp + fsync + atomic rename) and then truncates the WAL;
+//! a crash between the rename and the truncate is harmless because replaying
+//! the old ops onto the new snapshot is idempotent — every op is a by-key
+//! set or delete whose outcome does not depend on prior state.
+
+use crate::record::{BindingRecord, WalOp};
+use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::wal::{append_op, recover_file};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// When appends hit the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// fsync after every append — a record is durable before the flow rule
+    /// derived from it is pushed. The default; correctness over throughput.
+    #[default]
+    Always,
+    /// fsync only at compaction; a crash can lose the tail since the last
+    /// snapshot. For benchmarks and tests that churn thousands of bindings.
+    OnCompact,
+    /// Never fsync explicitly (OS page cache decides). Test-only.
+    Never,
+}
+
+/// Tuning for a [`BindingStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Durability policy for WAL appends.
+    pub fsync: FsyncPolicy,
+    /// Compact when the WAL holds at least this many records…
+    pub compact_min_records: u64,
+    /// …and exceeds this many bytes. Both thresholds must trip.
+    pub compact_min_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            fsync: FsyncPolicy::Always,
+            compact_min_records: 1024,
+            compact_min_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// What recovery found when the store was opened.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Bindings loaded from the snapshot file.
+    pub snapshot_bindings: usize,
+    /// True if the snapshot was present but damaged (prefix salvaged).
+    pub snapshot_damaged: bool,
+    /// Ops replayed from the WAL tail.
+    pub wal_ops_replayed: usize,
+    /// True if a torn/corrupt WAL tail was cut off.
+    pub wal_truncated: bool,
+    /// Live bindings after replay.
+    pub recovered_bindings: usize,
+}
+
+/// Durable, crash-recoverable store for the binding table.
+#[derive(Debug)]
+pub struct BindingStore {
+    dir: PathBuf,
+    wal: File,
+    wal_bytes: u64,
+    wal_records: u64,
+    state: BTreeMap<Ipv4Addr, BindingRecord>,
+    config: StoreConfig,
+    report: RecoveryReport,
+    scratch: Vec<u8>,
+}
+
+impl BindingStore {
+    fn wal_path(dir: &Path) -> PathBuf {
+        dir.join("wal.log")
+    }
+
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot.snap")
+    }
+
+    fn tmp_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot.tmp")
+    }
+
+    /// Open (creating if needed) the store at `dir` and run recovery.
+    pub fn open(dir: impl Into<PathBuf>, config: StoreConfig) -> std::io::Result<BindingStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        // A leftover snapshot.tmp is an aborted compaction; the real
+        // snapshot is still intact, so just discard it.
+        let _ = std::fs::remove_file(Self::tmp_path(&dir));
+
+        let snap = read_snapshot(&Self::snapshot_path(&dir));
+        let mut state = snap.bindings;
+        let snapshot_bindings = state.len();
+
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(Self::wal_path(&dir))?;
+        let scan = recover_file(&mut wal)?;
+        for op in &scan.ops {
+            apply(&mut state, op);
+        }
+
+        let report = RecoveryReport {
+            snapshot_bindings,
+            snapshot_damaged: snap.damaged,
+            wal_ops_replayed: scan.ops.len(),
+            wal_truncated: scan.truncated,
+            recovered_bindings: state.len(),
+        };
+        Ok(BindingStore {
+            dir,
+            wal,
+            wal_bytes: scan.valid_len,
+            wal_records: scan.ops.len() as u64,
+            state,
+            config,
+            report,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The recovered/live binding image, keyed (and therefore iterated)
+    /// by IP in ascending order.
+    pub fn bindings(&self) -> &BTreeMap<Ipv4Addr, BindingRecord> {
+        &self.state
+    }
+
+    /// Current WAL size in bytes (frames only, no header).
+    pub fn wal_len(&self) -> u64 {
+        self.wal_bytes
+    }
+
+    /// Records appended to the WAL since the last compaction.
+    pub fn wal_records(&self) -> u64 {
+        self.wal_records
+    }
+
+    /// Durably append one op and fold it into the shadow state. Compacts
+    /// automatically when both thresholds in [`StoreConfig`] trip.
+    pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
+        let wrote = append_op(&mut self.wal, op, &mut self.scratch)?;
+        if matches!(self.config.fsync, FsyncPolicy::Always) {
+            self.wal.sync_data()?;
+        }
+        self.wal_bytes += wrote;
+        self.wal_records += 1;
+        apply(&mut self.state, op);
+        if self.wal_records >= self.config.compact_min_records
+            && self.wal_bytes >= self.config.compact_min_bytes
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Write the shadow state to a fresh snapshot and reset the WAL.
+    pub fn compact(&mut self) -> std::io::Result<()> {
+        write_snapshot(
+            &Self::snapshot_path(&self.dir),
+            &Self::tmp_path(&self.dir),
+            &self.state,
+        )?;
+        // Snapshot is durable; the WAL's ops are now redundant. Crash before
+        // this truncate just replays them onto the snapshot, idempotently.
+        self.wal.set_len(0)?;
+        self.wal.seek(SeekFrom::Start(0))?;
+        self.wal.sync_all()?;
+        self.wal_bytes = 0;
+        self.wal_records = 0;
+        Ok(())
+    }
+
+    /// Flush pending appends (used by `FsyncPolicy::OnCompact` callers at
+    /// orderly shutdown).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.wal.sync_data()
+    }
+
+    /// Delete all store files under `dir`. For `--wipe` flags and tests.
+    pub fn wipe(dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        for p in [
+            Self::wal_path(dir),
+            Self::snapshot_path(dir),
+            Self::tmp_path(dir),
+        ] {
+            match std::fs::remove_file(&p) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fold one op into a binding image. Pure by-key set/delete: replay is
+/// idempotent and convergent regardless of how many times a suffix reruns.
+pub fn apply(state: &mut BTreeMap<Ipv4Addr, BindingRecord>, op: &WalOp) {
+    match op {
+        WalOp::Upsert(rec) | WalOp::Migrate(rec) => {
+            state.insert(rec.ip, *rec);
+        }
+        WalOp::Remove(ip) | WalOp::Expire(ip) => {
+            state.remove(ip);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordSource;
+    use sav_net::addr::MacAddr;
+    use sav_sim::SimTime;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "sav-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn rec(i: u8) -> BindingRecord {
+        BindingRecord {
+            ip: Ipv4Addr::new(10, 0, 0, i),
+            mac: MacAddr::from_index(u64::from(i)),
+            dpid: u64::from(i % 2 + 1),
+            port: u32::from(i),
+            source: RecordSource::Dhcp,
+            expires: Some(SimTime::from_secs(300)),
+        }
+    }
+
+    #[test]
+    fn reopen_recovers_appends() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+            s.append(&WalOp::Upsert(rec(1))).unwrap();
+            s.append(&WalOp::Upsert(rec(2))).unwrap();
+            s.append(&WalOp::Remove(rec(1).ip)).unwrap();
+        } // dropped without any orderly shutdown — like a kill -9
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.recovery_report().wal_ops_replayed, 3);
+        assert_eq!(s.bindings().len(), 1);
+        assert_eq!(s.bindings().get(&rec(2).ip), Some(&rec(2)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_then_reopen() {
+        let dir = tmp_dir("compact");
+        {
+            let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+            for i in 1..=20 {
+                s.append(&WalOp::Upsert(rec(i))).unwrap();
+            }
+            s.append(&WalOp::Remove(rec(5).ip)).unwrap();
+            s.compact().unwrap();
+            assert_eq!(s.wal_len(), 0);
+            // Post-compaction appends land in a fresh WAL.
+            s.append(&WalOp::Upsert(rec(30))).unwrap();
+        }
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        let r = s.recovery_report();
+        assert_eq!(r.snapshot_bindings, 19);
+        assert_eq!(r.wal_ops_replayed, 1);
+        assert_eq!(r.recovered_bindings, 20);
+        assert!(!s.bindings().contains_key(&rec(5).ip));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_compaction_trips_on_thresholds() {
+        let dir = tmp_dir("auto");
+        let config = StoreConfig {
+            fsync: FsyncPolicy::Never,
+            compact_min_records: 8,
+            compact_min_bytes: 1,
+        };
+        let mut s = BindingStore::open(&dir, config).unwrap();
+        for i in 1..=8 {
+            s.append(&WalOp::Upsert(rec(i))).unwrap();
+        }
+        assert_eq!(s.wal_len(), 0, "8th append should have compacted");
+        assert_eq!(s.bindings().len(), 8);
+        drop(s);
+        let s = BindingStore::open(&dir, config).unwrap();
+        assert_eq!(s.recovery_report().snapshot_bindings, 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_reported_and_survivable() {
+        let dir = tmp_dir("torn");
+        {
+            let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+            s.append(&WalOp::Upsert(rec(1))).unwrap();
+            s.append(&WalOp::Upsert(rec(2))).unwrap();
+        }
+        // Simulate a torn write: chop the last record mid-frame.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&wal).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+
+        let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        let r = s.recovery_report().clone();
+        assert!(r.wal_truncated);
+        assert_eq!(r.wal_ops_replayed, 1);
+        assert_eq!(s.bindings().len(), 1);
+        // The store keeps working after cutting the tail.
+        s.append(&WalOp::Upsert(rec(3))).unwrap();
+        drop(s);
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert!(!s.recovery_report().wal_truncated);
+        assert_eq!(s.bindings().len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_between_rename_and_truncate_converges() {
+        let dir = tmp_dir("rename-crash");
+        let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        for i in 1..=4 {
+            s.append(&WalOp::Upsert(rec(i))).unwrap();
+        }
+        s.append(&WalOp::Remove(rec(2).ip)).unwrap();
+        let expect: BTreeMap<_, _> = s.bindings().clone();
+        // Emulate the crash window: snapshot renamed into place but the WAL
+        // (still holding all five ops) never truncated.
+        write_snapshot(
+            &BindingStore::snapshot_path(&dir),
+            &BindingStore::tmp_path(&dir),
+            s.bindings(),
+        )
+        .unwrap();
+        drop(s);
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.bindings(), &expect, "replay onto snapshot must converge");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wipe_removes_all_state() {
+        let dir = tmp_dir("wipe");
+        {
+            let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+            s.append(&WalOp::Upsert(rec(1))).unwrap();
+            s.compact().unwrap();
+            s.append(&WalOp::Upsert(rec(2))).unwrap();
+        }
+        BindingStore::wipe(&dir).unwrap();
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert!(s.bindings().is_empty());
+        assert_eq!(s.recovery_report().wal_ops_replayed, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

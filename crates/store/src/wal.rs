@@ -1,0 +1,207 @@
+//! Write-ahead log file format: framing, append, and torn-tail recovery.
+//!
+//! On-disk layout is a flat sequence of frames:
+//!
+//! ```text
+//! ┌───────────┬───────────┬─────────────────┐
+//! │ len: u32  │ crc: u32  │ payload (len B) │   repeated until EOF
+//! └───────────┴───────────┴─────────────────┘
+//!      LE          LE        WalOp::encode()
+//! ```
+//!
+//! `crc` covers only the payload. Recovery scans frames from the front and
+//! stops at the first frame that is short (torn write), has an impossible
+//! length, fails the checksum, or whose payload does not parse; everything
+//! from that offset on is discarded by physically truncating the file, so a
+//! subsequent append continues from a clean tail. A record is *committed*
+//! exactly when its last payload byte is on disk — recovery therefore always
+//! yields a prefix of the committed op sequence.
+
+use crate::crc32::crc32;
+use crate::record::WalOp;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Upper bound on a frame payload. Real payloads are ≤ 27 bytes; the cap
+/// exists so a corrupted length field cannot make recovery allocate or skip
+/// gigabytes before noticing the damage.
+pub const MAX_PAYLOAD: u32 = 4096;
+
+/// Bytes of framing overhead per record (length + checksum).
+pub const FRAME_HEADER: usize = 8;
+
+/// Frame `op` into `buf` (which is cleared first).
+pub fn encode_frame(op: &WalOp, buf: &mut Vec<u8>) {
+    let payload = op.encode();
+    buf.clear();
+    buf.reserve(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// Outcome of scanning a WAL file.
+#[derive(Debug, Default)]
+pub struct WalScan {
+    /// Every op that passed framing, checksum, and structural validation,
+    /// in append order.
+    pub ops: Vec<WalOp>,
+    /// Byte offset of the first bad frame (== file length when clean).
+    pub valid_len: u64,
+    /// True when a torn or corrupt tail was detected and cut off.
+    pub truncated: bool,
+}
+
+/// Parse `bytes` as a WAL image, stopping at the first bad frame.
+///
+/// Pure function over the byte image so the corruption proptests can hammer
+/// it without touching a filesystem.
+pub fn scan_bytes(bytes: &[u8]) -> WalScan {
+    let mut scan = WalScan::default();
+    let mut at = 0usize;
+    loop {
+        let Some(header) = bytes.get(at..at + FRAME_HEADER) else {
+            // Clean EOF only when nothing is left at all.
+            scan.truncated = at < bytes.len();
+            break;
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            scan.truncated = true;
+            break;
+        }
+        let Some(payload) = bytes.get(at + FRAME_HEADER..at + FRAME_HEADER + len as usize) else {
+            scan.truncated = true;
+            break;
+        };
+        if crc32(payload) != crc {
+            scan.truncated = true;
+            break;
+        }
+        let Ok(op) = WalOp::decode(payload) else {
+            scan.truncated = true;
+            break;
+        };
+        scan.ops.push(op);
+        at += FRAME_HEADER + len as usize;
+    }
+    scan.valid_len = at as u64;
+    scan
+}
+
+/// Read and scan an open WAL file from the beginning, then truncate it at
+/// the first bad frame so future appends extend a verified prefix.
+pub fn recover_file(file: &mut File) -> std::io::Result<WalScan> {
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let scan = scan_bytes(&bytes);
+    if scan.truncated {
+        file.set_len(scan.valid_len)?;
+        file.sync_all()?;
+    }
+    // Leave the cursor at the verified tail: set_len moves the EOF but not
+    // the cursor, and appending past it would punch a hole of zero bytes.
+    file.seek(SeekFrom::Start(scan.valid_len))?;
+    Ok(scan)
+}
+
+/// Append one framed op to the file (no fsync — the caller owns durability
+/// policy).
+pub fn append_op(file: &mut File, op: &WalOp, scratch: &mut Vec<u8>) -> std::io::Result<u64> {
+    encode_frame(op, scratch);
+    file.write_all(scratch)?;
+    Ok(scratch.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BindingRecord, RecordSource};
+    use sav_net::addr::MacAddr;
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Upsert(BindingRecord {
+                ip: "10.0.0.1".parse().unwrap(),
+                mac: MacAddr::from_index(1),
+                dpid: 1,
+                port: 1,
+                source: RecordSource::Dhcp,
+                expires: None,
+            }),
+            WalOp::Remove("10.0.0.1".parse().unwrap()),
+            WalOp::Expire("10.0.0.2".parse().unwrap()),
+        ]
+    }
+
+    fn image(ops: &[WalOp]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        let mut frame = Vec::new();
+        for op in ops {
+            encode_frame(op, &mut frame);
+            bytes.extend_from_slice(&frame);
+        }
+        bytes
+    }
+
+    #[test]
+    fn clean_image_roundtrips() {
+        let committed = ops();
+        let scan = scan_bytes(&image(&committed));
+        assert_eq!(scan.ops, committed);
+        assert!(!scan.truncated);
+        assert_eq!(scan.valid_len, image(&committed).len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_yields_prefix() {
+        let committed = ops();
+        let full = image(&committed);
+        for cut in 0..full.len() {
+            let scan = scan_bytes(&full[..cut]);
+            assert!(
+                committed.starts_with(&scan.ops),
+                "cut at {cut} produced non-prefix"
+            );
+            assert!(scan.valid_len <= cut as u64);
+        }
+    }
+
+    #[test]
+    fn absurd_length_field_stops_scan() {
+        let mut bytes = image(&ops());
+        // Corrupt the first frame's length to something huge.
+        bytes[0..4].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let scan = scan_bytes(&bytes);
+        assert!(scan.ops.is_empty());
+        assert!(scan.truncated);
+        assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn recover_file_truncates_garbage() {
+        let dir = std::env::temp_dir().join(format!("sav-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let committed = ops();
+        let mut bytes = image(&committed);
+        bytes.extend_from_slice(&[0xff; 5]); // torn tail
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .unwrap();
+        let scan = recover_file(&mut file).unwrap();
+        assert_eq!(scan.ops, committed);
+        assert!(scan.truncated);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            scan.valid_len,
+            "file must be physically truncated"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

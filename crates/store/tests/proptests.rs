@@ -1,0 +1,168 @@
+//! Fault-injection property tests for the WAL: for any committed record
+//! sequence and any truncation point or single-byte flip, recovery never
+//! panics and yields a prefix of the committed sequence.
+
+use proptest::prelude::*;
+use sav_net::addr::MacAddr;
+use sav_sim::SimTime;
+use sav_store::record::{BindingRecord, RecordSource, WalOp};
+use sav_store::store::{apply, BindingStore, FsyncPolicy, StoreConfig};
+use sav_store::wal::{encode_frame, scan_bytes};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use std::path::PathBuf;
+
+fn arb_record() -> impl Strategy<Value = BindingRecord> {
+    (
+        0u32..16, // small IP space to force overwrites
+        0u64..8,
+        1u64..4,
+        1u32..6,
+        0u8..3,
+        proptest::option::of(0u64..3600),
+    )
+        .prop_map(|(ip, mac, dpid, port, src, exp)| BindingRecord {
+            ip: Ipv4Addr::from(0x0a00_0000 + ip),
+            mac: MacAddr::from_index(mac),
+            dpid,
+            port,
+            source: match src {
+                0 => RecordSource::Fcfs,
+                1 => RecordSource::Dhcp,
+                _ => RecordSource::Static,
+            },
+            expires: exp.map(SimTime::from_secs),
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = WalOp> {
+    prop_oneof![
+        4 => arb_record().prop_map(WalOp::Upsert),
+        1 => arb_record().prop_map(WalOp::Migrate),
+        1 => (0u32..16).prop_map(|ip| WalOp::Remove(Ipv4Addr::from(0x0a00_0000 + ip))),
+        1 => (0u32..16).prop_map(|ip| WalOp::Expire(Ipv4Addr::from(0x0a00_0000 + ip))),
+    ]
+}
+
+fn image(ops: &[WalOp]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    let mut frame = Vec::new();
+    for op in ops {
+        encode_frame(op, &mut frame);
+        bytes.extend_from_slice(&frame);
+    }
+    bytes
+}
+
+fn fold(ops: &[WalOp]) -> BTreeMap<Ipv4Addr, BindingRecord> {
+    let mut state = BTreeMap::new();
+    for op in ops {
+        apply(&mut state, op);
+    }
+    state
+}
+
+fn scratch_dir(tag: &str, case: &[WalOp]) -> PathBuf {
+    // Thread id + op count keeps parallel test binaries out of each other's
+    // directories without needing a wall clock.
+    std::env::temp_dir().join(format!(
+        "sav-store-prop-{tag}-{}-{:?}-{}",
+        std::process::id(),
+        std::thread::current().id(),
+        case.len()
+    ))
+}
+
+proptest! {
+    /// A clean log scans back to exactly the committed sequence.
+    #[test]
+    fn clean_scan_is_lossless(ops in proptest::collection::vec(arb_op(), 0..40)) {
+        let scan = scan_bytes(&image(&ops));
+        prop_assert_eq!(&scan.ops, &ops);
+        prop_assert!(!scan.truncated);
+    }
+
+    /// Any truncation point (torn write) yields a prefix, never a panic.
+    #[test]
+    fn truncation_yields_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let full = image(&ops);
+        let cut = (cut_seed % (full.len() as u64 + 1)) as usize;
+        let scan = scan_bytes(&full[..cut]);
+        prop_assert!(
+            ops.starts_with(&scan.ops),
+            "cut at {} of {} produced non-prefix: {} ops recovered",
+            cut, full.len(), scan.ops.len()
+        );
+        // Only records whose final byte survived the cut may be recovered.
+        prop_assert!(scan.valid_len <= cut as u64);
+        if cut < full.len() {
+            prop_assert!(scan.truncated);
+        }
+    }
+
+    /// Any single-byte flip (bit rot) is detected: the scan stops at the
+    /// damaged frame and still yields a prefix of the committed sequence.
+    #[test]
+    fn byte_flip_yields_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        pos_seed in any::<u64>(),
+        mask in 1u8..=255,
+    ) {
+        let mut bytes = image(&ops);
+        let pos = (pos_seed % bytes.len() as u64) as usize;
+        bytes[pos] ^= mask;
+        let scan = scan_bytes(&bytes);
+        prop_assert!(
+            ops.starts_with(&scan.ops),
+            "flip at {} (mask {:#04x}) produced non-prefix",
+            pos, mask
+        );
+        prop_assert!(scan.truncated, "a flipped byte must be detected");
+        prop_assert!(scan.ops.len() < ops.len());
+    }
+
+    /// Full-store property: append a sequence, crash (drop), truncate the
+    /// WAL file at an arbitrary byte, reopen — the recovered bindings equal
+    /// the fold of some prefix of the committed ops.
+    #[test]
+    fn store_recovers_a_committed_prefix(
+        ops in proptest::collection::vec(arb_op(), 1..24),
+        cut_seed in any::<u64>(),
+    ) {
+        let dir = scratch_dir("recover", &ops);
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = StoreConfig {
+            fsync: FsyncPolicy::Never, // durability is irrelevant in-process
+            ..StoreConfig::default()
+        };
+        {
+            let mut store = BindingStore::open(&dir, config).unwrap();
+            for op in &ops {
+                store.append(op).unwrap();
+            }
+        }
+        // Tear the WAL at an arbitrary byte.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        let cut = cut_seed % (len + 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(cut)
+            .unwrap();
+
+        let store = BindingStore::open(&dir, config).unwrap();
+        let recovered = store.bindings().clone();
+        let matches_some_prefix = (0..=ops.len())
+            .any(|k| fold(&ops[..k]) == recovered);
+        prop_assert!(
+            matches_some_prefix,
+            "recovered state is not the fold of any committed prefix (cut {cut} of {len})"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
