@@ -11,7 +11,7 @@
 
 use sav_baselines::Mechanism;
 use sav_bench::scenario::build_testbed;
-use sav_bench::{write_result, ScenarioOpts};
+use sav_bench::{write_json, write_result, ScenarioOpts};
 use sav_metrics::Table;
 use sav_sim::SimTime;
 use sav_topo::generators as topogen;
@@ -85,6 +85,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig1_rule_scaling.csv", &table.to_csv());
+    write_json("fig1_rule_scaling", &table);
     println!(
         "\nShape check: SDN-SAV total ≈ hosts + overhead (linear in hosts);\n\
          aggregated ≈ access ports + overhead; ACL ≈ prefixes; uRPF ≈ prefixes × arrival ports."

@@ -12,7 +12,7 @@
 
 use sav_baselines::Mechanism;
 use sav_bench::scenario::build_testbed;
-use sav_bench::{write_result, ScenarioOpts};
+use sav_bench::{write_json, write_result, ScenarioOpts};
 use sav_controller::testbed::TestbedCmd;
 use sav_dataplane::host::SpoofMode;
 use sav_metrics::{quantile, Table};
@@ -121,6 +121,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig2_migration.csv", &table.to_csv());
+    write_json("fig2_migration", &table);
     println!(
         "\nShape check: all percentiles in the low milliseconds; SAV adds ~2 flow-mods per move."
     );

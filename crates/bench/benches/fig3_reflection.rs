@@ -13,7 +13,7 @@
 
 use sav_baselines::Mechanism;
 use sav_bench::scenario::{build_testbed, to_cmd};
-use sav_bench::{write_result, ScenarioOpts};
+use sav_bench::{write_json, write_result, ScenarioOpts};
 use sav_dataplane::host::HostApp;
 use sav_metrics::{Table, TimeSeries};
 use sav_sim::{SimDuration, SimTime};
@@ -151,6 +151,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig3_reflection.csv", &table.to_csv());
+    write_json("fig3_reflection", &table);
 
     println!(
         "\nvictim bytes:  no-SAV={bytes_none}  SAV@src={bytes_src}  SAV-everywhere={bytes_all}"

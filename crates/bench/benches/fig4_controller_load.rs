@@ -10,7 +10,7 @@
 //! noise only) and first packets ride pre-installed rules.
 
 use sav_baselines::Mechanism;
-use sav_bench::{run_mechanism, write_result, ScenarioOpts};
+use sav_bench::{run_mechanism, write_json, write_result, ScenarioOpts};
 use sav_metrics::{mean, Table};
 use sav_sim::SimDuration;
 use sav_topo::generators as topogen;
@@ -93,6 +93,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig4_controller_load.csv", &table.to_csv());
+    write_json("fig4_controller_load", &table);
 
     // Part 2: the punt cost depends on traffic *sparsity* relative to the
     // dynamic-rule idle timeout. With a 2 s idle timeout, dense flows are
@@ -134,5 +135,6 @@ fn main() {
     }
     print!("{}", table2.to_ascii());
     write_result("fig4b_reactive_sparsity.csv", &table2.to_csv());
+    write_json("fig4b_reactive_sparsity", &table2);
     println!("\nShape check: reactive packet-ins scale with active sources (dense traffic)\nbut degrade toward one punt *per packet* when flows are sparser than the idle timeout.");
 }

@@ -15,7 +15,7 @@
 
 use sav_baselines::Mechanism;
 use sav_bench::scenario::{build_testbed, to_cmd};
-use sav_bench::{write_result, ScenarioOpts};
+use sav_bench::{write_json, write_result, ScenarioOpts};
 use sav_dataplane::host::{DhcpServerState, HostApp, SpoofMode};
 use sav_metrics::Table;
 use sav_net::addr::Ipv4Cidr;
@@ -128,6 +128,7 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("fig5_churn_fp.csv", &table.to_csv());
+    write_json("fig5_churn_fp", &table);
     println!(
         "\nShape check: delivery rises monotonically with lease/hold and saturates near 100%."
     );

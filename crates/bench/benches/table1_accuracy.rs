@@ -11,7 +11,7 @@
 //! grows with granularity (per-host > per-port-prefix > per-prefix).
 
 use sav_baselines::Mechanism;
-use sav_bench::{run_mechanism, write_result, ScenarioOpts};
+use sav_bench::{run_mechanism, write_json, write_result, ScenarioOpts};
 use sav_metrics::Table;
 use sav_sim::SimDuration;
 use sav_topo::generators as topogen;
@@ -118,4 +118,5 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("table1_accuracy.csv", &table.to_csv());
+    write_json("table1_accuracy", &table);
 }

@@ -9,7 +9,7 @@
 //! * Reactive mode: same accuracy as proactive, paid in controller load.
 
 use sav_baselines::Mechanism;
-use sav_bench::{run_mechanism, write_result, ScenarioOpts};
+use sav_bench::{run_mechanism, write_json, write_result, ScenarioOpts};
 use sav_metrics::Table;
 use sav_sim::SimDuration;
 use sav_topo::generators as topogen;
@@ -105,4 +105,5 @@ fn main() {
     }
     print!("{}", table.to_ascii());
     write_result("table2_ablation.csv", &table.to_csv());
+    write_json("table2_ablation", &table);
 }

@@ -32,3 +32,10 @@ pub fn write_result(name: &str, content: &str) {
     std::fs::write(&path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
     println!("[saved {}]", path.display());
 }
+
+/// Write a table as machine-readable JSON under `results/bench_<stem>.json`,
+/// alongside the human-oriented CSV the bench already emits. Downstream
+/// tooling (plots, CI regression gates) keys off these stable paths.
+pub fn write_json(stem: &str, table: &sav_metrics::Table) {
+    write_result(&format!("bench_{stem}.json"), &table.to_json());
+}

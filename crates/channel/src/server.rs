@@ -20,6 +20,7 @@ use crate::metrics::ChannelMetrics;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sav_controller::{ConnId, Controller, ControllerOutput};
+use sav_obs::{EventKind, Obs, Severity};
 use sav_sim::SimTime;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -41,6 +42,12 @@ pub struct ServerConfig {
     /// How long a full outbound queue may stall before the connection is
     /// declared stuck and killed.
     pub write_stall_timeout: Duration,
+    /// Fire [`Controller::poll_tick`] for every ready switch at this
+    /// interval (statistics collection). `None` disables polling.
+    pub stats_poll_interval: Option<Duration>,
+    /// Observability handle: connection churn reaches its journal, TCP
+    /// send latency its `southbound_send` trace histogram.
+    pub obs: Option<Obs>,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +57,8 @@ impl Default for ServerConfig {
             liveness_timeout: Duration::from_secs(2),
             outbound_queue: 256,
             write_stall_timeout: Duration::from_secs(1),
+            stats_poll_interval: None,
+            obs: None,
         }
     }
 }
@@ -133,6 +142,7 @@ impl SouthboundServer {
                     conns: HashMap::new(),
                     next_conn: 0,
                     started: Instant::now(),
+                    last_poll: Instant::now(),
                 }
                 .run()
             })
@@ -225,6 +235,7 @@ struct Supervisor {
     conns: HashMap<ConnId, ConnIo>,
     next_conn: ConnId,
     started: Instant,
+    last_poll: Instant,
 }
 
 impl Supervisor {
@@ -255,7 +266,24 @@ impl Supervisor {
                 Err(RecvTimeoutError::Disconnected) => return,
             }
             self.keepalive_pass();
+            self.stats_poll_pass();
         }
+    }
+
+    /// Fire the controller's poll hook when the configured interval has
+    /// elapsed; stats-collecting apps answer with multipart requests that
+    /// ship through the ordinary dispatch path.
+    fn stats_poll_pass(&mut self) {
+        let Some(interval) = self.config.stats_poll_interval else {
+            return;
+        };
+        if self.last_poll.elapsed() < interval {
+            return;
+        }
+        self.last_poll = Instant::now();
+        let now = self.now();
+        let out = self.controller.lock().poll_tick(now);
+        self.dispatch(out);
     }
 
     fn on_accepted(&mut self, stream: TcpStream) {
@@ -272,7 +300,8 @@ impl Supervisor {
         };
         {
             let metrics = metrics.clone();
-            thread::spawn(move || writer_loop(writer_stream, writer_rx, metrics));
+            let obs = self.config.obs.clone();
+            thread::spawn(move || writer_loop(writer_stream, writer_rx, metrics, obs));
         }
         {
             let reader_stream = match stream.try_clone() {
@@ -295,6 +324,12 @@ impl Supervisor {
                 metrics,
             },
         );
+        if let Some(obs) = &self.config.obs {
+            obs.event(
+                Severity::Info,
+                EventKind::PeerConnected { conn: conn as u64 },
+            );
+        }
         let greeting = self.controller.lock().on_connect(conn);
         self.queue_write(conn, greeting);
     }
@@ -388,6 +423,12 @@ impl Supervisor {
         if let Some(io) = self.conns.remove(&conn) {
             let _ = io.stream.shutdown(Shutdown::Both);
             // Dropping writer_tx disconnects the writer thread's channel.
+            if let Some(obs) = &self.config.obs {
+                obs.event(
+                    Severity::Warn,
+                    EventKind::PeerDisconnected { conn: conn as u64 },
+                );
+            }
         }
     }
 
@@ -454,11 +495,18 @@ fn reader_loop(
     }
 }
 
-fn writer_loop(mut stream: TcpStream, writer_rx: Receiver<Vec<u8>>, metrics: ChannelMetrics) {
+fn writer_loop(
+    mut stream: TcpStream,
+    writer_rx: Receiver<Vec<u8>>,
+    metrics: ChannelMetrics,
+    obs: Option<Obs>,
+) {
     while let Ok(bytes) = writer_rx.recv() {
+        let span = obs.as_ref().map(|o| o.span("southbound_send"));
         if stream.write_all(&bytes).is_err() {
             return;
         }
+        drop(span);
         metrics.add_bytes_out(bytes.len() as u64);
     }
 }

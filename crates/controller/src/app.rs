@@ -117,6 +117,12 @@ pub trait App: std::any::Any + Send {
 
     /// A multipart (statistics / port-description) reply arrived.
     fn on_stats_reply(&mut self, _ctx: &mut Ctx, _dpid: u64, _body: &MultipartReplyBody) {}
+
+    /// A periodic poll tick fired for a ready switch (driven by the
+    /// embedding transport via [`crate::Controller::poll_tick`]). Apps that
+    /// collect statistics queue their multipart requests here; everyone
+    /// else ignores it.
+    fn on_poll(&mut self, _ctx: &mut Ctx, _dpid: u64) {}
 }
 
 #[cfg(test)]

@@ -271,6 +271,23 @@ impl Controller {
         Some(Message::EchoRequest(sav_openflow::messages::EchoData(payload)).encode(x))
     }
 
+    /// Fire [`App::on_poll`] for every ready switch and return the queued
+    /// requests as writable output. The embedding transport owns the
+    /// schedule (like keepalives): call this on whatever period the stats
+    /// poller should run at. No-op when no app polls or no switch is ready.
+    pub fn poll_tick(&mut self, now: SimTime) -> ControllerOutput {
+        let mut out = ControllerOutput::default();
+        let dpids = self.ready_dpids();
+        let mut ctx = Ctx::new(now);
+        for dpid in dpids {
+            for app in &mut self.apps {
+                app.on_poll(&mut ctx, dpid);
+            }
+        }
+        self.flush(ctx, &mut out);
+        out
+    }
+
     /// Let an external driver (the testbed command layer or tests) inject
     /// messages to switches through the app-visible path, e.g. to seed rules.
     pub fn send_all(&mut self, msgs: Vec<(u64, Message)>, out: &mut ControllerOutput) {

@@ -21,6 +21,7 @@ use sav_metrics::Counters;
 use sav_net::addr::{Ipv4Cidr, MacAddr};
 use sav_net::dhcpv4::{DhcpMessageType, DhcpRepr, DHCP_SERVER_PORT};
 use sav_net::packet::{L4Info, ParsedPacket};
+use sav_obs::{EventKind, Obs, Severity, Span};
 use sav_openflow::consts::port as ofport;
 use sav_openflow::messages::{
     FlowMod, FlowRemoved, FlowRemovedReason, FlowStatsEntry, FlowStatsRequest, Message,
@@ -46,6 +47,14 @@ fn to_record(b: &Binding) -> BindingRecord {
             BindingSource::Fcfs => RecordSource::Fcfs,
         },
         expires: b.expires,
+    }
+}
+
+fn source_label(s: BindingSource) -> &'static str {
+    match s {
+        BindingSource::Static => "static",
+        BindingSource::Dhcp => "dhcp",
+        BindingSource::Fcfs => "fcfs",
     }
 }
 
@@ -182,6 +191,11 @@ pub struct SavApp {
     /// Shared counters (`reconciled_kept` / `reconciled_deleted` /
     /// `reconciled_installed`, `wal_append_errors`).
     pub counters: Counters,
+    /// Observability handle (events, spans, gauges); absent by default so
+    /// the hot paths cost one branch per site when unobserved.
+    obs: Option<Obs>,
+    /// Switches currently up (drives the `sav_connected_switches` gauge).
+    connected: HashSet<u64>,
 }
 
 impl SavApp {
@@ -203,7 +217,21 @@ impl SavApp {
             recovered: false,
             reconciling: HashSet::new(),
             counters: Counters::new(),
+            obs: None,
+            connected: HashSet::new(),
         }
+    }
+
+    /// Attach an observability handle: binding and rule lifecycle events
+    /// land in its journal, instrumented paths in its trace histograms,
+    /// table sizes in its gauges.
+    pub fn with_obs(mut self, obs: Obs) -> SavApp {
+        if let Some(store) = &mut self.store {
+            store.set_obs(obs.clone());
+        }
+        self.obs = Some(obs);
+        self.refresh_gauges();
+        self
     }
 
     /// Build the app over a durable [`BindingStore`], hydrating the binding
@@ -243,9 +271,71 @@ impl SavApp {
     /// are counted, not fatal: enforcement must survive a full disk.
     fn log_op(&mut self, op: WalOp) {
         if let Some(store) = &mut self.store {
+            let _span = self.obs.as_ref().map(|o| o.span("wal_append"));
             if store.append(&op).is_err() {
                 self.counters.incr("wal_append_errors");
+                if let Some(obs) = &self.obs {
+                    obs.event(
+                        Severity::Error,
+                        EventKind::WalError {
+                            op: format!("{op:?}"),
+                        },
+                    );
+                }
+            } else if let Some(obs) = &self.obs {
+                obs.gauges.set("sav_wal_bytes", store.wal_len() as f64);
             }
+        }
+    }
+
+    /// Journal an event if observed (the closure defers payload
+    /// formatting, so unobserved apps never allocate for it).
+    fn emit(&self, severity: Severity, kind: impl FnOnce() -> EventKind) {
+        if let Some(obs) = &self.obs {
+            obs.event(severity, kind());
+        }
+    }
+
+    /// Count and journal a punt verdict of "spoofed" (the reactive-path
+    /// analogue of the proactive deny rule's drop counter).
+    fn note_spoof_punt(&mut self, dpid: u64, port: u32) {
+        self.stats.punts_denied += 1;
+        if let Some(obs) = &self.obs {
+            obs.counters.incr("sav_spoof_dropped_total");
+            obs.counters
+                .incr(format!("sav_spoof_dropped_total{{dpid=\"{dpid}\"}}"));
+            obs.event(
+                Severity::Warn,
+                EventKind::SpoofDrop {
+                    dpid,
+                    port,
+                    packets: 1,
+                },
+            );
+        }
+    }
+
+    /// Start a trace span if observed.
+    fn span(&self, name: &'static str) -> Option<Span> {
+        self.obs.as_ref().map(|o| o.span(name))
+    }
+
+    /// Re-publish the binding-table and connectivity gauges.
+    fn refresh_gauges(&self) {
+        let Some(obs) = &self.obs else { return };
+        obs.gauges.set("sav_bindings", self.bindings.len() as f64);
+        obs.gauges
+            .set("sav_connected_switches", self.connected.len() as f64);
+        let mut per_switch: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
+        for b in self.bindings.iter() {
+            *per_switch.entry(b.dpid).or_default() += 1;
+        }
+        for s in self.topo.switches() {
+            let dpid = s.id.dpid();
+            let n = per_switch.get(&dpid).copied().unwrap_or(0);
+            obs.gauges
+                .set(format!("sav_bindings{{dpid=\"{dpid}\"}}"), n as f64);
         }
     }
 
@@ -374,20 +464,29 @@ impl SavApp {
         if self.config.mode == SavMode::Reactive {
             return; // reactive mode keeps the table, not the rules
         }
-        if self.config.aggregate {
+        let _span = self.span("rule_compile");
+        let fm = if self.config.aggregate {
             if self.config.aggregate_exact {
                 // Incremental exactness: a dynamically learned binding gets
                 // its own host-prefix rule; the dense static blocks were
                 // compressed at switch-up.
-                ctx.install(b.dpid, rules::prefix_allow(b.port, Ipv4Cidr::host(b.ip)));
-                self.stats.rules_installed += 1;
+                rules::prefix_allow(b.port, Ipv4Cidr::host(b.ip))
             } else if let Some(prefix) = self.subnet_of(b.ip) {
-                ctx.install(b.dpid, rules::prefix_allow(b.port, prefix));
-                self.stats.rules_installed += 1;
+                rules::prefix_allow(b.port, prefix)
+            } else {
+                return;
             }
-            return;
+        } else {
+            self.compile_allow(b, now)
+        };
+        self.emit(Severity::Info, || EventKind::RuleInstalled {
+            dpid: b.dpid,
+            cookie: fm.cookie,
+            priority: fm.priority,
+        });
+        if let Some(obs) = &self.obs {
+            obs.counters.incr("sav_rules_installed_total");
         }
-        let fm = self.compile_allow(b, now);
         ctx.install(b.dpid, fm);
         self.stats.rules_installed += 1;
     }
@@ -413,6 +512,13 @@ impl SavApp {
         if self.config.mode == SavMode::Reactive || self.config.aggregate {
             return;
         }
+        self.emit(Severity::Info, || EventKind::RuleDeleted {
+            dpid: b.dpid,
+            cookie: rules::allow_cookie(b),
+        });
+        if let Some(obs) = &self.obs {
+            obs.counters.incr("sav_rules_deleted_total");
+        }
         ctx.install(b.dpid, rules::binding_delete(b, self.config.match_mac));
         self.stats.rules_deleted += 1;
     }
@@ -423,6 +529,15 @@ impl SavApp {
             BindingChange::Added => {
                 self.log_op(WalOp::Upsert(to_record(&b)));
                 self.stats.bindings_added += 1;
+                // Journaled before the derived rule install so the event
+                // order reads cause → effect.
+                self.emit(Severity::Info, || EventKind::BindingLearned {
+                    ip: b.ip.to_string(),
+                    mac: b.mac.to_string(),
+                    dpid: b.dpid,
+                    port: b.port,
+                    source: source_label(b.source),
+                });
                 self.install_allow(ctx, &b, now);
             }
             BindingChange::Refreshed => {
@@ -436,13 +551,26 @@ impl SavApp {
                 self.log_op(WalOp::Migrate(to_record(&b)));
                 self.stats.bindings_moved += 1;
                 let old = *old;
+                self.emit(Severity::Info, || EventKind::BindingMigrated {
+                    ip: b.ip.to_string(),
+                    from_dpid: old.dpid,
+                    from_port: old.port,
+                    dpid: b.dpid,
+                    port: b.port,
+                });
                 self.delete_allow(ctx, &old);
                 self.install_allow(ctx, &b, now);
             }
             BindingChange::Conflict(_) => {
                 self.stats.conflicts += 1;
+                self.emit(Severity::Warn, || EventKind::BindingConflict {
+                    ip: b.ip.to_string(),
+                    dpid: b.dpid,
+                    port: b.port,
+                });
             }
         }
+        self.refresh_gauges();
         change
     }
 
@@ -454,6 +582,7 @@ impl SavApp {
         parsed: &ParsedPacket,
         pi: &PacketIn,
     ) {
+        let _span = self.span("dhcp_handle");
         let Some(payload) = parsed.l4_payload(&pi.data) else {
             return;
         };
@@ -480,7 +609,12 @@ impl SavApp {
                     {
                         self.bindings.remove(b.ip);
                         self.log_op(WalOp::Remove(b.ip));
+                        self.emit(Severity::Info, || EventKind::BindingExpired {
+                            ip: b.ip.to_string(),
+                            dpid: b.dpid,
+                        });
                         self.delete_allow(ctx, &b);
+                        self.refresh_gauges();
                     }
                 }
             }
@@ -520,7 +654,7 @@ impl SavApp {
     ) {
         self.stats.punts += 1;
         let Some(ip) = parsed.ipv4_src() else {
-            self.stats.punts_denied += 1;
+            self.note_spoof_punt(dpid, in_port);
             return;
         };
         let mac = parsed.ethernet.src;
@@ -549,7 +683,7 @@ impl SavApp {
                 self.reinject(ctx, dpid, in_port, pi);
             }
             Some(_) => {
-                self.stats.punts_denied += 1;
+                self.note_spoof_punt(dpid, in_port);
             }
             None if self.config.fcfs
                 && !self.is_trunk(dpid, in_port)
@@ -572,11 +706,11 @@ impl SavApp {
                     self.stats.punts_allowed += 1;
                     self.reinject(ctx, dpid, in_port, pi);
                 } else {
-                    self.stats.punts_denied += 1;
+                    self.note_spoof_punt(dpid, in_port);
                 }
             }
             None => {
-                self.stats.punts_denied += 1;
+                self.note_spoof_punt(dpid, in_port);
             }
         }
     }
@@ -641,6 +775,13 @@ impl App for SavApp {
     }
 
     fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+        if self.connected.insert(dpid) {
+            self.emit(Severity::Info, || EventKind::SwitchUp { dpid });
+            if let Some(obs) = &self.obs {
+                obs.gauges
+                    .set("sav_connected_switches", self.connected.len() as f64);
+            }
+        }
         let Some(sid) = SwitchId::from_dpid(dpid) else {
             return;
         };
@@ -689,6 +830,7 @@ impl App for SavApp {
                     }
                 }
             }
+            self.refresh_gauges();
             self.reconciling.insert(dpid);
             ctx.send(
                 dpid,
@@ -766,9 +908,21 @@ impl App for SavApp {
                 }
             }
         }
+        self.refresh_gauges();
+    }
+
+    fn on_switch_down(&mut self, _ctx: &mut Ctx, dpid: u64) {
+        if self.connected.remove(&dpid) {
+            self.emit(Severity::Warn, || EventKind::SwitchDown { dpid });
+            if let Some(obs) = &self.obs {
+                obs.gauges
+                    .set("sav_connected_switches", self.connected.len() as f64);
+            }
+        }
     }
 
     fn on_packet_in(&mut self, ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
+        let _span = self.span("on_packet_in");
         let Some(in_port) = pi.in_port() else {
             return Disposition::Continue;
         };
@@ -819,6 +973,11 @@ impl App for SavApp {
                 self.bindings.remove(ip);
                 self.log_op(WalOp::Expire(ip));
                 self.stats.bindings_expired += 1;
+                self.emit(Severity::Info, || EventKind::BindingExpired {
+                    ip: ip.to_string(),
+                    dpid,
+                });
+                self.refresh_gauges();
             }
         }
     }
@@ -850,8 +1009,13 @@ impl App for SavApp {
             self.bindings.remove(b.ip);
             self.log_op(WalOp::Remove(b.ip));
             self.stats.bindings_expired += 1;
+            self.emit(Severity::Info, || EventKind::BindingExpired {
+                ip: b.ip.to_string(),
+                dpid: b.dpid,
+            });
             self.delete_allow(ctx, &b);
         }
+        self.refresh_gauges();
     }
 }
 

@@ -40,10 +40,12 @@
 pub mod aggregate;
 pub mod app;
 pub mod binding;
+pub mod poller;
 pub mod rules;
 
 pub use app::{SavApp, SavConfig, SavMode, SavStats};
 pub use binding::{Binding, BindingChange, BindingSource, BindingTable};
+pub use poller::{SavRecord, SpoofSource, StatsPollerApp};
 
 /// Priority of per-binding allow rules.
 pub const PRIO_ALLOW: u16 = 40_000;

@@ -5,14 +5,21 @@
 //! its own copy — the same split-ownership shape as `sav-channel`'s
 //! `ChannelMetrics`, but `std`-only because this crate takes no
 //! dependencies.
+//!
+//! Keys are `Cow<'static, str>`: the common case (`c.incr("hits")`) stays a
+//! zero-allocation borrow of a string literal, while dynamically labelled
+//! series (`c.incr(format!("hits{{dpid=\"{d}\"}}"))`) own their name. Both
+//! spellings go through the same `impl Into<Cow<..>>` entry points, so
+//! existing `&'static str` call sites compile unchanged.
 
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// A set of named monotonic counters.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
-    inner: Arc<Mutex<BTreeMap<&'static str, u64>>>,
+    inner: Arc<Mutex<BTreeMap<Cow<'static, str>, u64>>>,
 }
 
 impl Counters {
@@ -22,13 +29,13 @@ impl Counters {
     }
 
     /// Add `n` to `name` (creating it at zero first).
-    pub fn add(&self, name: &'static str, n: u64) {
+    pub fn add(&self, name: impl Into<Cow<'static, str>>, n: u64) {
         let mut m = self.inner.lock().expect("counters poisoned");
-        *m.entry(name).or_insert(0) += n;
+        *m.entry(name.into()).or_insert(0) += n;
     }
 
     /// Increment `name` by one.
-    pub fn incr(&self, name: &'static str) {
+    pub fn incr(&self, name: impl Into<Cow<'static, str>>) {
         self.add(name, 1);
     }
 
@@ -43,12 +50,12 @@ impl Counters {
     }
 
     /// Snapshot of every counter, sorted by name.
-    pub fn snapshot(&self) -> Vec<(&'static str, u64)> {
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
         self.inner
             .lock()
             .expect("counters poisoned")
             .iter()
-            .map(|(k, v)| (*k, *v))
+            .map(|(k, v)| (k.to_string(), *v))
             .collect()
     }
 }
@@ -67,7 +74,20 @@ mod tests {
         assert_eq!(c.get("a"), 3);
         assert_eq!(c.get("b"), 1);
         assert_eq!(c.get("missing"), 0);
-        assert_eq!(c.snapshot(), vec![("a", 3), ("b", 1)]);
+        assert_eq!(
+            c.snapshot(),
+            vec![("a".to_string(), 3), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn owned_and_static_keys_are_one_namespace() {
+        let c = Counters::new();
+        c.incr("hits{dpid=\"1\"}");
+        c.add(format!("hits{{dpid=\"{}\"}}", 1), 2);
+        assert_eq!(c.get("hits{dpid=\"1\"}"), 3);
+        let snap = c.snapshot();
+        assert_eq!(snap.len(), 1, "same series, not two keys");
     }
 
     #[test]

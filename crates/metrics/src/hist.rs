@@ -18,11 +18,19 @@ const N_BUCKETS: usize = DECADES * BUCKETS_PER_DECADE;
 const LO_EXP: f64 = -9.0;
 
 fn bucket_of(x: f64) -> usize {
-    if x <= 0.0 || x.is_nan() || !x.is_finite() {
+    if x.is_nan() || x <= 0.0 {
         return 0;
     }
+    if x == f64::INFINITY {
+        // Overflow clamps *up*: +inf in the lowest bucket would make the
+        // cumulative `le` view claim the sample was fast.
+        return N_BUCKETS - 1;
+    }
     let pos = (x.log10() - LO_EXP) * BUCKETS_PER_DECADE as f64;
-    pos.clamp(0.0, (N_BUCKETS - 1) as f64) as usize
+    // `le` semantics: bucket i covers `(upper(i-1), upper(i)]`, so a sample
+    // exactly on a boundary belongs to the bucket *below* it — otherwise
+    // `bucket_upper` would under-report the cumulative count at that bound.
+    (pos.ceil() - 1.0).clamp(0.0, (N_BUCKETS - 1) as f64) as usize
 }
 
 fn bucket_upper(i: usize) -> f64 {
@@ -47,8 +55,9 @@ impl Histogram {
         }
     }
 
-    /// Record one sample (non-positive and non-finite samples land in the
-    /// lowest bucket; min/max/sum still use the raw value when finite).
+    /// Record one sample (non-positive and NaN samples land in the lowest
+    /// bucket, `+inf` in the highest; min/max/sum still use the raw value
+    /// when finite).
     pub fn record(&mut self, x: f64) {
         self.counts[bucket_of(x)] += 1;
         self.total += 1;
@@ -119,6 +128,24 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Sum of recorded finite samples (the Prometheus `_sum`).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Cumulative Prometheus-style `le` view: one `(upper_bound, samples ≤
+    /// upper_bound)` pair per bucket, ascending. The final pair's count
+    /// equals [`count`](Histogram::count) — clamped outliers included, since
+    /// the edge buckets absorb them. An exporter may skip pairs whose count
+    /// equals the previous pair's (sparse buckets are valid `le` samples).
+    pub fn cumulative_buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.counts.iter().enumerate().map(move |(i, c)| {
+            acc += c;
+            (bucket_upper(i), acc)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +188,74 @@ mod tests {
         assert_eq!(h.count(), 4);
         // No panic, quantiles still answer.
         let _ = h.quantile(0.5);
+    }
+
+    #[test]
+    fn cumulative_buckets_cover_all_samples() {
+        let mut h = Histogram::new();
+        h.record(1e-6);
+        h.record(1e-3);
+        h.record(1.0);
+        let buckets: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(buckets.len(), N_BUCKETS);
+        // Monotone non-decreasing, ending at the total count.
+        for w in buckets.windows(2) {
+            assert!(w[0].0 < w[1].0, "upper bounds ascend");
+            assert!(w[0].1 <= w[1].1, "cumulative counts never decrease");
+        }
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        // `le` semantics: the first bucket whose bound reaches a sample
+        // already counts it — even for samples exactly on a boundary
+        // (1e-6 and 1e-3 are decade bounds).
+        for x in [1e-6, 1e-3, 1.0] {
+            let covering = buckets
+                .iter()
+                .find(|(upper, _)| *upper >= x)
+                .expect("in-range sample has a covering bucket");
+            assert!(covering.1 >= 1, "sample {x} missing at le={}", covering.0);
+        }
+    }
+
+    #[test]
+    fn bucket_upper_edges_clamp_consistently() {
+        // Lowest bucket: absorbs ≤0 / NaN / subnormal-small, and its upper
+        // bound is the first subdivision above 1e-9.
+        let lo = bucket_upper(0);
+        assert!((lo / 10f64.powf(LO_EXP + 1.0 / BUCKETS_PER_DECADE as f64) - 1.0).abs() < 1e-12);
+        let mut h = Histogram::new();
+        h.record(0.0);
+        h.record(-3.0);
+        h.record(f64::NAN);
+        h.record(1e-30); // below range → clamped to bucket 0
+        let first = h.cumulative_buckets().next().unwrap();
+        assert_eq!(first, (lo, 4), "all clamped-low samples in bucket 0");
+
+        // Highest bucket: upper bound is exactly the range top (1e3) and
+        // absorbs everything beyond it, including +inf.
+        let hi = bucket_upper(N_BUCKETS - 1);
+        assert!((hi / 1e3 - 1.0).abs() < 1e-12, "top bound is 1e3, got {hi}");
+        let mut h = Histogram::new();
+        h.record(1e9);
+        h.record(f64::INFINITY);
+        let all: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(all[N_BUCKETS - 2].1, 0, "nothing below the top bucket");
+        assert_eq!(all[N_BUCKETS - 1].1, 2, "overflow clamps into the top");
+
+        // An in-range sample lands in a bucket whose bounds bracket it.
+        let x = 0.0042;
+        let i = bucket_of(x);
+        assert!(x <= bucket_upper(i) * (1.0 + 1e-12));
+        assert!(i == 0 || x > bucket_upper(i - 1) * (1.0 - 1e-12));
+    }
+
+    #[test]
+    fn sum_tracks_finite_samples() {
+        let mut h = Histogram::new();
+        h.record(1.5);
+        h.record(0.5);
+        h.record(f64::INFINITY); // counted, not summed
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 2.0).abs() < 1e-12);
     }
 
     #[test]

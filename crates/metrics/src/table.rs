@@ -77,6 +77,58 @@ impl Table {
         out
     }
 
+    /// Render as a JSON document: `{"title": ..., "rows": [{header: cell}]}`.
+    ///
+    /// Cells that parse as finite numbers are emitted bare so downstream
+    /// tooling (plots, regression gates) can consume them without a second
+    /// parse; everything else — percentages, `n/a`, mechanism names — stays
+    /// a string.
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let cell_json = |s: &str| -> String {
+            match s.parse::<f64>() {
+                // Re-serialize through the parsed value so non-JSON spellings
+                // ("007", "1.", "+5") come out as valid JSON numbers; inf/nan
+                // fall through to strings.
+                Ok(v) if v.is_finite() => format!("{v}"),
+                _ => format!("\"{}\"", esc(s)),
+            }
+        };
+        let mut out = String::new();
+        let _ = write!(out, "{{\"title\":\"{}\",\"rows\":[", esc(&self.title));
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            for (j, (h, c)) in self.headers.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", esc(h), cell_json(c));
+            }
+            out.push('}');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
     /// Render as CSV (RFC 4180 quoting where needed).
     pub fn to_csv(&self) -> String {
         let esc = |s: &str| -> String {
@@ -158,6 +210,34 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn json_types_numbers_and_escapes_strings() {
+        let mut t = Table::new("Fig \"1\"", &["mechanism", "blocked", "rules"]);
+        t.row(&["SDN-SAV".into(), "99.3%".into(), "512".into()]);
+        t.row(&["u\"RPF".into(), "n/a".into(), "0.5".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\":\"Fig \\\"1\\\"\""), "{j}");
+        assert!(j.contains("\"rules\":512"), "bare integer: {j}");
+        assert!(j.contains("\"rules\":0.5"), "bare float: {j}");
+        assert!(
+            j.contains("\"blocked\":\"99.3%\""),
+            "percent stays string: {j}"
+        );
+        assert!(j.contains("\"blocked\":\"n/a\""), "{j}");
+        assert!(
+            j.contains("\"mechanism\":\"u\\\"RPF\""),
+            "quote escaped: {j}"
+        );
+        assert!(j.ends_with("]}\n"), "{j}");
+        // "inf" parses as f64 but is not a JSON number — must stay a string.
+        let mut t2 = Table::new("edge", &["v"]);
+        t2.row(&["inf".into()]);
+        t2.row(&["007".into()]);
+        let j2 = t2.to_json();
+        assert!(j2.contains("\"v\":\"inf\""), "{j2}");
+        assert!(j2.contains("\"v\":7"), "leading zeros normalised: {j2}");
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Typed journal events and their JSON rendering.
+//!
+//! Events carry plain scalars (addresses pre-formatted as strings) so this
+//! crate stays dependency-free below `sav-metrics`; the producers in
+//! `sav-core` / `sav-channel` / `sav-store` format their domain types at
+//! the emission site.
+
+use std::fmt::Write as _;
+
+/// How loud an event is. Ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-volume diagnostics.
+    Debug,
+    /// Normal lifecycle events.
+    Info,
+    /// Something suspicious (spoof drops, conflicts).
+    Warn,
+    /// Something broke (WAL append failure, dead switch).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// What happened. One variant per event class the SAV stack emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A binding entered the table.
+    BindingLearned {
+        /// Bound address.
+        ip: String,
+        /// Bound hardware address.
+        mac: String,
+        /// Anchoring switch.
+        dpid: u64,
+        /// Anchoring port.
+        port: u32,
+        /// `static` / `dhcp` / `fcfs`.
+        source: &'static str,
+    },
+    /// A binding left the table (lease/idle expiry or port death).
+    BindingExpired {
+        /// Released address.
+        ip: String,
+        /// Switch it was anchored to.
+        dpid: u64,
+    },
+    /// A binding moved to a new attachment point.
+    BindingMigrated {
+        /// Moved address.
+        ip: String,
+        /// Previous switch.
+        from_dpid: u64,
+        /// Previous port.
+        from_port: u32,
+        /// New switch.
+        dpid: u64,
+        /// New port.
+        port: u32,
+    },
+    /// An upsert was refused because another MAC holds the address.
+    BindingConflict {
+        /// Contested address.
+        ip: String,
+        /// Switch the challenger appeared on.
+        dpid: u64,
+        /// Port the challenger appeared on.
+        port: u32,
+    },
+    /// A SAV flow rule was pushed.
+    RuleInstalled {
+        /// Target switch.
+        dpid: u64,
+        /// Rule cookie (SAV-tagged).
+        cookie: u64,
+        /// Rule priority.
+        priority: u16,
+    },
+    /// A SAV flow rule was deleted.
+    RuleDeleted {
+        /// Target switch.
+        dpid: u64,
+        /// Rule cookie.
+        cookie: u64,
+    },
+    /// Spoofed packets died (observed via drop-rule or punt verdicts).
+    SpoofDrop {
+        /// Switch that dropped them.
+        dpid: u64,
+        /// Ingress port (0 when only switch granularity is known).
+        port: u32,
+        /// Packets dropped since the previous observation.
+        packets: u64,
+    },
+    /// A switch completed the handshake.
+    SwitchUp {
+        /// Its datapath id.
+        dpid: u64,
+    },
+    /// A switch's control channel died.
+    SwitchDown {
+        /// Its datapath id.
+        dpid: u64,
+    },
+    /// A record reached the write-ahead log.
+    WalAppend {
+        /// WAL size after the append.
+        bytes: u64,
+    },
+    /// The WAL was folded into a snapshot.
+    WalCompact {
+        /// WAL bytes before compaction.
+        before: u64,
+        /// WAL bytes after (0 unless appends raced in).
+        after: u64,
+    },
+    /// A WAL append failed (enforcement continues, durability degraded).
+    WalError {
+        /// The failed operation, for the post-mortem.
+        op: String,
+    },
+    /// A southbound control connection was accepted.
+    PeerConnected {
+        /// Transport connection id.
+        conn: u64,
+    },
+    /// A southbound control connection closed or was declared dead.
+    PeerDisconnected {
+        /// Transport connection id.
+        conn: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name for filtering and JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::BindingLearned { .. } => "binding_learned",
+            EventKind::BindingExpired { .. } => "binding_expired",
+            EventKind::BindingMigrated { .. } => "binding_migrated",
+            EventKind::BindingConflict { .. } => "binding_conflict",
+            EventKind::RuleInstalled { .. } => "rule_installed",
+            EventKind::RuleDeleted { .. } => "rule_deleted",
+            EventKind::SpoofDrop { .. } => "spoof_drop",
+            EventKind::SwitchUp { .. } => "switch_up",
+            EventKind::SwitchDown { .. } => "switch_down",
+            EventKind::WalAppend { .. } => "wal_append",
+            EventKind::WalCompact { .. } => "wal_compact",
+            EventKind::WalError { .. } => "wal_error",
+            EventKind::PeerConnected { .. } => "peer_connected",
+            EventKind::PeerDisconnected { .. } => "peer_disconnected",
+        }
+    }
+
+    /// Append this kind's payload fields as `"k":v` JSON members.
+    fn write_json_fields(&self, out: &mut String) {
+        let s = |out: &mut String, k: &str, v: &str| {
+            let _ = write!(out, ",\"{k}\":\"{}\"", escape_json(v));
+        };
+        let n = |out: &mut String, k: &str, v: u64| {
+            let _ = write!(out, ",\"{k}\":{v}");
+        };
+        match self {
+            EventKind::BindingLearned {
+                ip,
+                mac,
+                dpid,
+                port,
+                source,
+            } => {
+                s(out, "ip", ip);
+                s(out, "mac", mac);
+                n(out, "dpid", *dpid);
+                n(out, "port", u64::from(*port));
+                s(out, "source", source);
+            }
+            EventKind::BindingExpired { ip, dpid } => {
+                s(out, "ip", ip);
+                n(out, "dpid", *dpid);
+            }
+            EventKind::BindingMigrated {
+                ip,
+                from_dpid,
+                from_port,
+                dpid,
+                port,
+            } => {
+                s(out, "ip", ip);
+                n(out, "from_dpid", *from_dpid);
+                n(out, "from_port", u64::from(*from_port));
+                n(out, "dpid", *dpid);
+                n(out, "port", u64::from(*port));
+            }
+            EventKind::BindingConflict { ip, dpid, port } => {
+                s(out, "ip", ip);
+                n(out, "dpid", *dpid);
+                n(out, "port", u64::from(*port));
+            }
+            EventKind::RuleInstalled {
+                dpid,
+                cookie,
+                priority,
+            } => {
+                n(out, "dpid", *dpid);
+                let _ = write!(out, ",\"cookie\":\"{cookie:#x}\"");
+                n(out, "priority", u64::from(*priority));
+            }
+            EventKind::RuleDeleted { dpid, cookie } => {
+                n(out, "dpid", *dpid);
+                let _ = write!(out, ",\"cookie\":\"{cookie:#x}\"");
+            }
+            EventKind::SpoofDrop {
+                dpid,
+                port,
+                packets,
+            } => {
+                n(out, "dpid", *dpid);
+                n(out, "port", u64::from(*port));
+                n(out, "packets", *packets);
+            }
+            EventKind::SwitchUp { dpid } | EventKind::SwitchDown { dpid } => {
+                n(out, "dpid", *dpid);
+            }
+            EventKind::WalAppend { bytes } => {
+                n(out, "bytes", *bytes);
+            }
+            EventKind::WalCompact { before, after } => {
+                n(out, "before", *before);
+                n(out, "after", *after);
+            }
+            EventKind::WalError { op } => {
+                s(out, "op", op);
+            }
+            EventKind::PeerConnected { conn } | EventKind::PeerDisconnected { conn } => {
+                n(out, "conn", *conn);
+            }
+        }
+    }
+}
+
+/// One journal entry: sequence number, monotonic timestamp, severity, kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (gap-free per journal).
+    pub seq: u64,
+    /// Nanoseconds since the journal was created (monotonic clock).
+    pub t_nanos: u64,
+    /// Severity.
+    pub severity: Severity,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"t_ns\":{},\"severity\":\"{}\",\"event\":\"{}\"",
+            self.seq,
+            self.t_nanos,
+            self.severity.label(),
+            self.kind.name()
+        );
+        self.kind.write_json_fields(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_renders_flat_json() {
+        let e = Event {
+            seq: 3,
+            t_nanos: 1500,
+            severity: Severity::Warn,
+            kind: EventKind::SpoofDrop {
+                dpid: 1,
+                port: 2,
+                packets: 9,
+            },
+        };
+        assert_eq!(
+            e.to_json(),
+            "{\"seq\":3,\"t_ns\":1500,\"severity\":\"warn\",\"event\":\"spoof_drop\",\
+             \"dpid\":1,\"port\":2,\"packets\":9}"
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let e = Event {
+            seq: 0,
+            t_nanos: 0,
+            severity: Severity::Error,
+            kind: EventKind::WalError {
+                op: "upsert \"x\"".to_string(),
+            },
+        };
+        assert!(e.to_json().contains("\\\"x\\\""));
+    }
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Info.label(), "info");
+    }
+}

@@ -1,0 +1,74 @@
+//! Last-value gauges, the non-monotonic sibling of
+//! [`sav_metrics::Counters`].
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A set of named gauges (current values, not accumulations). Clones share
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct Gauges {
+    inner: Arc<Mutex<BTreeMap<Cow<'static, str>, f64>>>,
+}
+
+impl Gauges {
+    /// New, empty gauge set.
+    pub fn new() -> Gauges {
+        Gauges::default()
+    }
+
+    /// Set `name` to `value`.
+    pub fn set(&self, name: impl Into<Cow<'static, str>>, value: f64) {
+        self.inner
+            .lock()
+            .expect("gauges poisoned")
+            .insert(name.into(), value);
+    }
+
+    /// Current value of `name`, if ever set.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .expect("gauges poisoned")
+            .get(name)
+            .copied()
+    }
+
+    /// Remove a series (e.g. a per-switch gauge after the switch is gone).
+    pub fn remove(&self, name: &str) {
+        self.inner.lock().expect("gauges poisoned").remove(name);
+    }
+
+    /// Snapshot of every gauge, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner
+            .lock()
+            .expect("gauges poisoned")
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overwrites_and_remove_deletes() {
+        let g = Gauges::new();
+        g.set("wal_bytes", 10.0);
+        g.set("wal_bytes", 4.0);
+        g.set(format!("bindings{{dpid=\"{}\"}}", 1), 2.0);
+        assert_eq!(g.get("wal_bytes"), Some(4.0));
+        assert_eq!(g.get("bindings{dpid=\"1\"}"), Some(2.0));
+        assert_eq!(g.snapshot().len(), 2);
+        g.remove("bindings{dpid=\"1\"}");
+        assert_eq!(g.get("bindings{dpid=\"1\"}"), None);
+        // Clones share state.
+        let g2 = g.clone();
+        g2.set("wal_bytes", 7.0);
+        assert_eq!(g.get("wal_bytes"), Some(7.0));
+    }
+}

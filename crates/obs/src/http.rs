@@ -1,0 +1,204 @@
+//! A std-only HTTP/1.1 exposition endpoint.
+//!
+//! Serves `GET /metrics` (Prometheus text format), `GET /events?n=K` (the
+//! newest `K` journal events as JSONL), and `GET /healthz`. One accept
+//! thread handles requests inline — scrape traffic is a request every few
+//! seconds, not a web workload — and every response closes its
+//! connection, so no keep-alive state machine is needed.
+
+use crate::prom::encode_prometheus;
+use crate::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+const DEFAULT_EVENT_TAIL: usize = 256;
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running exposition endpoint.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve the given handle.
+    pub fn bind(addr: impl ToSocketAddrs, obs: Obs) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = stop.clone();
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => serve_one(stream, &obs),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(ObsServer {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The address to scrape.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop serving and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, obs: &Obs) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nonblocking(false);
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the header terminator; GET requests carry no body.
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let (status, content_type, body) = route(request.lines().next().unwrap_or(""), obs);
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        _ => "Method Not Allowed",
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn route(request_line: &str, obs: &Obs) -> (u16, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    if method != "GET" {
+        return (405, "text/plain", "method not allowed\n".to_string());
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => (200, "text/plain; version=0.0.4", encode_prometheus(obs)),
+        "/events" => {
+            let n = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("n="))
+                .and_then(|v| v.parse::<usize>().ok())
+                .unwrap_or(DEFAULT_EVENT_TAIL);
+            (200, "application/x-ndjson", obs.journal.tail_jsonl(n))
+        }
+        "/" | "/healthz" => (200, "text/plain", "ok\n".to_string()),
+        _ => (404, "text/plain", "not found\n".to_string()),
+    }
+}
+
+/// Minimal blocking HTTP GET against `addr` — the scrape client used by
+/// the integration tests and the live-controller smoke check. Returns
+/// `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventKind, Severity};
+
+    #[test]
+    fn serves_metrics_events_and_404() {
+        let obs = Obs::with_tracing();
+        obs.counters.add("sav_test_total", 2);
+        obs.event(Severity::Info, EventKind::SwitchUp { dpid: 9 });
+        obs.event(
+            Severity::Warn,
+            EventKind::SpoofDrop {
+                dpid: 9,
+                port: 1,
+                packets: 3,
+            },
+        );
+        let server = ObsServer::bind("127.0.0.1:0", obs).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/metrics").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("sav_test_total 2"), "{body}");
+
+        let (status, body) = http_get(addr, "/events?n=1").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1, "tail limited to 1: {body}");
+        assert!(body.contains("\"event\":\"spoof_drop\""));
+
+        let (status, body) = http_get(addr, "/events").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().next().unwrap().contains("switch_up"));
+
+        let (status, _) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(status, 200);
+        let (status, _) = http_get(addr, "/nope").unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,212 @@
+//! The event journal: a bounded ring buffer of typed events.
+//!
+//! Writers pay one short mutex hold and (optionally) one line to an
+//! attached JSONL sink; readers copy tails out. When the ring is full the
+//! oldest events fall off — `dropped()` says how many, so a post-mortem
+//! knows whether its window is complete.
+
+use crate::event::{Event, EventKind, Severity};
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+const DEFAULT_CAPACITY: usize = 4096;
+
+struct Inner {
+    buf: VecDeque<Event>,
+    cap: usize,
+    next_seq: u64,
+    dropped: u64,
+    min_severity: Severity,
+    sink: Option<Box<dyn Write + Send>>,
+    sink_errors: u64,
+}
+
+/// Shareable journal handle; clones share the ring.
+#[derive(Clone)]
+pub struct Journal {
+    inner: Arc<Mutex<Inner>>,
+    epoch: Instant,
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// A journal keeping at most the latest `cap` events.
+    pub fn with_capacity(cap: usize) -> Journal {
+        Journal {
+            inner: Arc::new(Mutex::new(Inner {
+                buf: VecDeque::with_capacity(cap.min(1024)),
+                cap: cap.max(1),
+                next_seq: 0,
+                dropped: 0,
+                min_severity: Severity::Debug,
+                sink: None,
+                sink_errors: 0,
+            })),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Drop events below `min` instead of recording them.
+    pub fn set_min_severity(&self, min: Severity) {
+        self.inner.lock().expect("journal poisoned").min_severity = min;
+    }
+
+    /// Attach a JSONL sink: every recorded event is also written as one
+    /// JSON line (e.g. a `File` for post-mortems). Write failures are
+    /// counted, never propagated to the hot path.
+    pub fn attach_sink(&self, sink: Box<dyn Write + Send>) {
+        self.inner.lock().expect("journal poisoned").sink = Some(sink);
+    }
+
+    /// Record one event; returns its sequence number (or `None` when
+    /// filtered by severity).
+    pub fn record(&self, severity: Severity, kind: EventKind) -> Option<u64> {
+        let t_nanos = self.epoch.elapsed().as_nanos() as u64;
+        let mut g = self.inner.lock().expect("journal poisoned");
+        if severity < g.min_severity {
+            return None;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        let ev = Event {
+            seq,
+            t_nanos,
+            severity,
+            kind,
+        };
+        if let Some(sink) = g.sink.as_mut() {
+            let line = ev.to_json();
+            if writeln!(sink, "{line}").is_err() {
+                g.sink_errors += 1;
+            }
+        }
+        if g.buf.len() == g.cap {
+            g.buf.pop_front();
+            g.dropped += 1;
+        }
+        g.buf.push_back(ev);
+        Some(seq)
+    }
+
+    /// The newest `n` events, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<Event> {
+        let g = self.inner.lock().expect("journal poisoned");
+        let skip = g.buf.len().saturating_sub(n);
+        g.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Events currently held in the ring.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal poisoned").buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything fell off).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events that fell off the ring.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").dropped
+    }
+
+    /// Sink write failures so far.
+    pub fn sink_errors(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").sink_errors
+    }
+
+    /// Render the newest `n` events as JSONL (one object per line).
+    pub fn tail_jsonl(&self, n: usize) -> String {
+        let mut out = String::new();
+        for ev in self.tail(n) {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_and_timestamps_are_monotone() {
+        let j = Journal::default();
+        j.record(Severity::Info, EventKind::SwitchUp { dpid: 1 });
+        j.record(Severity::Info, EventKind::SwitchUp { dpid: 2 });
+        let evs = j.tail(10);
+        assert_eq!(evs.len(), 2);
+        assert_eq!((evs[0].seq, evs[1].seq), (0, 1));
+        assert!(evs[0].t_nanos <= evs[1].t_nanos);
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let j = Journal::with_capacity(2);
+        for d in 0..5 {
+            j.record(Severity::Info, EventKind::SwitchUp { dpid: d });
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        let evs = j.tail(10);
+        assert_eq!(evs[0].seq, 3, "oldest surviving event");
+        assert_eq!(evs[1].seq, 4);
+        // tail(1) returns just the newest.
+        assert_eq!(j.tail(1)[0].seq, 4);
+    }
+
+    #[test]
+    fn severity_filter_suppresses() {
+        let j = Journal::default();
+        j.set_min_severity(Severity::Warn);
+        assert_eq!(
+            j.record(Severity::Debug, EventKind::SwitchUp { dpid: 1 }),
+            None
+        );
+        assert!(j
+            .record(
+                Severity::Error,
+                EventKind::WalError {
+                    op: "x".to_string()
+                }
+            )
+            .is_some());
+        assert_eq!(j.len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_receives_every_event() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let j = Journal::with_capacity(1); // ring overwrites, sink keeps all
+        j.attach_sink(Box::new(buf.clone()));
+        j.record(Severity::Info, EventKind::SwitchUp { dpid: 1 });
+        j.record(Severity::Info, EventKind::SwitchDown { dpid: 1 });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert_eq!(j.sink_errors(), 0);
+        assert_eq!(j.len(), 1, "ring kept only the newest");
+    }
+}

@@ -1,0 +1,177 @@
+//! Prometheus text exposition (version 0.0.4) of an [`Obs`] handle.
+//!
+//! Counter and gauge keys are full series names — `sav_punts_total` or
+//! `sav_bindings{dpid="1"}` — so producers choose their own label scheme
+//! and the encoder only groups series under one `# TYPE` line per base
+//! name. Tracer histograms named `x` are exposed as `sav_x_seconds` with
+//! cumulative `le` buckets (sparse: only buckets that grew are emitted,
+//! plus the mandatory `+Inf`).
+
+use crate::Obs;
+use std::fmt::Write as _;
+
+/// `name{a="b"}` → `("name", Some("a=\"b\""))`.
+fn split_series(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) => (
+            &name[..i],
+            name[i + 1..]
+                .strip_suffix('}')
+                .or(Some(""))
+                .map(|l| l.trim()),
+        ),
+        None => (name, None),
+    }
+}
+
+/// Prometheus metric names allow `[a-zA-Z0-9_:]`.
+fn sanitize(base: &str) -> String {
+    base.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn emit_family(out: &mut String, kind: &str, series: &[(String, String)]) {
+    let mut last_base = String::new();
+    for (name, value) in series {
+        let (base, labels) = split_series(name);
+        let base = sanitize(base);
+        if base != last_base {
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+            last_base = base.clone();
+        }
+        match labels {
+            Some(l) if !l.is_empty() => {
+                let _ = writeln!(out, "{base}{{{l}}} {value}");
+            }
+            _ => {
+                let _ = writeln!(out, "{base} {value}");
+            }
+        }
+    }
+}
+
+/// Render the whole observability state as Prometheus text format.
+pub fn encode_prometheus(obs: &Obs) -> String {
+    let mut out = String::with_capacity(4096);
+
+    let counters: Vec<(String, String)> = obs
+        .counters
+        .snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, v.to_string()))
+        .collect();
+    emit_family(&mut out, "counter", &counters);
+
+    let gauges: Vec<(String, String)> = obs
+        .gauges
+        .snapshot()
+        .into_iter()
+        .map(|(k, v)| (k, fmt_value(v)))
+        .collect();
+    emit_family(&mut out, "gauge", &gauges);
+
+    for (name, h) in obs.tracer.snapshot() {
+        let (raw_base, labels) = split_series(&name);
+        let base = format!("sav_{}_seconds", sanitize(raw_base));
+        let extra = labels.filter(|l| !l.is_empty());
+        let with_le = |le: &str| match extra {
+            Some(l) => format!("{{{l},le=\"{le}\"}}"),
+            None => format!("{{le=\"{le}\"}}"),
+        };
+        let plain = |suffix: &str| match extra {
+            Some(l) => format!("{base}{suffix}{{{l}}}"),
+            None => format!("{base}{suffix}"),
+        };
+        let _ = writeln!(out, "# TYPE {base} histogram");
+        let mut prev = 0u64;
+        for (upper, cum) in h.cumulative_buckets() {
+            if cum != prev {
+                let _ = writeln!(out, "{base}_bucket{} {cum}", with_le(&format!("{upper}")));
+                prev = cum;
+            }
+        }
+        let _ = writeln!(out, "{base}_bucket{} {}", with_le("+Inf"), h.count());
+        let _ = writeln!(out, "{} {}", plain("_sum"), fmt_value(h.sum()));
+        let _ = writeln!(out, "{} {}", plain("_count"), h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_group_under_one_type_line() {
+        let obs = Obs::new();
+        obs.counters.add("sav_punts_total", 3);
+        obs.counters.add("sav_spoof_dropped_total{dpid=\"1\"}", 2);
+        obs.counters.add("sav_spoof_dropped_total{dpid=\"2\"}", 5);
+        obs.gauges.set("sav_bindings{dpid=\"1\"}", 4.0);
+        let text = encode_prometheus(&obs);
+        assert_eq!(
+            text.matches("# TYPE sav_spoof_dropped_total counter")
+                .count(),
+            1,
+            "one TYPE line for both labelled series:\n{text}"
+        );
+        assert!(text.contains("sav_punts_total 3"));
+        assert!(text.contains("sav_spoof_dropped_total{dpid=\"2\"} 5"));
+        assert!(text.contains("# TYPE sav_bindings gauge"));
+        assert!(text.contains("sav_bindings{dpid=\"1\"} 4"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_le_buckets() {
+        let obs = Obs::with_tracing();
+        obs.tracer.observe("rule_compile", 1e-6);
+        obs.tracer.observe("rule_compile", 1e-6);
+        obs.tracer.observe("rule_compile", 0.5);
+        let text = encode_prometheus(&obs);
+        assert!(text.contains("# TYPE sav_rule_compile_seconds histogram"));
+        assert!(text.contains("sav_rule_compile_seconds_count 3"));
+        assert!(text.contains("sav_rule_compile_seconds_bucket{le=\"+Inf\"} 3"));
+        // Cumulative: the bucket covering 0.5 reports all three samples.
+        let bucket_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("sav_rule_compile_seconds_bucket"))
+            .collect();
+        assert!(bucket_lines.len() >= 3, "sparse buckets + Inf:\n{text}");
+        let counts: Vec<u64> = bucket_lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "monotone: {counts:?}"
+        );
+        assert_eq!(
+            *counts.first().unwrap(),
+            2,
+            "first non-empty bucket holds the two fast samples"
+        );
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let obs = Obs::new();
+        obs.counters.add("weird.name-total", 1);
+        let text = encode_prometheus(&obs);
+        assert!(text.contains("weird_name_total 1"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Hot-path tracing: named latency histograms behind a
+//! zero-cost-when-disabled span guard.
+//!
+//! The guard is the whole API: `let _s = tracer.span("rule_compile");`
+//! brackets a region, and the elapsed seconds land in the histogram named
+//! `rule_compile` when the guard drops. While tracing is disabled (the
+//! default) a span is one relaxed atomic load — no clock read, no lock —
+//! so instrumented hot paths stay at their uninstrumented speed.
+
+use sav_metrics::Histogram;
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Default)]
+struct Inner {
+    hists: BTreeMap<Cow<'static, str>, Histogram>,
+}
+
+/// Shareable tracer handle; clones share the histograms and the switch.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    enabled: Arc<AtomicBool>,
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Tracer {
+    /// A tracer with tracing disabled.
+    pub fn new() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Is tracing currently on?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flip tracing on or off (affects spans started afterwards).
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Start a span ending when the returned guard drops. The guard owns a
+    /// tracer handle (an `Arc` clone, taken only when tracing is on) so it
+    /// can outlive the borrow of `self` — callers may hold it across
+    /// `&mut self` work.
+    #[must_use = "a span measures until dropped — binding it to _ drops immediately"]
+    pub fn span(&self, name: &'static str) -> Span {
+        Span {
+            name,
+            armed: self.enabled().then(|| (self.clone(), Instant::now())),
+        }
+    }
+
+    /// Record a pre-measured duration (seconds) under `name`, bypassing
+    /// the enabled switch (for durations measured anyway, e.g. RTTs).
+    pub fn observe(&self, name: impl Into<Cow<'static, str>>, secs: f64) {
+        let mut g = self.inner.lock().expect("tracer poisoned");
+        g.hists.entry(name.into()).or_default().record(secs);
+    }
+
+    /// Copy out one named histogram, if it has ever been recorded to.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .hists
+            .get(name)
+            .cloned()
+    }
+
+    /// Copy out every histogram, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, Histogram)> {
+        self.inner
+            .lock()
+            .expect("tracer poisoned")
+            .hists
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+}
+
+/// RAII guard produced by [`Tracer::span`]. Records on drop.
+pub struct Span {
+    name: &'static str,
+    armed: Option<(Tracer, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((tracer, start)) = self.armed.take() {
+            tracer.observe(self.name, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let t = Tracer::new();
+        {
+            let _s = t.span("op");
+        }
+        assert!(t.histogram("op").is_none());
+        assert!(!t.enabled());
+    }
+
+    #[test]
+    fn enabled_spans_record_elapsed() {
+        let t = Tracer::new();
+        t.set_enabled(true);
+        {
+            let _s = t.span("op");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let h = t.histogram("op").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 0.002, "span measured the sleep, got {}", h.max());
+    }
+
+    #[test]
+    fn observe_bypasses_the_switch() {
+        let t = Tracer::new();
+        t.observe("rtt", 0.5);
+        t.observe(format!("rtt_{}", 2), 0.25);
+        assert_eq!(t.histogram("rtt").unwrap().count(), 1);
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "rtt");
+        assert_eq!(snap[1].0, "rtt_2");
+    }
+}

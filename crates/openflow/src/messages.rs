@@ -1241,6 +1241,100 @@ mod tests {
         ])));
     }
 
+    /// The stats poller's exact request shape: cookie-scoped to the SAV
+    /// rule space so replies exclude foreign apps' flows. The mask and
+    /// cookie live in the 40-byte fixed part before the match — an offset
+    /// bug there corrupts the filter silently, so pin the wire roundtrip.
+    #[test]
+    fn multipart_cookie_filtered_flow_request_roundtrip() {
+        roundtrip(Message::MultipartRequest(MultipartRequestBody::Flow(
+            FlowStatsRequest {
+                table_id: 0xff,
+                out_port: port::ANY,
+                out_group: 0xffff_ffff,
+                cookie: 0x5a56_0000_0000_0000,
+                cookie_mask: 0xffff_0000_0000_0000,
+                match_: OxmMatch::new(),
+            },
+        )));
+        // A narrowed variant: match + exact cookie, as a debugging client
+        // would issue for one binding's rule.
+        roundtrip(Message::MultipartRequest(MultipartRequestBody::Flow(
+            FlowStatsRequest {
+                table_id: 0,
+                out_port: 3,
+                out_group: 7,
+                cookie: u64::MAX,
+                cookie_mask: u64::MAX,
+                match_: sav_match(),
+            },
+        )));
+    }
+
+    /// Multi-entry replies with saturated counters: each 112-byte port
+    /// block and each variable-length flow block must re-align after wild
+    /// values, and u64 counters must survive untruncated.
+    #[test]
+    fn multipart_replies_roundtrip_at_edge_values() {
+        roundtrip(Message::MultipartReply(MultipartReplyBody::PortStats(
+            vec![
+                PortStats {
+                    port_no: 1,
+                    rx_packets: u64::MAX,
+                    tx_packets: u64::MAX - 1,
+                    rx_bytes: u64::MAX,
+                    tx_bytes: 0,
+                    rx_dropped: u64::MAX,
+                    tx_dropped: u64::MAX,
+                    duration_sec: u32::MAX,
+                },
+                PortStats::default(),
+                PortStats {
+                    port_no: port::MAX,
+                    rx_dropped: 1,
+                    ..PortStats::default()
+                },
+            ],
+        )));
+        let wild = FlowStatsEntry {
+            table_id: u8::MAX,
+            duration_sec: u32::MAX,
+            duration_nsec: 999_999_999,
+            priority: u16::MAX,
+            idle_timeout: u16::MAX,
+            hard_timeout: u16::MAX,
+            flags: u16::MAX,
+            cookie: u64::MAX,
+            packet_count: u64::MAX,
+            byte_count: u64::MAX,
+            match_: sav_match(),
+            instructions: vec![],
+        };
+        let empty_match = FlowStatsEntry {
+            match_: OxmMatch::new(),
+            instructions: vec![Instruction::GotoTable(1)],
+            ..wild.clone()
+        };
+        roundtrip(Message::MultipartReply(MultipartReplyBody::Flow(vec![
+            wild,
+            empty_match,
+        ])));
+    }
+
+    /// Zero-entry replies are legal (a cookie filter can match nothing);
+    /// they must encode to a bare multipart header and decode back empty.
+    #[test]
+    fn multipart_empty_replies_roundtrip() {
+        roundtrip(Message::MultipartReply(MultipartReplyBody::Flow(vec![])));
+        roundtrip(Message::MultipartReply(MultipartReplyBody::PortStats(
+            vec![],
+        )));
+        roundtrip(Message::MultipartReply(MultipartReplyBody::Table(vec![])));
+        roundtrip(Message::MultipartReply(MultipartReplyBody::PortDesc(
+            vec![],
+        )));
+    }
+
     #[test]
     fn decode_rejects_unknown_type() {
         let mut bytes = Message::Hello.encode(0);

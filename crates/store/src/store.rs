@@ -20,6 +20,7 @@
 use crate::record::{BindingRecord, WalOp};
 use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::wal::{append_op, recover_file};
+use sav_obs::{EventKind, Obs, Severity};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom};
@@ -87,6 +88,7 @@ pub struct BindingStore {
     config: StoreConfig,
     report: RecoveryReport,
     scratch: Vec<u8>,
+    obs: Option<Obs>,
 }
 
 impl BindingStore {
@@ -141,7 +143,16 @@ impl BindingStore {
             config,
             report,
             scratch: Vec::new(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability handle: appends and compactions reach its
+    /// journal, fsync latency its `wal_fsync` trace histogram, and the
+    /// current WAL size its `sav_wal_bytes` gauge.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.gauges.set("sav_wal_bytes", self.wal_bytes as f64);
+        self.obs = Some(obs);
     }
 
     /// What recovery found when this store was opened.
@@ -170,11 +181,21 @@ impl BindingStore {
     pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
         let wrote = append_op(&mut self.wal, op, &mut self.scratch)?;
         if matches!(self.config.fsync, FsyncPolicy::Always) {
+            let _span = self.obs.as_ref().map(|o| o.span("wal_fsync"));
             self.wal.sync_data()?;
         }
         self.wal_bytes += wrote;
         self.wal_records += 1;
         apply(&mut self.state, op);
+        if let Some(obs) = &self.obs {
+            obs.event(
+                Severity::Debug,
+                EventKind::WalAppend {
+                    bytes: self.wal_bytes,
+                },
+            );
+            obs.gauges.set("sav_wal_bytes", self.wal_bytes as f64);
+        }
         if self.wal_records >= self.config.compact_min_records
             && self.wal_bytes >= self.config.compact_min_bytes
         {
@@ -185,6 +206,7 @@ impl BindingStore {
 
     /// Write the shadow state to a fresh snapshot and reset the WAL.
     pub fn compact(&mut self) -> std::io::Result<()> {
+        let before = self.wal_bytes;
         write_snapshot(
             &Self::snapshot_path(&self.dir),
             &Self::tmp_path(&self.dir),
@@ -197,12 +219,17 @@ impl BindingStore {
         self.wal.sync_all()?;
         self.wal_bytes = 0;
         self.wal_records = 0;
+        if let Some(obs) = &self.obs {
+            obs.event(Severity::Info, EventKind::WalCompact { before, after: 0 });
+            obs.gauges.set("sav_wal_bytes", 0.0);
+        }
         Ok(())
     }
 
     /// Flush pending appends (used by `FsyncPolicy::OnCompact` callers at
     /// orderly shutdown).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        let _span = self.obs.as_ref().map(|o| o.span("wal_fsync"));
         self.wal.sync_data()
     }
 
@@ -373,6 +400,23 @@ mod tests {
         drop(s);
         let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
         assert_eq!(s.bindings(), &expect, "replay onto snapshot must converge");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn obs_sees_appends_and_compactions() {
+        let dir = tmp_dir("obs");
+        let obs = sav_obs::Obs::with_tracing();
+        let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        s.set_obs(obs.clone());
+        s.append(&WalOp::Upsert(rec(1))).unwrap();
+        assert_eq!(obs.gauges.get("sav_wal_bytes"), Some(s.wal_len() as f64));
+        assert!(obs.journal.tail_jsonl(1).contains("wal_append"));
+        let fsync = obs.tracer.histogram("wal_fsync").unwrap();
+        assert_eq!(fsync.count(), 1, "Always policy fsyncs each append");
+        s.compact().unwrap();
+        assert_eq!(obs.gauges.get("sav_wal_bytes"), Some(0.0));
+        assert!(obs.journal.tail_jsonl(1).contains("wal_compact"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

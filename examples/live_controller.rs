@@ -10,6 +10,12 @@
 //! to switch A is then severed mid-run to show the client reconnecting with
 //! backoff and filtering resuming with no manual re-binding.
 //!
+//! The run also hosts the full observability stack: an `Obs` handle threads
+//! through the SAV app, the stats poller, and the transport, and an
+//! `ObsServer` exposes `/metrics` + `/events` on its own loopback port. The
+//! example scrapes itself at the end and asserts the metrics are non-empty,
+//! so it doubles as the CI observability smoke check.
+//!
 //! ```text
 //! cargo run --release -p sav-examples --bin live_controller
 //! ```
@@ -22,10 +28,12 @@ use sav_channel::server::{ServerConfig, SouthboundServer};
 use sav_controller::app::App;
 use sav_controller::apps::L2RoutingApp;
 use sav_controller::Controller;
-use sav_core::{SavApp, SavConfig};
+use sav_core::{SavApp, SavConfig, StatsPollerApp};
 use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
 use sav_net::builder::build_ipv4_udp;
 use sav_net::prelude::*;
+use sav_obs::http::http_get;
+use sav_obs::{Obs, ObsServer};
 use sav_openflow::ports::PortDesc;
 use sav_topo::generators;
 use sav_topo::routes::Routes;
@@ -79,8 +87,10 @@ fn main() {
     // trunk Link carries data frames s0 port1 <-> s1 port1.
     let topo = Arc::new(generators::linear(2, 2));
     let routes = Arc::new(Routes::compute(&topo));
+    let obs = Obs::with_tracing();
     let apps: Vec<Box<dyn App>> = vec![
-        Box::new(SavApp::new(topo.clone(), SavConfig::default())),
+        Box::new(SavApp::new(topo.clone(), SavConfig::default()).with_obs(obs.clone())),
+        Box::new(StatsPollerApp::new(obs.clone())),
         Box::new(L2RoutingApp::new(topo.clone(), routes)),
     ];
 
@@ -89,6 +99,8 @@ fn main() {
         ServerConfig {
             echo_interval: Duration::from_millis(100),
             liveness_timeout: Duration::from_secs(1),
+            stats_poll_interval: Some(Duration::from_millis(100)),
+            obs: Some(obs.clone()),
             ..ServerConfig::default()
         },
         Controller::new(apps),
@@ -96,6 +108,9 @@ fn main() {
     .expect("bind loopback listener");
     let addr = server.local_addr();
     println!("controller listening on {addr}");
+    let obs_server = ObsServer::bind("127.0.0.1:0", obs.clone()).expect("bind /metrics endpoint");
+    let obs_addr = obs_server.local_addr();
+    println!("observability endpoint on http://{obs_addr}/metrics");
 
     let client_config = |seed: u64| ClientConfig {
         backoff: BackoffPolicy {
@@ -239,8 +254,50 @@ fn main() {
     );
     drop(c);
 
+    // Observability smoke: wait until the stats poller has attributed the
+    // spoof drops, then scrape our own /metrics and /events endpoints the
+    // same way an external Prometheus + operator would.
+    assert!(
+        wait_for(Duration::from_secs(10), || obs
+            .counters
+            .get("sav_spoof_dropped_total")
+            > 0),
+        "stats poller must observe the deny-rule drop deltas"
+    );
+    let (status, metrics) = http_get(obs_addr, "/metrics").expect("scrape /metrics");
+    assert_eq!(status, 200, "metrics endpoint must answer 200");
+    assert!(
+        metrics.contains("sav_rules_installed_total"),
+        "scrape must expose the rule-install counter"
+    );
+    assert!(
+        metrics.contains("sav_spoof_dropped_total"),
+        "scrape must expose the spoof-drop counter"
+    );
+    assert!(
+        metrics.contains("sav_rule_compile_seconds"),
+        "scrape must expose the rule-compile latency histogram"
+    );
+    println!("\nself-scrape of http://{obs_addr}/metrics — sample series:");
+    for line in metrics.lines().filter(|l| {
+        !l.starts_with('#')
+            && (l.starts_with("sav_spoof_dropped_total")
+                || l.starts_with("sav_bindings")
+                || l.starts_with("sav_rules_installed_total")
+                || l.starts_with("sav_rule_compile_seconds_count"))
+    }) {
+        println!("  {line}");
+    }
+    let (status, events) = http_get(obs_addr, "/events?n=5").expect("scrape /events");
+    assert_eq!(status, 200, "events endpoint must answer 200");
+    println!("last journal events:");
+    for line in events.lines() {
+        println!("  {line}");
+    }
+
     c0.stop();
     c1.stop();
+    obs_server.shutdown();
     server.shutdown();
     println!("\nsame state machines as the simulator — now behind a real TCP");
     println!("southbound channel with keepalives and automatic reconnect.");

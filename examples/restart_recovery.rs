@@ -55,6 +55,7 @@ fn server_config() -> ServerConfig {
         liveness_timeout: Duration::from_millis(400),
         outbound_queue: 64,
         write_stall_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
     }
 }
 

@@ -52,6 +52,7 @@ fn fast_server_config() -> ServerConfig {
         liveness_timeout: Duration::from_millis(400),
         outbound_queue: 64,
         write_stall_timeout: Duration::from_millis(500),
+        ..ServerConfig::default()
     }
 }
 
