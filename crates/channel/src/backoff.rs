@@ -37,7 +37,7 @@ impl BackoffPolicy {
         Backoff {
             policy: self.clone(),
             attempt: 0,
-            rng: StdRng::seed_from_u64(self.seed ^ 0x5bd1_e995_9e37_79b9),
+            total_attempts: 0,
         }
     }
 }
@@ -46,7 +46,11 @@ impl BackoffPolicy {
 pub struct Backoff {
     policy: BackoffPolicy,
     attempt: u32,
-    rng: StdRng,
+    /// Attempts since this schedule was created — unlike `attempt`, never
+    /// reset, so every attempt over the client's whole lifetime draws a
+    /// fresh jitter instead of replaying the sequence fixed at
+    /// construction time.
+    total_attempts: u64,
 }
 
 impl Backoff {
@@ -55,6 +59,8 @@ impl Backoff {
     pub fn next_delay(&mut self) -> Duration {
         let exp = self.attempt.min(20); // 2^20 * base already dwarfs any cap
         self.attempt = self.attempt.saturating_add(1);
+        let nth = self.total_attempts;
+        self.total_attempts = self.total_attempts.wrapping_add(1);
         let raw = self
             .policy
             .base
@@ -64,7 +70,13 @@ impl Backoff {
         let jitter = if jitter_ns == 0 {
             0
         } else {
-            self.rng.gen_range(0..=jitter_ns)
+            // Re-seed per attempt: the jitter is a pure function of
+            // (policy seed, lifetime attempt index), so reconnect storms
+            // stay de-synchronized across resets and tests stay exact.
+            let mut rng = StdRng::seed_from_u64(
+                self.policy.seed ^ 0x5bd1_e995_9e37_79b9 ^ nth.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            rng.gen_range(0..=jitter_ns)
         };
         raw + Duration::from_nanos(jitter)
     }
@@ -127,6 +139,38 @@ mod tests {
             (0..5).map(|_| b.next_delay()).collect()
         };
         assert_ne!(a, c, "different seeds must de-synchronize");
+    }
+
+    /// Jitter must be a pure per-attempt function of (seed, lifetime
+    /// attempt index) — re-randomized every attempt, not a sequence fixed
+    /// at construction and unaffected by resets. With base == cap the raw
+    /// delay is constant, so the delays isolate the jitter draw.
+    #[test]
+    fn jitter_re_randomized_per_attempt() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(100),
+            cap: Duration::from_millis(100),
+            seed: 11,
+        };
+        let straight: Vec<Duration> = {
+            let mut b = policy.start();
+            (0..6).map(|_| b.next_delay()).collect()
+        };
+        // Consecutive attempts draw different jitters.
+        assert!(
+            straight.windows(2).any(|w| w[0] != w[1]),
+            "jitter frozen across attempts: {straight:?}"
+        );
+        // A reset mid-stream restarts the exponent but not the jitter
+        // index: the nth lifetime attempt always draws the nth jitter.
+        let with_reset: Vec<Duration> = {
+            let mut b = policy.start();
+            let mut v: Vec<Duration> = (0..3).map(|_| b.next_delay()).collect();
+            b.reset();
+            v.extend((0..3).map(|_| b.next_delay()));
+            v
+        };
+        assert_eq!(straight, with_reset);
     }
 
     #[test]

@@ -107,6 +107,23 @@ pub fn spawn(
     links: Vec<Link>,
     delivered: Sender<(u32, Vec<u8>)>,
 ) -> ClientHandle {
+    spawn_multi(vec![addr], switch, config, links, delivered)
+}
+
+/// Start a switch with a controller failover list: `addrs` are tried in
+/// rotation. While a connection is up the switch stays put; when it dies
+/// and the same controller refuses the reconnect, the dialer advances to
+/// the next address — so a hot-standby controller that binds its listener
+/// on takeover is found within one backoff cycle. Panics if `addrs` is
+/// empty.
+pub fn spawn_multi(
+    addrs: Vec<SocketAddr>,
+    switch: OpenFlowSwitch,
+    config: ClientConfig,
+    links: Vec<Link>,
+    delivered: Sender<(u32, Vec<u8>)>,
+) -> ClientHandle {
+    assert!(!addrs.is_empty(), "need at least one controller address");
     let stop = Arc::new(AtomicBool::new(false));
     let drop_now = Arc::new(AtomicBool::new(false));
     let metrics = ChannelMetrics::new();
@@ -117,7 +134,7 @@ pub fn spawn(
         let metrics = metrics.clone();
         thread::spawn(move || {
             ClientLoop {
-                addr,
+                addrs,
                 switch,
                 config,
                 links,
@@ -141,7 +158,7 @@ pub fn spawn(
 }
 
 struct ClientLoop {
-    addr: SocketAddr,
+    addrs: Vec<SocketAddr>,
     switch: OpenFlowSwitch,
     config: ClientConfig,
     links: Vec<Link>,
@@ -170,10 +187,15 @@ impl ClientLoop {
         let mut backoff = self.config.backoff.start();
         let mut fault = self.config.fault.clone();
         let mut connections = 0u64;
+        let mut which = 0usize;
         while !self.stop.load(Ordering::Relaxed) {
-            let stream = match TcpStream::connect(self.addr) {
+            let addr = self.addrs[which % self.addrs.len()];
+            let stream = match TcpStream::connect(addr) {
                 Ok(s) => s,
                 Err(_) => {
+                    // This controller is unreachable; rotate to the next
+                    // one in the failover list after the backoff sleep.
+                    which = which.wrapping_add(1);
                     if !self.sleep_interruptibly(backoff.next_delay()) {
                         return;
                     }

@@ -12,6 +12,8 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// What the transport should do with one outgoing chunk.
@@ -22,6 +24,38 @@ pub enum WriteDecision {
     Chunks(Vec<Vec<u8>>),
     /// Abruptly close the connection without writing anything.
     Reset,
+}
+
+/// A shared switch that models a network partition: while engaged, every
+/// write through a [`FaultPlan`] carrying this gate is silently dropped.
+/// Clone the gate into the fault plans of *both* directions of a link (or
+/// of several links) to partition them bidirectionally, then
+/// [`PartitionGate::release`] to heal. Unlike the probabilistic faults, a
+/// partition is not budget-limited — it lasts exactly as long as the test
+/// holds it engaged.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionGate(Arc<AtomicBool>);
+
+impl PartitionGate {
+    /// A new, healed (open) gate.
+    pub fn new() -> PartitionGate {
+        PartitionGate::default()
+    }
+
+    /// Start dropping everything that flows through plans holding this gate.
+    pub fn engage(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Heal the partition.
+    pub fn release(&self) {
+        self.0.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the partition is currently in force.
+    pub fn is_engaged(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
 }
 
 /// A deterministic schedule of channel faults.
@@ -36,6 +70,8 @@ pub struct FaultPlan {
     reset_prob: f64,
     /// Fixed delay applied before every write (None = no delay).
     latency: Option<Duration>,
+    /// Shared partition switch; while engaged, all writes are dropped.
+    partition: Option<PartitionGate>,
     /// Faults remaining before the plan falls back to pass-through.
     /// `u64::MAX` means unlimited.
     budget: u64,
@@ -52,6 +88,7 @@ impl FaultPlan {
             split_prob: 0.0,
             reset_prob: 0.0,
             latency: None,
+            partition: None,
             budget: 0,
             injected: 0,
         }
@@ -93,6 +130,15 @@ impl FaultPlan {
         self
     }
 
+    /// Attach a shared [`PartitionGate`]: while it is engaged every write
+    /// through this plan is dropped, regardless of budget. Attach the same
+    /// gate to the plans on both sides of a link for a bidirectional
+    /// partition.
+    pub fn with_partition(mut self, gate: PartitionGate) -> FaultPlan {
+        self.partition = Some(gate);
+        self
+    }
+
     /// Latency to apply before the next write (not budget-limited; latency
     /// does not corrupt anything).
     pub fn delay(&self) -> Option<Duration> {
@@ -111,6 +157,11 @@ impl FaultPlan {
 
     /// Decide the fate of one outgoing chunk.
     pub fn on_write(&mut self, data: &[u8]) -> WriteDecision {
+        if let Some(gate) = &self.partition {
+            if gate.is_engaged() {
+                return WriteDecision::Chunks(vec![]);
+            }
+        }
         if !self.armed() || data.is_empty() {
             return WriteDecision::Chunks(vec![data.to_vec()]);
         }
@@ -178,6 +229,38 @@ mod tests {
             p.on_write(b"ok"),
             WriteDecision::Chunks(vec![b"ok".to_vec()])
         );
+    }
+
+    /// One gate shared by the plans of both directions of a link: while
+    /// engaged everything is dropped both ways (a true bidirectional
+    /// partition), on release both directions heal — and the partition
+    /// never consumes the probabilistic fault budget.
+    #[test]
+    fn partition_gate_drops_both_directions_until_released() {
+        let gate = PartitionGate::new();
+        let mut a_to_b = FaultPlan::none().with_partition(gate.clone());
+        let mut b_to_a = FaultPlan::none().with_partition(gate.clone());
+        assert_eq!(
+            a_to_b.on_write(b"pre"),
+            WriteDecision::Chunks(vec![b"pre".to_vec()])
+        );
+        gate.engage();
+        assert!(gate.is_engaged());
+        for _ in 0..10 {
+            assert_eq!(a_to_b.on_write(b"x"), WriteDecision::Chunks(vec![]));
+            assert_eq!(b_to_a.on_write(b"y"), WriteDecision::Chunks(vec![]));
+        }
+        gate.release();
+        assert_eq!(
+            a_to_b.on_write(b"post"),
+            WriteDecision::Chunks(vec![b"post".to_vec()])
+        );
+        assert_eq!(
+            b_to_a.on_write(b"post"),
+            WriteDecision::Chunks(vec![b"post".to_vec()])
+        );
+        assert_eq!(a_to_b.injected(), 0, "partition is not a budgeted fault");
+        assert_eq!(b_to_a.injected(), 0);
     }
 
     #[test]

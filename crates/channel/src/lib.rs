@@ -40,6 +40,6 @@ pub mod server;
 
 pub use backoff::BackoffPolicy;
 pub use client::{ClientConfig, ClientHandle, Link};
-pub use fault::{FaultPlan, WriteDecision};
+pub use fault::{FaultPlan, PartitionGate, WriteDecision};
 pub use metrics::{ChannelMetrics, ChannelStats};
 pub use server::{ServerConfig, SouthboundServer};

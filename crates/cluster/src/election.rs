@@ -1,0 +1,246 @@
+//! Deterministic lease-based leader election.
+//!
+//! No Raft, no external coordination service: the paper's controller is a
+//! single logical process, so the replication group only needs to agree on
+//! *one* writer, and safety does not depend on the election at all — it
+//! rests on the switches' generation fencing (OF1.3 §6.3.6). That frees
+//! the election to be simple:
+//!
+//! * Every node heartbeats every peer over the replication links.
+//! * A node considers a peer alive while its last heartbeat is younger
+//!   than the liveness lease.
+//! * **The lowest alive node id is the leader.** A node claims leadership
+//!   when no lower id is alive — after an initial one-lease grace so a
+//!   running leader gets a chance to be heard before a freshly started
+//!   standby grabs the role.
+//! * Claiming bumps the generation to `max_seen + 1`; switches reject
+//!   anything older, so even if a partition makes two nodes *believe*
+//!   they lead, only the newest generation can program flows.
+//! * Seeing a heartbeat with a newer generation deposes a leader
+//!   immediately (it was fenced while partitioned).
+//!
+//! The struct is pure — time is passed in — so the failure schedules in
+//! the unit tests are exact.
+
+use sav_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// This node's current cluster role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Owns the switches and streams its WAL to the standbys.
+    Leader,
+    /// Holds a hot replica; promotes itself if every lower id dies.
+    Follower,
+}
+
+/// What a [`Election::tick`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// Nothing changed.
+    None,
+    /// This node just claimed leadership at this (freshly bumped)
+    /// generation.
+    BecameLeader {
+        /// The generation to assert toward switches.
+        generation: u64,
+    },
+    /// This node was leading but observed a newer generation: a peer took
+    /// over while we were unreachable and the switches now fence us.
+    Deposed {
+        /// The newer generation that displaced ours.
+        by_generation: u64,
+    },
+}
+
+/// Pure election state for one node.
+#[derive(Debug)]
+pub struct Election {
+    self_id: u64,
+    lease: SimDuration,
+    /// Startup grace: no self-claim before this instant.
+    grace_until: SimTime,
+    /// Peer id → instant of its last heartbeat.
+    last_seen: BTreeMap<u64, SimTime>,
+    /// Highest generation observed anywhere (including our own claims).
+    max_gen_seen: u64,
+    role: Role,
+    /// The generation of our own current/last leadership claim.
+    my_generation: Option<u64>,
+}
+
+impl Election {
+    /// A follower node `self_id` starting at `now` with the given liveness
+    /// lease.
+    pub fn new(self_id: u64, lease: SimDuration, now: SimTime) -> Election {
+        Election {
+            self_id,
+            lease,
+            grace_until: now + lease,
+            last_seen: BTreeMap::new(),
+            max_gen_seen: 0,
+            role: Role::Follower,
+            my_generation: None,
+        }
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> u64 {
+        self.self_id
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Generation of our current leadership claim (None while follower
+    /// and never led).
+    pub fn generation(&self) -> Option<u64> {
+        match self.role {
+            Role::Leader => self.my_generation,
+            Role::Follower => None,
+        }
+    }
+
+    /// Highest generation observed anywhere so far.
+    pub fn max_generation_seen(&self) -> u64 {
+        self.max_gen_seen
+    }
+
+    /// Ids currently considered alive (peers within lease; self always).
+    pub fn alive(&self, now: SimTime) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &t)| now.saturating_since(t) <= self.lease)
+            .map(|(&id, _)| id)
+            .collect();
+        v.push(self.self_id);
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Who we believe leads right now: the lowest alive id.
+    pub fn leader_hint(&self, now: SimTime) -> u64 {
+        self.alive(now)[0]
+    }
+
+    /// A heartbeat from `node` carrying its generation arrived at `now`.
+    pub fn observe(&mut self, node: u64, generation: u64, now: SimTime) {
+        if node == self.self_id {
+            return;
+        }
+        self.last_seen.insert(node, now);
+        if generation > self.max_gen_seen {
+            self.max_gen_seen = generation;
+        }
+    }
+
+    /// Re-evaluate at `now`. Call periodically (heartbeat cadence).
+    pub fn tick(&mut self, now: SimTime) -> Transition {
+        if self.role == Role::Leader {
+            let mine = self.my_generation.unwrap_or(0);
+            if self.max_gen_seen > mine {
+                // A peer claimed a newer generation: the switches fence us
+                // already; align our view.
+                self.role = Role::Follower;
+                return Transition::Deposed {
+                    by_generation: self.max_gen_seen,
+                };
+            }
+            return Transition::None;
+        }
+        if now < self.grace_until {
+            return Transition::None;
+        }
+        let lowest_alive = self.leader_hint(now);
+        if lowest_alive == self.self_id {
+            let generation = self.max_gen_seen + 1;
+            self.max_gen_seen = generation;
+            self.my_generation = Some(generation);
+            self.role = Role::Leader;
+            return Transition::BecameLeader { generation };
+        }
+        Transition::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEASE: SimDuration = SimDuration::from_millis(100);
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn lowest_id_wins_initial_election_after_grace() {
+        let mut a = Election::new(1, LEASE, at(0));
+        let mut b = Election::new(2, LEASE, at(0));
+        // Inside the grace window nobody claims.
+        assert_eq!(a.tick(at(50)), Transition::None);
+        assert_eq!(b.tick(at(50)), Transition::None);
+        // Heartbeats cross; after grace the lower id claims, the higher
+        // sees a live lower peer and stays standby.
+        a.observe(2, 0, at(90));
+        b.observe(1, 0, at(90));
+        assert_eq!(a.tick(at(110)), Transition::BecameLeader { generation: 1 });
+        assert_eq!(b.tick(at(110)), Transition::None);
+        assert_eq!(a.role(), Role::Leader);
+        assert_eq!(b.role(), Role::Follower);
+        assert_eq!(b.leader_hint(at(110)), 1);
+    }
+
+    #[test]
+    fn standby_takes_over_one_lease_after_leader_death() {
+        let mut b = Election::new(2, LEASE, at(0));
+        b.observe(1, 1, at(90)); // leader (gen 1) alive at t=90ms…
+        assert_eq!(b.tick(at(150)), Transition::None, "lease not expired");
+        // …then silent. One lease later the standby claims with a HIGHER
+        // generation, so the switches will accept it and fence the old
+        // leader.
+        assert_eq!(b.tick(at(191)), Transition::BecameLeader { generation: 2 });
+        assert!(b.generation() > Some(1));
+    }
+
+    #[test]
+    fn healed_partition_deposes_the_stale_leader() {
+        // Node 1 led at gen 1, got partitioned; node 2 took over at gen 2.
+        let mut a = Election::new(1, LEASE, at(0));
+        assert_eq!(a.tick(at(101)), Transition::BecameLeader { generation: 1 });
+        // Partition heals: node 1 hears node 2's gen-2 heartbeat.
+        a.observe(2, 2, at(500));
+        assert_eq!(a.tick(at(500)), Transition::Deposed { by_generation: 2 });
+        assert_eq!(a.role(), Role::Follower);
+        // Being the lowest alive id again, it may re-claim — but only at
+        // a generation newer than the one that fenced it.
+        assert_eq!(a.tick(at(501)), Transition::BecameLeader { generation: 3 });
+    }
+
+    #[test]
+    fn claims_never_reuse_generations() {
+        let mut a = Election::new(3, LEASE, at(0));
+        a.observe(1, 41, at(90)); // the current leader is at generation 41
+        assert_eq!(a.tick(at(120)), Transition::None, "node 1 alive and lower");
+        // When node 1 expires, node 3's claim must land above everything
+        // it has ever seen — never reusing a fenced generation.
+        assert_eq!(a.tick(at(250)), Transition::BecameLeader { generation: 42 });
+    }
+
+    #[test]
+    fn lowest_alive_wins_not_lowest_configured() {
+        // Node 5 knows peers 1 and 3; both die; 5 claims. Then 3 returns
+        // with the newer generation and 5 is deposed.
+        let mut e = Election::new(5, LEASE, at(0));
+        e.observe(1, 1, at(50));
+        e.observe(3, 0, at(50));
+        assert_eq!(e.tick(at(120)), Transition::None, "1 and 3 alive");
+        assert_eq!(e.tick(at(200)), Transition::BecameLeader { generation: 2 });
+        e.observe(3, 3, at(210));
+        assert_eq!(e.tick(at(210)), Transition::Deposed { by_generation: 3 });
+    }
+}

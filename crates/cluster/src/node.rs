@@ -1,0 +1,812 @@
+//! The cluster node runtime: peer links, WAL streaming, and promotion.
+//!
+//! A [`ClusterNode`] runs a small thread family around one shared core:
+//!
+//! * a **listener** accepting peer links on this node's cluster endpoint,
+//! * one **dialer** per lower-id peer (higher ids dial lower ids, so each
+//!   pair gets exactly one link; redials use the southbound channel's
+//!   capped-jittered backoff),
+//! * a **ticker** driving the [`Election`] lease clock, heartbeats, and
+//!   the cluster gauges.
+//!
+//! While following, the node owns a *durable* replica: every streamed
+//! [`PeerMsg::WalRecord`] is appended to its own [`BindingStore`], so a
+//! standby that crashes and restarts recovers its copy from disk exactly
+//! like a standalone controller would. On promotion the embedder calls
+//! [`ClusterHandle::take_store`] and hands the replica to the SAV app —
+//! replay is the recovery path that already exists; failover adds nothing
+//! new to trust.
+//!
+//! The leader keeps a bounded in-memory window of recent records for tail
+//! catch-up. A follower whose `Hello{have_seq}` predates the window gets a
+//! full image transfer (`SnapshotBegin` / `SnapshotEntry*` / `SnapshotEnd`)
+//! — the same snapshot-plus-tail fallback the on-disk WAL uses after
+//! compaction ([`sav_store::TailError::Compacted`]).
+
+use crate::election::{Election, Role, Transition};
+use crate::proto::{PeerDeframer, PeerMsg, PROTO_VERSION};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use sav_channel::BackoffPolicy;
+use sav_obs::{EventKind, Obs, Severity};
+use sav_sim::{SimDuration, SimTime};
+use sav_store::{apply, BindingRecord, BindingStore, StoreConfig, WalOp, WalTap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Tuning for one replication-group member.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// This node's id. **Lower ids win elections**; give the preferred
+    /// primary the lowest id.
+    pub node_id: u64,
+    /// The cluster endpoint this node listens on for peers.
+    pub listen: SocketAddr,
+    /// Every other group member: `(node_id, cluster endpoint)`.
+    pub peers: Vec<(u64, SocketAddr)>,
+    /// Directory for this node's durable binding replica.
+    pub replica_dir: PathBuf,
+    /// Durability tuning for the replica store.
+    pub store: StoreConfig,
+    /// Liveness lease: a peer silent this long is presumed dead, and a
+    /// standby waits this long at startup before self-electing.
+    pub lease: Duration,
+    /// Heartbeat / election-tick cadence. Keep well under `lease`.
+    pub heartbeat_interval: Duration,
+    /// Leader-side in-memory catch-up window (records). Followers lagging
+    /// further fall back to a full image transfer.
+    pub retained_ops: usize,
+    /// Redial schedule for peer links.
+    pub backoff: BackoffPolicy,
+    /// Observability sink (role gauges, lag gauge, failover events).
+    pub obs: Obs,
+}
+
+impl ClusterConfig {
+    /// A config with production-ish timing defaults.
+    pub fn new(
+        node_id: u64,
+        listen: SocketAddr,
+        peers: Vec<(u64, SocketAddr)>,
+        replica_dir: impl Into<PathBuf>,
+    ) -> ClusterConfig {
+        ClusterConfig {
+            node_id,
+            listen,
+            peers,
+            replica_dir: replica_dir.into(),
+            store: StoreConfig::default(),
+            lease: Duration::from_millis(500),
+            heartbeat_interval: Duration::from_millis(100),
+            retained_ops: 4096,
+            backoff: BackoffPolicy::default(),
+            obs: Obs::new(),
+        }
+    }
+}
+
+/// Notifications the embedder must react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterEvent {
+    /// This node now leads: take the replica store, hydrate the SAV app,
+    /// bind the southbound listener, and assert `MASTER(generation)`.
+    BecameLeader {
+        /// Generation to fence the switches with.
+        generation: u64,
+    },
+    /// A newer generation fenced us: stop serving southbound.
+    Deposed {
+        /// The generation that displaced ours.
+        by_generation: u64,
+    },
+}
+
+/// Shared state behind every thread of one node.
+struct Core {
+    node_id: u64,
+    started: Instant,
+    election: Election,
+    obs: Obs,
+    events: Sender<ClusterEvent>,
+    /// The durable replica; `None` after the embedder took it on
+    /// promotion (the live image below remains authoritative for serving
+    /// followers).
+    store: Option<BindingStore>,
+    /// Durability tuning, kept for replica rebuilds after an image transfer.
+    store_config: StoreConfig,
+    /// Always-current binding image (replica plus streamed/committed ops).
+    image: BTreeMap<Ipv4Addr, BindingRecord>,
+    /// Next global sequence: everything below is applied/committed here.
+    seq: u64,
+    /// Leader-side tail window: the last `retained_cap` committed records.
+    retained: VecDeque<(u64, WalOp)>,
+    retained_cap: usize,
+    /// Live peer outboxes: peer id → (link epoch, encoded-frame sender).
+    links: HashMap<u64, (u64, Sender<Vec<u8>>)>,
+    /// Follower progress from heartbeats (leader side, for the lag gauge).
+    follower_seq: HashMap<u64, u64>,
+    /// Follower-side in-flight image transfer.
+    pending_image: Option<(u64, BTreeMap<Ipv4Addr, BindingRecord>)>,
+    /// Set when a takeover claim happens; consumed by
+    /// [`ClusterHandle::report_failover_complete`].
+    takeover_started: Option<Instant>,
+}
+
+impl Core {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+    }
+
+    fn role_gauge(&self) {
+        let v = match self.election.role() {
+            Role::Leader => 2.0,
+            Role::Follower => 3.0,
+        };
+        self.obs
+            .gauges
+            .set(format!("sav_cluster_role{{node=\"{}\"}}", self.node_id), v);
+    }
+
+    /// Commit one op at the head of the stream (leader path: called from
+    /// the store tap after the record is durable) and fan it out.
+    fn commit(&mut self, op: WalOp) {
+        let seq = self.seq;
+        self.seq += 1;
+        apply(&mut self.image, &op);
+        let bytes = PeerMsg::WalRecord { seq, op }.encode();
+        self.retained.push_back((seq, op));
+        while self.retained.len() > self.retained_cap {
+            self.retained.pop_front();
+        }
+        for (_, tx) in self.links.values() {
+            let _ = tx.send(bytes.clone());
+        }
+    }
+
+    /// Serve catch-up to a follower that has everything below `have_seq`:
+    /// tail records if the window still covers it, else a full image.
+    fn serve_catchup(&mut self, have_seq: u64, out: &Sender<Vec<u8>>) {
+        let window_base = self.seq - self.retained.len() as u64;
+        if have_seq >= window_base {
+            for (seq, op) in self.retained.iter().filter(|(s, _)| *s >= have_seq) {
+                let _ = out.send(PeerMsg::WalRecord { seq: *seq, op: *op }.encode());
+            }
+        } else {
+            // The follower lagged past the retained window — same shape as
+            // a WAL reader lagging past a compaction: snapshot, then tail.
+            let _ = out.send(PeerMsg::SnapshotBegin { next_seq: self.seq }.encode());
+            for rec in self.image.values() {
+                let _ = out.send(
+                    PeerMsg::SnapshotEntry {
+                        op: WalOp::Upsert(*rec),
+                    }
+                    .encode(),
+                );
+            }
+            let _ = out.send(PeerMsg::SnapshotEnd.encode());
+        }
+    }
+
+    /// Apply one streamed record (follower path): durable replica first,
+    /// then the live image. Returns `false` on a sequence gap — the link
+    /// must be dropped so the follower re-`Hello`s and gets catch-up.
+    fn apply_record(&mut self, seq: u64, op: &WalOp) -> bool {
+        if seq < self.seq {
+            return true; // duplicate from a catch-up overlap
+        }
+        if seq > self.seq {
+            // We missed records (e.g. the old leader died mid-broadcast and
+            // this peer — promoted since — has commits we never saw).
+            // Reconnecting replays the Hello/catch-up handshake.
+            return false;
+        }
+        if let Some(store) = &mut self.store {
+            if let Err(e) = store.append(op) {
+                self.obs.event(
+                    Severity::Error,
+                    EventKind::WalError {
+                        op: format!("replica append: {e}"),
+                    },
+                );
+            }
+        }
+        apply(&mut self.image, op);
+        self.seq = seq + 1;
+        true
+    }
+
+    /// Follower image transfer: rebuild the replica from scratch.
+    fn finish_snapshot(&mut self) {
+        let Some((next_seq, image)) = self.pending_image.take() else {
+            return;
+        };
+        let store_config = self.store_config;
+        if let Some(store) = &mut self.store {
+            let dir = store.wal_file().parent().map(PathBuf::from);
+            if let Some(dir) = dir {
+                let rebuilt =
+                    BindingStore::wipe(&dir).and_then(|()| BindingStore::open(&dir, store_config));
+                match rebuilt {
+                    Ok(mut fresh) => {
+                        for rec in image.values() {
+                            let _ = fresh.append(&WalOp::Upsert(*rec));
+                        }
+                        *store = fresh;
+                    }
+                    Err(e) => self.obs.event(
+                        Severity::Error,
+                        EventKind::WalError {
+                            op: format!("replica rebuild: {e}"),
+                        },
+                    ),
+                }
+            }
+        }
+        self.image = image;
+        self.seq = next_seq;
+    }
+
+    /// Handle one peer message. Returns `false` if the link must be
+    /// dropped (replication gap — reconnecting triggers catch-up).
+    fn handle_peer_msg(&mut self, msg: PeerMsg) -> bool {
+        let now = self.now();
+        match msg {
+            PeerMsg::Hello { .. } => {} // handled at link setup
+            PeerMsg::Heartbeat {
+                node_id,
+                generation,
+                seq,
+            } => {
+                self.election.observe(node_id, generation, now);
+                self.follower_seq.insert(node_id, seq);
+            }
+            PeerMsg::WalRecord { seq, op } => {
+                if self.election.role() == Role::Follower && self.pending_image.is_none() {
+                    return self.apply_record(seq, &op);
+                }
+            }
+            PeerMsg::SnapshotBegin { next_seq } => {
+                if self.election.role() == Role::Follower {
+                    self.pending_image = Some((next_seq, BTreeMap::new()));
+                }
+            }
+            PeerMsg::SnapshotEntry { op } => {
+                if let Some((_, image)) = &mut self.pending_image {
+                    apply(image, &op);
+                }
+            }
+            PeerMsg::SnapshotEnd => self.finish_snapshot(),
+        }
+        true
+    }
+
+    /// One election/heartbeat tick. Returns encoded frames to broadcast.
+    fn tick(&mut self) -> Vec<u8> {
+        let now = self.now();
+        match self.election.tick(now) {
+            Transition::BecameLeader { generation } => {
+                self.obs.event(
+                    Severity::Info,
+                    EventKind::LeaderElected {
+                        node: self.node_id,
+                        generation,
+                    },
+                );
+                if generation > 1 {
+                    // Not the group's first election: this is a takeover.
+                    self.takeover_started = Some(Instant::now());
+                }
+                let _ = self.events.send(ClusterEvent::BecameLeader { generation });
+            }
+            Transition::Deposed { by_generation } => {
+                let _ = self.events.send(ClusterEvent::Deposed { by_generation });
+            }
+            Transition::None => {}
+        }
+        self.role_gauge();
+        if self.election.role() == Role::Leader {
+            let lag = self
+                .follower_seq
+                .iter()
+                .filter(|(id, _)| self.links.contains_key(id))
+                .map(|(_, &s)| self.seq.saturating_sub(s))
+                .max()
+                .unwrap_or(0);
+            self.obs
+                .gauges
+                .set("sav_cluster_replication_lag_records", lag as f64);
+        }
+        let generation = self
+            .election
+            .generation()
+            .unwrap_or_else(|| self.election.max_generation_seen());
+        PeerMsg::Heartbeat {
+            node_id: self.node_id,
+            generation,
+            seq: self.seq,
+        }
+        .encode()
+    }
+}
+
+/// A running cluster node.
+pub struct ClusterHandle {
+    core: Arc<Mutex<Core>>,
+    stop: Arc<AtomicBool>,
+    events: Receiver<ClusterEvent>,
+    threads: Vec<thread::JoinHandle<()>>,
+}
+
+impl ClusterHandle {
+    /// Promotion/deposition notifications, in order.
+    pub fn events(&self) -> &Receiver<ClusterEvent> {
+        &self.events
+    }
+
+    /// This node's current role.
+    pub fn role(&self) -> Role {
+        self.core.lock().unwrap().election.role()
+    }
+
+    /// Our leadership generation (None unless leading).
+    pub fn generation(&self) -> Option<u64> {
+        self.core.lock().unwrap().election.generation()
+    }
+
+    /// Head of the applied/committed stream.
+    pub fn seq(&self) -> u64 {
+        self.core.lock().unwrap().seq
+    }
+
+    /// Current replica image (clone).
+    pub fn bindings(&self) -> BTreeMap<Ipv4Addr, BindingRecord> {
+        self.core.lock().unwrap().image.clone()
+    }
+
+    /// Take the durable replica on promotion; the SAV app should be
+    /// hydrated from it and must then feed commits back via
+    /// [`ClusterHandle::wal_tap`]. Returns `None` if already taken.
+    pub fn take_store(&self) -> Option<BindingStore> {
+        self.core.lock().unwrap().store.take()
+    }
+
+    /// A [`WalTap`] that replicates every durable append to the standbys.
+    /// Install it on the promoted store:
+    /// `store.set_tap(handle.wal_tap())`.
+    pub fn wal_tap(&self) -> WalTap {
+        let core = self.core.clone();
+        Box::new(move |_local_seq, op| {
+            core.lock().unwrap().commit(*op);
+        })
+    }
+
+    /// The embedder finished its takeover (store taken, app hydrated,
+    /// southbound serving as master): emit `failover_completed` with the
+    /// claim-to-now latency and bump `sav_failover_total`. No-op for the
+    /// group's first election.
+    pub fn report_failover_complete(&self) {
+        let mut core = self.core.lock().unwrap();
+        let Some(t0) = core.takeover_started.take() else {
+            return;
+        };
+        let generation = core.election.generation().unwrap_or(0);
+        let node = core.node_id;
+        core.obs.counters.incr("sav_failover_total");
+        core.obs.event(
+            Severity::Info,
+            EventKind::FailoverCompleted {
+                node,
+                generation,
+                takeover_ms: t0.elapsed().as_millis() as u64,
+            },
+        );
+    }
+
+    /// Stop every thread and join them.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ClusterHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The cluster subsystem entry point: open (or recover) the replica and
+/// start the thread family.
+pub struct ClusterNode;
+
+impl ClusterNode {
+    /// Spawn a node. Fails only if the replica store or the listener
+    /// cannot be set up.
+    pub fn spawn(config: ClusterConfig) -> std::io::Result<ClusterHandle> {
+        let store = BindingStore::open(&config.replica_dir, config.store)?;
+        let listener = TcpListener::bind(config.listen)?;
+        listener.set_nonblocking(true)?;
+        let started = Instant::now();
+        let lease = SimDuration::from_nanos(config.lease.as_nanos() as u64);
+        let (events_tx, events_rx) = unbounded();
+        config.obs.counters.add("sav_failover_total", 0);
+        let core = Arc::new(Mutex::new(Core {
+            node_id: config.node_id,
+            started,
+            election: Election::new(config.node_id, lease, SimTime::ZERO),
+            obs: config.obs.clone(),
+            events: events_tx,
+            seq: store.seq(),
+            image: store.bindings().clone(),
+            store: Some(store),
+            store_config: config.store,
+            retained: VecDeque::new(),
+            retained_cap: config.retained_ops.max(1),
+            links: HashMap::new(),
+            follower_seq: HashMap::new(),
+            pending_image: None,
+            takeover_started: None,
+        }));
+        core.lock().unwrap().role_gauge();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Arc::new(AtomicU64::new(0));
+        let mut threads = Vec::new();
+
+        // Listener: accept links from higher-id peers.
+        {
+            let core = core.clone();
+            let stop = stop.clone();
+            let epoch = epoch.clone();
+            threads.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let core = core.clone();
+                            let stop = stop.clone();
+                            let epoch = epoch.clone();
+                            thread::spawn(move || link_loop(stream, core, stop, epoch));
+                        }
+                        Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+        }
+
+        // Dialers: one per lower-id peer (higher ids dial lower ids).
+        for (peer_id, addr) in config
+            .peers
+            .iter()
+            .filter(|(id, _)| *id < config.node_id)
+            .cloned()
+        {
+            let core = core.clone();
+            let stop = stop.clone();
+            let epoch = epoch.clone();
+            let policy = BackoffPolicy {
+                seed: config.backoff.seed ^ peer_id,
+                ..config.backoff.clone()
+            };
+            threads.push(thread::spawn(move || {
+                let mut backoff = policy.start();
+                while !stop.load(Ordering::Relaxed) {
+                    if let Ok(stream) = TcpStream::connect(addr) {
+                        backoff.reset();
+                        link_loop(stream, core.clone(), stop.clone(), epoch.clone());
+                    }
+                    let wait = backoff.next_delay();
+                    let deadline = Instant::now() + wait;
+                    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            }));
+        }
+
+        // Ticker: election clock, heartbeats, gauges.
+        {
+            let core = core.clone();
+            let stop = stop.clone();
+            let interval = config.heartbeat_interval;
+            threads.push(thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let (hb, targets) = {
+                        let mut c = core.lock().unwrap();
+                        let hb = c.tick();
+                        let targets: Vec<Sender<Vec<u8>>> =
+                            c.links.values().map(|(_, tx)| tx.clone()).collect();
+                        (hb, targets)
+                    };
+                    for tx in targets {
+                        let _ = tx.send(hb.clone());
+                    }
+                    thread::sleep(interval);
+                }
+            }));
+        }
+
+        Ok(ClusterHandle {
+            core,
+            stop,
+            events: events_rx,
+            threads,
+        })
+    }
+}
+
+/// Serve one established peer link until it dies or the node stops.
+fn link_loop(
+    mut stream: TcpStream,
+    core: Arc<Mutex<Core>>,
+    stop: Arc<AtomicBool>,
+    epoch: Arc<AtomicU64>,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
+    let my_epoch = epoch.fetch_add(1, Ordering::Relaxed) + 1;
+    let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+
+    // Opener: who we are and where our replica ends.
+    {
+        let c = core.lock().unwrap();
+        let hello = PeerMsg::Hello {
+            version: PROTO_VERSION,
+            node_id: c.node_id,
+            have_seq: c.seq,
+        };
+        drop(c);
+        if stream.write_all(&hello.encode()).is_err() {
+            return;
+        }
+    }
+
+    let mut deframer = PeerDeframer::new();
+    let mut buf = [0u8; 8192];
+    let mut peer_id: Option<u64> = None;
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // Outbound first: heartbeats, records, catch-up.
+        let mut dead = false;
+        while let Ok(frame) = out_rx.try_recv() {
+            if stream.write_all(&frame).is_err() {
+                dead = true;
+                break;
+            }
+        }
+        if dead {
+            break;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                deframer.push(&buf[..n]);
+                loop {
+                    match deframer.next_message() {
+                        Ok(Some(PeerMsg::Hello {
+                            version,
+                            node_id,
+                            have_seq,
+                        })) => {
+                            if version != PROTO_VERSION {
+                                let _ = stream.shutdown(Shutdown::Both);
+                                deregister(&core, peer_id, my_epoch);
+                                return;
+                            }
+                            peer_id = Some(node_id);
+                            let mut c = core.lock().unwrap();
+                            c.links.insert(node_id, (my_epoch, out_tx.clone()));
+                            if c.election.role() == Role::Leader {
+                                c.serve_catchup(have_seq, &out_tx);
+                            }
+                        }
+                        Ok(Some(msg)) => {
+                            if !core.lock().unwrap().handle_peer_msg(msg) {
+                                let _ = stream.shutdown(Shutdown::Both);
+                                deregister(&core, peer_id, my_epoch);
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            deregister(&core, peer_id, my_epoch);
+                            return;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+    deregister(&core, peer_id, my_epoch);
+}
+
+/// Remove this link's outbox unless a newer link already replaced it.
+fn deregister(core: &Arc<Mutex<Core>>, peer_id: Option<u64>, my_epoch: u64) {
+    if let Some(id) = peer_id {
+        let mut c = core.lock().unwrap();
+        if c.links.get(&id).is_some_and(|(e, _)| *e == my_epoch) {
+            c.links.remove(&id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_store::{FsyncPolicy, RecordSource};
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sav-cluster-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn free_addr() -> SocketAddr {
+        TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+    }
+
+    fn fast(
+        node_id: u64,
+        listen: SocketAddr,
+        peers: Vec<(u64, SocketAddr)>,
+        dir: PathBuf,
+    ) -> ClusterConfig {
+        let mut c = ClusterConfig::new(node_id, listen, peers, dir);
+        c.store.fsync = FsyncPolicy::Never;
+        c.lease = Duration::from_millis(250);
+        c.heartbeat_interval = Duration::from_millis(25);
+        c.backoff.base = Duration::from_millis(20);
+        c.backoff.cap = Duration::from_millis(100);
+        c
+    }
+
+    fn rec(i: u8) -> BindingRecord {
+        BindingRecord {
+            ip: Ipv4Addr::new(10, 0, 0, i),
+            mac: sav_net::addr::MacAddr::from_index(i as u64),
+            dpid: 1,
+            port: u32::from(i),
+            source: RecordSource::Dhcp,
+            expires: None,
+        }
+    }
+
+    fn wait_until(what: &str, mut f: impl FnMut() -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if f() {
+                return;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+        panic!("timed out waiting for {what}");
+    }
+
+    /// Simulate the embedder's promotion step: take the replica, install
+    /// the replication tap, return the store ready for the SAV app.
+    fn promote(h: &ClusterHandle) -> BindingStore {
+        let mut store = h.take_store().expect("store already taken");
+        store.set_tap(h.wal_tap());
+        store
+    }
+
+    #[test]
+    fn lowest_id_leads_and_streams_records_to_the_standby() {
+        let (a1, a2) = (free_addr(), free_addr());
+        let h1 = ClusterNode::spawn(fast(1, a1, vec![(2, a2)], tmp("stream-1"))).unwrap();
+        let h2 = ClusterNode::spawn(fast(2, a2, vec![(1, a1)], tmp("stream-2"))).unwrap();
+
+        let ev = h1.events().recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(ev, ClusterEvent::BecameLeader { generation: 1 });
+        assert_eq!(h2.role(), Role::Follower);
+
+        let mut store = promote(&h1);
+        for i in 1..=3 {
+            store.append(&WalOp::Upsert(rec(i))).unwrap();
+        }
+        wait_until("standby to replicate 3 records", || h2.seq() == 3);
+        assert_eq!(h2.bindings().len(), 3);
+        assert_eq!(h2.bindings(), h1.bindings());
+        assert!(
+            h2.events().try_recv().is_err(),
+            "standby must not promote while the leader lives"
+        );
+        drop((h1, h2));
+    }
+
+    #[test]
+    fn standby_promotes_with_the_full_replica_after_leader_death() {
+        let (a1, a2) = (free_addr(), free_addr());
+        let obs2 = Obs::new();
+        let h1 = ClusterNode::spawn(fast(1, a1, vec![(2, a2)], tmp("fo-1"))).unwrap();
+        let mut cfg2 = fast(2, a2, vec![(1, a1)], tmp("fo-2"));
+        cfg2.obs = obs2.clone();
+        let h2 = ClusterNode::spawn(cfg2).unwrap();
+
+        h1.events().recv_timeout(Duration::from_secs(10)).unwrap();
+        let mut store = promote(&h1);
+        store.append(&WalOp::Upsert(rec(1))).unwrap();
+        store.append(&WalOp::Upsert(rec(2))).unwrap();
+        wait_until("replication", || h2.seq() == 2);
+
+        // Kill the leader: the standby must claim a strictly newer
+        // generation within ~one lease.
+        h1.shutdown();
+        let ev = h2.events().recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(ev, ClusterEvent::BecameLeader { generation: 2 });
+
+        // Its replica already holds both bindings — zero re-learning.
+        let replica = promote(&h2);
+        assert_eq!(replica.bindings().len(), 2);
+        assert_eq!(
+            replica.bindings().get(&Ipv4Addr::new(10, 0, 0, 1)),
+            Some(&rec(1))
+        );
+
+        h2.report_failover_complete();
+        assert_eq!(obs2.counters.get("sav_failover_total"), 1);
+        let journal = obs2.journal.tail_jsonl(10);
+        assert!(journal.contains("leader_elected"), "journal: {journal}");
+        assert!(journal.contains("failover_completed"), "journal: {journal}");
+        drop(h2);
+    }
+
+    #[test]
+    fn late_follower_catches_up_via_image_transfer() {
+        let (a1, a2) = (free_addr(), free_addr());
+        let mut cfg1 = fast(1, a1, vec![(2, a2)], tmp("snap-1"));
+        cfg1.retained_ops = 2; // force the window to forget early records
+        let h1 = ClusterNode::spawn(cfg1).unwrap();
+        h1.events().recv_timeout(Duration::from_secs(10)).unwrap();
+
+        let mut store = promote(&h1);
+        for i in 1..=5 {
+            store.append(&WalOp::Upsert(rec(i))).unwrap();
+        }
+        assert_eq!(h1.seq(), 5);
+
+        // A brand-new standby joins at have_seq 0, far behind the 2-record
+        // window: it must get SnapshotBegin/Entry*/End then live records.
+        let dir2 = tmp("snap-2");
+        let h2 = ClusterNode::spawn(fast(2, a2, vec![(1, a1)], dir2.clone())).unwrap();
+        wait_until("image transfer", || h2.seq() == 5);
+        assert_eq!(h2.bindings(), h1.bindings());
+
+        // And the transfer is durable: the rebuilt replica recovers from
+        // disk like any standalone store.
+        store
+            .append(&WalOp::Remove(Ipv4Addr::new(10, 0, 0, 3)))
+            .unwrap();
+        wait_until("live tail after image", || h2.seq() == 6);
+        drop(h2);
+        let reopened = BindingStore::open(&dir2, StoreConfig::default()).unwrap();
+        assert_eq!(reopened.bindings().len(), 4);
+        assert!(!reopened
+            .bindings()
+            .contains_key(&Ipv4Addr::new(10, 0, 0, 3)));
+        drop(h1);
+    }
+}

@@ -1,0 +1,314 @@
+//! The peer replication protocol: a tiny length-framed codec.
+//!
+//! Controllers in a replication group speak this over plain TCP (the same
+//! loopback-friendly transport the southbound channel uses). Framing is
+//! `[len: u32 LE][tag: u8][body]` where `len` counts the tag byte plus the
+//! body. Bodies are fixed-layout little-endian scalars, except WAL payloads
+//! which reuse [`WalOp`]'s own codec — the exact bytes the leader wrote to
+//! its log are what cross the wire, so leader and follower replicas are
+//! byte-comparable.
+//!
+//! Message flow on one link:
+//!
+//! ```text
+//! both:      Hello{version, node_id, have_seq}        (once, first)
+//! both:      Heartbeat{node_id, generation, seq}      (periodic; liveness + lag)
+//! leader:    WalRecord{seq, op}                       (live fan-out + tail catch-up)
+//! leader:    SnapshotBegin{next_seq} SnapshotEntry* SnapshotEnd
+//!                                                     (catch-up after the
+//!                                                      follower lagged past
+//!                                                      the retained window)
+//! ```
+
+use sav_store::WalOp;
+
+/// Protocol version carried in `Hello`; mismatching peers drop the link.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Upper bound on one frame (tag + body). WAL payloads are tens of bytes;
+/// the cap keeps a corrupt length field from allocating gigabytes.
+pub const MAX_FRAME: u32 = 1 << 20;
+
+/// One message between cluster peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerMsg {
+    /// Link opener, sent by both ends before anything else.
+    Hello {
+        /// Must equal [`PROTO_VERSION`].
+        version: u32,
+        /// Sender's node id.
+        node_id: u64,
+        /// Next global WAL sequence the sender needs (its replica is
+        /// complete below this). The receiving leader serves catch-up
+        /// from here.
+        have_seq: u64,
+    },
+    /// Periodic liveness + progress beacon, sent by both ends.
+    Heartbeat {
+        /// Sender's node id.
+        node_id: u64,
+        /// The highest leader generation the sender has observed — its own
+        /// if it currently leads (0 = nothing seen yet). Carrying the
+        /// maximum propagates fencing information through the mesh.
+        generation: u64,
+        /// Leader: head of its committed stream. Follower: its applied
+        /// position — the leader derives replication lag from this.
+        seq: u64,
+    },
+    /// One committed binding-table mutation, in WAL wire format.
+    WalRecord {
+        /// Global sequence of this record.
+        seq: u64,
+        /// The mutation.
+        op: WalOp,
+    },
+    /// Start of a full-image transfer; the follower discards its replica.
+    SnapshotBegin {
+        /// Sequence the stream will continue from after [`PeerMsg::SnapshotEnd`].
+        next_seq: u64,
+    },
+    /// One binding of the image (always an upsert).
+    SnapshotEntry {
+        /// The binding, as an upsert op.
+        op: WalOp,
+    },
+    /// Image complete; `WalRecord`s resume.
+    SnapshotEnd,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HEARTBEAT: u8 = 2;
+const TAG_WAL_RECORD: u8 = 3;
+const TAG_SNAPSHOT_BEGIN: u8 = 4;
+const TAG_SNAPSHOT_ENTRY: u8 = 5;
+const TAG_SNAPSHOT_END: u8 = 6;
+
+/// Why a peer byte stream stopped parsing (the link must be dropped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Length field exceeds [`MAX_FRAME`] or is zero.
+    BadLength(u32),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Body shorter than its fixed fields, or a WAL payload that does not
+    /// parse.
+    Malformed,
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadLength(n) => write!(f, "bad frame length {n}"),
+            ProtoError::BadTag(t) => write!(f, "unknown peer message tag {t}"),
+            ProtoError::Malformed => write!(f, "malformed peer message body"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl PeerMsg {
+    /// Encode as one frame (length prefix included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(32);
+        match self {
+            PeerMsg::Hello {
+                version,
+                node_id,
+                have_seq,
+            } => {
+                body.push(TAG_HELLO);
+                body.extend_from_slice(&version.to_le_bytes());
+                body.extend_from_slice(&node_id.to_le_bytes());
+                body.extend_from_slice(&have_seq.to_le_bytes());
+            }
+            PeerMsg::Heartbeat {
+                node_id,
+                generation,
+                seq,
+            } => {
+                body.push(TAG_HEARTBEAT);
+                body.extend_from_slice(&node_id.to_le_bytes());
+                body.extend_from_slice(&generation.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+            }
+            PeerMsg::WalRecord { seq, op } => {
+                body.push(TAG_WAL_RECORD);
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&op.encode());
+            }
+            PeerMsg::SnapshotBegin { next_seq } => {
+                body.push(TAG_SNAPSHOT_BEGIN);
+                body.extend_from_slice(&next_seq.to_le_bytes());
+            }
+            PeerMsg::SnapshotEntry { op } => {
+                body.push(TAG_SNAPSHOT_ENTRY);
+                body.extend_from_slice(&op.encode());
+            }
+            PeerMsg::SnapshotEnd => body.push(TAG_SNAPSHOT_END),
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode one frame body (tag + payload, length prefix stripped).
+    fn decode_body(body: &[u8]) -> Result<PeerMsg, ProtoError> {
+        let (&tag, rest) = body.split_first().ok_or(ProtoError::Malformed)?;
+        let u32_at = |at: usize| -> Result<u32, ProtoError> {
+            rest.get(at..at + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                .ok_or(ProtoError::Malformed)
+        };
+        let u64_at = |at: usize| -> Result<u64, ProtoError> {
+            rest.get(at..at + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                .ok_or(ProtoError::Malformed)
+        };
+        match tag {
+            TAG_HELLO => Ok(PeerMsg::Hello {
+                version: u32_at(0)?,
+                node_id: u64_at(4)?,
+                have_seq: u64_at(12)?,
+            }),
+            TAG_HEARTBEAT => Ok(PeerMsg::Heartbeat {
+                node_id: u64_at(0)?,
+                generation: u64_at(8)?,
+                seq: u64_at(16)?,
+            }),
+            TAG_WAL_RECORD => {
+                let seq = u64_at(0)?;
+                let op = WalOp::decode(rest.get(8..).ok_or(ProtoError::Malformed)?)
+                    .map_err(|_| ProtoError::Malformed)?;
+                Ok(PeerMsg::WalRecord { seq, op })
+            }
+            TAG_SNAPSHOT_BEGIN => Ok(PeerMsg::SnapshotBegin {
+                next_seq: u64_at(0)?,
+            }),
+            TAG_SNAPSHOT_ENTRY => {
+                let op = WalOp::decode(rest).map_err(|_| ProtoError::Malformed)?;
+                Ok(PeerMsg::SnapshotEntry { op })
+            }
+            TAG_SNAPSHOT_END => Ok(PeerMsg::SnapshotEnd),
+            t => Err(ProtoError::BadTag(t)),
+        }
+    }
+}
+
+/// Incremental frame assembler for one peer byte stream.
+#[derive(Debug, Default)]
+pub struct PeerDeframer {
+    buf: Vec<u8>,
+}
+
+impl PeerDeframer {
+    /// A fresh, empty deframer.
+    pub fn new() -> PeerDeframer {
+        PeerDeframer::default()
+    }
+
+    /// Feed received bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pop the next complete message, if one is buffered. An error poisons
+    /// the stream: the caller must drop the link.
+    pub fn next_message(&mut self) -> Result<Option<PeerMsg>, ProtoError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len == 0 || len > MAX_FRAME {
+            return Err(ProtoError::BadLength(len));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let msg = PeerMsg::decode_body(&self.buf[4..total])?;
+        self.buf.drain(..total);
+        Ok(Some(msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_store::{BindingRecord, RecordSource};
+    use std::net::Ipv4Addr;
+
+    fn op() -> WalOp {
+        WalOp::Upsert(BindingRecord {
+            ip: Ipv4Addr::new(10, 0, 0, 7),
+            mac: sav_net::addr::MacAddr::from_index(7),
+            dpid: 2,
+            port: 3,
+            source: RecordSource::Dhcp,
+            expires: None,
+        })
+    }
+
+    fn all() -> Vec<PeerMsg> {
+        vec![
+            PeerMsg::Hello {
+                version: PROTO_VERSION,
+                node_id: 2,
+                have_seq: 17,
+            },
+            PeerMsg::Heartbeat {
+                node_id: 1,
+                generation: 3,
+                seq: 42,
+            },
+            PeerMsg::WalRecord { seq: 42, op: op() },
+            PeerMsg::SnapshotBegin { next_seq: 99 },
+            PeerMsg::SnapshotEntry { op: op() },
+            PeerMsg::SnapshotEnd,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let mut d = PeerDeframer::new();
+        for m in all() {
+            d.push(&m.encode());
+            assert_eq!(d.next_message().unwrap(), Some(m));
+        }
+        assert_eq!(d.next_message().unwrap(), None);
+    }
+
+    #[test]
+    fn reassembles_across_arbitrary_splits() {
+        let stream: Vec<u8> = all().iter().flat_map(|m| m.encode()).collect();
+        for chunk in [1usize, 3, 7, 13] {
+            let mut d = PeerDeframer::new();
+            let mut got = Vec::new();
+            for piece in stream.chunks(chunk) {
+                d.push(piece);
+                while let Some(m) = d.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            assert_eq!(got, all(), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn bad_frames_poison_the_stream() {
+        let mut d = PeerDeframer::new();
+        d.push(&(MAX_FRAME + 1).to_le_bytes());
+        assert_eq!(d.next_message(), Err(ProtoError::BadLength(MAX_FRAME + 1)));
+
+        let mut d = PeerDeframer::new();
+        d.push(&2u32.to_le_bytes());
+        d.push(&[200u8, 0]);
+        assert_eq!(d.next_message(), Err(ProtoError::BadTag(200)));
+
+        let mut d = PeerDeframer::new();
+        d.push(&3u32.to_le_bytes());
+        d.push(&[TAG_HEARTBEAT, 0, 0]); // heartbeat needs 24 body bytes
+        assert_eq!(d.next_message(), Err(ProtoError::Malformed));
+    }
+}

@@ -7,9 +7,11 @@
 //! connection is `Ready`, its datapath id is known and events flow to apps.
 
 use crate::app::{App, Ctx, Disposition};
+use sav_obs::{EventKind, Obs, Severity};
+use sav_openflow::consts::error_type;
 use sav_openflow::error::CodecError;
 use sav_openflow::framing::Deframer;
-use sav_openflow::messages::Message;
+use sav_openflow::messages::{ControllerRole, Message, RoleMsg};
 use sav_sim::SimTime;
 use std::collections::HashMap;
 
@@ -21,6 +23,10 @@ enum ConnState {
     AwaitHello,
     /// FEATURES_REQUEST sent with this xid, waiting for the matching reply.
     AwaitFeatures { xid: u32 },
+    /// ROLE_REQUEST(MASTER) sent with this xid (clustered controllers
+    /// only). Apps see the switch only after it confirms mastership, so a
+    /// fenced stale leader never gets to program flows.
+    AwaitRole { dpid: u64, xid: u32 },
     /// Handshake complete.
     Ready { dpid: u64 },
 }
@@ -70,6 +76,8 @@ pub struct ControllerStats {
     pub echo_sent: u64,
     /// Handshakes aborted for protocol violations (e.g. xid mismatch).
     pub handshake_failures: u64,
+    /// ROLE_REQUESTs a switch refused (stale generation — we were fenced).
+    pub role_rejections: u64,
 }
 
 /// The controller: connections + the app chain.
@@ -78,6 +86,10 @@ pub struct Controller {
     dpid_to_conn: HashMap<u64, ConnId>,
     apps: Vec<Box<dyn App>>,
     next_xid: u32,
+    /// When set, every handshake asserts MASTER with this generation
+    /// before apps see the switch (cluster mode). `None` = standalone.
+    master_generation: Option<u64>,
+    obs: Option<Obs>,
     /// Counters for the evaluation harness.
     pub stats: ControllerStats,
 }
@@ -90,8 +102,26 @@ impl Controller {
             dpid_to_conn: HashMap::new(),
             apps,
             next_xid: 1,
+            master_generation: None,
+            obs: None,
             stats: ControllerStats::default(),
         }
+    }
+
+    /// Enter (or refresh) cluster-master mode: every subsequent switch
+    /// handshake sends `ROLE_REQUEST(MASTER, generation)` after the
+    /// features exchange, and apps are dispatched only once the switch
+    /// confirms. A switch that refuses (it has seen a newer generation)
+    /// is counted in [`ControllerStats::role_rejections`], surfaced as a
+    /// `role_rejected` journal event, and hung up on — so a deposed
+    /// leader can never program flows.
+    pub fn set_master_generation(&mut self, generation: u64) {
+        self.master_generation = Some(generation);
+    }
+
+    /// Attach an observability handle (role rejections reach its journal).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     fn xid(&mut self) -> u32 {
@@ -172,6 +202,7 @@ impl Controller {
         xid: u32,
         out: &mut ControllerOutput,
     ) {
+        let master_generation = self.master_generation;
         let state = match self.conns.get_mut(&conn) {
             Some(c) => &mut c.state,
             None => return,
@@ -195,13 +226,62 @@ impl Controller {
                     return;
                 }
                 let dpid = f.datapath_id;
-                *state = ConnState::Ready { dpid };
-                self.dpid_to_conn.insert(dpid, conn);
-                let mut ctx = Ctx::new(now);
-                for app in &mut self.apps {
-                    app.on_switch_up(&mut ctx, dpid);
+                match master_generation {
+                    Some(generation_id) => {
+                        // Cluster mode: claim mastership before apps see
+                        // the switch.
+                        let x = self.xid();
+                        self.stats.tx_messages += 1;
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.state = ConnState::AwaitRole { dpid, xid: x };
+                        }
+                        let m = RoleMsg {
+                            role: ControllerRole::Master,
+                            generation_id,
+                        };
+                        out.to_switch
+                            .push((conn, Message::RoleRequest(m).encode(x)));
+                    }
+                    None => {
+                        *state = ConnState::Ready { dpid };
+                        self.mark_ready(now, conn, dpid, out);
+                    }
                 }
-                self.flush(ctx, out);
+            }
+            (
+                ConnState::AwaitRole {
+                    dpid,
+                    xid: expected,
+                },
+                Message::RoleReply(m),
+            ) => {
+                if *expected != xid || m.role != ControllerRole::Master {
+                    self.stats.handshake_failures += 1;
+                    out.hangups.push(conn);
+                    return;
+                }
+                let dpid = *dpid;
+                *state = ConnState::Ready { dpid };
+                self.mark_ready(now, conn, dpid, out);
+            }
+            (ConnState::AwaitRole { dpid, .. }, Message::Error(e))
+                if e.err_type == error_type::ROLE_REQUEST_FAILED =>
+            {
+                // The switch has seen a newer master generation: we are a
+                // deposed leader. Surface it and drop the channel — apps
+                // never saw this switch, so no flow-mod can leak out.
+                let dpid = *dpid;
+                self.stats.role_rejections += 1;
+                if let Some(obs) = &self.obs {
+                    obs.event(
+                        Severity::Warn,
+                        EventKind::RoleRejected {
+                            dpid,
+                            generation: master_generation.unwrap_or(0),
+                        },
+                    );
+                }
+                out.hangups.push(conn);
             }
             (ConnState::Ready { dpid }, _) => {
                 let dpid = *dpid;
@@ -303,6 +383,17 @@ impl Controller {
                 out.to_switch.push((conn, msg.encode(x)));
             }
         }
+    }
+
+    /// A connection finished its (possibly role-gated) handshake: index the
+    /// dpid and let the apps program the switch.
+    fn mark_ready(&mut self, now: SimTime, conn: ConnId, dpid: u64, out: &mut ControllerOutput) {
+        self.dpid_to_conn.insert(dpid, conn);
+        let mut ctx = Ctx::new(now);
+        for app in &mut self.apps {
+            app.on_switch_up(&mut ctx, dpid);
+        }
+        self.flush(ctx, out);
     }
 
     fn flush(&mut self, ctx: Ctx, out: &mut ControllerOutput) {
@@ -526,6 +617,80 @@ mod tests {
         assert_eq!(out.hangups, vec![0]);
         assert!(ctrl.ready_dpids().is_empty());
         assert_eq!(ctrl.stats.handshake_failures, 1);
+    }
+
+    /// In cluster mode the handshake asserts MASTER before apps run: the
+    /// switch ends the converge loop mastered at our generation, and the
+    /// app's switch-up flow-mod still lands (proving dispatch happens
+    /// after the role exchange, not instead of it).
+    #[test]
+    fn master_generation_inserts_role_exchange_into_handshake() {
+        let mut ctrl = Controller::new(vec![Box::new(Probe {
+            ups: vec![],
+            packet_ins: 0,
+        })]);
+        ctrl.set_master_generation(7);
+        let mut sw = mk_switch(0x42);
+        converge(&mut ctrl, &mut sw, 0);
+        assert_eq!(ctrl.ready_dpids(), vec![0x42]);
+        assert_eq!(sw.role(), sav_openflow::messages::ControllerRole::Master);
+        assert_eq!(sw.master_generation(), Some(7));
+        ctrl.with_app::<Probe, _>(|p| assert_eq!(p.ups, vec![0x42]));
+        assert_eq!(sw.total_flows(), 1);
+    }
+
+    /// A deposed leader (older generation than the switch has seen) is
+    /// fenced during the handshake: the switch's refusal surfaces as a
+    /// `role_rejected` journal event and a hangup, apps never see the
+    /// switch, and no flow-mod reaches it.
+    #[test]
+    fn stale_generation_is_rejected_before_apps_run() {
+        let mut sw = mk_switch(0x42);
+        // The switch has already been mastered at generation 9 by the
+        // real leader.
+        sw.handle_controller_bytes(
+            SimTime::ZERO,
+            &Message::RoleRequest(sav_openflow::messages::RoleMsg {
+                role: sav_openflow::messages::ControllerRole::Master,
+                generation_id: 9,
+            })
+            .encode(1),
+        )
+        .unwrap();
+        let _ = sw.on_control_reconnect();
+
+        let obs = Obs::new();
+        let mut ctrl = Controller::new(vec![Box::new(Probe {
+            ups: vec![],
+            packet_ins: 0,
+        })]);
+        ctrl.set_obs(obs.clone());
+        ctrl.set_master_generation(3); // stale: 3 < 9
+        let now = SimTime::ZERO;
+        let mut to_switch = vec![ctrl.on_connect(0)];
+        let mut to_ctrl = vec![sw.hello()];
+        let mut hung_up = false;
+        while !hung_up && (!to_switch.is_empty() || !to_ctrl.is_empty()) {
+            let mut next_to_ctrl = Vec::new();
+            for b in to_switch.drain(..) {
+                let out = sw.handle_controller_bytes(now, &b).unwrap();
+                next_to_ctrl.extend(out.to_controller);
+            }
+            let mut next_to_switch = Vec::new();
+            for b in to_ctrl.drain(..) {
+                let out = ctrl.on_bytes(now, 0, &b).unwrap();
+                hung_up |= !out.hangups.is_empty();
+                next_to_switch.extend(out.to_switch.into_iter().map(|(_, b)| b));
+            }
+            to_switch = next_to_switch;
+            to_ctrl = next_to_ctrl;
+        }
+        assert!(hung_up, "stale leader must be hung up on");
+        assert!(ctrl.ready_dpids().is_empty());
+        assert_eq!(ctrl.stats.role_rejections, 1);
+        ctrl.with_app::<Probe, _>(|p| assert!(p.ups.is_empty(), "apps must not run"));
+        assert_eq!(sw.total_flows(), 0, "no flow from the fenced leader");
+        assert!(obs.journal.tail_jsonl(1).contains("role_rejected"));
     }
 
     #[test]

@@ -18,13 +18,16 @@
 use crate::flow_table::{FlowModOutcome, FlowTable};
 use crate::matcher::MatchContext;
 use sav_net::packet::ParsedPacket;
-use sav_openflow::consts::{error_type, flow_mod_failed, flow_mod_flags, port, table, NO_BUFFER};
+use sav_openflow::consts::{
+    error_type, flow_mod_failed, flow_mod_flags, port, role_request_failed, table, NO_BUFFER,
+};
 use sav_openflow::error::CodecError;
 use sav_openflow::framing::Deframer;
 use sav_openflow::messages::{
-    ErrorMsg, FeaturesReply, FlowMod, FlowRemoved, FlowRemovedReason, FlowStatsEntry, Message,
-    MultipartReplyBody, MultipartRequestBody, PacketIn, PacketInReason, PortStats, PortStatus,
-    PortStatusReason, SwitchConfig as WireSwitchConfig, TableStats,
+    generation_is_stale, ControllerRole, ErrorMsg, FeaturesReply, FlowMod, FlowRemoved,
+    FlowRemovedReason, FlowStatsEntry, Message, MultipartReplyBody, MultipartRequestBody, PacketIn,
+    PacketInReason, PortStats, PortStatus, PortStatusReason, RoleMsg,
+    SwitchConfig as WireSwitchConfig, TableStats,
 };
 use sav_openflow::oxm::{OxmField, OxmMatch};
 use sav_openflow::ports::{PortDesc, PortState};
@@ -103,6 +106,13 @@ pub struct OpenFlowSwitch {
     next_buffer_id: u32,
     deframer: Deframer,
     next_xid: u32,
+    /// Role of the current control connection (OF1.3 §6.3.6). Resets to
+    /// EQUAL on reconnect — a new connection must re-assert mastership.
+    role: ControllerRole,
+    /// Highest master-election generation ever accepted. Survives
+    /// reconnects so a resurrected stale master cannot fence itself back
+    /// in with an old generation_id.
+    master_generation: Option<u64>,
     /// Frames dropped because they failed to parse at all.
     pub malformed_rx: u64,
 }
@@ -129,6 +139,8 @@ impl OpenFlowSwitch {
             next_buffer_id: 1,
             deframer: Deframer::new(),
             next_xid: 0x8000_0000, // switch-initiated xids live in the top half
+            role: ControllerRole::Equal,
+            master_generation: None,
             malformed_rx: 0,
         }
     }
@@ -218,9 +230,23 @@ impl OpenFlowSwitch {
     /// The control channel reconnected: discard the old connection's stream
     /// state (including any poison) and greet the controller again. Flow
     /// tables are kept — the controller re-syncs them after the handshake.
+    /// The connection's role resets to EQUAL, but the highest accepted
+    /// `master_generation` persists: whoever reconnects must prove
+    /// mastership with a generation at least as new.
     pub fn on_control_reconnect(&mut self) -> Vec<u8> {
         self.deframer = Deframer::new();
+        self.role = ControllerRole::Equal;
         self.hello()
+    }
+
+    /// Role of the current control connection.
+    pub fn role(&self) -> ControllerRole {
+        self.role
+    }
+
+    /// Highest master-election generation accepted so far.
+    pub fn master_generation(&self) -> Option<u64> {
+        self.master_generation
     }
 
     /// Process one decoded controller message.
@@ -255,10 +281,21 @@ impl OpenFlowSwitch {
             Message::SetConfig(c) => {
                 self.miss_send_len = c.miss_send_len;
             }
+            Message::RoleRequest(m) => {
+                out.merge(self.handle_role_request(m, xid));
+            }
             Message::FlowMod(fm) => {
+                if let Some(err) = self.fence_non_master(xid) {
+                    out.to_controller.push(err);
+                    return out;
+                }
                 out.merge(self.handle_flow_mod(now, fm, xid));
             }
             Message::PacketOut(po) => {
+                if let Some(err) = self.fence_non_master(xid) {
+                    out.to_controller.push(err);
+                    return out;
+                }
                 let frame = if po.buffer_id != NO_BUFFER {
                     match self.buffers.remove(&po.buffer_id) {
                         Some((_, frame)) => frame,
@@ -294,6 +331,7 @@ impl OpenFlowSwitch {
             | Message::FlowRemoved(_)
             | Message::PortStatus(_)
             | Message::MultipartReply(_)
+            | Message::RoleReply(_)
             | Message::BarrierReply => {
                 out.to_controller.push(
                     Message::Error(ErrorMsg {
@@ -306,6 +344,62 @@ impl OpenFlowSwitch {
             }
         }
         out
+    }
+
+    /// OFPT_ROLE_REQUEST, per OF1.3 §6.3.6. MASTER/SLAVE requests carry a
+    /// generation_id; one older than the highest accepted so far is a
+    /// fenced-out stale master and gets ROLE_REQUEST_FAILED / STALE.
+    /// NOCHANGE queries the current role; EQUAL needs no generation.
+    fn handle_role_request(&mut self, m: RoleMsg, xid: u32) -> SwitchOutput {
+        let mut out = SwitchOutput::default();
+        match m.role {
+            ControllerRole::NoChange => {}
+            ControllerRole::Equal => self.role = ControllerRole::Equal,
+            ControllerRole::Master | ControllerRole::Slave => {
+                if let Some(current) = self.master_generation {
+                    if generation_is_stale(m.generation_id, current) {
+                        out.to_controller.push(
+                            Message::Error(ErrorMsg {
+                                err_type: error_type::ROLE_REQUEST_FAILED,
+                                code: role_request_failed::STALE,
+                                data: vec![],
+                            })
+                            .encode(xid),
+                        );
+                        return out;
+                    }
+                }
+                self.master_generation = Some(m.generation_id);
+                self.role = m.role;
+            }
+        }
+        out.to_controller.push(
+            Message::RoleReply(RoleMsg {
+                role: self.role,
+                generation_id: self.master_generation.unwrap_or(m.generation_id),
+            })
+            .encode(xid),
+        );
+        out
+    }
+
+    /// The split-brain fence: once any controller has asserted mastership
+    /// (a generation exists), state-changing messages from a connection
+    /// that has not proven itself MASTER are refused with BAD_REQUEST /
+    /// IS_SLAVE. Before the first role assertion every connection has
+    /// full EQUAL access, so single-controller deployments are untouched.
+    fn fence_non_master(&mut self, xid: u32) -> Option<Vec<u8>> {
+        if self.master_generation.is_none() || self.role == ControllerRole::Master {
+            return None;
+        }
+        Some(
+            Message::Error(ErrorMsg {
+                err_type: error_type::BAD_REQUEST,
+                code: 10, // OFPBRC_IS_SLAVE
+                data: vec![],
+            })
+            .encode(xid),
+        )
     }
 
     fn handle_flow_mod(&mut self, now: SimTime, fm: FlowMod, xid: u32) -> SwitchOutput {
@@ -1270,6 +1364,123 @@ mod tests {
         let frame = &out.tx[0].1;
         let parsed = ParsedPacket::parse(frame).unwrap();
         assert_eq!(parsed.ethernet.dst, new_dst);
+    }
+
+    fn role_request(sw: &mut OpenFlowSwitch, role: ControllerRole, generation: u64) -> Message {
+        let bytes = Message::RoleRequest(RoleMsg {
+            role,
+            generation_id: generation,
+        })
+        .encode(42);
+        let out = sw.handle_controller_bytes(SimTime::ZERO, &bytes).unwrap();
+        decode_all(&out).remove(0)
+    }
+
+    #[test]
+    fn role_request_grants_master_and_reports_generation() {
+        let mut sw = mk_switch(1);
+        assert_eq!(sw.role(), ControllerRole::Equal);
+        assert_eq!(sw.master_generation(), None);
+        match role_request(&mut sw, ControllerRole::Master, 7) {
+            Message::RoleReply(m) => {
+                assert_eq!(m.role, ControllerRole::Master);
+                assert_eq!(m.generation_id, 7);
+            }
+            other => panic!("expected RoleReply, got {other:?}"),
+        }
+        assert_eq!(sw.role(), ControllerRole::Master);
+        assert_eq!(sw.master_generation(), Some(7));
+        // NOCHANGE queries without modifying anything.
+        match role_request(&mut sw, ControllerRole::NoChange, 999) {
+            Message::RoleReply(m) => {
+                assert_eq!(m.role, ControllerRole::Master);
+                assert_eq!(m.generation_id, 7);
+            }
+            other => panic!("expected RoleReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_generation_rejected_and_role_unchanged() {
+        let mut sw = mk_switch(1);
+        role_request(&mut sw, ControllerRole::Master, 5);
+        match role_request(&mut sw, ControllerRole::Master, 4) {
+            Message::Error(e) => {
+                assert_eq!(e.err_type, error_type::ROLE_REQUEST_FAILED);
+                assert_eq!(e.code, role_request_failed::STALE);
+            }
+            other => panic!("expected stale error, got {other:?}"),
+        }
+        assert_eq!(sw.master_generation(), Some(5));
+        // Equal or newer generations are accepted.
+        match role_request(&mut sw, ControllerRole::Master, 6) {
+            Message::RoleReply(m) => assert_eq!(m.generation_id, 6),
+            other => panic!("expected RoleReply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generation_survives_reconnect_and_fences_stale_master() {
+        let mut sw = mk_switch(2);
+        role_request(&mut sw, ControllerRole::Master, 3);
+        // The fenced connection dies; a reconnect resets the role but the
+        // generation floor persists.
+        sw.on_control_reconnect();
+        assert_eq!(sw.role(), ControllerRole::Equal);
+        assert_eq!(sw.master_generation(), Some(3));
+        // The resurrected stale master replays its old generation: refused.
+        match role_request(&mut sw, ControllerRole::Master, 2) {
+            Message::Error(e) => assert_eq!(e.err_type, error_type::ROLE_REQUEST_FAILED),
+            other => panic!("expected stale error, got {other:?}"),
+        }
+        // And without mastership its flow-mods are fenced too.
+        let fm = FlowMod {
+            priority: 1,
+            instructions: vec![Instruction::apply_output(2)],
+            ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(1)))
+        };
+        let out = flow_mod(&mut sw, fm.clone());
+        match &decode_all(&out)[0] {
+            Message::Error(e) => {
+                assert_eq!(e.err_type, error_type::BAD_REQUEST);
+                assert_eq!(e.code, 10); // OFPBRC_IS_SLAVE
+            }
+            other => panic!("expected IS_SLAVE error, got {other:?}"),
+        }
+        assert_eq!(sw.total_flows(), 0, "fenced flow-mod must not install");
+        // The rightful new master (higher generation) still gets through.
+        role_request(&mut sw, ControllerRole::Master, 4);
+        flow_mod(&mut sw, fm);
+        assert_eq!(sw.total_flows(), 1);
+    }
+
+    #[test]
+    fn fencing_inactive_before_first_role_assertion() {
+        let mut sw = mk_switch(2);
+        // No generation yet: plain EQUAL connections keep full access.
+        let fm = FlowMod {
+            priority: 1,
+            instructions: vec![Instruction::apply_output(2)],
+            ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(1)))
+        };
+        flow_mod(&mut sw, fm);
+        assert_eq!(sw.total_flows(), 1);
+        // A slave is fenced from packet-out as well.
+        role_request(&mut sw, ControllerRole::Slave, 1);
+        let po = Message::PacketOut(sav_openflow::messages::PacketOut {
+            buffer_id: NO_BUFFER,
+            in_port: port::CONTROLLER,
+            actions: vec![Action::output(2)],
+            data: udp_frame("10.0.0.1", "10.0.0.2"),
+        })
+        .encode(5);
+        let out = sw.handle_controller_bytes(SimTime::ZERO, &po).unwrap();
+        assert!(out.tx.is_empty());
+        assert!(matches!(
+            decode_all(&out)[0],
+            Message::Error(ErrorMsg { err_type, code, .. })
+                if err_type == error_type::BAD_REQUEST && code == 10
+        ));
     }
 
     #[test]

@@ -3,8 +3,8 @@
 
 use sav_dataplane::switch::{OpenFlowSwitch, SwitchConfig};
 use sav_net::addr::MacAddr;
-use sav_openflow::consts::{error_type, flow_mod_failed, flow_mod_flags};
-use sav_openflow::messages::{FlowMod, Message};
+use sav_openflow::consts::{error_type, flow_mod_failed, flow_mod_flags, role_request_failed};
+use sav_openflow::messages::{ControllerRole, FlowMod, Message, RoleMsg};
 use sav_openflow::oxm::{OxmField, OxmMatch};
 use sav_openflow::ports::PortDesc;
 use sav_sim::SimTime;
@@ -151,6 +151,52 @@ fn poisoned_stream_stays_poisoned_without_panicking() {
     assert!(sw
         .handle_controller_bytes(SimTime::ZERO, &Message::Hello.encode(3))
         .is_ok());
+}
+
+/// Role negotiation and generation fencing driven purely by encoded
+/// bytes: grant, stale rejection (with the request's xid echoed), and the
+/// IS_SLAVE fence on a state-changing message from a demoted connection.
+#[test]
+fn role_fencing_over_the_wire() {
+    let mut sw = mk_switch(10);
+    let master = |generation_id| {
+        Message::RoleRequest(RoleMsg {
+            role: ControllerRole::Master,
+            generation_id,
+        })
+    };
+    // Generation 5 is granted and echoed back in a ROLE_REPLY.
+    let out = sw
+        .handle_controller_bytes(SimTime::ZERO, &master(5).encode(31))
+        .unwrap();
+    let (msg, xid) = Message::decode(&out.to_controller[0]).unwrap();
+    assert_eq!(xid, 31);
+    assert_eq!(
+        msg,
+        Message::RoleReply(RoleMsg {
+            role: ControllerRole::Master,
+            generation_id: 5,
+        })
+    );
+    // A reconnecting stale master replays generation 4: refused.
+    sw.on_control_reconnect();
+    let errs = errors_of(&mut sw, master(4), 57);
+    assert_eq!(
+        errs,
+        vec![(
+            error_type::ROLE_REQUEST_FAILED,
+            role_request_failed::STALE,
+            57
+        )]
+    );
+    // Still not master, so its flow-mod bounces off the IS_SLAVE fence.
+    let fm = FlowMod {
+        priority: 5,
+        ..FlowMod::add(OxmMatch::new().with(OxmField::InPort(1)))
+    };
+    let errs = errors_of(&mut sw, Message::FlowMod(fm), 58);
+    assert_eq!(errs, vec![(error_type::BAD_REQUEST, 10, 58)]);
+    assert_eq!(sw.total_flows(), 0, "fenced flow-mod must not install");
 }
 
 #[test]

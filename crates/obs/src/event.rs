@@ -139,6 +139,31 @@ pub enum EventKind {
         /// Transport connection id.
         conn: u64,
     },
+    /// A cluster node won the leader election.
+    LeaderElected {
+        /// The winning node's id.
+        node: u64,
+        /// The generation it will assert toward switches.
+        generation: u64,
+    },
+    /// A standby finished taking over: WAL replayed, switches mastered,
+    /// flow tables reconciled.
+    FailoverCompleted {
+        /// The node that took over.
+        node: u64,
+        /// The generation it mastered the switches with.
+        generation: u64,
+        /// Wall-clock milliseconds from detecting the dead leader to
+        /// serving as master.
+        takeover_ms: u64,
+    },
+    /// A switch refused our role request — a newer master has fenced us.
+    RoleRejected {
+        /// The refusing switch.
+        dpid: u64,
+        /// The stale generation we presented.
+        generation: u64,
+    },
 }
 
 impl EventKind {
@@ -159,6 +184,9 @@ impl EventKind {
             EventKind::WalError { .. } => "wal_error",
             EventKind::PeerConnected { .. } => "peer_connected",
             EventKind::PeerDisconnected { .. } => "peer_disconnected",
+            EventKind::LeaderElected { .. } => "leader_elected",
+            EventKind::FailoverCompleted { .. } => "failover_completed",
+            EventKind::RoleRejected { .. } => "role_rejected",
         }
     }
 
@@ -243,6 +271,23 @@ impl EventKind {
             }
             EventKind::PeerConnected { conn } | EventKind::PeerDisconnected { conn } => {
                 n(out, "conn", *conn);
+            }
+            EventKind::LeaderElected { node, generation } => {
+                n(out, "node", *node);
+                n(out, "generation", *generation);
+            }
+            EventKind::FailoverCompleted {
+                node,
+                generation,
+                takeover_ms,
+            } => {
+                n(out, "node", *node);
+                n(out, "generation", *generation);
+                n(out, "takeover_ms", *takeover_ms);
+            }
+            EventKind::RoleRejected { dpid, generation } => {
+                n(out, "dpid", *dpid);
+                n(out, "generation", *generation);
             }
         }
     }

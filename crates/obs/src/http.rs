@@ -131,8 +131,30 @@ fn route(request_line: &str, obs: &Obs) -> (u16, &'static str, String) {
                 .unwrap_or(DEFAULT_EVENT_TAIL);
             (200, "application/x-ndjson", obs.journal.tail_jsonl(n))
         }
-        "/" | "/healthz" => (200, "text/plain", "ok\n".to_string()),
+        "/" | "/healthz" => (200, "text/plain", healthz_body(obs)),
         _ => (404, "text/plain", "not found\n".to_string()),
+    }
+}
+
+/// Health body: plain `ok` for a standalone controller; when clustering is
+/// active (a `sav_cluster_role` gauge exists) the current role rides
+/// along, so an external health check — or the failover demo — can tell
+/// master from standby with one GET. Gauge values follow the OpenFlow
+/// role encoding: 2 = master, 3 = slave (standby).
+fn healthz_body(obs: &Obs) -> String {
+    let role = obs
+        .gauges
+        .snapshot()
+        .into_iter()
+        .find(|(k, _)| k.starts_with("sav_cluster_role"))
+        .map(|(_, v)| match v as i64 {
+            2 => "master",
+            3 => "standby",
+            _ => "candidate",
+        });
+    match role {
+        Some(role) => format!("ok role={role}\n"),
+        None => "ok\n".to_string(),
     }
 }
 
@@ -199,6 +221,25 @@ mod tests {
         assert_eq!(status, 200);
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn healthz_reports_cluster_role() {
+        let obs = Obs::new();
+        let server = ObsServer::bind("127.0.0.1:0", obs.clone()).unwrap();
+        let addr = server.local_addr();
+
+        let (_, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(body, "ok\n", "standalone controller: no role suffix");
+
+        obs.gauges.set("sav_cluster_role{node=\"1\"}", 3.0);
+        let (_, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(body, "ok role=standby\n");
+
+        obs.gauges.set("sav_cluster_role{node=\"1\"}", 2.0);
+        let (_, body) = http_get(addr, "/healthz").unwrap();
+        assert_eq!(body, "ok role=master\n");
         server.shutdown();
     }
 }

@@ -44,6 +44,10 @@ pub mod msg_type {
     pub const BARRIER_REQUEST: u8 = 20;
     /// OFPT_BARRIER_REPLY
     pub const BARRIER_REPLY: u8 = 21;
+    /// OFPT_ROLE_REQUEST
+    pub const ROLE_REQUEST: u8 = 24;
+    /// OFPT_ROLE_REPLY
+    pub const ROLE_REPLY: u8 = 25;
 }
 
 /// Reserved port numbers (`ofp_port_no`).
@@ -106,6 +110,18 @@ pub mod error_type {
     pub const BAD_MATCH: u16 = 4;
     /// OFPET_FLOW_MOD_FAILED.
     pub const FLOW_MOD_FAILED: u16 = 5;
+    /// OFPET_ROLE_REQUEST_FAILED.
+    pub const ROLE_REQUEST_FAILED: u16 = 11;
+}
+
+/// `ofp_role_request_failed_code` values.
+pub mod role_request_failed {
+    /// OFPRRFC_STALE: the generation id is older than the one in effect.
+    pub const STALE: u16 = 0;
+    /// OFPRRFC_UNSUP: the controller role is not supported.
+    pub const UNSUP: u16 = 1;
+    /// OFPRRFC_BAD_ROLE: invalid role value.
+    pub const BAD_ROLE: u16 = 2;
 }
 
 /// `ofp_flow_mod_failed_code` values (subset).

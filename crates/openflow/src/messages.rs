@@ -451,6 +451,62 @@ pub enum MultipartReplyBody {
     PortDesc(Vec<PortDesc>),
 }
 
+/// Controller roles (`ofp_controller_role`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControllerRole {
+    /// OFPCR_ROLE_NOCHANGE: query the current role.
+    NoChange,
+    /// OFPCR_ROLE_EQUAL: default full access, no fencing.
+    Equal,
+    /// OFPCR_ROLE_MASTER: full access; demotes other masters to slave.
+    Master,
+    /// OFPCR_ROLE_SLAVE: read-only access.
+    Slave,
+}
+
+impl ControllerRole {
+    fn to_wire(self) -> u32 {
+        match self {
+            ControllerRole::NoChange => 0,
+            ControllerRole::Equal => 1,
+            ControllerRole::Master => 2,
+            ControllerRole::Slave => 3,
+        }
+    }
+
+    fn from_wire(v: u32) -> Result<Self> {
+        Ok(match v {
+            0 => ControllerRole::NoChange,
+            1 => ControllerRole::Equal,
+            2 => ControllerRole::Master,
+            3 => ControllerRole::Slave,
+            _ => return Err(CodecError::Unsupported),
+        })
+    }
+}
+
+/// OFPT_ROLE_REQUEST / OFPT_ROLE_REPLY payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoleMsg {
+    /// Requested (or granted) role.
+    pub role: ControllerRole,
+    /// Master-election generation; larger (mod 2^64) wins.
+    pub generation_id: u64,
+}
+
+/// Is `new` a stale generation relative to `current`, per OF1.3 §6.3.6?
+///
+/// The spec defines staleness through a signed wraparound distance:
+/// `(int64_t)(new - current) < 0`, i.e. a generation that lags the one
+/// in effect — even across the u64 wrap — is stale and must be refused
+/// with OFPRRFC_STALE. The signed subtraction keeps comparisons correct
+/// for any pair whose true distance is below 2^63; the fencing tests pin
+/// it at distances up to 64 on both sides of the wrap boundary, the most
+/// a realistic election sequence could advance between observations.
+pub fn generation_is_stale(new: u64, current: u64) -> bool {
+    (new.wrapping_sub(current) as i64) < 0
+}
+
 /// An OpenFlow 1.3 message (xid carried separately).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -490,6 +546,10 @@ pub enum Message {
     BarrierRequest,
     /// OFPT_BARRIER_REPLY.
     BarrierReply,
+    /// OFPT_ROLE_REQUEST.
+    RoleRequest(RoleMsg),
+    /// OFPT_ROLE_REPLY.
+    RoleReply(RoleMsg),
 }
 
 impl Message {
@@ -513,6 +573,8 @@ impl Message {
             Message::MultipartReply(_) => msg_type::MULTIPART_REPLY,
             Message::BarrierRequest => msg_type::BARRIER_REQUEST,
             Message::BarrierReply => msg_type::BARRIER_REPLY,
+            Message::RoleRequest(_) => msg_type::ROLE_REQUEST,
+            Message::RoleReply(_) => msg_type::ROLE_REPLY,
         }
     }
 
@@ -597,6 +659,11 @@ impl Message {
                 w.pad(2);
                 fm.match_.encode(&mut w);
                 Instruction::encode_list(&fm.instructions, &mut w);
+            }
+            Message::RoleRequest(m) | Message::RoleReply(m) => {
+                w.u32(m.role.to_wire());
+                w.pad(4);
+                w.u64(m.generation_id);
             }
             Message::MultipartRequest(body) => {
                 type BodyEmitter = Box<dyn FnOnce(&mut Writer)>;
@@ -1006,6 +1073,20 @@ impl Message {
             }
             msg_type::BARRIER_REQUEST => Message::BarrierRequest,
             msg_type::BARRIER_REPLY => Message::BarrierReply,
+            msg_type::ROLE_REQUEST | msg_type::ROLE_REPLY => {
+                let role = ControllerRole::from_wire(r.u32()?)?;
+                r.skip(4)?;
+                let generation_id = r.u64()?;
+                let m = RoleMsg {
+                    role,
+                    generation_id,
+                };
+                if header.msg_type == msg_type::ROLE_REQUEST {
+                    Message::RoleRequest(m)
+                } else {
+                    Message::RoleReply(m)
+                }
+            }
             other => return Err(CodecError::UnknownType(other)),
         };
         Ok((msg, header.xid))
@@ -1333,6 +1414,64 @@ mod tests {
         roundtrip(Message::MultipartReply(MultipartReplyBody::PortDesc(
             vec![],
         )));
+    }
+
+    /// ROLE_REQUEST/ROLE_REPLY: 24-byte fixed message, role + 4 pad +
+    /// generation_id. Exercised at both role extremes and a wrapping
+    /// generation value.
+    #[test]
+    fn role_messages_roundtrip() {
+        for role in [
+            ControllerRole::NoChange,
+            ControllerRole::Equal,
+            ControllerRole::Master,
+            ControllerRole::Slave,
+        ] {
+            for generation_id in [0, 1, u64::MAX - 1, u64::MAX] {
+                roundtrip(Message::RoleRequest(RoleMsg {
+                    role,
+                    generation_id,
+                }));
+                roundtrip(Message::RoleReply(RoleMsg {
+                    role,
+                    generation_id,
+                }));
+            }
+        }
+        let bytes = Message::RoleRequest(RoleMsg {
+            role: ControllerRole::Master,
+            generation_id: 7,
+        })
+        .encode(1);
+        assert_eq!(bytes.len(), 24); // spec: fixed 24-byte message
+    }
+
+    #[test]
+    fn role_decode_rejects_unknown_role() {
+        let mut bytes = Message::RoleRequest(RoleMsg {
+            role: ControllerRole::Slave,
+            generation_id: 0,
+        })
+        .encode(1);
+        bytes[HEADER_LEN + 3] = 9; // role value past OFPCR_ROLE_SLAVE
+        assert_eq!(Message::decode(&bytes).err(), Some(CodecError::Unsupported));
+    }
+
+    /// OF1.3 §6.3.6 staleness: signed wraparound distance, pinned at
+    /// distances up to 64 on both sides of the u64 wrap boundary.
+    #[test]
+    fn generation_staleness_is_wraparound_safe() {
+        // Plain ordering away from the boundary.
+        assert!(generation_is_stale(4, 5));
+        assert!(!generation_is_stale(5, 5));
+        assert!(!generation_is_stale(6, 5));
+        for d in 1..=64u64 {
+            // Behind by d: stale; ahead by d: fresh — including across wrap.
+            assert!(generation_is_stale(100 - d, 100));
+            assert!(!generation_is_stale(100 + d, 100));
+            assert!(generation_is_stale(u64::MAX - d + 1, 0), "wrap behind {d}");
+            assert!(!generation_is_stale(d - 1, u64::MAX), "wrap ahead {d}");
+        }
     }
 
     #[test]

@@ -34,5 +34,5 @@ pub mod wal;
 
 pub use crc32::crc32;
 pub use record::{BindingRecord, RecordSource, WalOp};
-pub use store::{apply, BindingStore, FsyncPolicy, RecoveryReport, StoreConfig};
-pub use wal::{scan_bytes, WalScan};
+pub use store::{apply, BindingStore, FsyncPolicy, RecoveryReport, StoreConfig, WalTap};
+pub use wal::{read_from, scan_bytes, TailError, WalScan, WalTail};

@@ -77,6 +77,19 @@ pub struct RecoveryReport {
     pub recovered_bindings: usize,
 }
 
+/// A live-append observer: called with `(global_seq, op)` after each
+/// durable append. This is how a replication leader fans freshly committed
+/// records out to followers without polling the file.
+pub type WalTap = Box<dyn FnMut(u64, &WalOp) + Send>;
+
+struct Tap(WalTap);
+
+impl std::fmt::Debug for Tap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WalTap")
+    }
+}
+
 /// Durable, crash-recoverable store for the binding table.
 #[derive(Debug)]
 pub struct BindingStore {
@@ -84,11 +97,18 @@ pub struct BindingStore {
     wal: File,
     wal_bytes: u64,
     wal_records: u64,
+    /// Global sequence of the first record in the current WAL segment.
+    /// Sequence numbers count records over this process's lifetime:
+    /// replayed-at-open records are `0..wal_records`, and compaction
+    /// advances the base instead of rewinding the counter, so a follower's
+    /// "I have up to seq N" survives leader-side compactions.
+    base_seq: u64,
     state: BTreeMap<Ipv4Addr, BindingRecord>,
     config: StoreConfig,
     report: RecoveryReport,
     scratch: Vec<u8>,
     obs: Option<Obs>,
+    tap: Option<Tap>,
 }
 
 impl BindingStore {
@@ -139,11 +159,13 @@ impl BindingStore {
             wal,
             wal_bytes: scan.valid_len,
             wal_records: scan.ops.len() as u64,
+            base_seq: 0,
             state,
             config,
             report,
             scratch: Vec::new(),
             obs: None,
+            tap: None,
         })
     }
 
@@ -176,6 +198,34 @@ impl BindingStore {
         self.wal_records
     }
 
+    /// Global sequence of the first record still in the WAL file. Records
+    /// older than this have been folded into the snapshot; a tail reader
+    /// asking for them gets [`crate::wal::TailError::Compacted`] and must
+    /// resync from a snapshot.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Next global sequence number to be assigned (== records committed in
+    /// this process's lifetime). A follower holding everything below this
+    /// value is fully caught up.
+    pub fn seq(&self) -> u64 {
+        self.base_seq + self.wal_records
+    }
+
+    /// Path of the live WAL file, for tail readers
+    /// ([`crate::wal::read_from`]).
+    pub fn wal_file(&self) -> PathBuf {
+        Self::wal_path(&self.dir)
+    }
+
+    /// Install (or replace) the live-append tap: every subsequent durable
+    /// append also invokes `tap(global_seq, op)`, after the record is on
+    /// disk and folded into the shadow state.
+    pub fn set_tap(&mut self, tap: WalTap) {
+        self.tap = Some(Tap(tap));
+    }
+
     /// Durably append one op and fold it into the shadow state. Compacts
     /// automatically when both thresholds in [`StoreConfig`] trip.
     pub fn append(&mut self, op: &WalOp) -> std::io::Result<()> {
@@ -184,9 +234,13 @@ impl BindingStore {
             let _span = self.obs.as_ref().map(|o| o.span("wal_fsync"));
             self.wal.sync_data()?;
         }
+        let seq = self.base_seq + self.wal_records;
         self.wal_bytes += wrote;
         self.wal_records += 1;
         apply(&mut self.state, op);
+        if let Some(Tap(tap)) = &mut self.tap {
+            tap(seq, op);
+        }
         if let Some(obs) = &self.obs {
             obs.event(
                 Severity::Debug,
@@ -217,6 +271,7 @@ impl BindingStore {
         self.wal.set_len(0)?;
         self.wal.seek(SeekFrom::Start(0))?;
         self.wal.sync_all()?;
+        self.base_seq += self.wal_records;
         self.wal_bytes = 0;
         self.wal_records = 0;
         if let Some(obs) = &self.obs {
@@ -417,6 +472,58 @@ mod tests {
         s.compact().unwrap();
         assert_eq!(obs.gauges.get("sav_wal_bytes"), Some(0.0));
         assert!(obs.journal.tail_jsonl(1).contains("wal_compact"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The replication primitives end to end: the tap reports each commit
+    /// with its global seq; compaction advances `base_seq` instead of
+    /// rewinding; a follower that lagged past the compaction gets
+    /// `Compacted` from the tail reader and resyncs via snapshot + tail to
+    /// the exact leader state.
+    #[test]
+    fn tap_seq_and_compaction_support_follower_resync() {
+        use crate::wal::{read_from, TailError};
+        use std::sync::{Arc, Mutex};
+
+        let dir = tmp_dir("resync");
+        let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        let seen: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        s.set_tap(Box::new(move |seq, _op| sink.lock().unwrap().push(seq)));
+
+        for i in 1..=4 {
+            s.append(&WalOp::Upsert(rec(i))).unwrap();
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!((s.base_seq(), s.seq()), (0, 4));
+
+        // A follower that stopped after seq 2 can tail the rest live.
+        let tail: Vec<u64> = read_from(&s.wal_file(), s.base_seq(), 2)
+            .unwrap()
+            .map(|(q, _)| q)
+            .collect();
+        assert_eq!(tail, vec![2, 3]);
+
+        // Compaction folds 0..4 into the snapshot; seq keeps counting.
+        s.compact().unwrap();
+        assert_eq!((s.base_seq(), s.seq()), (4, 4));
+        s.append(&WalOp::Remove(rec(2).ip)).unwrap();
+        assert_eq!(seen.lock().unwrap().last(), Some(&4));
+
+        // The lagging follower (still at seq 2) now gets a resync signal…
+        match read_from(&s.wal_file(), s.base_seq(), 2) {
+            Err(TailError::Compacted { base_seq: 4 }) => {}
+            other => panic!("expected Compacted, got {other:?}"),
+        }
+        // …and rebuilds leader state from snapshot image + post-base tail.
+        let mut image = s.bindings().clone();
+        for i in 1..=4 {
+            image.insert(rec(i).ip, rec(i)); // stale pre-compaction view
+        }
+        for (_, op) in read_from(&s.wal_file(), s.base_seq(), s.base_seq()).unwrap() {
+            apply(&mut image, &op);
+        }
+        assert_eq!(&image, s.bindings());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

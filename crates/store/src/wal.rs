@@ -21,6 +21,7 @@ use crate::crc32::crc32;
 use crate::record::WalOp;
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// Upper bound on a frame payload. Real payloads are ≤ 27 bytes; the cap
 /// exists so a corrupted length field cannot make recovery allocate or skip
@@ -114,6 +115,80 @@ pub fn append_op(file: &mut File, op: &WalOp, scratch: &mut Vec<u8>) -> std::io:
     Ok(scratch.len() as u64)
 }
 
+/// Why a tail read could not be served.
+#[derive(Debug)]
+pub enum TailError {
+    /// The requested sequence predates the current WAL segment — those
+    /// records were folded into a snapshot by compaction. The reader must
+    /// resync from the snapshot and then tail from `base_seq`.
+    Compacted {
+        /// Global sequence of the first record still in the WAL.
+        base_seq: u64,
+    },
+    /// The WAL file could not be read.
+    Io(std::io::Error),
+}
+
+/// Records read from a WAL segment, with their global sequence numbers.
+///
+/// The WAL is logically an infinite sequence of records `0, 1, 2, …`;
+/// compaction discards the on-disk prefix up to `base_seq` (the caller
+/// tracks that watermark — see `BindingStore::base_seq`). A tail read
+/// yields `(seq, op)` pairs from `from_seq` onward, so a replication
+/// follower can ask "everything I have not seen yet" and detect — via
+/// [`TailError::Compacted`] — when it lagged past a compaction and must
+/// fall back to a snapshot transfer.
+#[derive(Debug)]
+pub struct WalTail {
+    ops: std::vec::IntoIter<(u64, WalOp)>,
+    truncated: bool,
+}
+
+impl WalTail {
+    /// True when the on-disk segment ended in a torn/corrupt frame that
+    /// was skipped: the stream ends early and the reader should retry
+    /// after the writer's next append repairs the tail.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+impl Iterator for WalTail {
+    type Item = (u64, WalOp);
+
+    fn next(&mut self) -> Option<(u64, WalOp)> {
+        self.ops.next()
+    }
+}
+
+/// Read the WAL segment at `path` (whose first record has global sequence
+/// `base_seq`) and return the records from `from_seq` on. `from_seq`
+/// older than `base_seq` means the gap was compacted away.
+pub fn read_from(path: &Path, base_seq: u64, from_seq: u64) -> Result<WalTail, TailError> {
+    if from_seq < base_seq {
+        return Err(TailError::Compacted { base_seq });
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(TailError::Io(e)),
+    };
+    // A snapshot-only view over the current bytes; torn tails are skipped,
+    // not repaired — the writer owns the file.
+    let scan = scan_bytes(&bytes);
+    let ops: Vec<(u64, WalOp)> = scan
+        .ops
+        .into_iter()
+        .enumerate()
+        .map(|(i, op)| (base_seq + i as u64, op))
+        .filter(|(seq, _)| *seq >= from_seq)
+        .collect();
+    Ok(WalTail {
+        ops: ops.into_iter(),
+        truncated: scan.truncated,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +252,64 @@ mod tests {
         assert!(scan.ops.is_empty());
         assert!(scan.truncated);
         assert_eq!(scan.valid_len, 0);
+    }
+
+    #[test]
+    fn read_from_tails_by_global_sequence() {
+        let dir = std::env::temp_dir().join(format!("sav-wal-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let committed = ops();
+        std::fs::write(&path, image(&committed)).unwrap();
+
+        // The segment's first record is global seq 10 (post-compaction).
+        let all: Vec<(u64, WalOp)> = read_from(&path, 10, 10).unwrap().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0], (10, committed[0]));
+        assert_eq!(all[2], (12, committed[2]));
+
+        let mid: Vec<(u64, WalOp)> = read_from(&path, 10, 12).unwrap().collect();
+        assert_eq!(mid, vec![(12, committed[2])]);
+
+        // A fully caught-up reader gets an empty tail, not an error.
+        assert_eq!(read_from(&path, 10, 13).unwrap().count(), 0);
+
+        // Lagging past the compaction horizon is a resync signal.
+        match read_from(&path, 10, 9) {
+            Err(TailError::Compacted { base_seq: 10 }) => {}
+            other => panic!("expected Compacted, got {other:?}"),
+        }
+
+        // A not-yet-created WAL is an empty segment, not an I/O error.
+        let tail = read_from(&dir.join("absent.log"), 0, 0).unwrap();
+        assert_eq!(tail.count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A reader that catches the writer mid-append sees a torn final frame:
+    /// the tail must end cleanly at the last complete record and flag the
+    /// truncation so the follower retries rather than treating the stream
+    /// as caught up at a wrong offset.
+    #[test]
+    fn read_from_stops_cleanly_at_torn_frame() {
+        let dir = std::env::temp_dir().join(format!("sav-wal-torn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let committed = ops();
+        let mut bytes = image(&committed);
+        let torn = image(&committed[..1]);
+        bytes.extend_from_slice(&torn[..torn.len() - 3]); // mid-write tail
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut tail = read_from(&path, 0, 1).unwrap();
+        assert!(tail.truncated(), "torn frame must be reported");
+        let got: Vec<(u64, WalOp)> = tail.by_ref().collect();
+        assert_eq!(
+            got,
+            vec![(1, committed[1]), (2, committed[2])],
+            "only complete records, correctly numbered"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

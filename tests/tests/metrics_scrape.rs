@@ -368,3 +368,71 @@ fn metrics_scrape_reflects_live_dhcp_and_spoofing() {
     obs_server.shutdown();
     server.shutdown();
 }
+
+/// Cluster observability: role and replication-lag gauges, the failover
+/// counter, and the role-aware `/healthz` all surface through the same
+/// HTTP endpoints an operator's prober would hit.
+#[test]
+fn cluster_metrics_surface_in_the_scrape() {
+    use sav_cluster::{ClusterConfig, ClusterEvent, ClusterNode};
+    use std::net::TcpListener;
+
+    let dir = std::env::temp_dir().join(format!("sav-scrape-cluster-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let listen = TcpListener::bind("127.0.0.1:0")
+        .unwrap()
+        .local_addr()
+        .unwrap();
+
+    let obs = Obs::new();
+    let mut cfg = ClusterConfig::new(1, listen, vec![], &dir);
+    cfg.lease = Duration::from_millis(100);
+    cfg.heartbeat_interval = Duration::from_millis(20);
+    cfg.obs = obs.clone();
+    let node = ClusterNode::spawn(cfg).unwrap();
+    let obs_server = ObsServer::bind("127.0.0.1:0", obs.clone()).unwrap();
+    let obs_addr = obs_server.local_addr();
+
+    // Alone in the group, the node claims leadership after one lease.
+    let ev = node.events().recv_timeout(Duration::from_secs(10)).unwrap();
+    assert_eq!(ev, ClusterEvent::BecameLeader { generation: 1 });
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            obs.gauges.get("sav_cluster_role{node=\"1\"}") == Some(2.0)
+        }),
+        "role gauge must flip to master (2.0)"
+    );
+
+    let (status, metrics) = http_get(obs_addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let role = series_values(&metrics, "sav_cluster_role");
+    assert_eq!(
+        role.iter()
+            .find(|(l, _)| l == "node=\"1\"")
+            .map(|(_, v)| *v),
+        Some(2.0),
+        "scrape must show this node as master:\n{metrics}"
+    );
+    let lag = series_values(&metrics, "sav_cluster_replication_lag_records");
+    assert_eq!(
+        lag.first().map(|(_, v)| *v),
+        Some(0.0),
+        "a leader with no followers has zero lag:\n{metrics}"
+    );
+    let failovers = series_values(&metrics, "sav_failover_total");
+    assert_eq!(
+        failovers.first().map(|(_, v)| *v),
+        Some(0.0),
+        "the failover counter must be registered at zero:\n{metrics}"
+    );
+
+    // The health endpoint reports the role for LB-style probing.
+    let (status, body) = http_get(obs_addr, "/healthz").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, "ok role=master\n");
+
+    obs_server.shutdown();
+    node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
