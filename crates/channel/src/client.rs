@@ -13,6 +13,7 @@ use crate::fault::{FaultPlan, WriteDecision};
 use crate::metrics::ChannelMetrics;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use sav_dataplane::switch::{OpenFlowSwitch, SwitchOutput};
+use sav_openflow::messages::ControllerRole;
 use sav_sim::SimTime;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -111,10 +112,13 @@ pub fn spawn(
 }
 
 /// Start a switch with a controller failover list: `addrs` are tried in
-/// rotation. While a connection is up the switch stays put; when it dies
-/// and the same controller refuses the reconnect, the dialer advances to
-/// the next address — so a hot-standby controller that binds its listener
-/// on takeover is found within one backoff cycle. Panics if `addrs` is
+/// rotation. While a connection is serving (a controller asserted Master
+/// on it) the switch stays put; any connection that dies without having
+/// reached that point — unreachable address, refused dial, or an accepted
+/// connection that was role-rejected or hung up mid-handshake — advances
+/// the dialer to the next address. A deposed ex-leader whose listener is
+/// still bound therefore cannot capture the switch in a redial loop; the
+/// real leader is found within one backoff cycle. Panics if `addrs` is
 /// empty.
 pub fn spawn_multi(
     addrs: Vec<SocketAddr>,
@@ -173,7 +177,12 @@ struct ClientLoop {
 /// Why the per-connection serve loop ended.
 enum ConnEnd {
     /// Reconnect (peer closed, poisoned stream, injected reset, crash).
-    Retry,
+    Retry {
+        /// True if this connection reached a serving state (the
+        /// controller asserted Master on it). Governs failover rotation:
+        /// a connection that never got there counts against its address.
+        ready: bool,
+    },
     /// The handle asked the whole client to stop.
     Stopped,
 }
@@ -209,7 +218,14 @@ impl ClientLoop {
             }
             match self.serve(stream, &mut fault) {
                 ConnEnd::Stopped => return,
-                ConnEnd::Retry => {
+                ConnEnd::Retry { ready } => {
+                    if !ready {
+                        // Accepted but never served — e.g. a deposed
+                        // ex-leader's listener that role-rejects and hangs
+                        // up. Try the next controller, don't redial this
+                        // one forever.
+                        which = which.wrapping_add(1);
+                    }
                     if !self.sleep_interruptibly(backoff.next_delay()) {
                         return;
                     }
@@ -233,9 +249,12 @@ impl ClientLoop {
     fn serve(&mut self, mut stream: TcpStream, fault: &mut FaultPlan) -> ConnEnd {
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(self.config.read_timeout));
+        // `on_control_reconnect` reset the role to Equal; the connection
+        // counts as serving once this controller asserts Master over it.
+        let mut ready = false;
         let hello = self.switch.on_control_reconnect();
         if !self.write_faulty(&mut stream, fault, hello) {
-            return ConnEnd::Retry;
+            return ConnEnd::Retry { ready };
         }
         let mut buf = [0u8; 8192];
         loop {
@@ -246,24 +265,25 @@ impl ClientLoop {
             if self.drop_now.swap(false, Ordering::Relaxed) {
                 // Simulated crash: cut the socket with no farewell.
                 let _ = stream.shutdown(Shutdown::Both);
-                return ConnEnd::Retry;
+                return ConnEnd::Retry { ready };
             }
             // Data plane first: frames waiting at ports.
             while let Ok((port, frame)) = self.inject_rx.try_recv() {
                 let out = self.switch.receive_frame(self.now(), port, frame);
                 if !self.route(&mut stream, fault, out) {
-                    return ConnEnd::Retry;
+                    return ConnEnd::Retry { ready };
                 }
             }
             // Control plane: bytes from the controller.
             match stream.read(&mut buf) {
-                Ok(0) => return ConnEnd::Retry,
+                Ok(0) => return ConnEnd::Retry { ready },
                 Ok(n) => {
                     self.metrics.add_bytes_in(n as u64);
                     match self.switch.handle_controller_bytes(self.now(), &buf[..n]) {
                         Ok(out) => {
+                            ready |= self.switch.role() == ControllerRole::Master;
                             if !self.route(&mut stream, fault, out) {
-                                return ConnEnd::Retry;
+                                return ConnEnd::Retry { ready };
                             }
                         }
                         Err(e) => {
@@ -271,12 +291,12 @@ impl ClientLoop {
                                 let _ = self.write_faulty(&mut stream, fault, bye);
                             }
                             let _ = stream.shutdown(Shutdown::Both);
-                            return ConnEnd::Retry;
+                            return ConnEnd::Retry { ready };
                         }
                     }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
-                Err(_) => return ConnEnd::Retry,
+                Err(_) => return ConnEnd::Retry { ready },
             }
         }
     }

@@ -18,6 +18,10 @@
 //!   they lead, only the newest generation can program flows.
 //! * Seeing a heartbeat with a newer generation deposes a leader
 //!   immediately (it was fenced while partitioned).
+//! * Heartbeats also carry a `leading` flag: if a partition let two nodes
+//!   claim the *same* generation, the higher id yields to an alive,
+//!   leading lower id when the partition heals — fencing cannot break a
+//!   generation tie, the deterministic id order can.
 //!
 //! The struct is pure — time is passed in — so the failure schedules in
 //! the unit tests are exact.
@@ -60,8 +64,9 @@ pub struct Election {
     lease: SimDuration,
     /// Startup grace: no self-claim before this instant.
     grace_until: SimTime,
-    /// Peer id → instant of its last heartbeat.
-    last_seen: BTreeMap<u64, SimTime>,
+    /// Peer id → (instant of its last heartbeat, whether it claimed to
+    /// be leading in that heartbeat).
+    last_seen: BTreeMap<u64, (SimTime, bool)>,
     /// Highest generation observed anywhere (including our own claims).
     max_gen_seen: u64,
     role: Role,
@@ -113,7 +118,7 @@ impl Election {
         let mut v: Vec<u64> = self
             .last_seen
             .iter()
-            .filter(|(_, &t)| now.saturating_since(t) <= self.lease)
+            .filter(|(_, &(t, _))| now.saturating_since(t) <= self.lease)
             .map(|(&id, _)| id)
             .collect();
         v.push(self.self_id);
@@ -127,12 +132,13 @@ impl Election {
         self.alive(now)[0]
     }
 
-    /// A heartbeat from `node` carrying its generation arrived at `now`.
-    pub fn observe(&mut self, node: u64, generation: u64, now: SimTime) {
+    /// A heartbeat from `node` carrying its generation (and whether it
+    /// believes it leads) arrived at `now`.
+    pub fn observe(&mut self, node: u64, generation: u64, leading: bool, now: SimTime) {
         if node == self.self_id {
             return;
         }
-        self.last_seen.insert(node, now);
+        self.last_seen.insert(node, (now, leading));
         if generation > self.max_gen_seen {
             self.max_gen_seen = generation;
         }
@@ -148,6 +154,19 @@ impl Election {
                 self.role = Role::Follower;
                 return Transition::Deposed {
                     by_generation: self.max_gen_seen,
+                };
+            }
+            // Symmetric split-brain: a partition let a lower id claim the
+            // same generation. Generations tie, so fencing cannot break
+            // it — the deterministic "lowest id leads" rule does: the
+            // higher id yields.
+            let lower_leading = self.last_seen.iter().any(|(&id, &(t, leading))| {
+                id < self.self_id && leading && now.saturating_since(t) <= self.lease
+            });
+            if lower_leading {
+                self.role = Role::Follower;
+                return Transition::Deposed {
+                    by_generation: self.max_gen_seen.max(mine),
                 };
             }
             return Transition::None;
@@ -186,8 +205,8 @@ mod tests {
         assert_eq!(b.tick(at(50)), Transition::None);
         // Heartbeats cross; after grace the lower id claims, the higher
         // sees a live lower peer and stays standby.
-        a.observe(2, 0, at(90));
-        b.observe(1, 0, at(90));
+        a.observe(2, 0, false, at(90));
+        b.observe(1, 0, false, at(90));
         assert_eq!(a.tick(at(110)), Transition::BecameLeader { generation: 1 });
         assert_eq!(b.tick(at(110)), Transition::None);
         assert_eq!(a.role(), Role::Leader);
@@ -198,7 +217,7 @@ mod tests {
     #[test]
     fn standby_takes_over_one_lease_after_leader_death() {
         let mut b = Election::new(2, LEASE, at(0));
-        b.observe(1, 1, at(90)); // leader (gen 1) alive at t=90ms…
+        b.observe(1, 1, true, at(90)); // leader (gen 1) alive at t=90ms…
         assert_eq!(b.tick(at(150)), Transition::None, "lease not expired");
         // …then silent. One lease later the standby claims with a HIGHER
         // generation, so the switches will accept it and fence the old
@@ -213,7 +232,7 @@ mod tests {
         let mut a = Election::new(1, LEASE, at(0));
         assert_eq!(a.tick(at(101)), Transition::BecameLeader { generation: 1 });
         // Partition heals: node 1 hears node 2's gen-2 heartbeat.
-        a.observe(2, 2, at(500));
+        a.observe(2, 2, true, at(500));
         assert_eq!(a.tick(at(500)), Transition::Deposed { by_generation: 2 });
         assert_eq!(a.role(), Role::Follower);
         // Being the lowest alive id again, it may re-claim — but only at
@@ -224,7 +243,7 @@ mod tests {
     #[test]
     fn claims_never_reuse_generations() {
         let mut a = Election::new(3, LEASE, at(0));
-        a.observe(1, 41, at(90)); // the current leader is at generation 41
+        a.observe(1, 41, true, at(90)); // the current leader is at generation 41
         assert_eq!(a.tick(at(120)), Transition::None, "node 1 alive and lower");
         // When node 1 expires, node 3's claim must land above everything
         // it has ever seen — never reusing a fenced generation.
@@ -236,11 +255,36 @@ mod tests {
         // Node 5 knows peers 1 and 3; both die; 5 claims. Then 3 returns
         // with the newer generation and 5 is deposed.
         let mut e = Election::new(5, LEASE, at(0));
-        e.observe(1, 1, at(50));
-        e.observe(3, 0, at(50));
+        e.observe(1, 1, true, at(50));
+        e.observe(3, 0, false, at(50));
         assert_eq!(e.tick(at(120)), Transition::None, "1 and 3 alive");
         assert_eq!(e.tick(at(200)), Transition::BecameLeader { generation: 2 });
-        e.observe(3, 3, at(210));
+        e.observe(3, 3, true, at(210));
         assert_eq!(e.tick(at(210)), Transition::Deposed { by_generation: 3 });
+    }
+
+    #[test]
+    fn symmetric_split_brain_heals_to_lowest_id() {
+        // A partition lets both nodes claim generation 1 independently —
+        // the generations tie, so the gen rule alone would leave two
+        // leaders forever. The `leading` flag breaks the tie: when the
+        // partition heals, the higher id yields to the leading lower id.
+        let mut a = Election::new(1, LEASE, at(0));
+        let mut b = Election::new(2, LEASE, at(0));
+        assert_eq!(a.tick(at(101)), Transition::BecameLeader { generation: 1 });
+        assert_eq!(b.tick(at(101)), Transition::BecameLeader { generation: 1 });
+        // Heal: heartbeats cross, both flagged leading at generation 1.
+        a.observe(2, 1, true, at(300));
+        b.observe(1, 1, true, at(300));
+        assert_eq!(
+            a.tick(at(300)),
+            Transition::None,
+            "lowest id keeps the role"
+        );
+        assert_eq!(b.tick(at(300)), Transition::Deposed { by_generation: 1 });
+        assert_eq!(b.role(), Role::Follower);
+        // And it stays follower while node 1 keeps leading.
+        b.observe(1, 1, true, at(350));
+        assert_eq!(b.tick(at(350)), Transition::None);
     }
 }

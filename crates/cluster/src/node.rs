@@ -22,6 +22,21 @@
 //! full image transfer (`SnapshotBegin` / `SnapshotEntry*` / `SnapshotEnd`)
 //! — the same snapshot-plus-tail fallback the on-disk WAL uses after
 //! compaction ([`sav_store::TailError::Compacted`]).
+//!
+//! Catch-up is **vetted**: every record is stamped with the generation of
+//! the leader that committed it, and a tail stream only extends a follower
+//! whose `(applied_gen, have_seq)` the leader can prove is a prefix of its
+//! own history (same generation, or the leader's own pre-claim position
+//! covers it). Anything else — including a follower *ahead* of a newly
+//! elected leader, whose suffix is orphaned — gets a truncating image
+//! transfer. A follower only applies records after a `TailBegin` or
+//! snapshot on the same link authorized the stream; a sequence mismatch
+//! drops the link so the reconnect renegotiates, never skips.
+//!
+//! Catch-up triggers from three sides so no replica is left behind on a
+//! quiet network: link setup (`Hello`), promotion (a new leader
+//! immediately serves every registered standby), and a follower-side pull
+//! (`CatchupRequest`) when heartbeats show lag but nothing is streaming.
 
 use crate::election::{Election, Role, Transition};
 use crate::proto::{PeerDeframer, PeerMsg, PROTO_VERSION};
@@ -106,6 +121,29 @@ pub enum ClusterEvent {
     },
 }
 
+/// One live peer link as the core sees it.
+struct LinkHandle {
+    /// Epoch of the serving `link_loop` (guards stale deregistration).
+    epoch: u64,
+    /// Encoded-frame outbox drained by the link thread.
+    tx: Sender<Vec<u8>>,
+    /// Set by the core to tell the link thread to die (outbox overflow).
+    evicted: Arc<AtomicBool>,
+}
+
+/// Follower-side in-flight image transfer.
+struct PendingImage {
+    /// Epoch of the link delivering the transfer; entries from any other
+    /// link are strays.
+    epoch: u64,
+    /// Sequence the stream continues from after `SnapshotEnd`.
+    next_seq: u64,
+    /// Generation of the serving leader; stamps the rebuilt replica.
+    gen: u64,
+    /// The image accumulated so far.
+    image: BTreeMap<Ipv4Addr, BindingRecord>,
+}
+
 /// Shared state behind every thread of one node.
 struct Core {
     node_id: u64,
@@ -123,15 +161,35 @@ struct Core {
     image: BTreeMap<Ipv4Addr, BindingRecord>,
     /// Next global sequence: everything below is applied/committed here.
     seq: u64,
-    /// Leader-side tail window: the last `retained_cap` committed records.
-    retained: VecDeque<(u64, WalOp)>,
+    /// Generation that committed our last applied/committed record
+    /// (0 = state recovered from disk without a stamp, or empty).
+    applied_gen: u64,
+    /// Stream authorization: `(link epoch, leader generation)` set by a
+    /// vetted `TailBegin`/snapshot; records are only applied from this
+    /// link at up to this generation.
+    auth: Option<(u64, u64)>,
+    /// Our `applied_gen` at the moment of our latest leadership claim —
+    /// the generation whose prefix we can vouch for below `claim_seq`.
+    prev_gen: u64,
+    /// Our `seq` at the moment of our latest leadership claim.
+    claim_seq: u64,
+    /// Liveness lease (also throttles follower-side catch-up pulls).
+    lease: SimDuration,
+    /// Last instant replication moved our seq forward.
+    last_progress: SimTime,
+    /// Last instant we sent a `CatchupRequest`.
+    last_catchup_req: SimTime,
+    /// Tail window: the last `retained_cap` records seen, committed or
+    /// applied, as `(seq, committing generation, op)`.
+    retained: VecDeque<(u64, u64, WalOp)>,
     retained_cap: usize,
-    /// Live peer outboxes: peer id → (link epoch, encoded-frame sender).
-    links: HashMap<u64, (u64, Sender<Vec<u8>>)>,
-    /// Follower progress from heartbeats (leader side, for the lag gauge).
-    follower_seq: HashMap<u64, u64>,
+    /// Live peer outboxes, by peer id.
+    links: HashMap<u64, LinkHandle>,
+    /// Peer progress from Hello/heartbeats: id → (seq, applied_gen).
+    /// Feeds the lag gauge and the promotion-time catch-up push.
+    peer_state: HashMap<u64, (u64, u64)>,
     /// Follower-side in-flight image transfer.
-    pending_image: Option<(u64, BTreeMap<Ipv4Addr, BindingRecord>)>,
+    pending_image: Option<PendingImage>,
     /// Set when a takeover claim happens; consumed by
     /// [`ClusterHandle::report_failover_complete`].
     takeover_started: Option<Instant>,
@@ -152,34 +210,117 @@ impl Core {
             .set(format!("sav_cluster_role{{node=\"{}\"}}", self.node_id), v);
     }
 
+    /// Largest outbox backlog a link may hold. Sized so one full image
+    /// transfer plus a tail window never trips it, but a genuinely
+    /// stalled peer does.
+    fn outbox_limit(&self) -> usize {
+        2 * self.image.len() + 2 * self.retained_cap + 1024
+    }
+
+    /// Send one encoded frame to every live link, evicting any link whose
+    /// outbox has grown past [`Core::outbox_limit`] — a stalled peer must
+    /// not grow the leader's memory without bound; it reconnects and
+    /// renegotiates catch-up instead.
+    fn fanout(&mut self, bytes: Vec<u8>) {
+        let limit = self.outbox_limit();
+        let mut evict = Vec::new();
+        for (&id, link) in &self.links {
+            if link.tx.len() > limit {
+                link.evicted.store(true, Ordering::Relaxed);
+                evict.push(id);
+            } else {
+                let _ = link.tx.send(bytes.clone());
+            }
+        }
+        for id in evict {
+            self.links.remove(&id);
+            self.obs.event(
+                Severity::Warn,
+                EventKind::ClusterLinkDropped {
+                    peer: id,
+                    reason: "outbox_overflow",
+                },
+            );
+        }
+    }
+
+    /// Remember one record in the tail window. Called for *both* leader
+    /// commits and follower applies, so the window stays contiguous with
+    /// `seq` across role changes.
+    fn retain(&mut self, seq: u64, gen: u64, op: WalOp) {
+        self.retained.push_back((seq, gen, op));
+        while self.retained.len() > self.retained_cap {
+            self.retained.pop_front();
+        }
+    }
+
     /// Commit one op at the head of the stream (leader path: called from
     /// the store tap after the record is durable) and fan it out.
     fn commit(&mut self, op: WalOp) {
         let seq = self.seq;
+        let gen = self.election.generation().unwrap_or(self.applied_gen);
         self.seq += 1;
+        self.applied_gen = gen;
         apply(&mut self.image, &op);
-        let bytes = PeerMsg::WalRecord { seq, op }.encode();
-        self.retained.push_back((seq, op));
-        while self.retained.len() > self.retained_cap {
-            self.retained.pop_front();
-        }
-        for (_, tx) in self.links.values() {
-            let _ = tx.send(bytes.clone());
-        }
+        self.retain(seq, gen, op);
+        self.fanout(PeerMsg::WalRecord { seq, gen, op }.encode());
     }
 
-    /// Serve catch-up to a follower that has everything below `have_seq`:
-    /// tail records if the window still covers it, else a full image.
-    fn serve_catchup(&mut self, have_seq: u64, out: &Sender<Vec<u8>>) {
+    /// Serve catch-up to a follower whose replica is complete below
+    /// `have_seq` with its last record committed by `peer_gen`.
+    ///
+    /// A tail stream is only offered when the follower's position is
+    /// provably a prefix of our history: its last record carries our own
+    /// generation, or it sits at or below our pre-claim position under
+    /// the generation we ourselves applied (a leader's stream is linear
+    /// within one generation, so prefixes of it are comparable by
+    /// length). An unstamped prefix (`peer_gen == 0`) is only trusted
+    /// when empty. Everything else — lagged past the window, ahead of
+    /// us, or on a diverged fork — gets a truncating image transfer.
+    fn serve_catchup(&mut self, have_seq: u64, peer_gen: u64, out: &Sender<Vec<u8>>) {
+        let Some(my_gen) = self.election.generation() else {
+            return;
+        };
+        if peer_gen > my_gen {
+            // The peer applied records from a leader newer than us; we
+            // have no authority over its suffix. The election will fence
+            // one of us shortly.
+            return;
+        }
         let window_base = self.seq - self.retained.len() as u64;
-        if have_seq >= window_base {
-            for (seq, op) in self.retained.iter().filter(|(s, _)| *s >= have_seq) {
-                let _ = out.send(PeerMsg::WalRecord { seq: *seq, op: *op }.encode());
+        let vetted = have_seq == 0
+            || (peer_gen == my_gen && have_seq <= self.seq)
+            || (peer_gen == self.prev_gen && peer_gen > 0 && have_seq <= self.claim_seq);
+        if vetted && have_seq >= window_base {
+            let _ = out.send(
+                PeerMsg::TailBegin {
+                    gen: my_gen,
+                    from_seq: have_seq,
+                }
+                .encode(),
+            );
+            for (seq, gen, op) in self.retained.iter().filter(|(s, _, _)| *s >= have_seq) {
+                let _ = out.send(
+                    PeerMsg::WalRecord {
+                        seq: *seq,
+                        gen: *gen,
+                        op: *op,
+                    }
+                    .encode(),
+                );
             }
         } else {
-            // The follower lagged past the retained window — same shape as
-            // a WAL reader lagging past a compaction: snapshot, then tail.
-            let _ = out.send(PeerMsg::SnapshotBegin { next_seq: self.seq }.encode());
+            // Same shape as a WAL reader lagging past a compaction:
+            // snapshot, then tail. Also the divergence healer — the
+            // follower replaces its replica wholesale, truncating any
+            // suffix a dead leader left orphaned.
+            let _ = out.send(
+                PeerMsg::SnapshotBegin {
+                    next_seq: self.seq,
+                    gen: my_gen,
+                }
+                .encode(),
+            );
             for rec in self.image.values() {
                 let _ = out.send(
                     PeerMsg::SnapshotEntry {
@@ -193,16 +334,17 @@ impl Core {
     }
 
     /// Apply one streamed record (follower path): durable replica first,
-    /// then the live image. Returns `false` on a sequence gap — the link
-    /// must be dropped so the follower re-`Hello`s and gets catch-up.
-    fn apply_record(&mut self, seq: u64, op: &WalOp) -> bool {
-        if seq < self.seq {
-            return true; // duplicate from a catch-up overlap
-        }
-        if seq > self.seq {
-            // We missed records (e.g. the old leader died mid-broadcast and
-            // this peer — promoted since — has commits we never saw).
-            // Reconnecting replays the Hello/catch-up handshake.
+    /// then the live image. Returns `false` if the stream is not
+    /// authorized for this link or does not land exactly at our head —
+    /// the link must be dropped so the reconnect renegotiates catch-up.
+    /// Nothing is ever silently skipped: a follower ahead of the stream
+    /// fails the `seq` check and is healed by a truncating snapshot on
+    /// the next negotiation.
+    fn apply_record(&mut self, epoch: u64, seq: u64, gen: u64, op: &WalOp) -> bool {
+        let authorized = self
+            .auth
+            .is_some_and(|(e, g)| e == epoch && gen <= g && gen >= self.applied_gen);
+        if !authorized || seq != self.seq {
             return false;
         }
         if let Some(store) = &mut self.store {
@@ -216,13 +358,22 @@ impl Core {
             }
         }
         apply(&mut self.image, op);
+        self.retain(seq, gen, *op);
         self.seq = seq + 1;
+        self.applied_gen = gen;
+        self.last_progress = self.now();
         true
     }
 
     /// Follower image transfer: rebuild the replica from scratch.
     fn finish_snapshot(&mut self) {
-        let Some((next_seq, image)) = self.pending_image.take() else {
+        let Some(PendingImage {
+            epoch,
+            next_seq,
+            gen,
+            image,
+        }) = self.pending_image.take()
+        else {
             return;
         };
         let store_config = self.store_config;
@@ -235,6 +386,18 @@ impl Core {
                     Ok(mut fresh) => {
                         for rec in image.values() {
                             let _ = fresh.append(&WalOp::Upsert(*rec));
+                        }
+                        // Re-anchor the rebuilt store in the leader's
+                        // sequence space and persist the base via the
+                        // snapshot header.
+                        fresh.align_next_seq(next_seq);
+                        if let Err(e) = fresh.compact() {
+                            self.obs.event(
+                                Severity::Error,
+                                EventKind::WalError {
+                                    op: format!("replica compact: {e}"),
+                                },
+                            );
                         }
                         *store = fresh;
                     }
@@ -249,11 +412,17 @@ impl Core {
         }
         self.image = image;
         self.seq = next_seq;
+        self.applied_gen = gen;
+        // The image transfer authorizes the live stream that follows it.
+        self.auth = Some((epoch, gen));
+        self.retained.clear();
+        self.last_progress = self.now();
     }
 
-    /// Handle one peer message. Returns `false` if the link must be
-    /// dropped (replication gap — reconnecting triggers catch-up).
-    fn handle_peer_msg(&mut self, msg: PeerMsg) -> bool {
+    /// Handle one peer message arriving on the link with `epoch`, able to
+    /// reply on `out`. Returns `false` if the link must be dropped
+    /// (unauthorized or misaligned stream — reconnecting renegotiates).
+    fn handle_peer_msg(&mut self, msg: PeerMsg, epoch: u64, out: &Sender<Vec<u8>>) -> bool {
         let now = self.now();
         match msg {
             PeerMsg::Hello { .. } => {} // handled at link setup
@@ -261,35 +430,98 @@ impl Core {
                 node_id,
                 generation,
                 seq,
+                applied_gen,
+                leading,
             } => {
-                self.election.observe(node_id, generation, now);
-                self.follower_seq.insert(node_id, seq);
-            }
-            PeerMsg::WalRecord { seq, op } => {
-                if self.election.role() == Role::Follower && self.pending_image.is_none() {
-                    return self.apply_record(seq, &op);
+                self.election.observe(node_id, generation, leading, now);
+                self.peer_state.insert(node_id, (seq, applied_gen));
+                // Follower pull: the leader's head differs from ours and
+                // nothing has streamed for a lease — ask for catch-up
+                // (throttled to one request per lease).
+                if leading
+                    && self.election.role() == Role::Follower
+                    && self.pending_image.is_none()
+                    && self.election.leader_hint(now) == node_id
+                    && seq != self.seq
+                    && now.saturating_since(self.last_progress) > self.lease
+                    && now.saturating_since(self.last_catchup_req) > self.lease
+                {
+                    self.last_catchup_req = now;
+                    let _ = out.send(
+                        PeerMsg::CatchupRequest {
+                            have_seq: self.seq,
+                            applied_gen: self.applied_gen,
+                        }
+                        .encode(),
+                    );
                 }
             }
-            PeerMsg::SnapshotBegin { next_seq } => {
-                if self.election.role() == Role::Follower {
-                    self.pending_image = Some((next_seq, BTreeMap::new()));
+            PeerMsg::CatchupRequest {
+                have_seq,
+                applied_gen,
+            } => {
+                if self.election.role() == Role::Leader {
+                    self.serve_catchup(have_seq, applied_gen, out);
+                }
+            }
+            PeerMsg::TailBegin { gen, from_seq } => {
+                if self.election.role() != Role::Follower || self.pending_image.is_some() {
+                    return true; // stale go-ahead (we promoted meanwhile)
+                }
+                if from_seq != self.seq || gen < self.applied_gen {
+                    // The leader vetted a position we no longer hold;
+                    // reconnect and renegotiate from the current one.
+                    return false;
+                }
+                self.auth = Some((epoch, gen));
+            }
+            PeerMsg::WalRecord { seq, gen, op } => {
+                if self.election.role() == Role::Follower && self.pending_image.is_none() {
+                    return self.apply_record(epoch, seq, gen, &op);
+                }
+            }
+            PeerMsg::SnapshotBegin { next_seq, gen } => {
+                if self.election.role() == Role::Follower && gen >= self.applied_gen {
+                    self.pending_image = Some(PendingImage {
+                        epoch,
+                        next_seq,
+                        gen,
+                        image: BTreeMap::new(),
+                    });
                 }
             }
             PeerMsg::SnapshotEntry { op } => {
-                if let Some((_, image)) = &mut self.pending_image {
-                    apply(image, &op);
+                if let Some(p) = &mut self.pending_image {
+                    if p.epoch == epoch {
+                        apply(&mut p.image, &op);
+                    }
                 }
             }
-            PeerMsg::SnapshotEnd => self.finish_snapshot(),
+            PeerMsg::SnapshotEnd => {
+                if self
+                    .pending_image
+                    .as_ref()
+                    .is_some_and(|p| p.epoch == epoch)
+                {
+                    self.finish_snapshot();
+                }
+            }
         }
         true
     }
 
-    /// One election/heartbeat tick. Returns encoded frames to broadcast.
+    /// One election/heartbeat tick. Returns the encoded heartbeat to
+    /// broadcast.
     fn tick(&mut self) -> Vec<u8> {
         let now = self.now();
         match self.election.tick(now) {
             Transition::BecameLeader { generation } => {
+                // Anchor the vetting boundary: below `claim_seq` our
+                // history is the `prev_gen` leader's; above it, ours.
+                self.prev_gen = self.applied_gen;
+                self.claim_seq = self.seq;
+                self.pending_image = None;
+                self.auth = None;
                 self.obs.event(
                     Severity::Info,
                     EventKind::LeaderElected {
@@ -302,6 +534,20 @@ impl Core {
                     self.takeover_started = Some(Instant::now());
                 }
                 let _ = self.events.send(ClusterEvent::BecameLeader { generation });
+                // Back-fill every registered standby now: on a quiet
+                // network (no fresh commits) a replica that linked up
+                // before we won would otherwise never catch up. A stale
+                // peer position is harmless — a misaligned TailBegin
+                // makes the follower reconnect and renegotiate.
+                let targets: Vec<(u64, Sender<Vec<u8>>)> = self
+                    .links
+                    .iter()
+                    .map(|(&id, l)| (id, l.tx.clone()))
+                    .collect();
+                for (id, tx) in targets {
+                    let (have_seq, peer_gen) = self.peer_state.get(&id).copied().unwrap_or((0, 0));
+                    self.serve_catchup(have_seq, peer_gen, &tx);
+                }
             }
             Transition::Deposed { by_generation } => {
                 let _ = self.events.send(ClusterEvent::Deposed { by_generation });
@@ -311,10 +557,10 @@ impl Core {
         self.role_gauge();
         if self.election.role() == Role::Leader {
             let lag = self
-                .follower_seq
+                .peer_state
                 .iter()
                 .filter(|(id, _)| self.links.contains_key(id))
-                .map(|(_, &s)| self.seq.saturating_sub(s))
+                .map(|(_, &(s, _))| self.seq.saturating_sub(s))
                 .max()
                 .unwrap_or(0);
             self.obs
@@ -329,6 +575,8 @@ impl Core {
             node_id: self.node_id,
             generation,
             seq: self.seq,
+            applied_gen: self.applied_gen,
+            leading: self.election.role() == Role::Leader,
         }
         .encode()
     }
@@ -451,10 +699,17 @@ impl ClusterNode {
             image: store.bindings().clone(),
             store: Some(store),
             store_config: config.store,
+            applied_gen: 0,
+            auth: None,
+            prev_gen: 0,
+            claim_seq: 0,
+            lease,
+            last_progress: SimTime::ZERO,
+            last_catchup_req: SimTime::ZERO,
             retained: VecDeque::new(),
             retained_cap: config.retained_ops.max(1),
             links: HashMap::new(),
-            follower_seq: HashMap::new(),
+            peer_state: HashMap::new(),
             pending_image: None,
             takeover_started: None,
         }));
@@ -524,15 +779,12 @@ impl ClusterNode {
             let interval = config.heartbeat_interval;
             threads.push(thread::spawn(move || {
                 while !stop.load(Ordering::Relaxed) {
-                    let (hb, targets) = {
+                    {
                         let mut c = core.lock().unwrap();
                         let hb = c.tick();
-                        let targets: Vec<Sender<Vec<u8>>> =
-                            c.links.values().map(|(_, tx)| tx.clone()).collect();
-                        (hb, targets)
-                    };
-                    for tx in targets {
-                        let _ = tx.send(hb.clone());
+                        // Through fanout, so heartbeats count against the
+                        // outbox bound too.
+                        c.fanout(hb);
                     }
                     thread::sleep(interval);
                 }
@@ -559,6 +811,7 @@ fn link_loop(
     let _ = stream.set_read_timeout(Some(Duration::from_millis(5)));
     let my_epoch = epoch.fetch_add(1, Ordering::Relaxed) + 1;
     let (out_tx, out_rx) = unbounded::<Vec<u8>>();
+    let evicted = Arc::new(AtomicBool::new(false));
 
     // Opener: who we are and where our replica ends.
     {
@@ -567,6 +820,7 @@ fn link_loop(
             version: PROTO_VERSION,
             node_id: c.node_id,
             have_seq: c.seq,
+            applied_gen: c.applied_gen,
         };
         drop(c);
         if stream.write_all(&hello.encode()).is_err() {
@@ -578,7 +832,7 @@ fn link_loop(
     let mut buf = [0u8; 8192];
     let mut peer_id: Option<u64> = None;
     loop {
-        if stop.load(Ordering::Relaxed) {
+        if stop.load(Ordering::Relaxed) || evicted.load(Ordering::Relaxed) {
             break;
         }
         // Outbound first: heartbeats, records, catch-up.
@@ -602,30 +856,39 @@ fn link_loop(
                             version,
                             node_id,
                             have_seq,
+                            applied_gen,
                         })) => {
                             if version != PROTO_VERSION {
                                 let _ = stream.shutdown(Shutdown::Both);
-                                deregister(&core, peer_id, my_epoch);
+                                deregister(&core, peer_id, my_epoch, None);
                                 return;
                             }
                             peer_id = Some(node_id);
                             let mut c = core.lock().unwrap();
-                            c.links.insert(node_id, (my_epoch, out_tx.clone()));
+                            c.links.insert(
+                                node_id,
+                                LinkHandle {
+                                    epoch: my_epoch,
+                                    tx: out_tx.clone(),
+                                    evicted: evicted.clone(),
+                                },
+                            );
+                            c.peer_state.insert(node_id, (have_seq, applied_gen));
                             if c.election.role() == Role::Leader {
-                                c.serve_catchup(have_seq, &out_tx);
+                                c.serve_catchup(have_seq, applied_gen, &out_tx);
                             }
                         }
                         Ok(Some(msg)) => {
-                            if !core.lock().unwrap().handle_peer_msg(msg) {
+                            if !core.lock().unwrap().handle_peer_msg(msg, my_epoch, &out_tx) {
                                 let _ = stream.shutdown(Shutdown::Both);
-                                deregister(&core, peer_id, my_epoch);
+                                deregister(&core, peer_id, my_epoch, Some("stream_mismatch"));
                                 return;
                             }
                         }
                         Ok(None) => break,
                         Err(_) => {
                             let _ = stream.shutdown(Shutdown::Both);
-                            deregister(&core, peer_id, my_epoch);
+                            deregister(&core, peer_id, my_epoch, Some("protocol_error"));
                             return;
                         }
                     }
@@ -636,16 +899,36 @@ fn link_loop(
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
-    deregister(&core, peer_id, my_epoch);
+    deregister(&core, peer_id, my_epoch, None);
 }
 
-/// Remove this link's outbox unless a newer link already replaced it.
-fn deregister(core: &Arc<Mutex<Core>>, peer_id: Option<u64>, my_epoch: u64) {
+/// Remove this link's outbox unless a newer link already replaced it, and
+/// abandon any image transfer this link was delivering (a half-received
+/// image must not wedge the follower — the next negotiation restarts it).
+/// A `reason` means the link was severed by policy, worth a journal line.
+fn deregister(
+    core: &Arc<Mutex<Core>>,
+    peer_id: Option<u64>,
+    my_epoch: u64,
+    reason: Option<&'static str>,
+) {
+    let mut c = core.lock().unwrap();
     if let Some(id) = peer_id {
-        let mut c = core.lock().unwrap();
-        if c.links.get(&id).is_some_and(|(e, _)| *e == my_epoch) {
+        if c.links.get(&id).is_some_and(|l| l.epoch == my_epoch) {
             c.links.remove(&id);
         }
+        if let Some(reason) = reason {
+            c.obs.event(
+                Severity::Warn,
+                EventKind::ClusterLinkDropped { peer: id, reason },
+            );
+        }
+    }
+    if c.pending_image
+        .as_ref()
+        .is_some_and(|p| p.epoch == my_epoch)
+    {
+        c.pending_image = None;
     }
 }
 
@@ -808,5 +1091,129 @@ mod tests {
             .bindings()
             .contains_key(&Ipv4Addr::new(10, 0, 0, 3)));
         drop(h1);
+    }
+
+    /// Review finding: a leader that wins with pre-existing WAL state must
+    /// back-fill standbys even if no new commit ever happens — the Hellos
+    /// were exchanged during the election grace, before it could serve.
+    #[test]
+    fn standby_backfills_preexisting_state_without_new_commits() {
+        let dir1 = tmp("backfill-1");
+        {
+            let mut seed = BindingStore::open(&dir1, StoreConfig::default()).unwrap();
+            for i in 1..=3 {
+                seed.append(&WalOp::Upsert(rec(i))).unwrap();
+            }
+        }
+        let (a1, a2) = (free_addr(), free_addr());
+        let h1 = ClusterNode::spawn(fast(1, a1, vec![(2, a2)], dir1)).unwrap();
+        let h2 = ClusterNode::spawn(fast(2, a2, vec![(1, a1)], tmp("backfill-2"))).unwrap();
+        h1.events().recv_timeout(Duration::from_secs(10)).unwrap();
+        // Deliberately no promote()/append: the network stays quiet.
+        wait_until("standby back-fill of recovered state", || h2.seq() == 3);
+        assert_eq!(h2.bindings(), h1.bindings());
+        assert_eq!(h2.bindings().len(), 3);
+        drop((h1, h2));
+    }
+
+    /// Review finding: a follower *ahead* of a newly elected leader (its
+    /// suffix was orphaned by the old leader's death) must be truncated to
+    /// the leader's history, not left silently diverged while the
+    /// leader's fresh commits are discarded as "duplicates".
+    #[test]
+    fn diverged_standby_is_truncated_to_the_leaders_history() {
+        let dir1 = tmp("diverge-1");
+        let dir2 = tmp("diverge-2");
+        {
+            let mut s1 = BindingStore::open(&dir1, StoreConfig::default()).unwrap();
+            s1.append(&WalOp::Upsert(rec(1))).unwrap();
+            let mut s2 = BindingStore::open(&dir2, StoreConfig::default()).unwrap();
+            for i in 11..=13 {
+                s2.append(&WalOp::Upsert(rec(i))).unwrap();
+            }
+        }
+        let (a1, a2) = (free_addr(), free_addr());
+        let h1 = ClusterNode::spawn(fast(1, a1, vec![(2, a2)], dir1)).unwrap();
+        let h2 = ClusterNode::spawn(fast(2, a2, vec![(1, a1)], dir2.clone())).unwrap();
+        h1.events().recv_timeout(Duration::from_secs(10)).unwrap();
+
+        // The ahead-standby converges DOWN to the leader's single record.
+        wait_until("diverged standby truncation", || {
+            h2.seq() == 1 && h2.bindings().len() == 1
+        });
+        assert_eq!(h2.bindings(), h1.bindings());
+        assert!(!h2.bindings().contains_key(&rec(11).ip), "orphan kept");
+
+        // And it tracks the leader's new commits from there.
+        let mut store = promote(&h1);
+        store.append(&WalOp::Upsert(rec(2))).unwrap();
+        wait_until("post-truncation streaming", || h2.seq() == 2);
+        assert_eq!(h2.bindings(), h1.bindings());
+
+        // The truncation is durable: the replica on disk matches too.
+        drop(h2);
+        let reopened = BindingStore::open(&dir2, StoreConfig::default()).unwrap();
+        assert_eq!(reopened.bindings().len(), 2);
+        assert!(!reopened.bindings().contains_key(&rec(11).ip));
+        assert_eq!(reopened.seq(), 2, "leader's sequence space adopted");
+        drop(h1);
+    }
+
+    /// Review finding: a stalled peer must not grow the leader's fan-out
+    /// queue without bound — past the outbox limit the link is evicted
+    /// (and journalled), forcing a reconnect + catch-up instead.
+    #[test]
+    fn stalled_outbox_evicts_the_link() {
+        let obs = Obs::new();
+        let (events_tx, _events_rx) = unbounded();
+        let mut core = Core {
+            node_id: 1,
+            started: Instant::now(),
+            election: Election::new(1, SimDuration::from_millis(50), SimTime::ZERO),
+            obs: obs.clone(),
+            events: events_tx,
+            store: None,
+            store_config: StoreConfig::default(),
+            image: BTreeMap::new(),
+            seq: 0,
+            applied_gen: 0,
+            auth: None,
+            prev_gen: 0,
+            claim_seq: 0,
+            lease: SimDuration::from_millis(50),
+            last_progress: SimTime::ZERO,
+            last_catchup_req: SimTime::ZERO,
+            retained: VecDeque::new(),
+            retained_cap: 4,
+            links: HashMap::new(),
+            peer_state: HashMap::new(),
+            pending_image: None,
+            takeover_started: None,
+        };
+        let (tx, rx) = unbounded();
+        let evicted = Arc::new(AtomicBool::new(false));
+        core.links.insert(
+            2,
+            LinkHandle {
+                epoch: 1,
+                tx,
+                evicted: evicted.clone(),
+            },
+        );
+        // Nobody drains the outbox: commits pile up until the bound trips.
+        let budget = core.outbox_limit() + 10;
+        for i in 0..=budget {
+            core.commit(WalOp::Upsert(rec(1)));
+            if core.links.is_empty() {
+                break;
+            }
+            assert!(i < budget, "link never evicted");
+        }
+        assert!(evicted.load(Ordering::Relaxed), "link thread not signalled");
+        assert!(
+            obs.journal.tail_jsonl(3).contains("cluster_link_dropped"),
+            "eviction must reach the journal"
+        );
+        drop(rx);
     }
 }

@@ -11,19 +11,36 @@
 //! Message flow on one link:
 //!
 //! ```text
-//! both:      Hello{version, node_id, have_seq}        (once, first)
-//! both:      Heartbeat{node_id, generation, seq}      (periodic; liveness + lag)
-//! leader:    WalRecord{seq, op}                       (live fan-out + tail catch-up)
-//! leader:    SnapshotBegin{next_seq} SnapshotEntry* SnapshotEnd
-//!                                                     (catch-up after the
-//!                                                      follower lagged past
-//!                                                      the retained window)
+//! both:      Hello{version, node_id, have_seq, applied_gen}   (once, first)
+//! both:      Heartbeat{node_id, generation, seq,
+//!                      applied_gen, leading}                  (periodic; liveness + lag)
+//! follower:  CatchupRequest{have_seq, applied_gen}            (pull when a heartbeat
+//!                                                              shows it lagging)
+//! leader:    TailBegin{gen, from_seq}                         (authorizes the stream:
+//!                                                              the follower's prefix was
+//!                                                              vetted as a prefix of the
+//!                                                              leader's history)
+//! leader:    WalRecord{seq, gen, op}                          (live fan-out + tail catch-up)
+//! leader:    SnapshotBegin{next_seq, gen} SnapshotEntry* SnapshotEnd
+//!                                                             (truncating image transfer:
+//!                                                              the follower lagged past the
+//!                                                              retained window, or its
+//!                                                              prefix diverged from the
+//!                                                              leader's history)
 //! ```
+//!
+//! Records are stamped with the generation of the leader that committed
+//! them. Within one generation the committed stream is linear, so
+//! `(gen, seq)` identifies a record globally; a follower whose
+//! `(applied_gen, seq)` cannot be vetted as a prefix of the leader's
+//! history — including a follower *ahead* of a newly elected leader —
+//! is healed by a truncating snapshot transfer, never by silently
+//! skipping records.
 
 use sav_store::WalOp;
 
 /// Protocol version carried in `Hello`; mismatching peers drop the link.
-pub const PROTO_VERSION: u32 = 1;
+pub const PROTO_VERSION: u32 = 2;
 
 /// Upper bound on one frame (tag + body). WAL payloads are tens of bytes;
 /// the cap keeps a corrupt length field from allocating gigabytes.
@@ -42,6 +59,9 @@ pub enum PeerMsg {
         /// complete below this). The receiving leader serves catch-up
         /// from here.
         have_seq: u64,
+        /// Generation that committed the sender's last applied record
+        /// (0 = state recovered from disk without a stamp, or empty).
+        applied_gen: u64,
     },
     /// Periodic liveness + progress beacon, sent by both ends.
     Heartbeat {
@@ -54,18 +74,49 @@ pub enum PeerMsg {
         /// Leader: head of its committed stream. Follower: its applied
         /// position — the leader derives replication lag from this.
         seq: u64,
+        /// Generation that committed the sender's last applied record.
+        applied_gen: u64,
+        /// True if the sender currently believes it leads. Lets two
+        /// same-generation leaders (symmetric partition) detect each
+        /// other and yield to the lower id.
+        leading: bool,
+    },
+    /// A lagging follower asks the leader to serve catch-up from here.
+    /// Sent when a heartbeat shows the leader ahead and no stream is in
+    /// flight — the pull half of catch-up (Hello is the push half).
+    CatchupRequest {
+        /// Next global WAL sequence the sender needs.
+        have_seq: u64,
+        /// Generation that committed the sender's last applied record.
+        applied_gen: u64,
+    },
+    /// Leader's go-ahead for a tail stream: the follower's
+    /// `(applied_gen, from_seq)` was vetted as a prefix of the leader's
+    /// history, so `WalRecord`s from `from_seq` may extend it in place.
+    /// Without a preceding `TailBegin` (or snapshot) on the same link, a
+    /// follower must not apply records from a newer generation.
+    TailBegin {
+        /// The serving leader's generation.
+        gen: u64,
+        /// First sequence the stream resumes from (== follower's seq).
+        from_seq: u64,
     },
     /// One committed binding-table mutation, in WAL wire format.
     WalRecord {
         /// Global sequence of this record.
         seq: u64,
+        /// Generation of the leader that committed it.
+        gen: u64,
         /// The mutation.
         op: WalOp,
     },
-    /// Start of a full-image transfer; the follower discards its replica.
+    /// Start of a full-image transfer; the follower discards its replica
+    /// (including any suffix orphaned by a leader change).
     SnapshotBegin {
         /// Sequence the stream will continue from after [`PeerMsg::SnapshotEnd`].
         next_seq: u64,
+        /// The serving leader's generation; stamps the rebuilt replica.
+        gen: u64,
     },
     /// One binding of the image (always an upsert).
     SnapshotEntry {
@@ -82,6 +133,8 @@ const TAG_WAL_RECORD: u8 = 3;
 const TAG_SNAPSHOT_BEGIN: u8 = 4;
 const TAG_SNAPSHOT_ENTRY: u8 = 5;
 const TAG_SNAPSHOT_END: u8 = 6;
+const TAG_CATCHUP_REQUEST: u8 = 7;
+const TAG_TAIL_BEGIN: u8 = 8;
 
 /// Why a peer byte stream stopped parsing (the link must be dropped).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,30 +169,51 @@ impl PeerMsg {
                 version,
                 node_id,
                 have_seq,
+                applied_gen,
             } => {
                 body.push(TAG_HELLO);
                 body.extend_from_slice(&version.to_le_bytes());
                 body.extend_from_slice(&node_id.to_le_bytes());
                 body.extend_from_slice(&have_seq.to_le_bytes());
+                body.extend_from_slice(&applied_gen.to_le_bytes());
             }
             PeerMsg::Heartbeat {
                 node_id,
                 generation,
                 seq,
+                applied_gen,
+                leading,
             } => {
                 body.push(TAG_HEARTBEAT);
                 body.extend_from_slice(&node_id.to_le_bytes());
                 body.extend_from_slice(&generation.to_le_bytes());
                 body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&applied_gen.to_le_bytes());
+                body.push(u8::from(*leading));
             }
-            PeerMsg::WalRecord { seq, op } => {
+            PeerMsg::CatchupRequest {
+                have_seq,
+                applied_gen,
+            } => {
+                body.push(TAG_CATCHUP_REQUEST);
+                body.extend_from_slice(&have_seq.to_le_bytes());
+                body.extend_from_slice(&applied_gen.to_le_bytes());
+            }
+            PeerMsg::TailBegin { gen, from_seq } => {
+                body.push(TAG_TAIL_BEGIN);
+                body.extend_from_slice(&gen.to_le_bytes());
+                body.extend_from_slice(&from_seq.to_le_bytes());
+            }
+            PeerMsg::WalRecord { seq, gen, op } => {
                 body.push(TAG_WAL_RECORD);
                 body.extend_from_slice(&seq.to_le_bytes());
+                body.extend_from_slice(&gen.to_le_bytes());
                 body.extend_from_slice(&op.encode());
             }
-            PeerMsg::SnapshotBegin { next_seq } => {
+            PeerMsg::SnapshotBegin { next_seq, gen } => {
                 body.push(TAG_SNAPSHOT_BEGIN);
                 body.extend_from_slice(&next_seq.to_le_bytes());
+                body.extend_from_slice(&gen.to_le_bytes());
             }
             PeerMsg::SnapshotEntry { op } => {
                 body.push(TAG_SNAPSHOT_ENTRY);
@@ -171,20 +245,33 @@ impl PeerMsg {
                 version: u32_at(0)?,
                 node_id: u64_at(4)?,
                 have_seq: u64_at(12)?,
+                applied_gen: u64_at(20)?,
             }),
             TAG_HEARTBEAT => Ok(PeerMsg::Heartbeat {
                 node_id: u64_at(0)?,
                 generation: u64_at(8)?,
                 seq: u64_at(16)?,
+                applied_gen: u64_at(24)?,
+                leading: *rest.get(32).ok_or(ProtoError::Malformed)? != 0,
+            }),
+            TAG_CATCHUP_REQUEST => Ok(PeerMsg::CatchupRequest {
+                have_seq: u64_at(0)?,
+                applied_gen: u64_at(8)?,
+            }),
+            TAG_TAIL_BEGIN => Ok(PeerMsg::TailBegin {
+                gen: u64_at(0)?,
+                from_seq: u64_at(8)?,
             }),
             TAG_WAL_RECORD => {
                 let seq = u64_at(0)?;
-                let op = WalOp::decode(rest.get(8..).ok_or(ProtoError::Malformed)?)
+                let gen = u64_at(8)?;
+                let op = WalOp::decode(rest.get(16..).ok_or(ProtoError::Malformed)?)
                     .map_err(|_| ProtoError::Malformed)?;
-                Ok(PeerMsg::WalRecord { seq, op })
+                Ok(PeerMsg::WalRecord { seq, gen, op })
             }
             TAG_SNAPSHOT_BEGIN => Ok(PeerMsg::SnapshotBegin {
                 next_seq: u64_at(0)?,
+                gen: u64_at(8)?,
             }),
             TAG_SNAPSHOT_ENTRY => {
                 let op = WalOp::decode(rest).map_err(|_| ProtoError::Malformed)?;
@@ -256,14 +343,32 @@ mod tests {
                 version: PROTO_VERSION,
                 node_id: 2,
                 have_seq: 17,
+                applied_gen: 3,
             },
             PeerMsg::Heartbeat {
                 node_id: 1,
                 generation: 3,
                 seq: 42,
+                applied_gen: 3,
+                leading: true,
             },
-            PeerMsg::WalRecord { seq: 42, op: op() },
-            PeerMsg::SnapshotBegin { next_seq: 99 },
+            PeerMsg::CatchupRequest {
+                have_seq: 17,
+                applied_gen: 2,
+            },
+            PeerMsg::TailBegin {
+                gen: 3,
+                from_seq: 17,
+            },
+            PeerMsg::WalRecord {
+                seq: 42,
+                gen: 3,
+                op: op(),
+            },
+            PeerMsg::SnapshotBegin {
+                next_seq: 99,
+                gen: 4,
+            },
             PeerMsg::SnapshotEntry { op: op() },
             PeerMsg::SnapshotEnd,
         ]
@@ -308,7 +413,7 @@ mod tests {
 
         let mut d = PeerDeframer::new();
         d.push(&3u32.to_le_bytes());
-        d.push(&[TAG_HEARTBEAT, 0, 0]); // heartbeat needs 24 body bytes
+        d.push(&[TAG_HEARTBEAT, 0, 0]); // heartbeat needs 33 body bytes
         assert_eq!(d.next_message(), Err(ProtoError::Malformed));
     }
 }

@@ -164,6 +164,15 @@ pub enum EventKind {
         /// The stale generation we presented.
         generation: u64,
     },
+    /// A replication link was severed by policy (stream mismatch, outbox
+    /// overflow) rather than by the transport; the peer must reconnect
+    /// and renegotiate catch-up.
+    ClusterLinkDropped {
+        /// The peer node id on the dropped link.
+        peer: u64,
+        /// Why the link was dropped.
+        reason: &'static str,
+    },
 }
 
 impl EventKind {
@@ -187,6 +196,7 @@ impl EventKind {
             EventKind::LeaderElected { .. } => "leader_elected",
             EventKind::FailoverCompleted { .. } => "failover_completed",
             EventKind::RoleRejected { .. } => "role_rejected",
+            EventKind::ClusterLinkDropped { .. } => "cluster_link_dropped",
         }
     }
 
@@ -288,6 +298,10 @@ impl EventKind {
             EventKind::RoleRejected { dpid, generation } => {
                 n(out, "dpid", *dpid);
                 n(out, "generation", *generation);
+            }
+            EventKind::ClusterLinkDropped { peer, reason } => {
+                n(out, "peer", *peer);
+                s(out, "reason", reason);
             }
         }
     }

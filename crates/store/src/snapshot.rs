@@ -1,12 +1,18 @@
 //! Snapshot files: a compacted image of the whole binding table.
 //!
-//! Layout:
+//! Layout (format 02):
 //!
 //! ```text
-//! ┌──────────────────┬────────────┬──────────────────────────────┐
-//! │ magic "SAVSNP01" │ count: u32 │ count × framed Upsert record │
-//! └──────────────────┴────────────┴──────────────────────────────┘
+//! ┌──────────────────┬───────────────┬────────────┬──────────────────────────────┐
+//! │ magic "SAVSNP02" │ base_seq: u64 │ count: u32 │ count × framed Upsert record │
+//! └──────────────────┴───────────────┴────────────┴──────────────────────────────┘
 //! ```
+//!
+//! `base_seq` is the global sequence of the first record in the WAL segment
+//! this snapshot left behind — persisting it keeps `BindingStore::seq()`
+//! monotone across process restarts, which replication followers rely on
+//! (a restarted leader must never present a rewound sequence space).
+//! Format 01 files (no `base_seq` field) still load, with `base_seq = 0`.
 //!
 //! Each record reuses the WAL frame (`len`/`crc`/payload) so one codec
 //! serves both files. Snapshots are written to a temporary sibling, fsynced,
@@ -25,21 +31,28 @@ use std::net::Ipv4Addr;
 use std::path::Path;
 
 /// File magic; the trailing digits version the format.
-pub const MAGIC: &[u8; 8] = b"SAVSNP01";
+pub const MAGIC: &[u8; 8] = b"SAVSNP02";
+
+/// Previous format without the persisted `base_seq`; still readable.
+pub const MAGIC_V1: &[u8; 8] = b"SAVSNP01";
 
 /// Result of reading a snapshot file.
 #[derive(Debug, Default)]
 pub struct SnapshotLoad {
     /// Bindings recovered from the snapshot.
     pub bindings: BTreeMap<Ipv4Addr, BindingRecord>,
+    /// Global sequence of the first WAL record after this snapshot
+    /// (0 for format-01 files, which predate the field).
+    pub base_seq: u64,
     /// True if the file was missing, short, or failed validation partway.
     pub damaged: bool,
 }
 
-/// Serialize `state` into a snapshot byte image.
-pub fn encode_snapshot(state: &BTreeMap<Ipv4Addr, BindingRecord>) -> Vec<u8> {
-    let mut bytes = Vec::with_capacity(12 + state.len() * 36);
+/// Serialize `state` into a snapshot byte image with the given `base_seq`.
+pub fn encode_snapshot(state: &BTreeMap<Ipv4Addr, BindingRecord>, base_seq: u64) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(20 + state.len() * 36);
     bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&base_seq.to_le_bytes());
     bytes.extend_from_slice(&(state.len() as u32).to_le_bytes());
     let mut frame = Vec::new();
     for rec in state.values() {
@@ -52,12 +65,20 @@ pub fn encode_snapshot(state: &BTreeMap<Ipv4Addr, BindingRecord>) -> Vec<u8> {
 /// Parse a snapshot byte image, salvaging a valid prefix on damage.
 pub fn decode_snapshot(bytes: &[u8]) -> SnapshotLoad {
     let mut load = SnapshotLoad::default();
-    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+    let (base_seq, body) = if bytes.len() >= 20 && &bytes[..8] == MAGIC {
+        (
+            u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            &bytes[16..],
+        )
+    } else if bytes.len() >= 12 && &bytes[..8] == MAGIC_V1 {
+        (0, &bytes[8..])
+    } else {
         load.damaged = true;
         return load;
-    }
-    let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    let scan = scan_bytes(&bytes[12..]);
+    };
+    load.base_seq = base_seq;
+    let count = u32::from_le_bytes(body[..4].try_into().unwrap());
+    let scan = scan_bytes(&body[4..]);
     for op in &scan.ops {
         if let WalOp::Upsert(rec) = op {
             load.bindings.insert(rec.ip, *rec);
@@ -76,8 +97,9 @@ pub fn write_snapshot(
     path: &Path,
     tmp_path: &Path,
     state: &BTreeMap<Ipv4Addr, BindingRecord>,
+    base_seq: u64,
 ) -> std::io::Result<()> {
-    let bytes = encode_snapshot(state);
+    let bytes = encode_snapshot(state, base_seq);
     let mut tmp = File::create(tmp_path)?;
     tmp.write_all(&bytes)?;
     tmp.sync_all()?;
@@ -99,6 +121,7 @@ pub fn read_snapshot(path: &Path) -> SnapshotLoad {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => SnapshotLoad::default(),
         Err(_) => SnapshotLoad {
             bindings: BTreeMap::new(),
+            base_seq: 0,
             damaged: true,
         },
     }
@@ -133,21 +156,41 @@ mod tests {
     #[test]
     fn roundtrip() {
         let s = state(9);
-        let load = decode_snapshot(&encode_snapshot(&s));
+        let load = decode_snapshot(&encode_snapshot(&s, 77));
         assert!(!load.damaged);
         assert_eq!(load.bindings, s);
+        assert_eq!(load.base_seq, 77);
     }
 
     #[test]
     fn empty_roundtrip() {
-        let load = decode_snapshot(&encode_snapshot(&BTreeMap::new()));
+        let load = decode_snapshot(&encode_snapshot(&BTreeMap::new(), 0));
         assert!(!load.damaged);
         assert!(load.bindings.is_empty());
+        assert_eq!(load.base_seq, 0);
+    }
+
+    #[test]
+    fn format_01_files_still_load_with_zero_base() {
+        // Hand-build a v01 image: old magic, count, frames — no base_seq.
+        let s = state(3);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC_V1);
+        bytes.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        let mut frame = Vec::new();
+        for rec in s.values() {
+            encode_frame(&WalOp::Upsert(*rec), &mut frame);
+            bytes.extend_from_slice(&frame);
+        }
+        let load = decode_snapshot(&bytes);
+        assert!(!load.damaged);
+        assert_eq!(load.bindings, s);
+        assert_eq!(load.base_seq, 0);
     }
 
     #[test]
     fn bad_magic_is_damage() {
-        let mut bytes = encode_snapshot(&state(2));
+        let mut bytes = encode_snapshot(&state(2), 5);
         bytes[0] ^= 0xff;
         let load = decode_snapshot(&bytes);
         assert!(load.damaged);
@@ -157,7 +200,7 @@ mod tests {
     #[test]
     fn truncation_salvages_prefix() {
         let s = state(5);
-        let full = encode_snapshot(&s);
+        let full = encode_snapshot(&s, 3);
         for cut in 0..full.len() {
             let load = decode_snapshot(&full[..cut]);
             // Never panics; salvaged bindings are a subset of the real state.
@@ -177,11 +220,12 @@ mod tests {
         let path = dir.join("snapshot.snap");
         let tmp = dir.join("snapshot.tmp");
         let s = state(4);
-        write_snapshot(&path, &tmp, &s).unwrap();
+        write_snapshot(&path, &tmp, &s, 42).unwrap();
         assert!(!tmp.exists(), "tmp file must be renamed away");
         let load = read_snapshot(&path);
         assert!(!load.damaged);
         assert_eq!(load.bindings, s);
+        assert_eq!(load.base_seq, 42);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -98,10 +98,12 @@ pub struct BindingStore {
     wal_bytes: u64,
     wal_records: u64,
     /// Global sequence of the first record in the current WAL segment.
-    /// Sequence numbers count records over this process's lifetime:
-    /// replayed-at-open records are `0..wal_records`, and compaction
-    /// advances the base instead of rewinding the counter, so a follower's
-    /// "I have up to seq N" survives leader-side compactions.
+    /// Persisted in the snapshot header, so sequence numbers are monotone
+    /// across process restarts, not just within one lifetime: compaction
+    /// advances the base instead of rewinding the counter, and reopening
+    /// resumes from the persisted base plus the replayed WAL tail. A
+    /// follower's "I have up to seq N" therefore survives both leader-side
+    /// compactions and leader restarts.
     base_seq: u64,
     state: BTreeMap<Ipv4Addr, BindingRecord>,
     config: StoreConfig,
@@ -159,7 +161,7 @@ impl BindingStore {
             wal,
             wal_bytes: scan.valid_len,
             wal_records: scan.ops.len() as u64,
-            base_seq: 0,
+            base_seq: snap.base_seq,
             state,
             config,
             report,
@@ -206,11 +208,25 @@ impl BindingStore {
         self.base_seq
     }
 
-    /// Next global sequence number to be assigned (== records committed in
-    /// this process's lifetime). A follower holding everything below this
-    /// value is fully caught up.
+    /// Next global sequence number to be assigned. Monotone across
+    /// restarts (the base is persisted in the snapshot header): a crash
+    /// between a snapshot rename and the WAL truncate may inflate the
+    /// counter by the replayed segment's length, but it never rewinds. A
+    /// follower holding everything below this value is fully caught up.
     pub fn seq(&self) -> u64 {
         self.base_seq + self.wal_records
+    }
+
+    /// Re-anchor the sequence space so [`Self::seq`] returns `next_seq`.
+    /// For replication followers that just rebuilt this store from a
+    /// leader snapshot whose image ends at `next_seq`; the adjustment only
+    /// moves the base forward (a rewind request is ignored) and is made
+    /// durable by the caller's following [`Self::compact`].
+    pub fn align_next_seq(&mut self, next_seq: u64) {
+        let base = next_seq.saturating_sub(self.wal_records);
+        if base > self.base_seq {
+            self.base_seq = base;
+        }
     }
 
     /// Path of the live WAL file, for tail readers
@@ -265,6 +281,7 @@ impl BindingStore {
             &Self::snapshot_path(&self.dir),
             &Self::tmp_path(&self.dir),
             &self.state,
+            self.base_seq + self.wal_records,
         )?;
         // Snapshot is durable; the WAL's ops are now redundant. Crash before
         // this truncate just replays them onto the snapshot, idempotently.
@@ -450,11 +467,56 @@ mod tests {
             &BindingStore::snapshot_path(&dir),
             &BindingStore::tmp_path(&dir),
             s.bindings(),
+            s.seq(),
         )
         .unwrap();
         drop(s);
         let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
         assert_eq!(s.bindings(), &expect, "replay onto snapshot must converge");
+        // The replayed segment inflates seq (5 snapshot base + 5 replayed
+        // ops) — allowed: the contract is monotonicity, never a rewind.
+        assert!(s.seq() >= 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Finding from review: seq() must not rewind when the process
+    /// restarts, or replication followers end up "ahead" of a freshly
+    /// reopened leader. The base is persisted in the snapshot header.
+    #[test]
+    fn base_seq_persists_across_reopen() {
+        let dir = tmp_dir("base-persist");
+        {
+            let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+            for i in 1..=5 {
+                s.append(&WalOp::Upsert(rec(i))).unwrap();
+            }
+            s.compact().unwrap();
+            s.append(&WalOp::Upsert(rec(6))).unwrap();
+            assert_eq!((s.base_seq(), s.seq()), (5, 6));
+        }
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(
+            (s.base_seq(), s.seq()),
+            (5, 6),
+            "sequence space must survive a restart"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn align_next_seq_moves_base_forward_only() {
+        let dir = tmp_dir("align");
+        let mut s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        s.append(&WalOp::Upsert(rec(1))).unwrap();
+        s.append(&WalOp::Upsert(rec(2))).unwrap();
+        s.align_next_seq(10);
+        assert_eq!((s.base_seq(), s.seq()), (8, 10));
+        s.align_next_seq(3); // rewind attempts are ignored
+        assert_eq!(s.seq(), 10);
+        s.compact().unwrap();
+        drop(s);
+        let s = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(s.seq(), 10, "aligned base persists via compact");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

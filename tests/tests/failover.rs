@@ -558,3 +558,72 @@ fn stale_generation_controller_is_fenced_over_tcp() {
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Failover availability must not depend on the deposed ex-leader closing
+/// its listener promptly: a socket that still *accepts* but never serves
+/// (it hangs up without asserting Master) must not capture the switch in
+/// a redial loop. The dialer rotates past it and finds the real leader.
+#[test]
+fn switch_rotates_past_an_accepting_but_dead_controller() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    // The zombie: accepts every dial, says nothing, hangs up.
+    let zombie = TcpListener::bind("127.0.0.1:0").unwrap();
+    let zombie_addr = zombie.local_addr().unwrap();
+    zombie.set_nonblocking(true).unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let zombie_thread = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                match zombie.accept() {
+                    Ok((conn, _)) => drop(conn),
+                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
+                }
+            }
+        })
+    };
+
+    // The real leader on the second address in the failover list.
+    let topo = Arc::new(generators::linear(1, 2));
+    let dir = tmp("rotate-store");
+    let server_node = &topo.hosts()[0];
+    let config = SavConfig {
+        static_plan: false,
+        trusted_dhcp_ports: vec![(server_node.switch.dpid(), server_node.port)],
+        ..SavConfig::default()
+    };
+    let store = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+    let app = SavApp::with_store(topo.clone(), config, store);
+    let mut ctrl = Controller::new(vec![Box::new(app) as Box<dyn App>]);
+    ctrl.set_master_generation(1);
+    let server = SouthboundServer::bind("127.0.0.1:0", fast_server_config(), ctrl).unwrap();
+
+    // The switch dials the zombie first.
+    let (d_tx, _d_rx) = unbounded();
+    let client = client::spawn_multi(
+        vec![zombie_addr, server.local_addr()],
+        mk_switch(1),
+        fast_client_config(11),
+        vec![],
+        d_tx,
+    );
+
+    let ctrl = server.controller();
+    assert!(
+        wait_for(Duration::from_secs(10), || {
+            ctrl.lock().ready_dpids().len() == 1
+        }),
+        "the dialer must rotate past the dead-but-accepting controller"
+    );
+    assert!(
+        client.metrics().stats().reconnects >= 1,
+        "at least one failed attempt against the zombie preceded success"
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    zombie_thread.join().unwrap();
+    client.stop();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
