@@ -6,9 +6,10 @@
 //! apples-to-apples.
 
 use crate::{FeasibleUrpfApp, NoSavApp, StaticAclApp, StrictUrpfApp};
+use sav_border::BorderGuardApp;
 use sav_controller::app::App;
 use sav_controller::apps::L2RoutingApp;
-use sav_core::{SavApp, SavConfig, SavMode};
+use sav_core::{SavApp, SavConfig, SavMode, StatsPollerApp};
 use sav_topo::routes::Routes;
 use sav_topo::Topology;
 use std::sync::Arc;
@@ -111,6 +112,7 @@ impl Mechanism {
         sav_overrides: impl FnOnce(&mut SavConfig),
     ) -> Vec<Box<dyn App>> {
         let l2: Box<dyn App> = Box::new(L2RoutingApp::new(topo.clone(), routes.clone()));
+        let mut border = None;
         let validation: Box<dyn App> = match self {
             Mechanism::NoSav => Box::new(NoSavApp),
             Mechanism::StaticAcl => Box::new(StaticAclApp::new(topo.clone())),
@@ -119,10 +121,24 @@ impl Mechanism {
             _ => {
                 let mut cfg = self.sav_config().expect("SDN-SAV variant");
                 sav_overrides(&mut cfg);
+                border = cfg.border.clone();
                 Box::new(SavApp::new(topo.clone(), cfg))
             }
         };
-        vec![validation, l2]
+        let mut apps = vec![validation];
+        if let Some(bc) = border {
+            // The guard is fed by the stats poller's flow-stats replies, so
+            // enabling it pulls the poller into the chain with it. Both sit
+            // before L2 so the guard's sample punts are consumed rather
+            // than unicast-learned.
+            let obs = bc.obs.clone().unwrap_or_default();
+            apps.push(Box::new(
+                StatsPollerApp::new(obs).with_per_binding_gauges(false),
+            ));
+            apps.push(Box::new(BorderGuardApp::new(topo.clone(), bc)));
+        }
+        apps.push(l2);
+        apps
     }
 }
 
@@ -160,6 +176,26 @@ mod tests {
         );
         let fcfs = Mechanism::SdnSavFcfs.sav_config().unwrap();
         assert!(fcfs.fcfs && !fcfs.static_plan);
+    }
+
+    #[test]
+    fn enabling_the_border_guard_pulls_in_the_poller() {
+        let topo = Arc::new(generators::multi_as(2, 2).topo);
+        let routes = Arc::new(Routes::compute(&topo));
+        let apps = Mechanism::SdnSav.build_apps(&topo, &routes, |cfg| {
+            cfg.border = Some(sav_core::BorderConfig::default());
+        });
+        let names: Vec<&str> = apps.iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "sdn-sav",
+                "sav-stats-poller",
+                "sav-border-guard",
+                "l2-routing"
+            ],
+            "guard consumes its sample punts before L2 sees them"
+        );
     }
 
     #[test]

@@ -115,16 +115,6 @@ fn run(
     (mbps, victim_bytes, query_bytes)
 }
 
-// SimTime::from_secs_f64 does not exist; helper below.
-trait FromSecsF64 {
-    fn from_secs_f64(s: f64) -> SimTime;
-}
-impl FromSecsF64 for SimTime {
-    fn from_secs_f64(s: f64) -> SimTime {
-        SimTime::from_nanos((s * 1e9) as u64)
-    }
-}
-
 fn main() {
     let w = world();
     println!(

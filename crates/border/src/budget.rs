@@ -1,0 +1,408 @@
+//! The pure per-source byte-budget state machine.
+//!
+//! Kept free of OpenFlow and controller state so the anti-amplification
+//! decision — "has this network sent more than N× the bytes it received
+//! from an unvalidated external source?" — is a unit- and property-testable
+//! function of observed byte deltas and poll ticks.
+//!
+//! The model is RFC 9000 §8 (QUIC address validation): before a peer's
+//! address is validated, a server may send at most three times the bytes it
+//! received from that address. Here the "server" is a whole network edge:
+//! `rx` is what an external source has sent *into* a border port, `tx` is
+//! what the network has sent *back toward* that source address. A spoofed
+//! reflection victim never sends queries itself, so its `tx` races ahead of
+//! its `rx` and the budget trips; a real client keeps `tx ≲ rx` and is
+//! eventually marked validated (exempt), mirroring QUIC's path validation.
+
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Tunables for the budget table. The defaults follow RFC 9000 §8: a 3×
+/// amplification limit, with a small grace floor so a single fat response
+/// to a short handshake packet does not instantly quarantine a source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetConfig {
+    /// `N`: deny when `tx > N × rx` (default 3, the QUIC limit).
+    pub amplification_limit: u64,
+    /// Never deny before at least this many response bytes have been sent
+    /// (default one MTU) — absorbs the first-response transient.
+    pub grace_bytes: u64,
+    /// Poll ticks with fresh inbound traffic and no violation before a
+    /// source is considered validated (exempt from the limit).
+    pub validation_polls: u32,
+    /// Minimum cumulative inbound bytes before validation can happen.
+    pub validation_min_bytes: u64,
+    /// Quarantine length for a first offense, seconds.
+    pub quarantine_base_secs: u16,
+    /// Ceiling for the exponential re-offense escalation, seconds.
+    pub quarantine_max_secs: u16,
+}
+
+impl Default for BudgetConfig {
+    fn default() -> BudgetConfig {
+        BudgetConfig {
+            amplification_limit: 3,
+            grace_bytes: 1500,
+            validation_polls: 5,
+            validation_min_bytes: 10_000,
+            quarantine_base_secs: 10,
+            quarantine_max_secs: 600,
+        }
+    }
+}
+
+/// Where a source stands with the guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceState {
+    /// Subject to the amplification limit.
+    Unvalidated,
+    /// Exempt: sustained bidirectional exchange or explicit allowlist.
+    Validated,
+    /// Currently denied at the border; budgets frozen until release.
+    Quarantined,
+}
+
+/// One decision out of a poll tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Quarantine this source: install the deny pair at the border.
+    Deny {
+        /// The offending external source address.
+        src: Ipv4Addr,
+        /// Border port it was first seen on (0 if only tx was observed).
+        port: u32,
+        /// Cumulative bytes received from it this epoch.
+        rx_bytes: u64,
+        /// Cumulative bytes sent back toward it this epoch.
+        tx_bytes: u64,
+        /// Quarantine length, already escalated for re-offenses.
+        timeout_secs: u16,
+        /// 1 for the first offense, 2 for the second, ...
+        offense: u32,
+    },
+    /// The source completed address validation and is now exempt.
+    Validated {
+        /// The validated source address.
+        src: Ipv4Addr,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SourceBudget {
+    port: u32,
+    rx_bytes: u64,
+    tx_bytes: u64,
+    /// Inbound bytes since the last tick (drives validation progress).
+    rx_since_tick: u64,
+    clean_polls: u32,
+    offenses: u32,
+    state: SourceState,
+}
+
+impl SourceBudget {
+    fn fresh(port: u32) -> SourceBudget {
+        SourceBudget {
+            port,
+            rx_bytes: 0,
+            tx_bytes: 0,
+            rx_since_tick: 0,
+            clean_polls: 0,
+            offenses: 0,
+            state: SourceState::Unvalidated,
+        }
+    }
+}
+
+/// Per-source byte budgets for one border switch.
+#[derive(Debug, Clone, Default)]
+pub struct BudgetTable {
+    cfg: BudgetConfig,
+    sources: BTreeMap<Ipv4Addr, SourceBudget>,
+}
+
+impl BudgetTable {
+    /// Empty table under `cfg`.
+    pub fn new(cfg: BudgetConfig) -> BudgetTable {
+        BudgetTable {
+            cfg,
+            sources: BTreeMap::new(),
+        }
+    }
+
+    /// Explicitly allowlist `src`: immediately validated, never denied.
+    pub fn allow(&mut self, src: Ipv4Addr) {
+        let e = self
+            .sources
+            .entry(src)
+            .or_insert_with(|| SourceBudget::fresh(0));
+        e.state = SourceState::Validated;
+    }
+
+    /// Account `bytes` received *from* `src` on border `port`.
+    pub fn observe_rx(&mut self, src: Ipv4Addr, port: u32, bytes: u64) {
+        let e = self
+            .sources
+            .entry(src)
+            .or_insert_with(|| SourceBudget::fresh(port));
+        if e.port == 0 {
+            e.port = port;
+        }
+        e.rx_bytes = e.rx_bytes.saturating_add(bytes);
+        e.rx_since_tick = e.rx_since_tick.saturating_add(bytes);
+    }
+
+    /// Account `bytes` sent back *toward* `src`.
+    pub fn observe_tx(&mut self, src: Ipv4Addr, bytes: u64) {
+        let e = self
+            .sources
+            .entry(src)
+            .or_insert_with(|| SourceBudget::fresh(0));
+        e.tx_bytes = e.tx_bytes.saturating_add(bytes);
+    }
+
+    /// One poll tick: evaluate every source against the limit and the
+    /// validation criteria. Quarantined and validated sources are skipped.
+    pub fn tick(&mut self) -> Vec<Verdict> {
+        let cfg = self.cfg;
+        let mut verdicts = Vec::new();
+        for (&src, e) in &mut self.sources {
+            let had_rx = e.rx_since_tick > 0;
+            e.rx_since_tick = 0;
+            if e.state != SourceState::Unvalidated {
+                continue;
+            }
+            let over_limit = e.tx_bytes > cfg.amplification_limit.saturating_mul(e.rx_bytes)
+                && e.tx_bytes >= cfg.grace_bytes;
+            if over_limit {
+                e.state = SourceState::Quarantined;
+                e.offenses += 1;
+                verdicts.push(Verdict::Deny {
+                    src,
+                    port: e.port,
+                    rx_bytes: e.rx_bytes,
+                    tx_bytes: e.tx_bytes,
+                    timeout_secs: quarantine_secs(&cfg, e.offenses),
+                    offense: e.offenses,
+                });
+                continue;
+            }
+            if had_rx {
+                e.clean_polls += 1;
+                if e.clean_polls >= cfg.validation_polls && e.rx_bytes >= cfg.validation_min_bytes {
+                    e.state = SourceState::Validated;
+                    verdicts.push(Verdict::Validated { src });
+                }
+            }
+        }
+        verdicts
+    }
+
+    /// A quarantine expired at the switch: reopen the budget epoch. Byte
+    /// counters and validation progress reset; the offense count is kept so
+    /// a re-offense escalates. Returns false if `src` was not quarantined
+    /// (the deny pair produces two FLOW_REMOVEDs — the second is a no-op).
+    pub fn release(&mut self, src: Ipv4Addr) -> bool {
+        match self.sources.get_mut(&src) {
+            Some(e) if e.state == SourceState::Quarantined => {
+                e.state = SourceState::Unvalidated;
+                e.rx_bytes = 0;
+                e.tx_bytes = 0;
+                e.rx_since_tick = 0;
+                e.clean_polls = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Current state of `src`, if tracked.
+    pub fn state(&self, src: Ipv4Addr) -> Option<SourceState> {
+        self.sources.get(&src).map(|e| e.state)
+    }
+
+    /// Offenses recorded against `src`.
+    pub fn offenses(&self, src: Ipv4Addr) -> u32 {
+        self.sources.get(&src).map_or(0, |e| e.offenses)
+    }
+
+    /// Number of currently quarantined sources.
+    pub fn quarantined(&self) -> usize {
+        self.sources
+            .values()
+            .filter(|e| e.state == SourceState::Quarantined)
+            .count()
+    }
+
+    /// Number of tracked sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// True when no source is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// Quarantine length for the `offense`-th violation: `base · 2^(offense-1)`,
+/// capped at the configured maximum.
+pub fn quarantine_secs(cfg: &BudgetConfig, offense: u32) -> u16 {
+    let base = u64::from(cfg.quarantine_base_secs.max(1));
+    let max = u64::from(cfg.quarantine_max_secs.max(1));
+    let shift = offense.saturating_sub(1).min(16);
+    (base << shift).min(max) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> Ipv4Addr {
+        Ipv4Addr::new(203, 0, 113, last)
+    }
+
+    fn cfg() -> BudgetConfig {
+        BudgetConfig::default()
+    }
+
+    #[test]
+    fn amplified_source_is_denied_within_one_tick() {
+        let mut t = BudgetTable::new(cfg());
+        t.observe_rx(ip(1), 3, 100);
+        t.observe_tx(ip(1), 2000); // 20× the received bytes
+        let v = t.tick();
+        assert_eq!(v.len(), 1);
+        match v[0] {
+            Verdict::Deny {
+                src,
+                port,
+                rx_bytes,
+                tx_bytes,
+                timeout_secs,
+                offense,
+            } => {
+                assert_eq!(src, ip(1));
+                assert_eq!(port, 3);
+                assert_eq!((rx_bytes, tx_bytes), (100, 2000));
+                assert_eq!(timeout_secs, 10);
+                assert_eq!(offense, 1);
+            }
+            other => panic!("expected deny, got {other:?}"),
+        }
+        assert_eq!(t.state(ip(1)), Some(SourceState::Quarantined));
+        assert!(t.tick().is_empty(), "quarantined sources are not re-judged");
+    }
+
+    #[test]
+    fn balanced_source_is_never_denied() {
+        let mut t = BudgetTable::new(cfg());
+        for _ in 0..50 {
+            t.observe_rx(ip(2), 1, 1000);
+            t.observe_tx(ip(2), 2500); // 2.5× < 3×
+            for v in t.tick() {
+                assert!(matches!(v, Verdict::Validated { .. }));
+            }
+        }
+        assert_ne!(t.state(ip(2)), Some(SourceState::Quarantined));
+    }
+
+    #[test]
+    fn grace_floor_absorbs_small_responses() {
+        let mut t = BudgetTable::new(cfg());
+        t.observe_rx(ip(3), 1, 10);
+        t.observe_tx(ip(3), 1400); // way over 3×, but under one MTU
+        assert!(t.tick().is_empty());
+        t.observe_tx(ip(3), 200); // crosses the grace floor
+        assert_eq!(t.tick().len(), 1);
+    }
+
+    #[test]
+    fn sustained_exchange_validates_and_exempts() {
+        let mut t = BudgetTable::new(cfg());
+        for i in 0..5 {
+            t.observe_rx(ip(4), 2, 2500);
+            t.observe_tx(ip(4), 2500);
+            let v = t.tick();
+            if i < 4 {
+                assert!(v.is_empty(), "tick {i}: still building trust");
+            } else {
+                assert_eq!(v, vec![Verdict::Validated { src: ip(4) }]);
+            }
+        }
+        // Once validated, even a huge burst back toward it is exempt.
+        t.observe_tx(ip(4), 1_000_000);
+        assert!(t.tick().is_empty());
+        assert_eq!(t.state(ip(4)), Some(SourceState::Validated));
+    }
+
+    #[test]
+    fn allowlist_is_immediately_exempt() {
+        let mut t = BudgetTable::new(cfg());
+        t.allow(ip(5));
+        t.observe_tx(ip(5), 1_000_000);
+        assert!(t.tick().is_empty());
+        assert_eq!(t.state(ip(5)), Some(SourceState::Validated));
+    }
+
+    #[test]
+    fn release_resets_budgets_and_escalation_doubles() {
+        let mut t = BudgetTable::new(cfg());
+        t.observe_rx(ip(6), 1, 100);
+        t.observe_tx(ip(6), 5000);
+        assert_eq!(t.tick().len(), 1);
+        assert!(t.release(ip(6)));
+        assert!(!t.release(ip(6)), "second FLOW_REMOVED is a no-op");
+        assert_eq!(t.state(ip(6)), Some(SourceState::Unvalidated));
+
+        // Re-offense: fresh epoch, but the timeout doubles.
+        t.observe_rx(ip(6), 1, 100);
+        t.observe_tx(ip(6), 5000);
+        match t.tick()[0] {
+            Verdict::Deny {
+                timeout_secs,
+                offense,
+                ..
+            } => {
+                assert_eq!(offense, 2);
+                assert_eq!(timeout_secs, 20);
+            }
+            ref other => panic!("expected deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escalation_caps_at_the_configured_max() {
+        let c = cfg();
+        assert_eq!(quarantine_secs(&c, 1), 10);
+        assert_eq!(quarantine_secs(&c, 4), 80);
+        assert_eq!(quarantine_secs(&c, 7), 600, "capped");
+        assert_eq!(quarantine_secs(&c, 60), 600, "no shift overflow");
+    }
+
+    #[test]
+    fn tx_only_source_is_denied_with_unknown_port() {
+        // Responses toward an address we never heard from: rx = 0, so any
+        // tx over the grace floor violates tx > N×rx.
+        let mut t = BudgetTable::new(cfg());
+        t.observe_tx(ip(7), 4000);
+        match t.tick()[0] {
+            Verdict::Deny { port, rx_bytes, .. } => {
+                assert_eq!(port, 0);
+                assert_eq!(rx_bytes, 0);
+            }
+            ref other => panic!("expected deny, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantined_counts() {
+        let mut t = BudgetTable::new(cfg());
+        t.observe_tx(ip(8), 4000);
+        t.observe_rx(ip(9), 1, 50);
+        t.tick();
+        assert_eq!(t.quarantined(), 1);
+        assert_eq!(t.len(), 2);
+        t.release(ip(8));
+        assert_eq!(t.quarantined(), 0);
+    }
+}

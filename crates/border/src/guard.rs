@@ -1,0 +1,605 @@
+//! [`BorderGuardApp`] — the controller application enforcing the budget.
+//!
+//! Event wiring:
+//!
+//! * **switch up** (role = Border): install one [`crate::border_sample`]
+//!   per border port, seed the allowlist, reset per-switch state (a
+//!   reconnecting switch lost its rules and counters).
+//! * **packet in** (sample cookie): parse the frame, charge its bytes as
+//!   `rx`, install the per-source count pair. The sample rule already
+//!   forwarded the original via goto — the punt is a copy, so the guard
+//!   consumes it without re-injecting.
+//! * **stats reply** (flow entries, requested by the *existing*
+//!   [`sav_core::StatsPollerApp`] — the guard sends no requests of its
+//!   own): turn count-rule byte counters into budget deltas, feed the
+//!   denied-bytes counter from the deny rules, then run one budget tick
+//!   and install the deny pair for each violation.
+//! * **flow removed** (deny cookie, timeout): reopen the budget epoch and
+//!   journal the release; re-offenses re-quarantine with a doubled
+//!   timeout.
+
+use crate::budget::{BudgetConfig, BudgetTable, SourceState, Verdict};
+use crate::{
+    border_deny_in, border_deny_out, border_rx_count, border_sample, border_tx_count, cookie_kind,
+    is_sav_cookie, KIND_DENY_IN, KIND_DENY_OUT, KIND_RX_COUNT, KIND_SAMPLE, KIND_TX_COUNT,
+};
+use sav_controller::app::{App, Ctx, Disposition};
+use sav_core::BorderConfig;
+use sav_obs::{EventKind, Obs, Severity};
+use sav_openflow::messages::{
+    FlowRemoved, FlowRemovedReason, FlowStatsEntry, MultipartReplyBody, PacketIn,
+};
+use sav_topo::{SwitchId, SwitchRole, Topology};
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+impl From<&BorderConfig> for BudgetConfig {
+    fn from(c: &BorderConfig) -> BudgetConfig {
+        BudgetConfig {
+            amplification_limit: c.amplification_limit,
+            grace_bytes: c.grace_bytes,
+            validation_polls: c.validation_polls,
+            validation_min_bytes: c.validation_min_bytes,
+            quarantine_base_secs: c.quarantine_base_secs,
+            quarantine_max_secs: c.quarantine_max_secs,
+        }
+    }
+}
+
+/// Counters for tests and the evaluation harness.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct GuardStats {
+    /// Sample punts processed (first packet of a new source).
+    pub samples: u64,
+    /// Count-rule pairs installed.
+    pub sources_tracked: u64,
+    /// Quarantines installed.
+    pub denies: u64,
+    /// Quarantines expired and released.
+    pub releases: u64,
+    /// Sources that completed address validation.
+    pub validations: u64,
+}
+
+/// The anti-amplification border guard. Register it *after* the SAV app
+/// (its punts carry distinct cookies either way) and *before* the L2
+/// forwarding app, so sample punts are consumed rather than unicast-learned.
+pub struct BorderGuardApp {
+    topo: Arc<Topology>,
+    cfg: BorderConfig,
+    obs: Obs,
+    /// Per border switch budget tables.
+    budgets: BTreeMap<u64, BudgetTable>,
+    /// Sources with an installed count pair, per switch.
+    counted: BTreeMap<u64, BTreeSet<Ipv4Addr>>,
+    /// Last absolute byte count per (dpid, cookie-kind, source).
+    last_bytes: BTreeMap<(u64, u64, Ipv4Addr), u64>,
+    /// Counters.
+    pub stats: GuardStats,
+}
+
+impl BorderGuardApp {
+    /// Build the guard for `topo`. The obs handle rides in `cfg`
+    /// (defaulting to a discard handle when absent).
+    pub fn new(topo: Arc<Topology>, cfg: BorderConfig) -> BorderGuardApp {
+        let obs = cfg.obs.clone().unwrap_or_default();
+        BorderGuardApp {
+            topo,
+            cfg,
+            obs,
+            budgets: BTreeMap::new(),
+            counted: BTreeMap::new(),
+            last_bytes: BTreeMap::new(),
+            stats: GuardStats::default(),
+        }
+    }
+
+    /// Budget state of `src` at switch `dpid`, if tracked.
+    pub fn source_state(&self, dpid: u64, src: Ipv4Addr) -> Option<SourceState> {
+        self.budgets.get(&dpid).and_then(|t| t.state(src))
+    }
+
+    /// Currently quarantined sources across all border switches.
+    pub fn quarantined(&self) -> usize {
+        self.budgets.values().map(|t| t.quarantined()).sum()
+    }
+
+    fn fresh_table(&self) -> BudgetTable {
+        let mut t = BudgetTable::new(BudgetConfig::from(&self.cfg));
+        for &ip in &self.cfg.allowlist {
+            t.allow(ip);
+        }
+        t
+    }
+
+    fn set_quarantine_gauge(&self, dpid: u64) {
+        let n = self.budgets.get(&dpid).map_or(0, |t| t.quarantined());
+        self.obs.gauges.set(
+            format!("sav_border_quarantined{{dpid=\"{dpid}\"}}"),
+            n as f64,
+        );
+    }
+
+    fn byte_delta(&mut self, dpid: u64, kind: u64, src: Ipv4Addr, absolute: u64) -> u64 {
+        let last = self
+            .last_bytes
+            .insert((dpid, kind, src), absolute)
+            .unwrap_or(0);
+        // Saturating: a switch restart resets counters, which must read as
+        // "no new bytes", not an underflow.
+        absolute.saturating_sub(last)
+    }
+
+    fn ingest_flow_stats(&mut self, ctx: &mut Ctx, dpid: u64, entries: &[FlowStatsEntry]) {
+        if !self.budgets.contains_key(&dpid) {
+            return; // not one of our border switches
+        }
+        let mut denied_delta = 0u64;
+        for e in entries {
+            if !is_sav_cookie(e.cookie) {
+                continue;
+            }
+            let kind = cookie_kind(e.cookie);
+            let src = Ipv4Addr::from((e.cookie & 0xffff_ffff) as u32);
+            match kind {
+                KIND_RX_COUNT => {
+                    let delta = self.byte_delta(dpid, kind, src, e.byte_count);
+                    if delta > 0 {
+                        let port = e.match_.in_port().unwrap_or(0);
+                        if let Some(t) = self.budgets.get_mut(&dpid) {
+                            t.observe_rx(src, port, delta);
+                        }
+                    }
+                }
+                KIND_TX_COUNT => {
+                    let delta = self.byte_delta(dpid, kind, src, e.byte_count);
+                    if delta > 0 {
+                        if let Some(t) = self.budgets.get_mut(&dpid) {
+                            t.observe_tx(src, delta);
+                        }
+                    }
+                }
+                KIND_DENY_IN | KIND_DENY_OUT => {
+                    denied_delta += self.byte_delta(dpid, kind, src, e.byte_count);
+                }
+                _ => {}
+            }
+        }
+        if denied_delta > 0 {
+            self.obs
+                .counters
+                .add("sav_border_denied_bytes_total", denied_delta);
+            self.obs.counters.add(
+                format!("sav_border_denied_bytes_total{{dpid=\"{dpid}\"}}"),
+                denied_delta,
+            );
+        }
+        self.run_tick(ctx, dpid);
+    }
+
+    /// One budget tick for `dpid`: act on every verdict.
+    fn run_tick(&mut self, ctx: &mut Ctx, dpid: u64) {
+        let Some(table) = self.budgets.get_mut(&dpid) else {
+            return;
+        };
+        let verdicts = table.tick();
+        for v in verdicts {
+            match v {
+                Verdict::Deny {
+                    src,
+                    port,
+                    rx_bytes,
+                    tx_bytes,
+                    timeout_secs,
+                    offense,
+                } => {
+                    if port != 0 {
+                        ctx.install(dpid, border_deny_in(port, src, timeout_secs));
+                    }
+                    ctx.install(dpid, border_deny_out(src, timeout_secs));
+                    self.stats.denies += 1;
+                    self.obs.counters.incr("sav_border_denies_total");
+                    self.obs.event(
+                        Severity::Warn,
+                        EventKind::AmplificationDeny {
+                            dpid,
+                            port,
+                            src: src.to_string(),
+                            rx_bytes,
+                            tx_bytes,
+                            timeout_secs: u64::from(timeout_secs),
+                        },
+                    );
+                    let _ = offense;
+                }
+                Verdict::Validated { src } => {
+                    self.stats.validations += 1;
+                    self.obs.counters.incr("sav_border_validated_total");
+                    self.obs.event(
+                        Severity::Info,
+                        EventKind::SourceValidated {
+                            dpid,
+                            src: src.to_string(),
+                        },
+                    );
+                }
+            }
+        }
+        self.set_quarantine_gauge(dpid);
+    }
+}
+
+impl App for BorderGuardApp {
+    fn name(&self) -> &'static str {
+        "sav-border-guard"
+    }
+
+    fn on_switch_up(&mut self, ctx: &mut Ctx, dpid: u64) {
+        let Some(sid) = SwitchId::from_dpid(dpid) else {
+            return;
+        };
+        let node = self.topo.switch(sid);
+        if node.role != SwitchRole::Border {
+            return;
+        }
+        let ports = self.topo.border_ports(sid);
+        if ports.is_empty() {
+            return;
+        }
+        for &port in &ports {
+            ctx.install(dpid, border_sample(port));
+        }
+        // (Re)connecting switch: its rules and counters are gone, so the
+        // tracked state restarts from a clean epoch too.
+        self.budgets.insert(dpid, self.fresh_table());
+        self.counted.insert(dpid, BTreeSet::new());
+        self.last_bytes.retain(|&(d, _, _), _| d != dpid);
+        // Register the series so they exist on /metrics before any deny.
+        self.obs.counters.add("sav_border_denied_bytes_total", 0);
+        self.set_quarantine_gauge(dpid);
+    }
+
+    fn on_switch_down(&mut self, _ctx: &mut Ctx, dpid: u64) {
+        self.set_quarantine_gauge(dpid);
+    }
+
+    fn on_packet_in(&mut self, ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
+        if !is_sav_cookie(pi.cookie) || cookie_kind(pi.cookie) != KIND_SAMPLE {
+            return Disposition::Continue;
+        }
+        // A copy of the first packet from a not-yet-tracked external
+        // source; the original already went through the forwarding table.
+        self.stats.samples += 1;
+        let Some(port) = pi.match_.in_port() else {
+            return Disposition::Consumed;
+        };
+        let Ok(parsed) = sav_net::packet::ParsedPacket::parse(&pi.data) else {
+            return Disposition::Consumed;
+        };
+        let Some(src) = parsed.ipv4_src() else {
+            return Disposition::Consumed;
+        };
+        let bytes = (pi.data.len() as u64).max(u64::from(pi.total_len));
+        if let Some(t) = self.budgets.get_mut(&dpid) {
+            t.observe_rx(src, port, bytes);
+        }
+        if let Some(set) = self.counted.get_mut(&dpid) {
+            if set.insert(src) {
+                ctx.install(dpid, border_rx_count(port, src));
+                ctx.install(dpid, border_tx_count(src));
+                self.stats.sources_tracked += 1;
+            }
+        }
+        Disposition::Consumed
+    }
+
+    fn on_flow_removed(&mut self, _ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
+        if !is_sav_cookie(fr.cookie) {
+            return;
+        }
+        let kind = cookie_kind(fr.cookie);
+        if kind != KIND_DENY_IN && kind != KIND_DENY_OUT {
+            return;
+        }
+        if fr.reason == FlowRemovedReason::Delete {
+            return; // controller-initiated delete, not an expiry
+        }
+        let src = Ipv4Addr::from((fr.cookie & 0xffff_ffff) as u32);
+        // The pair produces two FLOW_REMOVEDs; release() no-ops the second.
+        let released = self.budgets.get_mut(&dpid).is_some_and(|t| t.release(src));
+        if released {
+            self.stats.releases += 1;
+            self.obs.event(
+                Severity::Info,
+                EventKind::QuarantineExpired {
+                    dpid,
+                    src: src.to_string(),
+                },
+            );
+            self.set_quarantine_gauge(dpid);
+        }
+    }
+
+    fn on_stats_reply(&mut self, ctx: &mut Ctx, dpid: u64, body: &MultipartReplyBody) {
+        if let MultipartReplyBody::Flow(entries) = body {
+            self.ingest_flow_stats(ctx, dpid, entries);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_openflow::messages::{FlowMod, Message, PacketInReason};
+    use sav_openflow::oxm::OxmMatch;
+    use sav_sim::SimTime;
+    use sav_topo::generators::multi_as;
+
+    fn world() -> (Arc<Topology>, u64) {
+        let m = multi_as(2, 2);
+        let border_dpid = m.borders[0].0.dpid();
+        (Arc::new(m.topo), border_dpid)
+    }
+
+    fn guard(topo: &Arc<Topology>, obs: Obs) -> BorderGuardApp {
+        BorderGuardApp::new(
+            topo.clone(),
+            BorderConfig {
+                obs: Some(obs),
+                ..BorderConfig::default()
+            },
+        )
+    }
+
+    fn sample_pi(port: u32, frame: Vec<u8>) -> PacketIn {
+        PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: frame.len() as u16,
+            reason: PacketInReason::Action,
+            table_id: 0,
+            cookie: crate::border_cookie(KIND_SAMPLE, port),
+            match_: OxmMatch::new().with(sav_openflow::oxm::OxmField::InPort(port)),
+            data: frame,
+        }
+    }
+
+    fn udp_frame(src: Ipv4Addr, dst: Ipv4Addr, len: usize) -> Vec<u8> {
+        use sav_net::builder::build_ipv4_udp;
+        use sav_net::prelude::*;
+        let udp = UdpRepr {
+            src_port: 53,
+            dst_port: 53,
+            payload_len: len,
+        };
+        let ip = Ipv4Repr::udp(src, dst, udp.buffer_len());
+        let eth = EthernetRepr {
+            src: MacAddr::from_index(1),
+            dst: MacAddr::from_index(2),
+            ethertype: EtherType::Ipv4,
+        };
+        build_ipv4_udp(&eth, &ip, &udp, &vec![0u8; len])
+    }
+
+    fn stats_entry(fm: &FlowMod, bytes: u64) -> FlowStatsEntry {
+        FlowStatsEntry {
+            table_id: 0,
+            duration_sec: 1,
+            duration_nsec: 0,
+            priority: fm.priority,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            cookie: fm.cookie,
+            packet_count: bytes / 100,
+            byte_count: bytes,
+            match_: fm.match_.clone(),
+            instructions: fm.instructions.clone(),
+        }
+    }
+
+    #[test]
+    fn switch_up_installs_samplers_only_on_borders() {
+        let (topo, border) = world();
+        let mut app = guard(&topo, Obs::new());
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, border);
+        let msgs = ctx.take();
+        assert_eq!(msgs.len(), 1, "one border port on a multi_as border");
+        assert!(matches!(
+            &msgs[0].1,
+            Message::FlowMod(fm) if cookie_kind(fm.cookie) == KIND_SAMPLE
+        ));
+
+        // Edge and transit switches get nothing.
+        for s in topo.switches() {
+            if s.role == SwitchRole::Border {
+                continue;
+            }
+            let mut ctx = Ctx::new(SimTime::ZERO);
+            app.on_switch_up(&mut ctx, s.id.dpid());
+            assert_eq!(ctx.pending(), 0, "{}: no guard rules", s.name);
+        }
+    }
+
+    #[test]
+    fn sample_punt_tracks_source_and_installs_count_pair() {
+        let (topo, border) = world();
+        let mut app = guard(&topo, Obs::new());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        let pi = sample_pi(1, udp_frame(src, dst, 30));
+        assert_eq!(
+            app.on_packet_in(&mut ctx, border, &pi),
+            Disposition::Consumed
+        );
+        let msgs = ctx.take();
+        assert_eq!(msgs.len(), 2, "rx + tx count rules");
+        assert_eq!(
+            app.source_state(border, src),
+            Some(SourceState::Unvalidated)
+        );
+
+        // Second punt from the same source: charged, but no new rules.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, border, &pi);
+        assert_eq!(ctx.pending(), 0);
+        assert_eq!(app.stats.sources_tracked, 1);
+        assert_eq!(app.stats.samples, 2);
+
+        // Foreign punts pass through untouched.
+        let mut other = sample_pi(1, vec![]);
+        other.cookie = sav_core::SAV_COOKIE | 0xdead;
+        assert_eq!(
+            app.on_packet_in(&mut Ctx::new(SimTime::ZERO), border, &other),
+            Disposition::Continue
+        );
+    }
+
+    #[test]
+    fn amplified_counters_trigger_the_deny_pair_and_journal() {
+        let (topo, border) = world();
+        let obs = Obs::new();
+        let mut app = guard(&topo, obs.clone());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        app.on_packet_in(
+            &mut Ctx::new(SimTime::ZERO),
+            border,
+            &sample_pi(1, udp_frame(src, dst, 40)),
+        );
+
+        // A flow-stats reply showing 10× response bytes.
+        let reply = MultipartReplyBody::Flow(vec![
+            stats_entry(&border_rx_count(1, src), 100),
+            stats_entry(&border_tx_count(src), 5_000),
+        ]);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, border, &reply);
+        let denies: Vec<_> = ctx
+            .take()
+            .into_iter()
+            .filter_map(|(d, m)| match m {
+                Message::FlowMod(fm) if fm.priority == crate::PRIO_BORDER_DENY => Some((d, fm)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(denies.len(), 2, "inbound + outbound deny");
+        assert!(denies.iter().all(|(d, _)| *d == border));
+        assert_eq!(
+            app.source_state(border, src),
+            Some(SourceState::Quarantined)
+        );
+        assert_eq!(app.quarantined(), 1);
+        assert!(obs.journal.tail_jsonl(4).contains("amplification_deny"));
+        assert_eq!(
+            obs.gauges
+                .get(&format!("sav_border_quarantined{{dpid=\"{border}\"}}")),
+            Some(1.0)
+        );
+
+        // Deny-rule drops feed the denied-bytes counter on the next poll.
+        let reply = MultipartReplyBody::Flow(vec![
+            stats_entry(&border_deny_in(1, src, 10), 700),
+            stats_entry(&border_deny_out(src, 10), 1_300),
+        ]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        assert_eq!(obs.counters.get("sav_border_denied_bytes_total"), 2_000);
+
+        // Expiry releases the source and journals it; the second
+        // FLOW_REMOVED of the pair is a no-op.
+        for kind in [KIND_DENY_IN, KIND_DENY_OUT] {
+            let fr = FlowRemoved {
+                cookie: crate::border_cookie(kind, u32::from(src)),
+                priority: crate::PRIO_BORDER_DENY,
+                reason: FlowRemovedReason::HardTimeout,
+                table_id: 0,
+                duration_sec: 10,
+                duration_nsec: 0,
+                idle_timeout: 0,
+                hard_timeout: 10,
+                packet_count: 0,
+                byte_count: 0,
+                match_: OxmMatch::new(),
+            };
+            app.on_flow_removed(&mut Ctx::new(SimTime::ZERO), border, &fr);
+        }
+        assert_eq!(app.stats.releases, 1);
+        assert_eq!(
+            app.source_state(border, src),
+            Some(SourceState::Unvalidated)
+        );
+        assert!(obs.journal.tail_jsonl(1).contains("quarantine_expired"));
+    }
+
+    #[test]
+    fn balanced_source_validates_and_is_exempt() {
+        let (topo, border) = world();
+        let obs = Obs::new();
+        let mut app = guard(&topo, obs.clone());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let src: Ipv4Addr = "203.0.113.12".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        app.on_packet_in(
+            &mut Ctx::new(SimTime::ZERO),
+            border,
+            &sample_pi(1, udp_frame(src, dst, 40)),
+        );
+        for poll in 1..=5u64 {
+            let reply = MultipartReplyBody::Flow(vec![
+                stats_entry(&border_rx_count(1, src), poll * 4_000),
+                stats_entry(&border_tx_count(src), poll * 4_000),
+            ]);
+            let mut ctx = Ctx::new(SimTime::ZERO);
+            app.on_stats_reply(&mut ctx, border, &reply);
+            assert_eq!(ctx.pending(), 0, "no denies for a balanced source");
+        }
+        assert_eq!(app.source_state(border, src), Some(SourceState::Validated));
+        assert!(obs.journal.tail_jsonl(1).contains("source_validated"));
+        assert_eq!(obs.counters.get("sav_border_validated_total"), 1);
+    }
+
+    #[test]
+    fn allowlisted_source_is_never_denied() {
+        let (topo, border) = world();
+        let src: Ipv4Addr = "203.0.113.200".parse().unwrap();
+        let mut app = BorderGuardApp::new(
+            topo.clone(),
+            BorderConfig {
+                allowlist: vec![src],
+                ..BorderConfig::default()
+            },
+        );
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 1_000_000)]);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, border, &reply);
+        assert_eq!(ctx.pending(), 0);
+        assert_eq!(app.source_state(border, src), Some(SourceState::Validated));
+    }
+
+    #[test]
+    fn switch_restart_resets_the_epoch_without_phantom_bytes() {
+        let (topo, border) = world();
+        let mut app = guard(&topo, Obs::new());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let src: Ipv4Addr = "203.0.113.30".parse().unwrap();
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 50_000)]);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, border, &reply);
+        assert!(ctx.pending() > 0, "denied before restart");
+
+        // Reconnect: budgets and counter baselines reset.
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        assert_eq!(app.quarantined(), 0);
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 100)]);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, border, &reply);
+        assert_eq!(ctx.pending(), 0, "small absolute after reset, no deny");
+    }
+}

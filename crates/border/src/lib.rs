@@ -1,0 +1,248 @@
+//! # sav-border — anti-amplification defense at border switches
+//!
+//! The outbound/inbound SAV rules in `sav-core` stop *spoofed* packets,
+//! but a network full of honest-looking amplifiers (open resolvers, NTP
+//! servers) can still be weaponized: a spoofed query enters the border,
+//! the amplified response leaves toward the victim, and every rule on the
+//! path is happy. This crate adds the missing stage — RFC 9000 §8's
+//! address-validation budget applied at the network edge: until an
+//! external source proves it can receive (sustained bidirectional
+//! exchange), the network will send it at most **N× the bytes it
+//! received from it** (N = 3 by default).
+//!
+//! ## Mechanism
+//!
+//! [`BorderGuardApp`] overlays three rule families on a border switch's
+//! validation table (all below `PRIO_ISAV_DENY`, so impossible-source
+//! packets still die first, and all inside the SAV cookie space, so the
+//! existing [`sav_core::StatsPollerApp`] flow-stats request sweeps them
+//! up for free):
+//!
+//! | priority | match | action |
+//! |---|---|---|
+//! | 34000 [`PRIO_BORDER_DENY`] | `(in_port, ipv4_src=S)` / `ipv4_dst=S` | drop (hard timeout) |
+//! | 33000 [`PRIO_BORDER_COUNT`] | `(in_port, ipv4_src=S)` / `ipv4_dst=S` | count + `goto` forwarding |
+//! | 32000 [`PRIO_BORDER_SAMPLE`] | `(in_port=border, eth_type=IPv4)` | copy to controller + `goto` |
+//!
+//! The sample rule punts a copy of the *first* packet from each new
+//! external source; the guard then installs the per-source count pair and
+//! never hears about that source again except through byte counters. Each
+//! flow-stats reply turns counter deltas into [`budget::BudgetTable`]
+//! updates and runs one budget tick; a violation installs the deny pair
+//! with `SEND_FLOW_REM` and an exponentially escalating hard timeout, and
+//! the FLOW_REMOVED on expiry reopens the budget epoch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod guard;
+
+pub use budget::{BudgetConfig, BudgetTable, SourceState, Verdict};
+pub use guard::BorderGuardApp;
+
+use sav_controller::TABLE_FWD;
+use sav_core::{SAV_COOKIE, SAV_COOKIE_MASK};
+use sav_openflow::consts::{flow_mod_flags, port as ofport};
+use sav_openflow::messages::FlowMod;
+use sav_openflow::oxm::{OxmField, OxmMatch};
+use sav_openflow::prelude::{Action, Instruction};
+use std::net::Ipv4Addr;
+
+/// Priority of the temporary quarantine denies (below `PRIO_ISAV_DENY`).
+pub const PRIO_BORDER_DENY: u16 = 34_000;
+/// Priority of the per-source byte-count rules.
+pub const PRIO_BORDER_COUNT: u16 = 33_000;
+/// Priority of the per-border-port first-packet sample rule.
+pub const PRIO_BORDER_SAMPLE: u16 = 32_000;
+
+/// Cookie kind (bits 32..48) of the sample rule; low bits carry the port.
+pub const KIND_SAMPLE: u64 = 0xb05a;
+/// Cookie kind of an inbound (`ipv4_src`) count rule; low bits = source IP.
+pub const KIND_RX_COUNT: u64 = 0xb001;
+/// Cookie kind of an outbound (`ipv4_dst`) count rule; low bits = source IP.
+pub const KIND_TX_COUNT: u64 = 0xb002;
+/// Cookie kind of the inbound quarantine deny; low bits = source IP.
+pub const KIND_DENY_IN: u64 = 0xb00d;
+/// Cookie kind of the outbound quarantine deny; low bits = source IP.
+pub const KIND_DENY_OUT: u64 = 0xb00e;
+
+/// Compose a border-guard cookie: SAV ownership tag, kind, 32 payload bits.
+pub fn border_cookie(kind: u64, low: u32) -> u64 {
+    SAV_COOKIE | (kind << 32) | u64::from(low)
+}
+
+/// The kind bits of a SAV-tagged cookie (0 for non-border SAV rules).
+pub fn cookie_kind(cookie: u64) -> u64 {
+    (cookie >> 32) & 0xffff
+}
+
+/// True when `cookie` belongs to the SAV cookie space at all.
+pub fn is_sav_cookie(cookie: u64) -> bool {
+    cookie & SAV_COOKIE_MASK == SAV_COOKIE
+}
+
+/// First-packet sampler for one border port: copy IPv4 arrivals to the
+/// controller *and* continue to forwarding — sampling must never delay or
+/// drop traffic.
+pub fn border_sample(port: u32) -> FlowMod {
+    FlowMod {
+        priority: PRIO_BORDER_SAMPLE,
+        cookie: border_cookie(KIND_SAMPLE, port),
+        instructions: vec![
+            Instruction::ApplyActions(vec![Action::output(ofport::CONTROLLER)]),
+            Instruction::GotoTable(TABLE_FWD),
+        ],
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::InPort(port))
+                .with(OxmField::EthType(0x0800)),
+        )
+    }
+}
+
+/// Count bytes arriving on border `port` from external source `src`.
+/// Sits above the sampler so established sources stop punting.
+pub fn border_rx_count(port: u32, src: Ipv4Addr) -> FlowMod {
+    FlowMod {
+        priority: PRIO_BORDER_COUNT,
+        cookie: border_cookie(KIND_RX_COUNT, u32::from(src)),
+        instructions: vec![Instruction::GotoTable(TABLE_FWD)],
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::InPort(port))
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src(src, None)),
+        )
+    }
+}
+
+/// Count bytes leaving the network toward external source `src` (no
+/// in_port: responses may exit through any path to the border).
+pub fn border_tx_count(src: Ipv4Addr) -> FlowMod {
+    FlowMod {
+        priority: PRIO_BORDER_COUNT,
+        cookie: border_cookie(KIND_TX_COUNT, u32::from(src)),
+        instructions: vec![Instruction::GotoTable(TABLE_FWD)],
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Dst(src, None)),
+        )
+    }
+}
+
+/// Quarantine, inbound half: drop further packets claiming `src` on the
+/// border port. `SEND_FLOW_REM` + hard timeout implement the release.
+pub fn border_deny_in(port: u32, src: Ipv4Addr, timeout_secs: u16) -> FlowMod {
+    FlowMod {
+        priority: PRIO_BORDER_DENY,
+        cookie: border_cookie(KIND_DENY_IN, u32::from(src)),
+        hard_timeout: timeout_secs,
+        flags: flow_mod_flags::SEND_FLOW_REM,
+        instructions: vec![],
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::InPort(port))
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src(src, None)),
+        )
+    }
+}
+
+/// Quarantine, outbound half: drop responses heading toward `src` — this
+/// is the half that actually caps the bytes a reflection victim receives.
+pub fn border_deny_out(src: Ipv4Addr, timeout_secs: u16) -> FlowMod {
+    FlowMod {
+        priority: PRIO_BORDER_DENY,
+        cookie: border_cookie(KIND_DENY_OUT, u32::from(src)),
+        hard_timeout: timeout_secs,
+        flags: flow_mod_flags::SEND_FLOW_REM,
+        instructions: vec![],
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Dst(src, None)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sav_core::PRIO_ISAV_DENY;
+
+    fn ip() -> Ipv4Addr {
+        "198.51.100.7".parse().unwrap()
+    }
+
+    #[test]
+    fn sample_copies_and_forwards() {
+        let fm = border_sample(3);
+        assert_eq!(fm.priority, PRIO_BORDER_SAMPLE);
+        assert_eq!(fm.match_.in_port(), Some(3));
+        assert!(fm.match_.validate_prerequisites().is_ok());
+        assert_eq!(fm.instructions.len(), 2, "punt copy, then goto");
+        assert!(matches!(
+            &fm.instructions[0],
+            Instruction::ApplyActions(a) if a[0] == Action::output(ofport::CONTROLLER)
+        ));
+        assert_eq!(fm.instructions[1], Instruction::GotoTable(TABLE_FWD));
+        assert_eq!(cookie_kind(fm.cookie), KIND_SAMPLE);
+        assert_eq!(fm.cookie & 0xffff_ffff, 3);
+    }
+
+    #[test]
+    fn count_pair_shape() {
+        let rx = border_rx_count(2, ip());
+        let tx = border_tx_count(ip());
+        for fm in [&rx, &tx] {
+            assert_eq!(fm.priority, PRIO_BORDER_COUNT);
+            assert!(fm.match_.validate_prerequisites().is_ok());
+            assert_eq!(fm.instructions, vec![Instruction::GotoTable(TABLE_FWD)]);
+            assert_eq!(fm.cookie & 0xffff_ffff, u64::from(u32::from(ip())));
+            assert!(is_sav_cookie(fm.cookie));
+        }
+        assert_eq!(rx.match_.in_port(), Some(2));
+        assert_eq!(tx.match_.in_port(), None, "responses exit via any port");
+        assert_ne!(cookie_kind(rx.cookie), cookie_kind(tx.cookie));
+    }
+
+    #[test]
+    fn deny_pair_drops_with_timeout_and_notification() {
+        let din = border_deny_in(2, ip(), 40);
+        let dout = border_deny_out(ip(), 40);
+        for fm in [&din, &dout] {
+            assert_eq!(fm.priority, PRIO_BORDER_DENY);
+            assert!(fm.priority < PRIO_ISAV_DENY, "impossible sources die first");
+            assert!(fm.instructions.is_empty(), "no instructions = drop");
+            assert_eq!(fm.hard_timeout, 40);
+            assert_eq!(fm.flags & flow_mod_flags::SEND_FLOW_REM, 1);
+            assert!(fm.match_.validate_prerequisites().is_ok());
+        }
+        assert_eq!(din.match_.in_port(), Some(2));
+        assert_eq!(dout.match_.in_port(), None);
+    }
+
+    #[test]
+    fn kinds_do_not_collide_with_core_cookie_tags() {
+        // Core rules use kind bits 0x0000 (most) or 0xffff (prefix allow);
+        // the border kinds must stay clear of both.
+        for kind in [
+            KIND_SAMPLE,
+            KIND_RX_COUNT,
+            KIND_TX_COUNT,
+            KIND_DENY_IN,
+            KIND_DENY_OUT,
+        ] {
+            assert_ne!(kind, 0x0000);
+            assert_ne!(kind, 0xffff);
+        }
+        assert_eq!(cookie_kind(SAV_COOKIE | 0xdead), 0, "core edge-deny punt");
+        assert_eq!(
+            cookie_kind(SAV_COOKIE | 0x0000_ffff_0000_0000),
+            0xffff,
+            "core prefix allow"
+        );
+    }
+}

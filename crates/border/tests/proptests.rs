@@ -1,0 +1,147 @@
+//! Property tests for the budget accounting (ISSUE 6): for *any*
+//! interleaving of rx/tx byte deltas and poll ticks,
+//!
+//! 1. the guard never denies a source whose cumulative `tx ≤ N × rx`
+//!    (no false positives, ever), and
+//! 2. once the limit is crossed, an unvalidated source is denied within
+//!    one tick (no silent amplification window).
+//!
+//! The test replays the op sequence against an independent model of the
+//! cumulative byte totals and the exemption state, and checks every tick's
+//! verdicts against it.
+
+use proptest::prelude::*;
+use sav_border::budget::{BudgetConfig, BudgetTable, SourceState, Verdict};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Rx { src: u8, bytes: u64 },
+    Tx { src: u8, bytes: u64 },
+    Tick,
+    Release { src: u8 },
+}
+
+fn ip(src: u8) -> Ipv4Addr {
+    Ipv4Addr::new(203, 0, 113, src)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u8..4, 1u64..20_000).prop_map(|(src, bytes)| Op::Rx { src, bytes }),
+        4 => (0u8..4, 1u64..20_000).prop_map(|(src, bytes)| Op::Tx { src, bytes }),
+        3 => Just(Op::Tick),
+        1 => (0u8..4).prop_map(|src| Op::Release { src }),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = BudgetConfig> {
+    (1u64..6, 0u64..4_000, 1u32..8, 0u64..30_000).prop_map(|(limit, grace, polls, min_bytes)| {
+        BudgetConfig {
+            amplification_limit: limit,
+            grace_bytes: grace,
+            validation_polls: polls,
+            validation_min_bytes: min_bytes,
+            quarantine_base_secs: 10,
+            quarantine_max_secs: 600,
+        }
+    })
+}
+
+/// Independent model of one source's epoch totals and exemption state.
+#[derive(Debug, Default, Clone, Copy)]
+struct Model {
+    rx: u64,
+    tx: u64,
+    validated: bool,
+    quarantined: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn budget_never_false_positives_and_always_denies_on_violation(
+        cfg in arb_cfg(),
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let mut table = BudgetTable::new(cfg);
+        let mut model: BTreeMap<u8, Model> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Rx { src, bytes } => {
+                    table.observe_rx(ip(src), 1, bytes);
+                    model.entry(src).or_default().rx += bytes;
+                }
+                Op::Tx { src, bytes } => {
+                    table.observe_tx(ip(src), bytes);
+                    model.entry(src).or_default().tx += bytes;
+                }
+                Op::Release { src } => {
+                    let released = table.release(ip(src));
+                    let m = model.entry(src).or_default();
+                    prop_assert_eq!(released, m.quarantined,
+                        "release must succeed exactly for quarantined sources");
+                    if released {
+                        *m = Model { validated: false, quarantined: false, rx: 0, tx: 0 };
+                    }
+                }
+                Op::Tick => {
+                    let verdicts = table.tick();
+                    // (1) No false positives: every deny was a real
+                    // violation of tx > N×rx at this instant.
+                    for v in &verdicts {
+                        if let Verdict::Deny { src, rx_bytes, tx_bytes, .. } = v {
+                            prop_assert!(
+                                *tx_bytes > cfg.amplification_limit * *rx_bytes,
+                                "denied {src} with tx={tx_bytes} ≤ {}×rx={rx_bytes}",
+                                cfg.amplification_limit
+                            );
+                            prop_assert!(*tx_bytes >= cfg.grace_bytes);
+                            let m = model.get(&src.octets()[3]).copied().unwrap_or_default();
+                            prop_assert_eq!((m.rx, m.tx), (*rx_bytes, *tx_bytes),
+                                "table and model byte totals agree");
+                            prop_assert!(!m.validated, "validated sources are exempt");
+                        }
+                    }
+                    // (2) Completeness: every unvalidated, unquarantined
+                    // source over the limit is denied by THIS tick.
+                    for (&s, m) in &model {
+                        let violating = m.tx > cfg.amplification_limit * m.rx
+                            && m.tx >= cfg.grace_bytes;
+                        if violating && !m.validated && !m.quarantined {
+                            prop_assert!(
+                                verdicts.iter().any(|v| matches!(
+                                    v, Verdict::Deny { src, .. } if *src == ip(s))),
+                                "source {s} crossed the limit (rx={} tx={}) but was not denied",
+                                m.rx, m.tx
+                            );
+                        }
+                    }
+                    // Fold the verdicts back into the model.
+                    for v in verdicts {
+                        match v {
+                            Verdict::Deny { src, .. } => {
+                                model.entry(src.octets()[3]).or_default().quarantined = true;
+                            }
+                            Verdict::Validated { src } => {
+                                model.entry(src.octets()[3]).or_default().validated = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // End-state agreement on quarantine counts.
+        let quarantined_model = model.values().filter(|m| m.quarantined).count();
+        prop_assert_eq!(table.quarantined(), quarantined_model);
+        for (&s, m) in &model {
+            if m.quarantined {
+                prop_assert_eq!(table.state(ip(s)), Some(SourceState::Quarantined));
+            }
+        }
+    }
+}

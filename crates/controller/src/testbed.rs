@@ -522,6 +522,16 @@ impl Testbed {
         }
     }
 
+    /// Fire one controller poll tick ([`crate::Controller::poll_tick`]):
+    /// every app's `on_poll` runs for every ready switch and the resulting
+    /// requests (stats poller multiparts, etc.) are routed to the switches.
+    /// Replies come back through the normal event flow — interleave with
+    /// `run_until` to model a periodic poll interval.
+    pub fn poll_tick(&mut self, now: SimTime) {
+        let out = self.controller.poll_tick(now);
+        self.route_controller_output(now, out);
+    }
+
     /// Drive workload commands directly through the app-visible controller
     /// send path (used by SAV apps that need to pre-install static config).
     pub fn controller_send(

@@ -18,7 +18,7 @@ use crate::rules;
 use crate::{SAV_COOKIE, SAV_COOKIE_MASK};
 use sav_controller::app::{App, Ctx, Disposition};
 use sav_metrics::Counters;
-use sav_net::addr::{Ipv4Cidr, MacAddr};
+use sav_net::addr::{Ipv4Cidr, Ipv6Cidr, MacAddr};
 use sav_net::dhcpv4::{DhcpMessageType, DhcpRepr, DHCP_SERVER_PORT};
 use sav_net::packet::{L4Info, ParsedPacket};
 use sav_obs::{EventKind, Obs, Severity, Span};
@@ -115,6 +115,57 @@ pub struct SavConfig {
     /// partial deployment: e.g. only the attacker's network deploys SAV in
     /// the reflection case study.
     pub enforced_ases: Option<Vec<u32>>,
+    /// IPv6 prefixes internal to each enforced network: every border port
+    /// gets an `isav_deny_v6` per prefix, alongside the IPv4 denies derived
+    /// from the topology's subnet plan (the v6 address plan is static
+    /// configuration, as noted in [`rules::binding_allow_v6`]).
+    pub internal_v6_prefixes: Vec<Ipv6Cidr>,
+    /// Enable the anti-amplification border guard (the `sav-border` crate)
+    /// with this configuration. `None` leaves the rule set byte-identical
+    /// to a guard-less deployment.
+    pub border: Option<BorderConfig>,
+}
+
+/// Configuration of the anti-amplification border guard. Lives in sav-core
+/// so [`SavConfig`] can carry it; the enforcement app consuming it is
+/// `sav_border::BorderGuardApp` (sav-border depends on sav-core, not the
+/// other way around).
+#[derive(Debug, Clone)]
+pub struct BorderConfig {
+    /// `N`: quarantine a source once response bytes exceed `N×` its
+    /// received bytes (RFC 9000 §8 uses 3).
+    pub amplification_limit: u64,
+    /// Never quarantine before this many response bytes (absorbs a single
+    /// fat first response).
+    pub grace_bytes: u64,
+    /// Poll ticks of clean bidirectional exchange before a source is
+    /// validated (exempt).
+    pub validation_polls: u32,
+    /// Minimum cumulative inbound bytes before validation.
+    pub validation_min_bytes: u64,
+    /// First-offense quarantine, seconds.
+    pub quarantine_base_secs: u16,
+    /// Ceiling of the exponential re-offense escalation, seconds.
+    pub quarantine_max_secs: u16,
+    /// Sources exempted up front (peering partners, monitoring probes).
+    pub allowlist: Vec<Ipv4Addr>,
+    /// Observability handle for guard events, counters, and gauges.
+    pub obs: Option<Obs>,
+}
+
+impl Default for BorderConfig {
+    fn default() -> Self {
+        BorderConfig {
+            amplification_limit: 3,
+            grace_bytes: 1500,
+            validation_polls: 5,
+            validation_min_bytes: 10_000,
+            quarantine_base_secs: 10,
+            quarantine_max_secs: 600,
+            allowlist: vec![],
+            obs: None,
+        }
+    }
 }
 
 impl Default for SavConfig {
@@ -132,6 +183,8 @@ impl Default for SavConfig {
             dynamic_idle_timeout: 60,
             trusted_dhcp_ports: vec![],
             enforced_ases: None,
+            internal_v6_prefixes: vec![],
+            border: None,
         }
     }
 }
@@ -798,6 +851,10 @@ impl App for SavApp {
                     ctx.install(dpid, rules::isav_deny(port, prefix));
                     self.stats.rules_installed += 1;
                 }
+                for &prefix in &self.config.internal_v6_prefixes {
+                    ctx.install(dpid, rules::isav_deny_v6(port, prefix));
+                    self.stats.rules_installed += 1;
+                }
             }
         }
         // Outbound SAV at edges.
@@ -1346,6 +1403,94 @@ mod tests {
         assert_eq!(fms.len(), 1);
         assert_eq!(fms[0].1.priority, crate::PRIO_ISAV_DENY);
         assert!(fms[0].1.instructions.is_empty());
+    }
+
+    #[test]
+    fn isav_rules_cover_multihomed_borders_and_all_internal_subnets() {
+        // A dual-homed border in front of two internal subnets gets a deny
+        // per (border port, internal prefix) pair — the internal cross-link
+        // and the edge links get none.
+        let mut t = Topology::new();
+        let b = t.add_switch("b", SwitchRole::Border, 0);
+        let e1 = t.add_switch("e1", SwitchRole::Edge, 0);
+        let e2 = t.add_switch("e2", SwitchRole::Edge, 0);
+        let up1 = t.add_switch("up1", SwitchRole::Core, 1);
+        let up2 = t.add_switch("up2", SwitchRole::Core, 2);
+        t.link_switches(b, e1); // b:1, internal
+        t.link_switches(b, e2); // b:2, internal
+        t.link_switches(b, up1); // b:3, cross-AS
+        t.link_switches(b, up2); // b:4, cross-AS
+        t.attach_host(
+            "h1",
+            e1,
+            "10.0.1.5".parse().unwrap(),
+            "10.0.1.0/24".parse().unwrap(),
+        );
+        t.attach_host(
+            "h2",
+            e2,
+            "10.0.2.5".parse().unwrap(),
+            "10.0.2.0/24".parse().unwrap(),
+        );
+        let dpid = b.dpid();
+        let mut app = SavApp::new(Arc::new(t), SavConfig::default());
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        let fms = flow_mods(ctx);
+        assert_eq!(fms.len(), 4, "2 border ports × 2 internal subnets");
+        let ports: std::collections::HashSet<u32> = fms
+            .iter()
+            .filter_map(|(_, fm)| fm.match_.in_port())
+            .collect();
+        assert_eq!(ports, [3, 4].into(), "only the cross-AS ports");
+        for (_, fm) in &fms {
+            assert_eq!(fm.priority, crate::PRIO_ISAV_DENY);
+            assert!(fm.instructions.is_empty());
+            assert!(fm.match_.validate_prerequisites().is_ok());
+        }
+    }
+
+    #[test]
+    fn isav_v6_rules_follow_the_configured_internal_prefixes() {
+        let m = generators::multi_as(2, 2);
+        let topo = Arc::new(m.topo);
+        let cfg = SavConfig {
+            internal_v6_prefixes: vec![
+                "2001:db8:1::/48".parse().unwrap(),
+                "2001:db8:2::/48".parse().unwrap(),
+            ],
+            ..SavConfig::default()
+        };
+        let mut app = SavApp::new(topo.clone(), cfg.clone());
+        let (border, edge) = m.borders[0];
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, border.dpid());
+        let fms = flow_mods(ctx);
+        // One v4 subnet + two v6 prefixes, on the single border port.
+        assert_eq!(fms.len(), 3);
+        let v6: Vec<_> = fms
+            .iter()
+            .filter(|(_, fm)| {
+                fm.match_
+                    .fields()
+                    .iter()
+                    .any(|f| matches!(f, OxmField::EthType(0x86dd)))
+            })
+            .collect();
+        assert_eq!(v6.len(), 2, "one isav_deny_v6 per configured prefix");
+        for (_, fm) in v6 {
+            assert_eq!(fm.priority, crate::PRIO_ISAV_DENY);
+            assert!(fm.instructions.is_empty());
+            assert_eq!(fm.cookie, SAV_COOKIE | 0x615a5);
+            assert!(fm.match_.validate_prerequisites().is_ok());
+        }
+        // The v6 denies are a border-only concern: the AS's edge switch
+        // installs its usual outbound rule set but no iSAV denies.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, edge.dpid());
+        assert!(flow_mods(ctx)
+            .iter()
+            .all(|(_, fm)| fm.priority != crate::PRIO_ISAV_DENY));
     }
 
     fn entry_of(fm: &sav_openflow::messages::FlowMod) -> FlowStatsEntry {

@@ -43,7 +43,7 @@ pub mod binding;
 pub mod poller;
 pub mod rules;
 
-pub use app::{SavApp, SavConfig, SavMode, SavStats};
+pub use app::{BorderConfig, SavApp, SavConfig, SavMode, SavStats};
 pub use binding::{Binding, BindingChange, BindingSource, BindingTable};
 pub use poller::{SavRecord, SpoofSource, StatsPollerApp};
 

@@ -36,6 +36,15 @@ pub enum HostApp {
         /// Approximate response/request size ratio.
         amplification: usize,
     },
+    /// A generic UDP amplifier: any datagram arriving on `port` is answered
+    /// with a padded reply `amplification` times the request size. Models
+    /// non-DNS reflectors (NTP monlist on 123, SSDP on 1900, ...).
+    UdpAmplifier {
+        /// Listening port.
+        port: u16,
+        /// Approximate response/request size ratio.
+        amplification: usize,
+    },
     /// A DHCP server managing one address pool. Runs as a regular host so
     /// that DHCP traffic crosses the data plane, where SAV snooping rules
     /// can genuinely observe it.
@@ -575,6 +584,19 @@ impl Host {
                 }
             }
             HostApp::DnsResolver { .. } => {}
+            HostApp::UdpAmplifier {
+                port,
+                amplification,
+            } if *port == local_port => {
+                let target = payload
+                    .len()
+                    .saturating_mul(*amplification)
+                    .max(payload.len())
+                    .min(4096);
+                let reply = vec![b'A'; target];
+                out.merge(self.send_udp(peer_ip, local_port, peer_port, &reply, SpoofMode::None));
+            }
+            HostApp::UdpAmplifier { .. } => {}
             // DHCP is handled before UDP delivery in on_frame.
             HostApp::DhcpServer(_) => {}
         }
@@ -710,6 +732,56 @@ mod tests {
             out.tx[0].len(),
             ro.tx[0].len()
         );
+    }
+
+    #[test]
+    fn udp_amplifier_reflects_on_its_port_only() {
+        let mut ntp = host(
+            "10.0.0.123",
+            123,
+            HostApp::UdpAmplifier {
+                port: 123,
+                amplification: 20,
+            },
+        );
+        ntp.learn_arp("203.0.113.7".parse().unwrap(), MacAddr::from_index(7));
+        let mut bot = host("10.0.0.66", 66, HostApp::Sink);
+        bot.learn_arp("10.0.0.123".parse().unwrap(), MacAddr::from_index(123));
+        // monlist-style tiny query, source spoofed to the victim.
+        let out = bot.send_udp(
+            "10.0.0.123".parse().unwrap(),
+            40000,
+            123,
+            b"\x17\x00\x03\x2a",
+            SpoofMode::Ipv4("203.0.113.7".parse().unwrap()),
+        );
+        let ro = ntp.on_frame(&out.tx[0]);
+        assert_eq!(ro.tx.len(), 1, "amplified reply emitted");
+        let resp = ParsedPacket::parse(&ro.tx[0]).unwrap();
+        assert_eq!(resp.ipv4_dst(), Some("203.0.113.7".parse().unwrap()));
+        assert_eq!(resp.l4_src_port(), Some(123));
+        // x20 applies to the UDP payload: 4-byte query -> 80-byte reply.
+        assert_eq!(ro.tx[0].len(), 42 + 4 * 20, "payload-level amplification");
+        // Off-port traffic is delivered but never answered, and the reply
+        // size is capped so huge requests don't explode.
+        let out = bot.send_udp(
+            "10.0.0.123".parse().unwrap(),
+            40000,
+            124,
+            b"x",
+            SpoofMode::None,
+        );
+        assert!(ntp.on_frame(&out.tx[0]).tx.is_empty());
+        let big = vec![0u8; 2000];
+        let out = bot.send_udp(
+            "10.0.0.123".parse().unwrap(),
+            40000,
+            123,
+            &big,
+            SpoofMode::None,
+        );
+        let ro = ntp.on_frame(&out.tx[0]);
+        assert!(ro.tx[0].len() <= 4096 + 42, "reply payload capped at 4096");
     }
 
     #[test]

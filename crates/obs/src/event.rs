@@ -173,6 +173,38 @@ pub enum EventKind {
         /// Why the link was dropped.
         reason: &'static str,
     },
+    /// The border guard quarantined an external source for exceeding the
+    /// anti-amplification limit.
+    AmplificationDeny {
+        /// Border switch installing the deny.
+        dpid: u64,
+        /// Border port the source was seen on (0 if unknown).
+        port: u32,
+        /// The quarantined source address.
+        src: String,
+        /// Bytes received from it this epoch.
+        rx_bytes: u64,
+        /// Bytes sent back toward it this epoch.
+        tx_bytes: u64,
+        /// Quarantine length, seconds (escalates on re-offense).
+        timeout_secs: u64,
+    },
+    /// A border quarantine timed out at the switch; the source may try
+    /// again with a fresh byte budget.
+    QuarantineExpired {
+        /// Border switch the deny expired on.
+        dpid: u64,
+        /// The released source address.
+        src: String,
+    },
+    /// An external source completed address validation (sustained
+    /// bidirectional exchange) and is now exempt from the limit.
+    SourceValidated {
+        /// Border switch that validated it.
+        dpid: u64,
+        /// The validated source address.
+        src: String,
+    },
 }
 
 impl EventKind {
@@ -197,6 +229,9 @@ impl EventKind {
             EventKind::FailoverCompleted { .. } => "failover_completed",
             EventKind::RoleRejected { .. } => "role_rejected",
             EventKind::ClusterLinkDropped { .. } => "cluster_link_dropped",
+            EventKind::AmplificationDeny { .. } => "amplification_deny",
+            EventKind::QuarantineExpired { .. } => "quarantine_expired",
+            EventKind::SourceValidated { .. } => "source_validated",
         }
     }
 
@@ -302,6 +337,26 @@ impl EventKind {
             EventKind::ClusterLinkDropped { peer, reason } => {
                 n(out, "peer", *peer);
                 s(out, "reason", reason);
+            }
+            EventKind::AmplificationDeny {
+                dpid,
+                port,
+                src,
+                rx_bytes,
+                tx_bytes,
+                timeout_secs,
+            } => {
+                n(out, "dpid", *dpid);
+                n(out, "port", u64::from(*port));
+                s(out, "src", src);
+                n(out, "rx_bytes", *rx_bytes);
+                n(out, "tx_bytes", *tx_bytes);
+                n(out, "timeout_secs", *timeout_secs);
+            }
+            EventKind::QuarantineExpired { dpid, src }
+            | EventKind::SourceValidated { dpid, src } => {
+                n(out, "dpid", *dpid);
+                s(out, "src", src);
             }
         }
     }

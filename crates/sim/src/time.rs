@@ -43,6 +43,21 @@ impl SimTime {
         SimTime(s.saturating_mul(1_000_000_000))
     }
 
+    /// Construct from fractional seconds; negative or non-finite values
+    /// clamp to [`SimTime::ZERO`], values beyond `u64::MAX` nanoseconds
+    /// clamp to [`SimTime::MAX`].
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
     /// The raw nanosecond count since simulation start.
     pub const fn as_nanos(self) -> u64 {
         self.0
@@ -270,6 +285,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_nanos(), 1_500_000_000);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::NAN), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs_f64(f64::INFINITY), SimTime::MAX);
         let d = SimDuration::from_millis(1500);
         assert!((d.as_secs_f64() - 1.5).abs() < 1e-12);
         assert!((d.as_millis_f64() - 1500.0).abs() < 1e-9);

@@ -386,4 +386,48 @@ mod tests {
         assert_eq!(t.border_ports(b), vec![2]);
         assert_eq!(t.border_ports(inner), Vec::<u32>::new());
     }
+
+    #[test]
+    fn border_ports_multi_homed_and_multi_border() {
+        // One AS with two border switches; b1 is dual-homed to two distinct
+        // upstream ASes, and an intra-AS cross-link between the borders is
+        // a trunk port but not a border port.
+        let mut t = Topology::new();
+        let b1 = t.add_switch("b1", SwitchRole::Border, 0);
+        let b2 = t.add_switch("b2", SwitchRole::Border, 0);
+        let edge = t.add_switch("edge", SwitchRole::Edge, 0);
+        let up1 = t.add_switch("up1", SwitchRole::Core, 1);
+        let up2 = t.add_switch("up2", SwitchRole::Core, 2);
+        t.link_switches(b1, b2); // b1:1 <-> b2:1, intra-AS
+        t.link_switches(b1, edge); // b1:2
+        t.link_switches(b1, up1); // b1:3, cross-AS
+        t.link_switches(b1, up2); // b1:4, cross-AS
+        t.link_switches(b2, up2); // b2:2, cross-AS
+        t.link_switches(b2, edge); // b2:3
+
+        assert_eq!(t.border_ports(b1), vec![3, 4], "both upstream links");
+        assert_eq!(t.border_ports(b2), vec![2]);
+        assert_eq!(t.trunk_ports(b1), vec![1, 2, 3, 4], "trunks ⊇ borders");
+        assert_eq!(t.border_ports(edge), Vec::<u32>::new());
+        // Symmetric view: the upstreams see their links back as borders too.
+        assert_eq!(t.border_ports(up1), vec![1]);
+        assert_eq!(t.border_ports(up2), vec![1, 2]);
+    }
+
+    #[test]
+    fn subnets_of_as_with_multiple_internal_networks() {
+        let mut t = Topology::new();
+        let b = t.add_switch("b", SwitchRole::Border, 7);
+        let e1 = t.add_switch("e1", SwitchRole::Edge, 7);
+        let e2 = t.add_switch("e2", SwitchRole::Edge, 7);
+        t.link_switches(b, e1);
+        t.link_switches(b, e2);
+        let net1: Ipv4Cidr = "10.7.1.0/24".parse().unwrap();
+        let net2: Ipv4Cidr = "10.7.2.0/24".parse().unwrap();
+        t.attach_host("h1", e1, "10.7.1.5".parse().unwrap(), net1);
+        t.attach_host("h2", e2, "10.7.2.5".parse().unwrap(), net2);
+        t.attach_host("h3", e2, "10.7.2.6".parse().unwrap(), net2);
+        assert_eq!(t.subnets_of_as(7), vec![net1, net2], "deduplicated");
+        assert_eq!(t.subnets_of_as(99), Vec::<Ipv4Cidr>::new());
+    }
 }

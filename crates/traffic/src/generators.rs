@@ -206,6 +206,137 @@ pub fn reflection(
     sched
 }
 
+/// NTP reflection: each bot fires tiny monlist-style queries (port 123) at
+/// the amplifiers, sources spoofed to `victim_ip`, Poisson-at-`rate` per
+/// bot. Pair with a `UdpAmplifier { port: 123, .. }` host app so the
+/// responses converge on the victim.
+pub fn ntp_reflection(
+    topo: &Topology,
+    bots: &[usize],
+    amplifiers: &[usize],
+    victim_ip: Ipv4Addr,
+    rate: f64,
+    duration: SimDuration,
+    seed: u64,
+) -> Schedule {
+    assert!(!amplifiers.is_empty(), "ntp_reflection needs amplifiers");
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    let mut seq = 0u32;
+    for &bot in bots {
+        let mut rng = root.fork(&format!("ntp-bot-{bot}"));
+        let mean_gap = SimDuration::from_secs_f64(1.0 / rate.max(1e-9));
+        let mut t = SimTime::ZERO + rng.exp_duration(mean_gap);
+        while t < SimTime::ZERO + duration {
+            let amp = amplifiers[rng.index(amplifiers.len())];
+            seq = seq.wrapping_add(1);
+            sched.ops.push((
+                t,
+                TrafficOp::Udp {
+                    host: bot,
+                    dst_ip: topo.hosts()[amp].ip,
+                    src_port: 123,
+                    dst_port: 123,
+                    // mode 7 / MON_GETLIST_1 request shape: 8 opcode bytes.
+                    payload: vec![0x17, 0x00, 0x03, 0x2a, 0, 0, 0, 0],
+                    spoof: SpoofKind::Ip(victim_ip),
+                },
+            ));
+            t += rng.exp_duration(mean_gap);
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+/// Spoofed port scan: each attacker sweeps `probes` sequential destination
+/// ports on every victim host with tiny spoofed probes, uniformly spread
+/// over `duration`. Low-and-slow: exercises SAV breadth (many distinct
+/// 5-tuples) rather than volume.
+pub fn spoofed_scan(
+    topo: &Topology,
+    attackers: &[usize],
+    strategy: SpoofStrategy,
+    probes: u16,
+    duration: SimDuration,
+    seed: u64,
+) -> Schedule {
+    let root = SimRng::new(seed);
+    let mut sched = Schedule::new();
+    let mut flow_id = 0xc000_0000u32;
+    for &a in attackers {
+        let mut rng = root.fork(&format!("scan-{a}"));
+        let victims: Vec<usize> = (0..topo.hosts().len()).filter(|&v| v != a).collect();
+        if victims.is_empty() {
+            continue;
+        }
+        let total = probes as u64 * victims.len() as u64;
+        let gap = SimDuration::from_nanos(duration.as_nanos() / total.max(1));
+        let mut t = SimTime::ZERO;
+        for p in 0..probes {
+            for &v in &victims {
+                let spoof_src = spoofed_ip(strategy, topo, a, &mut rng);
+                flow_id = flow_id.wrapping_add(1);
+                sched.ops.push((
+                    t,
+                    TrafficOp::Udp {
+                        host: a,
+                        dst_ip: topo.hosts()[v].ip,
+                        src_port: 40_000 + (flow_id % 10_000) as u16,
+                        dst_port: 1024 + p,
+                        payload: tag::payload(TrafficClass::Spoofed, flow_id, 8),
+                        spoof: SpoofKind::Ip(spoof_src),
+                    },
+                ));
+                t += gap;
+            }
+        }
+    }
+    sched.ops.sort_by_key(|(t, _)| *t);
+    sched
+}
+
+/// Pulse attack: an on/off square wave of spoofed floods — `burst` of
+/// full-rate traffic, then `idle` of silence, repeated until `duration`.
+/// Defeats naive rate detectors that average over windows longer than the
+/// duty cycle; the guard's cumulative budgets are immune.
+#[allow(clippy::too_many_arguments)]
+pub fn pulse_attack(
+    topo: &Topology,
+    attackers: &[usize],
+    strategy: SpoofStrategy,
+    rate: f64,
+    burst: SimDuration,
+    idle: SimDuration,
+    duration: SimDuration,
+    seed: u64,
+) -> Schedule {
+    let mut sched = Schedule::new();
+    let period = burst + idle;
+    if period.is_zero() || burst.is_zero() {
+        return sched;
+    }
+    let mut start = SimTime::ZERO;
+    let mut pulse = 0u64;
+    while start < SimTime::ZERO + duration {
+        let window = spoof_attack(
+            topo,
+            attackers,
+            strategy,
+            rate,
+            burst,
+            None,
+            seed ^ (pulse.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        )
+        .shifted(start - SimTime::ZERO);
+        sched = sched.merge(window);
+        start += period;
+        pulse += 1;
+    }
+    sched.ops.retain(|(t, _)| *t < SimTime::ZERO + duration);
+    sched
+}
+
 /// DHCP churn: each host runs DISCOVER at a random offset, then
 /// release/re-discover cycles of mean `hold_time` until `duration`.
 pub fn dhcp_churn(
@@ -431,6 +562,103 @@ mod tests {
             assert!(DnsRepr::parse(payload).is_ok(), "queries must be real DNS");
             assert!([t.hosts()[5].ip, t.hosts()[6].ip].contains(dst_ip));
         }
+    }
+
+    #[test]
+    fn ntp_reflection_targets_amplifier_port() {
+        let t = topo();
+        let victim: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let s = ntp_reflection(
+            &t,
+            &[0, 1],
+            &[5, 6],
+            victim,
+            20.0,
+            SimDuration::from_secs(2),
+            11,
+        );
+        assert!(s.len() > 20);
+        assert_eq!(s.spoofed_count(), s.len());
+        for (_, op) in &s.ops {
+            let TrafficOp::Udp {
+                dst_port,
+                payload,
+                spoof,
+                dst_ip,
+                ..
+            } = op
+            else {
+                panic!()
+            };
+            assert_eq!(*dst_port, 123);
+            assert_eq!(*spoof, SpoofKind::Ip(victim));
+            assert_eq!(payload[0], 0x17, "mode-7 opcode");
+            assert!([t.hosts()[5].ip, t.hosts()[6].ip].contains(dst_ip));
+        }
+    }
+
+    #[test]
+    fn spoofed_scan_sweeps_every_victim_and_port() {
+        let t = topo();
+        let s = spoofed_scan(
+            &t,
+            &[0],
+            SpoofStrategy::RandomRoutable,
+            3,
+            SimDuration::from_secs(1),
+            13,
+        );
+        // 3 probes x (hosts - self) victims.
+        assert_eq!(s.len(), 3 * (t.hosts().len() - 1));
+        assert!(s.ops.windows(2).all(|w| w[0].0 <= w[1].0));
+        let ports: std::collections::HashSet<u16> = s
+            .ops
+            .iter()
+            .filter_map(|(_, op)| match op {
+                TrafficOp::Udp { dst_port, .. } => Some(*dst_port),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ports, [1024, 1025, 1026].into());
+        // The whole sweep fits inside the requested window.
+        assert!(s.ops.last().unwrap().0 < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn pulse_attack_is_silent_between_bursts() {
+        let t = topo();
+        let s = pulse_attack(
+            &t,
+            &[0],
+            SpoofStrategy::RandomRoutable,
+            200.0,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(400),
+            SimDuration::from_secs(2),
+            17,
+        );
+        assert!(s.len() > 20);
+        assert!(s.ops.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (ts, _) in &s.ops {
+            let in_period = ts.as_nanos() % 500_000_000;
+            assert!(
+                in_period < 100_000_000,
+                "op at {ts} falls outside the 100ms burst window"
+            );
+            assert!(*ts < SimTime::from_secs(2));
+        }
+        // Degenerate shapes yield nothing rather than panicking.
+        assert!(pulse_attack(
+            &t,
+            &[0],
+            SpoofStrategy::RandomRoutable,
+            200.0,
+            SimDuration::ZERO,
+            SimDuration::from_millis(400),
+            SimDuration::from_secs(2),
+            17,
+        )
+        .is_empty());
     }
 
     #[test]

@@ -21,7 +21,8 @@ pub mod generators;
 pub mod tag;
 
 pub use generators::{
-    dhcp_churn, legit_uniform, migrations, reflection, spoof_attack, SpoofStrategy,
+    dhcp_churn, legit_uniform, migrations, ntp_reflection, pulse_attack, reflection, spoof_attack,
+    spoofed_scan, SpoofStrategy,
 };
 
 use sav_net::addr::MacAddr;

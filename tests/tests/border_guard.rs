@@ -1,0 +1,236 @@
+//! End-to-end anti-amplification: the border guard at the *reflector's*
+//! network caps victim-bound response bytes near the RFC 9000-style 3x
+//! budget even though neither the attacker's nor the victim's network
+//! deploys anything — the deployment-incentive story inverted: the guard
+//! protects the rest of the internet *from* the deploying network.
+//!
+//! A legitimate external client keeps a balanced exchange with an echo
+//! service in the same network throughout the attack and must never be
+//! quarantined.
+
+use sav_baselines::Mechanism;
+use sav_bench::scenario::{build_testbed, to_cmd};
+use sav_bench::ScenarioOpts;
+use sav_controller::testbed::TestbedCmd;
+use sav_core::BorderConfig;
+use sav_dataplane::host::{HostApp, SpoofMode};
+use sav_obs::Obs;
+use sav_sim::{SimDuration, SimTime};
+use sav_topo::generators::multi_as;
+use sav_topo::Topology;
+use sav_traffic::generators::reflection;
+use std::sync::Arc;
+
+const POLL: SimDuration = SimDuration::from_millis(250);
+const HORIZON: SimTime = SimTime::from_secs(5);
+
+/// AS 1 = botnet, AS 2 = open resolvers + echo service, AS 3 = victim +
+/// an honest external client.
+struct World {
+    topo: Arc<Topology>,
+    bots: Vec<usize>,
+    resolvers: Vec<usize>,
+    echo: usize,
+    victim: usize,
+    legit: usize,
+}
+
+fn world() -> World {
+    let m = multi_as(3, 4);
+    let topo = Arc::new(m.topo);
+    let by_as = |as_id: u32| -> Vec<usize> {
+        topo.hosts()
+            .iter()
+            .filter(|h| h.as_id == as_id)
+            .map(|h| h.id.0)
+            .collect()
+    };
+    let as2 = by_as(2);
+    let as3 = by_as(3);
+    World {
+        bots: by_as(1),
+        resolvers: as2[..3].to_vec(),
+        echo: as2[3],
+        victim: as3[0],
+        legit: as3[1],
+        topo,
+    }
+}
+
+struct RunResult {
+    victim_bytes: u64,
+    query_bytes: u64,
+    legit_replies: u64,
+    obs: Obs,
+}
+
+/// Drive the reflection attack plus a concurrent legitimate exchange,
+/// polling stats every `POLL`. Only AS 2 (the reflectors' network)
+/// enforces anything; `with_guard` toggles its border guard.
+fn run(w: &World, with_guard: bool) -> RunResult {
+    let obs = Obs::new();
+    let guard_obs = obs.clone();
+    let resolvers = w.resolvers.clone();
+    let echo = w.echo;
+    let mut opts = ScenarioOpts {
+        sav_overrides: Box::new(move |cfg| {
+            cfg.enforced_ases = Some(vec![2]);
+            if with_guard {
+                cfg.border = Some(BorderConfig {
+                    obs: Some(guard_obs),
+                    ..BorderConfig::default()
+                });
+            }
+        }),
+        ..Default::default()
+    };
+    opts.host_app = Box::new(move |h| {
+        if resolvers.contains(&h.id.0) {
+            HostApp::DnsResolver { amplification: 10 }
+        } else if h.id.0 == echo {
+            HostApp::UdpEcho { port: 7 }
+        } else {
+            HostApp::Sink
+        }
+    });
+    let mut tb = build_testbed(&w.topo, Mechanism::SdnSav, opts);
+    tb.connect_control_plane();
+    tb.run_until(SimTime::from_millis(100));
+
+    let schedule = reflection(
+        &w.topo,
+        &w.bots,
+        &w.resolvers,
+        w.topo.hosts()[w.victim].ip,
+        25.0,
+        SimDuration::from_secs(2),
+        777,
+    );
+    let mut query_bytes = 0u64;
+    for (t, op) in &schedule.ops {
+        if let sav_traffic::TrafficOp::Udp { payload, .. } = op {
+            query_bytes += (payload.len() + 42) as u64;
+        }
+        tb.schedule(*t + SimDuration::from_millis(100), to_cmd(op));
+    }
+    // The honest client pings the echo service every 100 ms throughout —
+    // a balanced bidirectional exchange across AS 2's border.
+    let echo_ip = w.topo.hosts()[w.echo].ip;
+    let mut t = SimTime::from_millis(150);
+    while t < SimTime::from_secs(4) {
+        tb.schedule(
+            t,
+            TestbedCmd::SendUdp {
+                host: w.legit,
+                dst_ip: echo_ip,
+                src_port: 5555,
+                dst_port: 7,
+                payload: b"keepalive".to_vec(),
+                spoof: SpoofMode::None,
+            },
+        );
+        t += SimDuration::from_millis(100);
+    }
+
+    // Interleave traffic with periodic stats polls (the guard's clock).
+    let mut now = SimTime::from_millis(100);
+    while now < HORIZON {
+        now += POLL;
+        tb.run_until(now);
+        tb.poll_tick(now);
+    }
+    tb.run_until(HORIZON + SimDuration::from_secs(1));
+
+    let victim_bytes = tb
+        .deliveries
+        .iter()
+        .filter(|d| d.host == w.victim && d.delivery.src_port == 53)
+        .map(|d| d.delivery.frame_len as u64)
+        .sum();
+    let legit_replies = tb
+        .deliveries
+        .iter()
+        .filter(|d| d.host == w.legit && d.delivery.src_port == 7)
+        .count() as u64;
+    RunResult {
+        victim_bytes,
+        query_bytes,
+        legit_replies,
+        obs,
+    }
+}
+
+#[test]
+fn border_guard_caps_reflection_and_spares_the_legit_client() {
+    let w = world();
+
+    let base = run(&w, false);
+    assert!(
+        base.victim_bytes > 3 * base.query_bytes,
+        "sanity: unguarded reflection must amplify past the budget \
+         ({} response vs {} query bytes)",
+        base.victim_bytes,
+        base.query_bytes
+    );
+    assert!(base.legit_replies > 30, "echo exchange works unguarded");
+    assert!(
+        !base
+            .obs
+            .journal
+            .tail_jsonl(10_000)
+            .contains("amplification_deny"),
+        "no guard, no denies"
+    );
+
+    let guarded = run(&w, true);
+
+    // The cap: at most 3x the attacker-sent bytes, plus what slips through
+    // in the poll intervals before the first deny lands (bounded here by
+    // two intervals of the unguarded flood rate).
+    let slack = base.victim_bytes * 2 * POLL.as_nanos() / SimDuration::from_secs(2).as_nanos();
+    assert!(
+        guarded.victim_bytes <= 3 * guarded.query_bytes + slack,
+        "victim got {} bytes; budget is 3 x {} + {} slack",
+        guarded.victim_bytes,
+        guarded.query_bytes,
+        slack
+    );
+    assert!(
+        guarded.victim_bytes < base.victim_bytes / 2,
+        "guard must make a real dent: {} vs {}",
+        guarded.victim_bytes,
+        base.victim_bytes
+    );
+
+    // The guard journalled the quarantine, naming the spoofed source.
+    let journal = guarded.obs.journal.tail_jsonl(10_000);
+    let victim_ip = w.topo.hosts()[w.victim].ip.to_string();
+    let denies: Vec<&str> = journal
+        .lines()
+        .filter(|l| l.contains("amplification_deny"))
+        .collect();
+    assert!(
+        !denies.is_empty(),
+        "expected at least one amplification_deny"
+    );
+    assert!(
+        denies.iter().all(|l| l.contains(&victim_ip)),
+        "every deny names the spoofed (victim) source: {denies:?}"
+    );
+
+    // Zero false positives: the honest client is never denied and its
+    // exchange survives the attack window.
+    let legit_ip = w.topo.hosts()[w.legit].ip.to_string();
+    assert!(
+        !denies.iter().any(|l| l.contains(&legit_ip)),
+        "legit client must never be quarantined"
+    );
+    assert!(
+        guarded.legit_replies > 30,
+        "legit echo exchange keeps flowing under quarantine, got {}",
+        guarded.legit_replies
+    );
+
+    // And the denied bytes surfaced on the metrics handle.
+    assert!(guarded.obs.counters.get("sav_border_denies_total") >= 1);
+}

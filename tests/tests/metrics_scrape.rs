@@ -369,6 +369,112 @@ fn metrics_scrape_reflects_live_dhcp_and_spoofing() {
     server.shutdown();
 }
 
+/// Border-guard observability: after a quarantine, the
+/// `sav_border_quarantined{dpid}` gauge and the
+/// `sav_border_denied_bytes_total` counter (total + per-switch) surface in
+/// the `/metrics` exposition, and the deny is journalled on `/events`.
+#[test]
+fn border_guard_metrics_surface_in_the_scrape() {
+    use sav_border::{border_deny_out, border_tx_count, BorderGuardApp};
+    use sav_controller::app::Ctx;
+    use sav_core::BorderConfig;
+    use sav_openflow::messages::{FlowMod, FlowStatsEntry, MultipartReplyBody};
+    use sav_sim::SimTime;
+    use std::net::Ipv4Addr;
+
+    let stats_entry = |fm: &FlowMod, bytes: u64| FlowStatsEntry {
+        table_id: 0,
+        duration_sec: 1,
+        duration_nsec: 0,
+        priority: fm.priority,
+        idle_timeout: fm.idle_timeout,
+        hard_timeout: fm.hard_timeout,
+        flags: fm.flags,
+        cookie: fm.cookie,
+        packet_count: bytes / 100,
+        byte_count: bytes,
+        match_: fm.match_.clone(),
+        instructions: fm.instructions.clone(),
+    };
+
+    let m = generators::multi_as(2, 2);
+    let border = m.borders[0].0.dpid();
+    let obs = Obs::new();
+    let mut guard = BorderGuardApp::new(
+        Arc::new(m.topo),
+        BorderConfig {
+            obs: Some(obs.clone()),
+            ..BorderConfig::default()
+        },
+    );
+    let obs_server = ObsServer::bind("127.0.0.1:0", obs.clone()).unwrap();
+    let obs_addr = obs_server.local_addr();
+
+    guard.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+    // Registration alone puts both series on the scrape, at zero.
+    let (status, metrics) = http_get(obs_addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        series_values(&metrics, "sav_border_quarantined")
+            .iter()
+            .find(|(l, _)| l == &format!("dpid=\"{border}\""))
+            .map(|(_, v)| *v),
+        Some(0.0),
+        "gauge registered at zero:\n{metrics}"
+    );
+    assert_eq!(
+        series_values(&metrics, "sav_border_denied_bytes_total")
+            .iter()
+            .find(|(l, _)| l.is_empty())
+            .map(|(_, v)| *v),
+        Some(0.0),
+        "counter registered at zero:\n{metrics}"
+    );
+
+    // A grossly one-sided source trips the budget on the next poll; the
+    // deny rules' own drop counters then feed the denied-bytes series.
+    let src: Ipv4Addr = "203.0.113.77".parse().unwrap();
+    let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 50_000)]);
+    guard.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+    let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_deny_out(src, 10), 7_500)]);
+    guard.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+
+    let (status, metrics) = http_get(obs_addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        series_values(&metrics, "sav_border_quarantined")
+            .iter()
+            .find(|(l, _)| l == &format!("dpid=\"{border}\""))
+            .map(|(_, v)| *v),
+        Some(1.0),
+        "one quarantined source:\n{metrics}"
+    );
+    let denied = series_values(&metrics, "sav_border_denied_bytes_total");
+    assert_eq!(
+        denied.iter().find(|(l, _)| l.is_empty()).map(|(_, v)| *v),
+        Some(7_500.0),
+        "denied bytes total:\n{metrics}"
+    );
+    assert_eq!(
+        denied
+            .iter()
+            .find(|(l, _)| l == &format!("dpid=\"{border}\""))
+            .map(|(_, v)| *v),
+        Some(7_500.0),
+        "per-switch denied bytes:\n{metrics}"
+    );
+
+    let (status, events) = http_get(obs_addr, "/events?n=50").unwrap();
+    assert_eq!(status, 200);
+    let deny_line = events
+        .lines()
+        .find(|l| json_field(l, "event") == Some("amplification_deny"))
+        .expect("deny must be journalled");
+    assert_eq!(json_field(deny_line, "src"), Some("203.0.113.77"));
+
+    obs_server.shutdown();
+}
+
 /// Cluster observability: role and replication-lag gauges, the failover
 /// counter, and the role-aware `/healthz` all surface through the same
 /// HTTP endpoints an operator's prober would hit.
