@@ -27,15 +27,24 @@ pub struct BudgetConfig {
     /// Never deny before at least this many response bytes have been sent
     /// (default one MTU) — absorbs the first-response transient.
     pub grace_bytes: u64,
-    /// Poll ticks with fresh inbound traffic and no violation before a
-    /// source is considered validated (exempt from the limit).
+    /// Poll ticks with fresh traffic in *both* directions (and responses
+    /// inside the budget) before a source is considered validated (exempt
+    /// from the limit).
     pub validation_polls: u32,
     /// Minimum cumulative inbound bytes before validation can happen.
     pub validation_min_bytes: u64,
+    /// Poll ticks without any inbound traffic after which an *earned*
+    /// validation lapses back to unvalidated (0 = never lapses).
+    /// Allowlist entries never lapse.
+    pub validation_idle_polls: u32,
     /// Quarantine length for a first offense, seconds.
     pub quarantine_base_secs: u16,
     /// Ceiling for the exponential re-offense escalation, seconds.
     pub quarantine_max_secs: u16,
+    /// Hard cap on tracked sources: once reached, unknown sources are not
+    /// admitted (allowlist entries always are), so a spoofed scan cycling
+    /// random sources cannot grow the table without bound.
+    pub max_sources: usize,
 }
 
 impl Default for BudgetConfig {
@@ -45,8 +54,10 @@ impl Default for BudgetConfig {
             grace_bytes: 1500,
             validation_polls: 5,
             validation_min_bytes: 10_000,
+            validation_idle_polls: 40,
             quarantine_base_secs: 10,
             quarantine_max_secs: 600,
+            max_sources: 1024,
         }
     }
 }
@@ -85,6 +96,12 @@ pub enum Verdict {
         /// The validated source address.
         src: Ipv4Addr,
     },
+    /// An earned validation lapsed after sustained inbound silence; the
+    /// source is subject to the amplification limit again (fresh epoch).
+    Lapsed {
+        /// The demoted source address.
+        src: Ipv4Addr,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -94,9 +111,16 @@ struct SourceBudget {
     tx_bytes: u64,
     /// Inbound bytes since the last tick (drives validation progress).
     rx_since_tick: u64,
+    /// Outbound bytes since the last tick (validation needs both halves).
+    tx_since_tick: u64,
     clean_polls: u32,
+    /// Consecutive ticks a validated source has gone without inbound
+    /// traffic (drives validation decay).
+    idle_polls: u32,
     offenses: u32,
     state: SourceState,
+    /// Explicit allowlist entry: never lapses, never evicted.
+    allowlisted: bool,
 }
 
 impl SourceBudget {
@@ -106,9 +130,12 @@ impl SourceBudget {
             rx_bytes: 0,
             tx_bytes: 0,
             rx_since_tick: 0,
+            tx_since_tick: 0,
             clean_polls: 0,
+            idle_polls: 0,
             offenses: 0,
             state: SourceState::Unvalidated,
+            allowlisted: false,
         }
     }
 }
@@ -130,20 +157,34 @@ impl BudgetTable {
     }
 
     /// Explicitly allowlist `src`: immediately validated, never denied.
+    /// Operator configuration bypasses the `max_sources` cap.
     pub fn allow(&mut self, src: Ipv4Addr) {
         let e = self
             .sources
             .entry(src)
             .or_insert_with(|| SourceBudget::fresh(0));
         e.state = SourceState::Validated;
+        e.allowlisted = true;
     }
 
-    /// Account `bytes` received *from* `src` on border `port`.
+    /// Entry for `src`, creating one unless the table is at capacity.
+    fn entry(&mut self, src: Ipv4Addr, port: u32) -> Option<&mut SourceBudget> {
+        if !self.sources.contains_key(&src) && self.sources.len() >= self.cfg.max_sources {
+            return None;
+        }
+        Some(
+            self.sources
+                .entry(src)
+                .or_insert_with(|| SourceBudget::fresh(port)),
+        )
+    }
+
+    /// Account `bytes` received *from* `src` on border `port`. A source
+    /// past the capacity cap is silently not tracked.
     pub fn observe_rx(&mut self, src: Ipv4Addr, port: u32, bytes: u64) {
-        let e = self
-            .sources
-            .entry(src)
-            .or_insert_with(|| SourceBudget::fresh(port));
+        let Some(e) = self.entry(src, port) else {
+            return;
+        };
         if e.port == 0 {
             e.port = port;
         }
@@ -153,23 +194,47 @@ impl BudgetTable {
 
     /// Account `bytes` sent back *toward* `src`.
     pub fn observe_tx(&mut self, src: Ipv4Addr, bytes: u64) {
-        let e = self
-            .sources
-            .entry(src)
-            .or_insert_with(|| SourceBudget::fresh(0));
+        let Some(e) = self.entry(src, 0) else {
+            return;
+        };
         e.tx_bytes = e.tx_bytes.saturating_add(bytes);
+        e.tx_since_tick = e.tx_since_tick.saturating_add(bytes);
     }
 
     /// One poll tick: evaluate every source against the limit and the
-    /// validation criteria. Quarantined and validated sources are skipped.
+    /// validation criteria. Quarantined sources are frozen; validated ones
+    /// are exempt from the limit but decay back to unvalidated after
+    /// sustained inbound silence.
     pub fn tick(&mut self) -> Vec<Verdict> {
         let cfg = self.cfg;
         let mut verdicts = Vec::new();
         for (&src, e) in &mut self.sources {
             let had_rx = e.rx_since_tick > 0;
+            let had_tx = e.tx_since_tick > 0;
             e.rx_since_tick = 0;
-            if e.state != SourceState::Unvalidated {
-                continue;
+            e.tx_since_tick = 0;
+            match e.state {
+                SourceState::Quarantined => continue,
+                SourceState::Validated => {
+                    if e.allowlisted || cfg.validation_idle_polls == 0 {
+                        continue;
+                    }
+                    if had_rx {
+                        e.idle_polls = 0;
+                        continue;
+                    }
+                    e.idle_polls += 1;
+                    if e.idle_polls >= cfg.validation_idle_polls {
+                        e.state = SourceState::Unvalidated;
+                        e.rx_bytes = 0;
+                        e.tx_bytes = 0;
+                        e.clean_polls = 0;
+                        e.idle_polls = 0;
+                        verdicts.push(Verdict::Lapsed { src });
+                    }
+                    continue;
+                }
+                SourceState::Unvalidated => {}
             }
             let over_limit = e.tx_bytes > cfg.amplification_limit.saturating_mul(e.rx_bytes)
                 && e.tx_bytes >= cfg.grace_bytes;
@@ -186,10 +251,16 @@ impl BudgetTable {
                 });
                 continue;
             }
-            if had_rx {
+            // Validation needs proof the source both sends *and* absorbs
+            // responses inside the budget this tick. Inbound-only traffic
+            // (spoofed packets toward a silent sink) never validates, so an
+            // attacker cannot pre-exempt a victim address by flooding.
+            if had_rx && had_tx && e.tx_bytes <= cfg.amplification_limit.saturating_mul(e.rx_bytes)
+            {
                 e.clean_polls += 1;
                 if e.clean_polls >= cfg.validation_polls && e.rx_bytes >= cfg.validation_min_bytes {
                     e.state = SourceState::Validated;
+                    e.idle_polls = 0;
                     verdicts.push(Verdict::Validated { src });
                 }
             }
@@ -208,7 +279,24 @@ impl BudgetTable {
                 e.rx_bytes = 0;
                 e.tx_bytes = 0;
                 e.rx_since_tick = 0;
+                e.tx_since_tick = 0;
                 e.clean_polls = 0;
+                e.idle_polls = 0;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Forget `src` entirely — the switch-side count rules idled out, so
+    /// the controller state must not outlive them. Quarantined sources are
+    /// kept (the deny pair is still installed and [`BudgetTable::release`]
+    /// needs the offense history), as are allowlist entries (operator
+    /// configuration). Returns true when the entry was removed.
+    pub fn evict(&mut self, src: Ipv4Addr) -> bool {
+        match self.sources.get(&src) {
+            Some(e) if e.state != SourceState::Quarantined && !e.allowlisted => {
+                self.sources.remove(&src);
                 true
             }
             _ => false,
@@ -218,6 +306,18 @@ impl BudgetTable {
     /// Current state of `src`, if tracked.
     pub fn state(&self, src: Ipv4Addr) -> Option<SourceState> {
         self.sources.get(&src).map(|e| e.state)
+    }
+
+    /// Iterate tracked sources with their states — used to re-arm the
+    /// network-wide rule halves on a border switch that (re)connects
+    /// mid-epoch.
+    pub fn sources(&self) -> impl Iterator<Item = (Ipv4Addr, SourceState)> + '_ {
+        self.sources.iter().map(|(&ip, e)| (ip, e.state))
+    }
+
+    /// True once the table refuses to admit new (non-allowlist) sources.
+    pub fn at_capacity(&self) -> bool {
+        self.sources.len() >= self.cfg.max_sources
     }
 
     /// Offenses recorded against `src`.
@@ -392,6 +492,115 @@ mod tests {
             }
             ref other => panic!("expected deny, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn inbound_only_traffic_never_validates() {
+        // The review-case attack: spoof the victim's address toward an
+        // internal sink that never answers. rx accumulates forever, tx
+        // stays 0 — validation must never happen.
+        let mut t = BudgetTable::new(cfg());
+        for _ in 0..50 {
+            t.observe_rx(ip(10), 1, 5_000);
+            assert!(t.tick().is_empty(), "one-way traffic earns nothing");
+        }
+        assert_eq!(t.state(ip(10)), Some(SourceState::Unvalidated));
+        // The moment responses blow past the budget, the source is denied
+        // like any other — the flood bought it no exemption.
+        t.observe_tx(ip(10), 10 * 250_000);
+        assert!(matches!(t.tick()[0], Verdict::Deny { .. }));
+    }
+
+    #[test]
+    fn validation_lapses_after_inbound_silence() {
+        let mut t = BudgetTable::new(BudgetConfig {
+            validation_idle_polls: 3,
+            ..cfg()
+        });
+        for _ in 0..5 {
+            t.observe_rx(ip(11), 1, 2500);
+            t.observe_tx(ip(11), 2500);
+            t.tick();
+        }
+        assert_eq!(t.state(ip(11)), Some(SourceState::Validated));
+        // Two idle ticks: still exempt. Third: lapsed, fresh epoch.
+        assert!(t.tick().is_empty());
+        assert!(t.tick().is_empty());
+        assert_eq!(t.tick(), vec![Verdict::Lapsed { src: ip(11) }]);
+        assert_eq!(t.state(ip(11)), Some(SourceState::Unvalidated));
+        // Post-lapse the budget starts from zero: a burst toward the
+        // now-silent address is a violation, not a validated free ride.
+        t.observe_tx(ip(11), 100_000);
+        assert!(matches!(t.tick()[0], Verdict::Deny { .. }));
+    }
+
+    #[test]
+    fn inbound_traffic_resets_the_decay_clock() {
+        let mut t = BudgetTable::new(BudgetConfig {
+            validation_idle_polls: 2,
+            ..cfg()
+        });
+        for _ in 0..5 {
+            t.observe_rx(ip(12), 1, 2500);
+            t.observe_tx(ip(12), 2500);
+            t.tick();
+        }
+        for _ in 0..10 {
+            t.tick(); // one idle tick...
+            t.observe_rx(ip(12), 1, 100); // ...then fresh inbound traffic
+            t.tick();
+        }
+        assert_eq!(t.state(ip(12)), Some(SourceState::Validated));
+    }
+
+    #[test]
+    fn allowlist_never_lapses_or_evicts() {
+        let mut t = BudgetTable::new(BudgetConfig {
+            validation_idle_polls: 1,
+            ..cfg()
+        });
+        t.allow(ip(13));
+        for _ in 0..5 {
+            assert!(t.tick().is_empty());
+        }
+        assert_eq!(t.state(ip(13)), Some(SourceState::Validated));
+        assert!(!t.evict(ip(13)), "operator config survives rule expiry");
+    }
+
+    #[test]
+    fn capacity_cap_refuses_new_sources() {
+        let mut t = BudgetTable::new(BudgetConfig {
+            max_sources: 2,
+            ..cfg()
+        });
+        t.observe_rx(ip(1), 1, 100);
+        t.observe_tx(ip(2), 100);
+        assert!(t.at_capacity());
+        t.observe_rx(ip(3), 1, 100); // refused
+        t.observe_tx(ip(3), 1_000_000); // refused
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.state(ip(3)), None);
+        assert!(t.tick().is_empty(), "untracked sources cannot be judged");
+        // Known sources keep updating, and the allowlist bypasses the cap.
+        t.observe_rx(ip(1), 1, 100);
+        t.allow(ip(4));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn evict_drops_tracked_but_not_quarantined_sources() {
+        let mut t = BudgetTable::new(cfg());
+        t.observe_rx(ip(14), 1, 50);
+        assert!(t.evict(ip(14)));
+        assert_eq!(t.state(ip(14)), None);
+        assert!(!t.evict(ip(14)), "already gone");
+
+        t.observe_tx(ip(15), 50_000);
+        t.tick();
+        assert_eq!(t.state(ip(15)), Some(SourceState::Quarantined));
+        assert!(!t.evict(ip(15)), "quarantine history must survive");
+        t.release(ip(15));
+        assert!(t.evict(ip(15)), "evictable once released");
     }
 
     #[test]

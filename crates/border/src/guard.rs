@@ -4,21 +4,27 @@
 //!
 //! * **switch up** (role = Border): install one [`crate::border_sample`]
 //!   per border port, seed the allowlist, reset per-switch state (a
-//!   reconnecting switch lost its rules and counters).
+//!   reconnecting switch lost its rules and counters), and re-arm the
+//!   network-wide halves (`ipv4_dst` counter, outbound deny) for sources
+//!   owned by sibling borders of the same AS.
 //! * **packet in** (sample cookie): parse the frame, charge its bytes as
-//!   `rx`, install the per-source count pair. The sample rule already
-//!   forwarded the original via goto — the punt is a copy, so the guard
-//!   consumes it without re-injecting.
+//!   `rx`, install the per-source count rules — the `ipv4_src` half where
+//!   the source arrived, the `ipv4_dst` half on every connected border of
+//!   the AS. The sample rule already forwarded the original via goto — the
+//!   punt is a copy, so the guard consumes it without re-injecting.
 //! * **stats reply** (flow entries, requested by the *existing*
 //!   [`sav_core::StatsPollerApp`] — the guard sends no requests of its
-//!   own): turn count-rule byte counters into budget deltas, feed the
-//!   denied-bytes counter from the deny rules, then run one budget tick
-//!   and install the deny pair for each violation.
-//! * **flow removed** (deny cookie, timeout): reopen the budget epoch and
-//!   journal the release; re-offenses re-quarantine with a doubled
-//!   timeout.
+//!   own): turn count-rule byte counters into budget deltas (folded into
+//!   the *owning* border's table, so tx escaping through a sibling border
+//!   still counts), feed the denied-bytes counter from the deny rules,
+//!   then run one budget tick and install the deny pair for each
+//!   violation — the outbound deny again on every border of the AS.
+//! * **flow removed**: a deny cookie reopens the budget epoch (and drops
+//!   the rule's byte baseline, so a re-offense's fresh counters are not
+//!   swallowed); a count cookie evicts the per-source tracking state, so
+//!   controller memory never outlives the switch rules feeding it.
 
-use crate::budget::{BudgetConfig, BudgetTable, SourceState, Verdict};
+use crate::budget::{quarantine_secs, BudgetConfig, BudgetTable, SourceState, Verdict};
 use crate::{
     border_deny_in, border_deny_out, border_rx_count, border_sample, border_tx_count, cookie_kind,
     is_sav_cookie, KIND_DENY_IN, KIND_DENY_OUT, KIND_RX_COUNT, KIND_SAMPLE, KIND_TX_COUNT,
@@ -41,8 +47,10 @@ impl From<&BorderConfig> for BudgetConfig {
             grace_bytes: c.grace_bytes,
             validation_polls: c.validation_polls,
             validation_min_bytes: c.validation_min_bytes,
+            validation_idle_polls: c.validation_idle_polls,
             quarantine_base_secs: c.quarantine_base_secs,
             quarantine_max_secs: c.quarantine_max_secs,
+            max_sources: c.max_sources,
         }
     }
 }
@@ -52,7 +60,7 @@ impl From<&BorderConfig> for BudgetConfig {
 pub struct GuardStats {
     /// Sample punts processed (first packet of a new source).
     pub samples: u64,
-    /// Count-rule pairs installed.
+    /// Sources admitted to tracking (rx count rule installed).
     pub sources_tracked: u64,
     /// Quarantines installed.
     pub denies: u64,
@@ -60,6 +68,12 @@ pub struct GuardStats {
     pub releases: u64,
     /// Sources that completed address validation.
     pub validations: u64,
+    /// Earned validations lapsed after inbound silence.
+    pub lapses: u64,
+    /// Sources evicted after their count rules idled out.
+    pub evictions: u64,
+    /// Samples refused because the budget table was at capacity.
+    pub capped: u64,
 }
 
 /// The anti-amplification border guard. Register it *after* the SAV app
@@ -69,10 +83,18 @@ pub struct BorderGuardApp {
     topo: Arc<Topology>,
     cfg: BorderConfig,
     obs: Obs,
-    /// Per border switch budget tables.
+    /// Per *owning* border switch budget tables. A source is owned by the
+    /// border that sampled it first; sibling borders' tx counters fold into
+    /// the owner's table so the budget is AS-wide.
     budgets: BTreeMap<u64, BudgetTable>,
-    /// Sources with an installed count pair, per switch.
+    /// Connected border switches, per AS.
+    borders_up: BTreeMap<u32, BTreeSet<u64>>,
+    /// Sources with an installed `ipv4_src` count rule, per switch.
     counted: BTreeMap<u64, BTreeSet<Ipv4Addr>>,
+    /// Sources with an installed `ipv4_dst` count rule, per switch.
+    tx_installed: BTreeMap<u64, BTreeSet<Ipv4Addr>>,
+    /// Owning border per (AS, source).
+    owner: BTreeMap<(u32, Ipv4Addr), u64>,
     /// Last absolute byte count per (dpid, cookie-kind, source).
     last_bytes: BTreeMap<(u64, u64, Ipv4Addr), u64>,
     /// Counters.
@@ -89,10 +111,28 @@ impl BorderGuardApp {
             cfg,
             obs,
             budgets: BTreeMap::new(),
+            borders_up: BTreeMap::new(),
             counted: BTreeMap::new(),
+            tx_installed: BTreeMap::new(),
+            owner: BTreeMap::new(),
             last_bytes: BTreeMap::new(),
             stats: GuardStats::default(),
         }
+    }
+
+    /// The AS a dpid belongs to, if it names a switch in the topology.
+    fn as_of(&self, dpid: u64) -> Option<u32> {
+        let sid = SwitchId::from_dpid(dpid)?;
+        self.topo.switches().get(sid.0).map(|s| s.as_id)
+    }
+
+    /// Connected border switches of `as_id` (always contains the owner of
+    /// any tracked source of that AS while it is connected).
+    fn as_borders(&self, as_id: u32) -> Vec<u64> {
+        self.borders_up
+            .get(&as_id)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Budget state of `src` at switch `dpid`, if tracked.
@@ -135,7 +175,11 @@ impl BorderGuardApp {
         if !self.budgets.contains_key(&dpid) {
             return; // not one of our border switches
         }
+        let Some(as_id) = self.as_of(dpid) else {
+            return;
+        };
         let mut denied_delta = 0u64;
+        let mut active_rx: Vec<Ipv4Addr> = Vec::new();
         for e in entries {
             if !is_sav_cookie(e.cookie) {
                 continue;
@@ -147,15 +191,18 @@ impl BorderGuardApp {
                     let delta = self.byte_delta(dpid, kind, src, e.byte_count);
                     if delta > 0 {
                         let port = e.match_.in_port().unwrap_or(0);
-                        if let Some(t) = self.budgets.get_mut(&dpid) {
+                        let owner = *self.owner.entry((as_id, src)).or_insert(dpid);
+                        if let Some(t) = self.budgets.get_mut(&owner) {
                             t.observe_rx(src, port, delta);
                         }
+                        active_rx.push(src);
                     }
                 }
                 KIND_TX_COUNT => {
                     let delta = self.byte_delta(dpid, kind, src, e.byte_count);
                     if delta > 0 {
-                        if let Some(t) = self.budgets.get_mut(&dpid) {
+                        let owner = *self.owner.entry((as_id, src)).or_insert(dpid);
+                        if let Some(t) = self.budgets.get_mut(&owner) {
                             t.observe_tx(src, delta);
                         }
                     }
@@ -175,15 +222,33 @@ impl BorderGuardApp {
                 denied_delta,
             );
         }
+        // A source still receiving whose tx counter idled out somewhere
+        // would have its response bytes pass uncounted — re-arm the
+        // missing halves across the AS's borders.
+        let borders = self.as_borders(as_id);
+        for src in active_rx {
+            for &b in &borders {
+                if self.tx_installed.entry(b).or_default().insert(src) {
+                    ctx.install(b, border_tx_count(src, self.cfg.count_idle_secs));
+                }
+            }
+        }
         self.run_tick(ctx, dpid);
     }
 
-    /// One budget tick for `dpid`: act on every verdict.
+    /// One budget tick for the sources *owned* by `dpid`: act on every
+    /// verdict. Each border's table ticks exactly once per poll interval —
+    /// on its own stats reply — regardless of how many sibling borders
+    /// also report.
     fn run_tick(&mut self, ctx: &mut Ctx, dpid: u64) {
         let Some(table) = self.budgets.get_mut(&dpid) else {
             return;
         };
         let verdicts = table.tick();
+        let borders = match self.as_of(dpid) {
+            Some(as_id) => self.as_borders(as_id),
+            None => vec![dpid],
+        };
         for v in verdicts {
             match v {
                 Verdict::Deny {
@@ -197,7 +262,14 @@ impl BorderGuardApp {
                     if port != 0 {
                         ctx.install(dpid, border_deny_in(port, src, timeout_secs));
                     }
-                    ctx.install(dpid, border_deny_out(src, timeout_secs));
+                    // The outbound half goes on every border of the AS:
+                    // responses must not escape through a sibling exit.
+                    if borders.is_empty() {
+                        ctx.install(dpid, border_deny_out(src, timeout_secs));
+                    }
+                    for &b in &borders {
+                        ctx.install(b, border_deny_out(src, timeout_secs));
+                    }
                     self.stats.denies += 1;
                     self.obs.counters.incr("sav_border_denies_total");
                     self.obs.event(
@@ -224,6 +296,17 @@ impl BorderGuardApp {
                         },
                     );
                 }
+                Verdict::Lapsed { src } => {
+                    self.stats.lapses += 1;
+                    self.obs.counters.incr("sav_border_validation_lapsed_total");
+                    self.obs.event(
+                        Severity::Info,
+                        EventKind::ValidationLapsed {
+                            dpid,
+                            src: src.to_string(),
+                        },
+                    );
+                }
             }
         }
         self.set_quarantine_gauge(dpid);
@@ -239,10 +322,13 @@ impl App for BorderGuardApp {
         let Some(sid) = SwitchId::from_dpid(dpid) else {
             return;
         };
-        let node = self.topo.switch(sid);
+        let Some(node) = self.topo.switches().get(sid.0) else {
+            return;
+        };
         if node.role != SwitchRole::Border {
             return;
         }
+        let as_id = node.as_id;
         let ports = self.topo.border_ports(sid);
         if ports.is_empty() {
             return;
@@ -254,13 +340,48 @@ impl App for BorderGuardApp {
         // tracked state restarts from a clean epoch too.
         self.budgets.insert(dpid, self.fresh_table());
         self.counted.insert(dpid, BTreeSet::new());
+        self.tx_installed.insert(dpid, BTreeSet::new());
         self.last_bytes.retain(|&(d, _, _), _| d != dpid);
+        self.owner.retain(|_, o| *o != dpid);
+        self.borders_up.entry(as_id).or_default().insert(dpid);
+        // Sibling borders of the same AS may already own tracked sources;
+        // this switch must carry the network-wide halves for them too, or
+        // responses (and quarantined floods) would escape through it.
+        let mut tx_rearm: Vec<Ipv4Addr> = Vec::new();
+        let mut deny_rearm: Vec<(Ipv4Addr, u16)> = Vec::new();
+        let bcfg = BudgetConfig::from(&self.cfg);
+        for (&(a, src), &o) in &self.owner {
+            if a != as_id || o == dpid {
+                continue;
+            }
+            let Some(t) = self.budgets.get(&o) else {
+                continue;
+            };
+            match t.state(src) {
+                Some(SourceState::Quarantined) => {
+                    deny_rearm.push((src, quarantine_secs(&bcfg, t.offenses(src))));
+                }
+                Some(_) => tx_rearm.push(src),
+                None => {}
+            }
+        }
+        for src in tx_rearm {
+            if self.tx_installed.entry(dpid).or_default().insert(src) {
+                ctx.install(dpid, border_tx_count(src, self.cfg.count_idle_secs));
+            }
+        }
+        for (src, secs) in deny_rearm {
+            ctx.install(dpid, border_deny_out(src, secs));
+        }
         // Register the series so they exist on /metrics before any deny.
         self.obs.counters.add("sav_border_denied_bytes_total", 0);
         self.set_quarantine_gauge(dpid);
     }
 
     fn on_switch_down(&mut self, _ctx: &mut Ctx, dpid: u64) {
+        for set in self.borders_up.values_mut() {
+            set.remove(&dpid);
+        }
         self.set_quarantine_gauge(dpid);
     }
 
@@ -281,14 +402,38 @@ impl App for BorderGuardApp {
             return Disposition::Consumed;
         };
         let bytes = (pi.data.len() as u64).max(u64::from(pi.total_len));
-        if let Some(t) = self.budgets.get_mut(&dpid) {
-            t.observe_rx(src, port, bytes);
+        let Some(as_id) = self.as_of(dpid) else {
+            return Disposition::Consumed;
+        };
+        let owner = *self.owner.entry((as_id, src)).or_insert(dpid);
+        let mut admitted = false;
+        if let Some(t) = self.budgets.get_mut(&owner) {
+            if t.state(src).is_none() && t.at_capacity() {
+                // Refused: a spoofed scan cycling random sources must not
+                // grow switch or controller state without bound.
+                self.stats.capped += 1;
+                self.obs.counters.incr("sav_border_sources_capped_total");
+            } else {
+                t.observe_rx(src, port, bytes);
+                admitted = t.state(src).is_some();
+            }
         }
-        if let Some(set) = self.counted.get_mut(&dpid) {
-            if set.insert(src) {
-                ctx.install(dpid, border_rx_count(port, src));
-                ctx.install(dpid, border_tx_count(src));
-                self.stats.sources_tracked += 1;
+        if !admitted {
+            // Don't leave a dangling ownership claim for an untracked source.
+            if self.owner.get(&(as_id, src)) == Some(&dpid) {
+                self.owner.remove(&(as_id, src));
+            }
+            return Disposition::Consumed;
+        }
+        if self.counted.entry(dpid).or_default().insert(src) {
+            ctx.install(dpid, border_rx_count(port, src, self.cfg.count_idle_secs));
+            self.stats.sources_tracked += 1;
+        }
+        // The response counter goes on every border of the AS: tx toward
+        // the source must count no matter which exit it takes.
+        for b in self.as_borders(as_id) {
+            if self.tx_installed.entry(b).or_default().insert(src) {
+                ctx.install(b, border_tx_count(src, self.cfg.count_idle_secs));
             }
         }
         Disposition::Consumed
@@ -299,25 +444,64 @@ impl App for BorderGuardApp {
             return;
         }
         let kind = cookie_kind(fr.cookie);
-        if kind != KIND_DENY_IN && kind != KIND_DENY_OUT {
-            return;
-        }
-        if fr.reason == FlowRemovedReason::Delete {
-            return; // controller-initiated delete, not an expiry
-        }
         let src = Ipv4Addr::from((fr.cookie & 0xffff_ffff) as u32);
-        // The pair produces two FLOW_REMOVEDs; release() no-ops the second.
-        let released = self.budgets.get_mut(&dpid).is_some_and(|t| t.release(src));
-        if released {
-            self.stats.releases += 1;
-            self.obs.event(
-                Severity::Info,
-                EventKind::QuarantineExpired {
-                    dpid,
-                    src: src.to_string(),
-                },
-            );
-            self.set_quarantine_gauge(dpid);
+        match kind {
+            KIND_DENY_IN | KIND_DENY_OUT => {
+                // Drop the rule's byte baseline unconditionally: the next
+                // deny epoch's counters restart at zero and must not be
+                // swallowed by this incarnation's absolute count.
+                self.last_bytes.remove(&(dpid, kind, src));
+                if fr.reason == FlowRemovedReason::Delete {
+                    return; // controller-initiated delete, not an expiry
+                }
+                // Quarantine state lives on the owning border's table; the
+                // deny rules (one in-rule plus an out-rule per border)
+                // produce several FLOW_REMOVEDs — release() no-ops all but
+                // the first.
+                let owner = match self.as_of(dpid) {
+                    Some(as_id) => *self.owner.get(&(as_id, src)).unwrap_or(&dpid),
+                    None => dpid,
+                };
+                let released = self.budgets.get_mut(&owner).is_some_and(|t| t.release(src));
+                if released {
+                    self.stats.releases += 1;
+                    self.obs.event(
+                        Severity::Info,
+                        EventKind::QuarantineExpired {
+                            dpid: owner,
+                            src: src.to_string(),
+                        },
+                    );
+                    self.set_quarantine_gauge(owner);
+                }
+            }
+            KIND_RX_COUNT => {
+                // The source went idle long enough for its rx counter to
+                // expire: evict the controller-side state so it never
+                // outlives the switch rules feeding it.
+                self.last_bytes.remove(&(dpid, kind, src));
+                if let Some(set) = self.counted.get_mut(&dpid) {
+                    set.remove(&src);
+                }
+                let Some(as_id) = self.as_of(dpid) else {
+                    return;
+                };
+                if self.owner.get(&(as_id, src)) == Some(&dpid) {
+                    let evicted = self.budgets.get_mut(&dpid).is_some_and(|t| t.evict(src));
+                    if evicted {
+                        self.owner.remove(&(as_id, src));
+                        self.stats.evictions += 1;
+                        self.set_quarantine_gauge(dpid);
+                    }
+                }
+            }
+            KIND_TX_COUNT => {
+                self.last_bytes.remove(&(dpid, kind, src));
+                if let Some(set) = self.tx_installed.get_mut(&dpid) {
+                    set.remove(&src);
+                }
+            }
+            _ => {}
         }
     }
 
@@ -476,8 +660,8 @@ mod tests {
 
         // A flow-stats reply showing 10× response bytes.
         let reply = MultipartReplyBody::Flow(vec![
-            stats_entry(&border_rx_count(1, src), 100),
-            stats_entry(&border_tx_count(src), 5_000),
+            stats_entry(&border_rx_count(1, src, 60), 100),
+            stats_entry(&border_tx_count(src, 60), 5_000),
         ]);
         let mut ctx = Ctx::new(SimTime::ZERO);
         app.on_stats_reply(&mut ctx, border, &reply);
@@ -552,8 +736,8 @@ mod tests {
         );
         for poll in 1..=5u64 {
             let reply = MultipartReplyBody::Flow(vec![
-                stats_entry(&border_rx_count(1, src), poll * 4_000),
-                stats_entry(&border_tx_count(src), poll * 4_000),
+                stats_entry(&border_rx_count(1, src, 60), poll * 4_000),
+                stats_entry(&border_tx_count(src, 60), poll * 4_000),
             ]);
             let mut ctx = Ctx::new(SimTime::ZERO);
             app.on_stats_reply(&mut ctx, border, &reply);
@@ -576,7 +760,8 @@ mod tests {
             },
         );
         app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
-        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 1_000_000)]);
+        let reply =
+            MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 1_000_000)]);
         let mut ctx = Ctx::new(SimTime::ZERO);
         app.on_stats_reply(&mut ctx, border, &reply);
         assert_eq!(ctx.pending(), 0);
@@ -589,7 +774,7 @@ mod tests {
         let mut app = guard(&topo, Obs::new());
         app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
         let src: Ipv4Addr = "203.0.113.30".parse().unwrap();
-        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 50_000)]);
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 50_000)]);
         let mut ctx = Ctx::new(SimTime::ZERO);
         app.on_stats_reply(&mut ctx, border, &reply);
         assert!(ctx.pending() > 0, "denied before restart");
@@ -597,9 +782,295 @@ mod tests {
         // Reconnect: budgets and counter baselines reset.
         app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
         assert_eq!(app.quarantined(), 0);
-        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 100)]);
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 100)]);
         let mut ctx = Ctx::new(SimTime::ZERO);
         app.on_stats_reply(&mut ctx, border, &reply);
         assert_eq!(ctx.pending(), 0, "small absolute after reset, no deny");
+    }
+
+    /// AS 0 with two border switches, each peering with a different
+    /// upstream AS. Port 2 is the cross-AS (border) port on both.
+    fn two_border_world() -> (Arc<Topology>, u64, u64) {
+        let mut t = Topology::new();
+        let b1 = t.add_switch("b1", SwitchRole::Border, 0);
+        let b2 = t.add_switch("b2", SwitchRole::Border, 0);
+        let up1 = t.add_switch("up1", SwitchRole::Core, 1);
+        let up2 = t.add_switch("up2", SwitchRole::Core, 2);
+        t.link_switches(b1, b2); // b1:1 <-> b2:1, intra-AS
+        t.link_switches(b1, up1); // b1:2, cross-AS
+        t.link_switches(b2, up2); // b2:2, cross-AS
+        (Arc::new(t), b1.dpid(), b2.dpid())
+    }
+
+    fn flow_mods(ctx: Ctx) -> Vec<(u64, FlowMod)> {
+        ctx.take()
+            .into_iter()
+            .filter_map(|(d, m)| match m {
+                Message::FlowMod(fm) => Some((d, fm)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn multi_border_as_counts_and_denies_on_every_exit() {
+        let (topo, b1, b2) = two_border_world();
+        let mut app = guard(&topo, Obs::new());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), b1);
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), b2);
+
+        // Sampling at b1 installs the rx half there and the tx half on
+        // BOTH borders: responses must be counted whichever exit they take.
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, b1, &sample_pi(2, udp_frame(src, dst, 40)));
+        let fms = flow_mods(ctx);
+        let kinds: Vec<(u64, u64)> = fms
+            .iter()
+            .map(|(d, fm)| (*d, cookie_kind(fm.cookie)))
+            .collect();
+        assert!(kinds.contains(&(b1, KIND_RX_COUNT)));
+        assert!(kinds.contains(&(b1, KIND_TX_COUNT)));
+        assert!(kinds.contains(&(b2, KIND_TX_COUNT)));
+        assert_eq!(fms.len(), 3);
+
+        // Response bytes escaping through b2 fold into b1's (the owner's)
+        // budget...
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 50_000)]);
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, b2, &reply);
+        assert_eq!(ctx.pending(), 0, "b2 owns nothing; its tick is empty");
+
+        // ...and b1's own poll trips the budget: inbound deny at b1, the
+        // outbound deny on every border of the AS.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_stats_reply(&mut ctx, b1, &MultipartReplyBody::Flow(vec![]));
+        let denies: Vec<(u64, u64)> = flow_mods(ctx)
+            .iter()
+            .filter(|(_, fm)| fm.priority == crate::PRIO_BORDER_DENY)
+            .map(|(d, fm)| (*d, cookie_kind(fm.cookie)))
+            .collect();
+        assert!(denies.contains(&(b1, KIND_DENY_IN)));
+        assert!(denies.contains(&(b1, KIND_DENY_OUT)));
+        assert!(denies.contains(&(b2, KIND_DENY_OUT)));
+        assert_eq!(denies.len(), 3);
+        assert_eq!(app.source_state(b1, src), Some(SourceState::Quarantined));
+
+        // Whichever border's deny expires first releases the owner's state.
+        let fr = FlowRemoved {
+            cookie: crate::border_cookie(KIND_DENY_OUT, u32::from(src)),
+            priority: crate::PRIO_BORDER_DENY,
+            reason: FlowRemovedReason::HardTimeout,
+            table_id: 0,
+            duration_sec: 10,
+            duration_nsec: 0,
+            idle_timeout: 0,
+            hard_timeout: 10,
+            packet_count: 0,
+            byte_count: 0,
+            match_: OxmMatch::new(),
+        };
+        app.on_flow_removed(&mut Ctx::new(SimTime::ZERO), b2, &fr);
+        assert_eq!(app.stats.releases, 1);
+        assert_eq!(app.source_state(b1, src), Some(SourceState::Unvalidated));
+    }
+
+    #[test]
+    fn late_border_is_rearmed_with_tx_and_deny_halves() {
+        let (topo, b1, b2) = two_border_world();
+        let mut app = guard(&topo, Obs::new());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), b1);
+
+        // Track one benign source and quarantine another while b2 is down.
+        let tracked: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let bad: Ipv4Addr = "203.0.113.66".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        app.on_packet_in(
+            &mut Ctx::new(SimTime::ZERO),
+            b1,
+            &sample_pi(2, udp_frame(tracked, dst, 40)),
+        );
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(bad, 60), 50_000)]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), b1, &reply);
+        assert_eq!(app.source_state(b1, bad), Some(SourceState::Quarantined));
+
+        // b2 connects mid-epoch: beyond its sampler it must pick up the
+        // tx counter for the tracked source and the outbound deny for the
+        // quarantined one, or both would leak through it.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, b2);
+        let fms = flow_mods(ctx);
+        let kinds: Vec<u64> = fms.iter().map(|(_, fm)| cookie_kind(fm.cookie)).collect();
+        assert!(fms.iter().all(|(d, _)| *d == b2));
+        assert!(kinds.contains(&KIND_SAMPLE));
+        assert!(kinds.contains(&KIND_TX_COUNT));
+        assert!(kinds.contains(&KIND_DENY_OUT));
+    }
+
+    #[test]
+    fn idle_count_rule_expiry_evicts_controller_state() {
+        let (topo, border) = world();
+        let mut app = guard(&topo, Obs::new());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        app.on_packet_in(
+            &mut Ctx::new(SimTime::ZERO),
+            border,
+            &sample_pi(1, udp_frame(src, dst, 40)),
+        );
+        assert_eq!(app.stats.sources_tracked, 1);
+
+        // The idle source's count pair expires at the switch; the budget
+        // entry and baselines must go with it.
+        for kind in [KIND_RX_COUNT, KIND_TX_COUNT] {
+            let fr = FlowRemoved {
+                cookie: crate::border_cookie(kind, u32::from(src)),
+                priority: crate::PRIO_BORDER_COUNT,
+                reason: FlowRemovedReason::IdleTimeout,
+                table_id: 0,
+                duration_sec: 60,
+                duration_nsec: 0,
+                idle_timeout: 60,
+                hard_timeout: 0,
+                packet_count: 0,
+                byte_count: 0,
+                match_: OxmMatch::new(),
+            };
+            app.on_flow_removed(&mut Ctx::new(SimTime::ZERO), border, &fr);
+        }
+        assert_eq!(app.source_state(border, src), None);
+        assert_eq!(app.stats.evictions, 1);
+
+        // A returning source is sampled afresh and re-tracked in full.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, border, &sample_pi(1, udp_frame(src, dst, 40)));
+        assert_eq!(flow_mods(ctx).len(), 2, "rx + tx count rules again");
+        assert_eq!(app.stats.sources_tracked, 2);
+        assert_eq!(
+            app.source_state(border, src),
+            Some(SourceState::Unvalidated)
+        );
+    }
+
+    #[test]
+    fn reoffense_denied_bytes_start_from_a_fresh_baseline() {
+        let (topo, border) = world();
+        let obs = Obs::new();
+        let mut app = guard(&topo, obs.clone());
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+
+        // First offense: quarantine, then 2000 denied bytes observed.
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 50_000)]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        let reply = MultipartReplyBody::Flow(vec![
+            stats_entry(&border_deny_in(1, src, 10), 700),
+            stats_entry(&border_deny_out(src, 10), 1_300),
+        ]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        assert_eq!(obs.counters.get("sav_border_denied_bytes_total"), 2_000);
+
+        // The quarantine expires (both removals), clearing the baselines.
+        for kind in [KIND_DENY_IN, KIND_DENY_OUT] {
+            let fr = FlowRemoved {
+                cookie: crate::border_cookie(kind, u32::from(src)),
+                priority: crate::PRIO_BORDER_DENY,
+                reason: FlowRemovedReason::HardTimeout,
+                table_id: 0,
+                duration_sec: 10,
+                duration_nsec: 0,
+                idle_timeout: 0,
+                hard_timeout: 10,
+                packet_count: 0,
+                byte_count: 0,
+                match_: OxmMatch::new(),
+            };
+            app.on_flow_removed(&mut Ctx::new(SimTime::ZERO), border, &fr);
+        }
+
+        // Re-offense: the fresh deny rules restart their counters at zero.
+        // 500 new denied bytes must read as 500, not vanish under the old
+        // 2000-byte absolute baseline.
+        let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 100_000)]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        assert_eq!(app.stats.denies, 2);
+        let reply = MultipartReplyBody::Flow(vec![
+            stats_entry(&border_deny_in(1, src, 20), 200),
+            stats_entry(&border_deny_out(src, 20), 300),
+        ]);
+        app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        assert_eq!(obs.counters.get("sav_border_denied_bytes_total"), 2_500);
+    }
+
+    #[test]
+    fn capacity_cap_refuses_samples_past_the_limit() {
+        let (topo, border) = world();
+        let obs = Obs::new();
+        let mut app = BorderGuardApp::new(
+            topo.clone(),
+            BorderConfig {
+                max_sources: 1,
+                obs: Some(obs.clone()),
+                ..BorderConfig::default()
+            },
+        );
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let dst: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        let first: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        let extra: Ipv4Addr = "203.0.113.10".parse().unwrap();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, border, &sample_pi(1, udp_frame(first, dst, 40)));
+        assert_eq!(ctx.pending(), 2);
+
+        // Past the cap: no rules, no budget entry, the refusal is counted.
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_packet_in(&mut ctx, border, &sample_pi(1, udp_frame(extra, dst, 40)));
+        assert_eq!(ctx.pending(), 0, "no state for a refused source");
+        assert_eq!(app.source_state(border, extra), None);
+        assert_eq!(app.stats.capped, 1);
+        assert_eq!(obs.counters.get("sav_border_sources_capped_total"), 1);
+        assert_eq!(app.stats.sources_tracked, 1);
+    }
+
+    #[test]
+    fn validation_lapse_is_journalled() {
+        let (topo, border) = world();
+        let obs = Obs::new();
+        let mut app = BorderGuardApp::new(
+            topo.clone(),
+            BorderConfig {
+                validation_idle_polls: 2,
+                obs: Some(obs.clone()),
+                ..BorderConfig::default()
+            },
+        );
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), border);
+        let src: Ipv4Addr = "203.0.113.9".parse().unwrap();
+        for poll in 1..=5u64 {
+            let reply = MultipartReplyBody::Flow(vec![
+                stats_entry(&border_rx_count(1, src, 60), poll * 4_000),
+                stats_entry(&border_tx_count(src, 60), poll * 4_000),
+            ]);
+            app.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
+        }
+        assert_eq!(app.source_state(border, src), Some(SourceState::Validated));
+
+        // Two silent polls: the exemption lapses and the journal says so.
+        for _ in 0..2 {
+            app.on_stats_reply(
+                &mut Ctx::new(SimTime::ZERO),
+                border,
+                &MultipartReplyBody::Flow(vec![]),
+            );
+        }
+        assert_eq!(
+            app.source_state(border, src),
+            Some(SourceState::Unvalidated)
+        );
+        assert_eq!(app.stats.lapses, 1);
+        assert_eq!(obs.counters.get("sav_border_validation_lapsed_total"), 1);
+        assert!(obs.journal.tail_jsonl(1).contains("validation_lapsed"));
     }
 }

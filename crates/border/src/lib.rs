@@ -21,7 +21,7 @@
 //! | priority | match | action |
 //! |---|---|---|
 //! | 34000 [`PRIO_BORDER_DENY`] | `(in_port, ipv4_src=S)` / `ipv4_dst=S` | drop (hard timeout) |
-//! | 33000 [`PRIO_BORDER_COUNT`] | `(in_port, ipv4_src=S)` / `ipv4_dst=S` | count + `goto` forwarding |
+//! | 33000 [`PRIO_BORDER_COUNT`] | `(in_port, ipv4_src=S)` / `ipv4_dst=S` | count + `goto` forwarding (idle timeout) |
 //! | 32000 [`PRIO_BORDER_SAMPLE`] | `(in_port=border, eth_type=IPv4)` | copy to controller + `goto` |
 //!
 //! The sample rule punts a copy of the *first* packet from each new
@@ -31,6 +31,19 @@
 //! updates and runs one budget tick; a violation installs the deny pair
 //! with `SEND_FLOW_REM` and an exponentially escalating hard timeout, and
 //! the FLOW_REMOVED on expiry reopens the budget epoch.
+//!
+//! State on both sides of the channel is bounded: count rules carry an
+//! idle timeout whose FLOW_REMOVED evicts the matching budget/baseline
+//! entries, and each budget table caps its tracked sources — a spoofed
+//! scan cycling random external addresses cannot turn the defense itself
+//! into a state-exhaustion vector.
+//!
+//! In an AS with *several* border switches, the inbound half (sampler,
+//! `ipv4_src` counter, inbound deny) lives on the border that first saw
+//! the source, while the `ipv4_dst` counter and the outbound deny are
+//! installed on **every** connected border of that AS — response bytes are
+//! counted (and, under quarantine, blocked) no matter which exit they
+//! take, so the 3× cap holds network-wide rather than per switch.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -102,11 +115,16 @@ pub fn border_sample(port: u32) -> FlowMod {
 }
 
 /// Count bytes arriving on border `port` from external source `src`.
-/// Sits above the sampler so established sources stop punting.
-pub fn border_rx_count(port: u32, src: Ipv4Addr) -> FlowMod {
+/// Sits above the sampler so established sources stop punting. The idle
+/// timeout + `SEND_FLOW_REM` bound flow-table growth: a source that goes
+/// quiet sheds its rule, and the FLOW_REMOVED evicts the matching
+/// controller state.
+pub fn border_rx_count(port: u32, src: Ipv4Addr, idle_secs: u16) -> FlowMod {
     FlowMod {
         priority: PRIO_BORDER_COUNT,
         cookie: border_cookie(KIND_RX_COUNT, u32::from(src)),
+        idle_timeout: idle_secs,
+        flags: flow_mod_flags::SEND_FLOW_REM,
         instructions: vec![Instruction::GotoTable(TABLE_FWD)],
         ..FlowMod::add(
             OxmMatch::new()
@@ -118,11 +136,15 @@ pub fn border_rx_count(port: u32, src: Ipv4Addr) -> FlowMod {
 }
 
 /// Count bytes leaving the network toward external source `src` (no
-/// in_port: responses may exit through any path to the border).
-pub fn border_tx_count(src: Ipv4Addr) -> FlowMod {
+/// in_port: responses may exit through any path to the border — the guard
+/// installs this half on *every* border switch of the AS). Idle timeout as
+/// for [`border_rx_count`].
+pub fn border_tx_count(src: Ipv4Addr, idle_secs: u16) -> FlowMod {
     FlowMod {
         priority: PRIO_BORDER_COUNT,
         cookie: border_cookie(KIND_TX_COUNT, u32::from(src)),
+        idle_timeout: idle_secs,
+        flags: flow_mod_flags::SEND_FLOW_REM,
         instructions: vec![Instruction::GotoTable(TABLE_FWD)],
         ..FlowMod::add(
             OxmMatch::new()
@@ -194,14 +216,20 @@ mod tests {
 
     #[test]
     fn count_pair_shape() {
-        let rx = border_rx_count(2, ip());
-        let tx = border_tx_count(ip());
+        let rx = border_rx_count(2, ip(), 60);
+        let tx = border_tx_count(ip(), 60);
         for fm in [&rx, &tx] {
             assert_eq!(fm.priority, PRIO_BORDER_COUNT);
             assert!(fm.match_.validate_prerequisites().is_ok());
             assert_eq!(fm.instructions, vec![Instruction::GotoTable(TABLE_FWD)]);
             assert_eq!(fm.cookie & 0xffff_ffff, u64::from(u32::from(ip())));
             assert!(is_sav_cookie(fm.cookie));
+            // Idle sources must shed their rules (and, via FLOW_REMOVED,
+            // their controller state) — otherwise every source ever seen
+            // occupies the flow table forever.
+            assert_eq!(fm.idle_timeout, 60);
+            assert_eq!(fm.hard_timeout, 0);
+            assert_eq!(fm.flags & flow_mod_flags::SEND_FLOW_REM, 1);
         }
         assert_eq!(rx.match_.in_port(), Some(2));
         assert_eq!(tx.match_.in_port(), None, "responses exit via any port");

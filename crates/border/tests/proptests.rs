@@ -37,16 +37,20 @@ fn arb_op() -> impl Strategy<Value = Op> {
 }
 
 fn arb_cfg() -> impl Strategy<Value = BudgetConfig> {
-    (1u64..6, 0u64..4_000, 1u32..8, 0u64..30_000).prop_map(|(limit, grace, polls, min_bytes)| {
-        BudgetConfig {
+    (1u64..6, 0u64..4_000, 1u32..8, 0u64..30_000, 0u32..6).prop_map(
+        |(limit, grace, polls, min_bytes, idle_polls)| BudgetConfig {
             amplification_limit: limit,
             grace_bytes: grace,
             validation_polls: polls,
             validation_min_bytes: min_bytes,
+            validation_idle_polls: idle_polls,
             quarantine_base_secs: 10,
             quarantine_max_secs: 600,
-        }
-    })
+            // Far above the 4 sources the op generator uses, so capacity
+            // refusals never mask a missing deny.
+            max_sources: 64,
+        },
+    )
 }
 
 /// Independent model of one source's epoch totals and exemption state.
@@ -128,6 +132,14 @@ proptest! {
                             }
                             Verdict::Validated { src } => {
                                 model.entry(src.octets()[3]).or_default().validated = true;
+                            }
+                            Verdict::Lapsed { src } => {
+                                // Decay opens a fresh epoch: exemption and
+                                // byte totals all reset.
+                                let m = model.entry(src.octets()[3]).or_default();
+                                m.validated = false;
+                                m.rx = 0;
+                                m.tx = 0;
                             }
                         }
                     }

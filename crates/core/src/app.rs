@@ -143,10 +143,19 @@ pub struct BorderConfig {
     pub validation_polls: u32,
     /// Minimum cumulative inbound bytes before validation.
     pub validation_min_bytes: u64,
+    /// Poll ticks without inbound traffic after which an earned validation
+    /// lapses back to unvalidated (0 = never; allowlist entries never lapse).
+    pub validation_idle_polls: u32,
     /// First-offense quarantine, seconds.
     pub quarantine_base_secs: u16,
     /// Ceiling of the exponential re-offense escalation, seconds.
     pub quarantine_max_secs: u16,
+    /// Idle timeout on the per-source count rules: an idle source's rules
+    /// expire at the switch and its controller state is evicted with them.
+    pub count_idle_secs: u16,
+    /// Hard cap on tracked sources per border table; sources past the cap
+    /// are not admitted, bounding state under spoofed source scans.
+    pub max_sources: usize,
     /// Sources exempted up front (peering partners, monitoring probes).
     pub allowlist: Vec<Ipv4Addr>,
     /// Observability handle for guard events, counters, and gauges.
@@ -160,8 +169,11 @@ impl Default for BorderConfig {
             grace_bytes: 1500,
             validation_polls: 5,
             validation_min_bytes: 10_000,
+            validation_idle_polls: 40,
             quarantine_base_secs: 10,
             quarantine_max_secs: 600,
+            count_idle_secs: 60,
+            max_sources: 1024,
             allowlist: vec![],
             obs: None,
         }
@@ -1003,8 +1015,13 @@ impl App for SavApp {
     }
 
     fn on_flow_removed(&mut self, _ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
-        // Only binding allow rules carry an IP-tagged SAV cookie.
         if fr.cookie & SAV_COOKIE_MASK != SAV_COOKIE {
+            return;
+        }
+        // Other SAV-tagged rules (the border guard's deny/count rules) also
+        // carry an IP in the low 32 bits; only kind 0 — binding allow —
+        // may be read as a binding expiry.
+        if (fr.cookie >> 32) & 0xffff != 0 {
             return;
         }
         if fr.reason == FlowRemovedReason::Delete {
@@ -1387,6 +1404,70 @@ mod tests {
         let fr = fr_of(&sb, FlowRemovedReason::Delete);
         app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(1)), dpid0, &fr);
         assert!(app.bindings().get(h0.ip).is_some());
+        assert_eq!(app.stats.bindings_expired, 1);
+    }
+
+    #[test]
+    fn flow_removed_ignores_non_binding_sav_cookies() {
+        // Border guard rules are SAV-tagged and carry an IP in the low 32
+        // bits too; their expiry must never be read as a binding expiry.
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid0 = topo.switches()[0].id.dpid();
+        app.on_switch_up(&mut Ctx::new(SimTime::ZERO), dpid0);
+        let h0 = &topo.hosts()[0];
+        let fcfs = Binding {
+            ip: h0.ip,
+            mac: h0.mac,
+            dpid: dpid0,
+            port: 1,
+            source: BindingSource::Fcfs,
+            expires: None,
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.apply_upsert(&mut ctx, fcfs, SimTime::ZERO);
+        drop(ctx.take());
+
+        // A border deny rule for the same address hard-times-out: FCFS
+        // bindings die on any expiry reason, so this is the dangerous case.
+        for kind in [0xb00du64, 0xb00e, 0xb001, 0xb002, 0xffff] {
+            let fr = FlowRemoved {
+                cookie: SAV_COOKIE | (kind << 32) | u64::from(u32::from(h0.ip)),
+                priority: 34_000,
+                reason: FlowRemovedReason::HardTimeout,
+                table_id: 0,
+                duration_sec: 10,
+                duration_nsec: 0,
+                idle_timeout: 0,
+                hard_timeout: 10,
+                packet_count: 0,
+                byte_count: 0,
+                match_: OxmMatch::new(),
+            };
+            app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(10)), dpid0, &fr);
+        }
+        assert!(
+            app.bindings().get(h0.ip).is_some(),
+            "border-kind cookie must not retire the binding"
+        );
+        assert_eq!(app.stats.bindings_expired, 0);
+
+        // The genuine binding cookie (kind 0) still works.
+        let b = *app.bindings().get(h0.ip).unwrap();
+        let fr = FlowRemoved {
+            cookie: rules::allow_cookie(&b),
+            priority: crate::PRIO_ALLOW,
+            reason: FlowRemovedReason::IdleTimeout,
+            table_id: 0,
+            duration_sec: 10,
+            duration_nsec: 0,
+            idle_timeout: 60,
+            hard_timeout: 0,
+            packet_count: 0,
+            byte_count: 0,
+            match_: OxmMatch::new(),
+        };
+        app.on_flow_removed(&mut Ctx::new(SimTime::from_secs(10)), dpid0, &fr);
+        assert!(app.bindings().get(h0.ip).is_none());
         assert_eq!(app.stats.bindings_expired, 1);
     }
 

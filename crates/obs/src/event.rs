@@ -205,6 +205,14 @@ pub enum EventKind {
         /// The validated source address.
         src: String,
     },
+    /// An earned validation lapsed after sustained inbound silence; the
+    /// source is subject to the amplification limit again.
+    ValidationLapsed {
+        /// Border switch owning the source's budget.
+        dpid: u64,
+        /// The demoted source address.
+        src: String,
+    },
 }
 
 impl EventKind {
@@ -232,6 +240,7 @@ impl EventKind {
             EventKind::AmplificationDeny { .. } => "amplification_deny",
             EventKind::QuarantineExpired { .. } => "quarantine_expired",
             EventKind::SourceValidated { .. } => "source_validated",
+            EventKind::ValidationLapsed { .. } => "validation_lapsed",
         }
     }
 
@@ -354,7 +363,8 @@ impl EventKind {
                 n(out, "timeout_secs", *timeout_secs);
             }
             EventKind::QuarantineExpired { dpid, src }
-            | EventKind::SourceValidated { dpid, src } => {
+            | EventKind::SourceValidated { dpid, src }
+            | EventKind::ValidationLapsed { dpid, src } => {
                 n(out, "dpid", *dpid);
                 s(out, "src", src);
             }

@@ -434,7 +434,7 @@ fn border_guard_metrics_surface_in_the_scrape() {
     // A grossly one-sided source trips the budget on the next poll; the
     // deny rules' own drop counters then feed the denied-bytes series.
     let src: Ipv4Addr = "203.0.113.77".parse().unwrap();
-    let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src), 50_000)]);
+    let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_tx_count(src, 60), 50_000)]);
     guard.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
     let reply = MultipartReplyBody::Flow(vec![stats_entry(&border_deny_out(src, 10), 7_500)]);
     guard.on_stats_reply(&mut Ctx::new(SimTime::ZERO), border, &reply);
