@@ -38,6 +38,11 @@ pub enum Mechanism {
     SdnSavReactive,
     /// SDN-SAV with FCFS data-plane learning instead of a static plan.
     SdnSavFcfs,
+    /// SDN-SAV with a per-port TCAM budget: host rules until the count
+    /// exceeds the budget, exact-cover compression beyond it. Parameterised,
+    /// so it is not part of [`Mechanism::ALL`] — scenarios opt in with a
+    /// concrete budget (Figure 1b sweeps it).
+    SdnSavBudgeted(usize),
 }
 
 impl Mechanism {
@@ -68,6 +73,7 @@ impl Mechanism {
             Mechanism::SdnSavAggregateExact => "SDN-SAV (exact-agg)",
             Mechanism::SdnSavReactive => "SDN-SAV (reactive)",
             Mechanism::SdnSavFcfs => "SDN-SAV (FCFS)",
+            Mechanism::SdnSavBudgeted(_) => "SDN-SAV (budgeted)",
         }
     }
 
@@ -96,6 +102,10 @@ impl Mechanism {
             Mechanism::SdnSavFcfs => Some(SavConfig {
                 static_plan: false,
                 fcfs: true,
+                ..base
+            }),
+            Mechanism::SdnSavBudgeted(budget) => Some(SavConfig {
+                tcam_budget: Some(budget),
                 ..base
             }),
             _ => None,
@@ -176,6 +186,18 @@ mod tests {
         );
         let fcfs = Mechanism::SdnSavFcfs.sav_config().unwrap();
         assert!(fcfs.fcfs && !fcfs.static_plan);
+        let budgeted = Mechanism::SdnSavBudgeted(64).sav_config().unwrap();
+        assert_eq!(budgeted.tcam_budget, Some(64));
+        assert!(!budgeted.aggregate, "budgeted mode is per-host, not coarse");
+    }
+
+    #[test]
+    fn budgeted_variant_builds_a_chain_too() {
+        let topo = Arc::new(generators::campus(2, 2));
+        let routes = Arc::new(Routes::compute(&topo));
+        let apps = Mechanism::SdnSavBudgeted(128).build_apps(&topo, &routes, |_| {});
+        assert_eq!(apps[0].name(), "sdn-sav");
+        assert_eq!(apps.len(), 2);
     }
 
     #[test]

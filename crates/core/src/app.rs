@@ -14,6 +14,7 @@
 //! installed, matching rules kept with their switch-side timers intact.
 
 use crate::binding::{Binding, BindingChange, BindingSource, BindingTable};
+use crate::compiler::{self, RuleCompiler};
 use crate::rules;
 use crate::{SAV_COOKIE, SAV_COOKIE_MASK};
 use sav_controller::app::{App, Ctx, Disposition};
@@ -24,8 +25,8 @@ use sav_net::packet::{L4Info, ParsedPacket};
 use sav_obs::{EventKind, Obs, Severity, Span};
 use sav_openflow::consts::port as ofport;
 use sav_openflow::messages::{
-    FlowMod, FlowRemoved, FlowRemovedReason, FlowStatsEntry, FlowStatsRequest, Message,
-    MultipartReplyBody, MultipartRequestBody, PacketIn, PacketOut, PortStatus,
+    FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason, FlowStatsEntry, FlowStatsRequest,
+    Message, MultipartReplyBody, MultipartRequestBody, PacketIn, PacketOut, PortStatus,
 };
 use sav_openflow::prelude::Action;
 use sav_sim::{SimDuration, SimTime};
@@ -124,6 +125,13 @@ pub struct SavConfig {
     /// with this configuration. `None` leaves the rule set byte-identical
     /// to a guard-less deployment.
     pub border: Option<BorderConfig>,
+    /// Per-port TCAM budget for adaptive aggregation (proactive per-host
+    /// mode only). A port's host allows are compressed into the exact CIDR
+    /// cover of its bound addresses once their count *exceeds* this budget,
+    /// and split back toward host rules when releases/migrations shrink the
+    /// set. `None` (the default) keeps pure per-host rules and leaves every
+    /// existing mode byte-identical.
+    pub tcam_budget: Option<usize>,
 }
 
 /// Configuration of the anti-amplification border guard. Lives in sav-core
@@ -197,6 +205,7 @@ impl Default for SavConfig {
             enforced_ases: None,
             internal_v6_prefixes: vec![],
             border: None,
+            tcam_budget: None,
         }
     }
 }
@@ -261,6 +270,10 @@ pub struct SavApp {
     obs: Option<Obs>,
     /// Switches currently up (drives the `sav_connected_switches` gauge).
     connected: HashSet<u64>,
+    /// Incremental compiler: per-(dpid, port) mirror + installed-rule cache
+    /// emitting minimal deltas. Owns rule placement on the proactive
+    /// per-host path (see [`SavApp::compiler_active`]).
+    compiler: RuleCompiler,
 }
 
 impl SavApp {
@@ -271,6 +284,11 @@ impl SavApp {
             .iter()
             .map(|s| (s.id.dpid(), topo.trunk_ports(s.id).into_iter().collect()))
             .collect();
+        let compiler = RuleCompiler::new(
+            config.match_mac,
+            config.dynamic_idle_timeout,
+            config.tcam_budget,
+        );
         SavApp {
             topo,
             config,
@@ -284,6 +302,7 @@ impl SavApp {
             counters: Counters::new(),
             obs: None,
             connected: HashSet::new(),
+            compiler,
         }
     }
 
@@ -330,6 +349,63 @@ impl SavApp {
     /// The durable store, if one is attached.
     pub fn store(&self) -> Option<&BindingStore> {
         self.store.as_ref()
+    }
+
+    /// Apply one binding upsert through the full pipeline — WAL, events,
+    /// stats, and the derived flow-mod delta into `ctx` — returning what
+    /// the table did. The programmatic twin of the DHCP/FCFS/ARP learning
+    /// paths, for operator tooling and the differential test harness.
+    pub fn upsert_binding(&mut self, ctx: &mut Ctx, b: Binding) -> BindingChange {
+        let now = ctx.now();
+        self.apply_upsert(ctx, b, now)
+    }
+
+    /// Remove the binding for `ip` (operator action or programmatic
+    /// release) and retire its rules — under a TCAM budget a release inside
+    /// a covered block splits the cover. Returns the removed binding.
+    pub fn release_binding(&mut self, ctx: &mut Ctx, ip: Ipv4Addr) -> Option<Binding> {
+        let b = self.bindings.remove(ip)?;
+        self.log_op(WalOp::Remove(ip));
+        self.emit(Severity::Info, || EventKind::BindingExpired {
+            ip: ip.to_string(),
+            dpid: b.dpid,
+        });
+        let now = ctx.now();
+        self.retire_rules(ctx, &b, now);
+        self.refresh_gauges();
+        Some(b)
+    }
+
+    /// Sweep lease-expired bindings out of the table and retire their
+    /// rules, returning how many died. Cover rules carry no switch-side
+    /// timers (one rule stands for many leases), so under a TCAM budget
+    /// [`App::on_poll`] drives this sweep; without a budget the switch's
+    /// own `FlowRemoved` remains the expiry signal and the sweep finds at
+    /// most bindings whose rules are about to report the same thing.
+    pub fn sweep_expired(&mut self, ctx: &mut Ctx) -> usize {
+        let now = ctx.now();
+        let dead = self.bindings.expire(now);
+        let n = dead.len();
+        for b in dead {
+            self.log_op(WalOp::Expire(b.ip));
+            self.stats.bindings_expired += 1;
+            self.emit(Severity::Info, || EventKind::BindingExpired {
+                ip: b.ip.to_string(),
+                dpid: b.dpid,
+            });
+            self.retire_rules(ctx, &b, now);
+        }
+        if n > 0 {
+            self.refresh_gauges();
+        }
+        n
+    }
+
+    /// Allow rules the incremental compiler believes are installed across
+    /// all switches (hosts + covers) — the TCAM-occupancy metric the
+    /// budget bounds per port.
+    pub fn compiled_rule_count(&self) -> usize {
+        self.compiler.installed_total()
     }
 
     /// Append one op to the WAL (no-op without a store). Append failures
@@ -442,8 +518,24 @@ impl SavApp {
                 }
             }
         }
+        // Per-port wholesale compile — under a TCAM budget dense ports
+        // come out as exact covers, exactly as the incremental path leaves
+        // them, so reconciliation keeps (not churns) a recovered cover.
+        let mut by_port: std::collections::BTreeMap<
+            u32,
+            std::collections::BTreeMap<Ipv4Addr, Binding>,
+        > = std::collections::BTreeMap::new();
         for b in self.bindings.on_switch(dpid) {
-            out.push(self.compile_allow(b, now));
+            by_port.entry(b.port).or_default().insert(b.ip, *b);
+        }
+        for bs in by_port.values() {
+            out.extend(compiler::compile_port(
+                bs,
+                self.config.match_mac,
+                self.config.dynamic_idle_timeout,
+                self.config.tcam_budget,
+                now,
+            ));
         }
         out
     }
@@ -454,7 +546,10 @@ impl SavApp {
     /// exactly the remaining lifetime the lease has).
     fn reconcile_rules(&mut self, ctx: &mut Ctx, dpid: u64, entries: &[FlowStatsEntry]) {
         let now = ctx.now();
-        let desired = self.desired_edge_rules(dpid, now);
+        let desired = {
+            let _span = self.span("rule_compile");
+            self.desired_edge_rules(dpid, now)
+        };
         let mut matched = vec![false; desired.len()];
         let (mut kept, mut deleted, mut installed) = (0u64, 0u64, 0u64);
         for e in entries {
@@ -504,6 +599,13 @@ impl SavApp {
         self.counters.add("reconciled_kept", kept);
         self.counters.add("reconciled_deleted", deleted);
         self.counters.add("reconciled_installed", installed);
+        if self.compiler_active() {
+            // The switch now holds exactly the desired set: hand the
+            // compiler a primed cache so the next binding change is an
+            // incremental delta, not a blind reinstall.
+            let on_switch: Vec<Binding> = self.bindings.on_switch(dpid).copied().collect();
+            self.compiler.prime_switch(dpid, &on_switch);
+        }
     }
 
     fn subnet_of(&self, ip: Ipv4Addr) -> Option<Ipv4Cidr> {
@@ -523,6 +625,76 @@ impl SavApp {
             return false;
         };
         self.topo.hosts_on(sid).any(|h| h.subnet.contains(ip))
+    }
+
+    /// The incremental compiler owns rule placement for the proactive
+    /// per-host path, with or without a TCAM budget. Reactive mode installs
+    /// no proactive allows and the legacy whole-subnet aggregate modes keep
+    /// their coarse one-shot compilation.
+    fn compiler_active(&self) -> bool {
+        self.config.mode == SavMode::Proactive && !self.config.aggregate
+    }
+
+    /// Ship a compiled delta to `dpid`: count and journal each mod, then
+    /// fence multi-mod batches with a barrier so the switch applies the
+    /// whole transition before any later control message.
+    fn ship_delta(&mut self, ctx: &mut Ctx, dpid: u64, delta: Vec<FlowMod>) {
+        if delta.is_empty() {
+            return;
+        }
+        let batched = delta.len() > 1;
+        for fm in delta {
+            if fm.command == FlowModCommand::Add {
+                self.stats.rules_installed += 1;
+                self.emit(Severity::Info, || EventKind::RuleInstalled {
+                    dpid,
+                    cookie: fm.cookie,
+                    priority: fm.priority,
+                });
+                if let Some(obs) = &self.obs {
+                    obs.counters.incr("sav_rules_installed_total");
+                }
+            } else {
+                self.stats.rules_deleted += 1;
+                self.emit(Severity::Info, || EventKind::RuleDeleted {
+                    dpid,
+                    cookie: fm.cookie,
+                });
+                if let Some(obs) = &self.obs {
+                    obs.counters.incr("sav_rules_deleted_total");
+                }
+            }
+            ctx.install(dpid, fm);
+        }
+        if batched {
+            ctx.send(dpid, Message::BarrierRequest);
+        }
+    }
+
+    /// Place (or refresh) the rules `b` needs. On the compiler path this is
+    /// a minimal delta — zero mods for a no-op refresh, a cover
+    /// re-derivation when crossing the TCAM budget.
+    fn place_rules(&mut self, ctx: &mut Ctx, b: &Binding, now: SimTime) {
+        if self.compiler_active() {
+            let delta = {
+                let _span = self.span("rule_compile");
+                self.compiler.bind(b, now)
+            };
+            self.ship_delta(ctx, b.dpid, delta);
+        } else {
+            self.install_allow(ctx, b, now);
+        }
+    }
+
+    /// Retire the rules `b` no longer justifies. On the compiler path a
+    /// release inside a covered block re-derives (splits) the cover.
+    fn retire_rules(&mut self, ctx: &mut Ctx, b: &Binding, now: SimTime) {
+        if self.compiler_active() {
+            let delta = self.compiler.unbind(b, now);
+            self.ship_delta(ctx, b.dpid, delta);
+        } else {
+            self.delete_allow(ctx, b);
+        }
     }
 
     fn install_allow(&mut self, ctx: &mut Ctx, b: &Binding, now: SimTime) {
@@ -558,19 +730,15 @@ impl SavApp {
 
     /// The per-binding allow rule with lifecycle timeouts (non-aggregate
     /// proactive shape) — shared by fresh installs and reconciliation.
+    /// Delegates to the compiler's [`compiler::host_flow`] so the
+    /// incremental and wholesale paths can never drift apart.
     fn compile_allow(&self, b: &Binding, now: SimTime) -> FlowMod {
-        let (idle, hard) = match b.source {
-            BindingSource::Static => (0, 0),
-            BindingSource::Dhcp => {
-                let remaining = b
-                    .expires
-                    .map(|t| t.saturating_since(now).as_secs_f64().ceil() as u64)
-                    .unwrap_or(0);
-                (0, remaining.min(u64::from(u16::MAX)) as u16)
-            }
-            BindingSource::Fcfs => (self.config.dynamic_idle_timeout, 0),
-        };
-        rules::binding_allow(b, self.config.match_mac, idle, hard)
+        compiler::host_flow(
+            b,
+            self.config.match_mac,
+            self.config.dynamic_idle_timeout,
+            now,
+        )
     }
 
     fn delete_allow(&mut self, ctx: &mut Ctx, b: &Binding) {
@@ -603,14 +771,16 @@ impl SavApp {
                     port: b.port,
                     source: source_label(b.source),
                 });
-                self.install_allow(ctx, &b, now);
+                self.place_rules(ctx, &b, now);
             }
             BindingChange::Refreshed => {
                 // Logged even though the location is unchanged: a refresh
                 // carries a new lease expiry that recovery must see.
                 self.log_op(WalOp::Upsert(to_record(&b)));
-                // Reinstall to refresh timeouts (identical match replaces).
-                self.install_allow(ctx, &b, now);
+                // Re-derive the port's rules: a refresh that changes no
+                // match field or lease emits nothing; a renewed lease
+                // re-Adds the same match, refreshing the hard timeout.
+                self.place_rules(ctx, &b, now);
             }
             BindingChange::Moved(old) => {
                 self.log_op(WalOp::Migrate(to_record(&b)));
@@ -623,8 +793,19 @@ impl SavApp {
                     dpid: b.dpid,
                     port: b.port,
                 });
-                self.delete_allow(ctx, &old);
-                self.install_allow(ctx, &b, now);
+                if self.compiler_active() {
+                    // An in-place takeover (same port, new MAC) is a single
+                    // port delta — the compiler strict-deletes the old-MAC
+                    // rule and adds the new one itself. A genuine move also
+                    // retires the old attachment's rules first.
+                    if (old.dpid, old.port) != (b.dpid, b.port) {
+                        self.retire_rules(ctx, &old, now);
+                    }
+                    self.place_rules(ctx, &b, now);
+                } else {
+                    self.delete_allow(ctx, &old);
+                    self.install_allow(ctx, &b, now);
+                }
             }
             BindingChange::Conflict(_) => {
                 self.stats.conflicts += 1;
@@ -678,7 +859,8 @@ impl SavApp {
                             ip: b.ip.to_string(),
                             dpid: b.dpid,
                         });
-                        self.delete_allow(ctx, &b);
+                        let now = ctx.now();
+                        self.retire_rules(ctx, &b, now);
                         self.refresh_gauges();
                     }
                 }
@@ -959,23 +1141,73 @@ impl App for SavApp {
                         self.stats.rules_installed += 1;
                     }
                 }
-            } else {
+            } else if self.config.aggregate {
                 let mut seen_ports = HashSet::new();
                 for b in seeds {
-                    if self.config.aggregate {
-                        // One prefix rule per port, not per host.
-                        let fresh = seen_ports.insert(b.port);
-                        self.bindings.upsert(b, now);
-                        self.log_op(WalOp::Upsert(to_record(&b)));
-                        self.stats.bindings_added += 1;
-                        if fresh {
-                            self.install_allow(ctx, &b, now);
-                        }
-                    } else {
-                        self.apply_upsert(ctx, b, now);
+                    // One prefix rule per port, not per host.
+                    let fresh = seen_ports.insert(b.port);
+                    self.bindings.upsert(b, now);
+                    self.log_op(WalOp::Upsert(to_record(&b)));
+                    self.stats.bindings_added += 1;
+                    if fresh {
+                        self.install_allow(ctx, &b, now);
                     }
                 }
+            } else if self.compiler_active() {
+                // Seed the table only; the rules ship as one switch-wide
+                // batch below instead of one flow-mod round-trip per host.
+                for b in seeds {
+                    match self.bindings.upsert(b, now) {
+                        BindingChange::Added => {
+                            self.log_op(WalOp::Upsert(to_record(&b)));
+                            self.stats.bindings_added += 1;
+                            self.emit(Severity::Info, || EventKind::BindingLearned {
+                                ip: b.ip.to_string(),
+                                mac: b.mac.to_string(),
+                                dpid: b.dpid,
+                                port: b.port,
+                                source: source_label(b.source),
+                            });
+                        }
+                        BindingChange::Refreshed => {
+                            self.log_op(WalOp::Upsert(to_record(&b)));
+                        }
+                        BindingChange::Moved(old) => {
+                            self.log_op(WalOp::Migrate(to_record(&b)));
+                            self.stats.bindings_moved += 1;
+                            if old.dpid != dpid {
+                                let d = self.compiler.unbind(&old, now);
+                                self.ship_delta(ctx, old.dpid, d);
+                            }
+                        }
+                        BindingChange::Conflict(_) => {
+                            self.stats.conflicts += 1;
+                        }
+                    }
+                }
+            } else {
+                // Reactive mode: standard path, which installs nothing.
+                for b in seeds {
+                    self.apply_upsert(ctx, b, now);
+                }
             }
+        }
+        if self.compiler_active() {
+            // The switch (re)connected with a table we must assume fresh:
+            // rebuild its compiled state from scratch and push it as one
+            // fenced batch — covering the static seeds above plus anything
+            // learned dynamically before a reconnect.
+            let now = ctx.now();
+            let delta = {
+                let _span = self.span("rule_compile");
+                self.compiler.forget_switch(dpid);
+                let on_switch: Vec<Binding> = self.bindings.on_switch(dpid).copied().collect();
+                for b in &on_switch {
+                    self.compiler.stage(b);
+                }
+                self.compiler.sync_switch(dpid, now)
+            };
+            self.ship_delta(ctx, dpid, delta);
         }
         self.refresh_gauges();
     }
@@ -1014,7 +1246,7 @@ impl App for SavApp {
         Disposition::Continue
     }
 
-    fn on_flow_removed(&mut self, _ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
+    fn on_flow_removed(&mut self, ctx: &mut Ctx, dpid: u64, fr: &FlowRemoved) {
         if fr.cookie & SAV_COOKIE_MASK != SAV_COOKIE {
             return;
         }
@@ -1051,6 +1283,14 @@ impl App for SavApp {
                     ip: ip.to_string(),
                     dpid,
                 });
+                if self.compiler_active() {
+                    // The switch already dropped the rule; evict it from
+                    // the cache without a delete. Under a budget the
+                    // shrunken set may re-derive the port's cover.
+                    let now = ctx.now();
+                    let delta = self.compiler.rule_expired(&b, now);
+                    self.ship_delta(ctx, dpid, delta);
+                }
                 self.refresh_gauges();
             }
         }
@@ -1087,9 +1327,19 @@ impl App for SavApp {
                 ip: b.ip.to_string(),
                 dpid: b.dpid,
             });
-            self.delete_allow(ctx, &b);
+            let now = ctx.now();
+            self.retire_rules(ctx, &b, now);
         }
         self.refresh_gauges();
+    }
+
+    fn on_poll(&mut self, ctx: &mut Ctx, _dpid: u64) {
+        // Cover rules carry no switch-side timers, so lease expiry under a
+        // TCAM budget is controller-driven. Without a budget the switch's
+        // FlowRemoved stays the sole expiry signal, exactly as before.
+        if self.config.tcam_budget.is_some() {
+            self.sweep_expired(ctx);
+        }
     }
 }
 
@@ -1775,5 +2025,77 @@ mod tests {
         assert!(app.bindings().get("10.0.0.200".parse().unwrap()).is_none());
         // Static bindings survived.
         assert!(app.bindings().get(topo.hosts()[0].ip).is_some());
+    }
+
+    #[test]
+    fn noop_refresh_emits_zero_flow_mods() {
+        let (topo, mut app) = mk(SavConfig::default());
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        drop(ctx.take());
+        let installed = app.stats.rules_installed;
+
+        // Re-upserting every seeded binding unchanged is a refresh: the
+        // compiled state already matches, so nothing reaches the switch.
+        let live: Vec<Binding> = app.bindings().iter().copied().collect();
+        for b in live {
+            let mut ctx = Ctx::new(SimTime::from_secs(1));
+            let change = app.upsert_binding(&mut ctx, b);
+            assert_eq!(change, BindingChange::Refreshed);
+            assert!(ctx.take().is_empty(), "no-op refresh must ship nothing");
+        }
+        assert_eq!(app.stats.rules_installed, installed);
+    }
+
+    #[test]
+    fn budgeted_port_compresses_and_splits_on_release() {
+        let (topo, mut app) = mk(SavConfig {
+            static_plan: false,
+            tcam_budget: Some(2),
+            ..SavConfig::default()
+        });
+        let dpid = topo.switches()[0].id.dpid();
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.on_switch_up(&mut ctx, dpid);
+        drop(ctx.take());
+
+        // Bind a complete /30 onto one port: 4 hosts over budget 2.
+        for i in 0..4u32 {
+            let b = Binding {
+                ip: Ipv4Addr::from(0x0a00_0a00 + i),
+                mac: MacAddr::from_index(u64::from(i) + 1),
+                dpid,
+                port: 1,
+                source: BindingSource::Dhcp,
+                expires: Some(SimTime::from_secs(600)),
+            };
+            let mut ctx = Ctx::new(SimTime::ZERO);
+            app.upsert_binding(&mut ctx, b);
+            drop(ctx.take());
+        }
+        // Hosts collapsed into one /30 cover rule.
+        assert_eq!(app.compiled_rule_count(), 1);
+
+        // Releasing an inside address splits the cover back apart —
+        // 10.0.10.0, .1, .3 need /31 + /32.
+        let mut ctx = Ctx::new(SimTime::from_secs(1));
+        let got = app.release_binding(&mut ctx, "10.0.10.2".parse().unwrap());
+        assert!(got.is_some());
+        let mods: Vec<_> = ctx
+            .take()
+            .into_iter()
+            .filter_map(|(_, m)| match m {
+                Message::FlowMod(fm) => Some(fm),
+                _ => None,
+            })
+            .collect();
+        assert!(!mods.is_empty());
+        assert_eq!(app.compiled_rule_count(), 2);
+        // Every mod stays inside the SAV cookie space so restart
+        // reconciliation and the stats poller keep working unchanged.
+        for fm in &mods {
+            assert_eq!(fm.cookie & crate::SAV_COOKIE_MASK, crate::SAV_COOKIE);
+        }
     }
 }

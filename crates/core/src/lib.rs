@@ -40,11 +40,13 @@
 pub mod aggregate;
 pub mod app;
 pub mod binding;
+pub mod compiler;
 pub mod poller;
 pub mod rules;
 
 pub use app::{BorderConfig, SavApp, SavConfig, SavMode, SavStats};
 pub use binding::{Binding, BindingChange, BindingSource, BindingTable};
+pub use compiler::RuleCompiler;
 pub use poller::{SavRecord, SpoofSource, StatsPollerApp};
 
 /// Priority of per-binding allow rules.

@@ -81,6 +81,41 @@ pub fn prefix_allow(port: u32, prefix: Ipv4Cidr) -> FlowMod {
     }
 }
 
+/// Cookie for a budgeted exact-cover rule: the `0xffff` kind (so
+/// binding-expiry logic and the stats poller's per-binding records ignore
+/// it, exactly like the legacy [`prefix_allow`] cookie) plus the cover's
+/// network address in the low 32 bits for attribution. Disjoint covers
+/// have distinct networks, so every cover on a port gets a unique cookie.
+pub fn cover_cookie(prefix: Ipv4Cidr) -> u64 {
+    SAV_COOKIE | 0x0000_ffff_0000_0000 | u64::from(u32::from(prefix.network()))
+}
+
+/// Budgeted exact-cover allow: like [`prefix_allow`] but with an
+/// attributable per-prefix cookie. No timeouts and no `SEND_FLOW_REM` —
+/// covered bindings expire under controller control (`SavApp::sweep_expired`),
+/// not switch timers, since one rule stands for many leases.
+pub fn cover_allow(port: u32, prefix: Ipv4Cidr) -> FlowMod {
+    FlowMod {
+        cookie: cover_cookie(prefix),
+        ..prefix_allow(port, prefix)
+    }
+}
+
+/// Strict delete for a cover rule.
+pub fn cover_delete(port: u32, prefix: Ipv4Cidr) -> FlowMod {
+    FlowMod {
+        priority: PRIO_ALLOW,
+        cookie: cover_cookie(prefix),
+        command: FlowModCommand::DeleteStrict,
+        ..FlowMod::add(
+            OxmMatch::new()
+                .with(OxmField::InPort(port))
+                .with(OxmField::EthType(0x0800))
+                .with(OxmField::Ipv4Src(prefix.network(), Some(prefix.netmask()))),
+        )
+    }
+}
+
 /// Trunk pass-through: traffic arriving from another switch was validated
 /// at its own edge.
 pub fn trunk_allow(port: u32) -> FlowMod {

@@ -1,12 +1,21 @@
-//! Property-based tests for the binding table: the single-holder invariant
-//! and the precedence lattice under arbitrary operation sequences.
+//! Property-based tests for the binding table (single-holder invariant,
+//! precedence lattice) and the **differential compiler suite**: the
+//! incremental rule compiler must leave a switch holding exactly what a
+//! from-scratch wholesale compile of the final binding table produces, for
+//! any operation sequence and any TCAM budget.
 
 use proptest::prelude::*;
+use sav_controller::app::{App, Ctx};
 use sav_core::binding::{Binding, BindingChange, BindingSource, BindingTable};
+use sav_core::compiler::compile_port;
+use sav_core::{SavApp, SavConfig};
 use sav_net::addr::MacAddr;
+use sav_openflow::messages::{FlowModCommand, Message, PortStatus, PortStatusReason};
+use sav_openflow::ports::{PortDesc, PortState};
 use sav_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -177,5 +186,148 @@ proptest! {
         }
         let total: usize = (0..8).map(|d| table.on_switch(d).count()).sum();
         prop_assert_eq!(total, table.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential compiler suite
+// ---------------------------------------------------------------------------
+
+/// Operations the incremental compiler must track: binding churn from every
+/// lifecycle path the app exposes, at any TCAM budget.
+#[derive(Debug, Clone)]
+enum CompilerOp {
+    /// DHCP ack / static seed / FCFS claim / migration — all land here.
+    Upsert(Binding),
+    /// DHCP release.
+    Release(Ipv4Addr),
+    /// Advance the clock and run the controller-driven expiry sweep.
+    Sweep(u64),
+    /// Link down: FCFS bindings on the port die.
+    PortDown(u64, u32),
+}
+
+fn arb_compiler_op() -> impl Strategy<Value = CompilerOp> {
+    prop_oneof![
+        6 => arb_binding().prop_map(CompilerOp::Upsert),
+        2 => (0u32..8).prop_map(|ip| CompilerOp::Release(Ipv4Addr::from(0x0a000000 + ip))),
+        1 => (0u64..100).prop_map(CompilerOp::Sweep),
+        1 => ((1u64..4), (1u32..5)).prop_map(|(d, p)| CompilerOp::PortDown(d, p)),
+    ]
+}
+
+/// A switch's table as the differential suite models it: the incremental
+/// deltas folded in emission order. Timeouts are deliberately not part of
+/// the key or value — equivalence is on the (match, priority, cookie) set.
+type FlowTable = HashMap<(u64, u16, String), u64>;
+
+fn fold_delta(table: &mut FlowTable, msgs: Vec<(u64, Message)>) {
+    for (dpid, msg) in msgs {
+        let Message::FlowMod(fm) = msg else {
+            // Barrier fences between deltas carry no table state.
+            continue;
+        };
+        let key = (dpid, fm.priority, format!("{:?}", fm.match_));
+        match fm.command {
+            FlowModCommand::Add => {
+                table.insert(key, fm.cookie);
+            }
+            FlowModCommand::DeleteStrict => {
+                table.remove(&key);
+            }
+            other => panic!("incremental deltas are Add/DeleteStrict only, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    /// **Differential property**: drive `SavApp` through an arbitrary
+    /// binding-churn sequence at an arbitrary TCAM budget, folding every
+    /// emitted flow-mod delta into a model switch table. The folded table
+    /// must be semantically identical — same (match, priority, cookie)
+    /// set — to a from-scratch wholesale compile of the final binding
+    /// table. Also checks, in sequence, that a no-op refresh of every
+    /// surviving binding ships zero flow-mods.
+    #[test]
+    fn incremental_compiler_matches_wholesale(
+        ops in proptest::collection::vec(arb_compiler_op(), 1..80),
+        budget_sel in 0usize..5,
+    ) {
+        let budget = [None, Some(1), Some(2), Some(4), Some(8)][budget_sel];
+        let topo = Arc::new(sav_topo::generators::linear(2, 2));
+        let config = SavConfig {
+            static_plan: false,
+            dhcp_snooping: false,
+            tcam_budget: budget,
+            ..SavConfig::default()
+        };
+        let match_mac = config.match_mac;
+        let idle = config.dynamic_idle_timeout;
+        let mut app = SavApp::new(topo, config);
+        let mut table = FlowTable::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            match op {
+                CompilerOp::Upsert(b) => {
+                    let mut ctx = Ctx::new(now);
+                    app.upsert_binding(&mut ctx, b);
+                    fold_delta(&mut table, ctx.take());
+                }
+                CompilerOp::Release(ip) => {
+                    let mut ctx = Ctx::new(now);
+                    app.release_binding(&mut ctx, ip);
+                    fold_delta(&mut table, ctx.take());
+                }
+                CompilerOp::Sweep(secs) => {
+                    now = now.max(SimTime::from_secs(secs));
+                    let mut ctx = Ctx::new(now);
+                    app.sweep_expired(&mut ctx);
+                    fold_delta(&mut table, ctx.take());
+                }
+                CompilerOp::PortDown(dpid, port) => {
+                    let mut desc = PortDesc::new(port, MacAddr::from_index(1));
+                    desc.state = PortState::LINK_DOWN;
+                    let ps = PortStatus {
+                        reason: PortStatusReason::Modify,
+                        desc,
+                    };
+                    let mut ctx = Ctx::new(now);
+                    app.on_port_status(&mut ctx, dpid, &ps);
+                    fold_delta(&mut table, ctx.take());
+                }
+            }
+        }
+
+        // Satellite check: re-upserting any live binding unchanged is a
+        // refresh and must emit nothing — cached or covered alike.
+        let live: Vec<Binding> = app.bindings().iter().copied().collect();
+        for b in live {
+            let mut ctx = Ctx::new(now);
+            let change = app.upsert_binding(&mut ctx, b);
+            prop_assert_eq!(change, BindingChange::Refreshed);
+            let leftover = ctx.take();
+            prop_assert!(
+                leftover.is_empty(),
+                "no-op refresh of {} emitted {} messages",
+                b.ip,
+                leftover.len()
+            );
+        }
+
+        // Wholesale compile of the final binding table, per (dpid, port).
+        let mut by_port: BTreeMap<(u64, u32), BTreeMap<Ipv4Addr, Binding>> = BTreeMap::new();
+        for b in app.bindings().iter() {
+            by_port.entry((b.dpid, b.port)).or_default().insert(b.ip, *b);
+        }
+        let mut expected = FlowTable::new();
+        for ((dpid, _port), bs) in &by_port {
+            for fm in compile_port(bs, match_mac, idle, budget, now) {
+                expected.insert((*dpid, fm.priority, format!("{:?}", fm.match_)), fm.cookie);
+            }
+        }
+        prop_assert_eq!(table, expected);
+
+        // Cache bookkeeping agrees with what the model switch holds.
+        prop_assert_eq!(app.compiled_rule_count(), expected.len());
     }
 }

@@ -42,8 +42,9 @@ fn expected_block(m: Mechanism, s: SpoofStrategy) -> bool {
         // Tested separately below with a precise variant.
         (StaticAcl | StrictUrpf | FeasibleUrpf, ExistingNeighbor) => false,
         (StaticAcl | StrictUrpf | FeasibleUrpf, FixedVictim(_)) => true,
-        // All SDN-SAV variants block everything (bindings are per-host).
-        (SdnSav | SdnSavNoMac | SdnSavReactive | SdnSavFcfs, _) => true,
+        // All SDN-SAV variants block everything (bindings are per-host; the
+        // budgeted mode's covers are exact, so nothing unbound passes).
+        (SdnSav | SdnSavNoMac | SdnSavReactive | SdnSavFcfs | SdnSavBudgeted(_), _) => true,
         // Aggregated mode is port+prefix: same-subnet spoofing from the
         // *same port's* prefix leaks by design. The exact cover restores
         // blocking of *unassigned* in-subnet addresses (tested separately).

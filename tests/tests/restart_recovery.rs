@@ -423,3 +423,170 @@ fn controller_restart_recovers_bindings_over_tcp() {
     server.shutdown();
     std::fs::remove_dir_all(&dir).unwrap();
 }
+
+/// Budgeted-aggregation regression for restart reconciliation: a port whose
+/// host rules were compressed into CIDR covers must survive a controller
+/// crash with **kept == everything, installed == 0, deleted == 0** — cover
+/// rules carry the SAV cookie tag and the recovered compiler recomputes the
+/// identical desired set. In-process (no TCP): the "switch" is a flow table
+/// folded from the flow-mods the first life actually emitted.
+#[test]
+fn budgeted_aggregation_survives_restart_reconciliation() {
+    use sav_controller::app::Ctx;
+    use sav_core::{Binding, BindingSource};
+    use sav_openflow::messages::{
+        FlowModCommand, FlowStatsEntry, Message, MultipartReplyBody, MultipartRequestBody,
+    };
+    use sav_openflow::oxm::OxmField;
+    use sav_sim::SimTime;
+    use std::net::Ipv4Addr;
+
+    let dir = std::env::temp_dir().join(format!(
+        "sav-budgeted-restart-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let topo = Arc::new(generators::linear(2, 2));
+    let dpid = topo.switches()[0].id.dpid();
+    let config = SavConfig {
+        static_plan: false,
+        tcam_budget: Some(4),
+        ..SavConfig::default()
+    };
+
+    // ---- Life 1: empty store, then 6 DHCP bindings on one port. -------
+    let store = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+    let mut app = sav_core::SavApp::with_store(topo.clone(), config.clone(), store);
+    // The model switch: (priority, match) → the installed FlowMod.
+    let mut table: HashMap<(u16, String), sav_openflow::messages::FlowMod> = HashMap::new();
+    let fold = |table: &mut HashMap<(u16, String), sav_openflow::messages::FlowMod>,
+                msgs: Vec<(u64, Message)>| {
+        for (d, m) in msgs {
+            let Message::FlowMod(fm) = m else { continue };
+            assert_eq!(d, dpid);
+            let key = (fm.priority, format!("{:?}", fm.match_));
+            match fm.command {
+                FlowModCommand::Add => {
+                    table.insert(key, fm);
+                }
+                FlowModCommand::DeleteStrict => {
+                    table.remove(&key);
+                }
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+    };
+    let mut ctx = Ctx::new(SimTime::ZERO);
+    app.on_switch_up(&mut ctx, dpid);
+    drop(ctx.take()); // cookie-filtered stats request, no rules yet
+    let mut ctx = Ctx::new(SimTime::ZERO);
+    app.on_stats_reply(&mut ctx, dpid, &MultipartReplyBody::Flow(vec![]));
+    fold(&mut table, ctx.take());
+
+    for i in 0..6u32 {
+        let b = Binding {
+            ip: Ipv4Addr::from(0x0a00_1400 + i),
+            mac: MacAddr::from_index(u64::from(i) + 1),
+            dpid,
+            port: 1,
+            source: BindingSource::Dhcp,
+            expires: Some(SimTime::from_secs(u64::from(LEASE_SECS))),
+        };
+        let mut ctx = Ctx::new(SimTime::ZERO);
+        app.upsert_binding(&mut ctx, b);
+        fold(&mut table, ctx.take());
+    }
+    // 6 > budget 4: the port's allows are covers (10.0.20.0/30 + /31),
+    // recognisable by their masked ipv4_src.
+    let covers = table
+        .values()
+        .filter(|fm| {
+            fm.priority == sav_core::PRIO_ALLOW
+                && fm
+                    .match_
+                    .fields()
+                    .iter()
+                    .any(|f| matches!(f, OxmField::Ipv4Src(_, Some(_))))
+        })
+        .count();
+    assert_eq!(
+        covers, 2,
+        "six hosts over budget four compress to two covers"
+    );
+    let n_rules = table.len();
+    drop(app); // crash: nothing beyond the per-append WAL fsyncs
+
+    // ---- Life 2: recover, reconcile against the surviving table. ------
+    let store = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(store.recovery_report().recovered_bindings, 6);
+    let mut app = sav_core::SavApp::with_store(topo.clone(), config, store);
+    let counters = app.counters.clone();
+    let mut ctx = Ctx::new(SimTime::ZERO);
+    app.on_switch_up(&mut ctx, dpid);
+    let msgs = ctx.take();
+    assert_eq!(msgs.len(), 1, "reconcile path sends only the stats request");
+    assert!(matches!(
+        &msgs[0].1,
+        Message::MultipartRequest(MultipartRequestBody::Flow(req))
+            if req.cookie == sav_core::SAV_COOKIE
+    ));
+    let entries: Vec<FlowStatsEntry> = table
+        .values()
+        .map(|fm| FlowStatsEntry {
+            table_id: fm.table_id,
+            duration_sec: 1,
+            duration_nsec: 0,
+            priority: fm.priority,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            cookie: fm.cookie,
+            packet_count: 0,
+            byte_count: 0,
+            match_: fm.match_.clone(),
+            instructions: fm.instructions.clone(),
+        })
+        .collect();
+    let mut ctx = Ctx::new(SimTime::ZERO);
+    app.on_stats_reply(&mut ctx, dpid, &MultipartReplyBody::Flow(entries));
+    let mods: Vec<_> = ctx
+        .take()
+        .into_iter()
+        .filter(|(_, m)| matches!(m, Message::FlowMod(_)))
+        .collect();
+    assert!(mods.is_empty(), "reconcile must not churn: {mods:?}");
+    assert_eq!(counters.get("reconciled_kept"), n_rules as u64);
+    assert_eq!(counters.get("reconciled_installed"), 0);
+    assert_eq!(counters.get("reconciled_deleted"), 0);
+
+    // The recovered compiler is primed: releasing an address inside a cover
+    // splits it, proving incremental compilation works after the restart.
+    let before = app.compiled_rule_count();
+    let mut ctx = Ctx::new(SimTime::from_secs(1));
+    assert!(app
+        .release_binding(&mut ctx, "10.0.20.2".parse().unwrap())
+        .is_some());
+    fold(&mut table, ctx.take());
+    assert!(
+        app.compiled_rule_count() > before,
+        "cover split into fragments"
+    );
+    // No surviving allow — host or cover — admits the released address.
+    let released = u32::from("10.0.20.2".parse::<Ipv4Addr>().unwrap());
+    assert!(
+        !table.values().any(|fm| fm.match_.fields().iter().any(|f| {
+            match f {
+                OxmField::Ipv4Src(ip, Some(mask)) => {
+                    u32::from(*ip) & u32::from(*mask) == released & u32::from(*mask)
+                }
+                OxmField::Ipv4Src(ip, None) => u32::from(*ip) == released,
+                _ => false,
+            }
+        })),
+        "the released address must no longer be admitted by any rule"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
