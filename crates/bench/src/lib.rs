@@ -10,8 +10,10 @@
 #![warn(missing_docs)]
 
 pub mod scenario;
+pub mod trajectory;
 
 pub use scenario::{run_mechanism, Outcome, ScenarioOpts};
+pub use trajectory::{Metrics, Trajectory, REGRESSION_TOLERANCE};
 
 use std::path::PathBuf;
 

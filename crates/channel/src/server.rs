@@ -93,11 +93,17 @@ impl SouthboundServer {
     pub fn bind(
         addr: impl ToSocketAddrs,
         config: ServerConfig,
-        controller: Controller,
+        mut controller: Controller,
     ) -> std::io::Result<SouthboundServer> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        // The controller shares the server's observability handle so its
+        // own instrumentation (causal trace completion, abandonment
+        // counters) lands in the same registry the channel reports into.
+        if let Some(obs) = &config.obs {
+            controller.set_obs(obs.clone());
+        }
         let controller = Arc::new(Mutex::new(controller));
         let conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>> =
             Arc::new(Mutex::new(HashMap::new()));

@@ -7,6 +7,7 @@
 //! also reacting to it (e.g. the DHCP server consumes DHCP packet-ins so
 //! the forwarding app does not try to unicast-learn from broadcasts).
 
+use sav_obs::TraceId;
 use sav_openflow::messages::{
     FlowMod, FlowRemoved, Message, MultipartReplyBody, PacketIn, PacketOut, PortStatus,
 };
@@ -17,6 +18,7 @@ use sav_sim::SimTime;
 pub struct Ctx {
     now: SimTime,
     out: Vec<(u64, Message)>,
+    traced_barriers: Vec<(u64, TraceId)>,
 }
 
 impl Ctx {
@@ -25,6 +27,7 @@ impl Ctx {
         Ctx {
             now,
             out: Vec::new(),
+            traced_barriers: Vec::new(),
         }
     }
 
@@ -69,9 +72,27 @@ impl Ctx {
         );
     }
 
-    /// Drain queued messages (used by the controller core).
+    /// Queue a `BarrierRequest` tagged with a causal trace: the controller
+    /// remembers the xid it assigns at encode time and completes `trace`
+    /// when the matching `BarrierReply` comes back (or abandons it if the
+    /// connection dies first).
+    pub fn send_traced_barrier(&mut self, dpid: u64, trace: TraceId) {
+        self.traced_barriers.push((dpid, trace));
+        self.send(dpid, Message::BarrierRequest);
+    }
+
+    /// Drain queued messages (used by the controller core). Trace tags are
+    /// dropped — harnesses driving apps directly have no barrier replies
+    /// to correlate anyway.
     pub fn take(self) -> Vec<(u64, Message)> {
         self.out
+    }
+
+    /// Drain queued messages plus the barrier trace tags, in barrier
+    /// emission order per dpid.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn take_traced(self) -> (Vec<(u64, Message)>, Vec<(u64, TraceId)>) {
+        (self.out, self.traced_barriers)
     }
 
     /// Number of queued messages so far.

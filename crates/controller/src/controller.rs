@@ -7,13 +7,13 @@
 //! connection is `Ready`, its datapath id is known and events flow to apps.
 
 use crate::app::{App, Ctx, Disposition};
-use sav_obs::{EventKind, Obs, Severity};
+use sav_obs::{EventKind, Obs, Severity, TraceId};
 use sav_openflow::consts::error_type;
 use sav_openflow::error::CodecError;
 use sav_openflow::framing::Deframer;
 use sav_openflow::messages::{ControllerRole, Message, RoleMsg};
 use sav_sim::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Connection identifier (assigned by the embedding I/O layer).
 pub type ConnId = usize;
@@ -90,6 +90,9 @@ pub struct Controller {
     /// before apps see the switch (cluster mode). `None` = standalone.
     master_generation: Option<u64>,
     obs: Option<Obs>,
+    /// Outstanding traced barriers: `(conn, xid)` of a `BarrierRequest`
+    /// carrying a causal trace, waiting for its `BarrierReply`.
+    pending_barriers: HashMap<(ConnId, u32), TraceId>,
     /// Counters for the evaluation harness.
     pub stats: ControllerStats,
 }
@@ -104,6 +107,7 @@ impl Controller {
             next_xid: 1,
             master_generation: None,
             obs: None,
+            pending_barriers: HashMap::new(),
             stats: ControllerStats::default(),
         }
     }
@@ -154,6 +158,24 @@ impl Controller {
     /// A control channel died.
     pub fn on_disconnect(&mut self, now: SimTime, conn: ConnId) -> ControllerOutput {
         let mut out = ControllerOutput::default();
+        // Barrier replies outstanding on this channel will never arrive:
+        // abandon their traces cleanly instead of leaking half-open spans
+        // (a recovering controller re-learns the binding and starts a
+        // fresh trace).
+        let stale: Vec<TraceId> = self
+            .pending_barriers
+            .iter()
+            .filter(|(k, _)| k.0 == conn)
+            .map(|(_, &t)| t)
+            .collect();
+        if !stale.is_empty() {
+            self.pending_barriers.retain(|k, _| k.0 != conn);
+            if let Some(obs) = &self.obs {
+                for t in stale {
+                    obs.abandon_trace(t);
+                }
+            }
+        }
         if let Some(c) = self.conns.remove(&conn) {
             if let ConnState::Ready { dpid } = c.state {
                 self.dpid_to_conn.remove(&dpid);
@@ -325,7 +347,18 @@ impl Controller {
                             app.on_stats_reply(&mut ctx, dpid, body);
                         }
                     }
-                    // Barrier replies and the rest need no dispatch.
+                    Message::BarrierReply => {
+                        // A traced barrier coming home closes its causal
+                        // trace: the switch has processed every flow-mod
+                        // sent before the barrier, so the binding is
+                        // enforced. Untraced barriers need no dispatch.
+                        if let Some(trace) = self.pending_barriers.remove(&(conn, xid)) {
+                            if let Some(obs) = &self.obs {
+                                obs.complete_trace(trace);
+                            }
+                        }
+                    }
+                    // The rest need no dispatch.
                     _ => {}
                 }
                 self.flush(ctx, out);
@@ -371,6 +404,23 @@ impl Controller {
     /// Let an external driver (the testbed command layer or tests) inject
     /// messages to switches through the app-visible path, e.g. to seed rules.
     pub fn send_all(&mut self, msgs: Vec<(u64, Message)>, out: &mut ControllerOutput) {
+        self.send_tagged(msgs, Vec::new(), out);
+    }
+
+    /// Encode and dispatch queued messages; `traced` carries the causal
+    /// trace tags of barrier requests, matched to barriers per dpid in
+    /// emission order so the xid assigned here can be correlated with the
+    /// eventual `BarrierReply`.
+    fn send_tagged(
+        &mut self,
+        msgs: Vec<(u64, Message)>,
+        traced: Vec<(u64, TraceId)>,
+        out: &mut ControllerOutput,
+    ) {
+        let mut tags: HashMap<u64, VecDeque<TraceId>> = HashMap::new();
+        for (dpid, trace) in &traced {
+            tags.entry(*dpid).or_default().push_back(*trace);
+        }
         for (dpid, msg) in msgs {
             match msg {
                 Message::FlowMod(_) => self.stats.flow_mods += 1,
@@ -380,7 +430,21 @@ impl Controller {
             self.stats.tx_messages += 1;
             if let Some(&conn) = self.dpid_to_conn.get(&dpid) {
                 let x = self.xid();
+                if matches!(msg, Message::BarrierRequest) {
+                    if let Some(trace) = tags.get_mut(&dpid).and_then(|q| q.pop_front()) {
+                        self.pending_barriers.insert((conn, x), trace);
+                    }
+                }
                 out.to_switch.push((conn, msg.encode(x)));
+            }
+        }
+        // Tags whose barrier never encoded (switch disconnected between
+        // queueing and flush) can never complete: abandon them.
+        if let Some(obs) = &self.obs {
+            for q in tags.values_mut() {
+                for trace in q.drain(..) {
+                    obs.abandon_trace(trace);
+                }
             }
         }
     }
@@ -397,8 +461,8 @@ impl Controller {
     }
 
     fn flush(&mut self, ctx: Ctx, out: &mut ControllerOutput) {
-        let msgs = ctx.take();
-        self.send_all(msgs, out);
+        let (msgs, traced) = ctx.take_traced();
+        self.send_tagged(msgs, traced, out);
     }
 
     /// Run a closure against the first app of concrete type `A` (state
@@ -552,6 +616,137 @@ mod tests {
         ctrl.on_disconnect(SimTime::ZERO, 0);
         assert!(ctrl.ready_dpids().is_empty());
         ctrl.with_app::<DownProbe, _>(|p| assert_eq!(p.downs, vec![5]));
+    }
+
+    /// Mints a causal trace per packet-in and fences it with a traced
+    /// barrier — the controller-side half of what `SavApp` does for a
+    /// DHCP-learned binding.
+    struct TraceApp {
+        obs: sav_obs::Obs,
+    }
+    impl App for TraceApp {
+        fn name(&self) -> &'static str {
+            "trace"
+        }
+        fn on_packet_in(
+            &mut self,
+            ctx: &mut Ctx,
+            dpid: u64,
+            _pi: &sav_openflow::messages::PacketIn,
+        ) -> Disposition {
+            let t = self.obs.traces.now_ns();
+            let id = self
+                .obs
+                .traces
+                .begin("10.0.0.1".into(), dpid, t)
+                .expect("tracing enabled");
+            self.obs
+                .traces
+                .stage(id, "packet_in", t, self.obs.traces.now_ns());
+            ctx.install(dpid, sav_openflow::messages::FlowMod::add(OxmMatch::new()));
+            self.obs.traces.stage_open(id, "barrier_ack");
+            ctx.send_traced_barrier(dpid, id);
+            Disposition::Consumed
+        }
+    }
+
+    fn packet_in_bytes() -> Vec<u8> {
+        let pi = sav_openflow::messages::PacketIn {
+            buffer_id: sav_openflow::consts::NO_BUFFER,
+            total_len: 4,
+            reason: sav_openflow::messages::PacketInReason::NoMatch,
+            table_id: 0,
+            cookie: u64::MAX,
+            match_: OxmMatch::new().with(sav_openflow::oxm::OxmField::InPort(1)),
+            data: vec![1, 2, 3, 4],
+        };
+        Message::PacketIn(pi).encode(901)
+    }
+
+    #[test]
+    fn traced_barrier_reply_completes_the_trace() {
+        let obs = sav_obs::Obs::with_tracing();
+        let mut ctrl = Controller::new(vec![Box::new(TraceApp { obs: obs.clone() })]);
+        ctrl.set_obs(obs.clone());
+        let mut sw = mk_switch(4);
+        converge(&mut ctrl, &mut sw, 0);
+
+        let out = ctrl.on_bytes(SimTime::ZERO, 0, &packet_in_bytes()).unwrap();
+        assert_eq!(
+            obs.traces.open_count(),
+            1,
+            "trace waits for the barrier ack"
+        );
+        // Ferry the flow-mod + barrier to the switch; it acks the barrier.
+        let mut replies = Vec::new();
+        for (_, b) in out.to_switch {
+            replies.extend(
+                sw.handle_controller_bytes(SimTime::ZERO, &b)
+                    .unwrap()
+                    .to_controller,
+            );
+        }
+        for b in replies {
+            ctrl.on_bytes(SimTime::ZERO, 0, &b).unwrap();
+        }
+        assert_eq!(obs.traces.open_count(), 0);
+        assert_eq!(obs.traces.completed(), 1);
+        let traces = obs.traces.tail(4);
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].stages.iter().any(|s| s.stage == "barrier_ack"));
+        assert_eq!(
+            obs.tracer
+                .histogram("time_to_enforcement")
+                .map(|h| h.count()),
+            Some(1),
+            "completion feeds the headline histogram"
+        );
+    }
+
+    #[test]
+    fn disconnect_abandons_half_open_traces() {
+        let obs = sav_obs::Obs::with_tracing();
+        let mut ctrl = Controller::new(vec![Box::new(TraceApp { obs: obs.clone() })]);
+        ctrl.set_obs(obs.clone());
+        let mut sw = mk_switch(4);
+        converge(&mut ctrl, &mut sw, 0);
+
+        // The barrier goes out but its reply is never delivered — the
+        // channel dies first (crash/failover). The trace must be dropped
+        // cleanly, not leaked half-open into a recovered controller.
+        let _lost = ctrl.on_bytes(SimTime::ZERO, 0, &packet_in_bytes()).unwrap();
+        assert_eq!(obs.traces.open_count(), 1);
+        ctrl.on_disconnect(SimTime::ZERO, 0);
+        assert_eq!(obs.traces.open_count(), 0, "no half-open trace survives");
+        assert_eq!(obs.traces.abandoned(), 1);
+        assert!(obs.traces.tail(4).is_empty(), "abandoned ≠ completed");
+        assert_eq!(obs.counters.get("sav_traces_abandoned_total"), 1);
+        assert_eq!(
+            obs.tracer
+                .histogram("time_to_enforcement")
+                .map(|h| h.count()),
+            None,
+            "an unenforced binding must not pollute the latency histogram"
+        );
+
+        // Recovery: the switch reconnects and a fresh packet-in traces
+        // end-to-end as usual.
+        let mut sw2 = mk_switch(4);
+        converge(&mut ctrl, &mut sw2, 1);
+        let out = ctrl.on_bytes(SimTime::ZERO, 1, &packet_in_bytes()).unwrap();
+        let mut replies = Vec::new();
+        for (_, b) in out.to_switch {
+            replies.extend(
+                sw2.handle_controller_bytes(SimTime::ZERO, &b)
+                    .unwrap()
+                    .to_controller,
+            );
+        }
+        for b in replies {
+            ctrl.on_bytes(SimTime::ZERO, 1, &b).unwrap();
+        }
+        assert_eq!(obs.traces.completed(), 1);
+        assert_eq!(obs.traces.abandoned(), 1, "old trace stays abandoned");
     }
 
     #[test]

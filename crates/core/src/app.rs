@@ -22,7 +22,7 @@ use sav_metrics::Counters;
 use sav_net::addr::{Ipv4Cidr, Ipv6Cidr, MacAddr};
 use sav_net::dhcpv4::{DhcpMessageType, DhcpRepr, DHCP_SERVER_PORT};
 use sav_net::packet::{L4Info, ParsedPacket};
-use sav_obs::{EventKind, Obs, Severity, Span};
+use sav_obs::{EventKind, Obs, Severity, Span, TraceId, TraceStageGuard};
 use sav_openflow::consts::port as ofport;
 use sav_openflow::messages::{
     FlowMod, FlowModCommand, FlowRemoved, FlowRemovedReason, FlowStatsEntry, FlowStatsRequest,
@@ -274,6 +274,15 @@ pub struct SavApp {
     /// emitting minimal deltas. Owns rule placement on the proactive
     /// per-host path (see [`SavApp::compiler_active`]).
     compiler: RuleCompiler,
+    /// Causal trace of the binding currently mid-upsert, with the dpid its
+    /// enforcement lands on; stage hooks attach to it while set.
+    active_trace: Option<(TraceId, u64)>,
+    /// Whether the active trace already fenced its flow-mods with a traced
+    /// barrier (completion then rides on the barrier ack).
+    trace_barrier_sent: bool,
+    /// Trace clock captured at packet-in entry, so a trace minted during
+    /// DHCP snooping starts at the packet's arrival, not the ACK decision.
+    pktin_ns: Option<u64>,
 }
 
 impl SavApp {
@@ -303,6 +312,9 @@ impl SavApp {
             obs: None,
             connected: HashSet::new(),
             compiler,
+            active_trace: None,
+            trace_barrier_sent: false,
+            pktin_ns: None,
         }
     }
 
@@ -310,12 +322,18 @@ impl SavApp {
     /// land in its journal, instrumented paths in its trace histograms,
     /// table sizes in its gauges.
     pub fn with_obs(mut self, obs: Obs) -> SavApp {
+        self.set_obs(obs);
+        self
+    }
+
+    /// Non-consuming variant of [`SavApp::with_obs`], for apps already
+    /// wired into a controller (e.g. behind `Controller::with_app`).
+    pub fn set_obs(&mut self, obs: Obs) {
         if let Some(store) = &mut self.store {
             store.set_obs(obs.clone());
         }
         self.obs = Some(obs);
         self.refresh_gauges();
-        self
     }
 
     /// Build the app over a durable [`BindingStore`], hydrating the binding
@@ -411,6 +429,11 @@ impl SavApp {
     /// Append one op to the WAL (no-op without a store). Append failures
     /// are counted, not fatal: enforcement must survive a full disk.
     fn log_op(&mut self, op: WalOp) {
+        let _trace = if self.store.is_some() {
+            self.trace_stage("wal_fsync")
+        } else {
+            None
+        };
         if let Some(store) = &mut self.store {
             let _span = self.obs.as_ref().map(|o| o.span("wal_append"));
             if store.append(&op).is_err() {
@@ -459,6 +482,66 @@ impl SavApp {
     /// Start a trace span if observed.
     fn span(&self, name: &'static str) -> Option<Span> {
         self.obs.as_ref().map(|o| o.span(name))
+    }
+
+    /// Mint a causal trace for a binding about to be upserted on `dpid`.
+    /// The trace starts at the packet-in that revealed the host (captured
+    /// in [`on_packet_in`](App::on_packet_in)), and its first stage —
+    /// `packet_in` — covers parse + snoop up to this decision point.
+    fn begin_trace(&mut self, ip: Ipv4Addr, dpid: u64) {
+        let Some(obs) = &self.obs else { return };
+        if !obs.traces.enabled() {
+            return;
+        }
+        let started = self.pktin_ns.take().unwrap_or_else(|| obs.traces.now_ns());
+        if let Some(trace) = obs.traces.begin(ip.to_string(), dpid, started) {
+            obs.traces
+                .stage(trace, "packet_in", started, obs.traces.now_ns());
+            self.active_trace = Some((trace, dpid));
+            self.trace_barrier_sent = false;
+        }
+    }
+
+    /// Deactivate the current trace. If no traced barrier went out (empty
+    /// delta: refresh, conflict, reactive mode), the trace completes here
+    /// instead of leaking open forever.
+    fn finish_trace(&mut self) {
+        let Some((trace, _)) = self.active_trace.take() else {
+            return;
+        };
+        if !self.trace_barrier_sent {
+            if let Some(obs) = &self.obs {
+                obs.complete_trace(trace);
+            }
+        }
+        self.trace_barrier_sent = false;
+    }
+
+    /// RAII stage on the active trace (`None` when no trace is active —
+    /// the common, zero-cost case).
+    fn trace_stage(&self, stage: &'static str) -> Option<TraceStageGuard> {
+        let (trace, _) = self.active_trace?;
+        let obs = self.obs.as_ref()?;
+        Some(obs.traces.stage_guard(trace, stage))
+    }
+
+    /// Fence the active trace's flow-mods with a traced `BarrierRequest`
+    /// on `dpid`: the barrier ack closes the trace. At most one per trace,
+    /// and only on the switch the binding anchors to (a `Moved` binding
+    /// also retires rules elsewhere — those don't define enforcement).
+    fn fence_trace(&mut self, ctx: &mut Ctx, dpid: u64) -> bool {
+        let Some((trace, trace_dpid)) = self.active_trace else {
+            return false;
+        };
+        if self.trace_barrier_sent || trace_dpid != dpid {
+            return false;
+        }
+        if let Some(obs) = &self.obs {
+            obs.traces.stage_open(trace, "barrier_ack");
+        }
+        ctx.send_traced_barrier(dpid, trace);
+        self.trace_barrier_sent = true;
+        true
     }
 
     /// Re-publish the binding-table and connectivity gauges.
@@ -643,6 +726,7 @@ impl SavApp {
             return;
         }
         let batched = delta.len() > 1;
+        let send_stage = self.trace_stage("send");
         for fm in delta {
             if fm.command == FlowModCommand::Add {
                 self.stats.rules_installed += 1;
@@ -666,7 +750,12 @@ impl SavApp {
             }
             ctx.install(dpid, fm);
         }
-        if batched {
+        drop(send_stage);
+        // A traced upsert always fences (even a single mod — the ack is
+        // what proves enforcement); the untraced path keeps its
+        // batched-only barrier, so disabled tracing emits byte-identical
+        // message streams.
+        if !self.fence_trace(ctx, dpid) && batched {
             ctx.send(dpid, Message::BarrierRequest);
         }
     }
@@ -678,6 +767,7 @@ impl SavApp {
         if self.compiler_active() {
             let delta = {
                 let _span = self.span("rule_compile");
+                let _trace = self.trace_stage("compile");
                 self.compiler.bind(b, now)
             };
             self.ship_delta(ctx, b.dpid, delta);
@@ -887,7 +977,9 @@ impl SavApp {
                 expires: Some(ctx.now() + SimDuration::from_secs(u64::from(lease))),
             };
             let now = ctx.now();
+            self.begin_trace(b.ip, b.dpid);
             self.apply_upsert(ctx, b, now);
+            self.finish_trace();
         }
     }
 
@@ -1224,6 +1316,14 @@ impl App for SavApp {
 
     fn on_packet_in(&mut self, ctx: &mut Ctx, dpid: u64, pi: &PacketIn) -> Disposition {
         let _span = self.span("on_packet_in");
+        // Stamp the arrival on the trace clock: if this packet-in turns
+        // out to be the DHCP ACK that mints a binding, its causal trace
+        // starts here, not at the snoop decision.
+        if let Some(obs) = &self.obs {
+            if obs.traces.enabled() {
+                self.pktin_ns = Some(obs.traces.now_ns());
+            }
+        }
         let Some(in_port) = pi.in_port() else {
             return Disposition::Continue;
         };

@@ -61,7 +61,10 @@ pub struct SpoofSource {
 pub struct StatsPollerApp {
     obs: Obs,
     export_per_binding: bool,
-    /// Absolute per-binding totals from allow-rule counters.
+    /// Keep 1-in-`sample_n` per-binding flow records (1 = keep all).
+    sample_n: u32,
+    /// Absolute per-binding totals from allow-rule counters (sampled
+    /// records only; multiply by `sample_n` for population estimates).
     records: BTreeMap<(u64, u32, Ipv4Addr), (u64, u64)>,
     /// Last absolute default-deny packet count per switch.
     deny_last: BTreeMap<u64, u64>,
@@ -73,14 +76,68 @@ pub struct StatsPollerApp {
 impl StatsPollerApp {
     /// Build a poller publishing into `obs`.
     pub fn new(obs: Obs) -> StatsPollerApp {
+        obs.counters.add("sav_flow_records_sampled_total", 0);
+        obs.counters.add("sav_flow_records_dropped_total", 0);
         StatsPollerApp {
             obs,
             export_per_binding: true,
+            sample_n: 1,
             records: BTreeMap::new(),
             deny_last: BTreeMap::new(),
             port_drops: BTreeMap::new(),
             polls: 0,
         }
+    }
+
+    /// NetFlow-style 1-in-`n` sampling of per-binding flow records, keyed
+    /// by a hash of `(dpid, port, ip)` so the kept subset is stable across
+    /// polls (each kept binding accumulates correct absolute counters,
+    /// and population totals are estimated as `kept × n`). Deny-rule and
+    /// border-tagged counters are never sampled away — drop attribution
+    /// must stay exact. `n = 1` (the default) keeps everything.
+    pub fn with_sampling(mut self, n: u32) -> StatsPollerApp {
+        self.sample_n = n.max(1);
+        self
+    }
+
+    /// The configured 1-in-N sampling rate.
+    pub fn sampling(&self) -> u32 {
+        self.sample_n
+    }
+
+    /// Stable membership test: FNV-1a over the record key, so the same
+    /// ~1/n of bindings is kept on every poll.
+    fn keeps(&self, dpid: u64, port: u32, ip: Ipv4Addr) -> bool {
+        if self.sample_n <= 1 {
+            return true;
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in dpid
+            .to_be_bytes()
+            .into_iter()
+            .chain(port.to_be_bytes())
+            .chain(ip.octets())
+        {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // FNV's low bits disperse poorly over sequential addresses; mix
+        // before the modulus so kept fractions track 1/n closely.
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h.is_multiple_of(u64::from(self.sample_n))
+    }
+
+    /// Sampling-corrected population totals `(packets, bytes)`: the sum
+    /// over kept records scaled by the sampling rate.
+    pub fn estimated_totals(&self) -> (f64, f64) {
+        let (packets, bytes) = self
+            .records
+            .values()
+            .fold((0u64, 0u64), |acc, &(p, b)| (acc.0 + p, acc.1 + b));
+        let n = f64::from(self.sample_n);
+        (packets as f64 * n, bytes as f64 * n)
     }
 
     /// Toggle per-binding gauge export (`sav_binding_packets{...}`). On by
@@ -155,6 +212,11 @@ impl StatsPollerApp {
                     continue;
                 };
                 let ip = Ipv4Addr::from((e.cookie & 0xffff_ffff) as u32);
+                if !self.keeps(dpid, port, ip) {
+                    self.obs.counters.incr("sav_flow_records_dropped_total");
+                    continue;
+                }
+                self.obs.counters.incr("sav_flow_records_sampled_total");
                 self.records
                     .insert((dpid, port, ip), (e.packet_count, e.byte_count));
                 if self.export_per_binding {
@@ -189,6 +251,11 @@ impl StatsPollerApp {
                 },
             );
         }
+        let (est_packets, est_bytes) = self.estimated_totals();
+        self.obs
+            .gauges
+            .set("sav_flow_packets_estimate", est_packets);
+        self.obs.gauges.set("sav_flow_bytes_estimate", est_bytes);
     }
 
     fn ingest_port_stats(&mut self, dpid: u64, stats: &[sav_openflow::messages::PortStats]) {
@@ -396,5 +463,78 @@ mod tests {
         );
         // Each nonzero delta journals a port-attributed spoof_drop.
         assert!(obs.journal.tail_jsonl(2).contains("\"port\":2"));
+    }
+
+    /// A synthetic population of allow rules with uniform traffic: every
+    /// binding on port `p` carries `100 + i` packets of 100 bytes each.
+    fn uniform_entries(n: u32) -> Vec<FlowStatsEntry> {
+        (0..n)
+            .map(|i| {
+                let ip = Ipv4Addr::from(0x0a00_0100 + i);
+                let packets = 100 + u64::from(i);
+                allow_entry(1 + (i % 4), ip, packets, packets * 100)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sampling_keeps_a_stable_subset_and_corrects_totals() {
+        let truth_obs = Obs::new();
+        let mut truth = StatsPollerApp::new(truth_obs.clone());
+        let obs = Obs::new();
+        let mut sampled = StatsPollerApp::new(obs.clone()).with_sampling(8);
+        assert_eq!(sampled.sampling(), 8);
+
+        let entries = uniform_entries(256);
+        let reply = MultipartReplyBody::Flow(entries.clone());
+        truth.on_stats_reply(&mut Ctx::new(SimTime::ZERO), 1, &reply);
+        sampled.on_stats_reply(&mut Ctx::new(SimTime::ZERO), 1, &reply);
+
+        let kept = obs.counters.get("sav_flow_records_sampled_total");
+        let dropped = obs.counters.get("sav_flow_records_dropped_total");
+        assert_eq!(
+            kept + dropped,
+            256,
+            "every record is either kept or counted"
+        );
+        assert!(
+            kept > 0 && dropped > 0,
+            "1-in-8 keeps a strict subset ({kept} kept)"
+        );
+        assert_eq!(sampled.records().len(), kept as usize);
+        assert_eq!(truth.records().len(), 256);
+
+        // Sampling-corrected estimate within 2× of the unsampled truth.
+        let (_, truth_bytes) = truth.estimated_totals();
+        let (_, est_bytes) = sampled.estimated_totals();
+        assert!(
+            est_bytes >= truth_bytes / 2.0 && est_bytes <= truth_bytes * 2.0,
+            "1-in-8 estimate {est_bytes} vs truth {truth_bytes}"
+        );
+        assert_eq!(obs.gauges.get("sav_flow_bytes_estimate"), Some(est_bytes));
+
+        // The kept subset is stable: a second poll re-selects the same
+        // records (counters accumulate exactly 2× the first round).
+        sampled.on_stats_reply(&mut Ctx::new(SimTime::ZERO), 1, &reply);
+        assert_eq!(obs.counters.get("sav_flow_records_sampled_total"), kept * 2);
+        assert_eq!(sampled.records().len(), kept as usize);
+    }
+
+    #[test]
+    fn deny_counters_are_never_sampled_away() {
+        let obs = Obs::new();
+        let mut app = StatsPollerApp::new(obs.clone()).with_sampling(1_000_000);
+        let mut entries = uniform_entries(64);
+        entries.push(deny_entry(9));
+        app.on_stats_reply(
+            &mut Ctx::new(SimTime::ZERO),
+            1,
+            &MultipartReplyBody::Flow(entries),
+        );
+        // Virtually every per-binding record is sampled out...
+        assert!(app.records().len() <= 1);
+        // ...but the default-deny drop attribution stays exact.
+        assert_eq!(app.switch_drop_totals(), vec![(1, 9)]);
+        assert_eq!(obs.counters.get("sav_spoof_dropped_total"), 9);
     }
 }

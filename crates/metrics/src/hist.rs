@@ -2,7 +2,9 @@
 //! orders of magnitude (nanoseconds to seconds).
 
 /// Histogram over `(0, +inf)` with `BUCKETS_PER_DECADE` buckets per decade,
-/// covering 1e-9 .. 1e3 (values outside clamp to the edge buckets).
+/// covering 1e-9 .. 1e3 by default (values outside clamp to the edge
+/// buckets). Alternative layouts come from [`Histogram::with_layout`]; two
+/// histograms can only [`merge`](Histogram::merge) when their layouts match.
 #[derive(Debug, Clone)]
 pub struct Histogram {
     counts: Vec<u64>,
@@ -10,13 +12,40 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    lo_exp: f64,
+    buckets_per_decade: usize,
 }
+
+/// Bucket layouts differ — returned by [`Histogram::merge`] instead of
+/// silently zipping counts into the wrong boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutMismatch {
+    /// `(lo_exp, n_buckets, buckets_per_decade)` of the receiver.
+    pub left: (f64, usize, usize),
+    /// `(lo_exp, n_buckets, buckets_per_decade)` of the histogram merged in.
+    pub right: (f64, usize, usize),
+}
+
+impl std::fmt::Display for LayoutMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "histogram bucket layouts differ: (lo_exp {}, {} buckets, {}/decade) \
+             vs (lo_exp {}, {} buckets, {}/decade)",
+            self.left.0, self.left.1, self.left.2, self.right.0, self.right.1, self.right.2
+        )
+    }
+}
+
+impl std::error::Error for LayoutMismatch {}
 
 const DECADES: usize = 12; // 1e-9 .. 1e3
 const BUCKETS_PER_DECADE: usize = 20;
+#[cfg(test)]
 const N_BUCKETS: usize = DECADES * BUCKETS_PER_DECADE;
 const LO_EXP: f64 = -9.0;
 
+#[cfg(test)]
 fn bucket_of(x: f64) -> usize {
     if x.is_nan() || x <= 0.0 {
         return 0;
@@ -33,6 +62,7 @@ fn bucket_of(x: f64) -> usize {
     (pos.ceil() - 1.0).clamp(0.0, (N_BUCKETS - 1) as f64) as usize
 }
 
+#[cfg(test)]
 fn bucket_upper(i: usize) -> f64 {
     10f64.powf(LO_EXP + (i as f64 + 1.0) / BUCKETS_PER_DECADE as f64)
 }
@@ -44,22 +74,53 @@ impl Default for Histogram {
 }
 
 impl Histogram {
-    /// An empty histogram.
+    /// An empty histogram with the default layout (1e-9 .. 1e3, 20
+    /// buckets per decade).
     pub fn new() -> Histogram {
+        Self::with_layout(LO_EXP, DECADES, BUCKETS_PER_DECADE)
+    }
+
+    /// An empty histogram over `10^lo_exp .. 10^(lo_exp + decades)` with
+    /// `buckets_per_decade` subdivisions per decade.
+    pub fn with_layout(lo_exp: f64, decades: usize, buckets_per_decade: usize) -> Histogram {
+        assert!(decades > 0 && buckets_per_decade > 0, "degenerate layout");
         Histogram {
-            counts: vec![0; N_BUCKETS],
+            counts: vec![0; decades * buckets_per_decade],
             total: 0,
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            lo_exp,
+            buckets_per_decade,
         }
+    }
+
+    fn layout(&self) -> (f64, usize, usize) {
+        (self.lo_exp, self.counts.len(), self.buckets_per_decade)
+    }
+
+    fn bucket_index(&self, x: f64) -> usize {
+        let n = self.counts.len();
+        if x.is_nan() || x <= 0.0 {
+            return 0;
+        }
+        if x == f64::INFINITY {
+            return n - 1;
+        }
+        let pos = (x.log10() - self.lo_exp) * self.buckets_per_decade as f64;
+        (pos.ceil() - 1.0).clamp(0.0, (n - 1) as f64) as usize
+    }
+
+    fn upper(&self, i: usize) -> f64 {
+        10f64.powf(self.lo_exp + (i as f64 + 1.0) / self.buckets_per_decade as f64)
     }
 
     /// Record one sample (non-positive and NaN samples land in the lowest
     /// bucket, `+inf` in the highest; min/max/sum still use the raw value
     /// when finite).
     pub fn record(&mut self, x: f64) {
-        self.counts[bucket_of(x)] += 1;
+        let i = self.bucket_index(x);
+        self.counts[i] += 1;
         self.total += 1;
         if x.is_finite() {
             self.sum += x;
@@ -112,14 +173,22 @@ impl Histogram {
         for (i, c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper(i);
+                return self.upper(i);
             }
         }
         self.max
     }
 
-    /// Merge another histogram into this one.
-    pub fn merge(&mut self, other: &Histogram) {
+    /// Merge another histogram into this one. Fails with
+    /// [`LayoutMismatch`] when the bucket boundaries differ — adding counts
+    /// bucket-by-bucket across different layouts would silently misbin.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), LayoutMismatch> {
+        if self.layout() != other.layout() {
+            return Err(LayoutMismatch {
+                left: self.layout(),
+                right: other.layout(),
+            });
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
@@ -127,6 +196,7 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// Sum of recorded finite samples (the Prometheus `_sum`).
@@ -143,7 +213,7 @@ impl Histogram {
         let mut acc = 0u64;
         self.counts.iter().enumerate().map(move |(i, c)| {
             acc += c;
-            (bucket_upper(i), acc)
+            (self.upper(i), acc)
         })
     }
 }
@@ -264,9 +334,51 @@ mod tests {
         let mut b = Histogram::new();
         a.record(0.001);
         b.record(1.0);
-        a.merge(&b);
+        a.merge(&b).expect("identical layouts merge");
         assert_eq!(a.count(), 2);
         assert_eq!(a.min(), 0.001);
         assert_eq!(a.max(), 1.0);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_layouts() {
+        // Regression: merging histograms with different bucket boundaries
+        // used to silently zip counts positionally, misbinning every sample
+        // from the other layout. It must be an explicit error instead.
+        let mut a = Histogram::new();
+        let mut b = Histogram::with_layout(-3.0, 6, 10);
+        a.record(0.5);
+        b.record(0.5);
+        let err = a.merge(&b).expect_err("mismatched layouts must not merge");
+        assert_eq!(err.left, (LO_EXP, N_BUCKETS, BUCKETS_PER_DECADE));
+        assert_eq!(err.right, (-3.0, 60, 10));
+        assert!(err.to_string().contains("bucket layouts differ"));
+        // The failed merge must leave the receiver untouched.
+        assert_eq!(a.count(), 1);
+
+        // Same custom layout on both sides still merges fine.
+        let mut c = Histogram::with_layout(-3.0, 6, 10);
+        c.record(0.25);
+        c.merge(&b).expect("matching custom layouts merge");
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.max(), 0.5);
+    }
+
+    #[test]
+    fn custom_layout_buckets_bracket_samples() {
+        let mut h = Histogram::with_layout(-3.0, 6, 10); // 1e-3 .. 1e3
+        for x in [0.002, 0.5, 40.0] {
+            h.record(x);
+        }
+        assert_eq!(h.count(), 3);
+        let buckets: Vec<(f64, u64)> = h.cumulative_buckets().collect();
+        assert_eq!(buckets.len(), 60);
+        assert_eq!(buckets.last().unwrap().1, 3);
+        // Quantile answers stay within one bucket width (~26% at 10/decade).
+        let p50 = h.quantile(0.5);
+        assert!(
+            p50 >= 0.5 && p50 <= 0.5 * 10f64.powf(0.1) * (1.0 + 1e-12),
+            "p50={p50}"
+        );
     }
 }

@@ -24,7 +24,7 @@ pub mod series;
 pub mod table;
 
 pub use counters::Counters;
-pub use hist::Histogram;
+pub use hist::{Histogram, LayoutMismatch};
 pub use series::TimeSeries;
 pub use table::Table;
 

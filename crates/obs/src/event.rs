@@ -30,6 +30,18 @@ impl Severity {
             Severity::Error => "error",
         }
     }
+
+    /// Inverse of [`label`](Severity::label) — used to parse the `sev=`
+    /// query filter. `None` for anything that isn't a severity.
+    pub fn from_label(s: &str) -> Option<Severity> {
+        match s {
+            "debug" => Some(Severity::Debug),
+            "info" => Some(Severity::Info),
+            "warn" => Some(Severity::Warn),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
 }
 
 /// What happened. One variant per event class the SAV stack emits.

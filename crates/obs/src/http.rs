@@ -1,11 +1,15 @@
 //! A std-only HTTP/1.1 exposition endpoint.
 //!
-//! Serves `GET /metrics` (Prometheus text format), `GET /events?n=K` (the
-//! newest `K` journal events as JSONL), and `GET /healthz`. One accept
-//! thread handles requests inline — scrape traffic is a request every few
-//! seconds, not a web workload — and every response closes its
-//! connection, so no keep-alive state machine is needed.
+//! Serves `GET /metrics` (Prometheus text format), `GET /events?n=K`
+//! (the newest `K` journal events as JSONL, filterable with `sev=` and
+//! `kind=`), `GET /traces?n=K` (completed causal traces as JSONL), and
+//! `GET /healthz`. Malformed query parameters are a 400, not a silent
+//! full tail. One accept thread handles requests inline — scrape traffic
+//! is a request every few seconds, not a web workload — and every
+//! response closes its connection, so no keep-alive state machine is
+//! needed.
 
+use crate::event::Severity;
 use crate::prom::encode_prometheus;
 use crate::Obs;
 use std::io::{Read, Write};
@@ -98,6 +102,7 @@ fn serve_one(mut stream: TcpStream, obs: &Obs) {
     let (status, content_type, body) = route(request.lines().next().unwrap_or(""), obs);
     let reason = match status {
         200 => "OK",
+        400 => "Bad Request",
         404 => "Not Found",
         _ => "Method Not Allowed",
     };
@@ -123,17 +128,51 @@ fn route(request_line: &str, obs: &Obs) -> (u16, &'static str, String) {
     };
     match path {
         "/metrics" => (200, "text/plain; version=0.0.4", encode_prometheus(obs)),
-        "/events" => {
-            let n = query
-                .split('&')
-                .find_map(|kv| kv.strip_prefix("n="))
-                .and_then(|v| v.parse::<usize>().ok())
-                .unwrap_or(DEFAULT_EVENT_TAIL);
-            (200, "application/x-ndjson", obs.journal.tail_jsonl(n))
-        }
+        "/events" => match events_body(query, obs) {
+            Ok(body) => (200, "application/x-ndjson", body),
+            Err(msg) => (400, "text/plain", msg),
+        },
+        "/traces" => match parse_tail(query) {
+            Ok(n) => (200, "application/x-ndjson", obs.traces.tail_jsonl(n)),
+            Err(msg) => (400, "text/plain", msg),
+        },
         "/" | "/healthz" => (200, "text/plain", healthz_body(obs)),
         _ => (404, "text/plain", "not found\n".to_string()),
     }
+}
+
+/// Parse `n=` out of a query string; absent means the default tail,
+/// malformed is an error (a typo'd limit must not dump the full tail).
+fn parse_tail(query: &str) -> Result<usize, String> {
+    match query.split('&').find_map(|kv| kv.strip_prefix("n=")) {
+        None => Ok(DEFAULT_EVENT_TAIL),
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad request: n={v} is not a count\n")),
+    }
+}
+
+/// `/events` body: `n=` tail limit plus optional `sev=` (minimum
+/// severity: debug/info/warn/error) and `kind=` (exact event name)
+/// filters. Any malformed value is a 400.
+fn events_body(query: &str, obs: &Obs) -> Result<String, String> {
+    let n = parse_tail(query)?;
+    let mut min_sev = None;
+    let mut kind = None;
+    for kv in query.split('&') {
+        if let Some(v) = kv.strip_prefix("sev=") {
+            min_sev = Some(
+                Severity::from_label(v)
+                    .ok_or_else(|| format!("bad request: sev={v} is not a severity\n"))?,
+            );
+        } else if let Some(v) = kv.strip_prefix("kind=") {
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_lowercase() || b == b'_') {
+                return Err(format!("bad request: kind={v} is not an event name\n"));
+            }
+            kind = Some(v);
+        }
+    }
+    Ok(obs.journal.tail_filtered_jsonl(n, min_sev, kind))
 }
 
 /// Health body: plain `ok` for a standalone controller; when clustering is
@@ -221,6 +260,72 @@ mod tests {
         assert_eq!(status, 200);
         let (status, _) = http_get(addr, "/nope").unwrap();
         assert_eq!(status, 404);
+        server.shutdown();
+    }
+
+    #[test]
+    fn event_filters_and_bad_queries() {
+        let obs = Obs::new();
+        obs.event(Severity::Info, EventKind::SwitchUp { dpid: 1 });
+        obs.event(Severity::Info, EventKind::SwitchUp { dpid: 2 });
+        obs.event(
+            Severity::Warn,
+            EventKind::SpoofDrop {
+                dpid: 2,
+                port: 3,
+                packets: 9,
+            },
+        );
+        let server = ObsServer::bind("127.0.0.1:0", obs).unwrap();
+        let addr = server.local_addr();
+
+        // sev= keeps only events at or above the given severity.
+        let (status, body) = http_get(addr, "/events?sev=warn").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1, "{body}");
+        assert!(body.contains("spoof_drop"));
+
+        // kind= filters by exact event name; composes with n=.
+        let (status, body) = http_get(addr, "/events?kind=switch_up&n=1").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1, "{body}");
+        assert!(body.contains("\"dpid\":2"), "newest switch_up: {body}");
+
+        // Malformed query params are a 400, not a silent full tail.
+        for bad in [
+            "/events?n=bogus",
+            "/events?sev=loud",
+            "/events?kind=Spoof-Drop",
+        ] {
+            let (status, body) = http_get(addr, bad).unwrap();
+            assert_eq!(status, 400, "{bad} must 400, got {status}: {body}");
+            assert!(body.starts_with("bad request"), "{body}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_completed_traces_as_jsonl() {
+        let obs = Obs::with_tracing();
+        for i in 0..3u64 {
+            let id = obs
+                .traces
+                .begin(format!("10.0.0.{i}"), 1, obs.traces.now_ns())
+                .unwrap();
+            obs.traces.stage_open(id, "barrier_ack");
+            obs.complete_trace(id);
+        }
+        let server = ObsServer::bind("127.0.0.1:0", obs).unwrap();
+        let addr = server.local_addr();
+
+        let (status, body) = http_get(addr, "/traces?n=2").unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2, "{body}");
+        assert!(body.contains("\"ip\":\"10.0.0.2\""), "newest kept: {body}");
+        assert!(body.contains("\"stage\":\"barrier_ack\""));
+
+        let (status, body) = http_get(addr, "/traces?n=nope").unwrap();
+        assert_eq!(status, 400, "{body}");
         server.shutdown();
     }
 

@@ -102,6 +102,45 @@ impl Journal {
         g.buf.iter().skip(skip).cloned().collect()
     }
 
+    /// The newest `n` events matching the filters, oldest first:
+    /// severity at or above `min_sev` (if set) and kind name equal to
+    /// `kind` (if set). Filters apply before the tail limit, so `n`
+    /// matching events come back even when noisier events interleave.
+    pub fn tail_filtered(
+        &self,
+        n: usize,
+        min_sev: Option<Severity>,
+        kind: Option<&str>,
+    ) -> Vec<Event> {
+        let g = self.inner.lock().expect("journal poisoned");
+        let mut picked: Vec<Event> = g
+            .buf
+            .iter()
+            .rev()
+            .filter(|e| min_sev.is_none_or(|s| e.severity >= s))
+            .filter(|e| kind.is_none_or(|k| e.kind.name() == k))
+            .take(n)
+            .cloned()
+            .collect();
+        picked.reverse();
+        picked
+    }
+
+    /// [`tail_filtered`](Journal::tail_filtered) rendered as JSONL.
+    pub fn tail_filtered_jsonl(
+        &self,
+        n: usize,
+        min_sev: Option<Severity>,
+        kind: Option<&str>,
+    ) -> String {
+        let mut s = String::new();
+        for ev in self.tail_filtered(n, min_sev, kind) {
+            s.push_str(&ev.to_json());
+            s.push('\n');
+        }
+        s
+    }
+
     /// Events currently held in the ring.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("journal poisoned").buf.len()

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod causal;
 pub mod event;
 pub mod gauge;
 pub mod http;
@@ -36,6 +37,7 @@ pub mod journal;
 pub mod prom;
 pub mod trace;
 
+pub use causal::{CompletedTrace, TraceCollector, TraceId, TraceStage, TraceStageGuard};
 pub use event::{Event, EventKind, Severity};
 pub use gauge::Gauges;
 pub use http::ObsServer;
@@ -57,6 +59,8 @@ pub struct Obs {
     pub tracer: Tracer,
     /// The structured event journal.
     pub journal: Journal,
+    /// Causal per-binding traces (packet-in → barrier ack).
+    pub traces: TraceCollector,
 }
 
 impl Obs {
@@ -66,10 +70,11 @@ impl Obs {
         Obs::default()
     }
 
-    /// A fresh handle with span tracing enabled.
+    /// A fresh handle with span tracing and causal traces enabled.
     pub fn with_tracing() -> Obs {
         let o = Obs::default();
         o.tracer.set_enabled(true);
+        o.traces.set_enabled(true);
         o
     }
 
@@ -82,6 +87,24 @@ impl Obs {
     /// Record a structured event into the journal.
     pub fn event(&self, severity: Severity, kind: EventKind) {
         self.journal.record(severity, kind);
+    }
+
+    /// Close a causal trace (its barrier was acked): moves it to the
+    /// completed ring and records its end-to-end latency into the headline
+    /// `time_to_enforcement` histogram. No-op for unknown/closed ids.
+    pub fn complete_trace(&self, id: TraceId) {
+        if let Some(total_secs) = self.traces.complete(id) {
+            self.tracer.observe("time_to_enforcement", total_secs);
+        }
+    }
+
+    /// Abandon a half-open causal trace (its barrier ack will never come —
+    /// the switch connection died first); counted in
+    /// `sav_traces_abandoned_total`.
+    pub fn abandon_trace(&self, id: TraceId) {
+        if self.traces.abandon(id) {
+            self.counters.incr("sav_traces_abandoned_total");
+        }
     }
 }
 

@@ -108,6 +108,16 @@ pub fn encode_prometheus(obs: &Obs) -> String {
         let _ = writeln!(out, "{base}_bucket{} {}", with_le("+Inf"), h.count());
         let _ = writeln!(out, "{} {}", plain("_sum"), fmt_value(h.sum()));
         let _ = writeln!(out, "{} {}", plain("_count"), h.count());
+        // Pre-computed quantile estimates (bucket upper bounds, same
+        // error as the `le` view) so dashboards don't re-derive them.
+        let _ = writeln!(out, "# TYPE {base}_quantile gauge");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            let series = match extra {
+                Some(l) => format!("{base}_quantile{{{l},q=\"{label}\"}}"),
+                None => format!("{base}_quantile{{q=\"{label}\"}}"),
+            };
+            let _ = writeln!(out, "{series} {}", h.quantile(q));
+        }
     }
     out
 }
@@ -165,6 +175,38 @@ mod tests {
             2,
             "first non-empty bucket holds the two fast samples"
         );
+    }
+
+    #[test]
+    fn histograms_expose_quantile_gauges() {
+        let obs = Obs::with_tracing();
+        for i in 1..=100 {
+            obs.tracer.observe("rule_compile", i as f64 / 1000.0);
+        }
+        let text = encode_prometheus(&obs);
+        assert!(
+            text.contains("# TYPE sav_rule_compile_seconds_quantile gauge"),
+            "{text}"
+        );
+        let q = |label: &str| -> f64 {
+            text.lines()
+                .find(|l| {
+                    l.starts_with(&format!(
+                        "sav_rule_compile_seconds_quantile{{q=\"{label}\"}}"
+                    ))
+                })
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("missing q={label}:\n{text}"))
+        };
+        let (p50, p90, p99) = (q("0.5"), q("0.9"), q("0.99"));
+        assert!(
+            p50 <= p90 && p90 <= p99,
+            "quantiles ordered: {p50} {p90} {p99}"
+        );
+        // Bucket-bound estimates stay within ~15% of the exact quantile.
+        assert!((p50 / 0.05 - 1.0).abs() < 0.15, "p50={p50}");
+        assert!((p99 / 0.099 - 1.0).abs() < 0.15, "p99={p99}");
     }
 
     #[test]

@@ -31,6 +31,7 @@ use sav_net::prelude::*;
 use sav_obs::http::http_get;
 use sav_obs::{Obs, ObsServer};
 use sav_openflow::ports::PortDesc;
+use sav_store::{BindingStore, StoreConfig};
 use sav_topo::generators;
 use sav_topo::routes::Routes;
 use std::collections::HashMap;
@@ -149,8 +150,13 @@ fn metrics_scrape_reflects_live_dhcp_and_spoofing() {
         trusted_dhcp_ports: vec![(server_node.switch.dpid(), server_node.port)],
         ..SavConfig::default()
     };
+    // Store-backed so each learned binding's causal trace crosses the WAL
+    // fsync stage, exactly like a production controller.
+    let dir = std::env::temp_dir().join(format!("sav-scrape-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = BindingStore::open(&dir, StoreConfig::default()).unwrap();
     let apps: Vec<Box<dyn App>> = vec![
-        Box::new(SavApp::new(topo.clone(), config).with_obs(obs.clone())),
+        Box::new(SavApp::with_store(topo.clone(), config, store).with_obs(obs.clone())),
         Box::new(StatsPollerApp::new(obs.clone())),
         Box::new(L2RoutingApp::new(
             topo.clone(),
@@ -363,10 +369,60 @@ fn metrics_scrape_reflects_live_dhcp_and_spoofing() {
         "causal order violated: learned={learned} installed={installed} dropped={dropped}"
     );
 
+    // ---- Causal traces: one complete span tree per learned binding. ----
+    assert!(
+        wait_for(Duration::from_secs(10), || obs.traces.completed() >= 2),
+        "each DORA binding must complete a causal trace (barrier acked), got {} (open {}, abandoned {})",
+        obs.traces.completed(),
+        obs.traces.open_count(),
+        obs.traces.abandoned()
+    );
+    let (status, traces) = http_get(obs_addr, "/traces?n=8").unwrap();
+    assert_eq!(status, 200);
+    let line = traces
+        .lines()
+        .find(|l| json_field(l, "ip") == Some(&ip_b.to_string()))
+        .unwrap_or_else(|| panic!("no trace for host B's binding {ip_b}:\n{traces}"));
+    let pos = |stage: &str| {
+        line.find(&format!("\"stage\":\"{stage}\""))
+            .unwrap_or_else(|| panic!("stage {stage} missing from trace: {line}"))
+    };
+    let order = [
+        pos("packet_in"),
+        pos("wal_fsync"),
+        pos("compile"),
+        pos("send"),
+        pos("barrier_ack"),
+    ];
+    assert!(
+        order.windows(2).all(|w| w[0] < w[1]),
+        "span tree must run packet_in → wal_fsync → compile → send → barrier_ack: {line}"
+    );
+
+    // The headline histogram and its quantile gauges are on the scrape.
+    let (status, metrics) = http_get(obs_addr, "/metrics").unwrap();
+    assert_eq!(status, 200);
+    let tte_count = series_values(&metrics, "sav_time_to_enforcement_seconds_count")
+        .first()
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    assert!(
+        tte_count >= 2.0,
+        "time-to-enforcement histogram must hold both bindings:\n{metrics}"
+    );
+    let quantiles = series_values(&metrics, "sav_time_to_enforcement_seconds_quantile");
+    assert!(
+        quantiles
+            .iter()
+            .any(|(l, v)| l.contains("q=\"0.99\"") && *v > 0.0),
+        "p99 quantile gauge must be exported:\n{metrics}"
+    );
+
     c0.stop();
     c1.stop();
     obs_server.shutdown();
     server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Border-guard observability: after a quarantine, the
@@ -540,5 +596,315 @@ fn cluster_metrics_surface_in_the_scrape() {
 
     obs_server.shutdown();
     node.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sampled flow telemetry: a 1-in-8 poller fed the same flow-stats reply
+/// as an unsampled one produces corrected totals within 2× of the truth,
+/// and the corrected series is what lands on the `/metrics` scrape.
+#[test]
+fn sampled_flow_telemetry_corrects_within_2x() {
+    use sav_controller::app::Ctx;
+    use sav_core::{rules, Binding, BindingSource};
+    use sav_openflow::messages::{FlowStatsEntry, MultipartReplyBody};
+    use sav_sim::SimTime;
+    use std::net::Ipv4Addr;
+
+    let entry = |port: u32, ip: Ipv4Addr, packets: u64, bytes: u64| {
+        let b = Binding {
+            ip,
+            mac: MacAddr::from_index(1),
+            dpid: 1,
+            port,
+            source: BindingSource::Dhcp,
+            expires: None,
+        };
+        let fm = rules::binding_allow(&b, true, 0, 0);
+        FlowStatsEntry {
+            table_id: fm.table_id,
+            duration_sec: 1,
+            duration_nsec: 0,
+            priority: fm.priority,
+            idle_timeout: fm.idle_timeout,
+            hard_timeout: fm.hard_timeout,
+            flags: fm.flags,
+            cookie: fm.cookie,
+            packet_count: packets,
+            byte_count: bytes,
+            match_: fm.match_.clone(),
+            instructions: fm.instructions.clone(),
+        }
+    };
+    let entries: Vec<FlowStatsEntry> = (0..512u32)
+        .map(|i| {
+            let pkts = 100 + u64::from(i);
+            entry(
+                1 + (i % 4),
+                Ipv4Addr::from(0x0a00_2000 + i),
+                pkts,
+                pkts * 50,
+            )
+        })
+        .collect();
+    let truth_bytes: f64 = entries.iter().map(|e| e.byte_count as f64).sum();
+
+    // Unsampled truth: the estimate equals the exact sum.
+    let obs_truth = Obs::new();
+    let mut unsampled = StatsPollerApp::new(obs_truth.clone());
+    unsampled.on_stats_reply(
+        &mut Ctx::new(SimTime::ZERO),
+        1,
+        &MultipartReplyBody::Flow(entries.clone()),
+    );
+    assert_eq!(
+        obs_truth.gauges.get("sav_flow_bytes_estimate"),
+        Some(truth_bytes)
+    );
+
+    // 1-in-8 sampling: a strict subset kept, the correction within 2×.
+    let obs = Obs::new();
+    let mut sampled = StatsPollerApp::new(obs.clone()).with_sampling(8);
+    sampled.on_stats_reply(
+        &mut Ctx::new(SimTime::ZERO),
+        1,
+        &MultipartReplyBody::Flow(entries),
+    );
+    let kept = obs.counters.get("sav_flow_records_sampled_total");
+    let dropped = obs.counters.get("sav_flow_records_dropped_total");
+    assert_eq!(kept + dropped, 512, "every record is sampled or dropped");
+    assert!(kept > 0 && dropped > kept, "1-in-8 keeps a strict minority");
+    let est = obs.gauges.get("sav_flow_bytes_estimate").unwrap();
+    assert!(
+        est >= truth_bytes / 2.0 && est <= truth_bytes * 2.0,
+        "corrected bytes must land within 2x of truth: est {est} truth {truth_bytes}"
+    );
+
+    let obs_server = ObsServer::bind("127.0.0.1:0", obs.clone()).unwrap();
+    let (status, metrics) = http_get(obs_server.local_addr(), "/metrics").unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        series_values(&metrics, "sav_flow_bytes_estimate")
+            .first()
+            .map(|(_, v)| *v),
+        Some(est),
+        "corrected estimate must be scraped:\n{metrics}"
+    );
+    assert_eq!(
+        series_values(&metrics, "sav_flow_records_sampled_total")
+            .first()
+            .map(|(_, v)| *v),
+        Some(kept as f64),
+        "sampling meta-counters must be scraped:\n{metrics}"
+    );
+    obs_server.shutdown();
+}
+
+/// Trace continuity across a controller crash: a binding learned right
+/// before the crash keeps its WAL durability but must NOT leak a
+/// half-open trace into the ring — it is counted abandoned instead — and
+/// the restarted controller traces fresh bindings end to end.
+#[test]
+fn restart_abandons_half_open_trace_and_traces_again() {
+    use sav_sim::SimTime;
+
+    /// Ferry bytes and frames between controller, switch, and hosts until
+    /// quiescent. With `crash_if_trace_opens`, the run "crashes" (drops
+    /// all in-flight output and returns true) the moment a causal trace
+    /// is left open — i.e. right after the flow-mods and traced barrier
+    /// were emitted but before anything reached the switch.
+    #[allow(clippy::too_many_arguments)]
+    fn drive(
+        ctrl: &mut Controller,
+        conn: usize,
+        sw: &mut OpenFlowSwitch,
+        hosts: &mut HashMap<u32, Host>,
+        mut to_switch: Vec<Vec<u8>>,
+        mut to_ctrl: Vec<Vec<u8>>,
+        mut frames: Vec<(u32, Vec<u8>)>,
+        crash_if_trace_opens: Option<&Obs>,
+    ) -> bool {
+        let now = SimTime::ZERO;
+        while !to_switch.is_empty() || !to_ctrl.is_empty() || !frames.is_empty() {
+            let mut sw_out = Vec::new();
+            for (port, f) in frames.drain(..) {
+                sw_out.push(sw.receive_frame(now, port, f));
+            }
+            for b in to_switch.drain(..) {
+                sw_out.push(sw.handle_controller_bytes(now, &b).unwrap());
+            }
+            let mut next_to_ctrl = std::mem::take(&mut to_ctrl);
+            for out in sw_out {
+                next_to_ctrl.extend(out.to_controller);
+                for (port, f) in out.tx {
+                    if let Some(h) = hosts.get_mut(&port) {
+                        let ho = h.on_frame(&f);
+                        frames.extend(ho.tx.into_iter().map(|t| (port, t)));
+                    }
+                }
+            }
+            for b in next_to_ctrl.drain(..) {
+                let out = ctrl.on_bytes(now, conn, &b).unwrap();
+                let bytes: Vec<Vec<u8>> = out.to_switch.into_iter().map(|(_, x)| x).collect();
+                if crash_if_trace_opens.is_some_and(|o| o.traces.open_count() > 0) {
+                    return true;
+                }
+                to_switch.extend(bytes);
+            }
+        }
+        false
+    }
+
+    let dir = std::env::temp_dir().join(format!("sav-scrape-trace-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let topo = Arc::new(generators::linear(1, 2));
+    let hosts = topo.hosts();
+    let (server_node, client_node) = (&hosts[0], &hosts[1]);
+    let dpid = server_node.switch.dpid();
+    let pool: Ipv4Cidr = "10.0.0.0/24".parse().unwrap();
+    let config = SavConfig {
+        static_plan: false,
+        trusted_dhcp_ports: vec![(dpid, server_node.port)],
+        ..SavConfig::default()
+    };
+    let mk_ctrl = |obs: &Obs| {
+        let store = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+        let app = SavApp::with_store(topo.clone(), config.clone(), store).with_obs(obs.clone());
+        let mut ctrl = Controller::new(vec![
+            Box::new(app) as Box<dyn App>,
+            Box::new(L2RoutingApp::new(
+                topo.clone(),
+                Arc::new(Routes::compute(&topo)),
+            )),
+        ]);
+        ctrl.set_obs(obs.clone());
+        ctrl
+    };
+    // A restarted DHCP server would consult its own lease database; this
+    // bare one re-allocates from scratch, so life 2 starts past the
+    // recovered lease to model a server that kept its records.
+    let mk_net = |client_mac: MacAddr, first_index: u32| {
+        let sw = mk_switch(dpid);
+        let net: HashMap<u32, Host> = HashMap::from([
+            (
+                server_node.port,
+                Host::new(HostConfig {
+                    mac: server_node.mac,
+                    ip: server_node.ip,
+                    app: HostApp::DhcpServer(DhcpServerState::new(pool, first_index, 600)),
+                }),
+            ),
+            (
+                client_node.port,
+                Host::new(HostConfig {
+                    mac: client_mac,
+                    ip: "0.0.0.0".parse().unwrap(),
+                    app: HostApp::Sink,
+                }),
+            ),
+        ]);
+        (sw, net)
+    };
+
+    // ---- Life 1: DORA runs; the crash lands after the ACK minted the
+    // binding (WAL-fsynced) but before the switch acked the barrier. ----
+    let obs = Obs::with_tracing();
+    let mut ctrl = mk_ctrl(&obs);
+    let (mut sw, mut net) = mk_net(client_node.mac, 100);
+    let (c0, h0) = (ctrl.on_connect(0), sw.hello());
+    drive(
+        &mut ctrl,
+        0,
+        &mut sw,
+        &mut net,
+        vec![c0],
+        vec![h0],
+        vec![],
+        None,
+    );
+    assert_eq!(ctrl.ready_dpids(), vec![dpid]);
+
+    let dx = net.get_mut(&client_node.port).unwrap().dhcp_discover(0x51);
+    let frames: Vec<(u32, Vec<u8>)> = dx.tx.into_iter().map(|f| (client_node.port, f)).collect();
+    let crashed = drive(
+        &mut ctrl,
+        0,
+        &mut sw,
+        &mut net,
+        vec![],
+        vec![],
+        frames,
+        Some(&obs),
+    );
+    assert!(
+        crashed,
+        "the ACK must leave a trace open at the crash point"
+    );
+    assert_eq!(obs.traces.open_count(), 1);
+    drop(ctrl.on_disconnect(SimTime::ZERO, 0));
+    assert_eq!(obs.traces.open_count(), 0, "no half-open trace survives");
+    assert_eq!(obs.traces.abandoned(), 1);
+    assert_eq!(obs.counters.get("sav_traces_abandoned_total"), 1);
+    assert!(
+        obs.traces.tail(8).is_empty(),
+        "an abandoned trace must never reach the completed ring"
+    );
+    drop(ctrl);
+
+    // ---- Life 2: the binding recovered from the WAL, and a fresh DORA
+    // traces all five stages end to end on the restarted controller. ----
+    let probe = BindingStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_eq!(
+        probe.recovery_report().recovered_bindings,
+        1,
+        "the pre-crash binding is durable even though its trace was abandoned"
+    );
+    drop(probe);
+    let obs2 = Obs::with_tracing();
+    let mut ctrl = mk_ctrl(&obs2);
+    let (mut sw, mut net) = mk_net(MacAddr::from_index(0xBEEF), 101);
+    let (c0, h0) = (ctrl.on_connect(0), sw.hello());
+    drive(
+        &mut ctrl,
+        0,
+        &mut sw,
+        &mut net,
+        vec![c0],
+        vec![h0],
+        vec![],
+        None,
+    );
+    assert_eq!(ctrl.ready_dpids(), vec![dpid]);
+
+    let dx = net.get_mut(&client_node.port).unwrap().dhcp_discover(0x52);
+    let frames: Vec<(u32, Vec<u8>)> = dx.tx.into_iter().map(|f| (client_node.port, f)).collect();
+    drive(
+        &mut ctrl,
+        0,
+        &mut sw,
+        &mut net,
+        vec![],
+        vec![],
+        frames,
+        None,
+    );
+    assert_eq!(
+        net[&client_node.port].dhcp,
+        DhcpState::Bound,
+        "the new client must bind after recovery"
+    );
+    assert_eq!(
+        obs2.traces.completed(),
+        1,
+        "fresh binding traces end to end"
+    );
+    assert_eq!(obs2.traces.abandoned(), 0);
+    let trace = &obs2.traces.tail(4)[0];
+    let stages: Vec<&str> = trace.stages.iter().map(|s| s.stage).collect();
+    assert_eq!(
+        stages,
+        ["packet_in", "wal_fsync", "compile", "send", "barrier_ack"],
+        "recovered controller must produce the full span tree"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
