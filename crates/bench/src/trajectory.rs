@@ -32,6 +32,12 @@ fn higher_is_better(name: &str) -> bool {
 /// or sleep in the trace path) actually is. Everything else gates on the
 /// relative tolerance alone.
 fn noise_floor(name: &str) -> f64 {
+    // Southbound loopback RTT/handshake quantiles (`sb_*_ms_*` from the
+    // fig_c10k bench) are scheduling-noise-dominated on shared single-core
+    // runners: only a multi-millisecond move is a real regression.
+    if name.starts_with("sb_") && name.contains("_ms") {
+        return 5.0;
+    }
     match name {
         "tte_p50_ms" | "tte_p99_ms" => 0.25,
         _ => 0.0,

@@ -5,11 +5,14 @@
 //! missing I/O layer — the piece that turns those state machines into a
 //! deployable control plane over real sockets:
 //!
-//! * [`SouthboundServer`] — the controller side. A `TcpListener`, per
-//!   connection reader/writer threads with bounded outbound queues
-//!   (backpressure), and a supervisor that drives the [`Controller`]
-//!   state machine, sends ECHO keepalives, and declares silent switches
-//!   dead on a liveness deadline.
+//! * [`SouthboundServer`] — the controller side. One readiness event
+//!   loop (built on `sav-poll`) owns the nonblocking listener, every
+//!   switch socket, and a timer wheel: it drives the [`Controller`]
+//!   state machine, drains per-connection outboxes with vectored
+//!   `writev` (backpressure: a switch that stops reading stalls its
+//!   outbox, and a stalled outbox gets the connection killed), sends
+//!   ECHO keepalives, and declares silent switches dead on a liveness
+//!   deadline — at 10k-connection scale on a single thread.
 //! * [`client::spawn`] — the switch side. Dials the controller, replays
 //!   the handshake through the sans-IO [`OpenFlowSwitch`] core, and
 //!   reconnects forever with capped exponential backoff and seeded jitter.
@@ -22,9 +25,11 @@
 //! * [`ChannelMetrics`] — per-connection transport counters and an echo
 //!   RTT histogram, built on `sav-metrics`.
 //!
-//! Threading model: no async runtime, just `std::net` + OS threads +
-//! crossbeam channels — matching the workspace's zero-heavyweight-deps
-//! rule while exercising the protocol cores over a real kernel TCP stack.
+//! Threading model: no async runtime. The server is one event-loop
+//! thread over epoll/kqueue readiness (`sav-poll`); the client keeps the
+//! simple thread-per-link shape (a switch has one link). All unsafe FFI
+//! lives in `sav-poll`; this crate remains `#![forbid(unsafe_code)]`
+//! while exercising the protocol cores over a real kernel TCP stack.
 //!
 //! [`Controller`]: sav_controller::Controller
 //! [`OpenFlowSwitch`]: sav_dataplane::switch::OpenFlowSwitch

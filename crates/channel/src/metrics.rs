@@ -33,6 +33,7 @@ pub struct ChannelMetrics {
 struct Inner {
     stats: ChannelStats,
     echo_rtt: Histogram,
+    handshake_latency: Histogram,
 }
 
 impl ChannelMetrics {
@@ -84,6 +85,11 @@ impl ChannelMetrics {
         self.inner.lock().echo_rtt.record(rtt_secs);
     }
 
+    /// Record one accept-to-ready handshake latency, in seconds.
+    pub fn record_handshake_latency(&self, secs: f64) {
+        self.inner.lock().handshake_latency.record(secs);
+    }
+
     /// Copy out the counters.
     pub fn stats(&self) -> ChannelStats {
         self.inner.lock().stats.clone()
@@ -92,6 +98,17 @@ impl ChannelMetrics {
     /// Copy out the echo RTT histogram.
     pub fn echo_rtt(&self) -> Histogram {
         self.inner.lock().echo_rtt.clone()
+    }
+
+    /// Copy out the accept-to-ready handshake latency histogram.
+    pub fn handshake_latency(&self) -> Histogram {
+        self.inner.lock().handshake_latency.clone()
+    }
+
+    /// Discard accumulated echo RTT samples. Benches use this to scope a
+    /// measurement window to steady state (post-connect churn excluded).
+    pub fn reset_echo_rtt(&self) {
+        self.inner.lock().echo_rtt = Histogram::default();
     }
 }
 

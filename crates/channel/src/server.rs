@@ -1,29 +1,42 @@
 //! Controller-side TCP transport: the southbound server.
 //!
 //! [`SouthboundServer`] owns a real `TcpListener` and embeds the sans-IO
-//! [`Controller`] behind it. Threads:
+//! [`Controller`] behind it. One **event-loop thread** owns everything:
+//! the nonblocking listener, every switch socket, and the timer wheel —
+//! there are no per-connection threads, which is what lets a single
+//! controller hold 10k switch connections (see the `fig_c10k` bench).
 //!
-//! * an **accept** thread polling the listener;
-//! * per connection, a **reader** thread (socket → supervisor) and a
-//!   **writer** thread draining a bounded outbound queue (backpressure: a
-//!   switch that stops reading stalls its queue, and a stalled queue gets
-//!   the connection killed rather than the whole controller wedged);
-//! * one **supervisor** thread owning the [`Controller`], driving
-//!   `on_connect` / `on_bytes` / `on_disconnect`, controller-initiated ECHO
-//!   keepalives, and the liveness deadline that declares a silent switch
-//!   dead.
+//! Mechanics, built on `sav-poll`:
+//!
+//! * **Readiness**: sockets are registered level-triggered in a
+//!   [`Poller`]; readable events feed pooled scratch buffers through the
+//!   existing deframer via [`Controller::on_bytes`], with a per-wakeup
+//!   read cap so one firehose switch cannot starve 9,999 quiet ones.
+//! * **Single-writer rule**: only the loop thread writes sockets. Frames
+//!   queue in a per-connection [`Outbox`] drained with vectored `writev`;
+//!   `WouldBlock` arms write interest and a stall deadline — a switch
+//!   that stops reading gets its connection killed, never the whole
+//!   control plane wedged.
+//! * **Timer wheel**: per-connection ECHO keepalives and liveness
+//!   deadlines, the stats poll tick, and accept-error backoff are all
+//!   wheel timers; the poll timeout is the wheel's next deadline, so the
+//!   loop is fully readiness-driven — no sleep-polling anywhere.
+//! * **Accept resilience**: transient accept errors (`EMFILE` under fd
+//!   exhaustion, aborted handshakes) emit a journal event and the
+//!   `sav_accept_errors_total` counter, then pause the listener for a
+//!   capped backoff instead of silently killing accepting forever.
 //!
 //! Wall-clock time maps onto the sans-IO core's [`SimTime`] as nanoseconds
 //! since the server started.
 
 use crate::metrics::ChannelMetrics;
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 use sav_controller::{ConnId, Controller, ControllerOutput};
 use sav_obs::{EventKind, Obs, Severity};
+use sav_poll::{BufferPool, Events, Interest, Outbox, Poller, Slab, TimerWheel, Token};
 use sav_sim::SimTime;
 use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::io::{IoSliceMut, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,16 +50,20 @@ pub struct ServerConfig {
     pub echo_interval: Duration,
     /// A switch silent for this long is declared dead and torn down.
     pub liveness_timeout: Duration,
-    /// Outbound queue capacity per connection (messages).
+    /// Outbound queue capacity per connection (messages): the depth past
+    /// which a non-draining connection counts as stalled.
     pub outbound_queue: usize,
-    /// How long a full outbound queue may stall before the connection is
-    /// declared stuck and killed.
+    /// How long an outbound queue may make no progress before the
+    /// connection is declared stuck and killed.
     pub write_stall_timeout: Duration,
     /// Fire [`Controller::poll_tick`] for every ready switch at this
     /// interval (statistics collection). `None` disables polling.
     pub stats_poll_interval: Option<Duration>,
     /// Observability handle: connection churn reaches its journal, TCP
-    /// send latency its `southbound_send` trace histogram.
+    /// send latency its `southbound_send` trace histogram, and the event
+    /// loop exports `sav_poll_wakeups_total`,
+    /// `sav_writev_batched_frames_total`, `sav_accept_errors_total`, and
+    /// the `sav_southbound_backlog_bytes` gauge.
     pub obs: Option<Obs>,
 }
 
@@ -63,19 +80,19 @@ impl Default for ServerConfig {
     }
 }
 
-enum Event {
-    Accepted(TcpStream),
-    Bytes(ConnId, Vec<u8>),
-    Closed(ConnId),
-}
-
-struct ConnIo {
-    writer_tx: Sender<Vec<u8>>,
-    stream: TcpStream,
-    last_heard: Instant,
-    last_echo: Instant,
-    metrics: ChannelMetrics,
-}
+/// The listener's poller token; connections start at [`CONN_TOKEN_BASE`].
+const TOKEN_LISTENER: Token = Token(0);
+const CONN_TOKEN_BASE: usize = 1;
+/// Poll events delivered per wakeup.
+const EVENTS_CAPACITY: usize = 1024;
+/// Read scratch buffer size; reads are vectored across two of these.
+const READ_BUF_SIZE: usize = 16 * 1024;
+/// Fairness cap: `readv` calls per connection per wakeup. Level
+/// triggering re-reports a still-full socket on the next wait.
+const MAX_READS_PER_WAKE: usize = 8;
+/// Accept-error backoff bounds (doubles per consecutive failure).
+const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
 
 /// A running controller endpoint bound to a TCP address.
 pub struct SouthboundServer {
@@ -84,6 +101,7 @@ pub struct SouthboundServer {
     conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>>,
     server_metrics: ChannelMetrics,
     stop: Arc<AtomicBool>,
+    waker: sav_poll::Waker,
     threads: Vec<thread::JoinHandle<()>>,
 }
 
@@ -109,50 +127,33 @@ impl SouthboundServer {
             Arc::new(Mutex::new(HashMap::new()));
         let server_metrics = ChannelMetrics::new();
         let stop = Arc::new(AtomicBool::new(false));
-        let (event_tx, event_rx) = unbounded::<Event>();
 
-        let accept = {
-            let stop = stop.clone();
-            let event_tx = event_tx.clone();
-            thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            if event_tx.send(Event::Accepted(stream)).is_err() {
-                                break;
-                            }
-                        }
-                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                            thread::sleep(Duration::from_millis(5));
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
-        };
+        let poller = Poller::new(EVENTS_CAPACITY)?;
+        let waker = poller.waker()?;
+        poller.register(&listener, TOKEN_LISTENER, Interest::READABLE)?;
 
-        let supervisor = {
-            let controller = controller.clone();
-            let conn_metrics = conn_metrics.clone();
-            let server_metrics = server_metrics.clone();
-            let stop = stop.clone();
-            thread::spawn(move || {
-                Supervisor {
-                    config,
-                    controller,
-                    conn_metrics,
-                    server_metrics,
-                    stop,
-                    event_tx,
-                    event_rx,
-                    conns: HashMap::new(),
-                    next_conn: 0,
-                    started: Instant::now(),
-                    last_poll: Instant::now(),
-                }
-                .run()
-            })
+        let event_loop = EventLoop {
+            config,
+            controller: controller.clone(),
+            conn_metrics: conn_metrics.clone(),
+            server_metrics: server_metrics.clone(),
+            stop: stop.clone(),
+            poller,
+            listener,
+            listener_paused: false,
+            accept_backoff: ACCEPT_BACKOFF_MIN,
+            conns: Slab::new(),
+            by_conn: HashMap::new(),
+            next_conn: 0,
+            wheel: TimerWheel::new(Duration::from_millis(1), 1024),
+            pool: BufferPool::new(READ_BUF_SIZE, 64),
+            started: Instant::now(),
+            backlog_bytes: 0,
+            published_backlog: 0,
         };
+        let handle = thread::Builder::new()
+            .name("sav-southbound".into())
+            .spawn(move || event_loop.run())?;
 
         Ok(SouthboundServer {
             addr,
@@ -160,7 +161,8 @@ impl SouthboundServer {
             conn_metrics,
             server_metrics,
             stop,
-            threads: vec![accept, supervisor],
+            waker,
+            threads: vec![handle],
         })
     }
 
@@ -169,9 +171,10 @@ impl SouthboundServer {
     ///
     /// A restarting controller wants its old address back so switches can
     /// reconnect without reconfiguration, but the previous process's socket
-    /// may linger (`TIME_WAIT`, or its accept thread not yet joined).
-    /// Retries `AddrInUse` with a short sleep until `deadline` elapses;
-    /// any other error is returned immediately.
+    /// may linger (`TIME_WAIT`, or its event loop not yet joined). Retries
+    /// `AddrInUse` until `deadline` elapses, pacing attempts with a timed
+    /// poller wait (readiness idiom, not a thread sleep); any other error
+    /// is returned immediately.
     pub fn bind_with_retry(
         addr: impl ToSocketAddrs + Clone,
         config: ServerConfig,
@@ -179,13 +182,15 @@ impl SouthboundServer {
         deadline: Duration,
     ) -> std::io::Result<SouthboundServer> {
         let started = Instant::now();
+        let mut pacer = Poller::new(1)?;
+        let mut events = Events::with_capacity(1);
         loop {
             match SouthboundServer::bind(addr.clone(), config.clone(), controller()) {
                 Err(e)
                     if e.kind() == std::io::ErrorKind::AddrInUse
                         && started.elapsed() < deadline =>
                 {
-                    thread::sleep(Duration::from_millis(20));
+                    let _ = pacer.wait(&mut events, Some(Duration::from_millis(20)));
                 }
                 other => return other,
             }
@@ -207,14 +212,20 @@ impl SouthboundServer {
         self.conn_metrics.lock().get(&conn).cloned()
     }
 
-    /// Server-wide transport metrics (deaths declared, etc.).
+    /// Server-wide transport metrics (deaths declared, echo RTTs,
+    /// handshake latencies).
     pub fn server_metrics(&self) -> ChannelMetrics {
         self.server_metrics.clone()
     }
 
-    /// Stop accepting, tear down all connections, and join the threads.
+    /// Stop accepting, tear down all connections, and join the loop.
     pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
+        self.waker.wake();
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
@@ -223,30 +234,73 @@ impl SouthboundServer {
 
 impl Drop for SouthboundServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.threads.drain(..) {
-            let _ = h.join();
-        }
+        self.stop_and_join();
     }
 }
 
-struct Supervisor {
+/// Wheel payloads. There is no cancel: payloads carry the connection id,
+/// and ids are never reused, so a timer for a dead connection is a no-op.
+enum Timer {
+    /// Per-connection keepalive cadence: liveness check + ECHO send.
+    Echo(ConnId),
+    /// A blocked outbox's no-progress deadline.
+    Stall(ConnId),
+    /// The stats poll tick.
+    StatsPoll,
+    /// Re-enable the paused listener after an accept error.
+    AcceptRetry,
+}
+
+struct ConnIo {
+    conn: ConnId,
+    stream: TcpStream,
+    outbox: Outbox,
+    /// Write interest currently registered (avoids modify churn).
+    want_write: bool,
+    /// A [`Timer::Stall`] is pending for this connection.
+    stall_armed: bool,
+    last_heard: Instant,
+    /// Last instant the kernel accepted outbound bytes.
+    last_progress: Instant,
+    accepted_at: Instant,
+    /// Handshake latency already recorded.
+    handshake_seen: bool,
+    metrics: ChannelMetrics,
+}
+
+struct EventLoop {
     config: ServerConfig,
     controller: Arc<Mutex<Controller>>,
     conn_metrics: Arc<Mutex<HashMap<ConnId, ChannelMetrics>>>,
     server_metrics: ChannelMetrics,
     stop: Arc<AtomicBool>,
-    event_tx: Sender<Event>,
-    event_rx: Receiver<Event>,
-    conns: HashMap<ConnId, ConnIo>,
+    poller: Poller,
+    listener: TcpListener,
+    /// Listener deregistered while backing off an accept error.
+    listener_paused: bool,
+    accept_backoff: Duration,
+    /// Connection state, keyed by poller token minus [`CONN_TOKEN_BASE`]
+    /// — O(1) on the hot read path.
+    conns: Slab<ConnIo>,
+    /// Monotonic connection id → slab key, for controller-output routing.
+    by_conn: HashMap<ConnId, usize>,
     next_conn: ConnId,
+    wheel: TimerWheel<Timer>,
+    pool: BufferPool,
     started: Instant,
-    last_poll: Instant,
+    /// Running total of unwritten outbound bytes across connections.
+    backlog_bytes: u64,
+    /// Last value published to the backlog gauge.
+    published_backlog: u64,
 }
 
-impl Supervisor {
+impl EventLoop {
     fn now(&self) -> SimTime {
-        SimTime::from_nanos(self.started.elapsed().as_nanos() as u64)
+        SimTime::from_nanos(self.now_ns())
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
     }
 
     fn now_micros(&self) -> u64 {
@@ -254,119 +308,275 @@ impl Supervisor {
     }
 
     fn run(mut self) {
-        let tick = (self.config.echo_interval / 4)
-            .clamp(Duration::from_millis(5), Duration::from_millis(50));
+        let mut events = Events::with_capacity(EVENTS_CAPACITY);
+        let mut due: Vec<Timer> = Vec::new();
+        if let Some(interval) = self.config.stats_poll_interval {
+            self.wheel.insert(self.now_ns(), interval, Timer::StatsPoll);
+        }
+        // Register the backlog gauge at zero so it is on the scrape even
+        // before any connection ever pushes back.
+        if let Some(obs) = &self.config.obs {
+            obs.gauges.set("sav_southbound_backlog_bytes", 0.0);
+        }
         loop {
             if self.stop.load(Ordering::Relaxed) {
-                let ids: Vec<ConnId> = self.conns.keys().copied().collect();
-                for conn in ids {
-                    self.kill_conn(conn);
-                }
+                self.teardown();
                 return;
             }
-            match self.event_rx.recv_timeout(tick) {
-                Ok(Event::Accepted(stream)) => self.on_accepted(stream),
-                Ok(Event::Bytes(conn, data)) => self.on_bytes(conn, data),
-                Ok(Event::Closed(conn)) => self.kill_conn(conn),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return,
+            // Sleep exactly until the next deadline (or forever when
+            // nothing is armed — an accept or a wake ends the wait).
+            let timeout = self.wheel.next_deadline(self.now_ns());
+            if self.poller.wait(&mut events, timeout).is_err() {
+                self.teardown();
+                return;
             }
-            self.keepalive_pass();
-            self.stats_poll_pass();
+            if let Some(obs) = &self.config.obs {
+                obs.counters.incr("sav_poll_wakeups_total");
+            }
+            if self.stop.load(Ordering::Relaxed) {
+                self.teardown();
+                return;
+            }
+            for ev in &events {
+                if ev.token == TOKEN_LISTENER {
+                    self.accept_ready();
+                    continue;
+                }
+                let key = ev.token.0 - CONN_TOKEN_BASE;
+                if ev.readable {
+                    self.read_ready(key);
+                }
+                if ev.writable {
+                    self.write_ready(key);
+                }
+            }
+            due.clear();
+            self.wheel.expire(self.now_ns(), &mut due);
+            for t in due.drain(..) {
+                self.on_timer(t);
+            }
+            self.publish_backlog();
         }
     }
 
-    /// Fire the controller's poll hook when the configured interval has
-    /// elapsed; stats-collecting apps answer with multipart requests that
-    /// ship through the ordinary dispatch path.
-    fn stats_poll_pass(&mut self) {
-        let Some(interval) = self.config.stats_poll_interval else {
-            return;
-        };
-        if self.last_poll.elapsed() < interval {
+    fn teardown(&mut self) {
+        for key in self.conns.keys() {
+            let Some(conn) = self.conns.get(key).map(|io| io.conn) else {
+                continue;
+            };
+            self.disconnect(conn);
+        }
+    }
+
+    fn publish_backlog(&mut self) {
+        if self.backlog_bytes != self.published_backlog {
+            if let Some(obs) = &self.config.obs {
+                obs.gauges
+                    .set("sav_southbound_backlog_bytes", self.backlog_bytes as f64);
+            }
+            self.published_backlog = self.backlog_bytes;
+        }
+    }
+
+    // ---- accept path ----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        if self.listener_paused {
             return;
         }
-        self.last_poll = Instant::now();
-        let now = self.now();
-        let out = self.controller.lock().poll_tick(now);
-        self.dispatch(out);
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_backoff = ACCEPT_BACKOFF_MIN;
+                    self.on_accepted(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // EMFILE, ECONNABORTED, and friends: never abandon the
+                    // listener. Count it, journal it, pause accepting for a
+                    // capped backoff, then resume.
+                    if let Some(obs) = &self.config.obs {
+                        obs.counters.incr("sav_accept_errors_total");
+                        obs.event(
+                            Severity::Error,
+                            EventKind::AcceptError {
+                                error: e.to_string(),
+                            },
+                        );
+                    }
+                    let _ = self.poller.deregister(&self.listener);
+                    self.listener_paused = true;
+                    self.wheel
+                        .insert(self.now_ns(), self.accept_backoff, Timer::AcceptRetry);
+                    self.accept_backoff = (self.accept_backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+            }
+        }
     }
 
     fn on_accepted(&mut self, stream: TcpStream) {
         let conn = self.next_conn;
         self.next_conn += 1;
         let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
         let metrics = ChannelMetrics::new();
         self.conn_metrics.lock().insert(conn, metrics.clone());
-
-        let (writer_tx, writer_rx) = bounded::<Vec<u8>>(self.config.outbound_queue.max(1));
-        let writer_stream = match stream.try_clone() {
-            Ok(s) => s,
-            Err(_) => return,
-        };
-        {
-            let metrics = metrics.clone();
-            let obs = self.config.obs.clone();
-            thread::spawn(move || writer_loop(writer_stream, writer_rx, metrics, obs));
-        }
-        {
-            let reader_stream = match stream.try_clone() {
-                Ok(s) => s,
-                Err(_) => return,
-            };
-            let event_tx = self.event_tx.clone();
-            let metrics = metrics.clone();
-            thread::spawn(move || reader_loop(conn, reader_stream, event_tx, metrics));
-        }
-
         let now = Instant::now();
-        self.conns.insert(
+        let key = self.conns.insert(ConnIo {
             conn,
-            ConnIo {
-                writer_tx,
-                stream,
-                last_heard: now,
-                last_echo: now,
-                metrics,
-            },
-        );
+            stream,
+            outbox: Outbox::new(),
+            want_write: false,
+            stall_armed: false,
+            last_heard: now,
+            last_progress: now,
+            accepted_at: now,
+            handshake_seen: false,
+            metrics,
+        });
+        let token = Token(key + CONN_TOKEN_BASE);
+        let registered = {
+            let io = self.conns.get(key).expect("just inserted");
+            self.poller.register(&io.stream, token, Interest::READABLE)
+        };
+        if registered.is_err() {
+            self.conns.remove(key);
+            return;
+        }
+        self.by_conn.insert(conn, key);
         if let Some(obs) = &self.config.obs {
             obs.event(
                 Severity::Info,
                 EventKind::PeerConnected { conn: conn as u64 },
             );
         }
+        // Phase-spread the first echo across the interval by connection id
+        // so keepalives for batch-accepted fleets don't fire as one
+        // thundering herd every interval (re-arms keep the phase).
+        let phase = self
+            .config
+            .echo_interval
+            .mul_f64((conn % 1024) as f64 / 1024.0);
+        self.wheel.insert(
+            self.now_ns(),
+            self.config.echo_interval - phase,
+            Timer::Echo(conn),
+        );
         let greeting = self.controller.lock().on_connect(conn);
         self.queue_write(conn, greeting);
     }
 
-    fn on_bytes(&mut self, conn: ConnId, data: Vec<u8>) {
-        let Some(io) = self.conns.get_mut(&conn) else {
-            return;
-        };
-        io.last_heard = Instant::now();
-        io.metrics.add_bytes_in(data.len() as u64);
-        let now = self.now();
-        let result = {
-            let mut ctrl = self.controller.lock();
-            let before = ctrl.stats.rx_messages;
-            let res = ctrl.on_bytes(now, conn, &data);
-            let parsed = ctrl.stats.rx_messages - before;
-            (res, parsed)
-        };
-        match result {
-            (Ok(out), parsed) => {
-                if let Some(io) = self.conns.get(&conn) {
-                    io.metrics.add_msgs_in(parsed);
+    // ---- read path ------------------------------------------------------
+
+    fn read_ready(&mut self, key: usize) {
+        for _ in 0..MAX_READS_PER_WAKE {
+            let Some(io) = self.conns.get_mut(key) else {
+                return;
+            };
+            let conn = io.conn;
+            let mut b1 = self.pool.get();
+            let mut b2 = self.pool.get();
+            let res = {
+                let mut iov = [IoSliceMut::new(&mut b1), IoSliceMut::new(&mut b2)];
+                io.stream.read_vectored(&mut iov)
+            };
+            match res {
+                Ok(0) => {
+                    self.pool.put(b1);
+                    self.pool.put(b2);
+                    self.disconnect(conn);
+                    return;
                 }
-                self.dispatch(out);
-            }
-            (Err(_), _) => {
-                // Framing/codec failure: the stream cannot be trusted again.
-                self.disconnect(conn);
+                Ok(n) => {
+                    io.last_heard = Instant::now();
+                    io.metrics.add_bytes_in(n as u64);
+                    let n1 = n.min(READ_BUF_SIZE);
+                    let n2 = n - n1;
+                    let ok = self.feed_controller(conn, &b1[..n1], &b2[..n2]);
+                    self.pool.put(b1);
+                    self.pool.put(b2);
+                    if !ok {
+                        // Framing/codec failure: the stream cannot be
+                        // trusted again.
+                        self.disconnect(conn);
+                        return;
+                    }
+                    if n < 2 * READ_BUF_SIZE {
+                        return; // socket drained
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                    self.pool.put(b1);
+                    self.pool.put(b2);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.pool.put(b1);
+                    self.pool.put(b2);
+                    return;
+                }
+                Err(_) => {
+                    self.pool.put(b1);
+                    self.pool.put(b2);
+                    self.disconnect(conn);
+                    return;
+                }
             }
         }
+        // Fairness cap hit: the still-readable socket re-reports on the
+        // next wait under level triggering.
     }
+
+    /// Push `a` then `b` through the controller; `false` means the stream
+    /// is poisoned and must be torn down.
+    fn feed_controller(&mut self, conn: ConnId, a: &[u8], b: &[u8]) -> bool {
+        let now = self.now();
+        let (out, parsed, ready) = {
+            let mut ctrl = self.controller.lock();
+            let before = ctrl.stats.rx_messages;
+            let mut merged = ControllerOutput::default();
+            let mut ok = true;
+            for chunk in [a, b] {
+                if chunk.is_empty() {
+                    continue;
+                }
+                match ctrl.on_bytes(now, conn, chunk) {
+                    Ok(out) => {
+                        merged.to_switch.extend(out.to_switch);
+                        merged.echo_replies.extend(out.echo_replies);
+                        merged.hangups.extend(out.hangups);
+                    }
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let parsed = ctrl.stats.rx_messages - before;
+            let ready = ok && ctrl.conn_ready(conn);
+            (ok.then_some(merged), parsed, ready)
+        };
+        let Some(out) = out else {
+            return false;
+        };
+        if let Some(&key) = self.by_conn.get(&conn) {
+            if let Some(io) = self.conns.get_mut(key) {
+                io.metrics.add_msgs_in(parsed);
+                if ready && !io.handshake_seen {
+                    io.handshake_seen = true;
+                    let secs = io.accepted_at.elapsed().as_secs_f64();
+                    io.metrics.record_handshake_latency(secs);
+                    self.server_metrics.record_handshake_latency(secs);
+                }
+            }
+        }
+        self.dispatch(out);
+        true
+    }
+
+    // ---- write path -----------------------------------------------------
 
     /// Route a controller output batch: writes, echo RTT samples, hangups.
     fn dispatch(&mut self, out: ControllerOutput) {
@@ -376,13 +586,17 @@ impl Supervisor {
         for (conn, payload) in out.echo_replies {
             if let Some(sent_us) = decode_echo_payload(&payload) {
                 let rtt_us = self.now_micros().saturating_sub(sent_us);
-                if let Some(io) = self.conns.get(&conn) {
-                    io.metrics.record_echo_rtt(rtt_us as f64 / 1e6);
+                if let Some(&key) = self.by_conn.get(&conn) {
+                    if let Some(io) = self.conns.get(key) {
+                        io.metrics.record_echo_rtt(rtt_us as f64 / 1e6);
+                    }
                 }
                 self.server_metrics.record_echo_rtt(rtt_us as f64 / 1e6);
             }
-            if let Some(io) = self.conns.get_mut(&conn) {
-                io.last_heard = Instant::now();
+            if let Some(&key) = self.by_conn.get(&conn) {
+                if let Some(io) = self.conns.get_mut(key) {
+                    io.last_heard = Instant::now();
+                }
             }
         }
         for conn in out.hangups {
@@ -391,76 +605,187 @@ impl Supervisor {
     }
 
     fn queue_write(&mut self, conn: ConnId, bytes: Vec<u8>) {
-        let Some(io) = self.conns.get(&conn) else {
+        let Some(&key) = self.by_conn.get(&conn) else {
+            return;
+        };
+        let Some(io) = self.conns.get_mut(key) else {
             return;
         };
         io.metrics.add_msgs_out(1);
-        match io
-            .writer_tx
-            .send_timeout(bytes, self.config.write_stall_timeout)
-        {
-            Ok(()) => {
-                io.metrics.observe_queue_depth(io.writer_tx.len());
+        self.backlog_bytes += bytes.len() as u64;
+        io.outbox.push(bytes);
+        io.metrics.observe_queue_depth(io.outbox.frame_count());
+        self.drain_outbox(key);
+    }
+
+    /// Writable readiness for an armed connection.
+    fn write_ready(&mut self, key: usize) {
+        self.drain_outbox(key);
+    }
+
+    fn drain_outbox(&mut self, key: usize) {
+        let Some(io) = self.conns.get_mut(key) else {
+            return;
+        };
+        if io.outbox.is_empty() {
+            return;
+        }
+        let conn = io.conn;
+        let span = self.config.obs.as_ref().map(|o| o.span("southbound_send"));
+        let res = io.outbox.drain(&mut io.stream);
+        drop(span);
+        match res {
+            Ok(d) => {
+                if d.bytes > 0 {
+                    io.last_progress = Instant::now();
+                    io.metrics.add_bytes_out(d.bytes as u64);
+                    self.backlog_bytes -= d.bytes as u64;
+                }
+                if d.frames > 0 {
+                    if let Some(obs) = &self.config.obs {
+                        obs.counters
+                            .add("sav_writev_batched_frames_total", d.frames as u64);
+                    }
+                }
+                if d.blocked {
+                    if !io.want_write {
+                        io.want_write = true;
+                        let token = Token(key + CONN_TOKEN_BASE);
+                        let _ = self.poller.modify(&io.stream, token, Interest::BOTH);
+                    }
+                    if !io.stall_armed {
+                        io.stall_armed = true;
+                        self.wheel.insert(
+                            self.now_ns(),
+                            self.config.write_stall_timeout,
+                            Timer::Stall(conn),
+                        );
+                    }
+                } else if io.want_write {
+                    io.want_write = false;
+                    let token = Token(key + CONN_TOKEN_BASE);
+                    let _ = self.poller.modify(&io.stream, token, Interest::READABLE);
+                }
             }
-            Err(_) => {
-                // Queue stalled past the deadline or the writer died: the
-                // switch is not consuming. Cut it loose instead of blocking
-                // the whole control plane.
-                self.disconnect(conn);
+            Err(_) => self.disconnect(conn),
+        }
+    }
+
+    // ---- timers ---------------------------------------------------------
+
+    fn on_timer(&mut self, t: Timer) {
+        match t {
+            Timer::Echo(conn) => self.echo_timer(conn),
+            Timer::Stall(conn) => self.stall_timer(conn),
+            Timer::StatsPoll => self.stats_poll_timer(),
+            Timer::AcceptRetry => {
+                let rearmed = self
+                    .poller
+                    .register(&self.listener, TOKEN_LISTENER, Interest::READABLE)
+                    .or_else(|_| {
+                        // The earlier deregister may have failed, leaving
+                        // the registration in place: modify instead.
+                        self.poller
+                            .modify(&self.listener, TOKEN_LISTENER, Interest::READABLE)
+                    });
+                if rearmed.is_err() {
+                    // Keep trying: the listener must never die silently.
+                    self.wheel
+                        .insert(self.now_ns(), self.accept_backoff, Timer::AcceptRetry);
+                    return;
+                }
+                self.listener_paused = false;
+                self.accept_ready();
             }
         }
     }
 
+    /// Keepalive cadence: declare a silent switch dead, otherwise send the
+    /// next ECHO and re-arm.
+    fn echo_timer(&mut self, conn: ConnId) {
+        let Some(&key) = self.by_conn.get(&conn) else {
+            return; // connection already gone; stale timer
+        };
+        let Some(io) = self.conns.get_mut(key) else {
+            return;
+        };
+        if io.last_heard.elapsed() > self.config.liveness_timeout {
+            self.server_metrics.add_dead_declared();
+            io.metrics.add_dead_declared();
+            self.disconnect(conn);
+            return; // no re-arm: the connection is gone
+        }
+        let payload = encode_echo_payload(self.now_micros());
+        let bytes = self.controller.lock().send_echo(conn, payload);
+        if let Some(bytes) = bytes {
+            self.queue_write(conn, bytes);
+        }
+        self.wheel
+            .insert(self.now_ns(), self.config.echo_interval, Timer::Echo(conn));
+    }
+
+    /// A blocked outbox made no progress for the stall deadline (or grew
+    /// past the configured queue depth): the switch is not consuming. Cut
+    /// it loose instead of blocking the whole control plane.
+    fn stall_timer(&mut self, conn: ConnId) {
+        let Some(&key) = self.by_conn.get(&conn) else {
+            return;
+        };
+        let Some(io) = self.conns.get_mut(key) else {
+            return;
+        };
+        io.stall_armed = false;
+        if io.outbox.is_empty() {
+            return;
+        }
+        let idle = io.last_progress.elapsed();
+        let overflowing = io.outbox.frame_count() > self.config.outbound_queue.max(1);
+        if idle >= self.config.write_stall_timeout || overflowing {
+            self.disconnect(conn);
+            return;
+        }
+        // Progress happened since arming: push the deadline out.
+        io.stall_armed = true;
+        let remaining = self.config.write_stall_timeout - idle;
+        self.wheel
+            .insert(self.now_ns(), remaining, Timer::Stall(conn));
+    }
+
+    /// Fire the controller's poll hook; stats-collecting apps answer with
+    /// multipart requests that ship through the ordinary dispatch path.
+    fn stats_poll_timer(&mut self) {
+        let Some(interval) = self.config.stats_poll_interval else {
+            return;
+        };
+        self.wheel.insert(self.now_ns(), interval, Timer::StatsPoll);
+        let now = self.now();
+        let out = self.controller.lock().poll_tick(now);
+        self.dispatch(out);
+    }
+
+    // ---- teardown -------------------------------------------------------
+
     /// Controller-driven teardown: notify apps, then close the socket.
     fn disconnect(&mut self, conn: ConnId) {
-        if self.conns.contains_key(&conn) {
+        if self.by_conn.contains_key(&conn) {
             let out = self.controller.lock().on_disconnect(self.now(), conn);
             self.close_io(conn);
             self.dispatch(out);
         }
     }
 
-    /// Socket-driven teardown (peer closed or read error).
-    fn kill_conn(&mut self, conn: ConnId) {
-        self.disconnect(conn);
-    }
-
     fn close_io(&mut self, conn: ConnId) {
-        if let Some(io) = self.conns.remove(&conn) {
-            let _ = io.stream.shutdown(Shutdown::Both);
-            // Dropping writer_tx disconnects the writer thread's channel.
-            if let Some(obs) = &self.config.obs {
-                obs.event(
-                    Severity::Warn,
-                    EventKind::PeerDisconnected { conn: conn as u64 },
-                );
-            }
-        }
-    }
-
-    fn keepalive_pass(&mut self) {
-        let mut dead = Vec::new();
-        let mut echoes = Vec::new();
-        for (&conn, io) in &mut self.conns {
-            if io.last_heard.elapsed() > self.config.liveness_timeout {
-                dead.push(conn);
-            } else if io.last_echo.elapsed() >= self.config.echo_interval {
-                io.last_echo = Instant::now();
-                echoes.push(conn);
-            }
-        }
-        for conn in dead {
-            self.server_metrics.add_dead_declared();
-            if let Some(io) = self.conns.get(&conn) {
-                io.metrics.add_dead_declared();
-            }
-            self.disconnect(conn);
-        }
-        for conn in echoes {
-            let payload = encode_echo_payload(self.now_micros());
-            let bytes = self.controller.lock().send_echo(conn, payload);
-            if let Some(bytes) = bytes {
-                self.queue_write(conn, bytes);
+        if let Some(key) = self.by_conn.remove(&conn) {
+            if let Some(io) = self.conns.remove(key) {
+                self.backlog_bytes -= io.outbox.backlog_bytes() as u64;
+                let _ = self.poller.deregister(&io.stream);
+                let _ = io.stream.shutdown(Shutdown::Both);
+                if let Some(obs) = &self.config.obs {
+                    obs.event(
+                        Severity::Warn,
+                        EventKind::PeerDisconnected { conn: conn as u64 },
+                    );
+                }
             }
         }
     }
@@ -468,53 +793,12 @@ impl Supervisor {
 
 /// ECHO payloads carry the send instant (µs since server start) so the
 /// reply alone is enough to compute the RTT.
-fn encode_echo_payload(micros: u64) -> Vec<u8> {
+pub(crate) fn encode_echo_payload(micros: u64) -> Vec<u8> {
     micros.to_le_bytes().to_vec()
 }
 
-fn decode_echo_payload(payload: &[u8]) -> Option<u64> {
+pub(crate) fn decode_echo_payload(payload: &[u8]) -> Option<u64> {
     Some(u64::from_le_bytes(payload.get(..8)?.try_into().ok()?))
-}
-
-fn reader_loop(
-    conn: ConnId,
-    mut stream: TcpStream,
-    event_tx: Sender<Event>,
-    _metrics: ChannelMetrics,
-) {
-    let mut buf = [0u8; 8192];
-    loop {
-        match stream.read(&mut buf) {
-            Ok(0) | Err(_) => {
-                let _ = event_tx.send(Event::Closed(conn));
-                return;
-            }
-            Ok(n) => {
-                if event_tx
-                    .send(Event::Bytes(conn, buf[..n].to_vec()))
-                    .is_err()
-                {
-                    return;
-                }
-            }
-        }
-    }
-}
-
-fn writer_loop(
-    mut stream: TcpStream,
-    writer_rx: Receiver<Vec<u8>>,
-    metrics: ChannelMetrics,
-    obs: Option<Obs>,
-) {
-    while let Ok(bytes) = writer_rx.recv() {
-        let span = obs.as_ref().map(|o| o.span("southbound_send"));
-        if stream.write_all(&bytes).is_err() {
-            return;
-        }
-        drop(span);
-        metrics.add_bytes_out(bytes.len() as u64);
-    }
 }
 
 #[cfg(test)]
@@ -541,5 +825,26 @@ mod tests {
         let addr = server.local_addr();
         assert_ne!(addr.port(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn bind_with_retry_reclaims_a_released_port() {
+        let first = SouthboundServer::bind(
+            "127.0.0.1:0",
+            ServerConfig::default(),
+            Controller::new(vec![]),
+        )
+        .unwrap();
+        let addr = first.local_addr();
+        first.shutdown();
+        let second = SouthboundServer::bind_with_retry(
+            addr,
+            ServerConfig::default(),
+            || Controller::new(vec![]),
+            Duration::from_secs(5),
+        )
+        .unwrap();
+        assert_eq!(second.local_addr(), addr);
+        second.shutdown();
     }
 }

@@ -141,6 +141,20 @@ impl Controller {
         v
     }
 
+    /// True once `conn` has completed the full handshake (HELLO,
+    /// FEATURES, and — in cluster mode — role assertion). The transport
+    /// uses the `false → true` flip to measure accept-to-ready handshake
+    /// latency without peeking at connection state.
+    pub fn conn_ready(&self, conn: ConnId) -> bool {
+        matches!(
+            self.conns.get(&conn),
+            Some(Conn {
+                state: ConnState::Ready { .. },
+                ..
+            })
+        )
+    }
+
     /// A new control channel appeared; returns the greeting bytes.
     pub fn on_connect(&mut self, conn: ConnId) -> Vec<u8> {
         self.conns.insert(

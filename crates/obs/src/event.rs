@@ -151,6 +151,13 @@ pub enum EventKind {
         /// Transport connection id.
         conn: u64,
     },
+    /// The southbound listener's `accept` failed with a transient error
+    /// (fd exhaustion, peer aborting mid-handshake); accepting resumes
+    /// after a capped backoff instead of dying.
+    AcceptError {
+        /// The OS error, for the post-mortem.
+        error: String,
+    },
     /// A cluster node won the leader election.
     LeaderElected {
         /// The winning node's id.
@@ -245,6 +252,7 @@ impl EventKind {
             EventKind::WalError { .. } => "wal_error",
             EventKind::PeerConnected { .. } => "peer_connected",
             EventKind::PeerDisconnected { .. } => "peer_disconnected",
+            EventKind::AcceptError { .. } => "accept_error",
             EventKind::LeaderElected { .. } => "leader_elected",
             EventKind::FailoverCompleted { .. } => "failover_completed",
             EventKind::RoleRejected { .. } => "role_rejected",
@@ -337,6 +345,9 @@ impl EventKind {
             }
             EventKind::PeerConnected { conn } | EventKind::PeerDisconnected { conn } => {
                 n(out, "conn", *conn);
+            }
+            EventKind::AcceptError { error } => {
+                s(out, "error", error);
             }
             EventKind::LeaderElected { node, generation } => {
                 n(out, "node", *node);

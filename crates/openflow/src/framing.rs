@@ -259,6 +259,54 @@ mod tests {
     }
 
     #[test]
+    fn frames_straddling_vectored_read_boundaries() {
+        // The southbound event loop reads with one `readv` into two pooled
+        // scratch buffers and feeds each filled buffer to the deframer as a
+        // separate push, draining complete messages in between. A frame may
+        // straddle the buffer boundary anywhere — every possible split of a
+        // three-message stream must reassemble identically.
+        let expected = vec![
+            (Message::Hello, 1),
+            (Message::EchoRequest(EchoData(b"abcdefgh".to_vec())), 2),
+            (Message::FeaturesRequest, 3),
+        ];
+        let stream = encode_stream(&expected);
+        for cut in 0..=stream.len() {
+            let mut d = Deframer::new();
+            let mut got = Vec::new();
+            for chunk in [&stream[..cut], &stream[cut..]] {
+                d.push(chunk).unwrap();
+                while let Some(m) = d.next_message().unwrap() {
+                    got.push(m);
+                }
+            }
+            assert_eq!(got, expected, "split at byte {cut}");
+            assert_eq!(d.buffered(), 0, "split at byte {cut}");
+        }
+    }
+
+    #[test]
+    fn default_cap_overflow_via_partial_reads_is_sticky() {
+        // A reader that accumulates nonblocking partial reads without
+        // draining (or a peer streaming bytes faster than frames complete)
+        // must hit DEFAULT_MAX_BUFFERED exactly once and stay poisoned —
+        // even though complete frames sit in the buffer afterwards.
+        let frame = Message::EchoRequest(EchoData(vec![9u8; 1016])).encode(4);
+        assert_eq!(frame.len(), 1024);
+        let chunk: Vec<u8> = frame.iter().cycle().take(1024 * 1024).copied().collect();
+        let mut d = Deframer::new();
+        for _ in 0..16 {
+            d.push(&chunk).unwrap(); // 16 MiB buffered: exactly at the cap
+        }
+        assert_eq!(d.buffered(), DEFAULT_MAX_BUFFERED);
+        assert!(!d.is_poisoned());
+        assert_eq!(d.push(&[4]).err(), Some(CodecError::BufferOverflow));
+        assert!(d.is_poisoned());
+        assert_eq!(d.next_frame().err(), Some(CodecError::BufferOverflow));
+        assert_eq!(d.push(&frame).err(), Some(CodecError::BufferOverflow));
+    }
+
+    #[test]
     fn compaction_preserves_pending_bytes() {
         // Push many complete frames plus a partial tail, drain, then finish
         // the tail — compaction must not corrupt the partial message.

@@ -1,0 +1,104 @@
+//! Recycled read-scratch buffers.
+//!
+//! At 10k connections the read loop touches a scratch buffer on every
+//! wakeup; allocating one per read would put the allocator on the hot
+//! path and fragment the heap. The pool hands out fixed-size boxed
+//! slices and takes them back, keeping at most `max_idle` around so a
+//! burst doesn't pin memory forever.
+
+/// A free-list of uniform read buffers. Single-threaded, like the loop
+/// that owns it.
+pub struct BufferPool {
+    buf_size: usize,
+    max_idle: usize,
+    free: Vec<Box<[u8]>>,
+    allocated: u64,
+    reused: u64,
+}
+
+impl BufferPool {
+    /// A pool of `buf_size`-byte buffers keeping at most `max_idle` idle.
+    pub fn new(buf_size: usize, max_idle: usize) -> BufferPool {
+        BufferPool {
+            buf_size: buf_size.max(1),
+            max_idle,
+            free: Vec::new(),
+            allocated: 0,
+            reused: 0,
+        }
+    }
+
+    /// Size of every buffer this pool hands out.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+
+    /// Take a buffer; contents are unspecified (reads overwrite).
+    pub fn get(&mut self) -> Box<[u8]> {
+        match self.free.pop() {
+            Some(buf) => {
+                self.reused += 1;
+                buf
+            }
+            None => {
+                self.allocated += 1;
+                vec![0u8; self.buf_size].into_boxed_slice()
+            }
+        }
+    }
+
+    /// Return a buffer to the free list. Foreign-sized buffers and
+    /// overflow beyond `max_idle` are simply dropped.
+    pub fn put(&mut self, buf: Box<[u8]>) {
+        if buf.len() == self.buf_size && self.free.len() < self.max_idle {
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total fresh allocations since construction (pool-miss count).
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Total reuses since construction (pool-hit count).
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_instead_of_allocating() {
+        let mut pool = BufferPool::new(4096, 8);
+        let a = pool.get();
+        let b = pool.get();
+        assert_eq!(a.len(), 4096);
+        assert_eq!(pool.allocated(), 2);
+        pool.put(a);
+        pool.put(b);
+        assert_eq!(pool.idle(), 2);
+        let _c = pool.get();
+        assert_eq!(pool.allocated(), 2, "third get must come from the pool");
+        assert_eq!(pool.reused(), 1);
+    }
+
+    #[test]
+    fn caps_idle_buffers_and_rejects_foreign_sizes() {
+        let mut pool = BufferPool::new(64, 2);
+        for _ in 0..4 {
+            let buf = vec![0u8; 64].into_boxed_slice();
+            pool.put(buf);
+        }
+        assert_eq!(pool.idle(), 2, "max_idle caps the free list");
+        pool.put(vec![0u8; 128].into_boxed_slice());
+        assert_eq!(pool.idle(), 2, "wrong-size buffers are dropped");
+    }
+}

@@ -1,0 +1,46 @@
+//! sav-poll: a dependency-free readiness event loop for the southbound.
+//!
+//! The controller must hold a control channel to every access and border
+//! switch; thread-per-connection tops out at hundreds of sockets. This
+//! crate provides the minimal machinery to run *one* thread over tens of
+//! thousands of nonblocking sockets:
+//!
+//! * [`Poller`] — a tiny level-triggered epoll (Linux) / kqueue (other
+//!   Unix) shim: register/modify/deregister interest per fd, then
+//!   `wait(timeout)` for a batch of [`PollEvent`]s keyed by [`Token`].
+//!   Every poller carries a [`Waker`] so other threads can interrupt a
+//!   blocked `wait`.
+//! * [`BufferPool`] — recycled read-scratch buffers so 10k sockets don't
+//!   allocate per wakeup.
+//! * [`Outbox`] — a per-connection outbound frame queue drained with
+//!   vectored `writev` under a single-writer rule (only the loop thread
+//!   touches the socket).
+//! * [`TimerWheel`] — a hashed timer wheel for echo deadlines, liveness
+//!   checks, stats ticks and accept backoff at connection scale.
+//! * [`Slab`] — token-keyed dense storage for per-connection state.
+//!
+//! The crate is deliberately sans-policy: it never parses OpenFlow and
+//! never owns reconnect logic. `sav-channel` composes these pieces around
+//! the existing deframer and controller core.
+//!
+//! All `unsafe` lives in the private `sys` module (raw `epoll`/`kqueue`
+//! FFI); everything above it is safe Rust on `std` only.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("sav-poll needs a Unix readiness API (epoll or kqueue)");
+
+pub mod buffer;
+pub mod outbox;
+pub mod poller;
+pub mod slab;
+mod sys;
+pub mod wheel;
+
+pub use buffer::BufferPool;
+pub use outbox::{Drained, Outbox};
+pub use poller::{Events, Interest, PollEvent, Poller, Token, Waker};
+pub use slab::Slab;
+pub use wheel::TimerWheel;

@@ -1,0 +1,243 @@
+//! Per-connection outbound queue drained with vectored writes.
+//!
+//! The single-writer rule: only the event-loop thread ever writes a
+//! socket. Producers (the controller core, echo timers) push whole
+//! frames here; the loop drains the queue with `writev` whenever the
+//! socket is writable, so a burst of small OpenFlow messages (echo
+//! replies, flow-mod fans) coalesces into few syscalls instead of one
+//! `write` per frame.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+
+/// Max iovecs per `writev` call. Linux caps at IOV_MAX (1024); 64 keeps
+/// the stack slice small while still batching generously.
+const MAX_IOVECS: usize = 64;
+
+/// What one [`Outbox::drain`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Drained {
+    /// Bytes accepted by the kernel.
+    pub bytes: usize,
+    /// Whole frames fully written (the batching metric).
+    pub frames: usize,
+    /// True when the socket signalled `WouldBlock` — re-arm write
+    /// interest and come back on the next writable event.
+    pub blocked: bool,
+}
+
+/// FIFO of un-written frames plus the write cursor into the head frame.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of `frames[0]` already handed to the kernel.
+    head_off: usize,
+    /// Total unwritten bytes across all frames (backlog gauge).
+    backlog: usize,
+}
+
+impl Outbox {
+    /// An empty outbox.
+    pub fn new() -> Outbox {
+        Outbox::default()
+    }
+
+    /// Queue a frame for transmission. Empty frames are dropped.
+    pub fn push(&mut self, frame: Vec<u8>) {
+        if frame.is_empty() {
+            return;
+        }
+        self.backlog += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    /// Unwritten bytes currently queued.
+    pub fn backlog_bytes(&self) -> usize {
+        self.backlog
+    }
+
+    /// Frames currently queued (the head may be partially written).
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when everything queued has reached the kernel.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Write as much as the socket will take, batching up to
+    /// [`MAX_IOVECS`] frames per `writev`. Returns what happened;
+    /// `Err` means the connection is broken (not `WouldBlock`, which is
+    /// reported via [`Drained::blocked`]).
+    pub fn drain(&mut self, w: &mut impl Write) -> io::Result<Drained> {
+        let mut out = Drained::default();
+        while !self.frames.is_empty() {
+            let mut slices: Vec<IoSlice<'_>> =
+                Vec::with_capacity(self.frames.len().min(MAX_IOVECS));
+            for (i, frame) in self.frames.iter().take(MAX_IOVECS).enumerate() {
+                let skip = if i == 0 { self.head_off } else { 0 };
+                slices.push(IoSlice::new(&frame[skip..]));
+            }
+            match w.write_vectored(&slices) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    out.bytes += n;
+                    out.frames += self.consume(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    out.blocked = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Advance the cursor past `n` written bytes; returns how many whole
+    /// frames that completed.
+    fn consume(&mut self, mut n: usize) -> usize {
+        self.backlog -= n;
+        let mut completed = 0;
+        while n > 0 {
+            let remaining = self.frames[0].len() - self.head_off;
+            if n >= remaining {
+                n -= remaining;
+                self.frames.pop_front();
+                self.head_off = 0;
+                completed += 1;
+            } else {
+                self.head_off += n;
+                n = 0;
+            }
+        }
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call and then
+    /// `WouldBlock`s once `budget` is exhausted — a socket with a tiny
+    /// send buffer.
+    struct Throttle {
+        written: Vec<u8>,
+        cap: usize,
+        budget: usize,
+        calls: usize,
+    }
+
+    impl Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_vectored(&[IoSlice::new(buf)])
+        }
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            self.calls += 1;
+            if self.budget == 0 {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let mut take = self.cap.min(self.budget);
+            let mut n = 0;
+            for b in bufs {
+                let k = take.min(b.len());
+                self.written.extend_from_slice(&b[..k]);
+                n += k;
+                take -= k;
+                if take == 0 {
+                    break;
+                }
+            }
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn batches_many_frames_into_one_writev() {
+        let mut ob = Outbox::new();
+        for i in 0..10u8 {
+            ob.push(vec![i; 3]);
+        }
+        assert_eq!(ob.backlog_bytes(), 30);
+        let mut w = Throttle {
+            written: Vec::new(),
+            cap: usize::MAX,
+            budget: usize::MAX,
+            calls: 0,
+        };
+        let d = ob.drain(&mut w).unwrap();
+        assert_eq!(d.frames, 10);
+        assert_eq!(d.bytes, 30);
+        assert!(!d.blocked);
+        assert_eq!(w.calls, 1, "10 frames must coalesce into one writev");
+        assert!(ob.is_empty());
+        assert_eq!(ob.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_writes_keep_a_cursor_into_the_head_frame() {
+        let mut ob = Outbox::new();
+        ob.push(b"abcdef".to_vec());
+        ob.push(b"ghi".to_vec());
+        let mut w = Throttle {
+            written: Vec::new(),
+            cap: 4,
+            budget: 4,
+            calls: 0,
+        };
+        let d = ob.drain(&mut w).unwrap();
+        assert_eq!(d.bytes, 4);
+        assert_eq!(d.frames, 0, "head frame only partially written");
+        assert!(d.blocked);
+        assert_eq!(ob.backlog_bytes(), 5);
+        assert_eq!(ob.frame_count(), 2);
+
+        // Socket drains: the rest goes out from the saved cursor.
+        let mut w2 = Throttle {
+            written: Vec::new(),
+            cap: usize::MAX,
+            budget: usize::MAX,
+            calls: 0,
+        };
+        let d = ob.drain(&mut w2).unwrap();
+        assert_eq!(d.frames, 2);
+        assert_eq!(w2.written, b"efghi");
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn broken_pipe_is_an_error_not_blocked() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::from(io::ErrorKind::BrokenPipe))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut ob = Outbox::new();
+        ob.push(vec![1, 2, 3]);
+        assert!(ob.drain(&mut Broken).is_err());
+    }
+
+    #[test]
+    fn empty_frames_are_ignored() {
+        let mut ob = Outbox::new();
+        ob.push(Vec::new());
+        assert!(ob.is_empty());
+        assert_eq!(ob.backlog_bytes(), 0);
+    }
+}

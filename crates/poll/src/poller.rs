@@ -1,0 +1,326 @@
+//! The readiness poller: register interest, wait for events.
+//!
+//! Level-triggered by design — a socket that still has unread bytes (or
+//! writable space) shows up again on the next `wait`, so the loop never
+//! has to drain a socket to exhaustion inside one wakeup and fairness
+//! caps stay simple.
+
+use std::io::{self, Read, Write};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use crate::sys;
+
+/// Identifies one registered fd in [`PollEvent`]s. The caller picks the
+/// value — typically a [`crate::Slab`] key plus a fixed offset for the
+/// listener.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Reserved token for the poller's internal waker; never reported.
+pub const WAKER_TOKEN: Token = Token(usize::MAX);
+
+/// Which readiness directions a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or peer-closed).
+    pub readable: bool,
+    /// Wake when the fd accepts writes again.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read readiness only — the steady state of an idle connection.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write readiness only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions — a connection with a non-empty outbox.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: Token,
+    /// Reading (or accepting) won't block — includes EOF and errors, so a
+    /// subsequent `read` observes them instead of the loop guessing.
+    pub readable: bool,
+    /// Writing won't block.
+    pub writable: bool,
+    /// The kernel flagged an error condition on the fd.
+    pub error: bool,
+    /// Peer hung up (full or half close).
+    pub hangup: bool,
+}
+
+/// Reusable event buffer for [`Poller::wait`].
+pub struct Events {
+    inner: Vec<PollEvent>,
+}
+
+impl Events {
+    /// A buffer that accepts up to `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity.max(1)),
+        }
+    }
+
+    /// Events delivered by the last `wait`.
+    pub fn iter(&self) -> std::slice::Iter<'_, PollEvent> {
+        self.inner.iter()
+    }
+
+    /// Number of events delivered by the last `wait`.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when the last `wait` timed out (or was woken) with nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a PollEvent;
+    type IntoIter = std::slice::Iter<'a, PollEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Wakes a [`Poller`] blocked in `wait` from another thread.
+///
+/// Cloneable and cheap: one byte down an internal nonblocking socketpair.
+/// A full pipe means a wake is already pending, so `WouldBlock` is a
+/// success.
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Interrupt the poller's current (or next) `wait`.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+
+    /// Another handle to the same poller.
+    pub fn try_clone(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.tx.try_clone()?,
+        })
+    }
+}
+
+/// The readiness selector: epoll on Linux, kqueue elsewhere.
+///
+/// Single-threaded by contract — only the loop thread calls `wait`,
+/// register and friends; other threads interact solely through [`Waker`].
+pub struct Poller {
+    sel: sys::Selector,
+    wake_rx: UnixStream,
+    wake_tx: UnixStream,
+}
+
+impl Poller {
+    /// A poller able to report up to `capacity` events per `wait`.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        let sel = sys::Selector::new(capacity)?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        wake_tx.set_nonblocking(true)?;
+        sel.add(wake_rx.as_raw_fd(), WAKER_TOKEN, true, false)?;
+        Ok(Poller {
+            sel,
+            wake_rx,
+            wake_tx,
+        })
+    }
+
+    /// A handle other threads can use to interrupt `wait`.
+    pub fn waker(&self) -> io::Result<Waker> {
+        Ok(Waker {
+            tx: self.wake_tx.try_clone()?,
+        })
+    }
+
+    /// Start watching `fd` under `token`. [`WAKER_TOKEN`] is reserved.
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert!(token != WAKER_TOKEN, "WAKER_TOKEN is reserved");
+        self.sel
+            .add(fd.as_raw_fd(), token, interest.readable, interest.writable)
+    }
+
+    /// Change the interest set of an already-registered fd.
+    pub fn modify(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert!(token != WAKER_TOKEN, "WAKER_TOKEN is reserved");
+        self.sel
+            .modify(fd.as_raw_fd(), token, interest.readable, interest.writable)
+    }
+
+    /// Stop watching `fd`. Dropping (closing) the fd also deregisters it
+    /// in the kernel; calling this first just keeps bookkeeping explicit.
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.sel.delete(fd.as_raw_fd())
+    }
+
+    /// Block until readiness, a timeout, or a [`Waker::wake`]; fills
+    /// `events` (cleared first) and returns how many there are. A wake or
+    /// timeout can legitimately deliver zero events — the caller should
+    /// re-check its own timers and command queues after every return.
+    pub fn wait(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.inner.clear();
+        self.sel.wait(&mut events.inner, timeout)?;
+        // Swallow waker events: drain the pipe so level triggering stops
+        // reporting it, then hide the token from the caller.
+        let mut woken = false;
+        events.inner.retain(|ev| {
+            if ev.token == WAKER_TOKEN {
+                woken = true;
+                false
+            } else {
+                true
+            }
+        });
+        if woken {
+            let mut sink = [0u8; 64];
+            while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+        Ok(events.inner.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (UnixStream, UnixStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn reports_readable_when_bytes_arrive() {
+        let mut poller = Poller::new(8).unwrap();
+        let (a, b) = pair();
+        poller.register(&a, Token(7), Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        // Nothing pending: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        (&b).write_all(&[0xAB]).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.token, Token(7));
+        assert!(ev.readable);
+        poller.deregister(&a).unwrap();
+    }
+
+    #[test]
+    fn level_triggered_until_drained_and_modify_changes_interest() {
+        let mut poller = Poller::new(8).unwrap();
+        let (a, b) = pair();
+        (&b).write_all(&[1, 2, 3]).unwrap();
+        poller.register(&a, Token(1), Interest::READABLE).unwrap();
+
+        let mut events = Events::with_capacity(8);
+        for _ in 0..2 {
+            // Unread bytes keep re-reporting under level triggering.
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert_eq!(n, 1);
+            assert!(events.iter().next().unwrap().readable);
+        }
+
+        // Drop read interest: pending bytes no longer wake us.
+        poller.modify(&a, Token(1), Interest::WRITABLE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 1, "socket should be writable instead");
+        let ev = events.iter().next().unwrap();
+        assert!(ev.writable && !ev.error);
+    }
+
+    #[test]
+    fn hangup_surfaces_as_readable() {
+        let mut poller = Poller::new(8).unwrap();
+        let (a, b) = pair();
+        poller.register(&a, Token(3), Interest::READABLE).unwrap();
+        drop(b);
+        let mut events = Events::with_capacity(8);
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert!(ev.readable, "EOF must surface through the read path");
+        assert!(ev.hangup);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait() {
+        let mut poller = Poller::new(8).unwrap();
+        let waker = poller.waker().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert_eq!(n, 0, "waker must not leak as a user event");
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "wake should cut the 30s timeout short"
+        );
+        handle.join().unwrap();
+
+        // The wake byte was drained: the next wait times out normally.
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn wake_before_wait_is_not_lost() {
+        let mut poller = Poller::new(8).unwrap();
+        let waker = poller.waker().unwrap();
+        waker.wake();
+        waker.wake(); // coalesces, never errors
+        let mut events = Events::with_capacity(8);
+        let t0 = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(30)))
+            .unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(10));
+    }
+}

@@ -1,0 +1,148 @@
+//! Token-keyed dense storage for per-connection state.
+//!
+//! The poller hands back a [`crate::Token`]; the loop needs that to
+//! resolve to connection state in O(1) on every wakeup. A slab (vector +
+//! free list) gives direct indexing on the hot read path where a hash map
+//! would hash 10k times per sweep. Keys are reused after removal, so
+//! callers that need stable identities store their own id inside `T`.
+
+enum Entry<T> {
+    Vacant,
+    Occupied(T),
+}
+
+/// Vec-backed slab with key reuse; see module docs.
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<usize>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Slab<T> {
+        Slab::new()
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Slab<T> {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Store `value`, returning its key (lowest free index).
+    pub fn insert(&mut self, value: T) -> usize {
+        self.len += 1;
+        match self.free.pop() {
+            Some(key) => {
+                self.entries[key] = Entry::Occupied(value);
+                key
+            }
+            None => {
+                self.entries.push(Entry::Occupied(value));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    /// Remove and return the value under `key`, if occupied.
+    pub fn remove(&mut self, key: usize) -> Option<T> {
+        let slot = self.entries.get_mut(key)?;
+        match std::mem::replace(slot, Entry::Vacant) {
+            Entry::Occupied(v) => {
+                self.free.push(key);
+                self.len -= 1;
+                Some(v)
+            }
+            Entry::Vacant => None,
+        }
+    }
+
+    /// Borrow the value under `key`.
+    pub fn get(&self, key: usize) -> Option<&T> {
+        match self.entries.get(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the value under `key`.
+    pub fn get_mut(&mut self, key: usize) -> Option<&mut T> {
+        match self.entries.get_mut(key) {
+            Some(Entry::Occupied(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True when `key` is occupied.
+    pub fn contains(&self, key: usize) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterate occupied `(key, &value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter_map(|(k, e)| match e {
+                Entry::Occupied(v) => Some((k, v)),
+                Entry::Vacant => None,
+            })
+    }
+
+    /// Occupied keys in order, collected (callers often need to mutate
+    /// while walking, which borrows the slab).
+    pub fn keys(&self) -> Vec<usize> {
+        self.iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), Some(&"a"));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), Some("a"));
+        assert_eq!(s.remove(a), None, "double remove is a no-op");
+        assert!(!s.contains(a));
+        assert_eq!(s.len(), 1);
+        *s.get_mut(b).unwrap() = "b2";
+        assert_eq!(s.get(b), Some(&"b2"));
+    }
+
+    #[test]
+    fn freed_keys_are_reused_and_iter_skips_vacants() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        let _b = s.insert(2);
+        s.remove(a);
+        let c = s.insert(3);
+        assert_eq!(c, a, "freed slot is recycled");
+        let pairs: Vec<_> = s.iter().map(|(k, &v)| (k, v)).collect();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(s.keys().len(), 2);
+        let big = s.insert(4);
+        assert_eq!(big, 2, "no vacancy left: slab grows");
+    }
+}

@@ -1,0 +1,356 @@
+//! Raw readiness syscalls, one backend per platform.
+//!
+//! The workspace has no route to crates.io, so there is no `libc` to lean
+//! on; instead the handful of symbols we need are declared `extern "C"`
+//! directly — `std` already links the platform libc, so they resolve at
+//! link time. Each backend exposes the same tiny `Selector` surface and
+//! converts raw kernel events into the crate's [`PollEvent`] so no
+//! platform struct escapes this module. This is the only `unsafe` code in
+//! the crate.
+
+use std::io;
+use std::time::Duration;
+
+use crate::poller::{PollEvent, Token};
+
+#[cfg(target_os = "linux")]
+pub(crate) use epoll::Selector;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub(crate) use kqueue::Selector;
+
+/// Linux: level-triggered epoll.
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::*;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+    /// The kernel ABI struct. On x86_64 the kernel declares it packed.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(crate) struct Selector {
+        epfd: i32,
+        raw: Vec<EpollEvent>,
+    }
+
+    impl Selector {
+        pub(crate) fn new(capacity: usize) -> io::Result<Selector> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector {
+                epfd,
+                raw: vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: i32, events: u32, token: u64) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
+            let evp = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev as *mut EpollEvent
+            };
+            // SAFETY: `evp` is either null (DEL ignores it) or points to a
+            // live EpollEvent for the duration of the call.
+            if unsafe { epoll_ctl(self.epfd, op, fd, evp) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn mask(readable: bool, writable: bool) -> u32 {
+            // RDHUP is always on so peer half-close surfaces as readable
+            // (a read then observes EOF) under level triggering.
+            let mut m = EPOLLRDHUP;
+            if readable {
+                m |= EPOLLIN;
+            }
+            if writable {
+                m |= EPOLLOUT;
+            }
+            m
+        }
+
+        pub(crate) fn add(
+            &self,
+            fd: i32,
+            token: Token,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Self::mask(readable, writable),
+                token.0 as u64,
+            )
+        }
+
+        pub(crate) fn modify(
+            &self,
+            fd: i32,
+            token: Token,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Self::mask(readable, writable),
+                token.0 as u64,
+            )
+        }
+
+        pub(crate) fn delete(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            // Round up so a sub-millisecond timer never truncates to 0
+            // (0 = "return immediately", which would busy-spin the loop).
+            let ms: i32 = match timeout {
+                None => -1,
+                Some(d) => d.as_nanos().div_ceil(1_000_000).min(i32::MAX as u128) as i32,
+            };
+            let n = loop {
+                // SAFETY: `raw` stays alive across the call and
+                // `maxevents` matches its length.
+                let rc = unsafe {
+                    epoll_wait(self.epfd, self.raw.as_mut_ptr(), self.raw.len() as i32, ms)
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+                // Interrupted by a signal: retry with the same timeout.
+                // Slight over-sleep is acceptable; the wheel re-checks.
+            };
+            for ev in &self.raw[..n] {
+                // Copy out of the (possibly packed) ABI struct by value.
+                let bits = ev.events;
+                let data = ev.data;
+                out.push(PollEvent {
+                    token: Token(data as usize),
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                    error: bits & EPOLLERR != 0,
+                    hangup: bits & (EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: epfd is a live fd owned by this selector.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+/// Other Unix (macOS, BSDs): kqueue, one filter per direction.
+#[cfg(all(unix, not(target_os = "linux")))]
+mod kqueue {
+    use super::*;
+    use std::ffi::c_void;
+
+    const EVFILT_READ: i16 = -1;
+    const EVFILT_WRITE: i16 = -2;
+    const EV_ADD: u16 = 0x0001;
+    const EV_DELETE: u16 = 0x0002;
+    const EV_EOF: u16 = 0x8000;
+    const EV_ERROR: u16 = 0x4000;
+
+    #[repr(C)]
+    struct KEvent {
+        ident: usize,
+        filter: i16,
+        flags: u16,
+        fflags: u32,
+        data: isize,
+        udata: *mut c_void,
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn kqueue() -> i32;
+        fn kevent(
+            kq: i32,
+            changelist: *const KEvent,
+            nchanges: i32,
+            eventlist: *mut KEvent,
+            nevents: i32,
+            timeout: *const Timespec,
+        ) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    pub(crate) struct Selector {
+        kq: i32,
+        capacity: usize,
+    }
+
+    impl Selector {
+        pub(crate) fn new(capacity: usize) -> io::Result<Selector> {
+            // SAFETY: plain syscall.
+            let kq = unsafe { kqueue() };
+            if kq < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector {
+                kq,
+                capacity: capacity.max(1),
+            })
+        }
+
+        fn change(&self, fd: i32, filter: i16, flags: u16, token: usize) -> io::Result<()> {
+            let ch = KEvent {
+                ident: fd as usize,
+                filter,
+                flags,
+                fflags: 0,
+                data: 0,
+                udata: token as *mut c_void,
+            };
+            // SAFETY: `ch` lives across the call; no eventlist is passed.
+            if unsafe { kevent(self.kq, &ch, 1, std::ptr::null_mut(), 0, std::ptr::null()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        fn apply(&self, fd: i32, token: Token, readable: bool, writable: bool) -> io::Result<()> {
+            for (filter, wanted) in [(EVFILT_READ, readable), (EVFILT_WRITE, writable)] {
+                if wanted {
+                    self.change(fd, filter, EV_ADD, token.0)?;
+                } else {
+                    // Removing a filter that was never added reports
+                    // ENOENT; that is the state we want anyway.
+                    let _ = self.change(fd, filter, EV_DELETE, 0);
+                }
+            }
+            Ok(())
+        }
+
+        pub(crate) fn add(
+            &self,
+            fd: i32,
+            token: Token,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.apply(fd, token, readable, writable)
+        }
+
+        pub(crate) fn modify(
+            &self,
+            fd: i32,
+            token: Token,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
+            self.apply(fd, token, readable, writable)
+        }
+
+        pub(crate) fn delete(&self, fd: i32) -> io::Result<()> {
+            let _ = self.change(fd, EVFILT_READ, EV_DELETE, 0);
+            let _ = self.change(fd, EVFILT_WRITE, EV_DELETE, 0);
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            out: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let ts = timeout.map(|d| Timespec {
+                tv_sec: d.as_secs() as i64,
+                tv_nsec: i64::from(d.subsec_nanos()),
+            });
+            let tsp = ts
+                .as_ref()
+                .map_or(std::ptr::null(), |t| t as *const Timespec);
+            let mut raw: Vec<KEvent> = Vec::with_capacity(self.capacity);
+            let n = loop {
+                // SAFETY: `raw`'s spare capacity holds `capacity` KEvents.
+                let rc = unsafe {
+                    kevent(
+                        self.kq,
+                        std::ptr::null(),
+                        0,
+                        raw.as_mut_ptr(),
+                        self.capacity as i32,
+                        tsp,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            // SAFETY: the kernel initialised the first `n` entries.
+            unsafe { raw.set_len(n) };
+            for ev in &raw {
+                out.push(PollEvent {
+                    token: Token(ev.udata as usize),
+                    readable: ev.filter == EVFILT_READ,
+                    writable: ev.filter == EVFILT_WRITE,
+                    error: ev.flags & EV_ERROR != 0,
+                    hangup: ev.flags & EV_EOF != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            // SAFETY: kq is a live fd owned by this selector.
+            unsafe { close(self.kq) };
+        }
+    }
+}

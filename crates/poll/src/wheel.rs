@@ -1,0 +1,216 @@
+//! A hashed timer wheel for connection-scale deadlines.
+//!
+//! The threaded server woke a supervisor every few milliseconds to scan
+//! all connections for due echoes; at 10k connections that scan *is* the
+//! load. The wheel makes each deadline O(1) to arm and amortised O(1) to
+//! fire: slot = deadline-tick mod slot-count, entries whose deadline lies
+//! whole revolutions ahead simply stay in their slot until a sweep where
+//! they are actually due.
+//!
+//! Time is a caller-supplied monotonic nanosecond counter (the loop keeps
+//! one `Instant` epoch) — the wheel itself never reads a clock, which
+//! keeps it deterministic under test.
+//!
+//! There is deliberately no cancel: payloads carry an identity (conn id,
+//! generation) and the owner ignores firings for state that no longer
+//! exists. Connection ids are never reused, so a stale echo timer firing
+//! after disconnect is a cheap no-op instead of a bookkeeping structure.
+
+use std::time::Duration;
+
+struct Entry<T> {
+    deadline_tick: u64,
+    payload: T,
+}
+
+/// Single-level hashed wheel; see module docs.
+pub struct TimerWheel<T> {
+    /// Nanoseconds per tick.
+    tick_ns: u64,
+    slots: Vec<Vec<Entry<T>>>,
+    /// Absolute tick index of the next slot to sweep.
+    cursor: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel with `slots` buckets of `granularity` each. Deadlines
+    /// beyond `slots × granularity` are fine — they ride extra
+    /// revolutions.
+    pub fn new(granularity: Duration, slots: usize) -> TimerWheel<T> {
+        let tick_ns = granularity.as_nanos().clamp(1, u128::from(u64::MAX)) as u64;
+        let slots = slots.max(1);
+        TimerWheel {
+            tick_ns,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Armed timers not yet fired.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, now_ns: u64) -> u64 {
+        now_ns / self.tick_ns
+    }
+
+    /// Arm `payload` to fire `delay` after `now_ns`.
+    pub fn insert(&mut self, now_ns: u64, delay: Duration, payload: T) {
+        let deadline_ns = now_ns.saturating_add(delay.as_nanos().min(u128::from(u64::MAX)) as u64);
+        // Never file before the cursor: an already-due deadline lands in
+        // the very next sweep instead of waiting a full revolution.
+        let deadline_tick = self.tick_of(deadline_ns).max(self.cursor);
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            deadline_tick,
+            payload,
+        });
+        self.len += 1;
+    }
+
+    /// Collect every payload due at `now_ns` into `out` (unsorted within
+    /// the batch) and advance the wheel.
+    pub fn expire(&mut self, now_ns: u64, out: &mut Vec<T>) {
+        let target = self.tick_of(now_ns);
+        if target < self.cursor {
+            return;
+        }
+        let nslots = self.slots.len() as u64;
+        // Sweeping more than one revolution visits each slot once.
+        let sweeps = (target - self.cursor + 1).min(nslots);
+        for i in 0..sweeps {
+            let slot = ((self.cursor + i) % nslots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut j = 0;
+            while j < bucket.len() {
+                if bucket[j].deadline_tick <= target {
+                    out.push(bucket.swap_remove(j).payload);
+                    self.len -= 1;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        self.cursor = target + 1;
+    }
+
+    /// Time until the earliest armed deadline, measured from `now_ns`
+    /// (zero when overdue); `None` when nothing is armed. Used as the
+    /// poll timeout.
+    pub fn next_deadline(&self, now_ns: u64) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let nslots = self.slots.len() as u64;
+        let mut best: Option<u64> = None;
+        for k in 0..nslots {
+            let slot = ((self.cursor + k) % nslots) as usize;
+            for e in &self.slots[slot] {
+                if best.is_none_or(|b| e.deadline_tick < b) {
+                    best = Some(e.deadline_tick);
+                }
+            }
+            // A deadline's slot distance never exceeds its tick distance,
+            // so once the best candidate is nearer than the slots left
+            // unscanned, no unscanned entry can beat it.
+            if let Some(b) = best {
+                if b.saturating_sub(self.cursor) <= k {
+                    break;
+                }
+            }
+        }
+        let deadline_ns = best?.saturating_mul(self.tick_ns);
+        Some(Duration::from_nanos(deadline_ns.saturating_sub(now_ns)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    fn wheel() -> TimerWheel<u32> {
+        TimerWheel::new(Duration::from_millis(1), 16)
+    }
+
+    #[test]
+    fn fires_at_the_deadline_not_before() {
+        let mut w = wheel();
+        w.insert(0, Duration::from_millis(5), 42);
+        let mut out = Vec::new();
+        w.expire(4 * MS, &mut out);
+        assert!(out.is_empty(), "4ms < 5ms deadline");
+        w.expire(5 * MS, &mut out);
+        assert_eq!(out, vec![42]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_wait_their_turn() {
+        // 16 slots × 1ms: a 20ms deadline shares a slot with a 4ms one.
+        let mut w = wheel();
+        w.insert(0, Duration::from_millis(4), 1);
+        w.insert(0, Duration::from_millis(20), 2);
+        let mut out = Vec::new();
+        w.expire(10 * MS, &mut out);
+        assert_eq!(out, vec![1], "the far timer must ride a revolution");
+        out.clear();
+        w.expire(25 * MS, &mut out);
+        assert_eq!(out, vec![2]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_earliest_timer() {
+        let mut w = wheel();
+        assert_eq!(w.next_deadline(0), None);
+        w.insert(0, Duration::from_millis(40), 9); // > one revolution away
+        w.insert(0, Duration::from_millis(7), 1);
+        let d = w.next_deadline(0).unwrap();
+        assert_eq!(d, Duration::from_millis(7));
+
+        let mut out = Vec::new();
+        w.expire(7 * MS, &mut out);
+        assert_eq!(out, vec![1]);
+        // Only the revolution-away timer remains; from t=10ms it is 30ms out.
+        let d = w.next_deadline(10 * MS).unwrap();
+        assert_eq!(d, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn overdue_timers_fire_on_the_next_expire() {
+        let mut w = wheel();
+        let mut out = Vec::new();
+        w.expire(50 * MS, &mut out); // cursor well past zero
+        w.insert(50 * MS, Duration::ZERO, 7);
+        assert_eq!(w.next_deadline(60 * MS), Some(Duration::ZERO));
+        w.expire(60 * MS, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn thousands_of_staggered_timers_all_fire_once() {
+        let mut w = TimerWheel::new(Duration::from_millis(1), 64);
+        for i in 0..5_000u32 {
+            w.insert(0, Duration::from_millis(u64::from(i % 500)), i);
+        }
+        assert_eq!(w.len(), 5_000);
+        let mut fired = Vec::new();
+        let mut now = 0;
+        while !w.is_empty() {
+            now += 13 * MS; // uneven strides across revolutions
+            w.expire(now, &mut fired);
+        }
+        fired.sort_unstable();
+        assert_eq!(fired.len(), 5_000);
+        assert!(fired.windows(2).all(|p| p[0] != p[1]), "no double fires");
+    }
+}

@@ -407,6 +407,57 @@ fn sav_accuracy_unchanged_under_lossy_faultplan() {
     server.shutdown();
 }
 
+/// Deterministic fault injection against the event-loop server: a client
+/// whose FaultPlan resets every write until its fault budget is spent
+/// produces the same reconnect/backoff observables as thread-era runs —
+/// forced reconnects while the budget lasts, then convergence to Ready
+/// with live keepalives, and the server never misattributes the resets
+/// as keepalive deaths.
+#[test]
+fn faultplan_resets_force_reconnects_then_converge() {
+    let server =
+        SouthboundServer::bind("127.0.0.1:0", fast_server_config(), Controller::new(vec![]))
+            .unwrap();
+    let resetting = ClientConfig {
+        fault: FaultPlan::seeded(0x5eed, 3).with_resets(1.0),
+        ..fast_client_config(9)
+    };
+    let (delivered_tx, _delivered_rx) = unbounded();
+    let c0 = client::spawn(
+        server.local_addr(),
+        mk_switch(7),
+        resetting,
+        vec![],
+        delivered_tx,
+    );
+    let ctrl = server.controller();
+    assert!(
+        wait_for(Duration::from_secs(30), || ctrl.lock().ready_dpids()
+            == vec![7]),
+        "the client must converge once the reset budget is spent"
+    );
+    assert!(
+        c0.metrics().stats().reconnects >= 1,
+        "spent resets must show up as client reconnects"
+    );
+    // Liveness is restored: keepalive round trips accumulate post-fault.
+    assert!(
+        wait_for(Duration::from_secs(10), || server
+            .server_metrics()
+            .echo_rtt()
+            .count()
+            >= 2),
+        "keepalives must run on the converged connection"
+    );
+    assert!(
+        ctrl.lock().ready_dpids() == vec![7],
+        "the converged connection must hold"
+    );
+
+    c0.stop();
+    server.shutdown();
+}
+
 /// The controller answers echo keepalives and the server measures RTTs;
 /// metrics expose queue depth, message counts, and the RTT histogram.
 #[test]

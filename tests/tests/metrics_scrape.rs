@@ -351,6 +351,31 @@ fn metrics_scrape_reflects_live_dhcp_and_spoofing() {
         );
     }
 
+    // ---- Southbound event-loop health counters on the same scrape. -----
+    let wakeups = series_values(&metrics, "sav_poll_wakeups_total")
+        .first()
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    assert!(
+        wakeups > 0.0,
+        "the event loop must report poll wakeups:\n{metrics}"
+    );
+    let batched = series_values(&metrics, "sav_writev_batched_frames_total")
+        .first()
+        .map(|(_, v)| *v)
+        .unwrap_or(0.0);
+    assert!(
+        batched > 0.0,
+        "vectored writes must report drained frames:\n{metrics}"
+    );
+    let backlog = series_values(&metrics, "sav_southbound_backlog_bytes")
+        .first()
+        .map(|(_, v)| *v);
+    assert!(
+        backlog.is_some_and(|v| v >= 0.0),
+        "the outbound-backlog gauge must be registered:\n{metrics}"
+    );
+
     // ---- Journal causality: learned → installed → dropped. -------------
     let (status, events) = http_get(obs_addr, "/events?n=500").unwrap();
     assert_eq!(status, 200);
